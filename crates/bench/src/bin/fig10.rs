@@ -1,0 +1,133 @@
+//! Regenerates Figure 10 (Section 5.2): Raft*-Mencius vs Raft with the
+//! leader at the best (Oregon) and worst (Seoul) site, under a 100%-write
+//! workload at 0% and 100% conflict.
+//!
+//! Panels:
+//! - `a` — throughput vs clients/region with 8 B requests (CPU-bound).
+//! - `b` — throughput vs clients/region with 4 KB requests
+//!   (network-bound: the leader NIC saturates first).
+//! - `c` — latency (p90, leader vs follower clients) at 50 clients/region
+//!   for 8 B.
+//! - `d` — same for 4 KB.
+//!
+//! Usage: `fig10 [--panel a|b|c|d|all] [--quick]`
+
+use paxraft_bench::{Figure, RunSpec, Windows};
+use paxraft_core::harness::ProtocolKind;
+use paxraft_core::types::NodeId;
+use paxraft_workload::generator::WorkloadConfig;
+
+/// The five configurations the paper compares. Node 0 sits in Oregon,
+/// node 4 in Seoul.
+fn configs() -> Vec<(String, RunSpec)> {
+    let mk = |p, leader, conflict: f64| {
+        let mut s = RunSpec::new(p);
+        s.leader = NodeId(leader);
+        s.workload = WorkloadConfig {
+            read_fraction: 0.0,
+            conflict_rate: conflict,
+            value_size: 8,
+            ..Default::default()
+        };
+        s
+    };
+    vec![
+        ("Raft*-M-100%".into(), mk(ProtocolKind::RaftStarMencius, 0, 1.0)),
+        ("Raft*-M-0%".into(), mk(ProtocolKind::RaftStarMencius, 0, 0.0)),
+        ("Raft-Oregon".into(), mk(ProtocolKind::Raft, 0, 0.0)),
+        ("Raft*-Oregon".into(), mk(ProtocolKind::RaftStar, 0, 0.0)),
+        ("Raft-Seoul".into(), mk(ProtocolKind::Raft, 4, 0.0)),
+    ]
+}
+
+fn throughput_panel(id: &str, value_size: usize, counts: &[usize], windows: Windows) -> Figure {
+    let mut fig = Figure::new(id, "clients per region", "throughput (ops/s)");
+    println!("\nFigure {id}: throughput vs clients/region ({value_size} B values)");
+    print!("{:<14}", "series");
+    for c in counts {
+        print!(" {c:>9}");
+    }
+    println!();
+    for (name, base) in configs() {
+        print!("{name:<14}");
+        for &c in counts {
+            let mut spec = base.clone();
+            spec.clients_per_region = c;
+            spec.workload.value_size = value_size;
+            let t = spec.run(windows).throughput_ops;
+            print!(" {t:>9.0}");
+            fig.push(&name, c as f64, t);
+        }
+        println!();
+    }
+    fig
+}
+
+fn latency_panel(id: &str, value_size: usize, windows: Windows) -> Figure {
+    let mut fig = Figure::new(id, "group", "write latency p90 (ms)");
+    println!("\nFigure {id}: latency at 50 clients/region ({value_size} B values)");
+    println!(
+        "{:<14} {:>24} {:>24}",
+        "series", "leader(p50/p90/p99 ms)", "followers(p50/p90/p99)"
+    );
+    for (name, base) in configs() {
+        let mut spec = base.clone();
+        spec.clients_per_region = 50;
+        spec.workload.value_size = value_size;
+        let r = spec.run(windows);
+        let fmt = |t: &Option<paxraft_workload::metrics::LatencyTriple>| match t {
+            Some(t) => format!("{:.0}/{:.0}/{:.0}", t.p50_ms, t.p90_ms, t.p99_ms),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:<14} {:>24} {:>24}",
+            name,
+            fmt(&r.leader_writes),
+            fmt(&r.follower_writes)
+        );
+        if let Some(t) = r.leader_writes {
+            fig.push(&format!("{name}-Leader"), 0.0, t.p90_ms);
+        }
+        if let Some(t) = r.follower_writes {
+            fig.push(&format!("{name}-Followers"), 1.0, t.p90_ms);
+        }
+    }
+    fig
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let panel = args
+        .iter()
+        .position(|a| a == "--panel")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("all")
+        .to_string();
+    let windows = if quick { Windows::quick() } else { Windows::standard() };
+    let counts_8b: &[usize] =
+        if quick { &[200, 1000, 3000] } else { &[100, 500, 1000, 2000, 4000, 6000] };
+    let counts_4k: &[usize] = if quick { &[50, 200, 600] } else { &[25, 50, 100, 200, 400, 800] };
+
+    let mut figures = Vec::new();
+    if panel == "a" || panel == "all" {
+        figures.push(throughput_panel("10a", 8, counts_8b, windows));
+    }
+    if panel == "b" || panel == "all" {
+        figures.push(throughput_panel("10b", 4096, counts_4k, windows));
+    }
+    if panel == "c" || panel == "all" {
+        figures.push(latency_panel("10c", 8, windows));
+    }
+    if panel == "d" || panel == "all" {
+        figures.push(latency_panel("10d", 4096, windows));
+    }
+    std::fs::create_dir_all("bench_results").ok();
+    for f in &figures {
+        println!("\n{}", f.table());
+        let path = format!("bench_results/fig{}.json", f.id);
+        std::fs::write(&path, f.json()).ok();
+        println!("wrote {path}");
+    }
+}

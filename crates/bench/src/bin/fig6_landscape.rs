@@ -1,0 +1,13 @@
+//! Regenerates Figure 6: the landscape of Paxos variants, with the
+//! mechanical non-mutating verdicts for the implemented case studies.
+
+use paxraft_spec::landscape;
+
+fn main() {
+    println!("Figure 6 — Paxos variants and optimizations\n");
+    print!("{}", landscape::render());
+    println!("\nMechanical Section-4.2 verdicts (check_non_mutating on the real deltas):");
+    for (name, ok) in landscape::mechanical_verdicts() {
+        println!("  {name}: {}", if ok { "non-mutating ✓" } else { "MUTATING ✗" });
+    }
+}

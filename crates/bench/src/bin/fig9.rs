@@ -1,0 +1,153 @@
+//! Regenerates Figure 9 (Section 5.1): Raft*-PQL vs Leader-Lease vs Raft
+//! vs Raft* on a 5-region geo-replicated cluster.
+//!
+//! Panels:
+//! - `a` — read latency, leader-region vs follower-region clients
+//!   (p50/p90/p99; the paper plots p90 bars with p50–p99 error bars).
+//! - `b` — write latency, same split.
+//! - `c` — peak throughput at 50% / 90% / 99% reads.
+//! - `d` — throughput speedup of Raft*-PQL over Raft* as the conflict
+//!   rate falls from 50% to 0%.
+//!
+//! Usage: `fig9 [--panel a|b|c|d|all] [--quick]`
+
+use paxraft_bench::{peak_throughput, Figure, RunSpec, Windows};
+use paxraft_core::harness::ProtocolKind;
+use paxraft_workload::generator::WorkloadConfig;
+
+const PROTOCOLS: [ProtocolKind; 4] = [
+    ProtocolKind::RaftStarPql,
+    ProtocolKind::LeaderLease,
+    ProtocolKind::Raft,
+    ProtocolKind::RaftStar,
+];
+
+fn latency_panels(quick: bool) -> (Figure, Figure) {
+    let mut fig_a = Figure::new("9a", "group", "read latency p90 (ms)");
+    let mut fig_b = Figure::new("9b", "group", "write latency p90 (ms)");
+    let windows = if quick { Windows::quick() } else { Windows::standard() };
+    println!("Figure 9a/9b: 90% reads, 5% conflict, 50 clients/region");
+    println!(
+        "{:<14} {:>22} {:>22} {:>22} {:>22}",
+        "protocol", "read@leader(p50/90/99)", "read@followers", "write@leader", "write@followers"
+    );
+    for p in PROTOCOLS {
+        let mut spec = RunSpec::new(p);
+        spec.clients_per_region = 50;
+        spec.workload = WorkloadConfig {
+            read_fraction: 0.9,
+            conflict_rate: 0.05,
+            value_size: 8,
+            ..Default::default()
+        };
+        let r = spec.run(windows);
+        let fmt = |t: &Option<paxraft_workload::metrics::LatencyTriple>| match t {
+            Some(t) => format!("{:.1}/{:.1}/{:.1}", t.p50_ms, t.p90_ms, t.p99_ms),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:<14} {:>22} {:>22} {:>22} {:>22}",
+            p.name(),
+            fmt(&r.leader_reads),
+            fmt(&r.follower_reads),
+            fmt(&r.leader_writes),
+            fmt(&r.follower_writes)
+        );
+        if let Some(t) = r.leader_reads {
+            fig_a.push(&format!("{}-Leader", p.name()), 0.0, t.p90_ms);
+        }
+        if let Some(t) = r.follower_reads {
+            fig_a.push(&format!("{}-Followers", p.name()), 1.0, t.p90_ms);
+        }
+        if let Some(t) = r.leader_writes {
+            fig_b.push(&format!("{}-Leader", p.name()), 0.0, t.p90_ms);
+        }
+        if let Some(t) = r.follower_writes {
+            fig_b.push(&format!("{}-Followers", p.name()), 1.0, t.p90_ms);
+        }
+    }
+    (fig_a, fig_b)
+}
+
+fn panel_c(quick: bool) -> Figure {
+    let mut fig = Figure::new("9c", "read %", "peak throughput (ops/s)");
+    let windows = if quick { Windows::quick() } else { Windows::standard() };
+    let counts: &[usize] = if quick { &[500, 2000] } else { &[500, 2000, 4000] };
+    println!("\nFigure 9c: peak throughput vs read percentage");
+    println!("{:<14} {:>8} {:>14}", "protocol", "read %", "peak ops/s");
+    for read_pct in [50.0, 90.0, 99.0] {
+        for p in PROTOCOLS {
+            let mut spec = RunSpec::new(p);
+            spec.workload = WorkloadConfig {
+                read_fraction: read_pct / 100.0,
+                conflict_rate: 0.05,
+                value_size: 8,
+                ..Default::default()
+            };
+            let peak = peak_throughput(&spec, counts, windows);
+            println!("{:<14} {:>8} {:>14.0}", p.name(), read_pct, peak);
+            fig.push(p.name(), read_pct, peak);
+        }
+    }
+    fig
+}
+
+fn panel_d(quick: bool) -> Figure {
+    let mut fig = Figure::new("9d", "conflict rate %", "speedup of Raft*-PQL over Raft* (%)");
+    let windows = if quick { Windows::quick() } else { Windows::standard() };
+    // Peak-throughput comparison (saturate both systems, take the max).
+    let counts: &[usize] = if quick { &[1000, 3000] } else { &[1000, 2000, 4000] };
+    println!("\nFigure 9d: Raft*-PQL peak-throughput speedup over Raft* vs conflict rate (90% reads)");
+    println!("{:>12} {:>14} {:>14} {:>10}", "conflict %", "PQL ops/s", "Raft* ops/s", "speedup");
+    let rates: &[f64] = if quick { &[0.0, 20.0, 50.0] } else { &[0.0, 10.0, 20.0, 30.0, 40.0, 50.0] };
+    for &conflict in rates {
+        let workload = WorkloadConfig {
+            read_fraction: 0.9,
+            conflict_rate: conflict / 100.0,
+            value_size: 8,
+            ..Default::default()
+        };
+        let mut pql = RunSpec::new(ProtocolKind::RaftStarPql);
+        pql.workload = workload.clone();
+        let mut star = RunSpec::new(ProtocolKind::RaftStar);
+        star.workload = workload;
+        let t_pql = peak_throughput(&pql, counts, windows);
+        let t_star = peak_throughput(&star, counts, windows);
+        let speedup = (t_pql - t_star) / t_star * 100.0;
+        println!("{:>12} {:>14.0} {:>14.0} {:>9.1}%", conflict, t_pql, t_star, speedup);
+        fig.push("Raft*-PQL vs. Raft*", conflict, speedup);
+    }
+    fig
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let panel = args
+        .iter()
+        .position(|a| a == "--panel")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("all")
+        .to_string();
+
+    let mut figures = Vec::new();
+    if panel == "a" || panel == "b" || panel == "all" {
+        let (a, b) = latency_panels(quick);
+        figures.push(a);
+        figures.push(b);
+    }
+    if panel == "c" || panel == "all" {
+        figures.push(panel_c(quick));
+    }
+    if panel == "d" || panel == "all" {
+        figures.push(panel_d(quick));
+    }
+    std::fs::create_dir_all("bench_results").ok();
+    for f in &figures {
+        println!("\n{}", f.table());
+        let path = format!("bench_results/fig{}.json", f.id);
+        std::fs::write(&path, f.json()).ok();
+        println!("wrote {path}");
+    }
+}

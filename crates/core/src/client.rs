@@ -1,0 +1,185 @@
+//! Closed-loop measurement clients (Section 5 "Workload").
+//!
+//! Each client issues get/put requests back-to-back against its nearest
+//! replica, drawing operations from the YCSB-like generator. Completions
+//! are timestamped on the virtual clock so the harness can trim warm-up
+//! and cool-down windows; optionally the client records a linearizability
+//! history for its operations.
+
+use paxraft_sim::impl_actor_any;
+use paxraft_sim::sim::{Actor, ActorId, Ctx};
+use paxraft_sim::time::{SimDuration, SimTime};
+use paxraft_workload::generator::{Generator, OpKind};
+use paxraft_workload::linearize::{Action, OpRecord};
+
+use crate::kv::{CmdId, Command, Key};
+use crate::msg::{ClientMsg, Msg};
+
+/// One completed operation, for metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct Completion {
+    /// Virtual completion time (ns).
+    pub at_ns: u64,
+    /// Request latency (ns).
+    pub latency_ns: u64,
+    /// Read or write.
+    pub kind: OpKind,
+}
+
+/// A closed-loop workload client.
+pub struct WorkloadClient {
+    /// Logical client id.
+    pub client_id: u32,
+    /// The replica this client talks to (its nearest).
+    pub target: ActorId,
+    gen: Generator,
+    seq: u64,
+    inflight: Option<Inflight>,
+    retry_after: SimDuration,
+    /// Completed operations (never trimmed; the harness filters windows).
+    pub completions: Vec<Completion>,
+    /// When `Some(key)`, record a linearizability history for that key
+    /// (`None` disables recording).
+    pub history_key: Option<Key>,
+    /// Recorded per-key history.
+    pub history: Vec<OpRecord>,
+}
+
+#[derive(Debug, Clone)]
+struct Inflight {
+    cmd: Command,
+    kind: OpKind,
+    key: Key,
+    sent: SimTime,
+    first_sent: SimTime,
+}
+
+impl WorkloadClient {
+    /// Creates a client driving `target` with the given generator.
+    pub fn new(client_id: u32, target: ActorId, gen: Generator) -> Self {
+        WorkloadClient {
+            client_id,
+            target,
+            gen,
+            seq: 0,
+            inflight: None,
+            // Well above the slowest protocol's op latency (~400 ms for
+            // Mencius-100%), well below a closed-loop stall being the
+            // dominant cost under message loss.
+            retry_after: SimDuration::from_secs(1),
+            completions: Vec::new(),
+            history_key: None,
+            history: Vec::new(),
+        }
+    }
+
+    fn next_command(&mut self) -> (Command, OpKind, Key) {
+        let spec = self.gen.next_op();
+        self.seq += 1;
+        let id = CmdId { client: self.client_id, seq: self.seq };
+        let cmd = match spec.kind {
+            OpKind::Read => Command::get(id, spec.key),
+            OpKind::Write => Command::put(id, spec.key, vec![0; spec.value_size.max(8)]),
+        };
+        (cmd, spec.kind, spec.key)
+    }
+
+    fn send_next(&mut self, ctx: &mut Ctx<Msg>) {
+        let (cmd, kind, key) = self.next_command();
+        self.inflight = Some(Inflight {
+            cmd: cmd.clone(),
+            kind,
+            key,
+            sent: ctx.now(),
+            first_sent: ctx.now(),
+        });
+        ctx.send(self.target, Msg::Client(ClientMsg::Request { cmd }));
+    }
+}
+
+impl Actor<Msg> for WorkloadClient {
+    fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+        // Stagger client start within 10 ms to avoid lockstep batches.
+        let jitter = SimDuration::from_micros(ctx.rng().gen_range(10_000));
+        ctx.set_timer(jitter, 1);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Msg>, _from: ActorId, msg: Msg) {
+        let Msg::Client(ClientMsg::Response { id, reply }) = msg else { return };
+        let Some(inflight) = &self.inflight else { return };
+        if inflight.cmd.id != id {
+            return; // stale response from a retry
+        }
+        let inflight = self.inflight.take().expect("checked");
+        let now = ctx.now();
+        self.completions.push(Completion {
+            at_ns: now.as_nanos(),
+            latency_ns: now.since(inflight.first_sent).as_nanos(),
+            kind: inflight.kind,
+        });
+        if self.history_key == Some(inflight.key) {
+            let action = match inflight.kind {
+                OpKind::Write => Action::Write(id.as_value_id()),
+                OpKind::Read => Action::Read(reply.value_id()),
+            };
+            self.history.push(OpRecord {
+                client: self.client_id as usize,
+                key: inflight.key,
+                action,
+                invoke_ns: inflight.first_sent.as_nanos(),
+                respond_ns: now.as_nanos(),
+            });
+        }
+        self.send_next(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Msg>, _token: u64) {
+        match &self.inflight {
+            None => self.send_next(ctx),
+            Some(inflight) => {
+                if ctx.now().since(inflight.sent) > self.retry_after {
+                    // Retry (dedup at the replicas makes this safe).
+                    let cmd = inflight.cmd.clone();
+                    if let Some(inf) = &mut self.inflight {
+                        inf.sent = ctx.now();
+                    }
+                    ctx.send(self.target, Msg::Client(ClientMsg::Request { cmd }));
+                }
+            }
+        }
+        ctx.set_timer(SimDuration::from_millis(500), 1);
+    }
+
+    impl_actor_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxraft_sim::rng::SimRng;
+    use paxraft_workload::generator::WorkloadConfig;
+
+    #[test]
+    fn commands_get_unique_increasing_seqs() {
+        let gen = Generator::new(WorkloadConfig::default(), 0, SimRng::new(1));
+        let mut c = WorkloadClient::new(3, ActorId(0), gen);
+        let (c1, _, _) = c.next_command();
+        let (c2, _, _) = c.next_command();
+        assert_eq!(c1.id.client, 3);
+        assert_eq!(c1.id.seq + 1, c2.id.seq);
+    }
+
+    #[test]
+    fn write_values_sized_by_workload() {
+        let cfg = WorkloadConfig { read_fraction: 0.0, value_size: 4096, ..WorkloadConfig::default() };
+        let gen = Generator::new(cfg, 0, SimRng::new(1));
+        let mut c = WorkloadClient::new(0, ActorId(0), gen);
+        let (cmd, kind, _) = c.next_command();
+        assert_eq!(kind, OpKind::Write);
+        if let crate::kv::Op::Put { value, .. } = &cmd.op {
+            assert_eq!(value.len(), 4096);
+        } else {
+            panic!("expected put");
+        }
+    }
+}

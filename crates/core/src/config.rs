@@ -1,0 +1,210 @@
+//! Replica configuration shared by every protocol.
+
+use crate::costs::CostModel;
+use crate::types::NodeId;
+use paxraft_sim::sim::ActorId;
+use paxraft_sim::time::SimDuration;
+
+/// How reads are served (Section 5.1's three configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Reads are replicated through the log like writes (Raft, Raft*,
+    /// MultiPaxos baseline: "a strongly consistent read operation is
+    /// performed by persisting the operation into the log").
+    LogRead,
+    /// Leader Lease: only the leader serves reads from its local copy.
+    LeaderLease,
+    /// Paxos Quorum Lease ported to Raft*: any replica holding leases
+    /// from a quorum serves reads locally.
+    QuorumLease,
+}
+
+/// Lease parameters (Section 5.1: duration 2 s, renewed every 0.5 s).
+#[derive(Debug, Clone)]
+pub struct LeaseConfig {
+    /// How long a grant is valid.
+    pub duration: SimDuration,
+    /// Grant/renewal period.
+    pub renew_every: SimDuration,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        LeaseConfig {
+            duration: SimDuration::from_secs(2),
+            renew_every: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// Mencius coordination parameters.
+#[derive(Debug, Clone)]
+pub struct MenciusConfig {
+    /// Idle watermark broadcast period (keeps lagging owners from
+    /// delaying everyone and doubles as a failure-detector keepalive).
+    pub skip_heartbeat: SimDuration,
+    /// Silence threshold after which a peer's slots are revoked.
+    pub revoke_timeout: SimDuration,
+}
+
+impl Default for MenciusConfig {
+    fn default() -> Self {
+        MenciusConfig {
+            skip_heartbeat: SimDuration::from_millis(50),
+            revoke_timeout: SimDuration::from_secs(3),
+        }
+    }
+}
+
+/// Configuration for one replica.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// This replica's id.
+    pub id: NodeId,
+    /// Cluster size (`2f + 1`).
+    pub n: usize,
+    /// Actor ids of all replicas, indexed by [`NodeId`].
+    pub peers: Vec<ActorId>,
+    /// Actor id of logical client `c` is `ActorId(client_base + c)`.
+    pub client_base: usize,
+    /// CPU cost model.
+    pub costs: CostModel,
+    /// Max delay before a pending batch is flushed.
+    pub batch_delay: SimDuration,
+    /// Flush immediately once this many commands are pending.
+    pub batch_max: usize,
+    /// Leader heartbeat period (also drives commit-index propagation).
+    pub heartbeat: SimDuration,
+    /// Election timeout lower bound (randomized up to `election_max`).
+    pub election_min: SimDuration,
+    /// Election timeout upper bound.
+    pub election_max: SimDuration,
+    /// If set, this node uses a tiny first election timeout so it becomes
+    /// the initial leader (the harness's deterministic bootstrap).
+    pub initial_leader: Option<NodeId>,
+    /// Leader retry period for re-sending un-acknowledged suffixes.
+    pub retry_interval: SimDuration,
+    /// Read path.
+    pub read_mode: ReadMode,
+    /// Lease parameters (used by `LeaderLease`/`QuorumLease` modes).
+    pub lease: LeaseConfig,
+    /// Mencius parameters.
+    pub mencius: MenciusConfig,
+}
+
+impl ReplicaConfig {
+    /// A WAN-appropriate default for `n` replicas; `peers` must be filled
+    /// by the harness once actor ids exist.
+    pub fn wan_default(id: NodeId, n: usize) -> Self {
+        ReplicaConfig {
+            id,
+            n,
+            peers: Vec::new(),
+            client_base: n,
+            costs: CostModel::default(),
+            batch_delay: SimDuration::from_millis(2),
+            batch_max: 64,
+            heartbeat: SimDuration::from_millis(150),
+            election_min: SimDuration::from_millis(1_500),
+            election_max: SimDuration::from_millis(3_000),
+            initial_leader: None,
+            retry_interval: SimDuration::from_millis(600),
+            read_mode: ReadMode::LogRead,
+            lease: LeaseConfig::default(),
+            mencius: MenciusConfig::default(),
+        }
+    }
+
+    /// Actor id of a replica.
+    pub fn peer(&self, node: NodeId) -> ActorId {
+        self.peers[node.0 as usize]
+    }
+
+    /// Actor id of a logical client.
+    pub fn client_actor(&self, client: u32) -> ActorId {
+        ActorId(self.client_base + client as usize)
+    }
+
+    /// All replica node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n as u32).map(NodeId)
+    }
+
+    /// All node ids except this replica.
+    pub fn others(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let me = self.id;
+        self.nodes().filter(move |&x| x != me)
+    }
+
+    /// Validates internal consistency (peer table filled, id in range).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n == 0 || self.n % 2 == 0 {
+            return Err(format!("n={} must be odd and positive", self.n));
+        }
+        if self.id.0 as usize >= self.n {
+            return Err(format!("id {} out of range for n={}", self.id, self.n));
+        }
+        if self.peers.len() != self.n {
+            return Err(format!("peers table has {} entries, need {}", self.peers.len(), self.n));
+        }
+        if self.election_min > self.election_max {
+            return Err("election_min exceeds election_max".into());
+        }
+        if self.batch_max == 0 {
+            return Err("batch_max must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ReplicaConfig {
+        let mut c = ReplicaConfig::wan_default(NodeId(1), 5);
+        c.peers = (0..5).map(ActorId).collect();
+        c
+    }
+
+    #[test]
+    fn validate_accepts_good_config() {
+        assert_eq!(cfg().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_even_n() {
+        let mut c = cfg();
+        c.n = 4;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_id_and_peers() {
+        let mut c = cfg();
+        c.id = NodeId(9);
+        assert!(c.validate().is_err());
+        let mut c = cfg();
+        c.peers.pop();
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn others_excludes_self() {
+        let c = cfg();
+        let others: Vec<NodeId> = c.others().collect();
+        assert_eq!(others.len(), 4);
+        assert!(!others.contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn client_actor_offsets() {
+        let c = cfg();
+        assert_eq!(c.client_actor(0), ActorId(5));
+        assert_eq!(c.client_actor(3), ActorId(8));
+    }
+}

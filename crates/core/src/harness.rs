@@ -1,0 +1,460 @@
+//! Cluster harness: builds a geo-replicated cluster of any protocol,
+//! attaches closed-loop clients per region, runs a measured interval with
+//! warm-up/cool-down trimming, and reports the paper's metrics
+//! (throughput; p50/p90/p99 latency split into leader-region and
+//! follower-region clients, read vs write).
+
+use paxraft_sim::net::{NetConfig, Region};
+use paxraft_sim::sim::{ActorId, Simulation};
+use paxraft_sim::time::SimDuration;
+use paxraft_workload::generator::{Generator, OpKind, WorkloadConfig};
+use paxraft_workload::linearize::OpRecord;
+use paxraft_workload::metrics::{LatencyRecorder, LatencyTriple};
+
+use crate::client::WorkloadClient;
+use crate::config::{LeaseConfig, ReadMode, ReplicaConfig};
+use crate::costs::CostModel;
+use crate::kv::{CmdId, Command, Key, Op, Reply};
+use crate::mencius::MenciusReplica;
+use crate::msg::{ClientMsg, Msg};
+use crate::multipaxos::MultiPaxosReplica;
+use crate::raft::RaftReplica;
+use crate::raftstar::RaftStarReplica;
+use crate::types::NodeId;
+
+/// Which protocol the cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// MultiPaxos (Figure 1).
+    MultiPaxos,
+    /// Standard Raft.
+    Raft,
+    /// Raft* with log reads.
+    RaftStar,
+    /// Raft* + ported Paxos Quorum Lease.
+    RaftStarPql,
+    /// Raft* + Leader Lease baseline.
+    LeaderLease,
+    /// Raft*-Mencius (multi-leader).
+    RaftStarMencius,
+}
+
+impl ProtocolKind {
+    /// Display name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::MultiPaxos => "MultiPaxos",
+            ProtocolKind::Raft => "Raft",
+            ProtocolKind::RaftStar => "Raft*",
+            ProtocolKind::RaftStarPql => "Raft*-PQL",
+            ProtocolKind::LeaderLease => "Raft*-LL",
+            ProtocolKind::RaftStarMencius => "Raft*-Mencius",
+        }
+    }
+}
+
+/// Builder for [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    protocol: ProtocolKind,
+    replicas: usize,
+    regions: Vec<Region>,
+    leader: NodeId,
+    clients_per_region: usize,
+    workload: WorkloadConfig,
+    seed: u64,
+    costs: CostModel,
+    net: NetConfig,
+    record_history_key: Option<Key>,
+    batch_delay: SimDuration,
+    lease: LeaseConfig,
+}
+
+impl ClusterBuilder {
+    /// Number of replicas (default 5, one per region).
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.replicas = n;
+        self
+    }
+
+    /// Region placement (length must equal `replicas`).
+    pub fn regions(mut self, regions: Vec<Region>) -> Self {
+        self.regions = regions;
+        self
+    }
+
+    /// Which node is bootstrapped as leader (default node 0 = Oregon;
+    /// ignored by Mencius).
+    pub fn leader(mut self, node: NodeId) -> Self {
+        self.leader = node;
+        self
+    }
+
+    /// Closed-loop clients per region (default 0; use
+    /// [`Cluster::submit_and_wait`] for scripted ops).
+    pub fn clients_per_region(mut self, c: usize) -> Self {
+        self.clients_per_region = c;
+        self
+    }
+
+    /// Workload parameters.
+    pub fn workload(mut self, w: WorkloadConfig) -> Self {
+        self.workload = w;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// CPU cost model.
+    pub fn costs(mut self, c: CostModel) -> Self {
+        self.costs = c;
+        self
+    }
+
+    /// Network configuration.
+    pub fn net(mut self, n: NetConfig) -> Self {
+        self.net = n;
+        self
+    }
+
+    /// Record linearizability histories for `key` at every client.
+    pub fn record_history_for(mut self, key: Key) -> Self {
+        self.record_history_key = Some(key);
+        self
+    }
+
+    /// Leader batching window.
+    pub fn batch_delay(mut self, d: SimDuration) -> Self {
+        self.batch_delay = d;
+        self
+    }
+
+    /// Lease parameters (PQL / LL modes).
+    pub fn lease_config(mut self, lease: LeaseConfig) -> Self {
+        self.lease = lease;
+        self
+    }
+
+    /// Constructs the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if region placement does not match the replica count.
+    pub fn build(self) -> Cluster {
+        assert_eq!(self.regions.len(), self.replicas, "one region per replica");
+        let mut sim = Simulation::new(self.net.clone(), self.seed);
+        let peers: Vec<ActorId> = (0..self.replicas).map(ActorId).collect();
+        let client_base = self.replicas;
+        let mut replicas = Vec::new();
+        for i in 0..self.replicas {
+            let mut cfg = ReplicaConfig::wan_default(NodeId(i as u32), self.replicas);
+            cfg.peers = peers.clone();
+            cfg.client_base = client_base;
+            cfg.costs = self.costs.clone();
+            cfg.batch_delay = self.batch_delay;
+            cfg.lease = self.lease.clone();
+            cfg.initial_leader = Some(self.leader);
+            cfg.read_mode = match self.protocol {
+                ProtocolKind::RaftStarPql => ReadMode::QuorumLease,
+                ProtocolKind::LeaderLease => ReadMode::LeaderLease,
+                _ => ReadMode::LogRead,
+            };
+            let actor: Box<dyn paxraft_sim::sim::Actor<Msg>> = match self.protocol {
+                ProtocolKind::MultiPaxos => Box::new(MultiPaxosReplica::new(cfg)),
+                ProtocolKind::Raft => Box::new(RaftReplica::new(cfg)),
+                ProtocolKind::RaftStar
+                | ProtocolKind::RaftStarPql
+                | ProtocolKind::LeaderLease => Box::new(RaftStarReplica::new(cfg)),
+                ProtocolKind::RaftStarMencius => Box::new(MenciusReplica::new(cfg)),
+            };
+            replicas.push(sim.add_actor(self.regions[i], actor));
+        }
+        // One workload client group per region, targeting that region's
+        // replica (clients in regions without a replica would target the
+        // nearest; with the default 1:1 placement this is exact).
+        let mut clients = Vec::new();
+        let mut rng = paxraft_sim::rng::SimRng::new(self.seed ^ 0xC11E57);
+        let mut workload = self.workload.clone();
+        workload.partitions = self.regions.len();
+        for (ri, &region) in self.regions.iter().enumerate() {
+            for _ in 0..self.clients_per_region {
+                let cid = clients.len() as u32;
+                let gen = Generator::new(workload.clone(), ri, rng.fork(cid as u64));
+                let mut wc = WorkloadClient::new(cid, replicas[ri], gen);
+                wc.history_key = self.record_history_key;
+                let id = sim.add_actor(region, Box::new(wc));
+                clients.push(id);
+            }
+        }
+        Cluster {
+            sim,
+            protocol: self.protocol,
+            replicas,
+            clients,
+            regions: self.regions,
+            leader: self.leader,
+            probe: None,
+            probe_seq: 0,
+        }
+    }
+}
+
+/// Throughput/latency measurements from one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Completed operations inside the measurement window, per second.
+    pub throughput_ops: f64,
+    /// Read latency for clients co-located with the leader.
+    pub leader_reads: Option<LatencyTriple>,
+    /// Read latency for all other clients.
+    pub follower_reads: Option<LatencyTriple>,
+    /// Write latency for leader-region clients.
+    pub leader_writes: Option<LatencyTriple>,
+    /// Write latency for follower-region clients.
+    pub follower_writes: Option<LatencyTriple>,
+    /// Linearizability histories (when recording was enabled).
+    pub histories: Vec<OpRecord>,
+}
+
+/// A built cluster ready to run.
+pub struct Cluster {
+    /// The underlying simulation (exposed for fault injection).
+    pub sim: Simulation<Msg>,
+    protocol: ProtocolKind,
+    replicas: Vec<ActorId>,
+    clients: Vec<ActorId>,
+    regions: Vec<Region>,
+    leader: NodeId,
+    probe: Option<ActorId>,
+    probe_seq: u64,
+}
+
+impl Cluster {
+    /// Starts a builder.
+    pub fn builder(protocol: ProtocolKind) -> ClusterBuilder {
+        ClusterBuilder {
+            protocol,
+            replicas: 5,
+            regions: Region::ALL.to_vec(),
+            leader: NodeId(0),
+            clients_per_region: 0,
+            workload: WorkloadConfig::default(),
+            seed: 42,
+            costs: CostModel::default(),
+            net: NetConfig::default(),
+            record_history_key: None,
+            batch_delay: SimDuration::from_millis(2),
+            lease: LeaseConfig::default(),
+        }
+    }
+
+    /// The protocol under test.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.protocol
+    }
+
+    /// Replica actor ids.
+    pub fn replicas(&self) -> &[ActorId] {
+        &self.replicas
+    }
+
+    /// Client actor ids.
+    pub fn clients(&self) -> &[ActorId] {
+        &self.clients
+    }
+
+    /// The configured leader node.
+    pub fn leader(&self) -> NodeId {
+        self.leader
+    }
+
+    /// Whether some replica currently claims leadership (Mencius is
+    /// always "led": every replica leads its own slots).
+    pub fn has_leader(&self) -> bool {
+        match self.protocol {
+            ProtocolKind::MultiPaxos => self
+                .replicas
+                .iter()
+                .any(|&r| self.sim.actor::<MultiPaxosReplica>(r).is_leader()),
+            ProtocolKind::Raft => self
+                .replicas
+                .iter()
+                .any(|&r| self.sim.actor::<RaftReplica>(r).is_leader()),
+            ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => {
+                self.replicas
+                    .iter()
+                    .any(|&r| self.sim.actor::<RaftStarReplica>(r).is_leader())
+            }
+            ProtocolKind::RaftStarMencius => true,
+        }
+    }
+
+    /// Runs until a leader is elected (and leases, if any, are live).
+    pub fn elect_leader(&mut self) {
+        let deadline = self.sim.now() + SimDuration::from_secs(30);
+        while !self.has_leader() && self.sim.now() < deadline {
+            self.sim.run_for(SimDuration::from_millis(50));
+        }
+        assert!(self.has_leader(), "no leader elected within 30s");
+        if matches!(self.protocol, ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease) {
+            // Let the first grant round complete.
+            self.sim.run_for(SimDuration::from_millis(700));
+        }
+    }
+
+    /// Submits one operation through an internal probe client and waits
+    /// for its reply (for examples and tests, not measurement).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if no reply arrives within 30 virtual seconds.
+    pub fn submit_and_wait(&mut self, op: Op) -> Result<Reply, String> {
+        use crate::probe::ProbeClient;
+        self.sim.start();
+        let pid = match self.probe {
+            Some(pid) => pid,
+            None => {
+                let region = self.regions[self.leader.0 as usize];
+                let pid = self.sim.add_actor(region, Box::new(ProbeClient::default()));
+                self.probe = Some(pid);
+                pid
+            }
+        };
+        // Replicas route replies to `client_base + id.client`; the probe's
+        // actor index encodes the matching client id.
+        let client_index = (pid.0 - self.replicas.len()) as u32;
+        self.probe_seq += 1;
+        let id = CmdId { client: client_index, seq: self.probe_seq };
+        let cmd = Command { id, op };
+        // Target the configured leader's replica unless it is crashed;
+        // fall back to the first live replica (its forwarding finds the
+        // actual leader).
+        let mut target = self.replicas[self.leader.0 as usize];
+        if self.sim.is_crashed(target) {
+            target = *self
+                .replicas
+                .iter()
+                .find(|&&r| !self.sim.is_crashed(r))
+                .expect("at least one live replica");
+        }
+        {
+            let p = self.sim.actor_mut::<ProbeClient>(pid);
+            p.waiting = Some(id);
+            p.reply = None;
+            p.outbox = Some((target, Msg::Client(ClientMsg::Request { cmd })));
+        }
+        let deadline = self.sim.now() + SimDuration::from_secs(30);
+        while self.sim.now() < deadline {
+            self.sim.run_for(SimDuration::from_millis(20));
+            if let Some(r) = self.sim.actor::<ProbeClient>(pid).reply.clone() {
+                return Ok(r);
+            }
+        }
+        Err("probe timed out".into())
+    }
+
+    /// Runs `warmup + measure + cooldown`, counting only completions
+    /// inside the measurement window (Section 5: 50 s trials with 10 s
+    /// warm-up and cool-down; benches use scaled-down windows).
+    pub fn run_measurement(
+        &mut self,
+        warmup: SimDuration,
+        measure: SimDuration,
+        cooldown: SimDuration,
+    ) -> RunReport {
+        self.sim.run_for(warmup);
+        let w_start = self.sim.now().as_nanos();
+        self.sim.run_for(measure);
+        let w_end = self.sim.now().as_nanos();
+        self.sim.run_for(cooldown);
+
+        let leader_region = self.regions[self.leader.0 as usize];
+        let mut leader_reads = LatencyRecorder::new();
+        let mut follower_reads = LatencyRecorder::new();
+        let mut leader_writes = LatencyRecorder::new();
+        let mut follower_writes = LatencyRecorder::new();
+        let mut completed: u64 = 0;
+        let mut histories = Vec::new();
+        for &c in &self.clients {
+            let region = self.sim.region_of(c);
+            let is_leader_group = region == leader_region;
+            let client = self.sim.actor::<WorkloadClient>(c);
+            for comp in &client.completions {
+                if !(w_start..w_end).contains(&comp.at_ns) {
+                    continue;
+                }
+                completed += 1;
+                match (comp.kind, is_leader_group) {
+                    (OpKind::Read, true) => leader_reads.record_ns(comp.latency_ns),
+                    (OpKind::Read, false) => follower_reads.record_ns(comp.latency_ns),
+                    (OpKind::Write, true) => leader_writes.record_ns(comp.latency_ns),
+                    (OpKind::Write, false) => follower_writes.record_ns(comp.latency_ns),
+                }
+            }
+            histories.extend(client.history.iter().copied());
+        }
+        RunReport {
+            throughput_ops: completed as f64 / measure.as_secs_f64(),
+            leader_reads: leader_reads.paper_triple_ms(),
+            follower_reads: follower_reads.paper_triple_ms(),
+            leader_writes: leader_writes.paper_triple_ms(),
+            follower_writes: follower_writes.paper_triple_ms(),
+            histories,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_elects_every_protocol() {
+        for p in [
+            ProtocolKind::MultiPaxos,
+            ProtocolKind::Raft,
+            ProtocolKind::RaftStar,
+            ProtocolKind::RaftStarPql,
+            ProtocolKind::LeaderLease,
+            ProtocolKind::RaftStarMencius,
+        ] {
+            let mut cluster = Cluster::builder(p).build();
+            cluster.elect_leader();
+            assert!(cluster.has_leader(), "{} has a leader", p.name());
+        }
+    }
+
+    #[test]
+    fn submit_and_wait_round_trips() {
+        let mut cluster = Cluster::builder(ProtocolKind::RaftStar).build();
+        cluster.elect_leader();
+        let r = cluster
+            .submit_and_wait(Op::Put { key: 1, value: vec![7; 16] })
+            .expect("put succeeds");
+        assert_eq!(r, Reply::Done);
+        let r = cluster.submit_and_wait(Op::Get { key: 1 }).expect("get succeeds");
+        assert!(matches!(r, Reply::Value(Some(_))));
+    }
+
+    #[test]
+    fn measurement_produces_throughput_and_latency() {
+        let w = WorkloadConfig { read_fraction: 0.5, conflict_rate: 0.0, ..Default::default() };
+        let mut cluster = Cluster::builder(ProtocolKind::Raft)
+            .clients_per_region(2)
+            .workload(w)
+            .build();
+        cluster.elect_leader();
+        let report = cluster.run_measurement(
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(1),
+        );
+        assert!(report.throughput_ops > 1.0, "got {}", report.throughput_ops);
+        assert!(report.leader_reads.is_some());
+        assert!(report.follower_writes.is_some());
+    }
+}

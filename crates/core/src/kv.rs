@@ -1,0 +1,308 @@
+//! The replicated key-value state machine and client command types.
+//!
+//! The paper's workload is a key-value store initialized with 100K records
+//! (Section 5). Commands carry a unique `(client, seq)` id so replicas can
+//! deduplicate retried requests (exactly-once apply) and so the
+//! linearizability checker can match writes to reads: every written value
+//! embeds its command id in the first 8 bytes.
+
+use std::collections::HashMap;
+
+/// A record key.
+pub type Key = u64;
+
+/// Unique command identifier: issuing client and per-client sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CmdId {
+    /// The logical client number (not a sim actor id).
+    pub client: u32,
+    /// Monotonic per-client sequence number, starting at 1.
+    pub seq: u64,
+}
+
+impl CmdId {
+    /// Packs the id into a 64-bit value-id used as the written value's
+    /// prefix, making every written value unique.
+    pub fn as_value_id(self) -> u64 {
+        ((self.client as u64) << 32) | (self.seq & 0xFFFF_FFFF)
+    }
+}
+
+/// The operation a command performs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Consensus no-op (leader change fill, Mencius skip).
+    Noop,
+    /// Write `value` to `key`.
+    Put {
+        /// Target record.
+        key: Key,
+        /// Value bytes; first 8 bytes hold [`CmdId::as_value_id`].
+        value: Vec<u8>,
+    },
+    /// Read `key`.
+    Get {
+        /// Target record.
+        key: Key,
+    },
+}
+
+impl Op {
+    /// The key this operation touches, if any.
+    pub fn key(&self) -> Option<Key> {
+        match self {
+            Op::Noop => None,
+            Op::Put { key, .. } | Op::Get { key } => Some(*key),
+        }
+    }
+
+    /// Whether this operation modifies state.
+    pub fn is_write(&self) -> bool {
+        matches!(self, Op::Put { .. })
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Op::Noop => 1,
+            Op::Put { value, .. } => 8 + value.len(),
+            Op::Get { .. } => 8,
+        }
+    }
+}
+
+/// A client command: a unique id plus an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Command {
+    /// Unique id for dedup and reply routing.
+    pub id: CmdId,
+    /// The operation.
+    pub op: Op,
+}
+
+impl Command {
+    /// Convenience constructor for a `Put`; embeds the command id in the
+    /// value prefix and pads to `value` length.
+    pub fn put(id: CmdId, key: Key, mut value: Vec<u8>) -> Command {
+        if value.len() < 8 {
+            value.resize(8, 0);
+        }
+        value[..8].copy_from_slice(&id.as_value_id().to_le_bytes());
+        Command { id, op: Op::Put { key, value } }
+    }
+
+    /// Convenience constructor for a `Get`.
+    pub fn get(id: CmdId, key: Key) -> Command {
+        Command { id, op: Op::Get { key } }
+    }
+
+    /// A consensus no-op with a reserved id.
+    pub fn noop() -> Command {
+        Command { id: CmdId { client: u32::MAX, seq: 0 }, op: Op::Noop }
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        12 + self.op.size_bytes()
+    }
+}
+
+/// The result of applying a command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// A `Put` or `Noop` completed.
+    Done,
+    /// A `Get` returned the stored value (or `None` if unset).
+    Value(Option<Vec<u8>>),
+}
+
+impl Reply {
+    /// Extracts the unique value-id prefix of a read value, for the
+    /// linearizability checker.
+    pub fn value_id(&self) -> Option<u64> {
+        match self {
+            Reply::Value(Some(v)) if v.len() >= 8 => {
+                Some(u64::from_le_bytes(v[..8].try_into().expect("8 bytes")))
+            }
+            _ => None,
+        }
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Reply::Done => 1,
+            Reply::Value(v) => 1 + v.as_ref().map_or(0, |b| b.len()),
+        }
+    }
+}
+
+/// The key-value store with client sessions for exactly-once apply.
+#[derive(Debug, Default)]
+pub struct KvStore {
+    table: HashMap<Key, Vec<u8>>,
+    /// Per-client `(last applied seq, last reply)` for dedup on retry.
+    sessions: HashMap<u32, (u64, Reply)>,
+    applied_ops: u64,
+}
+
+impl KvStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    /// Applies a command with exactly-once semantics.
+    ///
+    /// A command whose `(client, seq)` was already applied returns the
+    /// cached reply and does not mutate state; this is what makes client
+    /// retries safe.
+    pub fn apply(&mut self, cmd: &Command) -> Reply {
+        if cmd.id.client != u32::MAX {
+            if let Some((last_seq, last_reply)) = self.sessions.get(&cmd.id.client) {
+                if cmd.id.seq <= *last_seq {
+                    return last_reply.clone();
+                }
+            }
+        }
+        self.applied_ops += 1;
+        let reply = match &cmd.op {
+            Op::Noop => Reply::Done,
+            Op::Put { key, value } => {
+                self.table.insert(*key, value.clone());
+                Reply::Done
+            }
+            Op::Get { key } => Reply::Value(self.table.get(key).cloned()),
+        };
+        if cmd.id.client != u32::MAX {
+            self.sessions.insert(cmd.id.client, (cmd.id.seq, reply.clone()));
+        }
+        reply
+    }
+
+    /// Direct read of a key without logging (the lease-holder local-read
+    /// path). Does not touch sessions.
+    pub fn read_local(&self, key: Key) -> Reply {
+        Reply::Value(self.table.get(&key).cloned())
+    }
+
+    /// Number of state-mutating or reading applies (excluding dedup hits).
+    pub fn applied_ops(&self) -> u64 {
+        self.applied_ops
+    }
+
+    /// Number of keys present.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(c: u32, s: u64) -> CmdId {
+        CmdId { client: c, seq: s }
+    }
+
+    #[test]
+    fn put_then_get() {
+        let mut kv = KvStore::new();
+        assert_eq!(kv.apply(&Command::put(id(1, 1), 7, vec![0; 16])), Reply::Done);
+        let r = kv.apply(&Command::get(id(1, 2), 7));
+        assert_eq!(r.value_id(), Some(id(1, 1).as_value_id()));
+    }
+
+    #[test]
+    fn get_missing_returns_none() {
+        let mut kv = KvStore::new();
+        assert_eq!(kv.apply(&Command::get(id(1, 1), 99)), Reply::Value(None));
+        assert_eq!(Reply::Value(None).value_id(), None);
+    }
+
+    #[test]
+    fn duplicate_seq_is_deduplicated() {
+        let mut kv = KvStore::new();
+        let put1 = Command::put(id(1, 1), 5, vec![0; 8]);
+        kv.apply(&put1);
+        let ops = kv.applied_ops();
+        // Retry of seq 1 must not re-apply.
+        assert_eq!(kv.apply(&put1), Reply::Done);
+        assert_eq!(kv.applied_ops(), ops);
+    }
+
+    #[test]
+    fn dedup_returns_cached_reply() {
+        let mut kv = KvStore::new();
+        kv.apply(&Command::put(id(2, 1), 5, vec![0; 8]));
+        let get = Command::get(id(1, 1), 5);
+        let first = kv.apply(&get);
+        // Another client's write in between.
+        kv.apply(&Command::put(id(2, 2), 5, vec![0; 8]));
+        // Retry of the same get returns the *original* cached reply.
+        assert_eq!(kv.apply(&get), first);
+    }
+
+    #[test]
+    fn stale_seq_does_not_overwrite() {
+        let mut kv = KvStore::new();
+        kv.apply(&Command::put(id(1, 2), 5, vec![0; 8]));
+        // A delayed older command from the same client must be ignored.
+        kv.apply(&Command::put(id(1, 1), 5, vec![0xFF; 8]));
+        let r = kv.read_local(5);
+        assert_eq!(r.value_id(), Some(id(1, 2).as_value_id()));
+    }
+
+    #[test]
+    fn noop_applies_without_session() {
+        let mut kv = KvStore::new();
+        assert_eq!(kv.apply(&Command::noop()), Reply::Done);
+        assert_eq!(kv.apply(&Command::noop()), Reply::Done);
+        assert_eq!(kv.applied_ops(), 2, "noops never dedup");
+    }
+
+    #[test]
+    fn value_id_embedding() {
+        let c = Command::put(id(3, 9), 1, vec![0; 64]);
+        if let Op::Put { value, .. } = &c.op {
+            assert_eq!(value.len(), 64);
+            let vid = u64::from_le_bytes(value[..8].try_into().unwrap());
+            assert_eq!(vid, id(3, 9).as_value_id());
+        } else {
+            panic!("expected put");
+        }
+    }
+
+    #[test]
+    fn short_value_padded_to_id_width() {
+        let c = Command::put(id(1, 1), 1, vec![1, 2, 3]);
+        if let Op::Put { value, .. } = &c.op {
+            assert_eq!(value.len(), 8);
+        } else {
+            panic!("expected put");
+        }
+    }
+
+    #[test]
+    fn sizes_reflect_payload() {
+        let small = Command::put(id(1, 1), 1, vec![0; 8]);
+        let large = Command::put(id(1, 2), 1, vec![0; 4096]);
+        assert!(large.size_bytes() > small.size_bytes());
+        assert_eq!(Command::get(id(1, 3), 1).size_bytes(), 12 + 8);
+        assert_eq!(Command::noop().size_bytes(), 13);
+    }
+
+    #[test]
+    fn read_local_bypasses_sessions() {
+        let mut kv = KvStore::new();
+        kv.apply(&Command::put(id(1, 1), 5, vec![0; 8]));
+        let ops = kv.applied_ops();
+        let _ = kv.read_local(5);
+        assert_eq!(kv.applied_ops(), ops);
+    }
+}

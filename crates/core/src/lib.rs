@@ -1,0 +1,39 @@
+//! # paxraft-core
+//!
+//! Runnable implementations of every protocol the paper touches:
+//!
+//! - [`multipaxos`] — MultiPaxos (Figure 1), the refinement target.
+//! - [`raft`] — standard Raft (the baseline; truncates conflicting
+//!   follower suffixes and keeps original entry terms).
+//! - [`raftstar`] — Raft* (Section 3): vote replies carry extra entries,
+//!   the leader merges safe values, followers never truncate, and every
+//!   entry carries a ballot rewritten on append. Raft* refines MultiPaxos.
+//! - [`pql`] — Paxos Quorum Lease ported to Raft* (Raft*-PQL, Figure 8)
+//!   plus the Leader-Lease (LL) baseline of Section 5.1.
+//! - [`mencius`] — Mencius / Coordinated Paxos ported to Raft*
+//!   (Raft*-Mencius, Appendix A.4): round-robin slot ownership, skips,
+//!   and revocation.
+//!
+//! All replicas are [`paxraft_sim::sim::Actor`]s over a shared [`msg::Msg`]
+//! type, driven by the deterministic simulator. The [`harness`] module
+//! assembles geo-replicated clusters with closed-loop clients and collects
+//! the paper's metrics.
+
+pub mod client;
+pub mod config;
+pub mod costs;
+pub mod harness;
+pub mod kv;
+pub mod log;
+pub mod msg;
+pub mod mencius;
+pub mod multipaxos;
+pub mod pql;
+pub mod probe;
+pub mod raft;
+pub mod raftstar;
+pub mod replicate;
+pub mod types;
+
+#[cfg(test)]
+pub(crate) mod testutil;

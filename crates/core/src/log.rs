@@ -1,0 +1,258 @@
+//! The replicated log shared by the Raft-family replicas.
+//!
+//! Entries carry both a `term` (Raft's per-entry term) and a `bal` field —
+//! the ballot Raft* adds so that a refinement mapping to MultiPaxos exists
+//! (Section 3: "a ballot field is added to each entry; on appending a new
+//! entry, Raft* will change all entries' ballot to be the new entry's
+//! term").
+//!
+//! Standard Raft uses [`Log::truncate_from`] to erase conflicting
+//! suffixes; Raft* never truncates — it uses [`Log::replace_suffix`],
+//! which only ever overwrites or extends (the "no erasing" restriction
+//! that makes Raft* map onto Paxos, Section 3).
+
+use crate::kv::Command;
+use crate::types::{Slot, Term};
+
+/// One log entry / Paxos instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Raft entry term (Figure 2's `log[i].term`).
+    pub term: Term,
+    /// Paxos-style accepted ballot (Figure 2's `log[i].bal`, added by Raft*).
+    pub bal: Term,
+    /// The replicated command.
+    pub cmd: Command,
+}
+
+impl Entry {
+    /// Approximate wire size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        16 + self.cmd.size_bytes()
+    }
+}
+
+/// A 1-based append-only-ish log. `Slot(0)` is the empty sentinel.
+#[derive(Debug, Clone, Default)]
+pub struct Log {
+    entries: Vec<Entry>,
+}
+
+impl Log {
+    /// An empty log.
+    pub fn new() -> Self {
+        Log::default()
+    }
+
+    /// Index of the last entry, or [`Slot::NONE`] when empty.
+    pub fn last_index(&self) -> Slot {
+        Slot(self.entries.len() as u64)
+    }
+
+    /// Term of the last entry ([`Term::ZERO`] when empty).
+    pub fn last_term(&self) -> Term {
+        self.entries.last().map_or(Term::ZERO, |e| e.term)
+    }
+
+    /// The entry at `slot`, if present.
+    pub fn get(&self, slot: Slot) -> Option<&Entry> {
+        if slot == Slot::NONE {
+            return None;
+        }
+        self.entries.get(slot.0 as usize - 1)
+    }
+
+    /// Term at `slot`; [`Slot::NONE`] maps to [`Term::ZERO`] (the paper's
+    /// `log[-1].term = -1` convention). Returns `None` past the end.
+    pub fn term_at(&self, slot: Slot) -> Option<Term> {
+        if slot == Slot::NONE {
+            Some(Term::ZERO)
+        } else {
+            self.get(slot).map(|e| e.term)
+        }
+    }
+
+    /// Appends an entry, returning its slot.
+    pub fn append(&mut self, entry: Entry) -> Slot {
+        self.entries.push(entry);
+        self.last_index()
+    }
+
+    /// Whether `(prev, prev_term)` matches this log (the AppendEntries
+    /// consistency check).
+    pub fn matches(&self, prev: Slot, prev_term: Term) -> bool {
+        self.term_at(prev) == Some(prev_term)
+    }
+
+    /// **Raft only.** Removes every entry at `slot` and beyond. This is
+    /// the "erase extraneous entries" step that has no MultiPaxos
+    /// counterpart (Section 3's first obstacle to a direct mapping).
+    pub fn truncate_from(&mut self, slot: Slot) {
+        assert!(slot != Slot::NONE, "cannot truncate from the sentinel");
+        self.entries.truncate(slot.0 as usize - 1);
+    }
+
+    /// **Raft\*.** Replaces the entries after `prev` with `entries`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replacement would *shorten* the log — Raft* acceptors
+    /// must reject such appends (Figure 2b: `lastIndex ≤ prev +
+    /// length(ents)`), so reaching this state is a protocol bug.
+    pub fn replace_suffix(&mut self, prev: Slot, entries: Vec<Entry>) {
+        let new_last = prev.0 + entries.len() as u64;
+        assert!(
+            new_last >= self.last_index().0,
+            "Raft* replace_suffix would shorten the log ({} < {})",
+            new_last,
+            self.last_index().0
+        );
+        self.entries.truncate(prev.0 as usize);
+        self.entries.extend(entries);
+    }
+
+    /// **Raft\*.** Sets `bal = term` on every entry up to and including
+    /// `upto` (Figure 2's "change all entries' ballot to be the new
+    /// entry's term").
+    pub fn set_bal_upto(&mut self, upto: Slot, term: Term) {
+        let n = (upto.0 as usize).min(self.entries.len());
+        for e in &mut self.entries[..n] {
+            e.bal = term;
+        }
+    }
+
+    /// Clones the entries strictly after `prev` (for AppendEntries
+    /// payloads and Raft* vote-reply extras).
+    pub fn suffix_from(&self, prev: Slot) -> Vec<Entry> {
+        self.entries[(prev.0 as usize).min(self.entries.len())..].to_vec()
+    }
+
+    /// Iterates entries with their slots.
+    pub fn iter(&self) -> impl Iterator<Item = (Slot, &Entry)> {
+        self.entries.iter().enumerate().map(|(i, e)| (Slot(i as u64 + 1), e))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::{CmdId, Command};
+
+    fn entry(term: u64, key: u64) -> Entry {
+        Entry {
+            term: Term(term),
+            bal: Term(term),
+            cmd: Command::put(CmdId { client: 1, seq: key }, key, vec![0; 8]),
+        }
+    }
+
+    #[test]
+    fn empty_log_sentinels() {
+        let log = Log::new();
+        assert_eq!(log.last_index(), Slot::NONE);
+        assert_eq!(log.last_term(), Term::ZERO);
+        assert_eq!(log.term_at(Slot::NONE), Some(Term::ZERO));
+        assert_eq!(log.term_at(Slot(1)), None);
+        assert!(log.matches(Slot::NONE, Term::ZERO));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn append_and_get() {
+        let mut log = Log::new();
+        assert_eq!(log.append(entry(1, 10)), Slot(1));
+        assert_eq!(log.append(entry(1, 11)), Slot(2));
+        assert_eq!(log.get(Slot(2)).unwrap().cmd.op.key(), Some(11));
+        assert_eq!(log.last_term(), Term(1));
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn matches_consistency_check() {
+        let mut log = Log::new();
+        log.append(entry(1, 1));
+        log.append(entry(2, 2));
+        assert!(log.matches(Slot(2), Term(2)));
+        assert!(!log.matches(Slot(2), Term(1)));
+        assert!(!log.matches(Slot(3), Term(2)), "past the end never matches");
+    }
+
+    #[test]
+    fn raft_truncation_erases_suffix() {
+        let mut log = Log::new();
+        for i in 0..5 {
+            log.append(entry(1, i));
+        }
+        log.truncate_from(Slot(3));
+        assert_eq!(log.last_index(), Slot(2));
+        assert!(log.get(Slot(3)).is_none());
+    }
+
+    #[test]
+    fn raftstar_replace_suffix_overwrites() {
+        let mut log = Log::new();
+        log.append(entry(1, 1));
+        log.append(entry(1, 2));
+        log.replace_suffix(Slot(1), vec![entry(2, 20), entry(2, 21)]);
+        assert_eq!(log.last_index(), Slot(3));
+        assert_eq!(log.get(Slot(2)).unwrap().term, Term(2));
+        assert_eq!(log.get(Slot(1)).unwrap().term, Term(1), "prefix untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "shorten")]
+    fn raftstar_replace_suffix_rejects_shortening() {
+        let mut log = Log::new();
+        for i in 0..4 {
+            log.append(entry(1, i));
+        }
+        // prev=1 with one entry would leave lastIndex 2 < 4.
+        log.replace_suffix(Slot(1), vec![entry(2, 9)]);
+    }
+
+    #[test]
+    fn bal_rewrite_covers_prefix() {
+        let mut log = Log::new();
+        log.append(entry(1, 1));
+        log.append(entry(2, 2));
+        log.append(entry(2, 3));
+        log.set_bal_upto(Slot(2), Term(7));
+        assert_eq!(log.get(Slot(1)).unwrap().bal, Term(7));
+        assert_eq!(log.get(Slot(2)).unwrap().bal, Term(7));
+        assert_eq!(log.get(Slot(3)).unwrap().bal, Term(2), "beyond upto untouched");
+        // Terms are never rewritten by bal updates.
+        assert_eq!(log.get(Slot(1)).unwrap().term, Term(1));
+    }
+
+    #[test]
+    fn suffix_from_clones_tail() {
+        let mut log = Log::new();
+        for i in 0..4 {
+            log.append(entry(1, i));
+        }
+        let tail = log.suffix_from(Slot(2));
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].cmd.op.key(), Some(2));
+        assert!(log.suffix_from(Slot(9)).is_empty());
+        assert_eq!(log.suffix_from(Slot::NONE).len(), 4);
+    }
+
+    #[test]
+    fn iter_yields_one_based_slots() {
+        let mut log = Log::new();
+        log.append(entry(1, 5));
+        log.append(entry(1, 6));
+        let slots: Vec<Slot> = log.iter().map(|(s, _)| s).collect();
+        assert_eq!(slots, vec![Slot(1), Slot(2)]);
+    }
+}

@@ -1,0 +1,894 @@
+//! Raft*-Mencius (Appendix A.3–A.4): coordinated Raft* with round-robin
+//! slot ownership.
+//!
+//! Every replica is the *default leader* of the slots `s` with
+//! `(s - 1) mod n == id`. A client sends requests to its nearest replica,
+//! which proposes them in its own slots (`Suggest`, the `isDefault`
+//! append). Replicas that fall behind *skip* their unused slots — a
+//! watermark piggybacked on every `SuggestOk` and broadcast as
+//! `SkipNotice` ("each replica keeps committing skip to keep the system
+//! moving forward"). A skipped slot is a no-op from the default leader,
+//! so by the coordinated-Paxos property it is executable without waiting
+//! for a commit round.
+//!
+//! Watermark safety relies on FIFO links (the simulator models TCP): all
+//! of an owner's suggestions reach a peer before any watermark that
+//! passes them, so "no suggestion seen below the watermark" really means
+//! "skipped".
+//!
+//! Responses follow the paper's two regimes (Section 5.2):
+//! - **commutative (low conflict)**: a write is acknowledged once its
+//!   slot commits and every other owner's slots below it are *known*
+//!   (suggested or skipped) — nothing earlier can conflict;
+//! - **conflicting**: the write additionally waits until every earlier
+//!   entry on the same key has applied, which requires learning the
+//!   other servers' commit decisions on previous entries — the extra
+//!   latency Figure 10c/d shows for Mencius-100%.
+//!
+//! Crashed owners are handled by *revocation*: after a silence timeout a
+//! peer raises a ballot above the owner's, collects accepted values for
+//! the owner's undecided range (phase-1), re-proposes what was accepted
+//! and no-ops the rest (Appendix A.3's recovery leader).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use paxraft_sim::impl_actor_any;
+use paxraft_sim::sim::{Actor, ActorId, Ctx};
+use paxraft_sim::time::SimTime;
+
+use crate::config::ReplicaConfig;
+use crate::kv::{Command, Key, KvStore, Op};
+use crate::msg::{ClientMsg, MenciusMsg, Msg};
+use crate::types::{max_failures, NodeId, Slot, Term};
+
+const T_BATCH: u64 = 3 << 48;
+const T_COORD: u64 = 6 << 48;
+const KIND_MASK: u64 = 0xFFFF << 48;
+
+/// Per-slot state.
+#[derive(Debug, Clone, Default)]
+struct MSlot {
+    /// Accepted value, if any.
+    cmd: Option<Command>,
+    /// Ballot of the accepted value / promised revocation ballot.
+    bal: Term,
+    /// Decided (majority-acked, or revocation-decided).
+    committed: bool,
+    /// Skipped no-op (own slots only; remote skips derive from
+    /// watermarks).
+    skipped: bool,
+    /// Owner-side acknowledgement bitmap.
+    acks: u64,
+    /// Whether the owner already answered the client.
+    responded: bool,
+}
+
+/// An in-flight revocation of a crashed owner's slots.
+#[derive(Debug)]
+struct RevokeOp {
+    term: Term,
+    owner: NodeId,
+    from: Slot,
+    through: Slot,
+    acks: u64,
+    /// Highest-ballot accepted values reported for the range.
+    accepted: BTreeMap<u64, (Term, Command)>,
+}
+
+/// A Raft*-Mencius replica.
+pub struct MenciusReplica {
+    cfg: ReplicaConfig,
+    current_term: Term,
+    slots: BTreeMap<u64, MSlot>,
+    /// My next unused owned slot; doubles as my skip watermark.
+    next_own: Slot,
+    /// Exclusive bound of *known* slots per peer owner: every slot of
+    /// theirs below this is suggested-or-skipped.
+    known_upto: Vec<Slot>,
+    /// Applied prefix.
+    exec_index: Slot,
+    kv: KvStore,
+    /// Slots (of any owner) decided but whose value never arrived
+    /// (reordered revocation); re-checked as values land.
+    committed_no_value: BTreeSet<u64>,
+    /// Put slots per key, for the conflicting-response rule.
+    key_slots: HashMap<Key, BTreeSet<u64>>,
+    /// Own committed slots waiting for the respond condition.
+    await_respond: Vec<Slot>,
+    pending: Vec<Command>,
+    batch_armed: bool,
+    commit_buf: Vec<Slot>,
+    last_heard: Vec<SimTime>,
+    revoke: Option<RevokeOp>,
+    last_revoke_attempt: SimTime,
+    /// Client responses sent (stats).
+    pub responses_sent: u64,
+    /// Slots this replica skipped (stats).
+    pub skips_issued: u64,
+}
+
+impl MenciusReplica {
+    /// Creates a replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: ReplicaConfig) -> Self {
+        cfg.validate().expect("invalid replica config");
+        let n = cfg.n;
+        let me = cfg.id;
+        MenciusReplica {
+            current_term: Term::encode(1, me, n),
+            next_own: Slot(me.0 as u64 + 1),
+            known_upto: vec![Slot(1); n],
+            slots: BTreeMap::new(),
+            exec_index: Slot::NONE,
+            kv: KvStore::new(),
+            committed_no_value: BTreeSet::new(),
+            key_slots: HashMap::new(),
+            await_respond: Vec::new(),
+            pending: Vec::new(),
+            batch_armed: false,
+            commit_buf: Vec::new(),
+            last_heard: vec![SimTime::ZERO; n],
+            revoke: None,
+            last_revoke_attempt: SimTime::ZERO,
+            responses_sent: 0,
+            skips_issued: 0,
+            cfg,
+        }
+    }
+
+    /// The default leader of a slot: `(s - 1) mod n`.
+    pub fn owner_of(slot: Slot, n: usize) -> NodeId {
+        NodeId(((slot.0 - 1) % n as u64) as u32)
+    }
+
+    /// Applied prefix (tests).
+    pub fn exec_index(&self) -> Slot {
+        self.exec_index
+    }
+
+    /// State machine view (tests).
+    pub fn kv(&self) -> &KvStore {
+        &self.kv
+    }
+
+    /// Decided command at `slot` (`None` when undecided; `Some(None)`
+    /// would be unrepresentable — skipped slots report the no-op).
+    pub fn decided_at(&self, slot: Slot) -> Option<Command> {
+        let owner = Self::owner_of(slot, self.cfg.n);
+        if let Some(s) = self.slots.get(&slot.0) {
+            if s.committed {
+                return s.cmd.clone();
+            }
+            if s.skipped {
+                return Some(Command::noop());
+            }
+        }
+        if owner == self.cfg.id {
+            if slot < self.next_own && self.slots.get(&slot.0).map(|s| s.cmd.is_none()).unwrap_or(true) {
+                return Some(Command::noop());
+            }
+        } else if slot < self.known_upto[owner.0 as usize]
+            && self.slots.get(&slot.0).map(|s| s.cmd.is_none()).unwrap_or(true)
+        {
+            return Some(Command::noop());
+        }
+        None
+    }
+
+    fn me_bit(&self) -> u64 {
+        1 << self.cfg.id.0
+    }
+
+    fn arm_batch(&mut self, ctx: &mut Ctx<Msg>) {
+        if !self.batch_armed {
+            self.batch_armed = true;
+            ctx.set_timer(self.cfg.batch_delay, T_BATCH);
+        }
+    }
+
+    fn broadcast(&self, ctx: &mut Ctx<Msg>, msg: MenciusMsg) {
+        for peer in self.cfg.others() {
+            ctx.send(self.cfg.peer(peer), Msg::Mencius(msg.clone()));
+        }
+    }
+
+    /// My next owned slot at or after `x`.
+    fn own_slot_at_or_after(&self, x: Slot) -> Slot {
+        let n = self.cfg.n as u64;
+        let me = self.cfg.id.0 as u64;
+        let x = x.0.max(1);
+        // Smallest s >= x with (s - 1) % n == me.
+        let rem = (x - 1) % n;
+        let delta = (me + n - rem) % n;
+        Slot(x + delta)
+    }
+
+    /// Flush pending commands into my own slots (`Suggest`).
+    fn flush_pending(&mut self, ctx: &mut Ctx<Msg>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let cmds = std::mem::take(&mut self.pending);
+        let bytes: usize = cmds.iter().map(Command::size_bytes).sum();
+        ctx.charge(
+            self.cfg.costs.propose_fixed
+                + (self.cfg.costs.propose_per_cmd + self.cfg.costs.coord_per_cmd)
+                    * cmds.len() as u64
+                + self.cfg.costs.size_cost(bytes),
+        );
+        let mut items = Vec::with_capacity(cmds.len());
+        let me_bit = self.me_bit();
+        for cmd in cmds {
+            let s = self.next_own;
+            self.next_own = Slot(self.next_own.0 + self.cfg.n as u64);
+            self.accept_value(s, self.current_term, cmd.clone());
+            let slot = self.slots.get_mut(&s.0).expect("just accepted");
+            slot.acks = me_bit;
+            items.push((s, cmd));
+        }
+        self.broadcast(
+            ctx,
+            MenciusMsg::Suggest {
+                term: self.current_term,
+                items,
+                watermark: self.next_own,
+            },
+        );
+        self.try_execute(ctx);
+    }
+
+    /// Stores an accepted value and indexes its key.
+    fn accept_value(&mut self, s: Slot, term: Term, cmd: Command) {
+        if let Op::Put { key, .. } = &cmd.op {
+            self.key_slots.entry(*key).or_default().insert(s.0);
+        }
+        let slot = self.slots.entry(s.0).or_default();
+        slot.cmd = Some(cmd);
+        if term > slot.bal {
+            slot.bal = term;
+        }
+        if self.committed_no_value.remove(&s.0) {
+            slot.committed = true;
+        }
+    }
+
+    /// Advances my own watermark to cover everything below `target`
+    /// (skipping unused own slots), broadcasting the skip if it moved.
+    fn maybe_skip_to(&mut self, ctx: &mut Ctx<Msg>, target: Slot) {
+        if target <= self.next_own {
+            return;
+        }
+        let new_own = self.own_slot_at_or_after(target);
+        let mut s = self.next_own;
+        while s < new_own {
+            let slot = self.slots.entry(s.0).or_default();
+            if slot.cmd.is_none() {
+                slot.skipped = true;
+                self.skips_issued += 1;
+            }
+            s = Slot(s.0 + self.cfg.n as u64);
+        }
+        self.next_own = new_own;
+        self.broadcast(ctx, MenciusMsg::SkipNotice { watermark: self.next_own });
+    }
+
+    fn note_known(&mut self, owner: NodeId, upto_exclusive: Slot) {
+        if owner == self.cfg.id {
+            return;
+        }
+        let k = &mut self.known_upto[owner.0 as usize];
+        if upto_exclusive > *k {
+            *k = upto_exclusive;
+        }
+    }
+
+    /// The respond condition's coverage part: every other owner's slots
+    /// below `s` are known (suggested or skipped).
+    fn covered(&self, s: Slot) -> bool {
+        self.cfg.others().all(|o| self.known_upto[o.0 as usize] >= s)
+    }
+
+    /// The respond condition's conflict part: every earlier write to the
+    /// same key has applied.
+    fn conflicts_applied(&self, s: Slot, cmd: &Command) -> bool {
+        let Some(key) = cmd.op.key() else { return true };
+        let Some(slots) = self.key_slots.get(&key) else { return true };
+        match slots.range(..s.0).next_back() {
+            Some(&c) => self.exec_index.0 >= c,
+            None => true,
+        }
+    }
+
+    /// Answers clients for own slots whose respond condition now holds.
+    fn try_respond(&mut self, ctx: &mut Ctx<Msg>) {
+        let mut still = Vec::new();
+        let await_list = std::mem::take(&mut self.await_respond);
+        for s in await_list {
+            let Some(slot) = self.slots.get(&s.0) else { continue };
+            if slot.responded || slot.cmd.is_none() {
+                continue;
+            }
+            let cmd = slot.cmd.clone().expect("checked");
+            let is_get = matches!(cmd.op, Op::Get { .. });
+            let ready = slot.committed
+                && self.covered(s)
+                && if is_get {
+                    // Reads need the value: wait for in-order apply.
+                    self.exec_index >= s
+                } else {
+                    self.conflicts_applied(s, &cmd)
+                };
+            if ready {
+                let reply = if is_get {
+                    let Op::Get { key } = cmd.op else { unreachable!() };
+                    self.kv.read_local(key)
+                } else {
+                    crate::kv::Reply::Done
+                };
+                ctx.charge(self.cfg.costs.reply_fixed);
+                ctx.send(
+                    self.cfg.client_actor(cmd.id.client),
+                    Msg::Client(ClientMsg::Response { id: cmd.id, reply }),
+                );
+                self.responses_sent += 1;
+                self.slots.get_mut(&s.0).expect("exists").responded = true;
+            } else {
+                still.push(s);
+            }
+        }
+        self.await_respond = still;
+    }
+
+    /// Applies the decided prefix in slot order.
+    fn try_execute(&mut self, ctx: &mut Ctx<Msg>) {
+        loop {
+            let next = self.exec_index.next();
+            let Some(cmd) = self.decided_at(next) else { break };
+            if !matches!(cmd.op, Op::Noop) {
+                ctx.charge(self.cfg.costs.apply_per_cmd);
+                self.kv.apply(&cmd);
+            }
+            self.exec_index = next;
+        }
+        self.try_respond(ctx);
+    }
+
+    fn flush_commits(&mut self, ctx: &mut Ctx<Msg>) {
+        if !self.commit_buf.is_empty() {
+            let slots = std::mem::take(&mut self.commit_buf);
+            self.broadcast(ctx, MenciusMsg::Commit { slots });
+        }
+    }
+
+    /// The highest slot any owner is known to have reached (sizing the
+    /// revocation range).
+    fn horizon(&self) -> Slot {
+        let max_slot = self.slots.keys().next_back().copied().unwrap_or(0);
+        let max_known = self.known_upto.iter().map(|s| s.0).max().unwrap_or(0);
+        Slot(max_slot.max(max_known).max(self.next_own.0))
+    }
+
+    /// Starts revocation of `owner`'s undecided slots when they block
+    /// execution and the owner has been silent.
+    fn maybe_revoke(&mut self, ctx: &mut Ctx<Msg>) {
+        if self.revoke.is_some() {
+            return;
+        }
+        let next = self.exec_index.next();
+        if self.decided_at(next).is_some() {
+            return; // not blocked
+        }
+        let owner = Self::owner_of(next, self.cfg.n);
+        if owner == self.cfg.id {
+            return; // our own slot: flush/batch will handle it
+        }
+        let now = ctx.now();
+        let silent = now.since(self.last_heard[owner.0 as usize].min(now));
+        if silent < self.cfg.mencius.revoke_timeout
+            || now.since(self.last_revoke_attempt.min(now)) < self.cfg.mencius.revoke_timeout
+        {
+            return;
+        }
+        self.last_revoke_attempt = now;
+        self.current_term = self.current_term.next_for(self.cfg.id, self.cfg.n);
+        let through = Slot(self.horizon().0 + self.cfg.n as u64);
+        let op = RevokeOp {
+            term: self.current_term,
+            owner,
+            from: next,
+            through,
+            acks: self.me_bit(),
+            accepted: self.accepted_in_range(owner, next, through),
+        };
+        self.broadcast(
+            ctx,
+            MenciusMsg::Revoke { term: op.term, owner, from: next, through },
+        );
+        // Promise locally.
+        self.promise_range(owner, next, through, op.term);
+        self.revoke = Some(op);
+    }
+
+    fn accepted_in_range(
+        &self,
+        owner: NodeId,
+        from: Slot,
+        through: Slot,
+    ) -> BTreeMap<u64, (Term, Command)> {
+        let mut out = BTreeMap::new();
+        for (&s, slot) in self.slots.range(from.0..=through.0) {
+            if Self::owner_of(Slot(s), self.cfg.n) == owner {
+                if let Some(cmd) = &slot.cmd {
+                    out.insert(s, (slot.bal, cmd.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Raises the ballot on `owner`'s undecided slots in the range so the
+    /// (possibly alive) owner can no longer commit there.
+    fn promise_range(&mut self, owner: NodeId, from: Slot, through: Slot, term: Term) {
+        let n = self.cfg.n as u64;
+        let mut s = {
+            // First slot of `owner` at or after `from`.
+            let rem = (from.0.max(1) - 1) % n;
+            let delta = (owner.0 as u64 + n - rem) % n;
+            Slot(from.0.max(1) + delta)
+        };
+        while s <= through {
+            let slot = self.slots.entry(s.0).or_default();
+            if term > slot.bal {
+                slot.bal = term;
+            }
+            s = Slot(s.0 + n);
+        }
+    }
+
+    fn on_mencius(&mut self, ctx: &mut Ctx<Msg>, from: ActorId, msg: MenciusMsg) {
+        let peer = NodeId(from.0 as u32);
+        self.last_heard[peer.0 as usize] = ctx.now();
+        match msg {
+            MenciusMsg::Suggest { term, items, watermark } => {
+                let bytes: usize = items.iter().map(|(_, c)| c.size_bytes()).sum();
+                ctx.charge(
+                    self.cfg.costs.append_fixed
+                        + (self.cfg.costs.append_per_cmd + self.cfg.costs.coord_per_cmd)
+                            * items.len().max(1) as u64
+                        + self.cfg.costs.size_cost(bytes),
+                );
+                let mut acked = Vec::new();
+                let mut rejected = Vec::new();
+                let mut reject_term = Term::ZERO;
+                let mut max_slot = Slot::NONE;
+                for (s, cmd) in items {
+                    let bal = self.slots.get(&s.0).map(|x| x.bal).unwrap_or(Term::ZERO);
+                    if term >= bal {
+                        self.accept_value(s, term, cmd);
+                        acked.push(s);
+                        if s > max_slot {
+                            max_slot = s;
+                        }
+                    } else {
+                        rejected.push(s);
+                        reject_term = reject_term.max(bal);
+                    }
+                }
+                self.note_known(peer, watermark.max(max_slot.next()));
+                // Skip my own unused slots below the suggestion (the
+                // piggybacked skip of Appendix A.3).
+                self.maybe_skip_to(ctx, max_slot);
+                if !acked.is_empty() {
+                    ctx.send(
+                        from,
+                        Msg::Mencius(MenciusMsg::SuggestOk {
+                            term,
+                            slots: acked,
+                            watermark: self.next_own,
+                        }),
+                    );
+                }
+                if !rejected.is_empty() {
+                    ctx.send(
+                        from,
+                        Msg::Mencius(MenciusMsg::SuggestReject {
+                            slots: rejected,
+                            term: reject_term,
+                        }),
+                    );
+                }
+                self.try_execute(ctx);
+            }
+            MenciusMsg::SuggestOk { term, slots, watermark } => {
+                ctx.charge(self.cfg.costs.ack_process);
+                self.note_known(peer, watermark);
+                let bit = 1u64 << peer.0;
+                let quorum_extra = max_failures(self.cfg.n); // f followers + me
+                for s in slots {
+                    let Some(slot) = self.slots.get_mut(&s.0) else { continue };
+                    if slot.bal != term || slot.committed {
+                        continue;
+                    }
+                    slot.acks |= bit;
+                    if slot.acks.count_ones() as usize >= quorum_extra + 1 {
+                        slot.committed = true;
+                        self.commit_buf.push(s);
+                        self.await_respond.push(s);
+                    }
+                }
+                self.flush_commits(ctx);
+                self.try_execute(ctx);
+            }
+            MenciusMsg::SuggestReject { slots, term } => {
+                // Our slots were revoked: re-propose the commands in
+                // fresh slots above the revoked range.
+                if term > self.current_term {
+                    self.current_term = self.current_term.next_for(self.cfg.id, self.cfg.n);
+                    while self.current_term < term {
+                        self.current_term =
+                            self.current_term.next_for(self.cfg.id, self.cfg.n);
+                    }
+                }
+                for s in slots {
+                    let Some(slot) = self.slots.get_mut(&s.0) else { continue };
+                    if slot.committed || slot.responded {
+                        continue;
+                    }
+                    if let Some(cmd) = slot.cmd.take() {
+                        slot.skipped = true; // treat as noop locally
+                        self.pending.push(cmd);
+                    }
+                }
+                if !self.pending.is_empty() {
+                    self.arm_batch(ctx);
+                }
+            }
+            MenciusMsg::SkipNotice { watermark } => {
+                ctx.charge(self.cfg.costs.coord_msg);
+                self.note_known(peer, watermark);
+                self.try_execute(ctx);
+            }
+            MenciusMsg::Commit { slots } => {
+                ctx.charge(self.cfg.costs.coord_msg);
+                for s in slots {
+                    match self.slots.get_mut(&s.0) {
+                        Some(slot) if slot.cmd.is_some() => slot.committed = true,
+                        _ => {
+                            self.committed_no_value.insert(s.0);
+                        }
+                    }
+                    self.note_known(peer, Slot(s.0 + 1));
+                }
+                self.try_execute(ctx);
+            }
+            MenciusMsg::Revoke { term, owner, from: rfrom, through } => {
+                if term > self.current_term {
+                    // Promise: raise ballots on the revoked range.
+                    let accepted: Vec<(Slot, Term, Command)> = self
+                        .accepted_in_range(owner, rfrom, through)
+                        .into_iter()
+                        .map(|(s, (b, c))| (Slot(s), b, c))
+                        .collect();
+                    self.promise_range(owner, rfrom, through, term);
+                    ctx.send(
+                        from,
+                        Msg::Mencius(MenciusMsg::RevokeOk { term, owner, accepted }),
+                    );
+                }
+            }
+            MenciusMsg::RevokeOk { term, owner, accepted } => {
+                let finished = {
+                    let Some(op) = self.revoke.as_mut() else { return };
+                    if op.term != term || op.owner != owner {
+                        return;
+                    }
+                    op.acks |= 1 << peer.0;
+                    for (s, b, c) in accepted {
+                        match op.accepted.get(&s.0) {
+                            Some((ob, _)) if *ob >= b => {}
+                            _ => {
+                                op.accepted.insert(s.0, (b, c));
+                            }
+                        }
+                    }
+                    op.acks.count_ones() as usize >= max_failures(self.cfg.n) + 1
+                };
+                if finished {
+                    let op = self.revoke.take().expect("checked");
+                    let n = self.cfg.n as u64;
+                    let mut items = Vec::new();
+                    let mut s = {
+                        let rem = (op.from.0.max(1) - 1) % n;
+                        let delta = (op.owner.0 as u64 + n - rem) % n;
+                        Slot(op.from.0.max(1) + delta)
+                    };
+                    while s <= op.through {
+                        let cmd = op
+                            .accepted
+                            .get(&s.0)
+                            .map(|(_, c)| c.clone())
+                            .unwrap_or_else(Command::noop);
+                        items.push((s, cmd));
+                        s = Slot(s.0 + n);
+                    }
+                    // Decide locally and broadcast.
+                    for (s, cmd) in &items {
+                        self.accept_value(*s, op.term, cmd.clone());
+                        let slot = self.slots.get_mut(&s.0).expect("accepted");
+                        slot.committed = true;
+                    }
+                    self.note_known(op.owner, Slot(op.through.0 + 1));
+                    self.broadcast(
+                        ctx,
+                        MenciusMsg::RevokeCommit { term: op.term, items },
+                    );
+                    self.try_execute(ctx);
+                }
+            }
+            MenciusMsg::RevokeCommit { term, items } => {
+                let mut reproposed = false;
+                for (s, cmd) in items {
+                    let owner = Self::owner_of(s, self.cfg.n);
+                    // If our own in-flight command was no-oped, re-propose.
+                    if owner == self.cfg.id {
+                        if let Some(slot) = self.slots.get(&s.0) {
+                            if !slot.responded {
+                                if let Some(mine) = &slot.cmd {
+                                    if *mine != cmd {
+                                        self.pending.push(mine.clone());
+                                        reproposed = true;
+                                    }
+                                }
+                            }
+                        }
+                        // Our future proposals must clear the range.
+                        let above = self.own_slot_at_or_after(s.next());
+                        if above > self.next_own {
+                            self.next_own = above;
+                        }
+                    }
+                    self.accept_value(s, term, cmd);
+                    let slot = self.slots.get_mut(&s.0).expect("accepted");
+                    if term >= slot.bal {
+                        slot.committed = true;
+                    }
+                    self.note_known(owner, s.next());
+                }
+                if reproposed {
+                    self.arm_batch(ctx);
+                }
+                self.try_execute(ctx);
+            }
+        }
+    }
+}
+
+impl Actor<Msg> for MenciusReplica {
+    fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+        ctx.set_timer(self.cfg.mencius.skip_heartbeat, T_COORD);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Msg>, from: ActorId, msg: Msg) {
+        match msg {
+            Msg::Mencius(m) => self.on_mencius(ctx, from, m),
+            Msg::Client(ClientMsg::Request { cmd }) => {
+                ctx.charge(self.cfg.costs.client_req);
+                self.pending.push(cmd);
+                if self.pending.len() >= self.cfg.batch_max {
+                    self.flush_pending(ctx);
+                } else {
+                    self.arm_batch(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Msg>, token: u64) {
+        match token & KIND_MASK {
+            T_BATCH => {
+                self.batch_armed = false;
+                if !self.pending.is_empty() {
+                    self.flush_pending(ctx);
+                }
+            }
+            T_COORD => {
+                // Keepalive watermark, commit flush, revocation check.
+                self.broadcast(ctx, MenciusMsg::SkipNotice { watermark: self.next_own });
+                self.flush_commits(ctx);
+                self.maybe_revoke(ctx);
+                self.try_execute(ctx);
+                ctx.set_timer(self.cfg.mencius.skip_heartbeat, T_COORD);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // Stable storage: slots (accepted values, ballots, commits) and
+        // current_term. Volatile: pending work and respond queues.
+        self.pending.clear();
+        self.await_respond.clear();
+        self.commit_buf.clear();
+        self.batch_armed = false;
+        self.revoke = None;
+        self.kv = KvStore::new();
+        self.exec_index = Slot::NONE;
+    }
+
+    impl_actor_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{drive_until, region_of, TestClient};
+    use paxraft_sim::net::NetConfig;
+    use paxraft_sim::time::SimDuration;
+    use paxraft_sim::sim::Simulation;
+    use paxraft_sim::time::SimTime;
+
+    /// n replicas plus one TestClient per replica (client i → replica i).
+    fn mencius_cluster(n: usize) -> (Simulation<Msg>, Vec<ActorId>, Vec<ActorId>) {
+        let mut sim = Simulation::new(NetConfig::default(), 11);
+        let peers: Vec<ActorId> = (0..n).map(ActorId).collect();
+        let mut replicas = Vec::new();
+        for i in 0..n {
+            let mut cfg = ReplicaConfig::wan_default(NodeId(i as u32), n);
+            cfg.peers = peers.clone();
+            cfg.client_base = n;
+            cfg.mencius.revoke_timeout = SimDuration::from_secs(2);
+            replicas.push(sim.add_actor(region_of(i), Box::new(MenciusReplica::new(cfg))));
+        }
+        let mut clients = Vec::new();
+        for i in 0..n {
+            let c = TestClient::new(i as u32, replicas[i]);
+            clients.push(sim.add_actor(region_of(i), Box::new(c)));
+        }
+        (sim, replicas, clients)
+    }
+
+    #[test]
+    fn owner_assignment_round_robin() {
+        assert_eq!(MenciusReplica::owner_of(Slot(1), 3), NodeId(0));
+        assert_eq!(MenciusReplica::owner_of(Slot(2), 3), NodeId(1));
+        assert_eq!(MenciusReplica::owner_of(Slot(3), 3), NodeId(2));
+        assert_eq!(MenciusReplica::owner_of(Slot(4), 3), NodeId(0));
+    }
+
+    #[test]
+    fn single_client_commits_with_skips() {
+        let (mut sim, replicas, clients) = mencius_cluster(3);
+        sim.actor_mut::<TestClient>(clients[0]).enqueue_put(10);
+        sim.actor_mut::<TestClient>(clients[0]).enqueue_put(11);
+        assert!(drive_until(&mut sim, SimTime::from_secs(5), |sim| {
+            sim.actor::<TestClient>(clients[0]).replies.len() == 2
+        }));
+        // Replica 0 owns slots 1, 4, ...; others must have skipped 2, 3.
+        sim.run_for(SimDuration::from_millis(500));
+        let r1 = sim.actor::<MenciusReplica>(replicas[1]);
+        assert!(r1.skips_issued >= 1, "replica 1 skipped its unused slots");
+        let r0 = sim.actor::<MenciusReplica>(replicas[0]);
+        assert!(r0.exec_index().0 >= 4, "prefix executed through both writes");
+    }
+
+    #[test]
+    fn all_replicas_serve_their_own_clients() {
+        let (mut sim, replicas, clients) = mencius_cluster(3);
+        for &c in &clients {
+            sim.actor_mut::<TestClient>(c).enqueue_put(c.0 as u64 * 100);
+        }
+        assert!(drive_until(&mut sim, SimTime::from_secs(5), |sim| {
+            clients.iter().all(|&c| sim.actor::<TestClient>(c).replies.len() == 1)
+        }));
+        // Load balance: each replica proposed in its own slots.
+        sim.run_for(SimDuration::from_secs(1));
+        for (i, &r) in replicas.iter().enumerate() {
+            let rep = sim.actor::<MenciusReplica>(r);
+            assert!(rep.responses_sent >= 1, "replica {i} answered its client");
+        }
+    }
+
+    #[test]
+    fn states_converge_across_replicas() {
+        let (mut sim, replicas, clients) = mencius_cluster(3);
+        for round in 0..5 {
+            for &c in &clients {
+                sim.actor_mut::<TestClient>(c).enqueue_put(round * 10 + c.0 as u64);
+            }
+        }
+        assert!(drive_until(&mut sim, SimTime::from_secs(20), |sim| {
+            clients.iter().all(|&c| sim.actor::<TestClient>(c).replies.len() == 5)
+        }));
+        sim.run_for(SimDuration::from_secs(1));
+        let e0 = sim.actor::<MenciusReplica>(replicas[0]).exec_index();
+        assert!(e0.0 >= 15);
+        // Every decided slot agrees across replicas.
+        for s in 1..=e0.0 {
+            let d0 = sim.actor::<MenciusReplica>(replicas[0]).decided_at(Slot(s));
+            for &r in &replicas[1..] {
+                let dr = sim.actor::<MenciusReplica>(r).decided_at(Slot(s));
+                if let (Some(a), Some(b)) = (&d0, &dr) {
+                    assert_eq!(a.id, b.id, "agreement at slot {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conflicting_writes_apply_in_slot_order_everywhere() {
+        let (mut sim, replicas, clients) = mencius_cluster(3);
+        // All clients hammer the same key.
+        for _ in 0..4 {
+            for &c in &clients {
+                sim.actor_mut::<TestClient>(c).enqueue_put(crate::kv::Key::from(0u64));
+            }
+        }
+        assert!(drive_until(&mut sim, SimTime::from_secs(30), |sim| {
+            clients.iter().all(|&c| sim.actor::<TestClient>(c).replies.len() == 4)
+        }));
+        sim.run_for(SimDuration::from_secs(1));
+        // Convergence: all replicas end with the same final value.
+        let v0 = sim.actor::<MenciusReplica>(replicas[0]).kv().read_local(0);
+        for &r in &replicas[1..] {
+            let vr = sim.actor::<MenciusReplica>(r).kv().read_local(0);
+            assert_eq!(vr.value_id(), v0.value_id(), "same final value everywhere");
+        }
+    }
+
+    #[test]
+    fn reads_observe_prior_writes() {
+        let (mut sim, _replicas, clients) = mencius_cluster(3);
+        sim.actor_mut::<TestClient>(clients[1]).enqueue_put(77);
+        sim.actor_mut::<TestClient>(clients[1]).enqueue_get(77);
+        assert!(drive_until(&mut sim, SimTime::from_secs(10), |sim| {
+            sim.actor::<TestClient>(clients[1]).replies.len() == 2
+        }));
+        let c = sim.actor::<TestClient>(clients[1]);
+        assert!(c.replies[1].1.value_id().is_some(), "read sees own write");
+    }
+
+    #[test]
+    fn revocation_unblocks_after_owner_crash() {
+        let (mut sim, replicas, clients) = mencius_cluster(3);
+        // Prime: one committed round so everyone is warm.
+        sim.actor_mut::<TestClient>(clients[0]).enqueue_put(1);
+        assert!(drive_until(&mut sim, SimTime::from_secs(5), |sim| {
+            sim.actor::<TestClient>(clients[0]).replies.len() == 1
+        }));
+        // Crash replica 2, then keep writing from replica 0's client.
+        sim.crash_at(replicas[2], sim.now() + SimDuration::from_millis(1));
+        let t0 = sim.now();
+        sim.actor_mut::<TestClient>(clients[0]).enqueue_put(2);
+        sim.actor_mut::<TestClient>(clients[0]).enqueue_put(3);
+        assert!(drive_until(&mut sim, SimTime::from_secs(30), |sim| {
+            sim.actor::<TestClient>(clients[0]).replies.len() == 3
+        }));
+        let done = sim.actor::<TestClient>(clients[0]).replies[2].2;
+        // Progress resumed after the 2s revoke timeout (plus slack).
+        assert!(
+            done.since(t0) < SimDuration::from_secs(10),
+            "revocation unblocked writes in {}",
+            done.since(t0)
+        );
+        // And the dead owner's slots are decided (no-ops) at survivors.
+        let r0 = sim.actor::<MenciusReplica>(replicas[0]);
+        assert!(r0.exec_index().0 >= 4);
+    }
+
+    #[test]
+    fn commutative_writes_respond_before_full_prefix_applies() {
+        // With distinct keys, replica 0's write responds once covered and
+        // committed, without waiting for other owners' commits.
+        let (mut sim, _replicas, clients) = mencius_cluster(3);
+        sim.actor_mut::<TestClient>(clients[0]).enqueue_put(100);
+        sim.actor_mut::<TestClient>(clients[1]).enqueue_put(200);
+        assert!(drive_until(&mut sim, SimTime::from_secs(5), |sim| {
+            sim.actor::<TestClient>(clients[0]).replies.len() == 1
+                && sim.actor::<TestClient>(clients[1]).replies.len() == 1
+        }));
+    }
+}

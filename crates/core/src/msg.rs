@@ -1,0 +1,386 @@
+//! Wire messages for all protocols.
+//!
+//! One top-level [`Msg`] enum lets every protocol share the simulator's
+//! network. The Raft-family messages carry the optional fields the ported
+//! optimizations add (Figure 8's lease `holders`, Appendix A.4's
+//! `isDefault` flag), mirroring how the porting method only ever *adds*
+//! message content.
+
+use crate::kv::{CmdId, Command, Reply};
+use crate::log::Entry;
+use crate::types::{NodeId, Slot, Term};
+use paxraft_sim::sim::Payload;
+
+/// Top-level message type carried by the simulated network.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Client-replica traffic.
+    Client(ClientMsg),
+    /// MultiPaxos traffic (Figure 1).
+    Paxos(PaxosMsg),
+    /// Raft / Raft* / Raft*-PQL traffic (Figure 2).
+    Raft(RaftMsg),
+    /// Quorum-lease maintenance (Paxos Quorum Lease / Leader Lease).
+    Lease(LeaseMsg),
+    /// Raft*-Mencius traffic (Appendix A.4).
+    Mencius(MenciusMsg),
+}
+
+/// Client-replica request/response pairs.
+#[derive(Debug, Clone)]
+pub enum ClientMsg {
+    /// A client submits a command to a replica.
+    Request {
+        /// The command to replicate (or serve locally, for lease reads).
+        cmd: Command,
+    },
+    /// A replica answers a completed command.
+    Response {
+        /// Which command this answers.
+        id: CmdId,
+        /// The result.
+        reply: Reply,
+    },
+}
+
+/// MultiPaxos messages (Figure 1). Phase-2 messages batch multiple
+/// instances, matching the paper's note that MultiPaxos "optimizes
+/// performance by batching".
+#[derive(Debug, Clone)]
+pub enum PaxosMsg {
+    /// Phase1a: `<"prepare", ballot, unchosen>`.
+    Prepare {
+        /// Proposer's ballot.
+        ballot: Term,
+        /// Smallest unchosen instance id.
+        from_slot: Slot,
+    },
+    /// Phase1b: `<"prepareOK", ballot, instances ≥ unchosen>`.
+    PrepareOk {
+        /// Echoed ballot.
+        ballot: Term,
+        /// Accepted `(slot, accepted-ballot, value)` triples at or after
+        /// the requested slot.
+        entries: Vec<(Slot, Term, Command)>,
+        /// The acceptor's highest used slot.
+        log_tail: Slot,
+    },
+    /// Phase2a: `<"accept", instance, value, ballot>` (batched).
+    Accept {
+        /// Proposer's ballot.
+        ballot: Term,
+        /// `(instance, value)` pairs.
+        items: Vec<(Slot, Command)>,
+    },
+    /// Phase2b reply: `<"acceptOK", instance, ballot>` (batched).
+    AcceptOk {
+        /// Echoed ballot.
+        ballot: Term,
+        /// Instances accepted.
+        slots: Vec<Slot>,
+    },
+    /// Commit notification to learners (batched).
+    Learn {
+        /// Instances now chosen.
+        slots: Vec<Slot>,
+    },
+    /// Follower-to-leader client-request forwarding (etcd-style batching;
+    /// Section 5 "Implementation").
+    Forward {
+        /// The batched commands.
+        cmds: Vec<Command>,
+    },
+}
+
+/// Raft-family messages (Figure 2), shared by Raft, Raft* and Raft*-PQL.
+#[derive(Debug, Clone)]
+pub enum RaftMsg {
+    /// `<"requestVote", term, lastIndex, lastTerm>`.
+    RequestVote {
+        /// Candidate's new term.
+        term: Term,
+        /// Candidate's last log index.
+        last_idx: Slot,
+        /// Term of the candidate's last entry.
+        last_term: Term,
+    },
+    /// `<"requestVoteOK", term, extraEnts>`; `extra` is Raft*'s addition
+    /// (entries the voter has beyond the candidate's log, Figure 2a
+    /// lines 14-16). Standard Raft always sends an empty `extra`.
+    Vote {
+        /// Voter's term.
+        term: Term,
+        /// Whether the vote was granted.
+        granted: bool,
+        /// First slot of `extra` (candidate's `last_idx + 1`).
+        extra_start: Slot,
+        /// The voter's entries from `extra_start` on (Raft* only).
+        extra: Vec<Entry>,
+    },
+    /// `<"append", term, prev, prevTerm, ents, commitIndex[, isDefault]>`.
+    Append {
+        /// Leader's term.
+        term: Term,
+        /// Index preceding `entries`.
+        prev: Slot,
+        /// Term at `prev`.
+        prev_term: Term,
+        /// The replicated suffix.
+        entries: Vec<Entry>,
+        /// Leader's commit index.
+        commit: Slot,
+    },
+    /// `<"appendOK", term, lastIndex[, holders]>`; `holders` is the
+    /// Raft*-PQL addition (Figure 8: lease holders granted by the sender).
+    AppendOk {
+        /// Responder's term.
+        term: Term,
+        /// Responder's last index after the append.
+        last_idx: Slot,
+        /// Replicas currently holding leases granted by the responder
+        /// (Raft*-PQL only; empty otherwise).
+        holders: Vec<NodeId>,
+    },
+    /// Rejection with the responder's state for next-index backoff.
+    AppendReject {
+        /// Responder's term.
+        term: Term,
+        /// Responder's last index (backoff hint).
+        last_idx: Slot,
+    },
+    /// Follower-to-leader client-request forwarding (etcd-style batching).
+    Forward {
+        /// The batched commands.
+        cmds: Vec<Command>,
+    },
+}
+
+/// Quorum-lease maintenance (PQL Section A.1; Leader Lease variant).
+#[derive(Debug, Clone)]
+pub enum LeaseMsg {
+    /// Grantor extends the holder's lease until `expires_ns` on the
+    /// virtual clock. (The TLA+ spec models this with a global timer; the
+    /// simulator's clock plays that role. A deployment would subtract a
+    /// clock-skew guard band.)
+    Grant {
+        /// Lease expiry, nanoseconds of virtual time.
+        expires_ns: u64,
+        /// The grantor's last log index at grant time. A holder whose
+        /// lease lapsed must catch up to the highest such index among
+        /// its new grants before serving local reads again — writes
+        /// committed during the lapse never waited for this holder.
+        last_idx: Slot,
+    },
+    /// Holder acknowledges a grant. A grantor only treats a replica as a
+    /// lease *holder* (whose acknowledgement writes must await) after the
+    /// ack, so a crashed holder stops blocking writes once its last
+    /// acked grant expires.
+    GrantAck {
+        /// Echoed expiry.
+        expires_ns: u64,
+    },
+}
+
+/// Raft*-Mencius messages (Appendix A.4). One replica is the *default
+/// leader* of each slot (round-robin); `Suggest` is an Append for owned
+/// slots with `isDefault = true`, and skips propagate watermarks.
+#[derive(Debug, Clone)]
+pub enum MenciusMsg {
+    /// The slot owner proposes commands in its own slots.
+    Suggest {
+        /// Owner's current term.
+        term: Term,
+        /// `(slot, command)` pairs; slots are the owner's (spaced `n`).
+        items: Vec<(Slot, Command)>,
+        /// Owner's skip watermark: every owner slot `< watermark` without
+        /// a suggestion is a no-op.
+        watermark: Slot,
+    },
+    /// Acknowledgement of a `Suggest`.
+    SuggestOk {
+        /// Echoed term.
+        term: Term,
+        /// Slots accepted.
+        slots: Vec<Slot>,
+        /// Responder's own skip watermark (piggybacked skip, Appendix
+        /// A.3: "it piggybacks a skip message in its reply").
+        watermark: Slot,
+    },
+    /// Direct watermark broadcast ("keep committing skip to keep the
+    /// system moving forward"). Only meaningful from the owner itself;
+    /// FIFO links make the watermark safe.
+    SkipNotice {
+        /// Sender's own skip watermark.
+        watermark: Slot,
+    },
+    /// Commit decisions for the sender's owned slots.
+    Commit {
+        /// Slots now committed.
+        slots: Vec<Slot>,
+    },
+    /// An acceptor refuses a `Suggest` whose term is below a slot's
+    /// (revocation-raised) ballot; the owner re-proposes elsewhere.
+    SuggestReject {
+        /// The refused slots.
+        slots: Vec<Slot>,
+        /// The ballot the acceptor holds for them.
+        term: Term,
+    },
+    /// Revocation phase-1: take over a crashed owner's slot range with a
+    /// higher ballot.
+    Revoke {
+        /// Revoker's ballot (unique, > any seen).
+        term: Term,
+        /// The suspected-dead owner.
+        owner: NodeId,
+        /// Revoke owner-slots in `(from, through]`... inclusive range
+        /// start (exclusive of already-decided slots).
+        from: Slot,
+        /// Last slot of the revoked range.
+        through: Slot,
+    },
+    /// Revocation phase-1 reply: promise plus any accepted values in the
+    /// range that must be re-proposed rather than no-oped.
+    RevokeOk {
+        /// Echoed revocation ballot.
+        term: Term,
+        /// The owner whose slots are revoked.
+        owner: NodeId,
+        /// Accepted `(slot, ballot, value)` triples in the range.
+        accepted: Vec<(Slot, Term, Command)>,
+    },
+    /// Revocation phase-2: decide the revoked slots (no-ops or recovered
+    /// values).
+    RevokeCommit {
+        /// Revocation ballot.
+        term: Term,
+        /// Decided `(slot, command)` pairs for the revoked range.
+        items: Vec<(Slot, Command)>,
+    },
+}
+
+fn entries_size(entries: &[Entry]) -> usize {
+    entries.iter().map(Entry::size_bytes).sum()
+}
+
+impl Payload for Msg {
+    fn size_bytes(&self) -> usize {
+        match self {
+            Msg::Client(m) => match m {
+                ClientMsg::Request { cmd } => 8 + cmd.size_bytes(),
+                ClientMsg::Response { reply, .. } => 20 + reply.size_bytes(),
+            },
+            Msg::Paxos(m) => match m {
+                PaxosMsg::Prepare { .. } => 24,
+                PaxosMsg::PrepareOk { entries, .. } => {
+                    24 + entries.iter().map(|(_, _, c)| 24 + c.size_bytes()).sum::<usize>()
+                }
+                PaxosMsg::Accept { items, .. } => {
+                    16 + items.iter().map(|(_, c)| 8 + c.size_bytes()).sum::<usize>()
+                }
+                PaxosMsg::AcceptOk { slots, .. } => 16 + 8 * slots.len(),
+                PaxosMsg::Learn { slots } => 8 + 8 * slots.len(),
+                PaxosMsg::Forward { cmds } => {
+                    8 + cmds.iter().map(Command::size_bytes).sum::<usize>()
+                }
+            },
+            Msg::Raft(m) => match m {
+                RaftMsg::RequestVote { .. } => 32,
+                RaftMsg::Vote { extra, .. } => 24 + entries_size(extra),
+                RaftMsg::Append { entries, .. } => 40 + entries_size(entries),
+                RaftMsg::AppendOk { holders, .. } => 24 + 4 * holders.len(),
+                RaftMsg::AppendReject { .. } => 24,
+                RaftMsg::Forward { cmds } => {
+                    8 + cmds.iter().map(Command::size_bytes).sum::<usize>()
+                }
+            },
+            Msg::Lease(LeaseMsg::Grant { .. }) => 24,
+            Msg::Lease(LeaseMsg::GrantAck { .. }) => 16,
+            Msg::Mencius(m) => match m {
+                MenciusMsg::Suggest { items, .. } => {
+                    32 + items.iter().map(|(_, c)| 8 + c.size_bytes()).sum::<usize>()
+                }
+                MenciusMsg::SuggestOk { slots, .. } => 24 + 8 * slots.len(),
+                MenciusMsg::SuggestReject { slots, .. } => 16 + 8 * slots.len(),
+                MenciusMsg::SkipNotice { .. } => 16,
+                MenciusMsg::Commit { slots } => 8 + 8 * slots.len(),
+                MenciusMsg::Revoke { .. } => 40,
+                MenciusMsg::RevokeOk { accepted, .. } => {
+                    24 + accepted.iter().map(|(_, _, c)| 16 + c.size_bytes()).sum::<usize>()
+                }
+                MenciusMsg::RevokeCommit { items, .. } => {
+                    16 + items.iter().map(|(_, c)| 8 + c.size_bytes()).sum::<usize>()
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::CmdId;
+
+    fn cmd(bytes: usize) -> Command {
+        Command::put(CmdId { client: 1, seq: 1 }, 1, vec![0; bytes])
+    }
+
+    #[test]
+    fn append_size_dominated_by_entries() {
+        let small = Msg::Raft(RaftMsg::Append {
+            term: Term(1),
+            prev: Slot(0),
+            prev_term: Term(0),
+            entries: vec![Entry { term: Term(1), bal: Term(1), cmd: cmd(8) }],
+            commit: Slot(0),
+        });
+        let big = Msg::Raft(RaftMsg::Append {
+            term: Term(1),
+            prev: Slot(0),
+            prev_term: Term(0),
+            entries: vec![Entry { term: Term(1), bal: Term(1), cmd: cmd(4096) }],
+            commit: Slot(0),
+        });
+        assert!(big.size_bytes() - small.size_bytes() >= 4096 - 8);
+    }
+
+    #[test]
+    fn response_size_includes_read_value() {
+        let done = Msg::Client(ClientMsg::Response {
+            id: CmdId { client: 1, seq: 1 },
+            reply: Reply::Done,
+        });
+        let val = Msg::Client(ClientMsg::Response {
+            id: CmdId { client: 1, seq: 1 },
+            reply: Reply::Value(Some(vec![0; 4096])),
+        });
+        assert!(val.size_bytes() > done.size_bytes() + 4000);
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        assert!(Msg::Lease(LeaseMsg::Grant { expires_ns: 0, last_idx: Slot(4) }).size_bytes() < 64);
+        assert!(
+            Msg::Mencius(MenciusMsg::SkipNotice { watermark: Slot(10) }).size_bytes() < 64
+        );
+        assert!(
+            Msg::Raft(RaftMsg::RequestVote {
+                term: Term(1),
+                last_idx: Slot(0),
+                last_term: Term(0)
+            })
+            .size_bytes()
+                < 64
+        );
+    }
+
+    #[test]
+    fn batched_sizes_scale_with_items() {
+        let one = Msg::Paxos(PaxosMsg::Accept { ballot: Term(1), items: vec![(Slot(1), cmd(8))] });
+        let two = Msg::Paxos(PaxosMsg::Accept {
+            ballot: Term(1),
+            items: vec![(Slot(1), cmd(8)), (Slot(2), cmd(8))],
+        });
+        assert!(two.size_bytes() > one.size_bytes());
+    }
+}

@@ -1,0 +1,59 @@
+//! A one-shot scripted client used by [`crate::harness::Cluster`] for
+//! `submit_and_wait`-style interactions (examples, tests, demos) — not
+//! for measurement.
+
+use paxraft_sim::impl_actor_any;
+use paxraft_sim::sim::{Actor, ActorId, Ctx};
+use paxraft_sim::time::SimDuration;
+
+use crate::kv::{CmdId, Reply};
+use crate::msg::{ClientMsg, Msg};
+
+/// Polls an outbox and captures the matching response.
+#[derive(Debug, Default)]
+pub struct ProbeClient {
+    /// The command id the probe is waiting on.
+    pub waiting: Option<CmdId>,
+    /// The captured reply.
+    pub reply: Option<Reply>,
+    /// A request to send on the next poll tick.
+    pub outbox: Option<(ActorId, Msg)>,
+    last_request: Option<(ActorId, Msg)>,
+    ticks_since_send: u32,
+}
+
+impl Actor<Msg> for ProbeClient {
+    fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+        ctx.set_timer(SimDuration::from_millis(1), 1);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<Msg>, _from: ActorId, msg: Msg) {
+        if let Msg::Client(ClientMsg::Response { id, reply }) = msg {
+            if self.waiting == Some(id) {
+                self.waiting = None;
+                self.reply = Some(reply);
+                self.last_request = None;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Msg>, _token: u64) {
+        if let Some((to, msg)) = self.outbox.take() {
+            self.last_request = Some((to, msg.clone()));
+            self.ticks_since_send = 0;
+            ctx.send(to, msg);
+        } else if self.waiting.is_some() {
+            // Retry a lost request every ~5 virtual seconds.
+            self.ticks_since_send += 1;
+            if self.ticks_since_send >= 500 {
+                if let Some((to, msg)) = self.last_request.clone() {
+                    self.ticks_since_send = 0;
+                    ctx.send(to, msg);
+                }
+            }
+        }
+        ctx.set_timer(SimDuration::from_millis(10), 1);
+    }
+
+    impl_actor_any!();
+}

@@ -1,0 +1,636 @@
+//! Standard Raft (Section 2.1, Figure 2 *without* the blue Raft* code).
+//!
+//! The two behaviours that distinguish Raft from Raft* (Section 3) are
+//! implemented here exactly as Raft specifies them:
+//!
+//! 1. **Followers erase extraneous entries**: a follower whose log
+//!    conflicts with (or extends past) the leader's AppendEntries payload
+//!    truncates its suffix ([`crate::log::Log::truncate_from`]). This is
+//!    the state transition that has no MultiPaxos counterpart.
+//! 2. **Entry terms are never rewritten**: a leader replicates previously
+//!    uncommitted entries with their original terms, which forces the
+//!    extra commit restriction of the Raft paper's Section 5.4.2 — a
+//!    leader only counts replicas for entries of its *own* term.
+//!
+//! One engineering liberty shared by all our replicas: terms use the
+//! Paxos ballot encoding `round * n + node` so every term has a unique
+//! owner. This replaces Raft's per-term `votedFor` vote splitting (a
+//! node grants at most one vote per term by construction) without
+//! changing any other behaviour.
+
+use paxraft_sim::impl_actor_any;
+use paxraft_sim::sim::{Actor, ActorId, Ctx};
+use paxraft_sim::time::SimDuration;
+
+use crate::config::ReplicaConfig;
+use crate::kv::{Command, KvStore};
+use crate::log::{Entry, Log};
+use crate::msg::{ClientMsg, Msg, RaftMsg};
+use crate::replicate::Replicator;
+use crate::types::{max_failures, quorum, NodeId, Slot, Term};
+
+const T_ELECTION: u64 = 1 << 48;
+const T_HEARTBEAT: u64 = 2 << 48;
+const T_BATCH: u64 = 3 << 48;
+const KIND_MASK: u64 = 0xFFFF << 48;
+
+/// Raft roles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Passive replica.
+    Follower,
+    /// Campaigning for leadership.
+    Candidate,
+    /// Elected leader.
+    Leader,
+}
+
+/// A standard Raft replica.
+pub struct RaftReplica {
+    cfg: ReplicaConfig,
+    current_term: Term,
+    role: Role,
+    leader_hint: Option<NodeId>,
+    log: Log,
+    commit_index: Slot,
+    last_applied: Slot,
+    kv: KvStore,
+    votes: u64,
+    repl: Replicator,
+    pending: Vec<Command>,
+    batch_armed: bool,
+    election_gen: u64,
+    heartbeat_gen: u64,
+    /// Client responses sent (stats).
+    pub responses_sent: u64,
+}
+
+impl RaftReplica {
+    /// Creates a replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: ReplicaConfig) -> Self {
+        cfg.validate().expect("invalid replica config");
+        let n = cfg.n;
+        RaftReplica {
+            cfg,
+            current_term: Term::ZERO,
+            role: Role::Follower,
+            leader_hint: None,
+            log: Log::new(),
+            commit_index: Slot::NONE,
+            last_applied: Slot::NONE,
+            kv: KvStore::new(),
+            votes: 0,
+            repl: Replicator::new(n),
+            pending: Vec::new(),
+            batch_armed: false,
+            election_gen: 0,
+            heartbeat_gen: 0,
+            responses_sent: 0,
+        }
+    }
+
+    /// Whether this replica is the leader.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// Current term.
+    pub fn current_term(&self) -> Term {
+        self.current_term
+    }
+
+    /// The replica's log (for convergence tests).
+    pub fn log(&self) -> &Log {
+        &self.log
+    }
+
+    /// Commit index.
+    pub fn commit_index(&self) -> Slot {
+        self.commit_index
+    }
+
+    /// Read-only state machine access.
+    pub fn kv(&self) -> &KvStore {
+        &self.kv
+    }
+
+    fn me_bit(&self) -> u64 {
+        1 << self.cfg.id.0
+    }
+
+    fn arm_election(&mut self, ctx: &mut Ctx<Msg>) {
+        self.election_gen += 1;
+        let span = self.cfg.election_max.as_nanos() - self.cfg.election_min.as_nanos();
+        let delay = if self.cfg.initial_leader == Some(self.cfg.id)
+            && self.current_term == Term::ZERO
+        {
+            SimDuration::from_millis(5)
+        } else {
+            self.cfg.election_min + SimDuration::from_nanos(ctx.rng().gen_range(span.max(1)))
+        };
+        ctx.set_timer(delay, T_ELECTION | self.election_gen);
+    }
+
+    fn arm_heartbeat(&mut self, ctx: &mut Ctx<Msg>) {
+        self.heartbeat_gen += 1;
+        ctx.set_timer(self.cfg.heartbeat, T_HEARTBEAT | self.heartbeat_gen);
+    }
+
+    fn arm_batch(&mut self, ctx: &mut Ctx<Msg>) {
+        if !self.batch_armed {
+            self.batch_armed = true;
+            ctx.set_timer(self.cfg.batch_delay, T_BATCH);
+        }
+    }
+
+    fn step_down(&mut self, term: Term, ctx: &mut Ctx<Msg>) {
+        self.current_term = term;
+        self.role = Role::Follower;
+        self.arm_election(ctx);
+    }
+
+    /// Figure 2a `RequestVote`: campaign with a fresh owned term.
+    fn start_election(&mut self, ctx: &mut Ctx<Msg>) {
+        self.current_term = self.current_term.next_for(self.cfg.id, self.cfg.n);
+        self.role = Role::Candidate;
+        self.leader_hint = None;
+        self.votes = self.me_bit();
+        for peer in self.cfg.others() {
+            ctx.send(
+                self.cfg.peer(peer),
+                Msg::Raft(RaftMsg::RequestVote {
+                    term: self.current_term,
+                    last_idx: self.log.last_index(),
+                    last_term: self.log.last_term(),
+                }),
+            );
+        }
+        self.arm_election(ctx);
+        self.try_become_leader(ctx); // n = 1 degenerate case
+    }
+
+    fn try_become_leader(&mut self, ctx: &mut Ctx<Msg>) {
+        if self.role != Role::Candidate || (self.votes.count_ones() as usize) < quorum(self.cfg.n)
+        {
+            return;
+        }
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.cfg.id);
+        // Optimistically assume followers hold our pre-existing log; the
+        // no-op of the new term below lets the leader commit the tail of
+        // its log under the Section-5.4.2 restriction.
+        self.repl.reset_for_leadership(self.log.last_index());
+        self.log.append(Entry {
+            term: self.current_term,
+            bal: self.current_term,
+            cmd: Command::noop(),
+        });
+        self.broadcast_append(ctx);
+        self.arm_heartbeat(ctx);
+        self.flush_pending(ctx);
+    }
+
+    /// Sends each follower its tailored suffix.
+    fn broadcast_append(&mut self, ctx: &mut Ctx<Msg>) {
+        let peers: Vec<NodeId> = self.cfg.others().collect();
+        for peer in peers {
+            self.send_append_to(ctx, peer);
+        }
+    }
+
+    fn send_append_to(&mut self, ctx: &mut Ctx<Msg>, peer: NodeId) {
+        let prev = self.repl.next_prev(peer);
+        let prev_term = self.log.term_at(prev).unwrap_or(Term::ZERO);
+        let entries = self.log.suffix_from(prev);
+        self.repl.mark_sent(peer, prev, self.log.last_index(), ctx.now());
+        ctx.send(
+            self.cfg.peer(peer),
+            Msg::Raft(RaftMsg::Append {
+                term: self.current_term,
+                prev,
+                prev_term,
+                entries,
+                commit: self.commit_index,
+            }),
+        );
+    }
+
+    /// Leader batch flush: append pending commands and replicate.
+    fn flush_pending(&mut self, ctx: &mut Ctx<Msg>) {
+        if self.role != Role::Leader {
+            self.forward_pending(ctx);
+            return;
+        }
+        if self.pending.is_empty() {
+            return;
+        }
+        let cmds = std::mem::take(&mut self.pending);
+        let bytes: usize = cmds.iter().map(Command::size_bytes).sum();
+        ctx.charge(
+            self.cfg.costs.propose_fixed
+                + self.cfg.costs.propose_per_cmd * cmds.len() as u64
+                + self.cfg.costs.size_cost(bytes),
+        );
+        for cmd in cmds {
+            self.log.append(Entry { term: self.current_term, bal: self.current_term, cmd });
+        }
+        self.broadcast_append(ctx);
+    }
+
+    fn forward_pending(&mut self, ctx: &mut Ctx<Msg>) {
+        let Some(leader) = self.leader_hint else {
+            if !self.pending.is_empty() {
+                self.batch_armed = false;
+                self.arm_batch(ctx);
+            }
+            return;
+        };
+        if leader == self.cfg.id || self.pending.is_empty() {
+            return;
+        }
+        let cmds = std::mem::take(&mut self.pending);
+        ctx.charge(self.cfg.costs.forward_per_cmd * cmds.len() as u64);
+        ctx.send(self.cfg.peer(leader), Msg::Raft(RaftMsg::Forward { cmds }));
+    }
+
+    /// Advances `commit_index` using the 5.4.2 rule: only entries of the
+    /// current term commit by counting.
+    fn advance_commit(&mut self, ctx: &mut Ctx<Msg>) {
+        if self.role != Role::Leader {
+            return;
+        }
+        let f = max_failures(self.cfg.n);
+        // The f-th largest follower match is replicated on f followers +
+        // the leader = a majority.
+        let quorum_match = self.repl.kth_largest_match(f, self.cfg.id);
+        if quorum_match > self.commit_index
+            && self.log.term_at(quorum_match) == Some(self.current_term)
+        {
+            self.commit_index = quorum_match;
+            self.apply_committed(ctx);
+        }
+    }
+
+    fn apply_committed(&mut self, ctx: &mut Ctx<Msg>) {
+        while self.last_applied < self.commit_index {
+            let next = self.last_applied.next();
+            let Some(entry) = self.log.get(next) else { break };
+            let cmd = entry.cmd.clone();
+            ctx.charge(self.cfg.costs.apply_per_cmd);
+            let reply = self.kv.apply(&cmd);
+            self.last_applied = next;
+            if self.role == Role::Leader && cmd.id.client != u32::MAX {
+                ctx.charge(self.cfg.costs.reply_fixed);
+                ctx.send(
+                    self.cfg.client_actor(cmd.id.client),
+                    Msg::Client(ClientMsg::Response { id: cmd.id, reply }),
+                );
+                self.responses_sent += 1;
+            }
+        }
+    }
+
+    fn on_raft(&mut self, ctx: &mut Ctx<Msg>, from: ActorId, msg: RaftMsg) {
+        match msg {
+            RaftMsg::RequestVote { term, last_idx, last_term } => {
+                if term > self.current_term {
+                    // Adopt the term, then apply Raft's up-to-date check.
+                    let up_to_date = (last_term, last_idx)
+                        >= (self.log.last_term(), self.log.last_index());
+                    self.step_down(term, ctx);
+                    self.leader_hint = None;
+                    ctx.send(
+                        from,
+                        Msg::Raft(RaftMsg::Vote {
+                            term,
+                            granted: up_to_date,
+                            extra_start: Slot::NONE,
+                            extra: Vec::new(),
+                        }),
+                    );
+                }
+            }
+            RaftMsg::Vote { term, granted, .. } => {
+                if term > self.current_term {
+                    self.step_down(term, ctx);
+                } else if term == self.current_term && granted {
+                    self.votes |= 1 << node_of(from).0;
+                    self.try_become_leader(ctx);
+                }
+            }
+            RaftMsg::Append { term, prev, prev_term, entries, commit } => {
+                if term < self.current_term {
+                    ctx.send(
+                        from,
+                        Msg::Raft(RaftMsg::AppendReject {
+                            term: self.current_term,
+                            last_idx: self.log.last_index(),
+                        }),
+                    );
+                    return;
+                }
+                self.current_term = term;
+                self.role = Role::Follower;
+                self.leader_hint = Some(term.owner(self.cfg.n));
+                self.arm_election(ctx);
+                let bytes: usize = entries.iter().map(Entry::size_bytes).sum();
+                ctx.charge(
+                    self.cfg.costs.append_fixed
+                        + self.cfg.costs.append_per_cmd * entries.len().max(1) as u64
+                        + self.cfg.costs.size_cost(bytes),
+                );
+                if !self.log.matches(prev, prev_term) {
+                    ctx.send(
+                        from,
+                        Msg::Raft(RaftMsg::AppendReject {
+                            term: self.current_term,
+                            last_idx: self.log.last_index().min(prev),
+                        }),
+                    );
+                    return;
+                }
+                // Raft conflict handling: truncate at the first mismatch,
+                // then append what is missing. Matching existing entries
+                // are kept (and a longer non-conflicting log survives).
+                let mut idx = prev;
+                let mut to_append = Vec::new();
+                for e in entries.iter() {
+                    idx = idx.next();
+                    match self.log.term_at(idx) {
+                        Some(t) if t == e.term => continue,
+                        Some(_) => {
+                            self.log.truncate_from(idx);
+                            to_append.push(e.clone());
+                        }
+                        None => to_append.push(e.clone()),
+                    }
+                }
+                for e in to_append {
+                    self.log.append(e);
+                }
+                let match_through = Slot(prev.0 + entries.len() as u64);
+                if commit > self.commit_index {
+                    self.commit_index = Slot(commit.0.min(match_through.0));
+                    self.apply_committed(ctx);
+                }
+                ctx.send(
+                    from,
+                    Msg::Raft(RaftMsg::AppendOk {
+                        term: self.current_term,
+                        last_idx: match_through,
+                        holders: Vec::new(),
+                    }),
+                );
+            }
+            RaftMsg::AppendOk { term, last_idx, .. } => {
+                if term > self.current_term {
+                    self.step_down(term, ctx);
+                } else if term == self.current_term && self.role == Role::Leader {
+                    ctx.charge(self.cfg.costs.ack_process);
+                    if self.repl.on_ack(node_of(from), last_idx) {
+                        self.advance_commit(ctx);
+                    }
+                }
+            }
+            RaftMsg::AppendReject { term, last_idx } => {
+                if term > self.current_term {
+                    self.step_down(term, ctx);
+                } else if term == self.current_term && self.role == Role::Leader {
+                    // Back off toward the follower's tail and re-probe.
+                    self.repl.on_reject(node_of(from), last_idx);
+                    self.send_append_to(ctx, node_of(from));
+                }
+            }
+            RaftMsg::Forward { cmds } => {
+                ctx.charge(self.cfg.costs.forward_per_cmd * cmds.len() as u64);
+                self.pending.extend(cmds);
+                if self.role == Role::Leader && self.pending.len() >= self.cfg.batch_max {
+                    self.flush_pending(ctx);
+                } else {
+                    self.arm_batch(ctx);
+                }
+            }
+        }
+    }
+}
+
+fn node_of(from: ActorId) -> NodeId {
+    NodeId(from.0 as u32)
+}
+
+impl Actor<Msg> for RaftReplica {
+    fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+        self.arm_election(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Msg>, from: ActorId, msg: Msg) {
+        match msg {
+            Msg::Raft(m) => self.on_raft(ctx, from, m),
+            Msg::Client(ClientMsg::Request { cmd }) => {
+                ctx.charge(self.cfg.costs.client_req);
+                self.pending.push(cmd);
+                if self.role == Role::Leader && self.pending.len() >= self.cfg.batch_max {
+                    self.flush_pending(ctx);
+                } else {
+                    self.arm_batch(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Msg>, token: u64) {
+        match token & KIND_MASK {
+            T_ELECTION => {
+                if token & !KIND_MASK == self.election_gen && self.role != Role::Leader {
+                    self.start_election(ctx);
+                }
+            }
+            T_HEARTBEAT => {
+                if token & !KIND_MASK == self.heartbeat_gen && self.role == Role::Leader {
+                    let peers: Vec<NodeId> = self.cfg.others().collect();
+                    for peer in peers {
+                        // Timed retransmission of unacknowledged suffixes.
+                        self.repl.maybe_rewind(peer, ctx.now(), self.cfg.retry_interval);
+                        self.send_append_to(ctx, peer);
+                    }
+                    self.arm_heartbeat(ctx);
+                }
+            }
+            T_BATCH => {
+                self.batch_armed = false;
+                if !self.pending.is_empty() {
+                    self.flush_pending(ctx);
+                }
+                if !self.pending.is_empty() {
+                    self.arm_batch(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // Persisted: current_term, log. Volatile: everything else.
+        self.role = Role::Follower;
+        self.leader_hint = None;
+        self.votes = 0;
+        self.commit_index = Slot::NONE;
+        self.last_applied = Slot::NONE;
+        self.kv = KvStore::new();
+        self.pending.clear();
+        self.batch_armed = false;
+    }
+
+    impl_actor_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{cluster_with, drive_until, TestClient};
+    use paxraft_sim::sim::Simulation;
+    use paxraft_sim::time::SimTime;
+
+    fn raft_cluster(n: usize) -> (Simulation<Msg>, Vec<ActorId>, ActorId) {
+        cluster_with(n, |mut cfg| {
+            cfg.initial_leader = Some(NodeId(0));
+            Box::new(RaftReplica::new(cfg))
+        })
+    }
+
+    #[test]
+    fn elects_initial_leader() {
+        let (mut sim, replicas, _client) = raft_cluster(3);
+        assert!(drive_until(&mut sim, SimTime::from_secs(2), |sim| {
+            sim.actor::<RaftReplica>(replicas[0]).is_leader()
+        }));
+    }
+
+    #[test]
+    fn commits_and_replies() {
+        let (mut sim, _replicas, client) = raft_cluster(3);
+        sim.actor_mut::<TestClient>(client).enqueue_put(42);
+        sim.actor_mut::<TestClient>(client).enqueue_get(42);
+        assert!(drive_until(&mut sim, SimTime::from_secs(5), |sim| {
+            sim.actor::<TestClient>(client).replies.len() == 2
+        }));
+        let c = sim.actor::<TestClient>(client);
+        assert!(c.replies[1].1.value_id().is_some(), "read observes the write");
+    }
+
+    #[test]
+    fn logs_converge_across_replicas() {
+        let (mut sim, replicas, client) = raft_cluster(5);
+        for k in 0..20 {
+            sim.actor_mut::<TestClient>(client).enqueue_put(k);
+        }
+        assert!(drive_until(&mut sim, SimTime::from_secs(20), |sim| {
+            sim.actor::<TestClient>(client).replies.len() == 20
+        }));
+        sim.run_for(SimDuration::from_secs(2)); // let heartbeats sync commit
+        let log0: Vec<_> = sim
+            .actor::<RaftReplica>(replicas[0])
+            .log()
+            .iter()
+            .map(|(s, e)| (s, e.term, e.cmd.id))
+            .collect();
+        for &r in &replicas[1..] {
+            let lr: Vec<_> = sim
+                .actor::<RaftReplica>(r)
+                .log()
+                .iter()
+                .map(|(s, e)| (s, e.term, e.cmd.id))
+                .collect();
+            assert_eq!(lr, log0, "log matching across replicas");
+        }
+    }
+
+    #[test]
+    fn leader_crash_failover() {
+        let (mut sim, replicas, client) = raft_cluster(3);
+        sim.actor_mut::<TestClient>(client).enqueue_put(1);
+        assert!(drive_until(&mut sim, SimTime::from_secs(5), |sim| {
+            sim.actor::<TestClient>(client).replies.len() == 1
+        }));
+        sim.crash_at(replicas[0], sim.now() + SimDuration::from_millis(1));
+        sim.actor_mut::<TestClient>(client).target = replicas[1];
+        sim.actor_mut::<TestClient>(client).enqueue_put(2);
+        sim.actor_mut::<TestClient>(client).enqueue_get(2);
+        assert!(drive_until(&mut sim, SimTime::from_secs(30), |sim| {
+            sim.actor::<TestClient>(client).replies.len() == 3
+        }));
+        let c = sim.actor::<TestClient>(client);
+        assert!(c.replies[2].1.value_id().is_some());
+    }
+
+    #[test]
+    fn partitioned_leader_truncates_divergent_suffix_on_rejoin() {
+        let (mut sim, replicas, client) = raft_cluster(3);
+        sim.actor_mut::<TestClient>(client).enqueue_put(1);
+        assert!(drive_until(&mut sim, SimTime::from_secs(5), |sim| {
+            sim.actor::<TestClient>(client).replies.len() == 1
+        }));
+        // Isolate the leader with the client; leader appends entries it
+        // can never commit.
+        let t0 = sim.now();
+        // Groups cover replicas 0..2 plus the client (with the leader).
+        sim.partition_at(vec![0, 1, 1, 0], t0 + SimDuration::from_millis(1));
+        sim.actor_mut::<TestClient>(client).enqueue_put(7);
+        // Run long enough for {1,2} to elect a new leader.
+        sim.run_for(SimDuration::from_secs(8));
+        let old_leader_log_len = sim.actor::<RaftReplica>(replicas[0]).log().len();
+        assert!(
+            sim.actor::<RaftReplica>(replicas[1]).is_leader()
+                || sim.actor::<RaftReplica>(replicas[2]).is_leader(),
+            "majority side elected a new leader"
+        );
+        // Heal; client fails over; the divergent suffix must be erased.
+        sim.heal_at(sim.now() + SimDuration::from_millis(1));
+        sim.actor_mut::<TestClient>(client).target = replicas[1];
+        assert!(drive_until(&mut sim, SimTime::from_secs(30), |sim| {
+            sim.actor::<TestClient>(client).replies.len() == 2
+        }));
+        sim.run_for(SimDuration::from_secs(2));
+        let log0: Vec<_> = sim
+            .actor::<RaftReplica>(replicas[0])
+            .log()
+            .iter()
+            .map(|(s, e)| (s, e.term, e.cmd.id))
+            .collect();
+        let log1: Vec<_> = sim
+            .actor::<RaftReplica>(replicas[1])
+            .log()
+            .iter()
+            .map(|(s, e)| (s, e.term, e.cmd.id))
+            .collect();
+        assert_eq!(log0, log1, "rejoined leader truncated and converged");
+        let _ = old_leader_log_len;
+    }
+
+    #[test]
+    fn committed_entries_survive_leader_change() {
+        let (mut sim, replicas, client) = raft_cluster(5);
+        for k in 0..5 {
+            sim.actor_mut::<TestClient>(client).enqueue_put(k);
+        }
+        assert!(drive_until(&mut sim, SimTime::from_secs(10), |sim| {
+            sim.actor::<TestClient>(client).replies.len() == 5
+        }));
+        let committed = sim.actor::<RaftReplica>(replicas[0]).commit_index();
+        sim.crash_at(replicas[0], sim.now() + SimDuration::from_millis(1));
+        sim.actor_mut::<TestClient>(client).target = replicas[1];
+        sim.actor_mut::<TestClient>(client).enqueue_get(3);
+        assert!(drive_until(&mut sim, SimTime::from_secs(30), |sim| {
+            sim.actor::<TestClient>(client).replies.len() == 6
+        }));
+        // The read must see the committed write to key 3.
+        let c = sim.actor::<TestClient>(client);
+        assert!(c.replies[5].1.value_id().is_some(), "committed write preserved");
+        assert!(committed.0 >= 5);
+    }
+}

@@ -1,0 +1,152 @@
+//! Test helpers shared by the protocol unit tests: a minimal closed-loop
+//! client and a cluster constructor. (The full measurement harness lives
+//! in [`crate::harness`]; this module stays deliberately tiny so protocol
+//! tests do not depend on it.)
+
+use std::collections::VecDeque;
+
+use paxraft_sim::impl_actor_any;
+use paxraft_sim::net::{NetConfig, Region};
+use paxraft_sim::sim::{Actor, ActorId, Ctx, Simulation};
+use paxraft_sim::time::{SimDuration, SimTime};
+
+use crate::config::ReplicaConfig;
+use crate::kv::{CmdId, Command, Reply};
+use crate::msg::{ClientMsg, Msg};
+use crate::types::NodeId;
+
+/// A scripted closed-loop client: sends one queued command at a time to a
+/// fixed target replica, retrying on silence.
+pub struct TestClient {
+    /// Logical client id (maps to `client_base + id`).
+    pub client_id: u32,
+    /// Replica the client talks to.
+    pub target: ActorId,
+    /// Commands sent so far (in order).
+    pub sent: Vec<Command>,
+    /// Replies received: `(id, reply, at)`.
+    pub replies: Vec<(CmdId, Reply, SimTime)>,
+    queue: VecDeque<Command>,
+    seq: u64,
+    inflight: Option<(CmdId, SimTime)>,
+    retry_after: SimDuration,
+}
+
+impl TestClient {
+    /// Creates a client with an empty script.
+    pub fn new(client_id: u32, target: ActorId) -> Self {
+        TestClient {
+            client_id,
+            target,
+            sent: Vec::new(),
+            replies: Vec::new(),
+            queue: VecDeque::new(),
+            seq: 0,
+            inflight: None,
+            retry_after: SimDuration::from_secs(5),
+        }
+    }
+
+    /// Queues a write to `key` (value embeds the command id).
+    pub fn enqueue_put(&mut self, key: u64) {
+        self.seq += 1;
+        let id = CmdId { client: self.client_id, seq: self.seq };
+        self.queue.push_back(Command::put(id, key, vec![0; 8]));
+    }
+
+    /// Queues a read of `key`.
+    pub fn enqueue_get(&mut self, key: u64) {
+        self.seq += 1;
+        let id = CmdId { client: self.client_id, seq: self.seq };
+        self.queue.push_back(Command::get(id, key));
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<Msg>) {
+        if self.inflight.is_none() {
+            if let Some(cmd) = self.queue.pop_front() {
+                self.inflight = Some((cmd.id, ctx.now()));
+                self.sent.push(cmd.clone());
+                ctx.send(self.target, Msg::Client(ClientMsg::Request { cmd }));
+            }
+        } else if let Some((id, since)) = self.inflight {
+            if ctx.now().since(since) > self.retry_after {
+                // Retry the same command (dedup makes this safe).
+                let cmd = self
+                    .sent
+                    .iter()
+                    .rev()
+                    .find(|c| c.id == id)
+                    .expect("inflight command was sent")
+                    .clone();
+                self.inflight = Some((id, ctx.now()));
+                ctx.send(self.target, Msg::Client(ClientMsg::Request { cmd }));
+            }
+        }
+    }
+}
+
+impl Actor<Msg> for TestClient {
+    fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+        ctx.set_timer(SimDuration::from_millis(10), 1);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Msg>, _from: ActorId, msg: Msg) {
+        if let Msg::Client(ClientMsg::Response { id, reply }) = msg {
+            if self.inflight.map(|(i, _)| i) == Some(id) {
+                self.inflight = None;
+                self.replies.push((id, reply, ctx.now()));
+                self.pump(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Msg>, _token: u64) {
+        self.pump(ctx);
+        ctx.set_timer(SimDuration::from_millis(50), 1);
+    }
+
+    impl_actor_any!();
+}
+
+/// Regions used for replica placement, in the paper's order.
+pub fn region_of(i: usize) -> Region {
+    Region::ALL[i % Region::ALL.len()]
+}
+
+/// Builds an `n`-replica cluster plus one [`TestClient`] (client id 0,
+/// targeting replica 0). The closure turns a filled-in [`ReplicaConfig`]
+/// into the protocol actor under test.
+pub fn cluster_with(
+    n: usize,
+    mut make: impl FnMut(ReplicaConfig) -> Box<dyn Actor<Msg>>,
+) -> (Simulation<Msg>, Vec<ActorId>, ActorId) {
+    let mut sim = Simulation::new(NetConfig::default(), 7);
+    let peers: Vec<ActorId> = (0..n).map(ActorId).collect();
+    let mut replicas = Vec::new();
+    for i in 0..n {
+        let mut cfg = ReplicaConfig::wan_default(NodeId(i as u32), n);
+        cfg.peers = peers.clone();
+        cfg.client_base = n;
+        let actor = make(cfg);
+        replicas.push(sim.add_actor(region_of(i), actor));
+    }
+    let client = sim.add_actor(Region::Oregon, Box::new(TestClient::new(0, replicas[0])));
+    (sim, replicas, client)
+}
+
+/// Steps the simulation in 50 ms increments until `pred` holds or
+/// `deadline` passes. Returns whether the predicate held.
+pub fn drive_until<F>(sim: &mut Simulation<Msg>, deadline: SimTime, mut pred: F) -> bool
+where
+    F: FnMut(&Simulation<Msg>) -> bool,
+{
+    loop {
+        if pred(sim) {
+            return true;
+        }
+        if sim.now() >= deadline {
+            return false;
+        }
+        sim.run_for(SimDuration::from_millis(50));
+    }
+}

@@ -1,0 +1,172 @@
+//! Shared identifier types for the consensus protocols.
+//!
+//! The paper's Figure 3 maps Raft* vocabulary to MultiPaxos vocabulary:
+//! `currentTerm ↔ ballot`, `entry.index ↔ instance.id`. We keep distinct
+//! newtypes for each so the mapping stays explicit in code.
+
+use std::fmt;
+
+/// A replica identifier, `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A Raft term / Paxos ballot round.
+///
+/// Values are globally unique per proposer: `term = round * n + node`,
+/// which is the standard Paxos ballot encoding. Raft achieves uniqueness
+/// differently (per-term single vote), but using the encoded form for both
+/// keeps the Figure-3 correspondence `currentTerm ↔ ballot` literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Term(pub u64);
+
+impl Term {
+    /// The zero term (no leader has ever existed).
+    pub const ZERO: Term = Term(0);
+
+    /// Encodes a (round, proposer) pair into a unique term/ballot.
+    pub fn encode(round: u64, node: NodeId, n: usize) -> Term {
+        Term(round * n as u64 + node.0 as u64)
+    }
+
+    /// The proposer that owns this term under the encoding.
+    pub fn owner(self, n: usize) -> NodeId {
+        NodeId((self.0 % n as u64) as u32)
+    }
+
+    /// The round component of this term.
+    pub fn round(self, n: usize) -> u64 {
+        self.0 / n as u64
+    }
+
+    /// The smallest term owned by `node` strictly greater than `self`.
+    pub fn next_for(self, node: NodeId, n: usize) -> Term {
+        let mut round = self.round(n);
+        loop {
+            round += 1;
+            let t = Term::encode(round, node, n);
+            if t > self {
+                return t;
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A log index / Paxos instance id. Logs are 1-based; `Slot(0)` is the
+/// sentinel "before the first entry" (the paper's `-1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Slot(pub u64);
+
+impl Slot {
+    /// Sentinel for "no entry" (paper's index `-1`).
+    pub const NONE: Slot = Slot(0);
+
+    /// The following slot.
+    pub fn next(self) -> Slot {
+        Slot(self.0 + 1)
+    }
+
+    /// The preceding slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`Slot::NONE`].
+    pub fn prev(self) -> Slot {
+        assert!(self.0 > 0, "Slot::NONE has no predecessor");
+        Slot(self.0 - 1)
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Size of the majority quorum for `n` replicas (`f + 1` where
+/// `n = 2f + 1`).
+pub fn quorum(n: usize) -> usize {
+    n / 2 + 1
+}
+
+/// The `f` in `n = 2f + 1`: the number of tolerated failures, and the
+/// number of *follower* acknowledgements a Raft leader needs (Figure 8's
+/// "from f acceptors").
+pub fn max_failures(n: usize) -> usize {
+    (n - 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_encoding_unique_per_owner() {
+        let n = 5;
+        for round in 0..4u64 {
+            for node in 0..n as u32 {
+                let t = Term::encode(round, NodeId(node), n);
+                assert_eq!(t.owner(n), NodeId(node));
+                assert_eq!(t.round(n), round);
+            }
+        }
+    }
+
+    #[test]
+    fn next_for_is_strictly_greater_and_owned() {
+        let n = 5;
+        let t = Term::encode(3, NodeId(4), n);
+        for node in 0..n as u32 {
+            let nx = t.next_for(NodeId(node), n);
+            assert!(nx > t);
+            assert_eq!(nx.owner(n), NodeId(node));
+        }
+    }
+
+    #[test]
+    fn next_for_from_zero() {
+        let n = 3;
+        let t = Term::ZERO.next_for(NodeId(2), n);
+        assert_eq!(t, Term(5)); // round 1, node 2
+        assert!(t > Term::ZERO);
+    }
+
+    #[test]
+    fn slot_navigation() {
+        assert_eq!(Slot::NONE.next(), Slot(1));
+        assert_eq!(Slot(5).prev(), Slot(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "no predecessor")]
+    fn slot_none_prev_panics() {
+        let _ = Slot::NONE.prev();
+    }
+
+    #[test]
+    fn quorum_sizes() {
+        assert_eq!(quorum(3), 2);
+        assert_eq!(quorum(5), 3);
+        assert_eq!(quorum(7), 4);
+        assert_eq!(max_failures(3), 1);
+        assert_eq!(max_failures(5), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", NodeId(2)), "n2");
+        assert_eq!(format!("{}", Term(9)), "t9");
+        assert_eq!(format!("{}", Slot(4)), "s4");
+    }
+}

@@ -1,0 +1,269 @@
+//! Explicit-state model checking (the TLC stand-in).
+//!
+//! Breadth-first exploration of a [`Spec`]'s reachable states under a
+//! state-count budget, checking named invariants at every state. Used to
+//! validate the protocol specs themselves (agreement, log matching,
+//! lease safety) before any refinement or porting reasoning.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::expr::{Env, Expr};
+use crate::spec::{Spec, State};
+
+/// A named invariant.
+#[derive(Debug, Clone)]
+pub struct Invariant {
+    /// Display name.
+    pub name: String,
+    /// Boolean expression over state variables.
+    pub expr: Expr,
+}
+
+impl Invariant {
+    /// Creates a named invariant.
+    pub fn new(name: &str, expr: Expr) -> Self {
+        Invariant { name: name.into(), expr }
+    }
+}
+
+/// Exploration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum distinct states to visit.
+    pub max_states: usize,
+    /// Maximum BFS depth (`usize::MAX` for unbounded).
+    pub max_depth: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_states: 200_000, max_depth: usize::MAX }
+    }
+}
+
+/// Why exploration stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every reachable state (within limits) satisfies all invariants,
+    /// and the frontier was exhausted.
+    Exhausted,
+    /// The state budget was hit with no violation found.
+    BudgetReached,
+    /// An invariant failed; carries its name and the violating state
+    /// rendered for diagnostics.
+    Violated {
+        /// The failing invariant.
+        invariant: String,
+        /// Human-readable violating state.
+        state: String,
+        /// BFS depth of the violation.
+        depth: usize,
+    },
+}
+
+/// Exploration statistics plus the verdict.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions taken.
+    pub transitions: usize,
+    /// Maximum depth reached.
+    pub depth: usize,
+    /// The outcome.
+    pub verdict: Verdict,
+}
+
+impl CheckReport {
+    /// True when no violation was found.
+    pub fn ok(&self) -> bool {
+        !matches!(self.verdict, Verdict::Violated { .. })
+    }
+}
+
+fn render_state(spec: &Spec, state: &State) -> String {
+    spec.vars
+        .iter()
+        .zip(state)
+        .map(|(n, v)| format!("{n} = {v}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Explores `spec` breadth-first, checking `invariants` at every state.
+///
+/// # Panics
+///
+/// Panics if the spec fails validation or an expression is ill-typed —
+/// both indicate bugs in the spec definition, not in the checked
+/// protocol.
+pub fn explore(spec: &Spec, invariants: &[Invariant], limits: Limits) -> CheckReport {
+    spec.validate().expect("spec validates");
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut queue: VecDeque<(State, usize)> = VecDeque::new();
+    let mut transitions = 0usize;
+    let mut max_depth = 0usize;
+
+    let check = |state: &State, depth: usize| -> Option<Verdict> {
+        for inv in invariants {
+            let holds = inv
+                .expr
+                .eval(&mut Env::of_state(state))
+                .unwrap_or_else(|e| panic!("invariant {}: {e}", inv.name))
+                .as_bool()
+                .expect("invariant is boolean");
+            if !holds {
+                return Some(Verdict::Violated {
+                    invariant: inv.name.clone(),
+                    state: render_state(spec, state),
+                    depth,
+                });
+            }
+        }
+        None
+    };
+
+    seen.insert(spec.init.clone());
+    queue.push_back((spec.init.clone(), 0));
+    if let Some(v) = check(&spec.init, 0) {
+        return CheckReport { states: 1, transitions: 0, depth: 0, verdict: v };
+    }
+
+    while let Some((state, depth)) = queue.pop_front() {
+        if depth >= limits.max_depth {
+            continue;
+        }
+        for t in spec.transitions(&state).expect("transitions evaluate") {
+            transitions += 1;
+            if seen.contains(&t.next) {
+                continue;
+            }
+            if let Some(v) = check(&t.next, depth + 1) {
+                return CheckReport {
+                    states: seen.len() + 1,
+                    transitions,
+                    depth: depth + 1,
+                    verdict: v,
+                };
+            }
+            max_depth = max_depth.max(depth + 1);
+            seen.insert(t.next.clone());
+            if seen.len() >= limits.max_states {
+                return CheckReport {
+                    states: seen.len(),
+                    transitions,
+                    depth: max_depth,
+                    verdict: Verdict::BudgetReached,
+                };
+            }
+            queue.push_back((t.next, depth + 1));
+        }
+    }
+    CheckReport { states: seen.len(), transitions, depth: max_depth, verdict: Verdict::Exhausted }
+}
+
+/// Collects the reachable states (within limits) — used by the
+/// refinement checker, which needs to re-walk transitions.
+pub fn reachable(spec: &Spec, limits: Limits) -> (Vec<State>, HashMap<State, usize>) {
+    let mut seen: HashMap<State, usize> = HashMap::new();
+    let mut order: Vec<State> = Vec::new();
+    let mut queue: VecDeque<State> = VecDeque::new();
+    seen.insert(spec.init.clone(), 0);
+    order.push(spec.init.clone());
+    queue.push_back(spec.init.clone());
+    while let Some(state) = queue.pop_front() {
+        for t in spec.transitions(&state).expect("transitions evaluate") {
+            if !seen.contains_key(&t.next) {
+                seen.insert(t.next.clone(), order.len());
+                order.push(t.next.clone());
+                if order.len() >= limits.max_states {
+                    return (order, seen);
+                }
+                queue.push_back(t.next);
+            }
+        }
+    }
+    (order, seen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{add, int, le, lt, var};
+    use crate::spec::{ActionSchema, Domain};
+    use crate::value::Value;
+
+    fn counter(bound: i64) -> Spec {
+        Spec {
+            name: "Counter".into(),
+            vars: vec!["x".into()],
+            init: vec![Value::Int(0)],
+            actions: vec![ActionSchema {
+                name: "Inc".into(),
+                params: vec![("d".into(), Domain::ints(1, 2))],
+                guard: lt(var(0), int(bound)),
+                updates: vec![(0, add(var(0), crate::expr::param(0)))],
+            }],
+        }
+    }
+
+    #[test]
+    fn explores_all_states() {
+        let spec = counter(5);
+        let report = explore(&spec, &[], Limits::default());
+        // Reachable: 0..=6 (bound 5 allows +2 from 4).
+        assert_eq!(report.verdict, Verdict::Exhausted);
+        assert_eq!(report.states, 7);
+        assert!(report.transitions >= 10);
+    }
+
+    #[test]
+    fn invariant_violation_reported_with_state() {
+        let spec = counter(5);
+        let inv = Invariant::new("x <= 4", le(var(0), int(4)));
+        let report = explore(&spec, &[inv], Limits::default());
+        match report.verdict {
+            Verdict::Violated { invariant, state, depth } => {
+                assert_eq!(invariant, "x <= 4");
+                assert!(state.contains("x = 5") || state.contains("x = 6"), "{state}");
+                assert!(depth >= 3);
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn holds_invariant_reports_exhausted() {
+        let spec = counter(5);
+        let inv = Invariant::new("x <= 6", le(var(0), int(6)));
+        let report = explore(&spec, &[inv], Limits::default());
+        assert!(report.ok());
+        assert_eq!(report.verdict, Verdict::Exhausted);
+    }
+
+    #[test]
+    fn budget_stops_exploration() {
+        let spec = counter(1_000_000);
+        let report = explore(&spec, &[], Limits { max_states: 50, max_depth: usize::MAX });
+        assert_eq!(report.verdict, Verdict::BudgetReached);
+        assert_eq!(report.states, 50);
+    }
+
+    #[test]
+    fn depth_limit_restricts() {
+        let spec = counter(100);
+        let report = explore(&spec, &[], Limits { max_states: 10_000, max_depth: 3 });
+        assert_eq!(report.verdict, Verdict::Exhausted);
+        // Depth 3 with +2 steps reaches at most 6.
+        assert!(report.states <= 8);
+    }
+
+    #[test]
+    fn reachable_returns_all() {
+        let spec = counter(3);
+        let (order, index) = reachable(&spec, Limits::default());
+        assert_eq!(order.len(), 5); // 0,1,2,3,4
+        assert_eq!(index.len(), order.len());
+        assert_eq!(index[&spec.init], 0);
+    }
+}

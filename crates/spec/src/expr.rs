@@ -1,0 +1,674 @@
+//! The expression language of the specification DSL.
+//!
+//! Expressions are a small TLA+-like term language over [`Value`]s:
+//! boolean connectives, integer arithmetic and comparison, tuples, finite
+//! sets (literals, union, membership, map/filter), finite functions
+//! (application, update, construction) and bounded quantifiers.
+//!
+//! Two features carry the paper's Section-4 machinery:
+//!
+//! - **Evaluation** ([`Expr::eval`]) against an environment of state
+//!   variables, action parameters and quantifier-bound locals — used by
+//!   the model checker and refinement checker.
+//! - **Substitution** ([`Expr::substitute`]) of state variables and
+//!   parameters by expressions — the syntactic core of the porting
+//!   method (replacing `Var_A` with `f(Var_B)` and `P_A` with
+//!   `f_args(P_B)` per Section 4.3).
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use crate::value::Value;
+
+/// An expression of the spec language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A constant.
+    Const(Value),
+    /// A state variable, by index into the spec's variable list.
+    Var(usize),
+    /// An action parameter, by index into the action's parameter list.
+    Param(usize),
+    /// A quantifier/comprehension-bound name.
+    Local(Rc<str>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// N-ary conjunction (empty = true).
+    And(Vec<Expr>),
+    /// N-ary disjunction (empty = false).
+    Or(Vec<Expr>),
+    /// Implication.
+    Implies(Box<Expr>, Box<Expr>),
+    /// Equality on values.
+    Eq(Box<Expr>, Box<Expr>),
+    /// Integer strictly-less.
+    Lt(Box<Expr>, Box<Expr>),
+    /// Integer less-or-equal.
+    Le(Box<Expr>, Box<Expr>),
+    /// Integer addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Integer subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Integer remainder (for ballot-owner arithmetic).
+    Mod(Box<Expr>, Box<Expr>),
+    /// Binary integer maximum.
+    Max(Box<Expr>, Box<Expr>),
+    /// If-then-else.
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Tuple constructor.
+    Tuple(Vec<Expr>),
+    /// Tuple projection (0-based).
+    Nth(Box<Expr>, usize),
+    /// Set literal.
+    SetLit(Vec<Expr>),
+    /// `set ∪ {elem}`.
+    SetInsert(Box<Expr>, Box<Expr>),
+    /// Set union.
+    Union(Box<Expr>, Box<Expr>),
+    /// Membership test.
+    Contains(Box<Expr>, Box<Expr>),
+    /// Cardinality.
+    Card(Box<Expr>),
+    /// Function application.
+    App(Box<Expr>, Box<Expr>),
+    /// Function update: `[f EXCEPT ![k] = v]`.
+    FunSet(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Function construction: `[x ∈ domain |-> body]`.
+    FunBuild(Rc<str>, Box<Expr>, Box<Expr>),
+    /// Set image: `{body : x ∈ domain}`.
+    SetMap(Rc<str>, Box<Expr>, Box<Expr>),
+    /// Set filter: `{x ∈ domain : pred}`.
+    SetFilter(Rc<str>, Box<Expr>, Box<Expr>),
+    /// Bounded universal quantifier.
+    Forall(Rc<str>, Box<Expr>, Box<Expr>),
+    /// Bounded existential quantifier.
+    Exists(Rc<str>, Box<Expr>, Box<Expr>),
+    /// Maximum of an integer-valued body over a domain; `default` when
+    /// the domain is empty.
+    MaxOver(Rc<str>, Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// Evaluation environment.
+#[derive(Debug)]
+pub struct Env<'a> {
+    /// Current values of state variables.
+    pub state: &'a [Value],
+    /// Values of the action's parameters (empty for invariants).
+    pub params: &'a [Value],
+    /// Quantifier bindings (name, value), innermost last.
+    pub locals: Vec<(Rc<str>, Value)>,
+}
+
+impl<'a> Env<'a> {
+    /// Environment over a state with no parameters.
+    pub fn of_state(state: &'a [Value]) -> Env<'a> {
+        Env { state, params: &[], locals: Vec::new() }
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Value> {
+        self.locals.iter().rev().find(|(n, _)| &**n == name).map(|(_, v)| v)
+    }
+}
+
+/// Evaluation error: ill-typed term or unbound reference.
+pub type EvalError = String;
+
+impl Expr {
+    /// Evaluates the expression in `env`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the expression is ill-typed for the given
+    /// environment (e.g. applying a function to a key outside its
+    /// domain, or boolean operations on integers).
+    pub fn eval(&self, env: &mut Env<'_>) -> Result<Value, EvalError> {
+        match self {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Var(i) => env
+                .state
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| format!("unbound state var {i}")),
+            Expr::Param(i) => env
+                .params
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| format!("unbound param {i}")),
+            Expr::Local(name) => env
+                .lookup(name)
+                .cloned()
+                .ok_or_else(|| format!("unbound local {name}")),
+            Expr::Not(e) => Ok(Value::Bool(!e.eval(env)?.as_bool()?)),
+            Expr::And(es) => {
+                for e in es {
+                    if !e.eval(env)?.as_bool()? {
+                        return Ok(Value::Bool(false));
+                    }
+                }
+                Ok(Value::Bool(true))
+            }
+            Expr::Or(es) => {
+                for e in es {
+                    if e.eval(env)?.as_bool()? {
+                        return Ok(Value::Bool(true));
+                    }
+                }
+                Ok(Value::Bool(false))
+            }
+            Expr::Implies(a, b) => {
+                Ok(Value::Bool(!a.eval(env)?.as_bool()? || b.eval(env)?.as_bool()?))
+            }
+            Expr::Eq(a, b) => Ok(Value::Bool(a.eval(env)? == b.eval(env)?)),
+            Expr::Lt(a, b) => Ok(Value::Bool(a.eval(env)?.as_int()? < b.eval(env)?.as_int()?)),
+            Expr::Le(a, b) => Ok(Value::Bool(a.eval(env)?.as_int()? <= b.eval(env)?.as_int()?)),
+            Expr::Add(a, b) => Ok(Value::Int(a.eval(env)?.as_int()? + b.eval(env)?.as_int()?)),
+            Expr::Sub(a, b) => Ok(Value::Int(a.eval(env)?.as_int()? - b.eval(env)?.as_int()?)),
+            Expr::Mod(a, b) => {
+                let d = b.eval(env)?.as_int()?;
+                if d == 0 {
+                    return Err("mod by zero".into());
+                }
+                Ok(Value::Int(a.eval(env)?.as_int()?.rem_euclid(d)))
+            }
+            Expr::Max(a, b) => {
+                Ok(Value::Int(a.eval(env)?.as_int()?.max(b.eval(env)?.as_int()?)))
+            }
+            Expr::Ite(c, t, e) => {
+                if c.eval(env)?.as_bool()? {
+                    t.eval(env)
+                } else {
+                    e.eval(env)
+                }
+            }
+            Expr::Tuple(es) => {
+                let mut out = Vec::with_capacity(es.len());
+                for e in es {
+                    out.push(e.eval(env)?);
+                }
+                Ok(Value::Tuple(out))
+            }
+            Expr::Nth(e, i) => {
+                let v = e.eval(env)?;
+                let t = v.as_tuple()?;
+                t.get(*i).cloned().ok_or_else(|| format!("tuple index {i} out of range"))
+            }
+            Expr::SetLit(es) => {
+                let mut out = BTreeSet::new();
+                for e in es {
+                    out.insert(e.eval(env)?);
+                }
+                Ok(Value::Set(out))
+            }
+            Expr::SetInsert(s, e) => {
+                let mut set = s.eval(env)?.as_set()?.clone();
+                set.insert(e.eval(env)?);
+                Ok(Value::Set(set))
+            }
+            Expr::Union(a, b) => {
+                let mut set = a.eval(env)?.as_set()?.clone();
+                set.extend(b.eval(env)?.as_set()?.iter().cloned());
+                Ok(Value::Set(set))
+            }
+            Expr::Contains(s, e) => {
+                let elem = e.eval(env)?;
+                Ok(Value::Bool(s.eval(env)?.as_set()?.contains(&elem)))
+            }
+            Expr::Card(s) => Ok(Value::Int(s.eval(env)?.as_set()?.len() as i64)),
+            Expr::App(f, k) => {
+                let key = k.eval(env)?;
+                let fv = f.eval(env)?;
+                fv.as_fun()?
+                    .get(&key)
+                    .cloned()
+                    .ok_or_else(|| format!("function applied outside domain: {key}"))
+            }
+            Expr::FunSet(f, k, v) => {
+                let mut fun = f.eval(env)?.as_fun()?.clone();
+                fun.insert(k.eval(env)?, v.eval(env)?);
+                Ok(Value::Fun(fun))
+            }
+            Expr::FunBuild(name, dom, body) => {
+                let domain = dom.eval(env)?.as_set()?.clone();
+                let mut out = std::collections::BTreeMap::new();
+                for d in domain {
+                    env.locals.push((name.clone(), d.clone()));
+                    let v = body.eval(env);
+                    env.locals.pop();
+                    out.insert(d, v?);
+                }
+                Ok(Value::Fun(out))
+            }
+            Expr::SetMap(name, dom, body) => {
+                let domain = dom.eval(env)?.as_set()?.clone();
+                let mut out = BTreeSet::new();
+                for d in domain {
+                    env.locals.push((name.clone(), d));
+                    let v = body.eval(env);
+                    env.locals.pop();
+                    out.insert(v?);
+                }
+                Ok(Value::Set(out))
+            }
+            Expr::SetFilter(name, dom, pred) => {
+                let domain = dom.eval(env)?.as_set()?.clone();
+                let mut out = BTreeSet::new();
+                for d in domain {
+                    env.locals.push((name.clone(), d.clone()));
+                    let keep = pred.eval(env);
+                    env.locals.pop();
+                    if keep?.as_bool()? {
+                        out.insert(d);
+                    }
+                }
+                Ok(Value::Set(out))
+            }
+            Expr::Forall(name, dom, body) => {
+                let domain = dom.eval(env)?.as_set()?.clone();
+                for d in domain {
+                    env.locals.push((name.clone(), d));
+                    let v = body.eval(env);
+                    env.locals.pop();
+                    if !v?.as_bool()? {
+                        return Ok(Value::Bool(false));
+                    }
+                }
+                Ok(Value::Bool(true))
+            }
+            Expr::Exists(name, dom, body) => {
+                let domain = dom.eval(env)?.as_set()?.clone();
+                for d in domain {
+                    env.locals.push((name.clone(), d));
+                    let v = body.eval(env);
+                    env.locals.pop();
+                    if v?.as_bool()? {
+                        return Ok(Value::Bool(true));
+                    }
+                }
+                Ok(Value::Bool(false))
+            }
+            Expr::MaxOver(name, dom, body, default) => {
+                let domain = dom.eval(env)?.as_set()?.clone();
+                if domain.is_empty() {
+                    return default.eval(env);
+                }
+                let mut best = i64::MIN;
+                for d in domain {
+                    env.locals.push((name.clone(), d));
+                    let v = body.eval(env);
+                    env.locals.pop();
+                    best = best.max(v?.as_int()?);
+                }
+                Ok(Value::Int(best))
+            }
+        }
+    }
+
+    /// Rewrites the expression, replacing state variables and parameters.
+    ///
+    /// `var_map(i)` gives the replacement for `Var(i)` (or `None` to keep
+    /// it); `param_map(i)` likewise for `Param(i)`. Locals are untouched
+    /// (substituted expressions must not capture quantifier binders —
+    /// our maps only mention `Var`/`Param`, which cannot be shadowed).
+    pub fn substitute(
+        &self,
+        var_map: &dyn Fn(usize) -> Option<Expr>,
+        param_map: &dyn Fn(usize) -> Option<Expr>,
+    ) -> Expr {
+        let s = |e: &Expr| Box::new(e.substitute(var_map, param_map));
+        let sv = |es: &[Expr]| es.iter().map(|e| e.substitute(var_map, param_map)).collect();
+        match self {
+            Expr::Const(v) => Expr::Const(v.clone()),
+            Expr::Var(i) => var_map(*i).unwrap_or(Expr::Var(*i)),
+            Expr::Param(i) => param_map(*i).unwrap_or(Expr::Param(*i)),
+            Expr::Local(n) => Expr::Local(n.clone()),
+            Expr::Not(e) => Expr::Not(s(e)),
+            Expr::And(es) => Expr::And(sv(es)),
+            Expr::Or(es) => Expr::Or(sv(es)),
+            Expr::Implies(a, b) => Expr::Implies(s(a), s(b)),
+            Expr::Eq(a, b) => Expr::Eq(s(a), s(b)),
+            Expr::Lt(a, b) => Expr::Lt(s(a), s(b)),
+            Expr::Le(a, b) => Expr::Le(s(a), s(b)),
+            Expr::Add(a, b) => Expr::Add(s(a), s(b)),
+            Expr::Sub(a, b) => Expr::Sub(s(a), s(b)),
+            Expr::Mod(a, b) => Expr::Mod(s(a), s(b)),
+            Expr::Max(a, b) => Expr::Max(s(a), s(b)),
+            Expr::Ite(c, t, e) => Expr::Ite(s(c), s(t), s(e)),
+            Expr::Tuple(es) => Expr::Tuple(sv(es)),
+            Expr::Nth(e, i) => Expr::Nth(s(e), *i),
+            Expr::SetLit(es) => Expr::SetLit(sv(es)),
+            Expr::SetInsert(a, b) => Expr::SetInsert(s(a), s(b)),
+            Expr::Union(a, b) => Expr::Union(s(a), s(b)),
+            Expr::Contains(a, b) => Expr::Contains(s(a), s(b)),
+            Expr::Card(a) => Expr::Card(s(a)),
+            Expr::App(f, k) => Expr::App(s(f), s(k)),
+            Expr::FunSet(f, k, v) => Expr::FunSet(s(f), s(k), s(v)),
+            Expr::FunBuild(n, d, b) => Expr::FunBuild(n.clone(), s(d), s(b)),
+            Expr::SetMap(n, d, b) => Expr::SetMap(n.clone(), s(d), s(b)),
+            Expr::SetFilter(n, d, b) => Expr::SetFilter(n.clone(), s(d), s(b)),
+            Expr::Forall(n, d, b) => Expr::Forall(n.clone(), s(d), s(b)),
+            Expr::Exists(n, d, b) => Expr::Exists(n.clone(), s(d), s(b)),
+            Expr::MaxOver(n, d, b, def) => Expr::MaxOver(n.clone(), s(d), s(b), s(def)),
+        }
+    }
+
+    /// Collects the state-variable indices the expression reads.
+    pub fn vars_read(&self, out: &mut BTreeSet<usize>) {
+        match self {
+            Expr::Var(i) => {
+                out.insert(*i);
+            }
+            Expr::Const(_) | Expr::Param(_) | Expr::Local(_) => {}
+            Expr::Not(e) | Expr::Card(e) => e.vars_read(out),
+            Expr::Nth(e, _) => e.vars_read(out),
+            Expr::And(es) | Expr::Or(es) | Expr::Tuple(es) | Expr::SetLit(es) => {
+                for e in es {
+                    e.vars_read(out);
+                }
+            }
+            Expr::Implies(a, b)
+            | Expr::Eq(a, b)
+            | Expr::Lt(a, b)
+            | Expr::Le(a, b)
+            | Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mod(a, b)
+            | Expr::Max(a, b)
+            | Expr::SetInsert(a, b)
+            | Expr::Union(a, b)
+            | Expr::Contains(a, b)
+            | Expr::App(a, b) => {
+                a.vars_read(out);
+                b.vars_read(out);
+            }
+            Expr::Ite(a, b, c) | Expr::FunSet(a, b, c) => {
+                a.vars_read(out);
+                b.vars_read(out);
+                c.vars_read(out);
+            }
+            Expr::FunBuild(_, d, b)
+            | Expr::SetMap(_, d, b)
+            | Expr::SetFilter(_, d, b)
+            | Expr::Forall(_, d, b)
+            | Expr::Exists(_, d, b) => {
+                d.vars_read(out);
+                b.vars_read(out);
+            }
+            Expr::MaxOver(_, d, b, def) => {
+                d.vars_read(out);
+                b.vars_read(out);
+                def.vars_read(out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Builder helpers: keep spec definitions readable.
+// ---------------------------------------------------------------------
+
+/// Integer constant.
+pub fn int(i: i64) -> Expr {
+    Expr::Const(Value::Int(i))
+}
+
+/// Boolean constant.
+pub fn boolean(b: bool) -> Expr {
+    Expr::Const(Value::Bool(b))
+}
+
+/// State variable reference.
+pub fn var(i: usize) -> Expr {
+    Expr::Var(i)
+}
+
+/// Parameter reference.
+pub fn param(i: usize) -> Expr {
+    Expr::Param(i)
+}
+
+/// Local (bound) name reference.
+pub fn local(name: &str) -> Expr {
+    Expr::Local(Rc::from(name))
+}
+
+/// Conjunction.
+pub fn and(es: Vec<Expr>) -> Expr {
+    Expr::And(es)
+}
+
+/// Disjunction.
+pub fn or(es: Vec<Expr>) -> Expr {
+    Expr::Or(es)
+}
+
+/// Negation.
+pub fn not(e: Expr) -> Expr {
+    Expr::Not(Box::new(e))
+}
+
+/// Implication.
+pub fn implies(a: Expr, b: Expr) -> Expr {
+    Expr::Implies(Box::new(a), Box::new(b))
+}
+
+/// Equality.
+pub fn eq(a: Expr, b: Expr) -> Expr {
+    Expr::Eq(Box::new(a), Box::new(b))
+}
+
+/// Strict less-than.
+pub fn lt(a: Expr, b: Expr) -> Expr {
+    Expr::Lt(Box::new(a), Box::new(b))
+}
+
+/// Less-or-equal.
+pub fn le(a: Expr, b: Expr) -> Expr {
+    Expr::Le(Box::new(a), Box::new(b))
+}
+
+/// Greater-or-equal (sugar).
+pub fn ge(a: Expr, b: Expr) -> Expr {
+    le(b, a)
+}
+
+/// Strictly greater (sugar).
+pub fn gt(a: Expr, b: Expr) -> Expr {
+    lt(b, a)
+}
+
+/// Addition.
+pub fn add(a: Expr, b: Expr) -> Expr {
+    Expr::Add(Box::new(a), Box::new(b))
+}
+
+/// Function application.
+pub fn app(f: Expr, k: Expr) -> Expr {
+    Expr::App(Box::new(f), Box::new(k))
+}
+
+/// Double application `f[k1][k2]`.
+pub fn app2(f: Expr, k1: Expr, k2: Expr) -> Expr {
+    app(app(f, k1), k2)
+}
+
+/// Function update.
+pub fn fun_set(f: Expr, k: Expr, v: Expr) -> Expr {
+    Expr::FunSet(Box::new(f), Box::new(k), Box::new(v))
+}
+
+/// Nested function update `[f EXCEPT ![k1][k2] = v]`.
+pub fn fun_set2(f: Expr, k1: Expr, k2: Expr, v: Expr) -> Expr {
+    fun_set(f.clone(), k1.clone(), fun_set(app(f, k1), k2, v))
+}
+
+/// Function construction.
+pub fn fun_build(name: &str, dom: Expr, body: Expr) -> Expr {
+    Expr::FunBuild(Rc::from(name), Box::new(dom), Box::new(body))
+}
+
+/// Tuple construction.
+pub fn tuple(es: Vec<Expr>) -> Expr {
+    Expr::Tuple(es)
+}
+
+/// Tuple projection.
+pub fn nth(e: Expr, i: usize) -> Expr {
+    Expr::Nth(Box::new(e), i)
+}
+
+/// Membership.
+pub fn contains(s: Expr, e: Expr) -> Expr {
+    Expr::Contains(Box::new(s), Box::new(e))
+}
+
+/// `s ∪ {e}`.
+pub fn set_insert(s: Expr, e: Expr) -> Expr {
+    Expr::SetInsert(Box::new(s), Box::new(e))
+}
+
+/// Universal quantifier.
+pub fn forall(name: &str, dom: Expr, body: Expr) -> Expr {
+    Expr::Forall(Rc::from(name), Box::new(dom), Box::new(body))
+}
+
+/// Existential quantifier.
+pub fn exists(name: &str, dom: Expr, body: Expr) -> Expr {
+    Expr::Exists(Rc::from(name), Box::new(dom), Box::new(body))
+}
+
+/// Maximum of `body` over `dom`, `default` when empty.
+pub fn max_over(name: &str, dom: Expr, body: Expr, default: Expr) -> Expr {
+    Expr::MaxOver(Rc::from(name), Box::new(dom), Box::new(body), Box::new(default))
+}
+
+/// If-then-else.
+pub fn ite(c: Expr, t: Expr, e: Expr) -> Expr {
+    Expr::Ite(Box::new(c), Box::new(t), Box::new(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(e: &Expr) -> Value {
+        e.eval(&mut Env::of_state(&[])).unwrap()
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        assert_eq!(ev(&and(vec![boolean(true), boolean(true)])), Value::Bool(true));
+        assert_eq!(ev(&and(vec![boolean(true), boolean(false)])), Value::Bool(false));
+        assert_eq!(ev(&or(vec![])), Value::Bool(false));
+        assert_eq!(ev(&and(vec![])), Value::Bool(true));
+        assert_eq!(ev(&implies(boolean(false), boolean(false))), Value::Bool(true));
+        assert_eq!(ev(&not(boolean(true))), Value::Bool(false));
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        assert_eq!(ev(&add(int(2), int(3))), Value::Int(5));
+        assert_eq!(ev(&Expr::Sub(Box::new(int(2)), Box::new(int(3)))), Value::Int(-1));
+        assert_eq!(ev(&Expr::Mod(Box::new(int(7)), Box::new(int(3)))), Value::Int(1));
+        assert_eq!(ev(&Expr::Max(Box::new(int(7)), Box::new(int(3)))), Value::Int(7));
+        assert_eq!(ev(&lt(int(1), int(2))), Value::Bool(true));
+        assert_eq!(ev(&ge(int(2), int(2))), Value::Bool(true));
+    }
+
+    #[test]
+    fn state_and_params() {
+        let state = vec![Value::Int(10)];
+        let params = vec![Value::Int(4)];
+        let mut env = Env { state: &state, params: &params, locals: Vec::new() };
+        assert_eq!(add(var(0), param(0)).eval(&mut env).unwrap(), Value::Int(14));
+        assert!(var(3).eval(&mut env).is_err());
+    }
+
+    #[test]
+    fn functions_apply_and_update() {
+        let f = Value::fun([(Value::Int(1), Value::Int(10)), (Value::Int(2), Value::Int(20))]);
+        let state = vec![f];
+        let mut env = Env::of_state(&state);
+        assert_eq!(app(var(0), int(2)).eval(&mut env).unwrap(), Value::Int(20));
+        let updated = fun_set(var(0), int(1), int(99)).eval(&mut env).unwrap();
+        assert_eq!(updated.as_fun().unwrap()[&Value::Int(1)], Value::Int(99));
+        assert!(app(var(0), int(9)).eval(&mut env).is_err(), "outside domain");
+    }
+
+    #[test]
+    fn fun_build_and_nested_update() {
+        let mut env = Env::of_state(&[]);
+        let f = fun_build("x", Expr::Const(Value::int_range(1, 3)), add(local("x"), int(10)))
+            .eval(&mut env)
+            .unwrap();
+        assert_eq!(f.as_fun().unwrap()[&Value::Int(2)], Value::Int(12));
+        // Nested: g = [1 |-> f]; g[1][2] = 0
+        let g = Value::fun([(Value::Int(1), f)]);
+        let state = vec![g];
+        let mut env = Env::of_state(&state);
+        let g2 = fun_set2(var(0), int(1), int(2), int(0)).eval(&mut env).unwrap();
+        let inner = g2.as_fun().unwrap()[&Value::Int(1)].clone();
+        assert_eq!(inner.as_fun().unwrap()[&Value::Int(2)], Value::Int(0));
+        assert_eq!(inner.as_fun().unwrap()[&Value::Int(3)], Value::Int(13), "others kept");
+    }
+
+    #[test]
+    fn quantifiers_and_comprehensions() {
+        let dom = Expr::Const(Value::int_range(1, 4));
+        assert_eq!(ev(&forall("x", dom.clone(), gt(local("x"), int(0)))), Value::Bool(true));
+        assert_eq!(ev(&exists("x", dom.clone(), gt(local("x"), int(3)))), Value::Bool(true));
+        assert_eq!(ev(&exists("x", dom.clone(), gt(local("x"), int(4)))), Value::Bool(false));
+        let doubled = Expr::SetMap(
+            "x".into(),
+            Box::new(dom.clone()),
+            Box::new(add(local("x"), local("x"))),
+        );
+        assert_eq!(ev(&doubled), Value::set([2, 4, 6, 8].map(Value::Int)));
+        let evens = Expr::SetFilter(
+            "x".into(),
+            Box::new(dom.clone()),
+            Box::new(eq(Expr::Mod(Box::new(local("x")), Box::new(int(2))), int(0))),
+        );
+        assert_eq!(ev(&evens), Value::set([2, 4].map(Value::Int)));
+        assert_eq!(ev(&max_over("x", dom, local("x"), int(-1))), Value::Int(4));
+        assert_eq!(
+            ev(&max_over("x", Expr::Const(Value::set([])), local("x"), int(-1))),
+            Value::Int(-1)
+        );
+    }
+
+    #[test]
+    fn tuples_and_sets() {
+        let t = tuple(vec![int(1), boolean(true)]);
+        assert_eq!(ev(&nth(t.clone(), 1)), Value::Bool(true));
+        let s = Expr::SetLit(vec![int(1), int(2), int(1)]);
+        assert_eq!(ev(&Expr::Card(Box::new(s.clone()))), Value::Int(2));
+        assert_eq!(ev(&contains(s.clone(), int(2))), Value::Bool(true));
+        assert_eq!(ev(&set_insert(s, int(5))), Value::set([1, 2, 5].map(Value::Int)));
+    }
+
+    #[test]
+    fn substitution_replaces_vars_and_params() {
+        // (var 0 + param 1) with var0 := param0 + 1, param1 := var 2
+        let e = add(var(0), param(1));
+        let sub = e.substitute(
+            &|i| if i == 0 { Some(add(param(0), int(1))) } else { None },
+            &|i| if i == 1 { Some(var(2)) } else { None },
+        );
+        assert_eq!(sub, add(add(param(0), int(1)), var(2)));
+    }
+
+    #[test]
+    fn substitution_descends_into_binders() {
+        let e = forall("x", var(0), eq(local("x"), param(0)));
+        let sub = e.substitute(&|_| Some(var(5)), &|_| Some(int(3)));
+        assert_eq!(sub, forall("x", var(5), eq(local("x"), int(3))));
+    }
+
+    #[test]
+    fn vars_read_collects() {
+        let e = and(vec![eq(var(1), int(0)), forall("x", var(3), contains(var(4), local("x")))]);
+        let mut out = BTreeSet::new();
+        e.vars_read(&mut out);
+        assert_eq!(out, BTreeSet::from([1, 3, 4]));
+    }
+}

@@ -1,0 +1,269 @@
+//! Refinement-mapping checking (Section 2.2's definition, mechanized).
+//!
+//! `B ⇒ A` under a state mapping `f` when every state of `B` maps into
+//! `A`'s state space and every transition of `B` maps to an `A`
+//! transition or a stutter: `b_i ⇒ a_j ∨ f(Var_B') = f(Var_B)`.
+//!
+//! The checker enumerates `B`'s reachable states under a budget and, for
+//! each `B` transition `s → s'`, verifies that `f(s) = f(s')` (stutter)
+//! or that some `A` action instance produces `f(s')` from `f(s)`.
+
+use crate::check::Limits;
+use crate::expr::{Env, Expr};
+use crate::spec::{Spec, State};
+
+/// A state mapping `Var_A = f(Var_B)`: one expression over B's variables
+/// per A variable.
+#[derive(Debug, Clone)]
+pub struct StateMap {
+    /// `exprs[i]` computes A-variable `i` from a B state.
+    pub exprs: Vec<Expr>,
+}
+
+impl StateMap {
+    /// The identity-prefix map: A-var `i` := B-var `i` (for specs whose
+    /// variable lists share a prefix).
+    pub fn identity(n: usize) -> StateMap {
+        StateMap { exprs: (0..n).map(Expr::Var).collect() }
+    }
+
+    /// Applies the map to a B state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors (ill-typed map).
+    pub fn apply(&self, b_state: &State) -> Result<State, String> {
+        self.exprs
+            .iter()
+            .map(|e| e.eval(&mut Env::of_state(b_state)))
+            .collect()
+    }
+}
+
+/// Result of a refinement check.
+#[derive(Debug, Clone)]
+pub struct RefinementReport {
+    /// B states explored.
+    pub b_states: usize,
+    /// B transitions checked.
+    pub b_transitions: usize,
+    /// How many mapped to stutters.
+    pub stutters: usize,
+    /// Whether exploration exhausted B's reachable states (vs budget).
+    pub exhausted: bool,
+}
+
+/// A refinement failure: a B transition with no A counterpart.
+#[derive(Debug, Clone)]
+pub struct RefinementError {
+    /// The B action taken.
+    pub b_action: String,
+    /// Rendered mapped pre-state.
+    pub mapped_pre: String,
+    /// Rendered mapped post-state.
+    pub mapped_post: String,
+}
+
+impl std::fmt::Display for RefinementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "B action `{}` maps to an impossible A step:\n  f(s)  = {}\n  f(s') = {}",
+            self.b_action, self.mapped_pre, self.mapped_post
+        )
+    }
+}
+
+fn render(a: &Spec, st: &State) -> String {
+    a.vars
+        .iter()
+        .zip(st)
+        .map(|(n, v)| format!("{n}={v}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Checks that `b` refines `a` under `map`, exploring `b` up to `limits`.
+///
+/// # Errors
+///
+/// Returns the first B transition whose image is neither a stutter nor
+/// an A transition.
+///
+/// # Panics
+///
+/// Panics on ill-typed specs or maps (spec-definition bugs).
+pub fn check_refinement(
+    b: &Spec,
+    a: &Spec,
+    map: &StateMap,
+    limits: Limits,
+) -> Result<RefinementReport, RefinementError> {
+    assert_eq!(map.exprs.len(), a.vars.len(), "map covers every A variable");
+    b.validate().expect("B validates");
+    a.validate().expect("A validates");
+
+    // Sanity: the initial states correspond.
+    let mapped_init = map.apply(&b.init).expect("map applies to init");
+    assert_eq!(
+        mapped_init, a.init,
+        "f(Init_B) must equal Init_A (got {} expected {})",
+        render(a, &mapped_init),
+        render(a, &a.init)
+    );
+
+    let mut seen = std::collections::HashSet::new();
+    let mut queue = std::collections::VecDeque::new();
+    seen.insert(b.init.clone());
+    queue.push_back(b.init.clone());
+
+    let mut b_transitions = 0usize;
+    let mut stutters = 0usize;
+    let mut exhausted = true;
+
+    while let Some(state) = queue.pop_front() {
+        let mapped_pre = map.apply(&state).expect("map applies");
+        for t in b.transitions(&state).expect("B transitions evaluate") {
+            b_transitions += 1;
+            let mapped_post = map.apply(&t.next).expect("map applies");
+            if mapped_post == mapped_pre {
+                stutters += 1;
+            } else if !a.admits(&mapped_pre, &mapped_post).expect("A transitions evaluate") {
+                return Err(RefinementError {
+                    b_action: b.actions[t.action].name.clone(),
+                    mapped_pre: render(a, &mapped_pre),
+                    mapped_post: render(a, &mapped_post),
+                });
+            }
+            if !seen.contains(&t.next) {
+                if seen.len() >= limits.max_states {
+                    exhausted = false;
+                    continue;
+                }
+                seen.insert(t.next.clone());
+                queue.push_back(t.next);
+            }
+        }
+    }
+    Ok(RefinementReport { b_states: seen.len(), b_transitions, stutters, exhausted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{add, eq, int, lt, param, var};
+    use crate::spec::{ActionSchema, Domain};
+    use crate::value::Value;
+
+    /// A: a counter modulo nothing; B: a counter that also tracks parity.
+    fn spec_a() -> Spec {
+        Spec {
+            name: "A".into(),
+            vars: vec!["x".into()],
+            init: vec![Value::Int(0)],
+            actions: vec![ActionSchema {
+                name: "Inc".into(),
+                params: vec![],
+                guard: lt(var(0), int(4)),
+                updates: vec![(0, add(var(0), int(1)))],
+            }],
+        }
+    }
+
+    fn spec_b() -> Spec {
+        Spec {
+            name: "B".into(),
+            vars: vec!["x".into(), "parity".into()],
+            init: vec![Value::Int(0), Value::Int(0)],
+            actions: vec![
+                ActionSchema {
+                    name: "IncB".into(),
+                    params: vec![],
+                    guard: lt(var(0), int(4)),
+                    updates: vec![
+                        (0, add(var(0), int(1))),
+                        (1, Expr::Mod(Box::new(add(var(1), int(1))), Box::new(int(2)))),
+                    ],
+                },
+                ActionSchema {
+                    name: "TouchParity".into(),
+                    params: vec![],
+                    guard: eq(var(1), int(0)),
+                    updates: vec![(1, int(0))],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn b_refines_a_by_projection() {
+        let map = StateMap { exprs: vec![var(0)] };
+        let report = check_refinement(&spec_b(), &spec_a(), &map, Limits::default()).unwrap();
+        assert!(report.exhausted);
+        assert!(report.b_states >= 5);
+    }
+
+    #[test]
+    fn stutters_are_counted() {
+        // A B action that changes only the extra variable maps to a
+        // stutter.
+        let mut b = spec_b();
+        b.actions.push(ActionSchema {
+            name: "FlipExtra".into(),
+            params: vec![],
+            guard: eq(var(1), int(0)),
+            updates: vec![(1, int(1))],
+        });
+        // Changing parity independently breaks the parity invariant but
+        // not the refinement to A (parity is not mapped).
+        let map = StateMap { exprs: vec![var(0)] };
+        let report = check_refinement(&b, &spec_a(), &map, Limits::default()).unwrap();
+        assert!(report.stutters > 0);
+    }
+
+    #[test]
+    fn detects_non_refinement() {
+        // B jumps by 2, which A cannot do.
+        let mut b = spec_b();
+        b.actions.push(ActionSchema {
+            name: "Jump".into(),
+            params: vec![],
+            guard: lt(var(0), int(3)),
+            updates: vec![(0, add(var(0), int(2)))],
+        });
+        let map = StateMap { exprs: vec![var(0)] };
+        let err = check_refinement(&b, &spec_a(), &map, Limits::default()).unwrap_err();
+        assert_eq!(err.b_action, "Jump");
+        assert!(err.to_string().contains("impossible"));
+    }
+
+    #[test]
+    #[should_panic(expected = "f(Init_B) must equal Init_A")]
+    fn init_mismatch_panics() {
+        let mut b = spec_b();
+        b.init[0] = Value::Int(7);
+        let map = StateMap { exprs: vec![var(0)] };
+        let _ = check_refinement(&b, &spec_a(), &map, Limits::default());
+    }
+
+    #[test]
+    fn mapping_with_expressions() {
+        // Map A's x to B's x via an expression (x = parity + shifted).
+        // Build B2 where x is stored split into two vars summing to x.
+        let b2 = Spec {
+            name: "B2".into(),
+            vars: vec!["lo".into(), "hi".into()],
+            init: vec![Value::Int(0), Value::Int(0)],
+            actions: vec![ActionSchema {
+                name: "IncLo".into(),
+                params: vec![("which".into(), Domain::ints(0, 0))],
+                guard: lt(add(var(0), var(1)), int(4)),
+                updates: vec![(0, add(var(0), int(1)))],
+            }],
+        };
+        let map = StateMap { exprs: vec![add(var(0), var(1))] };
+        let report = check_refinement(&b2, &spec_a(), &map, Limits::default()).unwrap();
+        assert!(report.exhausted);
+        let _ = param(0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Protocol specifications as guarded-update state machines.
+//!
+//! A [`Spec`] is the DSL's analogue of a TLA+ module: named state
+//! variables with an initial state, and a `Next` relation given as a
+//! disjunction of [`ActionSchema`]s. Each schema has finitely-domained
+//! parameters, a boolean guard and deterministic updates — TLA+'s
+//! nondeterminism is lifted into the parameters, which keeps next-state
+//! enumeration mechanical (the same restriction TLC effectively imposes).
+
+use std::collections::BTreeSet;
+
+use crate::expr::{Env, Expr};
+use crate::value::Value;
+
+/// A state: one [`Value`] per declared variable.
+pub type State = Vec<Value>;
+
+/// A parameter's domain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Domain {
+    /// A fixed set of values.
+    Const(BTreeSet<Value>),
+    /// A set computed from the current state (e.g. "some message in the
+    /// 1b set").
+    FromState(Expr),
+}
+
+impl Domain {
+    /// Constant domain from an iterator.
+    pub fn of<I: IntoIterator<Item = Value>>(items: I) -> Domain {
+        Domain::Const(items.into_iter().collect())
+    }
+
+    /// Constant integer range.
+    pub fn ints(lo: i64, hi: i64) -> Domain {
+        Domain::Const((lo..=hi).map(Value::Int).collect())
+    }
+
+    /// Enumerates the domain's values in `state`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from state-dependent domains.
+    pub fn enumerate(&self, state: &State) -> Result<Vec<Value>, String> {
+        match self {
+            Domain::Const(s) => Ok(s.iter().cloned().collect()),
+            Domain::FromState(e) => {
+                let v = e.eval(&mut Env::of_state(state))?;
+                Ok(v.as_set()?.iter().cloned().collect())
+            }
+        }
+    }
+}
+
+/// One guarded-update subaction (a disjunct of `Next`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionSchema {
+    /// Name (used by the porting maps and in counterexamples).
+    pub name: String,
+    /// Parameters: `(name, domain)`.
+    pub params: Vec<(String, Domain)>,
+    /// Enabling condition over state variables and parameters.
+    pub guard: Expr,
+    /// Next-state assignments; unlisted variables are unchanged.
+    pub updates: Vec<(usize, Expr)>,
+}
+
+impl ActionSchema {
+    /// The set of state variables this action writes.
+    pub fn writes(&self) -> BTreeSet<usize> {
+        self.updates.iter().map(|(i, _)| *i).collect()
+    }
+}
+
+/// A protocol specification.
+#[derive(Debug, Clone)]
+pub struct Spec {
+    /// Module name.
+    pub name: String,
+    /// Variable names (indices are `Expr::Var` indices).
+    pub vars: Vec<String>,
+    /// The single initial state.
+    pub init: State,
+    /// The disjuncts of `Next`.
+    pub actions: Vec<ActionSchema>,
+}
+
+/// A concrete transition: which action, which parameter values, and the
+/// successor state.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// Index into [`Spec::actions`].
+    pub action: usize,
+    /// Chosen parameter values.
+    pub params: Vec<Value>,
+    /// The successor state.
+    pub next: State,
+}
+
+impl Spec {
+    /// Looks up an action by name.
+    pub fn action(&self, name: &str) -> Option<(usize, &ActionSchema)> {
+        self.actions.iter().enumerate().find(|(_, a)| a.name == name)
+    }
+
+    /// Validates internal consistency (update indices in range).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.init.len() != self.vars.len() {
+            return Err(format!(
+                "{}: init has {} values for {} vars",
+                self.name,
+                self.init.len(),
+                self.vars.len()
+            ));
+        }
+        for a in &self.actions {
+            for (i, _) in &a.updates {
+                if *i >= self.vars.len() {
+                    return Err(format!("{}: action {} updates unknown var {}", self.name, a.name, i));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Enumerates every enabled transition from `state`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors (which indicate a malformed spec).
+    pub fn transitions(&self, state: &State) -> Result<Vec<Transition>, String> {
+        let mut out = Vec::new();
+        for (ai, action) in self.actions.iter().enumerate() {
+            let mut domains = Vec::with_capacity(action.params.len());
+            for (_, d) in &action.params {
+                domains.push(d.enumerate(state)?);
+            }
+            let mut idx = vec![0usize; domains.len()];
+            'outer: loop {
+                if domains.iter().any(|d| d.is_empty()) {
+                    break;
+                }
+                let params: Vec<Value> =
+                    idx.iter().zip(&domains).map(|(&i, d)| d[i].clone()).collect();
+                let mut env = Env { state, params: &params, locals: Vec::new() };
+                let enabled = action
+                    .guard
+                    .eval(&mut env)
+                    .map_err(|e| format!("{}/{}: guard: {e}", self.name, action.name))?
+                    .as_bool()?;
+                if enabled {
+                    let mut next = state.clone();
+                    for (vi, expr) in &action.updates {
+                        let mut env = Env { state, params: &params, locals: Vec::new() };
+                        next[*vi] = expr
+                            .eval(&mut env)
+                            .map_err(|e| format!("{}/{}: update {vi}: {e}", self.name, action.name))?;
+                    }
+                    if &next != state {
+                        out.push(Transition { action: ai, params, next });
+                    }
+                }
+                // Advance the parameter odometer.
+                for k in (0..idx.len()).rev() {
+                    idx[k] += 1;
+                    if idx[k] < domains[k].len() {
+                        continue 'outer;
+                    }
+                    idx[k] = 0;
+                }
+                break;
+            }
+            // Parameterless actions: the odometer loop above handles them
+            // (empty idx -> single iteration).
+            if action.params.is_empty() {
+                // already covered by the single iteration
+            }
+        }
+        Ok(out)
+    }
+
+    /// Checks whether a specific `(state, next)` pair is one of this
+    /// spec's transitions (used by the refinement checker).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn admits(&self, state: &State, next: &State) -> Result<bool, String> {
+        if state == next {
+            return Ok(true); // stuttering step
+        }
+        for t in self.transitions(state)? {
+            if &t.next == next {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{add, and, eq, int, lt, param, var};
+
+    /// A counter that increments while below a bound, with a flag.
+    fn counter_spec() -> Spec {
+        Spec {
+            name: "Counter".into(),
+            vars: vec!["count".into(), "flag".into()],
+            init: vec![Value::Int(0), Value::Bool(false)],
+            actions: vec![
+                ActionSchema {
+                    name: "Inc".into(),
+                    params: vec![("by".into(), Domain::ints(1, 2))],
+                    guard: lt(var(0), int(3)),
+                    updates: vec![(0, add(var(0), param(0)))],
+                },
+                ActionSchema {
+                    name: "SetFlag".into(),
+                    params: vec![],
+                    guard: and(vec![eq(var(0), int(3)), eq(var(1), Expr::Const(Value::Bool(false)))]),
+                    updates: vec![(1, Expr::Const(Value::Bool(true)))],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn validate_passes_and_catches_bad_updates() {
+        let spec = counter_spec();
+        assert_eq!(spec.validate(), Ok(()));
+        let mut bad = counter_spec();
+        bad.actions[0].updates[0].0 = 9;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn transitions_enumerate_params() {
+        let spec = counter_spec();
+        let ts = spec.transitions(&spec.init).unwrap();
+        // Inc by 1 and by 2 enabled; SetFlag not.
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].next[0], Value::Int(1));
+        assert_eq!(ts[1].next[0], Value::Int(2));
+    }
+
+    #[test]
+    fn guard_blocks_disabled_actions() {
+        let spec = counter_spec();
+        let state = vec![Value::Int(3), Value::Bool(false)];
+        let ts = spec.transitions(&state).unwrap();
+        assert_eq!(ts.len(), 1, "only SetFlag");
+        assert_eq!(spec.actions[ts[0].action].name, "SetFlag");
+        assert_eq!(ts[0].next[1], Value::Bool(true));
+    }
+
+    #[test]
+    fn self_loops_are_dropped() {
+        // An action whose update is identity produces no transition.
+        let spec = Spec {
+            name: "Noop".into(),
+            vars: vec!["x".into()],
+            init: vec![Value::Int(0)],
+            actions: vec![ActionSchema {
+                name: "Same".into(),
+                params: vec![],
+                guard: Expr::Const(Value::Bool(true)),
+                updates: vec![(0, var(0))],
+            }],
+        };
+        assert!(spec.transitions(&spec.init).unwrap().is_empty());
+    }
+
+    #[test]
+    fn admits_recognizes_transitions_and_stutters() {
+        let spec = counter_spec();
+        let next = vec![Value::Int(2), Value::Bool(false)];
+        assert!(spec.admits(&spec.init, &next).unwrap());
+        assert!(spec.admits(&spec.init, &spec.init).unwrap(), "stutter");
+        let bogus = vec![Value::Int(9), Value::Bool(false)];
+        assert!(!spec.admits(&spec.init, &bogus).unwrap());
+    }
+
+    #[test]
+    fn state_dependent_domains() {
+        // Param ranges over the current value of a set variable.
+        let spec = Spec {
+            name: "Pick".into(),
+            vars: vec!["pool".into(), "picked".into()],
+            init: vec![Value::int_range(1, 3), Value::set([])],
+            actions: vec![ActionSchema {
+                name: "Pick".into(),
+                params: vec![("x".into(), Domain::FromState(var(0)))],
+                guard: Expr::Const(Value::Bool(true)),
+                updates: vec![(1, crate::expr::set_insert(var(1), param(0)))],
+            }],
+        };
+        let ts = spec.transitions(&spec.init).unwrap();
+        assert_eq!(ts.len(), 3);
+    }
+}

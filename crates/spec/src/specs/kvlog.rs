@@ -1,0 +1,224 @@
+//! The Figure-4 worked example: a key-value store `A`, a log store `B`
+//! that refines it, a non-mutating size-tracking optimization `A∆`, and
+//! the port map used to generate `B∆` (Figure 4d) mechanically.
+//!
+//! Keys/indices and values range over small finite sets so the state
+//! spaces are exhaustively checkable.
+
+use crate::expr::{add, and, app, eq, fun_set, int, or, param, var};
+use crate::port::{ModifiedAction, OptDelta, PortMap};
+use crate::refine::StateMap;
+use crate::spec::{ActionSchema, Domain, Spec};
+use crate::value::Value;
+
+/// Number of keys / log positions.
+pub const KEYS: i64 = 3;
+/// Values (0 means "empty", matching Figure 4's `{}`).
+pub const VALUES: i64 = 2;
+
+fn empty_table() -> Value {
+    Value::fun((0..KEYS).map(|k| (Value::Int(k), Value::Int(0))))
+}
+
+/// Figure 4a: the key-value store `A` with `Put(k, v)` and `Get(k)`.
+pub fn kv_store() -> Spec {
+    Spec {
+        name: "KVStore".into(),
+        vars: vec!["table".into(), "output".into()],
+        init: vec![empty_table(), Value::Int(0)],
+        actions: vec![
+            ActionSchema {
+                name: "Put".into(),
+                params: vec![
+                    ("k".into(), Domain::ints(0, KEYS - 1)),
+                    ("v".into(), Domain::ints(1, VALUES)),
+                ],
+                guard: Expr2::TRUE,
+                updates: vec![(0, fun_set(var(0), param(0), param(1)))],
+            },
+            ActionSchema {
+                name: "Get".into(),
+                params: vec![("k".into(), Domain::ints(0, KEYS - 1))],
+                guard: Expr2::TRUE,
+                updates: vec![(1, app(var(0), param(0)))],
+            },
+        ],
+    }
+}
+
+/// Figure 4b: the log store `B` — `Write(i, v)` requires position `i-1`
+/// filled (contiguity), `Read(i)` reads position `i`.
+pub fn log_store() -> Spec {
+    Spec {
+        name: "LogStore".into(),
+        vars: vec!["logs".into(), "output".into()],
+        init: vec![empty_table(), Value::Int(0)],
+        actions: vec![
+            ActionSchema {
+                name: "Write".into(),
+                params: vec![
+                    ("i".into(), Domain::ints(0, KEYS - 1)),
+                    ("v".into(), Domain::ints(1, VALUES)),
+                ],
+                guard: or(vec![
+                    eq(param(0), int(0)),
+                    Expr2::ne(app(var(0), add(param(0), int(-1))), int(0)),
+                ]),
+                updates: vec![(0, fun_set(var(0), param(0), param(1)))],
+            },
+            ActionSchema {
+                name: "Read".into(),
+                params: vec![("i".into(), Domain::ints(0, KEYS - 1))],
+                guard: Expr2::TRUE,
+                updates: vec![(1, app(var(0), param(0)))],
+            },
+        ],
+    }
+}
+
+/// Figure 4c minus Figure 4a: the size-tracking optimization. `Put`
+/// gains the guard `table[k] = {}` and the update `size' = size + 1`;
+/// `size` is the only new variable, and no `A` variable is mutated.
+pub fn size_delta() -> OptDelta {
+    OptDelta {
+        new_vars: vec!["size".into()],
+        new_init: vec![Value::Int(0)],
+        added: vec![],
+        modified: vec![ModifiedAction {
+            base: "Put".into(),
+            extra_guard: eq(app(var(0), param(0)), int(0)),
+            extra_updates: vec![(2, add(var(2), int(1)))],
+        }],
+    }
+}
+
+/// The refinement/port map: `table := logs`, `output := output`;
+/// `Write(i, v)` implies `Put(k := i, v := v)`, `Read(i)` implies
+/// `Get(k := i)`.
+pub fn port_map() -> PortMap {
+    PortMap {
+        state_map: StateMap { exprs: vec![var(0), var(1)] },
+        action_map: vec![("Write".into(), "Put".into()), ("Read".into(), "Get".into())],
+        param_maps: vec![vec![param(0), param(1)], vec![param(0)]],
+    }
+}
+
+/// Hand-written Figure 4d, for comparing against the generated `B∆`.
+pub fn log_store_with_size_by_hand() -> Spec {
+    let mut spec = log_store();
+    spec.name = "LogStore+∆(hand)".into();
+    spec.vars.push("size".into());
+    spec.init.push(Value::Int(0));
+    let write = spec.actions.iter_mut().find(|a| a.name == "Write").expect("Write exists");
+    write.guard = and(vec![write.guard.clone(), eq(app(var(0), param(0)), int(0))]);
+    write.updates.push((2, add(var(2), int(1))));
+    spec
+}
+
+/// Tiny helpers local to this module.
+struct Expr2;
+impl Expr2 {
+    const TRUE: crate::expr::Expr = crate::expr::Expr::Const(Value::Bool(true));
+    fn ne(a: crate::expr::Expr, b: crate::expr::Expr) -> crate::expr::Expr {
+        crate::expr::not(eq(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{explore, Invariant, Limits, Verdict};
+    use crate::expr::{forall, implies, le, local, not};
+    use crate::port::{extended_map, port, projection_map};
+    use crate::refine::{check_refinement, StateMap};
+
+    #[test]
+    fn kv_store_explores() {
+        let a = kv_store();
+        let report = explore(&a, &[], Limits::default());
+        assert_eq!(report.verdict, Verdict::Exhausted);
+        // 3 keys × 3 table values × 3 outputs = 81 states.
+        assert!(report.states > 20);
+    }
+
+    #[test]
+    fn log_store_refines_kv_store() {
+        let b = log_store();
+        let a = kv_store();
+        let map = StateMap::identity(2);
+        let report = check_refinement(&b, &a, &map, Limits::default()).unwrap();
+        assert!(report.exhausted);
+        assert!(report.b_transitions > 0);
+    }
+
+    #[test]
+    fn log_contiguity_invariant_holds() {
+        // In B, a filled position implies position i-1 filled.
+        let b = log_store();
+        let contiguous = forall(
+            "i",
+            crate::expr::Expr::Const(Value::int_range(1, KEYS - 1)),
+            implies(
+                not(eq(app(var(0), local("i")), int(0))),
+                not(eq(app(var(0), add(local("i"), int(-1))), int(0))),
+            ),
+        );
+        let report = explore(&b, &[Invariant::new("contiguous", contiguous)], Limits::default());
+        assert!(report.ok());
+    }
+
+    #[test]
+    fn delta_is_non_mutating() {
+        assert!(size_delta().check_non_mutating(&kv_store()).is_ok());
+    }
+
+    #[test]
+    fn generated_b_delta_matches_figure_4d() {
+        let a = kv_store();
+        let b = log_store();
+        let generated = port(&a, &size_delta(), &b, &port_map()).unwrap();
+        let hand = log_store_with_size_by_hand();
+        assert_eq!(generated.vars, hand.vars);
+        assert_eq!(generated.init, hand.init);
+        assert_eq!(generated.actions.len(), hand.actions.len());
+        for (g, h) in generated.actions.iter().zip(&hand.actions) {
+            assert_eq!(g.name, h.name);
+            assert_eq!(g.updates, h.updates, "updates of {}", g.name);
+            assert_eq!(g.guard, h.guard, "guard of {}", g.name);
+        }
+    }
+
+    #[test]
+    fn b_delta_refines_a_delta_and_b() {
+        let a = kv_store();
+        let b = log_store();
+        let delta = size_delta();
+        let bd = port(&a, &delta, &b, &port_map()).unwrap();
+        let ad = delta.apply_to(&a);
+        let ext = extended_map(&a, &b, &delta, &port_map().state_map);
+        let r1 = check_refinement(&bd, &ad, &ext, Limits::default()).unwrap();
+        assert!(r1.exhausted, "B∆ ⇒ A∆ fully checked");
+        let r2 = check_refinement(&bd, &b, &projection_map(&b), Limits::default()).unwrap();
+        assert!(r2.exhausted, "B∆ ⇒ B fully checked");
+    }
+
+    #[test]
+    fn size_counts_filled_cells_in_b_delta() {
+        // The ported optimization's invariant: size == number of
+        // non-empty log cells.
+        let a = kv_store();
+        let b = log_store();
+        let bd = port(&a, &size_delta(), &b, &port_map()).unwrap();
+        let size_correct = {
+            let filled = crate::expr::Expr::Card(Box::new(crate::expr::Expr::SetFilter(
+                "i".into(),
+                Box::new(crate::expr::Expr::Const(Value::int_range(0, KEYS - 1))),
+                Box::new(not(eq(app(var(0), local("i")), int(0)))),
+            )));
+            eq(var(2), filled)
+        };
+        let report = explore(&bd, &[Invariant::new("size=filled", size_correct)], Limits::default());
+        assert!(report.ok(), "{:?}", report.verdict);
+        let _ = le(int(0), int(1));
+    }
+}

@@ -1,0 +1,595 @@
+//! Raft* (Appendix B.2) in atomic-RPC style, refining MultiPaxos.
+//!
+//! The variable list *starts with* the five MultiPaxos-mapped variables
+//! in the same order as [`super::multipaxos`], so the Appendix-C
+//! refinement mapping is the identity on that prefix (Figure 3's table:
+//! `currentTerm ↔ ballot`, `isLeader ↔ phase1Succeeded`,
+//! `entry.bal ↔ instance.bal`, `entry.val ↔ instance.val`, votes ↔
+//! votes); the Raft-specific variables (`rterm`, `last`, `cidx`) are
+//! dropped by the mapping.
+//!
+//! Subactions and their MultiPaxos images (Figure 3's function table,
+//! coarsened to atomic RPCs):
+//!
+//! - `ElectLeader(a, t, Q, e*)` → `Phase1`: RequestVote + quorum of
+//!   `requestVoteOK`s carrying *extra entries*, which the new leader
+//!   merges (safe value = highest ballot per index). Like the appendix's
+//!   TLA+ (and unlike the Figure-2 pseudocode), merged entries keep
+//!   their **original** ballot — the re-ballot to the new term happens
+//!   on the first append, exactly as Paxos re-proposes adopted values.
+//! - `ProposeEntry(l, v)` → `Propose`: append a new entry at
+//!   `last + 1`, self-accept at the current term.
+//! - `Append(l, f)` → `AcceptAll`: replicate the leader's whole log to
+//!   `f`, rewriting every covered entry's ballot to the leader's term
+//!   (Figure 2b lines 6-7) and recording votes at that term — the
+//!   batched Paxos phase-2. The `lastIndex ≤ prev + length(ents)` rule
+//!   appears as the `last[f] ≤ last[l]` guard: logs never shrink.
+//! - `LeaderLearn(l, k, Q)` → stutter: `commitIndex` is not mapped;
+//!   its safety (committed ⇒ chosen) is a Raft*-side invariant.
+
+use crate::expr::{
+    and, app, app2, contains, eq, exists, forall, fun_build, fun_set, gt, implies, int, ite, le,
+    local, lt, max_over, nth, or, param, set_insert, tuple, var, Expr,
+};
+use crate::refine::StateMap;
+use crate::spec::{ActionSchema, Domain, Spec};
+use crate::specs::multipaxos::MpConfig;
+use crate::value::Value;
+
+/// `currentTerm` (maps to `bal`).
+pub const TERM: usize = 0;
+/// `isLeader` (maps to `ldr`).
+pub const LDR: usize = 1;
+/// Per-entry ballot (maps to `abal`).
+pub const RBAL: usize = 2;
+/// Per-entry value (maps to `aval`).
+pub const RVAL: usize = 3;
+/// Vote sets (map to `votes`).
+pub const VOTES: usize = 4;
+/// Per-entry Raft term (unmapped).
+pub const RTERM: usize = 5;
+/// `lastIndex` (unmapped).
+pub const LAST: usize = 6;
+/// `commitIndex` (unmapped).
+pub const CIDX: usize = 7;
+
+/// `lastTerm(x)`: term of x's last entry, 0 for an empty log.
+fn last_term(x: Expr) -> Expr {
+    ite(
+        eq(app(var(LAST), x.clone()), int(0)),
+        int(0),
+        app2(var(RTERM), x.clone(), app(var(LAST), x)),
+    )
+}
+
+/// Builds the Raft* spec over the same bounds as a MultiPaxos config.
+pub fn spec(cfg: &MpConfig) -> Spec {
+    let acc = Expr::Const(cfg.acceptors());
+    let slots = Expr::Const(cfg.slot_set());
+    let n = cfg.n as i64;
+    let acc_dom = Domain::Const(cfg.acceptors().as_set().unwrap().clone());
+
+    // ---- ElectLeader(a, t, Q, e_1..e_S) ---------------------------
+    let mut el_params = vec![
+        ("a".to_string(), acc_dom.clone()),
+        ("t".to_string(), Domain::ints(1, cfg.max_ballot)),
+        ("Q".to_string(), Domain::Const(cfg.quorums().as_set().unwrap().clone())),
+    ];
+    for s in 1..=cfg.slots {
+        el_params.push((format!("e{s}"), cfg.entry_domain()));
+    }
+    let mut el_guard = vec![
+        eq(Expr::Mod(Box::new(param(1)), Box::new(int(n))), param(0)),
+        contains(param(2), param(0)),
+        forall("q", param(2), lt(app(var(TERM), local("q")), param(1))),
+        // The Raft* vote rule: a voter's log ballot (its last term under
+        // the uniform-ballot invariant) must not exceed the candidate's.
+        forall("q", param(2), le(last_term(local("q")), last_term(param(0)))),
+    ];
+    for s in 1..=cfg.slots {
+        let e = param(2 + s as usize);
+        let s_e = int(s);
+        // The candidate keeps its own prefix: for s ≤ last[a] the safe
+        // entry must be its own (ballot-maximal over Q, which the vote
+        // rule guarantees and the refinement checker verifies).
+        let own = and(vec![
+            eq(nth(e.clone(), 0), app2(var(RBAL), param(0), s_e.clone())),
+            eq(nth(e.clone(), 1), app2(var(RVAL), param(0), s_e.clone())),
+            // Own entry is ballot-maximal over the quorum.
+            forall(
+                "q",
+                param(2),
+                le(
+                    app2(var(RBAL), local("q"), s_e.clone()),
+                    app2(var(RBAL), param(0), s_e.clone()),
+                ),
+            ),
+        ]);
+        // Extras: highest-ballot entry among the quorum (Paxos-safe).
+        let max_bal = max_over("q", param(2), app2(var(RBAL), local("q"), s_e.clone()), int(0));
+        let extra = and(vec![
+            eq(nth(e.clone(), 0), max_bal),
+            or(vec![
+                and(vec![eq(nth(e.clone(), 0), int(0)), eq(nth(e.clone(), 1), int(0))]),
+                and(vec![
+                    gt(nth(e.clone(), 0), int(0)),
+                    exists(
+                        "q",
+                        param(2),
+                        and(vec![
+                            eq(app2(var(RBAL), local("q"), s_e.clone()), nth(e.clone(), 0)),
+                            eq(app2(var(RVAL), local("q"), s_e.clone()), nth(e.clone(), 1)),
+                        ]),
+                    ),
+                ]),
+            ]),
+        ]);
+        el_guard.push(ite(le(s_e, app(var(LAST), param(0))), own, extra));
+    }
+    // Adopted entry fields per slot, from the e parameters.
+    let adopted = |field: usize| -> Expr {
+        let mut body = int(0);
+        for s in (1..=cfg.slots).rev() {
+            body = ite(eq(local("s"), int(s)), nth(param(2 + s as usize), field), body);
+        }
+        fun_build("s", slots.clone(), body)
+    };
+    // New last index: the highest slot with a non-empty adopted entry.
+    let new_last = {
+        let mut body = int(0);
+        for s in 1..=cfg.slots {
+            body = ite(gt(nth(param(2 + s as usize), 0), int(0)), int(s), body);
+        }
+        body
+    };
+    let elect = ActionSchema {
+        name: "ElectLeader".into(),
+        params: el_params,
+        guard: and(el_guard),
+        updates: vec![
+            (
+                TERM,
+                fun_build(
+                    "x",
+                    acc.clone(),
+                    ite(contains(param(2), local("x")), param(1), app(var(TERM), local("x"))),
+                ),
+            ),
+            (
+                LDR,
+                fun_build(
+                    "x",
+                    acc.clone(),
+                    ite(
+                        eq(local("x"), param(0)),
+                        Expr::Const(Value::Bool(true)),
+                        ite(
+                            contains(param(2), local("x")),
+                            Expr::Const(Value::Bool(false)),
+                            app(var(LDR), local("x")),
+                        ),
+                    ),
+                ),
+            ),
+            (RBAL, fun_set(var(RBAL), param(0), adopted(0))),
+            (RVAL, fun_set(var(RVAL), param(0), adopted(1))),
+            // Merged entries take the new term on the Raft side.
+            (
+                RTERM,
+                fun_set(
+                    var(RTERM),
+                    param(0),
+                    fun_build(
+                        "s",
+                        slots.clone(),
+                        ite(
+                            le(local("s"), app(var(LAST), param(0))),
+                            app2(var(RTERM), param(0), local("s")),
+                            ite(gt(app(adopted(0), local("s")), int(0)), param(1), int(0)),
+                        ),
+                    ),
+                ),
+            ),
+            (LAST, fun_set(var(LAST), param(0), new_last)),
+        ],
+    };
+
+    // ---- ProposeEntry(l, v) ---------------------------------------
+    let next_slot = crate::expr::add(app(var(LAST), param(0)), int(1));
+    let propose = ActionSchema {
+        name: "ProposeEntry".into(),
+        params: vec![
+            ("l".to_string(), acc_dom.clone()),
+            ("v".to_string(), Domain::Const(cfg.value_set().as_set().unwrap().clone())),
+        ],
+        guard: and(vec![
+            app(var(LDR), param(0)),
+            lt(app(var(LAST), param(0)), int(cfg.slots)),
+        ]),
+        updates: vec![
+            (
+                RBAL,
+                crate::expr::fun_set2(
+                    var(RBAL),
+                    param(0),
+                    next_slot.clone(),
+                    app(var(TERM), param(0)),
+                ),
+            ),
+            (RVAL, crate::expr::fun_set2(var(RVAL), param(0), next_slot.clone(), param(1))),
+            (
+                RTERM,
+                crate::expr::fun_set2(
+                    var(RTERM),
+                    param(0),
+                    next_slot.clone(),
+                    app(var(TERM), param(0)),
+                ),
+            ),
+            (
+                VOTES,
+                crate::expr::fun_set2(
+                    var(VOTES),
+                    param(0),
+                    next_slot.clone(),
+                    set_insert(
+                        app2(var(VOTES), param(0), next_slot.clone()),
+                        tuple(vec![app(var(TERM), param(0)), param(1)]),
+                    ),
+                ),
+            ),
+            (LAST, fun_set(var(LAST), param(0), next_slot)),
+        ],
+    };
+
+    // ---- Append(l, f) ---------------------------------------------
+    // Figure 2b: replicate the whole log, never shrinking the
+    // follower's, rewriting every covered ballot to the leader's term;
+    // both sides vote (the leader's vote is the implicit appendOK).
+    let covered = |s_expr: Expr| le(s_expr, app(var(LAST), param(0)));
+    let ldr_update_f = ite(
+        eq(param(1), param(0)),
+        app(var(LDR), param(1)),
+        ite(
+            lt(app(var(TERM), param(1)), app(var(TERM), param(0))),
+            Expr::Const(Value::Bool(false)),
+            app(var(LDR), param(1)),
+        ),
+    );
+    let append = ActionSchema {
+        name: "Append".into(),
+        params: vec![("l".to_string(), acc_dom.clone()), ("f".to_string(), acc_dom.clone())],
+        guard: and(vec![
+            app(var(LDR), param(0)),
+            le(app(var(TERM), param(1)), app(var(TERM), param(0))),
+            // Raft* acceptance: the result may not shorten the log
+            // (`lastIndex ≤ prev + length(ents)`).
+            le(app(var(LAST), param(1)), app(var(LAST), param(0))),
+        ]),
+        updates: vec![
+            (LDR, fun_set(var(LDR), param(1), ldr_update_f)),
+            (TERM, fun_set(var(TERM), param(1), app(var(TERM), param(0)))),
+            (
+                RBAL,
+                fun_build(
+                    "x",
+                    acc.clone(),
+                    ite(
+                        or(vec![eq(local("x"), param(0)), eq(local("x"), param(1))]),
+                        fun_build(
+                            "s",
+                            slots.clone(),
+                            ite(
+                                covered(local("s")),
+                                app(var(TERM), param(0)),
+                                app2(var(RBAL), local("x"), local("s")),
+                            ),
+                        ),
+                        app(var(RBAL), local("x")),
+                    ),
+                ),
+            ),
+            (RVAL, fun_set(var(RVAL), param(1), app(var(RVAL), param(0)))),
+            (RTERM, fun_set(var(RTERM), param(1), app(var(RTERM), param(0)))),
+            (
+                VOTES,
+                fun_build(
+                    "x",
+                    acc.clone(),
+                    ite(
+                        or(vec![eq(local("x"), param(0)), eq(local("x"), param(1))]),
+                        fun_build(
+                            "s",
+                            slots.clone(),
+                            ite(
+                                covered(local("s")),
+                                set_insert(
+                                    app2(var(VOTES), local("x"), local("s")),
+                                    tuple(vec![
+                                        app(var(TERM), param(0)),
+                                        app2(var(RVAL), param(0), local("s")),
+                                    ]),
+                                ),
+                                app2(var(VOTES), local("x"), local("s")),
+                            ),
+                        ),
+                        app(var(VOTES), local("x")),
+                    ),
+                ),
+            ),
+            (LAST, fun_set(var(LAST), param(1), app(var(LAST), param(0)))),
+            (
+                CIDX,
+                fun_set(
+                    var(CIDX),
+                    param(1),
+                    Expr::Max(
+                        Box::new(app(var(CIDX), param(1))),
+                        Box::new(app(var(CIDX), param(0))),
+                    ),
+                ),
+            ),
+        ],
+    };
+
+    // ---- LeaderLearn(l, k, Q) -------------------------------------
+    let learn = ActionSchema {
+        name: "LeaderLearn".into(),
+        params: vec![
+            ("l".to_string(), acc_dom),
+            ("k".to_string(), Domain::ints(1, cfg.slots)),
+            ("Q".to_string(), Domain::Const(cfg.quorums().as_set().unwrap().clone())),
+        ],
+        guard: and(vec![
+            app(var(LDR), param(0)),
+            le(param(1), app(var(LAST), param(0))),
+            gt(param(1), app(var(CIDX), param(0))),
+            forall(
+                "s",
+                Expr::Const(cfg.slot_set()),
+                implies(
+                    le(local("s"), param(1)),
+                    forall(
+                        "q",
+                        param(2),
+                        contains(
+                            app2(var(VOTES), local("q"), local("s")),
+                            tuple(vec![
+                                app(var(TERM), param(0)),
+                                app2(var(RVAL), param(0), local("s")),
+                            ]),
+                        ),
+                    ),
+                ),
+            ),
+        ]),
+        updates: vec![(CIDX, fun_set(var(CIDX), param(0), param(1)))],
+    };
+
+    let zero2 = {
+        let inner = Value::fun((1..=cfg.slots).map(|s| (Value::Int(s), Value::Int(0))));
+        Value::fun((0..cfg.n as i64).map(|a| (Value::Int(a), inner.clone())))
+    };
+    let votes0 = {
+        let inner = Value::fun((1..=cfg.slots).map(|s| (Value::Int(s), Value::set([]))));
+        Value::fun((0..cfg.n as i64).map(|a| (Value::Int(a), inner.clone())))
+    };
+    let per_acc_int0 = Value::fun((0..cfg.n as i64).map(|a| (Value::Int(a), Value::Int(0))));
+    let per_acc_false = Value::fun((0..cfg.n as i64).map(|a| (Value::Int(a), Value::Bool(false))));
+
+    Spec {
+        name: "RaftStar".into(),
+        vars: vec![
+            "term".into(),
+            "ldr".into(),
+            "rbal".into(),
+            "rval".into(),
+            "votes".into(),
+            "rterm".into(),
+            "last".into(),
+            "cidx".into(),
+        ],
+        init: vec![
+            per_acc_int0.clone(),
+            per_acc_false,
+            zero2.clone(),
+            zero2.clone(),
+            votes0,
+            zero2,
+            per_acc_int0.clone(),
+            per_acc_int0,
+        ],
+        actions: vec![elect, propose, append, learn],
+    }
+}
+
+/// The Appendix-C refinement mapping Raft* → MultiPaxos: identity on the
+/// first five variables, dropping `rterm`/`last`/`cidx`.
+pub fn refinement_map() -> StateMap {
+    StateMap::identity(5)
+}
+
+/// Log contiguity: `rval[x][s] ≠ 0 ⇔ s ≤ last[x]`.
+pub fn contiguity_invariant(cfg: &MpConfig) -> Expr {
+    forall(
+        "x",
+        Expr::Const(cfg.acceptors()),
+        forall(
+            "s",
+            Expr::Const(cfg.slot_set()),
+            eq(
+                Expr::Not(Box::new(eq(app2(var(RVAL), local("x"), local("s")), int(0)))),
+                le(local("s"), app(var(LAST), local("x"))),
+            ),
+        ),
+    )
+}
+
+/// Commit safety: every slot at or below a leader's `commitIndex` is
+/// chosen (some quorum voted the leader's value there).
+pub fn commit_safety_invariant(cfg: &MpConfig) -> Expr {
+    let ballots = Expr::Const(Value::int_range(1, cfg.max_ballot));
+    forall(
+        "l",
+        Expr::Const(cfg.acceptors()),
+        forall(
+            "s",
+            Expr::Const(cfg.slot_set()),
+            implies(
+                le(local("s"), app(var(CIDX), local("l"))),
+                exists(
+                    "b",
+                    ballots,
+                    crate::specs::multipaxos::chosen_expr(
+                        cfg,
+                        local("s"),
+                        local("b"),
+                        app2(var(RVAL), local("l"), local("s")),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+/// Log matching on entry terms (the Raft paper's invariant, which Raft*
+/// preserves): equal non-zero terms at an index imply equal values.
+pub fn log_matching_invariant(cfg: &MpConfig) -> Expr {
+    let acc = Expr::Const(cfg.acceptors());
+    forall(
+        "x",
+        acc.clone(),
+        forall(
+            "y",
+            acc,
+            forall(
+                "s",
+                Expr::Const(cfg.slot_set()),
+                implies(
+                    and(vec![
+                        le(local("s"), app(var(LAST), local("x"))),
+                        le(local("s"), app(var(LAST), local("y"))),
+                        eq(
+                            app2(var(RTERM), local("x"), local("s")),
+                            app2(var(RTERM), local("y"), local("s")),
+                        ),
+                        gt(app2(var(RTERM), local("x"), local("s")), int(0)),
+                    ]),
+                    eq(
+                        app2(var(RVAL), local("x"), local("s")),
+                        app2(var(RVAL), local("y"), local("s")),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{explore, Invariant, Limits, Verdict};
+    use crate::refine::check_refinement;
+    use crate::specs::multipaxos;
+
+    fn small() -> MpConfig {
+        MpConfig::default()
+    }
+
+    #[test]
+    fn spec_validates() {
+        assert_eq!(spec(&small()).validate(), Ok(()));
+    }
+
+    #[test]
+    fn invariants_hold_single_slot() {
+        let cfg = small();
+        let rs = spec(&cfg);
+        let report = explore(
+            &rs,
+            &[
+                Invariant::new("Contiguity", contiguity_invariant(&cfg)),
+                Invariant::new("CommitSafety", commit_safety_invariant(&cfg)),
+                Invariant::new("LogMatching", log_matching_invariant(&cfg)),
+                Invariant::new("Agreement", multipaxos::agreement_invariant(&cfg)),
+            ],
+            Limits { max_states: 80_000, max_depth: usize::MAX },
+        );
+        assert!(report.ok(), "{:?}", report.verdict);
+        assert!(report.states > 100);
+    }
+
+    #[test]
+    fn raftstar_refines_multipaxos_single_slot() {
+        // The paper's theorem (Appendix C), bounded: every Raft* step maps
+        // to a MultiPaxos step or a stutter under the Figure-3 mapping.
+        let cfg = small();
+        let rs = spec(&cfg);
+        let mp = multipaxos::spec(&cfg);
+        let report = check_refinement(
+            &rs,
+            &mp,
+            &refinement_map(),
+            Limits { max_states: 40_000, max_depth: usize::MAX },
+        )
+        .expect("Raft* refines MultiPaxos");
+        assert!(report.b_transitions > 100);
+        assert!(report.stutters > 0, "LeaderLearn maps to stutters");
+    }
+
+    #[test]
+    fn raftstar_refines_multipaxos_two_slots() {
+        let cfg = MpConfig { slots: 2, max_ballot: 2, ..MpConfig::default() };
+        let rs = spec(&cfg);
+        let mp = multipaxos::spec(&cfg);
+        let report = check_refinement(
+            &rs,
+            &mp,
+            &refinement_map(),
+            Limits { max_states: 15_000, max_depth: usize::MAX },
+        )
+        .expect("Raft* refines MultiPaxos on two slots");
+        assert!(report.b_transitions > 100);
+    }
+
+    #[test]
+    fn commit_is_reachable() {
+        let cfg = small();
+        let rs = spec(&cfg);
+        // cidx > 0 somewhere: negate and expect violation.
+        let never_commits = forall(
+            "l",
+            Expr::Const(cfg.acceptors()),
+            eq(app(var(CIDX), local("l")), int(0)),
+        );
+        let report = explore(
+            &rs,
+            &[Invariant::new("NeverCommits", never_commits)],
+            Limits { max_states: 80_000, max_depth: usize::MAX },
+        );
+        assert!(matches!(report.verdict, Verdict::Violated { .. }), "{:?}", report.verdict);
+    }
+
+    #[test]
+    fn entry_ballots_bounded_by_term() {
+        // Weak form of LogBallotInv: entry ballots never exceed the
+        // node's current term.
+        let cfg = small();
+        let rs = spec(&cfg);
+        let inv = forall(
+            "x",
+            Expr::Const(cfg.acceptors()),
+            forall(
+                "s",
+                Expr::Const(cfg.slot_set()),
+                le(app2(var(RBAL), local("x"), local("s")), app(var(TERM), local("x"))),
+            ),
+        );
+        let report = explore(
+            &rs,
+            &[Invariant::new("BallotLeTerm", inv)],
+            Limits { max_states: 80_000, max_depth: usize::MAX },
+        );
+        assert!(report.ok(), "{:?}", report.verdict);
+    }
+}

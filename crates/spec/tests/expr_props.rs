@@ -1,0 +1,110 @@
+//! Property-based tests for the spec DSL: evaluation determinism,
+//! substitution laws, and checker sanity.
+
+use proptest::prelude::*;
+
+use paxraft_spec::check::{explore, Limits};
+use paxraft_spec::expr::{add, and, eq, int, le, lt, param, var, Env, Expr};
+use paxraft_spec::spec::{ActionSchema, Domain, Spec};
+use paxraft_spec::value::Value;
+
+/// A tiny strategy for closed integer expressions.
+fn int_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (-20i64..20).prop_map(int);
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| add(a, b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Max(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    /// Evaluation is deterministic (pure).
+    #[test]
+    fn eval_is_deterministic(e in int_expr()) {
+        let v1 = e.eval(&mut Env::of_state(&[])).unwrap();
+        let v2 = e.eval(&mut Env::of_state(&[])).unwrap();
+        prop_assert_eq!(v1, v2);
+    }
+
+    /// The identity substitution leaves expressions unchanged.
+    #[test]
+    fn identity_substitution_is_noop(e in int_expr()) {
+        let s = e.substitute(&|_| None, &|_| None);
+        prop_assert_eq!(s, e);
+    }
+
+    /// Substituting Var(i) := Const(c) then evaluating equals evaluating
+    /// with state[i] = c.
+    #[test]
+    fn substitution_commutes_with_eval(c in -50i64..50, k in -50i64..50) {
+        // e = var(0) + k
+        let e = add(var(0), int(k));
+        let substituted = e.substitute(&|_| Some(int(c)), &|_| None);
+        let v1 = substituted.eval(&mut Env::of_state(&[])).unwrap();
+        let state = vec![Value::Int(c)];
+        let v2 = e.eval(&mut Env::of_state(&state)).unwrap();
+        prop_assert_eq!(v1, v2);
+    }
+
+    /// Comparison operators agree with Rust semantics.
+    #[test]
+    fn comparisons_match_rust(a in -100i64..100, b in -100i64..100) {
+        let env = &mut Env::of_state(&[]);
+        prop_assert_eq!(lt(int(a), int(b)).eval(env).unwrap(), Value::Bool(a < b));
+        prop_assert_eq!(le(int(a), int(b)).eval(env).unwrap(), Value::Bool(a <= b));
+        prop_assert_eq!(eq(int(a), int(b)).eval(env).unwrap(), Value::Bool(a == b));
+    }
+
+    /// A bounded counter's reachable state count is exactly bound + step.
+    #[test]
+    fn explorer_counts_counter_states(bound in 1i64..30) {
+        let spec = Spec {
+            name: "C".into(),
+            vars: vec!["x".into()],
+            init: vec![Value::Int(0)],
+            actions: vec![ActionSchema {
+                name: "Inc".into(),
+                params: vec![],
+                guard: lt(var(0), int(bound)),
+                updates: vec![(0, add(var(0), int(1)))],
+            }],
+        };
+        let report = explore(&spec, &[], Limits::default());
+        prop_assert_eq!(report.states as i64, bound + 1);
+    }
+
+    /// Parameterized actions enumerate exactly their domain.
+    #[test]
+    fn param_domains_enumerate(n in 1i64..10) {
+        let spec = Spec {
+            name: "P".into(),
+            vars: vec!["x".into()],
+            init: vec![Value::Int(0)],
+            actions: vec![ActionSchema {
+                name: "Set".into(),
+                params: vec![("v".into(), Domain::ints(1, n))],
+                guard: eq(var(0), int(0)),
+                updates: vec![(0, param(0))],
+            }],
+        };
+        let ts = spec.transitions(&spec.init).unwrap();
+        prop_assert_eq!(ts.len() as i64, n);
+    }
+
+    /// Guards short-circuit: `and` with a false head never errors on an
+    /// ill-typed tail.
+    #[test]
+    fn and_short_circuits(a in -5i64..5) {
+        let e = and(vec![
+            eq(int(a), int(a + 1)),                  // false
+            Expr::App(Box::new(int(1)), Box::new(int(0))), // ill-typed if evaluated
+        ]);
+        let v = e.eval(&mut Env::of_state(&[])).unwrap();
+        prop_assert_eq!(v, Value::Bool(false));
+    }
+}

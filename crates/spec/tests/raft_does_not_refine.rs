@@ -1,0 +1,189 @@
+//! Section 3's motivating observation, mechanized: **standard Raft does
+//! not refine MultiPaxos** under the Figure-3 mapping, for exactly the
+//! two reasons the paper gives:
+//!
+//! 1. a follower *erases* extra entries when its log is longer than the
+//!    leader's — mapped to MultiPaxos, that un-accepts a value, a
+//!    transition MultiPaxos never allows;
+//! 2. the leader replicates old entries *without rewriting their term* —
+//!    mapped to MultiPaxos, an acceptor would accept at a ballot other
+//!    than the proposer's current one.
+//!
+//! We extend the Raft* spec with each Raft behaviour in turn and show
+//! the refinement checker rejects the result, pinpointing the offending
+//! action. (Raft itself is safe — the paper's point is only that its
+//! surface behaviours have no Paxos image, which is why Raft* exists.)
+
+use paxraft_spec::check::Limits;
+use paxraft_spec::expr::{
+    and, app, app2, fun_build, fun_set, int, ite, le, local, lt, param, var, Expr,
+};
+use paxraft_spec::refine::check_refinement;
+use paxraft_spec::spec::{ActionSchema, Domain};
+use paxraft_spec::specs::multipaxos::{self, MpConfig};
+use paxraft_spec::specs::raftstar::{self, LAST, LDR, RBAL, RTERM, RVAL, TERM};
+use paxraft_spec::value::Value;
+
+fn cfg() -> MpConfig {
+    MpConfig { slots: 2, max_ballot: 2, ..MpConfig::default() }
+}
+
+/// Raft's truncation: a follower with a *longer* log adopts a shorter
+/// leader's log, erasing the surplus entries (Figure 2's non-starred
+/// RecieveAppend, "erases extraneous entries not found in the sender's
+/// log").
+fn truncating_append(c: &MpConfig) -> ActionSchema {
+    let acc_dom = Domain::Const(c.acceptors().as_set().unwrap().clone());
+    let slots = Expr::Const(c.slot_set());
+    let covered = |s: Expr| le(s, app(var(LAST), param(0)));
+    ActionSchema {
+        name: "RaftTruncatingAppend".into(),
+        params: vec![("l".to_string(), acc_dom.clone()), ("f".to_string(), acc_dom)],
+        guard: and(vec![
+            app(var(LDR), param(0)),
+            le(app(var(TERM), param(1)), app(var(TERM), param(0))),
+            // The Raft case Raft* forbids: follower log strictly longer.
+            lt(app(var(LAST), param(0)), app(var(LAST), param(1))),
+        ]),
+        updates: vec![
+            (TERM, fun_set(var(TERM), param(1), app(var(TERM), param(0)))),
+            // Erase: the follower's entries become exactly the leader's —
+            // slots beyond the leader's log revert to empty.
+            (
+                RVAL,
+                fun_set(
+                    var(RVAL),
+                    param(1),
+                    fun_build(
+                        "s",
+                        slots.clone(),
+                        ite(covered(local("s")), app2(var(RVAL), param(0), local("s")), int(0)),
+                    ),
+                ),
+            ),
+            (
+                RBAL,
+                fun_set(
+                    var(RBAL),
+                    param(1),
+                    fun_build(
+                        "s",
+                        slots.clone(),
+                        ite(covered(local("s")), app2(var(RBAL), param(0), local("s")), int(0)),
+                    ),
+                ),
+            ),
+            (RTERM, fun_set(var(RTERM), param(1), app(var(RTERM), param(0)))),
+            (LAST, fun_set(var(LAST), param(1), app(var(LAST), param(0)))),
+        ],
+    }
+}
+
+#[test]
+fn truncation_breaks_the_refinement() {
+    let c = cfg();
+    let mut raftish = raftstar::spec(&c);
+    raftish.name = "RaftWithTruncation".into();
+    raftish.actions.push(truncating_append(&c));
+    let mp = multipaxos::spec(&c);
+    let err = check_refinement(
+        &raftish,
+        &mp,
+        &raftstar::refinement_map(),
+        Limits { max_states: 30_000, max_depth: usize::MAX },
+    )
+    .expect_err("Raft's erasing step must have no MultiPaxos image");
+    assert_eq!(err.b_action, "RaftTruncatingAppend");
+}
+
+/// Raft's no-rewrite replication: the leader ships an old-term entry
+/// unchanged, and the follower accepts it with its *original* ballot
+/// (Figure 2's non-starred behaviour — "the leader in Raft never
+/// modifies its existing log entries").
+fn no_rewrite_append(c: &MpConfig) -> ActionSchema {
+    let acc_dom = Domain::Const(c.acceptors().as_set().unwrap().clone());
+    ActionSchema {
+        name: "RaftNoRewriteAppend".into(),
+        params: vec![("l".to_string(), acc_dom.clone()), ("f".to_string(), acc_dom)],
+        guard: and(vec![
+            app(var(LDR), param(0)),
+            le(app(var(TERM), param(1)), app(var(TERM), param(0))),
+            le(app(var(LAST), param(1)), app(var(LAST), param(0))),
+            // Only interesting when an old-ballot entry exists.
+            lt(int(0), app(var(LAST), param(0))),
+            lt(app2(var(RBAL), param(0), int(1)), app(var(TERM), param(0))),
+        ]),
+        updates: vec![
+            (TERM, fun_set(var(TERM), param(1), app(var(TERM), param(0)))),
+            // Copy the leader's log *keeping the old per-entry ballots* —
+            // an accept at a ballot nobody is currently proposing.
+            (RVAL, fun_set(var(RVAL), param(1), app(var(RVAL), param(0)))),
+            (RBAL, fun_set(var(RBAL), param(1), app(var(RBAL), param(0)))),
+            (RTERM, fun_set(var(RTERM), param(1), app(var(RTERM), param(0)))),
+            (LAST, fun_set(var(LAST), param(1), app(var(LAST), param(0)))),
+            // Vote at the *entry's* old ballot, like Raft's appendOK for
+            // an unchanged old-term entry.
+            (
+                raftstar::VOTES,
+                paxraft_spec::expr::fun_set2(
+                    var(raftstar::VOTES),
+                    param(1),
+                    int(1),
+                    paxraft_spec::expr::set_insert(
+                        app2(var(raftstar::VOTES), param(1), int(1)),
+                        paxraft_spec::expr::tuple(vec![
+                            app2(var(RBAL), param(0), int(1)),
+                            app2(var(RVAL), param(0), int(1)),
+                        ]),
+                    ),
+                ),
+            ),
+        ],
+    }
+}
+
+#[test]
+fn keeping_old_entry_ballots_breaks_the_refinement() {
+    let c = MpConfig { slots: 1, max_ballot: 3, ..MpConfig::default() };
+    let mut raftish = raftstar::spec(&c);
+    raftish.name = "RaftWithoutBallotRewrite".into();
+    raftish.actions.push(no_rewrite_append(&c));
+    let mp = multipaxos::spec(&c);
+    let err = check_refinement(
+        &raftish,
+        &mp,
+        &raftstar::refinement_map(),
+        Limits { max_states: 30_000, max_depth: usize::MAX },
+    )
+    .expect_err("accepting at a stale ballot must have no MultiPaxos image");
+    assert_eq!(err.b_action, "RaftNoRewriteAppend");
+}
+
+/// Control: the unmodified Raft* spec *does* refine MultiPaxos on the
+/// same bounds (so the failures above are caused by the added Raft
+/// behaviours, not by the bounds).
+#[test]
+fn control_raftstar_still_refines() {
+    let c = cfg();
+    let rs = raftstar::spec(&c);
+    let mp = multipaxos::spec(&c);
+    check_refinement(
+        &rs,
+        &mp,
+        &raftstar::refinement_map(),
+        Limits { max_states: 15_000, max_depth: usize::MAX },
+    )
+    .expect("Raft* refines MultiPaxos");
+}
+
+#[test]
+fn value_type_sanity() {
+    // Guard against accidental drift in the mapped-variable order the
+    // tests above rely on.
+    let c = cfg();
+    let rs = raftstar::spec(&c);
+    assert_eq!(&rs.vars[..5], &["term", "ldr", "rbal", "rval", "votes"]);
+    let mp = multipaxos::spec(&c);
+    assert_eq!(&mp.vars[..], &["bal", "ldr", "abal", "aval", "votes"]);
+    let _ = Value::Int(0);
+}

@@ -1,0 +1,235 @@
+//! YCSB-like workload generation (Section 5, "Workload").
+//!
+//! The paper's clients are closed-loop: each client issues get/put requests
+//! back-to-back. The key space holds 100K records. To create contention,
+//! each operation targets a single popular record with a configured
+//! probability (the *conflict rate*); otherwise the key space is
+//! pre-partitioned evenly among datacenters and a key is drawn uniformly
+//! from the client's own partition.
+
+use paxraft_sim::rng::SimRng;
+
+/// The popular record all conflicting operations touch.
+pub const HOT_KEY: u64 = 0;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A `get` request.
+    Read,
+    /// A `put` request.
+    Write,
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpSpec {
+    /// Read or write.
+    pub kind: OpKind,
+    /// Target record key.
+    pub key: u64,
+    /// Payload size in bytes for writes (the paper uses 8 B and 4 KB).
+    pub value_size: usize,
+}
+
+/// Workload parameters matching Section 5.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Fraction of operations that are reads (paper: 0.5, 0.9, 0.99 for
+    /// PQL; 0.0 for Mencius).
+    pub read_fraction: f64,
+    /// Probability an operation targets [`HOT_KEY`] (paper: 0–50%).
+    pub conflict_rate: f64,
+    /// Number of records the store is initialized with (paper: 100K).
+    pub records: u64,
+    /// Number of partitions the key space is split into (one per region).
+    pub partitions: usize,
+    /// Value size in bytes (paper: 8 B and 4 KB).
+    pub value_size: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            read_fraction: 0.9,
+            conflict_rate: 0.05,
+            records: 100_000,
+            partitions: 5,
+            value_size: 8,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.read_fraction) {
+            return Err(format!("read_fraction {} outside [0,1]", self.read_fraction));
+        }
+        if !(0.0..=1.0).contains(&self.conflict_rate) {
+            return Err(format!("conflict_rate {} outside [0,1]", self.conflict_rate));
+        }
+        if self.partitions == 0 {
+            return Err("partitions must be positive".into());
+        }
+        if self.records < self.partitions as u64 {
+            return Err(format!(
+                "records {} fewer than partitions {}",
+                self.records, self.partitions
+            ));
+        }
+        Ok(())
+    }
+
+    /// Inclusive-exclusive key range of partition `p`.
+    ///
+    /// Key 0 is the hot key; partition ranges start at 1 so that
+    /// non-conflicting traffic never touches the popular record.
+    pub fn partition_range(&self, p: usize) -> (u64, u64) {
+        assert!(p < self.partitions, "partition out of range");
+        let usable = self.records - 1; // key 0 reserved for the hot record
+        let per = usable / self.partitions as u64;
+        let start = 1 + p as u64 * per;
+        let end = if p == self.partitions - 1 { self.records } else { start + per };
+        (start, end)
+    }
+}
+
+/// A per-client operation stream.
+///
+/// Each closed-loop client owns one generator seeded from the run seed and
+/// its client id, so streams are independent and reproducible.
+#[derive(Debug)]
+pub struct Generator {
+    config: WorkloadConfig,
+    partition: usize,
+    rng: SimRng,
+}
+
+impl Generator {
+    /// Creates a generator for a client living in partition `partition`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`WorkloadConfig::validate`].
+    pub fn new(config: WorkloadConfig, partition: usize, rng: SimRng) -> Self {
+        config.validate().expect("invalid workload config");
+        assert!(partition < config.partitions, "partition out of range");
+        Generator { config, partition, rng }
+    }
+
+    /// The workload configuration.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> OpSpec {
+        let kind = if self.rng.gen_bool(self.config.read_fraction) {
+            OpKind::Read
+        } else {
+            OpKind::Write
+        };
+        let key = if self.rng.gen_bool(self.config.conflict_rate) {
+            HOT_KEY
+        } else {
+            let (lo, hi) = self.config.partition_range(self.partition);
+            self.rng.gen_range_inclusive(lo, hi - 1)
+        };
+        OpSpec { kind, key, value_size: self.config.value_size }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_with(read: f64, conflict: f64, partition: usize) -> Generator {
+        let cfg = WorkloadConfig {
+            read_fraction: read,
+            conflict_rate: conflict,
+            ..WorkloadConfig::default()
+        };
+        Generator::new(cfg, partition, SimRng::new(7))
+    }
+
+    #[test]
+    fn read_fraction_respected() {
+        let mut g = gen_with(0.9, 0.0, 0);
+        let reads = (0..10_000).filter(|_| g.next_op().kind == OpKind::Read).count();
+        assert!((8_800..9_200).contains(&reads), "got {reads}");
+    }
+
+    #[test]
+    fn conflict_rate_targets_hot_key() {
+        let mut g = gen_with(0.5, 0.3, 2);
+        let hot = (0..10_000).filter(|_| g.next_op().key == HOT_KEY).count();
+        assert!((2_700..3_300).contains(&hot), "got {hot}");
+    }
+
+    #[test]
+    fn zero_conflict_never_touches_hot_key() {
+        let mut g = gen_with(0.5, 0.0, 1);
+        assert!((0..10_000).all(|_| g.next_op().key != HOT_KEY));
+    }
+
+    #[test]
+    fn keys_stay_in_own_partition() {
+        for p in 0..5 {
+            let mut g = gen_with(0.5, 0.0, p);
+            let (lo, hi) = g.config().partition_range(p);
+            for _ in 0..2_000 {
+                let k = g.next_op().key;
+                assert!((lo..hi).contains(&k), "key {k} outside [{lo},{hi}) for p{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_cover_keyspace_disjointly() {
+        let cfg = WorkloadConfig::default();
+        let mut covered = 0u64;
+        let mut prev_end = 1;
+        for p in 0..cfg.partitions {
+            let (lo, hi) = cfg.partition_range(p);
+            assert_eq!(lo, prev_end, "partitions contiguous");
+            assert!(hi > lo);
+            covered += hi - lo;
+            prev_end = hi;
+        }
+        assert_eq!(covered, cfg.records - 1, "all non-hot keys covered");
+        assert_eq!(prev_end, cfg.records);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let bad = WorkloadConfig { read_fraction: 1.5, ..WorkloadConfig::default() };
+        assert!(bad.validate().is_err());
+        let bad = WorkloadConfig { conflict_rate: -0.1, ..WorkloadConfig::default() };
+        assert!(bad.validate().is_err());
+        let bad = WorkloadConfig { partitions: 0, ..WorkloadConfig::default() };
+        assert!(bad.validate().is_err());
+        let bad = WorkloadConfig { records: 2, partitions: 5, ..WorkloadConfig::default() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = gen_with(0.9, 0.05, 0);
+        let mut b = gen_with(0.9, 0.05, 0);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn value_size_passes_through() {
+        let cfg = WorkloadConfig { value_size: 4096, ..WorkloadConfig::default() };
+        let mut g = Generator::new(cfg, 0, SimRng::new(1));
+        assert_eq!(g.next_op().value_size, 4096);
+    }
+}

@@ -1,0 +1,47 @@
+//! Model checking the protocol specs: MultiPaxos agreement, Raft*
+//! invariants, and the bounded Raft* ⇒ MultiPaxos refinement theorem
+//! (Appendix C).
+//!
+//! Run with: `cargo run --release --example model_check`
+
+use paxraft::spec::check::{explore, Invariant, Limits};
+use paxraft::spec::refine::check_refinement;
+use paxraft::spec::specs::{multipaxos, raftstar};
+
+fn main() {
+    let cfg = multipaxos::MpConfig::default();
+    let limits = Limits { max_states: 50_000, max_depth: usize::MAX };
+
+    println!("[1/3] MultiPaxos: agreement + one-value-per-ballot");
+    let mp = multipaxos::spec(&cfg);
+    let report = explore(
+        &mp,
+        &[
+            Invariant::new("Agreement", multipaxos::agreement_invariant(&cfg)),
+            Invariant::new("OneValuePerBallot", multipaxos::one_value_per_ballot(&cfg)),
+        ],
+        limits,
+    );
+    println!("  {:?} over {} states / {} transitions", report.verdict, report.states, report.transitions);
+
+    println!("[2/3] Raft*: contiguity, commit safety, log matching");
+    let rs = raftstar::spec(&cfg);
+    let report = explore(
+        &rs,
+        &[
+            Invariant::new("Contiguity", raftstar::contiguity_invariant(&cfg)),
+            Invariant::new("CommitSafety", raftstar::commit_safety_invariant(&cfg)),
+            Invariant::new("LogMatching", raftstar::log_matching_invariant(&cfg)),
+        ],
+        limits,
+    );
+    println!("  {:?} over {} states / {} transitions", report.verdict, report.states, report.transitions);
+
+    println!("[3/3] Refinement: Raft* ⇒ MultiPaxos (Appendix C, bounded)");
+    let r = check_refinement(&rs, &mp, &raftstar::refinement_map(), limits)
+        .expect("refinement holds");
+    println!(
+        "  OK over {} Raft* states / {} transitions ({} stutters), exhausted={}",
+        r.b_states, r.b_transitions, r.stutters, r.exhausted
+    );
+}

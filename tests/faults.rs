@@ -1,0 +1,134 @@
+//! Fault-injection integration tests: message loss, leader crashes and
+//! partitions against the full protocol stack.
+
+use paxraft::core::harness::{Cluster, ProtocolKind};
+use paxraft::core::kv::{Op, Reply};
+use paxraft::core::raftstar::RaftStarReplica;
+use paxraft::sim::time::{SimDuration, SimTime};
+use paxraft::workload::generator::WorkloadConfig;
+
+#[test]
+fn raft_survives_five_percent_message_loss() {
+    let mut cluster = Cluster::builder(ProtocolKind::Raft)
+        .clients_per_region(3)
+        .workload(WorkloadConfig { read_fraction: 0.5, ..Default::default() })
+        .seed(51)
+        .build();
+    cluster.sim.set_drop_rate_at(0.05, SimTime::from_millis(1));
+    cluster.elect_leader();
+    let report = cluster.run_measurement(
+        SimDuration::from_secs(2),
+        SimDuration::from_secs(6),
+        SimDuration::from_secs(1),
+    );
+    assert!(
+        report.throughput_ops > 10.0,
+        "retransmission keeps the cluster live under loss: {}",
+        report.throughput_ops
+    );
+}
+
+#[test]
+fn raftstar_survives_five_percent_message_loss() {
+    let mut cluster = Cluster::builder(ProtocolKind::RaftStar)
+        .clients_per_region(3)
+        .workload(WorkloadConfig { read_fraction: 0.5, ..Default::default() })
+        .seed(53)
+        .build();
+    cluster.sim.set_drop_rate_at(0.05, SimTime::from_millis(1));
+    cluster.elect_leader();
+    let report = cluster.run_measurement(
+        SimDuration::from_secs(2),
+        SimDuration::from_secs(6),
+        SimDuration::from_secs(1),
+    );
+    assert!(report.throughput_ops > 10.0, "got {}", report.throughput_ops);
+}
+
+#[test]
+fn mencius_survives_message_loss() {
+    let mut cluster = Cluster::builder(ProtocolKind::RaftStarMencius)
+        .clients_per_region(3)
+        .workload(WorkloadConfig { read_fraction: 0.0, ..Default::default() })
+        .seed(57)
+        .build();
+    // Mencius coordination relies on more messages; 2% loss.
+    cluster.sim.set_drop_rate_at(0.02, SimTime::from_millis(1));
+    cluster.elect_leader();
+    let report = cluster.run_measurement(
+        SimDuration::from_secs(2),
+        SimDuration::from_secs(6),
+        SimDuration::from_secs(1),
+    );
+    assert!(report.throughput_ops > 5.0, "got {}", report.throughput_ops);
+}
+
+#[test]
+fn raftstar_leader_crash_preserves_committed_writes() {
+    let mut cluster = Cluster::builder(ProtocolKind::RaftStar).seed(59).build();
+    cluster.elect_leader();
+    for k in 0..5u64 {
+        cluster
+            .submit_and_wait(Op::Put { key: k, value: vec![k as u8; 16] })
+            .expect("put commits");
+    }
+    let leader = cluster.replicas()[0];
+    cluster.sim.crash_at(leader, cluster.sim.now() + SimDuration::from_millis(5));
+    // All five committed writes must survive the failover.
+    for k in 0..5u64 {
+        let r = cluster.submit_and_wait(Op::Get { key: k }).expect("get after failover");
+        assert!(matches!(r, Reply::Value(Some(_))), "key {k} survived, got {r:?}");
+    }
+    // A new leader exists and it is not the crashed node.
+    let new_leader = cluster
+        .replicas()
+        .iter()
+        .find(|&&r| !cluster.sim.is_crashed(r) && cluster.sim.actor::<RaftStarReplica>(r).is_leader());
+    assert!(new_leader.is_some(), "failover elected a new leader");
+}
+
+#[test]
+fn minority_partition_does_not_block_majority() {
+    let mut cluster = Cluster::builder(ProtocolKind::RaftStar).seed(61).build();
+    cluster.elect_leader();
+    cluster.submit_and_wait(Op::Put { key: 1, value: vec![7; 8] }).expect("pre-partition put");
+    // Partition replicas 3 and 4 away from {0, 1, 2} + clients + probe.
+    let total = cluster.sim.len();
+    let mut groups = vec![0u32; total];
+    groups[3] = 1;
+    groups[4] = 1;
+    cluster.sim.partition_at(groups, cluster.sim.now() + SimDuration::from_millis(1));
+    cluster.sim.run_for(SimDuration::from_millis(10));
+    cluster
+        .submit_and_wait(Op::Put { key: 2, value: vec![8; 8] })
+        .expect("majority commits during minority partition");
+    // Heal; the minority catches up and the data is still there.
+    cluster.sim.heal_at(cluster.sim.now() + SimDuration::from_millis(1));
+    cluster.sim.run_for(SimDuration::from_secs(2));
+    let r = cluster.submit_and_wait(Op::Get { key: 2 }).expect("get after heal");
+    assert!(matches!(r, Reply::Value(Some(_))));
+}
+
+#[test]
+fn majority_partition_blocks_commits_until_heal() {
+    let mut cluster = Cluster::builder(ProtocolKind::RaftStar).seed(63).build();
+    cluster.elect_leader();
+    // Cut the leader (node 0) plus everything else off from {1,2,3,4}:
+    // leave the leader alone with the clients and probe — no quorum.
+    let total = cluster.sim.len();
+    let mut groups = vec![0u32; total];
+    for r in 1..5 {
+        groups[r] = 1;
+    }
+    cluster.sim.partition_at(groups, cluster.sim.now() + SimDuration::from_millis(1));
+    cluster.sim.run_for(SimDuration::from_millis(10));
+    let err = cluster.submit_and_wait(Op::Put { key: 9, value: vec![1; 8] });
+    assert!(err.is_err(), "no quorum on the leader's side: {err:?}");
+    // After healing, the same write goes through (possibly via a new
+    // leader on the other side; the probe falls back to live replicas).
+    cluster.sim.heal_at(cluster.sim.now() + SimDuration::from_millis(1));
+    cluster.sim.run_for(SimDuration::from_secs(3));
+    cluster
+        .submit_and_wait(Op::Put { key: 9, value: vec![1; 8] })
+        .expect("commit succeeds after heal");
+}

@@ -1,0 +1,90 @@
+//! Validates the PQL paper's consistency claim ("both read and write are
+//! consistent", Section A.1) on simulated runs: record per-key histories
+//! at the clients and check them with the Wing–Gong linearizability
+//! checker — including under contention and under lease-holder crashes.
+
+use paxraft::core::harness::{Cluster, ProtocolKind};
+use paxraft::sim::time::SimDuration;
+use paxraft::workload::generator::{WorkloadConfig, HOT_KEY};
+use paxraft::workload::linearize::check_history;
+
+const BUDGET: usize = 1 << 22;
+
+fn hot_key_history(p: ProtocolKind, conflict: f64, seed: u64) -> Vec<paxraft::workload::OpRecord> {
+    let workload = WorkloadConfig {
+        read_fraction: 0.6,
+        conflict_rate: conflict,
+        ..Default::default()
+    };
+    let mut cluster = Cluster::builder(p)
+        .clients_per_region(3)
+        .workload(workload)
+        .record_history_for(HOT_KEY)
+        .seed(seed)
+        .build();
+    cluster.elect_leader();
+    let report = cluster.run_measurement(
+        SimDuration::from_secs(2),
+        SimDuration::from_secs(6),
+        SimDuration::from_secs(1),
+    );
+    report.histories
+}
+
+#[test]
+fn raft_hot_key_history_is_linearizable() {
+    let h = hot_key_history(ProtocolKind::Raft, 0.5, 31);
+    assert!(h.len() > 20, "enough contended ops recorded: {}", h.len());
+    check_history(&h, BUDGET).expect("Raft history linearizable");
+}
+
+#[test]
+fn pql_local_reads_are_linearizable_under_contention() {
+    // The paper's core safety claim for quorum leases: local reads stay
+    // strongly consistent even while the hot key is being written.
+    let h = hot_key_history(ProtocolKind::RaftStarPql, 0.5, 37);
+    assert!(h.len() > 20, "enough contended ops recorded: {}", h.len());
+    check_history(&h, BUDGET).expect("PQL history linearizable");
+}
+
+#[test]
+fn leader_lease_reads_are_linearizable() {
+    let h = hot_key_history(ProtocolKind::LeaderLease, 0.5, 41);
+    assert!(h.len() > 20);
+    check_history(&h, BUDGET).expect("LL history linearizable");
+}
+
+#[test]
+fn mencius_writes_and_reads_are_linearizable() {
+    let h = hot_key_history(ProtocolKind::RaftStarMencius, 0.5, 43);
+    assert!(h.len() > 20);
+    check_history(&h, BUDGET).expect("Mencius history linearizable");
+}
+
+#[test]
+fn pql_stays_linearizable_across_leaseholder_crash() {
+    let workload = WorkloadConfig {
+        read_fraction: 0.6,
+        conflict_rate: 0.5,
+        ..Default::default()
+    };
+    let mut cluster = Cluster::builder(ProtocolKind::RaftStarPql)
+        .clients_per_region(2)
+        .workload(workload)
+        .record_history_for(HOT_KEY)
+        .seed(47)
+        .build();
+    cluster.elect_leader();
+    // Crash a follower leaseholder mid-run and restart it later.
+    let victim = cluster.replicas()[3];
+    cluster.sim.crash_at(victim, paxraft::sim::time::SimTime::from_secs(4));
+    cluster.sim.restart_at(victim, paxraft::sim::time::SimTime::from_secs(7));
+    let report = cluster.run_measurement(
+        SimDuration::from_secs(2),
+        SimDuration::from_secs(8),
+        SimDuration::from_secs(1),
+    );
+    assert!(report.histories.len() > 10);
+    check_history(&report.histories, BUDGET)
+        .expect("PQL history linearizable across a leaseholder crash");
+}

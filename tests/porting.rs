@@ -1,0 +1,79 @@
+//! End-to-end integration of the Section-4 porting pipeline through the
+//! public API: both case studies, from delta definition to mechanically
+//! checked ported protocol.
+
+use paxraft::spec::check::{explore, Invariant, Limits};
+use paxraft::spec::port::{extended_map, port, projection_map, remap_expr};
+use paxraft::spec::refine::check_refinement;
+use paxraft::spec::specs::{kvlog, mencius, multipaxos, pql, raftstar};
+
+#[test]
+fn figure4_pipeline_end_to_end() {
+    let a = kvlog::kv_store();
+    let b = kvlog::log_store();
+    let delta = kvlog::size_delta();
+    let map = kvlog::port_map();
+    delta.check_non_mutating(&a).expect("non-mutating");
+    let bd = port(&a, &delta, &b, &map).expect("port");
+    let ad = delta.apply_to(&a);
+    let ext = extended_map(&a, &b, &delta, &map.state_map);
+    let r1 = check_refinement(&bd, &ad, &ext, Limits::default()).expect("B∆ ⇒ A∆");
+    assert!(r1.exhausted);
+    let r2 = check_refinement(&bd, &b, &projection_map(&b), Limits::default()).expect("B∆ ⇒ B");
+    assert!(r2.exhausted);
+}
+
+#[test]
+fn pql_port_pipeline_end_to_end() {
+    let cfg = multipaxos::MpConfig { max_ballot: 2, ..Default::default() };
+    let mp = multipaxos::spec(&cfg);
+    let rs = raftstar::spec(&cfg);
+    let d = pql::delta(&cfg);
+    d.check_non_mutating(&mp).expect("PQL non-mutating");
+    let map = pql::raftstar_port_map(&cfg);
+    let rql = port(&mp, &d, &rs, &map).expect("port");
+    // The generated protocol satisfies the ported lease invariant.
+    let inv = remap_expr(&mp, &rs, &map.state_map, &pql::lease_inv(&cfg));
+    let report = explore(
+        &rql,
+        &[Invariant::new("LeaseInv", inv)],
+        Limits { max_states: 5_000, max_depth: usize::MAX },
+    );
+    assert!(report.ok(), "{:?}", report.verdict);
+}
+
+#[test]
+fn mencius_port_pipeline_end_to_end() {
+    let cfg = multipaxos::MpConfig {
+        max_ballot: 3,
+        values: vec![1, mencius::NOOP],
+        ..Default::default()
+    };
+    let mp = multipaxos::spec(&cfg);
+    let rs = raftstar::spec(&cfg);
+    let d = mencius::delta(&cfg);
+    d.check_non_mutating(&mp).expect("Mencius non-mutating");
+    let map = mencius::raftstar_port_map(&cfg);
+    let coor = port(&mp, &d, &rs, &map).expect("port");
+    let inv = remap_expr(&mp, &rs, &map.state_map, &mencius::skip_safety_inv(&cfg));
+    let report = explore(
+        &coor,
+        &[Invariant::new("SkipSafety", inv)],
+        Limits { max_states: 5_000, max_depth: usize::MAX },
+    );
+    assert!(report.ok(), "{:?}", report.verdict);
+}
+
+#[test]
+fn mutating_deltas_are_rejected() {
+    // Sanity for the Section-4.2 gate: a delta that writes an A variable
+    // must be refused by the porting engine.
+    let a = kvlog::kv_store();
+    let b = kvlog::log_store();
+    let mut bad = kvlog::size_delta();
+    bad.modified[0]
+        .extra_updates
+        .push((0, paxraft::spec::expr::int(0))); // writes A's `table`
+    let err = port(&a, &bad, &b, &kvlog::port_map()).unwrap_err();
+    assert!(err.contains("non-mutating"), "{err}");
+}

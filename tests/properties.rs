@@ -1,0 +1,213 @@
+//! Property-based tests (proptest) on core data structures and
+//! protocol invariants.
+
+use proptest::prelude::*;
+
+use paxraft::core::kv::{CmdId, Command, KvStore};
+use paxraft::core::log::{Entry, Log};
+use paxraft::core::replicate::Replicator;
+use paxraft::core::types::{quorum, NodeId, Slot, Term};
+use paxraft::sim::rng::SimRng;
+use paxraft::sim::time::{SimDuration, SimTime};
+use paxraft::workload::linearize::{check_register, Action, OpRecord};
+use paxraft::workload::metrics::LatencyRecorder;
+
+fn entry(term: u64, key: u64) -> Entry {
+    Entry {
+        term: Term(term),
+        bal: Term(term),
+        cmd: Command::put(CmdId { client: 1, seq: key + 1 }, key, vec![0; 8]),
+    }
+}
+
+proptest! {
+    /// Raft* `replace_suffix` never loses the prefix below `prev` and
+    /// always yields `prev + suffix.len()` entries.
+    #[test]
+    fn replace_suffix_preserves_prefix(
+        base in 1usize..20,
+        prev in 0usize..20,
+        add in 1usize..20,
+    ) {
+        let prev = prev.min(base);
+        let mut log = Log::new();
+        for i in 0..base {
+            log.append(entry(1, i as u64));
+        }
+        let suffix: Vec<Entry> = (0..add.max(base - prev)).map(|i| entry(2, 100 + i as u64)).collect();
+        let before: Vec<_> = (1..=prev as u64).map(|s| log.get(Slot(s)).cloned()).collect();
+        log.replace_suffix(Slot(prev as u64), suffix.clone());
+        prop_assert_eq!(log.len(), prev + suffix.len());
+        for (i, old) in before.into_iter().enumerate() {
+            prop_assert_eq!(log.get(Slot(i as u64 + 1)).cloned(), old);
+        }
+    }
+
+    /// `set_bal_upto` rewrites exactly the covered prefix and never the
+    /// entry terms.
+    #[test]
+    fn bal_rewrite_covers_exactly_prefix(len in 1usize..30, upto in 0u64..40, t in 3u64..9) {
+        let mut log = Log::new();
+        for i in 0..len {
+            log.append(entry(1 + (i as u64 % 2), i as u64));
+        }
+        let terms: Vec<_> = log.iter().map(|(_, e)| e.term).collect();
+        log.set_bal_upto(Slot(upto), Term(t));
+        for (s, e) in log.iter() {
+            if s.0 <= upto {
+                prop_assert_eq!(e.bal, Term(t));
+            } else {
+                prop_assert!(e.bal != Term(t) || t <= 2);
+            }
+            prop_assert_eq!(e.term, terms[s.0 as usize - 1], "terms untouched");
+        }
+    }
+
+    /// The replicator's quorum match is monotone in acknowledgements and
+    /// never exceeds the max ack.
+    #[test]
+    fn quorum_match_is_sound(acks in proptest::collection::vec((1u32..5, 1u64..50), 1..40)) {
+        let mut r = Replicator::new(5);
+        let mut prev = Slot::NONE;
+        for (p, idx) in acks {
+            r.on_ack(NodeId(p), Slot(idx));
+            let q = r.kth_largest_match(2, NodeId(0));
+            prop_assert!(q >= prev, "monotone");
+            prev = q;
+            // Soundness: at least 2 followers acked >= q.
+            let count = (1..5u32).filter(|&x| r.match_index(NodeId(x)) >= q).count();
+            prop_assert!(q == Slot::NONE || count >= 2);
+        }
+    }
+
+    /// Ballot encoding round-trips owner and round for any cluster size.
+    #[test]
+    fn ballot_encoding_roundtrip(round in 0u64..1000, node in 0u32..7, n in 1usize..8) {
+        prop_assume!((node as usize) < n);
+        let t = Term::encode(round, NodeId(node), n);
+        prop_assert_eq!(t.owner(n), NodeId(node));
+        prop_assert_eq!(t.round(n), round);
+        let nx = t.next_for(NodeId(node), n);
+        prop_assert!(nx > t);
+        prop_assert_eq!(nx.owner(n), NodeId(node));
+    }
+
+    /// Quorums of any odd cluster overlap: 2*quorum(n) > n.
+    #[test]
+    fn quorums_intersect(k in 0usize..10) {
+        let n = 2 * k + 1;
+        prop_assert!(2 * quorum(n) > n);
+    }
+
+    /// KV session dedup: replaying any prefix of a command stream never
+    /// changes the final state.
+    #[test]
+    fn kv_replay_is_idempotent(ops in proptest::collection::vec((0u64..5, 0u64..3), 1..30)) {
+        let cmds: Vec<Command> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, (k, c))| Command::put(CmdId { client: *c as u32, seq: i as u64 + 1 }, *k, vec![0; 8]))
+            .collect();
+        let mut kv1 = KvStore::new();
+        for c in &cmds {
+            kv1.apply(c);
+        }
+        // Replay with duplicates injected after every op.
+        let mut kv2 = KvStore::new();
+        for c in &cmds {
+            kv2.apply(c);
+            kv2.apply(c); // duplicate
+        }
+        for k in 0..5u64 {
+            prop_assert_eq!(kv1.read_local(k), kv2.read_local(k));
+        }
+    }
+
+    /// Sequential histories (each op completes before the next begins)
+    /// with correct read values are always linearizable.
+    #[test]
+    fn sequential_histories_linearizable(writes in proptest::collection::vec(0u64..100, 1..40)) {
+        let mut history = Vec::new();
+        let mut t = 0u64;
+        for (i, _) in writes.iter().enumerate() {
+            let vid = i as u64 + 1;
+            history.push(OpRecord {
+                client: 0,
+                key: 1,
+                action: Action::Write(vid),
+                invoke_ns: t,
+                respond_ns: t + 1,
+            });
+            t += 2;
+            history.push(OpRecord {
+                client: 1,
+                key: 1,
+                action: Action::Read(Some(vid)),
+                invoke_ns: t,
+                respond_ns: t + 1,
+            });
+            t += 2;
+        }
+        prop_assert!(check_register(&history, 1 << 20).is_ok());
+    }
+
+    /// A read returning a never-written value is never linearizable.
+    #[test]
+    fn phantom_reads_rejected(n_writes in 1usize..10) {
+        let mut history: Vec<OpRecord> = (0..n_writes)
+            .map(|i| OpRecord {
+                client: i,
+                key: 1,
+                action: Action::Write(i as u64 + 1),
+                invoke_ns: (i * 2) as u64,
+                respond_ns: (i * 2 + 1) as u64,
+            })
+            .collect();
+        history.push(OpRecord {
+            client: 99,
+            key: 1,
+            action: Action::Read(Some(777)),
+            invoke_ns: 1000,
+            respond_ns: 1001,
+        });
+        prop_assert!(check_register(&history, 1 << 20).is_err());
+    }
+
+    /// Latency percentiles are monotone in the percentile and bounded by
+    /// the extreme samples.
+    #[test]
+    fn percentiles_monotone(samples in proptest::collection::vec(1u64..1_000_000_000, 1..200)) {
+        let mut rec = LatencyRecorder::new();
+        for &s in &samples {
+            rec.record_ns(s);
+        }
+        let p50 = rec.percentile_ms(50.0).unwrap();
+        let p90 = rec.percentile_ms(90.0).unwrap();
+        let p99 = rec.percentile_ms(99.0).unwrap();
+        prop_assert!(p50 <= p90 && p90 <= p99);
+        let min = *samples.iter().min().unwrap() as f64 / 1e6;
+        let max = *samples.iter().max().unwrap() as f64 / 1e6;
+        prop_assert!(p50 >= min && p99 <= max);
+    }
+
+    /// The deterministic RNG produces identical streams for equal seeds
+    /// and in-range values for gen_range.
+    #[test]
+    fn rng_deterministic_and_bounded(seed in any::<u64>(), bound in 1u64..1000) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..50 {
+            let x = a.gen_range(bound);
+            prop_assert_eq!(x, b.gen_range(bound));
+            prop_assert!(x < bound);
+        }
+    }
+
+    /// Virtual-time arithmetic: since() inverts addition.
+    #[test]
+    fn time_arithmetic_roundtrip(base in 0u64..1_000_000_000, d in 0u64..1_000_000_000) {
+        let t = SimTime::from_nanos(base);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((t + dur).since(t), dur);
+    }
+}

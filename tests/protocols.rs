@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: every protocol running on the
+//! simulated 5-region WAN through the public harness API.
+
+use paxraft::core::harness::{Cluster, ProtocolKind};
+use paxraft::core::kv::{Op, Reply};
+use paxraft::sim::time::SimDuration;
+use paxraft::workload::generator::WorkloadConfig;
+
+const ALL: [ProtocolKind; 6] = [
+    ProtocolKind::MultiPaxos,
+    ProtocolKind::Raft,
+    ProtocolKind::RaftStar,
+    ProtocolKind::RaftStarPql,
+    ProtocolKind::LeaderLease,
+    ProtocolKind::RaftStarMencius,
+];
+
+#[test]
+fn every_protocol_commits_and_reads_back() {
+    for p in ALL {
+        let mut cluster = Cluster::builder(p).seed(13).build();
+        cluster.elect_leader();
+        cluster
+            .submit_and_wait(Op::Put { key: 5, value: vec![1; 16] })
+            .unwrap_or_else(|e| panic!("{}: put failed: {e}", p.name()));
+        let r = cluster
+            .submit_and_wait(Op::Get { key: 5 })
+            .unwrap_or_else(|e| panic!("{}: get failed: {e}", p.name()));
+        assert!(
+            matches!(r, Reply::Value(Some(_))),
+            "{}: read must observe the write, got {r:?}",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn every_protocol_sustains_a_mixed_workload() {
+    let workload = WorkloadConfig { read_fraction: 0.5, conflict_rate: 0.05, ..Default::default() };
+    for p in ALL {
+        let mut cluster = Cluster::builder(p)
+            .clients_per_region(5)
+            .workload(workload.clone())
+            .seed(17)
+            .build();
+        cluster.elect_leader();
+        let report = cluster.run_measurement(
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(4),
+            SimDuration::from_millis(500),
+        );
+        assert!(
+            report.throughput_ops > 10.0,
+            "{}: throughput too low: {}",
+            p.name(),
+            report.throughput_ops
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic_given_a_seed() {
+    let run = |seed: u64| {
+        let workload = WorkloadConfig::default();
+        let mut cluster = Cluster::builder(ProtocolKind::RaftStar)
+            .clients_per_region(3)
+            .workload(workload)
+            .seed(seed)
+            .build();
+        cluster.elect_leader();
+        let r = cluster.run_measurement(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(3),
+            SimDuration::from_millis(500),
+        );
+        (r.throughput_ops, r.leader_writes.map(|t| t.p90_ms))
+    };
+    assert_eq!(run(99), run(99), "same seed, same results");
+    assert_ne!(run(1).0, run(2).0, "different seeds diverge");
+}
+
+#[test]
+fn pql_reads_are_fast_and_writes_slower_than_raft() {
+    let workload = WorkloadConfig { read_fraction: 0.9, conflict_rate: 0.0, ..Default::default() };
+    let measure = |p| {
+        let mut cluster = Cluster::builder(p)
+            .clients_per_region(10)
+            .workload(workload.clone())
+            .seed(23)
+            .build();
+        cluster.elect_leader();
+        cluster.run_measurement(
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(4),
+            SimDuration::from_millis(500),
+        )
+    };
+    let raft = measure(ProtocolKind::Raft);
+    let pql = measure(ProtocolKind::RaftStarPql);
+    let raft_read = raft.follower_reads.expect("raft reads").p50_ms;
+    let pql_read = pql.follower_reads.expect("pql reads").p50_ms;
+    assert!(
+        pql_read < raft_read / 10.0,
+        "PQL follower reads local ({pql_read:.2}ms) vs Raft WAN ({raft_read:.2}ms)"
+    );
+    let raft_write = raft.leader_writes.expect("raft writes").p50_ms;
+    let pql_write = pql.leader_writes.expect("pql writes").p50_ms;
+    assert!(
+        pql_write > raft_write,
+        "PQL writes wait for all leaseholders ({pql_write:.1}ms vs {raft_write:.1}ms)"
+    );
+}
+
+#[test]
+fn mencius_beats_raft_under_saturating_writes() {
+    let workload = WorkloadConfig { read_fraction: 0.0, conflict_rate: 0.0, ..Default::default() };
+    let peak = |p| {
+        // Past the single-leader saturation point (Figure 10a's
+        // crossover sits near 2-3K clients/region).
+        let mut cluster = Cluster::builder(p)
+            .clients_per_region(3000)
+            .workload(workload.clone())
+            .seed(29)
+            .build();
+        cluster.elect_leader();
+        cluster
+            .run_measurement(
+                SimDuration::from_secs(1),
+                SimDuration::from_secs(2),
+                SimDuration::from_millis(500),
+            )
+            .throughput_ops
+    };
+    let raft = peak(ProtocolKind::Raft);
+    let mencius = peak(ProtocolKind::RaftStarMencius);
+    assert!(
+        mencius > raft * 1.1,
+        "Mencius balances load: {mencius:.0} vs Raft {raft:.0} ops/s"
+    );
+}
