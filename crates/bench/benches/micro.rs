@@ -1,9 +1,14 @@
-//! Criterion micro-benchmarks for protocol-critical paths: log append,
+//! Micro-benchmarks for protocol-critical paths: log append,
 //! replication-progress tracking, lease checks, the simulator event
 //! loop, and a small model-checking run.
+//!
+//! Uses a self-contained timing harness (`harness = false`) so the
+//! workspace carries no external bench dependency; each benchmark is
+//! run for a fixed number of timed iterations after a short warm-up and
+//! reported as ns/iter (median of samples).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use paxraft_core::config::{LeaseConfig, ReadMode};
 use paxraft_core::kv::{CmdId, Command};
@@ -13,25 +18,43 @@ use paxraft_core::replicate::Replicator;
 use paxraft_core::types::{NodeId, Slot, Term};
 use paxraft_sim::net::{NetConfig, Region};
 use paxraft_sim::sim::{Actor, ActorId, Ctx, Payload, Simulation};
-use paxraft_sim::time::{SimDuration, SimTime};
+use paxraft_sim::time::SimTime;
 
-fn bench_log_append(c: &mut Criterion) {
-    c.bench_function("log_append_1k", |b| {
-        b.iter(|| {
-            let mut log = Log::new();
-            for i in 0..1000u64 {
-                log.append(Entry {
-                    term: Term(1),
-                    bal: Term(1),
-                    cmd: Command::put(CmdId { client: 1, seq: i }, i, vec![0; 8]),
-                });
-            }
-            black_box(log.last_index())
-        })
+/// Times `f` over `samples` samples of `iters` iterations each and
+/// prints the median ns/iter.
+fn bench(name: &str, samples: usize, iters: usize, mut f: impl FnMut()) {
+    // Warm-up.
+    for _ in 0..iters.min(3) {
+        f();
+    }
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let median = per_iter[per_iter.len() / 2];
+    println!("{name:<40} {median:>14.0} ns/iter  ({samples} x {iters})");
+}
+
+fn bench_log_append() {
+    bench("log_append_1k", 10, 20, || {
+        let mut log = Log::new();
+        for i in 0..1000u64 {
+            log.append(Entry {
+                term: Term(1),
+                bal: Term(1),
+                cmd: Command::put(CmdId { client: 1, seq: i }, i, vec![0; 8]),
+            });
+        }
+        black_box(log.last_index());
     });
 }
 
-fn bench_bal_rewrite(c: &mut Criterion) {
+fn bench_bal_rewrite() {
     let mut log = Log::new();
     for i in 0..1000u64 {
         log.append(Entry {
@@ -40,31 +63,27 @@ fn bench_bal_rewrite(c: &mut Criterion) {
             cmd: Command::put(CmdId { client: 1, seq: i }, i, vec![0; 8]),
         });
     }
-    c.bench_function("raftstar_bal_rewrite_1k", |b| {
-        let mut t = 2u64;
-        b.iter(|| {
-            t += 1;
-            log.set_bal_upto(Slot(1000), Term(t));
-            black_box(log.last_term())
-        })
+    let mut t = 2u64;
+    bench("raftstar_bal_rewrite_1k", 10, 100, || {
+        t += 1;
+        log.set_bal_upto(Slot(1000), Term(t));
+        black_box(log.last_term());
     });
 }
 
-fn bench_replicator(c: &mut Criterion) {
-    c.bench_function("replicator_ack_commit_track", |b| {
-        b.iter(|| {
-            let mut r = Replicator::new(5);
-            for i in 1..=100u64 {
-                for p in 1..5u32 {
-                    r.on_ack(NodeId(p), Slot(i));
-                }
-                black_box(r.kth_largest_match(2, NodeId(0)));
+fn bench_replicator() {
+    bench("replicator_ack_commit_track", 10, 50, || {
+        let mut r = Replicator::new(5);
+        for i in 1..=100u64 {
+            for p in 1..5u32 {
+                r.on_ack(NodeId(p), Slot(i));
             }
-        })
+            black_box(r.kth_largest_match(2, NodeId(0)));
+        }
     });
 }
 
-fn bench_lease_check(c: &mut Criterion) {
+fn bench_lease_check() {
     let mut lm = LeaseManager::new(LeaseConfig::default(), ReadMode::QuorumLease, 5, NodeId(2));
     let now = SimTime::from_millis(100);
     lm.self_grant(now);
@@ -72,8 +91,8 @@ fn bench_lease_check(c: &mut Criterion) {
         lm.on_grant(NodeId(g), SimTime::from_secs(5), Slot::NONE, SimTime::ZERO);
         lm.on_grant_ack(NodeId(g), SimTime::from_secs(5));
     }
-    c.bench_function("pql_quorum_lease_check", |b| {
-        b.iter(|| black_box(lm.has_quorum_lease(now) && !lm.current_holders(now).is_empty()))
+    bench("pql_quorum_lease_check", 10, 10_000, || {
+        black_box(lm.has_quorum_lease(now) && !lm.current_holders(now).is_empty());
     });
 }
 
@@ -101,58 +120,71 @@ impl Actor<Ping> for Echo {
     paxraft_sim::impl_actor_any!();
 }
 
-fn bench_sim_event_loop(c: &mut Criterion) {
-    c.bench_function("sim_10k_message_events", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new(NetConfig::default(), 7);
-            let a = sim.add_actor(Region::Oregon, Box::new(Echo { peer: ActorId(1), left: 5000 }));
-            let _b = sim.add_actor(Region::Ohio, Box::new(Echo { peer: a, left: 5000 }));
-            sim.run_to_quiescence(SimTime::from_secs(3600));
-            black_box(sim.stats.deliveries)
-        })
+fn bench_sim_event_loop() {
+    bench("sim_10k_message_events", 5, 3, || {
+        let mut sim = Simulation::new(NetConfig::default(), 7);
+        let a = sim.add_actor(
+            Region::Oregon,
+            Box::new(Echo {
+                peer: ActorId(1),
+                left: 5000,
+            }),
+        );
+        let _b = sim.add_actor(
+            Region::Ohio,
+            Box::new(Echo {
+                peer: a,
+                left: 5000,
+            }),
+        );
+        sim.run_to_quiescence(SimTime::from_secs(3600));
+        black_box(sim.stats.deliveries);
     });
 }
 
-fn bench_model_check_small(c: &mut Criterion) {
+fn bench_model_check_small() {
     use paxraft_spec::check::{explore, Limits};
     use paxraft_spec::specs::multipaxos::{self, MpConfig};
-    c.bench_function("model_check_multipaxos_2k_states", |b| {
-        let cfg = MpConfig::default();
-        let mp = multipaxos::spec(&cfg);
-        b.iter(|| {
-            let report = explore(&mp, &[], Limits { max_states: 2_000, max_depth: usize::MAX });
-            black_box(report.states)
-        })
+    let cfg = MpConfig::default();
+    let mp = multipaxos::spec(&cfg);
+    bench("model_check_multipaxos_2k_states", 5, 3, || {
+        let report = explore(
+            &mp,
+            &[],
+            Limits {
+                max_states: 2_000,
+                max_depth: usize::MAX,
+            },
+        );
+        black_box(report.states);
     });
 }
 
-fn bench_cluster_commit(c: &mut Criterion) {
+fn bench_cluster_commit() {
     use paxraft_core::harness::{Cluster, ProtocolKind};
     use paxraft_core::kv::Op;
-    c.bench_function("raftstar_cluster_100_commits", |b| {
-        b.iter(|| {
-            let mut cluster = Cluster::builder(ProtocolKind::RaftStar).seed(3).build();
-            cluster.elect_leader();
-            for k in 0..100 {
-                cluster
-                    .submit_and_wait(Op::Put { key: k, value: vec![0; 8] })
-                    .expect("commit");
-            }
-            black_box(cluster.sim.now())
-        })
+    bench("raftstar_cluster_100_commits", 3, 1, || {
+        let mut cluster = Cluster::builder(ProtocolKind::RaftStar).seed(3).build();
+        cluster.elect_leader();
+        for k in 0..100 {
+            cluster
+                .submit_and_wait(Op::Put {
+                    key: k,
+                    value: vec![0; 8],
+                })
+                .expect("commit");
+        }
+        black_box(cluster.sim.now());
     });
-    let _ = SimDuration::ZERO;
 }
 
-criterion_group!(
-    name = micro;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_log_append,
-    bench_bal_rewrite,
-    bench_replicator,
-    bench_lease_check,
-    bench_sim_event_loop,
-    bench_model_check_small,
-    bench_cluster_commit
-);
-criterion_main!(micro);
+fn main() {
+    println!("{:<40} {:>14}", "benchmark", "median");
+    bench_log_append();
+    bench_bal_rewrite();
+    bench_replicator();
+    bench_lease_check();
+    bench_sim_event_loop();
+    bench_model_check_small();
+    bench_cluster_commit();
+}

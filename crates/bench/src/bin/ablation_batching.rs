@@ -12,24 +12,43 @@ use paxraft_workload::generator::WorkloadConfig;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let windows = if quick { Windows::quick() } else { Windows::standard() };
+    let windows = if quick {
+        Windows::quick()
+    } else {
+        Windows::standard()
+    };
     let clients = if quick { 1500 } else { 3000 };
-    let mut fig = Figure::new("ablation-batching", "batch window (ms)", "throughput (ops/s)");
-    println!("Ablation: Raft throughput vs leader batch window ({clients} clients/region, 100% writes)");
-    println!("{:>16} {:>14} {:>18}", "batch window", "ops/s", "leader p90 (ms)");
+    let mut fig = Figure::new(
+        "ablation-batching",
+        "batch window (ms)",
+        "throughput (ops/s)",
+    );
+    println!(
+        "Ablation: Raft throughput vs leader batch window ({clients} clients/region, 100% writes)"
+    );
+    println!(
+        "{:>16} {:>14} {:>18}",
+        "batch window", "ops/s", "leader p90 (ms)"
+    );
     for batch_us in [0u64, 500, 1000, 2000, 5000, 10000] {
         let mut cluster = Cluster::builder(ProtocolKind::Raft)
             .replicas(5)
             .regions(Region::ALL.to_vec())
             .clients_per_region(clients)
-            .workload(WorkloadConfig { read_fraction: 0.0, ..Default::default() })
+            .workload(WorkloadConfig {
+                read_fraction: 0.0,
+                ..Default::default()
+            })
             .batch_delay(SimDuration::from_micros(batch_us.max(10)))
             .seed(42)
             .build();
         cluster.elect_leader();
         let r = cluster.run_measurement(windows.warmup, windows.measure, windows.cooldown);
         let p90 = r.leader_writes.map(|t| t.p90_ms).unwrap_or(f64::NAN);
-        println!("{:>13}us {:>14.0} {:>18.1}", batch_us, r.throughput_ops, p90);
+        println!(
+            "{:>13}us {:>14.0} {:>18.1}",
+            batch_us, r.throughput_ops, p90
+        );
         fig.push("Raft", batch_us as f64 / 1000.0, r.throughput_ops);
     }
     std::fs::create_dir_all("bench_results").ok();

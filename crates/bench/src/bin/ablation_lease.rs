@@ -26,15 +26,23 @@ fn main() {
             .build();
         cluster.elect_leader();
         cluster
-            .submit_and_wait(Op::Put { key: 1, value: vec![1; 8] })
+            .submit_and_wait(Op::Put {
+                key: 1,
+                value: vec![1; 8],
+            })
             .expect("baseline write");
         // Crash a follower leaseholder, then time the next write.
         let victim = cluster.replicas()[4];
-        cluster.sim.crash_at(victim, cluster.sim.now() + SimDuration::from_millis(1));
+        cluster
+            .sim
+            .crash_at(victim, cluster.sim.now() + SimDuration::from_millis(1));
         cluster.sim.run_for(SimDuration::from_millis(5));
         let t0 = cluster.sim.now();
         cluster
-            .submit_and_wait(Op::Put { key: 2, value: vec![2; 8] })
+            .submit_and_wait(Op::Put {
+                key: 2,
+                value: vec![2; 8],
+            })
             .expect("write completes after the grant expires");
         let stall = cluster.sim.now().since(t0).as_millis_f64();
         println!("{:>14}ms {:>20.0}", millis, stall);

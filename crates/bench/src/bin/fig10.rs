@@ -32,8 +32,14 @@ fn configs() -> Vec<(String, RunSpec)> {
         s
     };
     vec![
-        ("Raft*-M-100%".into(), mk(ProtocolKind::RaftStarMencius, 0, 1.0)),
-        ("Raft*-M-0%".into(), mk(ProtocolKind::RaftStarMencius, 0, 0.0)),
+        (
+            "Raft*-M-100%".into(),
+            mk(ProtocolKind::RaftStarMencius, 0, 1.0),
+        ),
+        (
+            "Raft*-M-0%".into(),
+            mk(ProtocolKind::RaftStarMencius, 0, 0.0),
+        ),
         ("Raft-Oregon".into(), mk(ProtocolKind::Raft, 0, 0.0)),
         ("Raft*-Oregon".into(), mk(ProtocolKind::RaftStar, 0, 0.0)),
         ("Raft-Seoul".into(), mk(ProtocolKind::Raft, 4, 0.0)),
@@ -105,10 +111,21 @@ fn main() {
         .map(|s| s.as_str())
         .unwrap_or("all")
         .to_string();
-    let windows = if quick { Windows::quick() } else { Windows::standard() };
-    let counts_8b: &[usize] =
-        if quick { &[200, 1000, 3000] } else { &[100, 500, 1000, 2000, 4000, 6000] };
-    let counts_4k: &[usize] = if quick { &[50, 200, 600] } else { &[25, 50, 100, 200, 400, 800] };
+    let windows = if quick {
+        Windows::quick()
+    } else {
+        Windows::standard()
+    };
+    let counts_8b: &[usize] = if quick {
+        &[200, 1000, 3000]
+    } else {
+        &[100, 500, 1000, 2000, 4000, 6000]
+    };
+    let counts_4k: &[usize] = if quick {
+        &[50, 200, 600]
+    } else {
+        &[25, 50, 100, 200, 400, 800]
+    };
 
     let mut figures = Vec::new();
     if panel == "a" || panel == "all" {

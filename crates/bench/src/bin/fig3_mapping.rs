@@ -29,10 +29,17 @@ fn main() {
     println!("\nBounded refinement checks (every Raft* step maps to a MultiPaxos");
     println!("step or stutter under the mapping):\n");
     let configs = [
-        ("3 acceptors, 3 ballots, 1 slot", multipaxos::MpConfig::default()),
+        (
+            "3 acceptors, 3 ballots, 1 slot",
+            multipaxos::MpConfig::default(),
+        ),
         (
             "3 acceptors, 2 ballots, 2 slots",
-            multipaxos::MpConfig { slots: 2, max_ballot: 2, ..Default::default() },
+            multipaxos::MpConfig {
+                slots: 2,
+                max_ballot: 2,
+                ..Default::default()
+            },
         ),
     ];
     for (label, cfg) in configs {

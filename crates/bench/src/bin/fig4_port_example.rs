@@ -24,15 +24,23 @@ fn main() {
     let hand = kvlog::log_store_with_size_by_hand();
     let same = bd.vars == hand.vars
         && bd.actions.len() == hand.actions.len()
-        && bd.actions.iter().zip(&hand.actions).all(|(g, h)| g.guard == h.guard && g.updates == h.updates);
+        && bd
+            .actions
+            .iter()
+            .zip(&hand.actions)
+            .all(|(g, h)| g.guard == h.guard && g.updates == h.updates);
     println!("Structurally equal to hand-written Figure 4d: {same}\n");
 
     let ad = delta.apply_to(&a);
     let ext = extended_map(&a, &b, &delta, &map.state_map);
     let r1 = check_refinement(&bd, &ad, &ext, Limits::default()).expect("B∆ ⇒ A∆");
-    println!("B∆ ⇒ A∆ checked: {} states, {} transitions, exhausted={}",
-        r1.b_states, r1.b_transitions, r1.exhausted);
+    println!(
+        "B∆ ⇒ A∆ checked: {} states, {} transitions, exhausted={}",
+        r1.b_states, r1.b_transitions, r1.exhausted
+    );
     let r2 = check_refinement(&bd, &b, &projection_map(&b), Limits::default()).expect("B∆ ⇒ B");
-    println!("B∆ ⇒ B  checked: {} states, {} transitions, exhausted={}",
-        r2.b_states, r2.b_transitions, r2.exhausted);
+    println!(
+        "B∆ ⇒ B  checked: {} states, {} transitions, exhausted={}",
+        r2.b_states, r2.b_transitions, r2.exhausted
+    );
 }

@@ -8,6 +8,13 @@ fn main() {
     print!("{}", landscape::render());
     println!("\nMechanical Section-4.2 verdicts (check_non_mutating on the real deltas):");
     for (name, ok) in landscape::mechanical_verdicts() {
-        println!("  {name}: {}", if ok { "non-mutating ✓" } else { "MUTATING ✗" });
+        println!(
+            "  {name}: {}",
+            if ok {
+                "non-mutating ✓"
+            } else {
+                "MUTATING ✗"
+            }
+        );
     }
 }

@@ -25,7 +25,11 @@ const PROTOCOLS: [ProtocolKind; 4] = [
 fn latency_panels(quick: bool) -> (Figure, Figure) {
     let mut fig_a = Figure::new("9a", "group", "read latency p90 (ms)");
     let mut fig_b = Figure::new("9b", "group", "write latency p90 (ms)");
-    let windows = if quick { Windows::quick() } else { Windows::standard() };
+    let windows = if quick {
+        Windows::quick()
+    } else {
+        Windows::standard()
+    };
     println!("Figure 9a/9b: 90% reads, 5% conflict, 50 clients/region");
     println!(
         "{:<14} {:>22} {:>22} {:>22} {:>22}",
@@ -71,8 +75,16 @@ fn latency_panels(quick: bool) -> (Figure, Figure) {
 
 fn panel_c(quick: bool) -> Figure {
     let mut fig = Figure::new("9c", "read %", "peak throughput (ops/s)");
-    let windows = if quick { Windows::quick() } else { Windows::standard() };
-    let counts: &[usize] = if quick { &[500, 2000] } else { &[500, 2000, 4000] };
+    let windows = if quick {
+        Windows::quick()
+    } else {
+        Windows::standard()
+    };
+    let counts: &[usize] = if quick {
+        &[500, 2000]
+    } else {
+        &[500, 2000, 4000]
+    };
     println!("\nFigure 9c: peak throughput vs read percentage");
     println!("{:<14} {:>8} {:>14}", "protocol", "read %", "peak ops/s");
     for read_pct in [50.0, 90.0, 99.0] {
@@ -93,13 +105,34 @@ fn panel_c(quick: bool) -> Figure {
 }
 
 fn panel_d(quick: bool) -> Figure {
-    let mut fig = Figure::new("9d", "conflict rate %", "speedup of Raft*-PQL over Raft* (%)");
-    let windows = if quick { Windows::quick() } else { Windows::standard() };
+    let mut fig = Figure::new(
+        "9d",
+        "conflict rate %",
+        "speedup of Raft*-PQL over Raft* (%)",
+    );
+    let windows = if quick {
+        Windows::quick()
+    } else {
+        Windows::standard()
+    };
     // Peak-throughput comparison (saturate both systems, take the max).
-    let counts: &[usize] = if quick { &[1000, 3000] } else { &[1000, 2000, 4000] };
-    println!("\nFigure 9d: Raft*-PQL peak-throughput speedup over Raft* vs conflict rate (90% reads)");
-    println!("{:>12} {:>14} {:>14} {:>10}", "conflict %", "PQL ops/s", "Raft* ops/s", "speedup");
-    let rates: &[f64] = if quick { &[0.0, 20.0, 50.0] } else { &[0.0, 10.0, 20.0, 30.0, 40.0, 50.0] };
+    let counts: &[usize] = if quick {
+        &[1000, 3000]
+    } else {
+        &[1000, 2000, 4000]
+    };
+    println!(
+        "\nFigure 9d: Raft*-PQL peak-throughput speedup over Raft* vs conflict rate (90% reads)"
+    );
+    println!(
+        "{:>12} {:>14} {:>14} {:>10}",
+        "conflict %", "PQL ops/s", "Raft* ops/s", "speedup"
+    );
+    let rates: &[f64] = if quick {
+        &[0.0, 20.0, 50.0]
+    } else {
+        &[0.0, 10.0, 20.0, 30.0, 40.0, 50.0]
+    };
     for &conflict in rates {
         let workload = WorkloadConfig {
             read_fraction: 0.9,
@@ -114,7 +147,10 @@ fn panel_d(quick: bool) -> Figure {
         let t_pql = peak_throughput(&pql, counts, windows);
         let t_star = peak_throughput(&star, counts, windows);
         let speedup = (t_pql - t_star) / t_star * 100.0;
-        println!("{:>12} {:>14.0} {:>14.0} {:>9.1}%", conflict, t_pql, t_star, speedup);
+        println!(
+            "{:>12} {:>14.0} {:>14.0} {:>9.1}%",
+            conflict, t_pql, t_star, speedup
+        );
         fig.push("Raft*-PQL vs. Raft*", conflict, speedup);
     }
     fig

@@ -20,10 +20,9 @@ use paxraft_core::types::NodeId;
 use paxraft_sim::net::Region;
 use paxraft_sim::time::SimDuration;
 use paxraft_workload::generator::WorkloadConfig;
-use serde::Serialize;
 
 /// One measured point in a figure's series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// Series label (e.g. protocol / configuration name).
     pub series: String,
@@ -34,7 +33,7 @@ pub struct Point {
 }
 
 /// A complete figure: id, axis labels, and measured points.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Paper figure id (e.g. "9c").
     pub id: String,
@@ -59,7 +58,11 @@ impl Figure {
 
     /// Adds a point.
     pub fn push(&mut self, series: &str, x: f64, y: f64) {
-        self.points.push(Point { series: series.to_string(), x, y });
+        self.points.push(Point {
+            series: series.to_string(),
+            x,
+            y,
+        });
     }
 
     /// Renders an aligned text table, one row per point.
@@ -75,8 +78,51 @@ impl Figure {
     }
 
     /// Serializes to JSON (for EXPERIMENTS.md regeneration diffs).
+    /// Non-finite measurements (a degenerate run dividing by zero ops)
+    /// serialize as `null`, and control characters are escaped, so the
+    /// output always parses.
     pub fn json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure serializes")
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = format!(
+            "{{\n  \"id\": \"{}\",\n  \"x_label\": \"{}\",\n  \"y_label\": \"{}\",\n  \"points\": [",
+            esc(&self.id),
+            esc(&self.x_label),
+            esc(&self.y_label)
+        );
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\n      \"series\": \"{}\",\n      \"x\": {},\n      \"y\": {}\n    }}",
+                esc(&p.series),
+                num(p.x),
+                num(p.y)
+            ));
+        }
+        out.push_str("\n  ]\n}");
+        out
     }
 }
 
@@ -188,11 +234,27 @@ mod tests {
     }
 
     #[test]
+    fn json_handles_non_finite_and_control_chars() {
+        let mut f = Figure::new("x", "a\tb", "c\"d");
+        f.push("nan\nseries", f64::NAN, f64::INFINITY);
+        f.push("ok", 1.0, 2.5);
+        let j = f.json();
+        assert!(j.contains("\"x\": null"), "NaN serializes as null: {j}");
+        assert!(j.contains("\"y\": null"), "inf serializes as null: {j}");
+        assert!(j.contains("a\\tb") && j.contains("c\\\"d") && j.contains("nan\\nseries"));
+        assert!(!j.contains("NaN") && !j.contains("inf"));
+    }
+
+    #[test]
     fn quick_raft_run_produces_throughput() {
         let mut spec = RunSpec::new(ProtocolKind::Raft);
         spec.clients_per_region = 10;
         let report = spec.run(Windows::quick());
-        assert!(report.throughput_ops > 10.0, "got {}", report.throughput_ops);
+        assert!(
+            report.throughput_ops > 10.0,
+            "got {}",
+            report.throughput_ops
+        );
     }
 
     #[test]
@@ -201,6 +263,10 @@ mod tests {
         spec.clients_per_region = 10;
         spec.workload.read_fraction = 0.0;
         let report = spec.run(Windows::quick());
-        assert!(report.throughput_ops > 10.0, "got {}", report.throughput_ops);
+        assert!(
+            report.throughput_ops > 10.0,
+            "got {}",
+            report.throughput_ops
+        );
     }
 }

@@ -76,7 +76,10 @@ impl WorkloadClient {
     fn next_command(&mut self) -> (Command, OpKind, Key) {
         let spec = self.gen.next_op();
         self.seq += 1;
-        let id = CmdId { client: self.client_id, seq: self.seq };
+        let id = CmdId {
+            client: self.client_id,
+            seq: self.seq,
+        };
         let cmd = match spec.kind {
             OpKind::Read => Command::get(id, spec.key),
             OpKind::Write => Command::put(id, spec.key, vec![0; spec.value_size.max(8)]),
@@ -105,8 +108,12 @@ impl Actor<Msg> for WorkloadClient {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<Msg>, _from: ActorId, msg: Msg) {
-        let Msg::Client(ClientMsg::Response { id, reply }) = msg else { return };
-        let Some(inflight) = &self.inflight else { return };
+        let Msg::Client(ClientMsg::Response { id, reply }) = msg else {
+            return;
+        };
+        let Some(inflight) = &self.inflight else {
+            return;
+        };
         if inflight.cmd.id != id {
             return; // stale response from a retry
         }
@@ -171,7 +178,11 @@ mod tests {
 
     #[test]
     fn write_values_sized_by_workload() {
-        let cfg = WorkloadConfig { read_fraction: 0.0, value_size: 4096, ..WorkloadConfig::default() };
+        let cfg = WorkloadConfig {
+            read_fraction: 0.0,
+            value_size: 4096,
+            ..WorkloadConfig::default()
+        };
         let gen = Generator::new(cfg, 0, SimRng::new(1));
         let mut c = WorkloadClient::new(0, ActorId(0), gen);
         let (cmd, kind, _) = c.next_command();

@@ -1,6 +1,7 @@
 //! Replica configuration shared by every protocol.
 
 use crate::costs::CostModel;
+use crate::snapshot::SnapshotConfig;
 use crate::types::NodeId;
 use paxraft_sim::sim::ActorId;
 use paxraft_sim::time::SimDuration;
@@ -90,6 +91,8 @@ pub struct ReplicaConfig {
     pub lease: LeaseConfig,
     /// Mencius parameters.
     pub mencius: MenciusConfig,
+    /// Snapshot / log-compaction parameters (disabled by default).
+    pub snapshot: SnapshotConfig,
 }
 
 impl ReplicaConfig {
@@ -112,6 +115,7 @@ impl ReplicaConfig {
             read_mode: ReadMode::LogRead,
             lease: LeaseConfig::default(),
             mencius: MenciusConfig::default(),
+            snapshot: SnapshotConfig::default(),
         }
     }
 
@@ -149,13 +153,20 @@ impl ReplicaConfig {
             return Err(format!("id {} out of range for n={}", self.id, self.n));
         }
         if self.peers.len() != self.n {
-            return Err(format!("peers table has {} entries, need {}", self.peers.len(), self.n));
+            return Err(format!(
+                "peers table has {} entries, need {}",
+                self.peers.len(),
+                self.n
+            ));
         }
         if self.election_min > self.election_max {
             return Err("election_min exceeds election_max".into());
         }
         if self.batch_max == 0 {
             return Err("batch_max must be positive".into());
+        }
+        if self.snapshot.enabled() && self.snapshot.chunk_bytes == 0 {
+            return Err("snapshot chunk_bytes must be positive".into());
         }
         Ok(())
     }

@@ -43,6 +43,9 @@ pub struct CostModel {
     /// Additional cost per KiB of payload handled (serialization /
     /// checksumming); applied on proposes and appends.
     pub per_kib: SimDuration,
+    /// Per-KiB cost of encoding or installing a state-machine snapshot
+    /// (charged on top of the NIC transfer the simulator models).
+    pub snapshot_per_kib: SimDuration,
 }
 
 impl Default for CostModel {
@@ -62,6 +65,7 @@ impl Default for CostModel {
             coord_msg: SimDuration::from_micros(1),
             coord_per_cmd: SimDuration::from_micros(3),
             per_kib: SimDuration::from_micros(1),
+            snapshot_per_kib: SimDuration::from_micros(2),
         }
     }
 }
@@ -70,6 +74,11 @@ impl CostModel {
     /// Payload-size surcharge for `bytes` of command data.
     pub fn size_cost(&self, bytes: usize) -> SimDuration {
         SimDuration::from_nanos(self.per_kib.as_nanos() * bytes as u64 / 1024)
+    }
+
+    /// CPU cost of encoding / installing a snapshot of `bytes` bytes.
+    pub fn snapshot_cost(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_nanos(self.snapshot_per_kib.as_nanos() * bytes as u64 / 1024)
     }
 
     /// A model with all costs zero, for latency-only tests where CPU
@@ -90,6 +99,7 @@ impl CostModel {
             coord_msg: SimDuration::ZERO,
             coord_per_cmd: SimDuration::ZERO,
             per_kib: SimDuration::ZERO,
+            snapshot_per_kib: SimDuration::ZERO,
         }
     }
 }

@@ -20,6 +20,7 @@ use crate::msg::{ClientMsg, Msg};
 use crate::multipaxos::MultiPaxosReplica;
 use crate::raft::RaftReplica;
 use crate::raftstar::RaftStarReplica;
+use crate::snapshot::{SnapshotConfig, SnapshotStats};
 use crate::types::NodeId;
 
 /// Which protocol the cluster runs.
@@ -68,6 +69,7 @@ pub struct ClusterBuilder {
     record_history_key: Option<Key>,
     batch_delay: SimDuration,
     lease: LeaseConfig,
+    snapshot: SnapshotConfig,
 }
 
 impl ClusterBuilder {
@@ -139,6 +141,13 @@ impl ClusterBuilder {
         self
     }
 
+    /// Snapshot / log-compaction parameters for every replica
+    /// (default: disabled).
+    pub fn snapshot_config(mut self, snapshot: SnapshotConfig) -> Self {
+        self.snapshot = snapshot;
+        self
+    }
+
     /// Constructs the cluster.
     ///
     /// # Panics
@@ -157,6 +166,7 @@ impl ClusterBuilder {
             cfg.costs = self.costs.clone();
             cfg.batch_delay = self.batch_delay;
             cfg.lease = self.lease.clone();
+            cfg.snapshot = self.snapshot.clone();
             cfg.initial_leader = Some(self.leader);
             cfg.read_mode = match self.protocol {
                 ProtocolKind::RaftStarPql => ReadMode::QuorumLease,
@@ -166,9 +176,9 @@ impl ClusterBuilder {
             let actor: Box<dyn paxraft_sim::sim::Actor<Msg>> = match self.protocol {
                 ProtocolKind::MultiPaxos => Box::new(MultiPaxosReplica::new(cfg)),
                 ProtocolKind::Raft => Box::new(RaftReplica::new(cfg)),
-                ProtocolKind::RaftStar
-                | ProtocolKind::RaftStarPql
-                | ProtocolKind::LeaderLease => Box::new(RaftStarReplica::new(cfg)),
+                ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => {
+                    Box::new(RaftStarReplica::new(cfg))
+                }
                 ProtocolKind::RaftStarMencius => Box::new(MenciusReplica::new(cfg)),
             };
             replicas.push(sim.add_actor(self.regions[i], actor));
@@ -218,6 +228,11 @@ pub struct RunReport {
     pub follower_writes: Option<LatencyTriple>,
     /// Linearizability histories (when recording was enabled).
     pub histories: Vec<OpRecord>,
+    /// Snapshot / compaction counters summed across replicas; the peak
+    /// log-size fields take the cluster-wide maximum, so a bounded
+    /// `peak_log_entries` certifies that compaction kept every replica's
+    /// in-memory log bounded for the whole run.
+    pub snapshots: SnapshotStats,
 }
 
 /// A built cluster ready to run.
@@ -249,6 +264,7 @@ impl Cluster {
             record_history_key: None,
             batch_delay: SimDuration::from_millis(2),
             lease: LeaseConfig::default(),
+            snapshot: SnapshotConfig::default(),
         }
     }
 
@@ -284,13 +300,30 @@ impl Cluster {
                 .replicas
                 .iter()
                 .any(|&r| self.sim.actor::<RaftReplica>(r).is_leader()),
-            ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => {
-                self.replicas
-                    .iter()
-                    .any(|&r| self.sim.actor::<RaftStarReplica>(r).is_leader())
-            }
+            ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => self
+                .replicas
+                .iter()
+                .any(|&r| self.sim.actor::<RaftStarReplica>(r).is_leader()),
             ProtocolKind::RaftStarMencius => true,
         }
+    }
+
+    /// Snapshot / compaction counters aggregated over all replicas
+    /// (sums for counters, maxima for peaks).
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        let mut total = SnapshotStats::default();
+        for &r in &self.replicas {
+            let s = match self.protocol {
+                ProtocolKind::MultiPaxos => self.sim.actor::<MultiPaxosReplica>(r).snap_stats(),
+                ProtocolKind::Raft => self.sim.actor::<RaftReplica>(r).snap_stats(),
+                ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => {
+                    self.sim.actor::<RaftStarReplica>(r).snap_stats()
+                }
+                ProtocolKind::RaftStarMencius => self.sim.actor::<MenciusReplica>(r).snap_stats(),
+            };
+            total.absorb(&s);
+        }
+        total
     }
 
     /// Runs until a leader is elected (and leases, if any, are live).
@@ -300,7 +333,10 @@ impl Cluster {
             self.sim.run_for(SimDuration::from_millis(50));
         }
         assert!(self.has_leader(), "no leader elected within 30s");
-        if matches!(self.protocol, ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease) {
+        if matches!(
+            self.protocol,
+            ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease
+        ) {
             // Let the first grant round complete.
             self.sim.run_for(SimDuration::from_millis(700));
         }
@@ -328,7 +364,10 @@ impl Cluster {
         // actor index encodes the matching client id.
         let client_index = (pid.0 - self.replicas.len()) as u32;
         self.probe_seq += 1;
-        let id = CmdId { client: client_index, seq: self.probe_seq };
+        let id = CmdId {
+            client: client_index,
+            seq: self.probe_seq,
+        };
         let cmd = Command { id, op };
         // Target the configured leader's replica unless it is crashed;
         // fall back to the first live replica (its forwarding finds the
@@ -404,6 +443,7 @@ impl Cluster {
             leader_writes: leader_writes.paper_triple_ms(),
             follower_writes: follower_writes.paper_triple_ms(),
             histories,
+            snapshots: self.snapshot_stats(),
         }
     }
 }
@@ -433,16 +473,25 @@ mod tests {
         let mut cluster = Cluster::builder(ProtocolKind::RaftStar).build();
         cluster.elect_leader();
         let r = cluster
-            .submit_and_wait(Op::Put { key: 1, value: vec![7; 16] })
+            .submit_and_wait(Op::Put {
+                key: 1,
+                value: vec![7; 16],
+            })
             .expect("put succeeds");
         assert_eq!(r, Reply::Done);
-        let r = cluster.submit_and_wait(Op::Get { key: 1 }).expect("get succeeds");
+        let r = cluster
+            .submit_and_wait(Op::Get { key: 1 })
+            .expect("get succeeds");
         assert!(matches!(r, Reply::Value(Some(_))));
     }
 
     #[test]
     fn measurement_produces_throughput_and_latency() {
-        let w = WorkloadConfig { read_fraction: 0.5, conflict_rate: 0.0, ..Default::default() };
+        let w = WorkloadConfig {
+            read_fraction: 0.5,
+            conflict_rate: 0.0,
+            ..Default::default()
+        };
         let mut cluster = Cluster::builder(ProtocolKind::Raft)
             .clients_per_region(2)
             .workload(w)

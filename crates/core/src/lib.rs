@@ -25,14 +25,15 @@ pub mod costs;
 pub mod harness;
 pub mod kv;
 pub mod log;
-pub mod msg;
 pub mod mencius;
+pub mod msg;
 pub mod multipaxos;
 pub mod pql;
 pub mod probe;
 pub mod raft;
 pub mod raftstar;
 pub mod replicate;
+pub mod snapshot;
 pub mod types;
 
 #[cfg(test)]

@@ -10,6 +10,19 @@
 //! suffixes; Raft* never truncates — it uses [`Log::replace_suffix`],
 //! which only ever overwrites or extends (the "no erasing" restriction
 //! that makes Raft* map onto Paxos, Section 3).
+//!
+//! # Compaction
+//!
+//! [`Log::compact_to`] discards an *applied* prefix after the state
+//! machine has been snapshotted, retaining `last_included()` — the slot
+//! and term of the last discarded entry — so the AppendEntries
+//! consistency check still works at the compaction boundary:
+//! `term_at(start)` answers with the retained term, slots below the
+//! boundary answer `None` ("unknown, ask for a snapshot"). Slot numbering
+//! is global and never shifts: slot `s` names the same entry before and
+//! after compaction.
+
+use paxraft_workload::metrics::PeakGauge;
 
 use crate::kv::Command;
 use crate::types::{Slot, Term};
@@ -36,6 +49,19 @@ impl Entry {
 #[derive(Debug, Clone, Default)]
 pub struct Log {
     entries: Vec<Entry>,
+    /// Compacted-through slot: every entry at or below it has been
+    /// discarded (applied and snapshotted). [`Slot::NONE`] when the log
+    /// has never been compacted.
+    start: Slot,
+    /// Term of the entry at `start` (the paper's `log[-1].term` once the
+    /// prefix is gone); [`Term::ZERO`] when never compacted.
+    start_term: Term,
+    /// Retained payload bytes (sum of entry sizes).
+    bytes: usize,
+    /// High-water mark of retained entries (for compaction metrics).
+    peak_entries: PeakGauge,
+    /// High-water mark of retained bytes.
+    peak_bytes: PeakGauge,
 }
 
 impl Log {
@@ -44,29 +70,46 @@ impl Log {
         Log::default()
     }
 
-    /// Index of the last entry, or [`Slot::NONE`] when empty.
+    /// Index of the last entry, or [`Slot::NONE`] when empty and never
+    /// compacted. Global slot numbering survives compaction.
     pub fn last_index(&self) -> Slot {
-        Slot(self.entries.len() as u64)
+        Slot(self.start.0 + self.entries.len() as u64)
     }
 
-    /// Term of the last entry ([`Term::ZERO`] when empty).
+    /// Term of the last entry ([`Term::ZERO`] when empty; the last
+    /// *included* term when everything is compacted away).
     pub fn last_term(&self) -> Term {
-        self.entries.last().map_or(Term::ZERO, |e| e.term)
+        self.entries.last().map_or(self.start_term, |e| e.term)
     }
 
-    /// The entry at `slot`, if present.
+    /// First retained slot (`start + 1`).
+    pub fn first_index(&self) -> Slot {
+        self.start.next()
+    }
+
+    /// `(slot, term)` of the last compacted-away entry:
+    /// `(Slot::NONE, Term::ZERO)` when never compacted.
+    pub fn last_included(&self) -> (Slot, Term) {
+        (self.start, self.start_term)
+    }
+
+    /// The entry at `slot`, if retained.
     pub fn get(&self, slot: Slot) -> Option<&Entry> {
-        if slot == Slot::NONE {
+        if slot <= self.start {
             return None;
         }
-        self.entries.get(slot.0 as usize - 1)
+        self.entries.get((slot.0 - self.start.0) as usize - 1)
     }
 
-    /// Term at `slot`; [`Slot::NONE`] maps to [`Term::ZERO`] (the paper's
-    /// `log[-1].term = -1` convention). Returns `None` past the end.
+    /// Term at `slot`. The compaction boundary answers with the retained
+    /// `last_included` term (for an uncompacted log that is the paper's
+    /// `log[-1].term = -1` convention at [`Slot::NONE`]); slots *below*
+    /// the boundary answer `None` — they are unknown here and a caller
+    /// needing them must fall back to a snapshot. Also `None` past the
+    /// end.
     pub fn term_at(&self, slot: Slot) -> Option<Term> {
-        if slot == Slot::NONE {
-            Some(Term::ZERO)
+        if slot == self.start {
+            Some(self.start_term)
         } else {
             self.get(slot).map(|e| e.term)
         }
@@ -74,12 +117,16 @@ impl Log {
 
     /// Appends an entry, returning its slot.
     pub fn append(&mut self, entry: Entry) -> Slot {
+        self.bytes += entry.size_bytes();
         self.entries.push(entry);
+        self.note_peak();
         self.last_index()
     }
 
     /// Whether `(prev, prev_term)` matches this log (the AppendEntries
-    /// consistency check).
+    /// consistency check). Slots inside the compacted prefix never match
+    /// — callers detect `prev < last_included` separately and treat the
+    /// overlap as implicitly matching (it is committed state).
     pub fn matches(&self, prev: Slot, prev_term: Term) -> bool {
         self.term_at(prev) == Some(prev_term)
     }
@@ -87,9 +134,24 @@ impl Log {
     /// **Raft only.** Removes every entry at `slot` and beyond. This is
     /// the "erase extraneous entries" step that has no MultiPaxos
     /// counterpart (Section 3's first obstacle to a direct mapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` lies inside the compacted prefix (those entries
+    /// are applied and can never conflict) or is the sentinel.
     pub fn truncate_from(&mut self, slot: Slot) {
         assert!(slot != Slot::NONE, "cannot truncate from the sentinel");
-        self.entries.truncate(slot.0 as usize - 1);
+        assert!(
+            slot > self.start,
+            "cannot truncate into the compacted prefix ({} <= {})",
+            slot,
+            self.start
+        );
+        let keep = (slot.0 - self.start.0) as usize - 1;
+        for e in &self.entries[keep.min(self.entries.len())..] {
+            self.bytes -= e.size_bytes();
+        }
+        self.entries.truncate(keep);
     }
 
     /// **Raft\*.** Replaces the entries after `prev` with `entries`.
@@ -98,8 +160,16 @@ impl Log {
     ///
     /// Panics if the replacement would *shorten* the log — Raft* acceptors
     /// must reject such appends (Figure 2b: `lastIndex ≤ prev +
-    /// length(ents)`), so reaching this state is a protocol bug.
+    /// length(ents)`), so reaching this state is a protocol bug — or if
+    /// `prev` lies inside the compacted prefix (callers must skip the
+    /// overlap first).
     pub fn replace_suffix(&mut self, prev: Slot, entries: Vec<Entry>) {
+        assert!(
+            prev >= self.start,
+            "replace_suffix reaches into the compacted prefix ({} < {})",
+            prev,
+            self.start
+        );
         let new_last = prev.0 + entries.len() as u64;
         assert!(
             new_last >= self.last_index().0,
@@ -107,39 +177,108 @@ impl Log {
             new_last,
             self.last_index().0
         );
-        self.entries.truncate(prev.0 as usize);
+        let keep = (prev.0 - self.start.0) as usize;
+        for e in &self.entries[keep.min(self.entries.len())..] {
+            self.bytes -= e.size_bytes();
+        }
+        self.entries.truncate(keep);
+        for e in &entries {
+            self.bytes += e.size_bytes();
+        }
         self.entries.extend(entries);
+        self.note_peak();
     }
 
     /// **Raft\*.** Sets `bal = term` on every entry up to and including
     /// `upto` (Figure 2's "change all entries' ballot to be the new
-    /// entry's term").
+    /// entry's term"). Compacted entries are untouched (they are applied;
+    /// their ballots no longer matter).
     pub fn set_bal_upto(&mut self, upto: Slot, term: Term) {
-        let n = (upto.0 as usize).min(self.entries.len());
+        let n = (upto.0.saturating_sub(self.start.0) as usize).min(self.entries.len());
         for e in &mut self.entries[..n] {
             e.bal = term;
         }
     }
 
-    /// Clones the entries strictly after `prev` (for AppendEntries
-    /// payloads and Raft* vote-reply extras).
+    /// Clones the retained entries strictly after `prev` (for
+    /// AppendEntries payloads and Raft* vote-reply extras). A `prev`
+    /// inside the compacted prefix yields everything retained — callers
+    /// wanting the discarded part must ship a snapshot instead.
     pub fn suffix_from(&self, prev: Slot) -> Vec<Entry> {
-        self.entries[(prev.0 as usize).min(self.entries.len())..].to_vec()
+        let from = (prev.0.saturating_sub(self.start.0) as usize).min(self.entries.len());
+        self.entries[from..].to_vec()
     }
 
-    /// Iterates entries with their slots.
+    /// Iterates retained entries with their (global) slots.
     pub fn iter(&self) -> impl Iterator<Item = (Slot, &Entry)> {
-        self.entries.iter().enumerate().map(|(i, e)| (Slot(i as u64 + 1), e))
+        let start = self.start.0;
+        self.entries
+            .iter()
+            .enumerate()
+            .map(move |(i, e)| (Slot(start + i as u64 + 1), e))
     }
 
-    /// Number of entries.
+    /// Number of retained entries.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// True when the log is empty.
+    /// True when no entries are retained (the log may still have a
+    /// compacted history — check [`Log::last_included`]).
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Retained payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// High-water mark of retained entries since creation.
+    pub fn peak_entries(&self) -> usize {
+        self.peak_entries.peak() as usize
+    }
+
+    /// High-water mark of retained bytes since creation.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes.peak() as usize
+    }
+
+    /// Discards every entry at or below `upto` (clamped to the end of
+    /// the log), retaining its slot and term as the new
+    /// [`Log::last_included`]. Returns the number of entries discarded.
+    ///
+    /// Callers must only compact an *applied* prefix — the discarded
+    /// entries live on solely inside the state-machine snapshot.
+    pub fn compact_to(&mut self, upto: Slot) -> usize {
+        let upto = Slot(upto.0.min(self.last_index().0));
+        if upto <= self.start {
+            return 0;
+        }
+        let term = self.term_at(upto).expect("compaction point is in range");
+        let k = (upto.0 - self.start.0) as usize;
+        for e in self.entries.drain(..k) {
+            self.bytes -= e.size_bytes();
+        }
+        self.start = upto;
+        self.start_term = term;
+        k
+    }
+
+    /// Replaces the entire log with the history implied by an installed
+    /// snapshot: nothing retained, `last_included = (slot, term)`. Used
+    /// by a follower whose log conflicts with (or ends before) a
+    /// received snapshot.
+    pub fn reset_to(&mut self, slot: Slot, term: Term) {
+        self.entries.clear();
+        self.bytes = 0;
+        self.start = slot;
+        self.start_term = term;
+    }
+
+    fn note_peak(&mut self) {
+        self.peak_entries.observe(self.entries.len() as u64);
+        self.peak_bytes.observe(self.bytes as u64);
     }
 }
 
@@ -152,7 +291,14 @@ mod tests {
         Entry {
             term: Term(term),
             bal: Term(term),
-            cmd: Command::put(CmdId { client: 1, seq: key }, key, vec![0; 8]),
+            cmd: Command::put(
+                CmdId {
+                    client: 1,
+                    seq: key,
+                },
+                key,
+                vec![0; 8],
+            ),
         }
     }
 
@@ -165,6 +311,8 @@ mod tests {
         assert_eq!(log.term_at(Slot(1)), None);
         assert!(log.matches(Slot::NONE, Term::ZERO));
         assert!(log.is_empty());
+        assert_eq!(log.first_index(), Slot(1));
+        assert_eq!(log.last_included(), (Slot::NONE, Term::ZERO));
     }
 
     #[test]
@@ -229,7 +377,11 @@ mod tests {
         log.set_bal_upto(Slot(2), Term(7));
         assert_eq!(log.get(Slot(1)).unwrap().bal, Term(7));
         assert_eq!(log.get(Slot(2)).unwrap().bal, Term(7));
-        assert_eq!(log.get(Slot(3)).unwrap().bal, Term(2), "beyond upto untouched");
+        assert_eq!(
+            log.get(Slot(3)).unwrap().bal,
+            Term(2),
+            "beyond upto untouched"
+        );
         // Terms are never rewritten by bal updates.
         assert_eq!(log.get(Slot(1)).unwrap().term, Term(1));
     }
@@ -254,5 +406,150 @@ mod tests {
         log.append(entry(1, 6));
         let slots: Vec<Slot> = log.iter().map(|(s, _)| s).collect();
         assert_eq!(slots, vec![Slot(1), Slot(2)]);
+    }
+
+    // ── compaction ──────────────────────────────────────────────────
+
+    fn log_of(terms: &[u64]) -> Log {
+        let mut log = Log::new();
+        for (i, &t) in terms.iter().enumerate() {
+            log.append(entry(t, i as u64));
+        }
+        log
+    }
+
+    #[test]
+    fn compact_discards_prefix_and_keeps_numbering() {
+        let mut log = log_of(&[1, 1, 2, 2, 3]);
+        assert_eq!(log.compact_to(Slot(3)), 3);
+        assert_eq!(log.last_included(), (Slot(3), Term(2)));
+        assert_eq!(log.first_index(), Slot(4));
+        assert_eq!(log.last_index(), Slot(5), "global numbering survives");
+        assert_eq!(log.len(), 2);
+        assert!(log.get(Slot(3)).is_none(), "compacted entry gone");
+        assert_eq!(
+            log.get(Slot(4)).unwrap().term,
+            Term(2),
+            "retained entry still at its slot"
+        );
+        assert_eq!(log.get(Slot(5)).unwrap().term, Term(3));
+    }
+
+    #[test]
+    fn term_at_boundary_and_below() {
+        let mut log = log_of(&[1, 2, 3, 3]);
+        log.compact_to(Slot(2));
+        assert_eq!(
+            log.term_at(Slot(2)),
+            Some(Term(2)),
+            "boundary keeps its term"
+        );
+        assert_eq!(log.term_at(Slot(1)), None, "below the boundary is unknown");
+        assert_eq!(
+            log.term_at(Slot::NONE),
+            None,
+            "sentinel is below the boundary too"
+        );
+        assert_eq!(log.term_at(Slot(3)), Some(Term(3)));
+    }
+
+    #[test]
+    fn matches_across_compaction_boundary() {
+        let mut log = log_of(&[1, 2, 3, 3]);
+        log.compact_to(Slot(2));
+        assert!(
+            log.matches(Slot(2), Term(2)),
+            "consistency check works at the boundary"
+        );
+        assert!(!log.matches(Slot(2), Term(1)));
+        assert!(
+            !log.matches(Slot(1), Term(1)),
+            "inside the prefix never matches"
+        );
+        assert!(log.matches(Slot(3), Term(3)), "retained entries unaffected");
+    }
+
+    #[test]
+    fn compact_past_end_clamps_to_last_index() {
+        let mut log = log_of(&[1, 1, 2]);
+        assert_eq!(log.compact_to(Slot(99)), 3, "clamped to the whole log");
+        assert_eq!(log.last_included(), (Slot(3), Term(2)));
+        assert_eq!(log.last_index(), Slot(3));
+        assert_eq!(
+            log.last_term(),
+            Term(2),
+            "last_term survives full compaction"
+        );
+        assert!(log.is_empty());
+        // Appending after a full compaction continues the numbering.
+        log.append(entry(4, 9));
+        assert_eq!(log.last_index(), Slot(4));
+        assert_eq!(log.term_at(Slot(4)), Some(Term(4)));
+    }
+
+    #[test]
+    fn compact_is_idempotent_and_monotone() {
+        let mut log = log_of(&[1, 1, 1, 1]);
+        assert_eq!(log.compact_to(Slot(2)), 2);
+        assert_eq!(log.compact_to(Slot(2)), 0, "same point is a no-op");
+        assert_eq!(log.compact_to(Slot(1)), 0, "earlier point is a no-op");
+        assert_eq!(log.compact_to(Slot(4)), 2, "further compaction continues");
+    }
+
+    #[test]
+    fn suffix_from_clamps_to_compaction_boundary() {
+        let mut log = log_of(&[1, 1, 2, 2]);
+        log.compact_to(Slot(2));
+        // A prev inside the discarded prefix yields the whole retained log.
+        assert_eq!(log.suffix_from(Slot::NONE).len(), 2);
+        assert_eq!(log.suffix_from(Slot(1)).len(), 2);
+        assert_eq!(log.suffix_from(Slot(2)).len(), 2);
+        assert_eq!(log.suffix_from(Slot(3)).len(), 1);
+    }
+
+    #[test]
+    fn bytes_tracks_append_truncate_compact() {
+        let mut log = Log::new();
+        assert_eq!(log.bytes(), 0);
+        log.append(entry(1, 1));
+        log.append(entry(1, 2));
+        let per = entry(1, 1).size_bytes();
+        assert_eq!(log.bytes(), 2 * per);
+        log.compact_to(Slot(1));
+        assert_eq!(log.bytes(), per);
+        log.truncate_from(Slot(2));
+        assert_eq!(log.bytes(), 0);
+        assert!(log.peak_bytes() >= 2 * per);
+        assert_eq!(log.peak_entries(), 2);
+    }
+
+    #[test]
+    fn replace_suffix_at_boundary_after_compaction() {
+        let mut log = log_of(&[1, 1]);
+        log.compact_to(Slot(2));
+        log.replace_suffix(Slot(2), vec![entry(3, 7), entry(3, 8)]);
+        assert_eq!(log.last_index(), Slot(4));
+        assert_eq!(log.get(Slot(3)).unwrap().term, Term(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "compacted prefix")]
+    fn truncate_into_compacted_prefix_panics() {
+        let mut log = log_of(&[1, 1, 1]);
+        log.compact_to(Slot(2));
+        log.truncate_from(Slot(2));
+    }
+
+    #[test]
+    fn reset_to_installs_snapshot_history() {
+        let mut log = log_of(&[1, 1, 1]);
+        log.reset_to(Slot(10), Term(5));
+        assert!(log.is_empty());
+        assert_eq!(log.last_index(), Slot(10));
+        assert_eq!(log.last_term(), Term(5));
+        assert_eq!(log.term_at(Slot(10)), Some(Term(5)));
+        assert!(log.matches(Slot(10), Term(5)));
+        log.append(entry(6, 1));
+        assert_eq!(log.last_index(), Slot(11));
     }
 }

@@ -39,6 +39,7 @@ use paxraft_sim::time::SimTime;
 use crate::config::ReplicaConfig;
 use crate::kv::{Command, Key, KvStore, Op};
 use crate::msg::{ClientMsg, MenciusMsg, Msg};
+use crate::snapshot::{Snapshot, SnapshotAssembler, SnapshotSender, SnapshotStats};
 use crate::types::{max_failures, NodeId, Slot, Term};
 
 const T_BATCH: u64 = 3 << 48;
@@ -101,6 +102,20 @@ pub struct MenciusReplica {
     last_heard: Vec<SimTime>,
     revoke: Option<RevokeOp>,
     last_revoke_attempt: SimTime,
+    /// Checkpoint floor: slots at or below it were discarded after
+    /// execution (their effects live in the state machine and in
+    /// `stable_snap`).
+    compacted_through: Slot,
+    /// Retained slot payload bytes (compaction byte trigger).
+    slot_bytes: usize,
+    /// Per-peer checkpoint transfer rate-limiting.
+    ckpt_send: SnapshotSender,
+    /// Reassembles incoming checkpoint chunks.
+    snap_asm: SnapshotAssembler,
+    /// Durable checkpoint backing the discarded slots; restored on
+    /// crash-restart (the discarded prefix cannot be replayed).
+    stable_snap: Option<Snapshot>,
+    snap_stats: SnapshotStats,
     /// Client responses sent (stats).
     pub responses_sent: u64,
     /// Slots this replica skipped (stats).
@@ -133,6 +148,12 @@ impl MenciusReplica {
             last_heard: vec![SimTime::ZERO; n],
             revoke: None,
             last_revoke_attempt: SimTime::ZERO,
+            compacted_through: Slot::NONE,
+            slot_bytes: 0,
+            ckpt_send: SnapshotSender::new(n),
+            snap_asm: SnapshotAssembler::default(),
+            stable_snap: None,
+            snap_stats: SnapshotStats::default(),
             responses_sent: 0,
             skips_issued: 0,
             cfg,
@@ -154,6 +175,16 @@ impl MenciusReplica {
         &self.kv
     }
 
+    /// Checkpoint / compaction counters, peaks included.
+    pub fn snap_stats(&self) -> SnapshotStats {
+        self.snap_stats
+    }
+
+    /// Retained (uncompacted) slots.
+    pub fn retained_slots(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Decided command at `slot` (`None` when undecided; `Some(None)`
     /// would be unrepresentable — skipped slots report the no-op).
     pub fn decided_at(&self, slot: Slot) -> Option<Command> {
@@ -167,11 +198,21 @@ impl MenciusReplica {
             }
         }
         if owner == self.cfg.id {
-            if slot < self.next_own && self.slots.get(&slot.0).map(|s| s.cmd.is_none()).unwrap_or(true) {
+            if slot < self.next_own
+                && self
+                    .slots
+                    .get(&slot.0)
+                    .map(|s| s.cmd.is_none())
+                    .unwrap_or(true)
+            {
                 return Some(Command::noop());
             }
         } else if slot < self.known_upto[owner.0 as usize]
-            && self.slots.get(&slot.0).map(|s| s.cmd.is_none()).unwrap_or(true)
+            && self
+                .slots
+                .get(&slot.0)
+                .map(|s| s.cmd.is_none())
+                .unwrap_or(true)
         {
             return Some(Command::noop());
         }
@@ -240,19 +281,29 @@ impl MenciusReplica {
         self.try_execute(ctx);
     }
 
-    /// Stores an accepted value and indexes its key.
-    fn accept_value(&mut self, s: Slot, term: Term, cmd: Command) {
+    /// Stores an accepted value and indexes its key. Returns `false`
+    /// (and stores nothing) for slots at or below the checkpoint floor
+    /// — they are decided and executed; re-creating them would corrupt
+    /// the compacted prefix.
+    fn accept_value(&mut self, s: Slot, term: Term, cmd: Command) -> bool {
+        if s <= self.compacted_through {
+            return false;
+        }
         if let Op::Put { key, .. } = &cmd.op {
             self.key_slots.entry(*key).or_default().insert(s.0);
         }
         let slot = self.slots.entry(s.0).or_default();
-        slot.cmd = Some(cmd);
+        self.slot_bytes += cmd.size_bytes();
+        self.slot_bytes -= slot.cmd.replace(cmd).map_or(0, |c| c.size_bytes());
         if term > slot.bal {
             slot.bal = term;
         }
         if self.committed_no_value.remove(&s.0) {
             slot.committed = true;
         }
+        self.snap_stats
+            .note_log_size(self.slots.len(), self.slot_bytes);
+        true
     }
 
     /// Advances my own watermark to cover everything below `target`
@@ -272,7 +323,13 @@ impl MenciusReplica {
             s = Slot(s.0 + self.cfg.n as u64);
         }
         self.next_own = new_own;
-        self.broadcast(ctx, MenciusMsg::SkipNotice { watermark: self.next_own });
+        self.broadcast(
+            ctx,
+            MenciusMsg::SkipNotice {
+                watermark: self.next_own,
+                exec: self.exec_index,
+            },
+        );
     }
 
     fn note_known(&mut self, owner: NodeId, upto_exclusive: Slot) {
@@ -288,14 +345,18 @@ impl MenciusReplica {
     /// The respond condition's coverage part: every other owner's slots
     /// below `s` are known (suggested or skipped).
     fn covered(&self, s: Slot) -> bool {
-        self.cfg.others().all(|o| self.known_upto[o.0 as usize] >= s)
+        self.cfg
+            .others()
+            .all(|o| self.known_upto[o.0 as usize] >= s)
     }
 
     /// The respond condition's conflict part: every earlier write to the
     /// same key has applied.
     fn conflicts_applied(&self, s: Slot, cmd: &Command) -> bool {
         let Some(key) = cmd.op.key() else { return true };
-        let Some(slots) = self.key_slots.get(&key) else { return true };
+        let Some(slots) = self.key_slots.get(&key) else {
+            return true;
+        };
         match slots.range(..s.0).next_back() {
             Some(&c) => self.exec_index.0 >= c,
             None => true,
@@ -307,7 +368,9 @@ impl MenciusReplica {
         let mut still = Vec::new();
         let await_list = std::mem::take(&mut self.await_respond);
         for s in await_list {
-            let Some(slot) = self.slots.get(&s.0) else { continue };
+            let Some(slot) = self.slots.get(&s.0) else {
+                continue;
+            };
             if slot.responded || slot.cmd.is_none() {
                 continue;
             }
@@ -323,7 +386,9 @@ impl MenciusReplica {
                 };
             if ready {
                 let reply = if is_get {
-                    let Op::Get { key } = cmd.op else { unreachable!() };
+                    let Op::Get { key } = cmd.op else {
+                        unreachable!()
+                    };
                     self.kv.read_local(key)
                 } else {
                     crate::kv::Reply::Done
@@ -346,7 +411,9 @@ impl MenciusReplica {
     fn try_execute(&mut self, ctx: &mut Ctx<Msg>) {
         loop {
             let next = self.exec_index.next();
-            let Some(cmd) = self.decided_at(next) else { break };
+            let Some(cmd) = self.decided_at(next) else {
+                break;
+            };
             if !matches!(cmd.op, Op::Noop) {
                 ctx.charge(self.cfg.costs.apply_per_cmd);
                 self.kv.apply(&cmd);
@@ -354,6 +421,130 @@ impl MenciusReplica {
             self.exec_index = next;
         }
         self.try_respond(ctx);
+        self.maybe_compact(ctx);
+    }
+
+    /// Discards the executed slot prefix once it crosses the configured
+    /// threshold, checkpointing the state machine first. Own slots still
+    /// awaiting a client response are never discarded.
+    fn maybe_compact(&mut self, ctx: &mut Ctx<Msg>) {
+        if !self.cfg.snapshot.enabled() {
+            return;
+        }
+        let mut upto = self.exec_index;
+        for &s in &self.await_respond {
+            if s <= upto {
+                upto = s.prev();
+            }
+        }
+        if upto <= self.compacted_through {
+            return;
+        }
+        let executed_retained = (upto.0 - self.compacted_through.0) as usize;
+        if !self
+            .cfg
+            .snapshot
+            .should_compact(executed_retained, self.slot_bytes)
+        {
+            return;
+        }
+        // The durable checkpoint captures the state at `exec_index`
+        // (which may run ahead of the discard point `upto`); restores
+        // and transfers always use the full executed prefix.
+        let snap = Snapshot {
+            last_slot: self.exec_index,
+            last_term: Term::ZERO,
+            kv: self.kv.snapshot(),
+        };
+        ctx.charge(self.cfg.costs.snapshot_cost(snap.size_bytes()));
+        self.discard_through(upto);
+        self.compacted_through = upto;
+        self.stable_snap = Some(snap);
+        self.snap_stats.compactions += 1;
+    }
+
+    /// Drops slot state at or below `upto`, unindexing keys and bytes.
+    fn discard_through(&mut self, upto: Slot) {
+        let retained = self.slots.split_off(&(upto.0 + 1));
+        self.snap_stats.entries_discarded += self.slots.len() as u64;
+        for (s, slot) in std::mem::replace(&mut self.slots, retained) {
+            if let Some(cmd) = slot.cmd {
+                self.slot_bytes -= cmd.size_bytes();
+                if let Some(key) = cmd.op.key() {
+                    if let Some(set) = self.key_slots.get_mut(&key) {
+                        set.remove(&s);
+                        if set.is_empty() {
+                            self.key_slots.remove(&key);
+                        }
+                    }
+                }
+            }
+        }
+        self.committed_no_value = self.committed_no_value.split_off(&(upto.0 + 1));
+    }
+
+    /// Ships the current checkpoint to `peer` in chunks, rate-limited to
+    /// one transfer per retry interval.
+    fn send_checkpoint_to(&mut self, ctx: &mut Ctx<Msg>, peer: NodeId) {
+        if !self
+            .ckpt_send
+            .try_begin(peer.0 as usize, ctx.now(), self.cfg.retry_interval)
+        {
+            return;
+        }
+        let snap = Snapshot {
+            last_slot: self.exec_index,
+            last_term: Term::ZERO,
+            kv: self.kv.snapshot(),
+        };
+        ctx.charge(self.cfg.costs.snapshot_cost(snap.size_bytes()));
+        self.snap_stats.note_sent(snap.size_bytes());
+        for (offset, total, data) in snap.chunks(self.cfg.snapshot.chunk_bytes) {
+            ctx.send(
+                self.cfg.peer(peer),
+                Msg::Mencius(MenciusMsg::Checkpoint {
+                    upto: snap.last_slot,
+                    offset,
+                    total,
+                    data,
+                }),
+            );
+        }
+    }
+
+    /// Installs a fully reassembled checkpoint from a peer.
+    fn install_checkpoint(&mut self, ctx: &mut Ctx<Msg>, from: ActorId, snap: Snapshot) {
+        if snap.last_slot > self.exec_index {
+            ctx.charge(self.cfg.costs.snapshot_cost(snap.size_bytes()));
+            self.kv.restore(&snap.kv);
+            self.exec_index = snap.last_slot;
+            self.discard_through(snap.last_slot);
+            self.compacted_through = self.compacted_through.max(snap.last_slot);
+            // Everything covered is decided at every owner.
+            for o in 0..self.cfg.n as u32 {
+                let k = &mut self.known_upto[o as usize];
+                if snap.last_slot.next() > *k {
+                    *k = snap.last_slot.next();
+                }
+            }
+            let above = self.own_slot_at_or_after(snap.last_slot.next());
+            if above > self.next_own {
+                self.next_own = above;
+            }
+            // Own in-flight slots inside the covered range were decided
+            // without us (revoked to no-ops); their clients re-submit
+            // and the restored sessions deduplicate.
+            self.await_respond.retain(|&s| s > snap.last_slot);
+            self.stable_snap = Some(snap.clone());
+            self.snap_stats.snapshots_installed += 1;
+            self.try_execute(ctx);
+        }
+        ctx.send(
+            from,
+            Msg::Mencius(MenciusMsg::CheckpointOk {
+                upto: self.exec_index,
+            }),
+        );
     }
 
     fn flush_commits(&mut self, ctx: &mut Ctx<Msg>) {
@@ -405,7 +596,12 @@ impl MenciusReplica {
         };
         self.broadcast(
             ctx,
-            MenciusMsg::Revoke { term: op.term, owner, from: next, through },
+            MenciusMsg::Revoke {
+                term: op.term,
+                owner,
+                from: next,
+                through,
+            },
         );
         // Promise locally.
         self.promise_range(owner, next, through, op.term);
@@ -452,7 +648,11 @@ impl MenciusReplica {
         let peer = NodeId(from.0 as u32);
         self.last_heard[peer.0 as usize] = ctx.now();
         match msg {
-            MenciusMsg::Suggest { term, items, watermark } => {
+            MenciusMsg::Suggest {
+                term,
+                items,
+                watermark,
+            } => {
                 let bytes: usize = items.iter().map(|(_, c)| c.size_bytes()).sum();
                 ctx.charge(
                     self.cfg.costs.append_fixed
@@ -465,6 +665,11 @@ impl MenciusReplica {
                 let mut reject_term = Term::ZERO;
                 let mut max_slot = Slot::NONE;
                 for (s, cmd) in items {
+                    if s <= self.compacted_through {
+                        // Decided and checkpointed away; the lagging
+                        // owner converges via Checkpoint, not re-accept.
+                        continue;
+                    }
                     let bal = self.slots.get(&s.0).map(|x| x.bal).unwrap_or(Term::ZERO);
                     if term >= bal {
                         self.accept_value(s, term, cmd);
@@ -502,13 +707,19 @@ impl MenciusReplica {
                 }
                 self.try_execute(ctx);
             }
-            MenciusMsg::SuggestOk { term, slots, watermark } => {
+            MenciusMsg::SuggestOk {
+                term,
+                slots,
+                watermark,
+            } => {
                 ctx.charge(self.cfg.costs.ack_process);
                 self.note_known(peer, watermark);
                 let bit = 1u64 << peer.0;
                 let quorum_extra = max_failures(self.cfg.n); // f followers + me
                 for s in slots {
-                    let Some(slot) = self.slots.get_mut(&s.0) else { continue };
+                    let Some(slot) = self.slots.get_mut(&s.0) else {
+                        continue;
+                    };
                     if slot.bal != term || slot.committed {
                         continue;
                     }
@@ -528,12 +739,13 @@ impl MenciusReplica {
                 if term > self.current_term {
                     self.current_term = self.current_term.next_for(self.cfg.id, self.cfg.n);
                     while self.current_term < term {
-                        self.current_term =
-                            self.current_term.next_for(self.cfg.id, self.cfg.n);
+                        self.current_term = self.current_term.next_for(self.cfg.id, self.cfg.n);
                     }
                 }
                 for s in slots {
-                    let Some(slot) = self.slots.get_mut(&s.0) else { continue };
+                    let Some(slot) = self.slots.get_mut(&s.0) else {
+                        continue;
+                    };
                     if slot.committed || slot.responded {
                         continue;
                     }
@@ -546,14 +758,23 @@ impl MenciusReplica {
                     self.arm_batch(ctx);
                 }
             }
-            MenciusMsg::SkipNotice { watermark } => {
+            MenciusMsg::SkipNotice { watermark, exec } => {
                 ctx.charge(self.cfg.costs.coord_msg);
                 self.note_known(peer, watermark);
+                // A peer whose executed prefix fell below our checkpoint
+                // floor can never learn the dropped commit decisions
+                // from us: ship it the state instead.
+                if exec < self.compacted_through {
+                    self.send_checkpoint_to(ctx, peer);
+                }
                 self.try_execute(ctx);
             }
             MenciusMsg::Commit { slots } => {
                 ctx.charge(self.cfg.costs.coord_msg);
                 for s in slots {
+                    if s <= self.compacted_through {
+                        continue; // already executed and checkpointed
+                    }
                     match self.slots.get_mut(&s.0) {
                         Some(slot) if slot.cmd.is_some() => slot.committed = true,
                         _ => {
@@ -564,7 +785,12 @@ impl MenciusReplica {
                 }
                 self.try_execute(ctx);
             }
-            MenciusMsg::Revoke { term, owner, from: rfrom, through } => {
+            MenciusMsg::Revoke {
+                term,
+                owner,
+                from: rfrom,
+                through,
+            } => {
                 if term > self.current_term {
                     // Promise: raise ballots on the revoked range.
                     let accepted: Vec<(Slot, Term, Command)> = self
@@ -575,13 +801,23 @@ impl MenciusReplica {
                     self.promise_range(owner, rfrom, through, term);
                     ctx.send(
                         from,
-                        Msg::Mencius(MenciusMsg::RevokeOk { term, owner, accepted }),
+                        Msg::Mencius(MenciusMsg::RevokeOk {
+                            term,
+                            owner,
+                            accepted,
+                        }),
                     );
                 }
             }
-            MenciusMsg::RevokeOk { term, owner, accepted } => {
+            MenciusMsg::RevokeOk {
+                term,
+                owner,
+                accepted,
+            } => {
                 let finished = {
-                    let Some(op) = self.revoke.as_mut() else { return };
+                    let Some(op) = self.revoke.as_mut() else {
+                        return;
+                    };
                     if op.term != term || op.owner != owner {
                         return;
                     }
@@ -616,21 +852,46 @@ impl MenciusReplica {
                     }
                     // Decide locally and broadcast.
                     for (s, cmd) in &items {
-                        self.accept_value(*s, op.term, cmd.clone());
-                        let slot = self.slots.get_mut(&s.0).expect("accepted");
-                        slot.committed = true;
+                        if self.accept_value(*s, op.term, cmd.clone()) {
+                            let slot = self.slots.get_mut(&s.0).expect("accepted");
+                            slot.committed = true;
+                        }
                     }
                     self.note_known(op.owner, Slot(op.through.0 + 1));
                     self.broadcast(
                         ctx,
-                        MenciusMsg::RevokeCommit { term: op.term, items },
+                        MenciusMsg::RevokeCommit {
+                            term: op.term,
+                            items,
+                        },
                     );
                     self.try_execute(ctx);
                 }
             }
+            MenciusMsg::Checkpoint {
+                upto,
+                offset,
+                total,
+                data,
+            } => {
+                ctx.charge(self.cfg.costs.coord_msg + self.cfg.costs.snapshot_cost(data.len()));
+                if let Some(snap) = self
+                    .snap_asm
+                    .offer(from.0 as u64, upto, offset, total, &data)
+                {
+                    self.install_checkpoint(ctx, from, snap);
+                }
+            }
+            MenciusMsg::CheckpointOk { upto } => {
+                self.ckpt_send.finish(peer.0 as usize);
+                self.note_known(peer, upto.next());
+            }
             MenciusMsg::RevokeCommit { term, items } => {
                 let mut reproposed = false;
                 for (s, cmd) in items {
+                    if s <= self.compacted_through {
+                        continue; // already executed and checkpointed
+                    }
                     let owner = Self::owner_of(s, self.cfg.n);
                     // If our own in-flight command was no-oped, re-propose.
                     if owner == self.cfg.id {
@@ -650,10 +911,11 @@ impl MenciusReplica {
                             self.next_own = above;
                         }
                     }
-                    self.accept_value(s, term, cmd);
-                    let slot = self.slots.get_mut(&s.0).expect("accepted");
-                    if term >= slot.bal {
-                        slot.committed = true;
+                    if self.accept_value(s, term, cmd) {
+                        let slot = self.slots.get_mut(&s.0).expect("accepted");
+                        if term >= slot.bal {
+                            slot.committed = true;
+                        }
                     }
                     self.note_known(owner, s.next());
                 }
@@ -697,7 +959,13 @@ impl Actor<Msg> for MenciusReplica {
             }
             T_COORD => {
                 // Keepalive watermark, commit flush, revocation check.
-                self.broadcast(ctx, MenciusMsg::SkipNotice { watermark: self.next_own });
+                self.broadcast(
+                    ctx,
+                    MenciusMsg::SkipNotice {
+                        watermark: self.next_own,
+                        exec: self.exec_index,
+                    },
+                );
                 self.flush_commits(ctx);
                 self.maybe_revoke(ctx);
                 self.try_execute(ctx);
@@ -708,8 +976,11 @@ impl Actor<Msg> for MenciusReplica {
     }
 
     fn on_crash(&mut self) {
-        // Stable storage: slots (accepted values, ballots, commits) and
-        // current_term. Volatile: pending work and respond queues.
+        // Stable storage: slots (accepted values, ballots, commits),
+        // current_term, and the durable checkpoint. Volatile: pending
+        // work and respond queues. The state machine restarts from the
+        // checkpoint — the discarded slot prefix cannot be replayed —
+        // and re-executes the retained decided suffix.
         self.pending.clear();
         self.await_respond.clear();
         self.commit_buf.clear();
@@ -717,6 +988,12 @@ impl Actor<Msg> for MenciusReplica {
         self.revoke = None;
         self.kv = KvStore::new();
         self.exec_index = Slot::NONE;
+        if let Some(snap) = &self.stable_snap {
+            self.kv.restore(&snap.kv);
+            self.exec_index = snap.last_slot;
+        }
+        self.snap_asm.clear();
+        self.ckpt_send.reset();
     }
 
     impl_actor_any!();
@@ -727,8 +1004,8 @@ mod tests {
     use super::*;
     use crate::testutil::{drive_until, region_of, TestClient};
     use paxraft_sim::net::NetConfig;
-    use paxraft_sim::time::SimDuration;
     use paxraft_sim::sim::Simulation;
+    use paxraft_sim::time::SimDuration;
     use paxraft_sim::time::SimTime;
 
     /// n replicas plus one TestClient per replica (client i → replica i).
@@ -772,7 +1049,10 @@ mod tests {
         let r1 = sim.actor::<MenciusReplica>(replicas[1]);
         assert!(r1.skips_issued >= 1, "replica 1 skipped its unused slots");
         let r0 = sim.actor::<MenciusReplica>(replicas[0]);
-        assert!(r0.exec_index().0 >= 4, "prefix executed through both writes");
+        assert!(
+            r0.exec_index().0 >= 4,
+            "prefix executed through both writes"
+        );
     }
 
     #[test]
@@ -782,7 +1062,9 @@ mod tests {
             sim.actor_mut::<TestClient>(c).enqueue_put(c.0 as u64 * 100);
         }
         assert!(drive_until(&mut sim, SimTime::from_secs(5), |sim| {
-            clients.iter().all(|&c| sim.actor::<TestClient>(c).replies.len() == 1)
+            clients
+                .iter()
+                .all(|&c| sim.actor::<TestClient>(c).replies.len() == 1)
         }));
         // Load balance: each replica proposed in its own slots.
         sim.run_for(SimDuration::from_secs(1));
@@ -797,11 +1079,14 @@ mod tests {
         let (mut sim, replicas, clients) = mencius_cluster(3);
         for round in 0..5 {
             for &c in &clients {
-                sim.actor_mut::<TestClient>(c).enqueue_put(round * 10 + c.0 as u64);
+                sim.actor_mut::<TestClient>(c)
+                    .enqueue_put(round * 10 + c.0 as u64);
             }
         }
         assert!(drive_until(&mut sim, SimTime::from_secs(20), |sim| {
-            clients.iter().all(|&c| sim.actor::<TestClient>(c).replies.len() == 5)
+            clients
+                .iter()
+                .all(|&c| sim.actor::<TestClient>(c).replies.len() == 5)
         }));
         sim.run_for(SimDuration::from_secs(1));
         let e0 = sim.actor::<MenciusReplica>(replicas[0]).exec_index();
@@ -824,11 +1109,14 @@ mod tests {
         // All clients hammer the same key.
         for _ in 0..4 {
             for &c in &clients {
-                sim.actor_mut::<TestClient>(c).enqueue_put(crate::kv::Key::from(0u64));
+                sim.actor_mut::<TestClient>(c)
+                    .enqueue_put(crate::kv::Key::from(0u64));
             }
         }
         assert!(drive_until(&mut sim, SimTime::from_secs(30), |sim| {
-            clients.iter().all(|&c| sim.actor::<TestClient>(c).replies.len() == 4)
+            clients
+                .iter()
+                .all(|&c| sim.actor::<TestClient>(c).replies.len() == 4)
         }));
         sim.run_for(SimDuration::from_secs(1));
         // Convergence: all replicas end with the same final value.

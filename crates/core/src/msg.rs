@@ -60,10 +60,15 @@ pub enum PaxosMsg {
         /// Echoed ballot.
         ballot: Term,
         /// Accepted `(slot, accepted-ballot, value)` triples at or after
-        /// the requested slot.
+        /// the requested slot — excluding anything checkpointed away.
         entries: Vec<(Slot, Term, Command)>,
         /// The acceptor's highest used slot.
         log_tail: Slot,
+        /// The acceptor's checkpoint floor: instances at or below it are
+        /// chosen and executed but no longer reportable. A proposer must
+        /// never fill no-ops at or below any reported floor — it waits
+        /// for the accompanying [`PaxosMsg::Checkpoint`] instead.
+        floor: Slot,
     },
     /// Phase2a: `<"accept", instance, value, ballot>` (batched).
     Accept {
@@ -78,6 +83,10 @@ pub enum PaxosMsg {
         ballot: Term,
         /// Instances accepted.
         slots: Vec<Slot>,
+        /// The acceptor's executed prefix, piggybacked so the proposer
+        /// can spot laggards and choose between instance retransmission
+        /// and a [`PaxosMsg::Checkpoint`].
+        exec: Slot,
     },
     /// Commit notification to learners (batched).
     Learn {
@@ -89,6 +98,29 @@ pub enum PaxosMsg {
     Forward {
         /// The batched commands.
         cmds: Vec<Command>,
+    },
+    /// One chunk of a state checkpoint — the Paxos-family spelling of
+    /// Raft's `InstallSnapshot` (see [`crate::snapshot`]). Shipped by
+    /// the proposer when an acceptor's executed prefix lies below the
+    /// proposer's compaction floor.
+    Checkpoint {
+        /// Proposer's ballot.
+        ballot: Term,
+        /// Last instance covered by the checkpointed state.
+        upto: Slot,
+        /// Byte offset of this chunk within the encoded checkpoint.
+        offset: usize,
+        /// Total encoded size.
+        total: usize,
+        /// The chunk payload.
+        data: Vec<u8>,
+    },
+    /// Acknowledges a fully installed checkpoint.
+    CheckpointOk {
+        /// Echoed ballot.
+        ballot: Term,
+        /// The acceptor's executed prefix after installation.
+        upto: Slot,
     },
 }
 
@@ -153,6 +185,31 @@ pub enum RaftMsg {
         /// The batched commands.
         cmds: Vec<Command>,
     },
+    /// One chunk of a leader snapshot, sent when the leader's compacted
+    /// log no longer contains a follower's next index (see
+    /// [`crate::snapshot`]).
+    InstallSnapshot {
+        /// Leader's term.
+        term: Term,
+        /// Last log slot covered by the snapshot.
+        last_slot: Slot,
+        /// Term of the entry at `last_slot`.
+        last_term: Term,
+        /// Byte offset of this chunk within the encoded snapshot.
+        offset: usize,
+        /// Total encoded size.
+        total: usize,
+        /// The chunk payload.
+        data: Vec<u8>,
+    },
+    /// Acknowledges a fully installed snapshot; the leader treats it
+    /// like an `AppendOk` at `last_idx` and resumes normal appends.
+    SnapshotAck {
+        /// Responder's term.
+        term: Term,
+        /// The snapshot slot now covered by the responder's state.
+        last_idx: Slot,
+    },
 }
 
 /// Quorum-lease maintenance (PQL Section A.1; Leader Lease variant).
@@ -212,6 +269,10 @@ pub enum MenciusMsg {
     SkipNotice {
         /// Sender's own skip watermark.
         watermark: Slot,
+        /// Sender's executed prefix, piggybacked so peers can spot a
+        /// replica that fell behind their checkpoint floor and ship it
+        /// a [`MenciusMsg::Checkpoint`].
+        exec: Slot,
     },
     /// Commit decisions for the sender's owned slots.
     Commit {
@@ -257,6 +318,24 @@ pub enum MenciusMsg {
         /// Decided `(slot, command)` pairs for the revoked range.
         items: Vec<(Slot, Command)>,
     },
+    /// One chunk of a peer checkpoint (multi-leader spelling: any
+    /// replica whose compaction floor passed a peer's executed prefix
+    /// ships its state; see [`crate::snapshot`]).
+    Checkpoint {
+        /// Last slot covered by the checkpointed state.
+        upto: Slot,
+        /// Byte offset of this chunk within the encoded checkpoint.
+        offset: usize,
+        /// Total encoded size.
+        total: usize,
+        /// The chunk payload.
+        data: Vec<u8>,
+    },
+    /// Acknowledges a fully installed checkpoint.
+    CheckpointOk {
+        /// The receiver's executed prefix after installation.
+        upto: Slot,
+    },
 }
 
 fn entries_size(entries: &[Entry]) -> usize {
@@ -273,16 +352,21 @@ impl Payload for Msg {
             Msg::Paxos(m) => match m {
                 PaxosMsg::Prepare { .. } => 24,
                 PaxosMsg::PrepareOk { entries, .. } => {
-                    24 + entries.iter().map(|(_, _, c)| 24 + c.size_bytes()).sum::<usize>()
+                    24 + entries
+                        .iter()
+                        .map(|(_, _, c)| 24 + c.size_bytes())
+                        .sum::<usize>()
                 }
                 PaxosMsg::Accept { items, .. } => {
                     16 + items.iter().map(|(_, c)| 8 + c.size_bytes()).sum::<usize>()
                 }
-                PaxosMsg::AcceptOk { slots, .. } => 16 + 8 * slots.len(),
+                PaxosMsg::AcceptOk { slots, .. } => 24 + 8 * slots.len(),
                 PaxosMsg::Learn { slots } => 8 + 8 * slots.len(),
                 PaxosMsg::Forward { cmds } => {
                     8 + cmds.iter().map(Command::size_bytes).sum::<usize>()
                 }
+                PaxosMsg::Checkpoint { data, .. } => 40 + data.len(),
+                PaxosMsg::CheckpointOk { .. } => 16,
             },
             Msg::Raft(m) => match m {
                 RaftMsg::RequestVote { .. } => 32,
@@ -293,6 +377,8 @@ impl Payload for Msg {
                 RaftMsg::Forward { cmds } => {
                     8 + cmds.iter().map(Command::size_bytes).sum::<usize>()
                 }
+                RaftMsg::InstallSnapshot { data, .. } => 48 + data.len(),
+                RaftMsg::SnapshotAck { .. } => 16,
             },
             Msg::Lease(LeaseMsg::Grant { .. }) => 24,
             Msg::Lease(LeaseMsg::GrantAck { .. }) => 16,
@@ -302,15 +388,20 @@ impl Payload for Msg {
                 }
                 MenciusMsg::SuggestOk { slots, .. } => 24 + 8 * slots.len(),
                 MenciusMsg::SuggestReject { slots, .. } => 16 + 8 * slots.len(),
-                MenciusMsg::SkipNotice { .. } => 16,
+                MenciusMsg::SkipNotice { .. } => 24,
                 MenciusMsg::Commit { slots } => 8 + 8 * slots.len(),
                 MenciusMsg::Revoke { .. } => 40,
                 MenciusMsg::RevokeOk { accepted, .. } => {
-                    24 + accepted.iter().map(|(_, _, c)| 16 + c.size_bytes()).sum::<usize>()
+                    24 + accepted
+                        .iter()
+                        .map(|(_, _, c)| 16 + c.size_bytes())
+                        .sum::<usize>()
                 }
                 MenciusMsg::RevokeCommit { items, .. } => {
                     16 + items.iter().map(|(_, c)| 8 + c.size_bytes()).sum::<usize>()
                 }
+                MenciusMsg::Checkpoint { data, .. } => 32 + data.len(),
+                MenciusMsg::CheckpointOk { .. } => 8,
             },
         }
     }
@@ -331,14 +422,22 @@ mod tests {
             term: Term(1),
             prev: Slot(0),
             prev_term: Term(0),
-            entries: vec![Entry { term: Term(1), bal: Term(1), cmd: cmd(8) }],
+            entries: vec![Entry {
+                term: Term(1),
+                bal: Term(1),
+                cmd: cmd(8),
+            }],
             commit: Slot(0),
         });
         let big = Msg::Raft(RaftMsg::Append {
             term: Term(1),
             prev: Slot(0),
             prev_term: Term(0),
-            entries: vec![Entry { term: Term(1), bal: Term(1), cmd: cmd(4096) }],
+            entries: vec![Entry {
+                term: Term(1),
+                bal: Term(1),
+                cmd: cmd(4096),
+            }],
             commit: Slot(0),
         });
         assert!(big.size_bytes() - small.size_bytes() >= 4096 - 8);
@@ -359,9 +458,21 @@ mod tests {
 
     #[test]
     fn control_messages_are_small() {
-        assert!(Msg::Lease(LeaseMsg::Grant { expires_ns: 0, last_idx: Slot(4) }).size_bytes() < 64);
         assert!(
-            Msg::Mencius(MenciusMsg::SkipNotice { watermark: Slot(10) }).size_bytes() < 64
+            Msg::Lease(LeaseMsg::Grant {
+                expires_ns: 0,
+                last_idx: Slot(4)
+            })
+            .size_bytes()
+                < 64
+        );
+        assert!(
+            Msg::Mencius(MenciusMsg::SkipNotice {
+                watermark: Slot(10),
+                exec: Slot(3)
+            })
+            .size_bytes()
+                < 64
         );
         assert!(
             Msg::Raft(RaftMsg::RequestVote {
@@ -375,8 +486,48 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_chunk_sizes_dominated_by_payload() {
+        let chunk = vec![0u8; 64 * 1024];
+        let m = Msg::Raft(RaftMsg::InstallSnapshot {
+            term: Term(3),
+            last_slot: Slot(100),
+            last_term: Term(3),
+            offset: 0,
+            total: chunk.len(),
+            data: chunk.clone(),
+        });
+        assert!(m.size_bytes() >= 64 * 1024);
+        let p = Msg::Paxos(PaxosMsg::Checkpoint {
+            ballot: Term(3),
+            upto: Slot(100),
+            offset: 0,
+            total: chunk.len(),
+            data: chunk.clone(),
+        });
+        assert!(p.size_bytes() >= 64 * 1024);
+        let q = Msg::Mencius(MenciusMsg::Checkpoint {
+            upto: Slot(100),
+            offset: 0,
+            total: chunk.len(),
+            data: chunk,
+        });
+        assert!(q.size_bytes() >= 64 * 1024);
+        assert!(
+            Msg::Raft(RaftMsg::SnapshotAck {
+                term: Term(3),
+                last_idx: Slot(100)
+            })
+            .size_bytes()
+                < 64
+        );
+    }
+
+    #[test]
     fn batched_sizes_scale_with_items() {
-        let one = Msg::Paxos(PaxosMsg::Accept { ballot: Term(1), items: vec![(Slot(1), cmd(8))] });
+        let one = Msg::Paxos(PaxosMsg::Accept {
+            ballot: Term(1),
+            items: vec![(Slot(1), cmd(8))],
+        });
         let two = Msg::Paxos(PaxosMsg::Accept {
             ballot: Term(1),
             items: vec![(Slot(1), cmd(8)), (Slot(2), cmd(8))],

@@ -20,6 +20,7 @@ use paxraft_sim::time::SimDuration;
 use crate::config::ReplicaConfig;
 use crate::kv::{Command, KvStore};
 use crate::msg::{ClientMsg, Msg, PaxosMsg};
+use crate::snapshot::{Snapshot, SnapshotAssembler, SnapshotSender, SnapshotStats};
 use crate::types::{quorum, NodeId, Slot, Term};
 
 /// Timer token kinds (upper bits) — generation counters live in the lower
@@ -44,7 +45,12 @@ struct Instance {
 
 impl Instance {
     fn empty() -> Self {
-        Instance { bal: Term::ZERO, cmd: None, committed: false, acks: 0 }
+        Instance {
+            bal: Term::ZERO,
+            cmd: None,
+            committed: false,
+            acks: 0,
+        }
     }
 }
 
@@ -61,11 +67,32 @@ pub struct MultiPaxosReplica {
     committed_no_value: BTreeSet<u64>,
     /// Leader's next unused instance id.
     next_slot: Slot,
-    /// Phase-1 replies: voter → (accepted entries, log tail).
-    prepare_acks: HashMap<NodeId, (Vec<(Slot, Term, Command)>, Slot)>,
+    /// Phase-1 replies: voter → (accepted entries, log tail, checkpoint
+    /// floor).
+    prepare_acks: HashMap<NodeId, (Vec<(Slot, Term, Command)>, Slot, Slot)>,
     /// All instances below this are applied.
     exec_index: Slot,
     kv: KvStore,
+    /// Checkpoint floor: instances at or below it were discarded after
+    /// execution; their effects live in the state machine (and in
+    /// `stable_snap`).
+    compacted_through: Slot,
+    /// Retained instance payload bytes (compaction byte trigger).
+    instance_bytes: usize,
+    /// Executed prefix each acceptor reported on its last AcceptOk.
+    acceptor_exec: Vec<Slot>,
+    /// `acceptor_exec` as of the previous heartbeat: a report that did
+    /// not move between heartbeats marks a *stalled* acceptor (gap in
+    /// its instances), as opposed to one merely trailing by a WAN
+    /// round-trip.
+    acceptor_exec_prev: Vec<Slot>,
+    /// Per-peer checkpoint transfer rate-limiting.
+    ckpt_send: SnapshotSender,
+    /// Reassembles incoming checkpoint chunks.
+    snap_asm: SnapshotAssembler,
+    /// Durable checkpoint backing the discarded instances.
+    stable_snap: Option<Snapshot>,
+    snap_stats: SnapshotStats,
     /// Leader batch buffer (or, at followers, the forward buffer).
     pending: Vec<Command>,
     batch_armed: bool,
@@ -83,6 +110,7 @@ impl MultiPaxosReplica {
     /// Panics if the configuration is invalid.
     pub fn new(cfg: ReplicaConfig) -> Self {
         cfg.validate().expect("invalid replica config");
+        let n = cfg.n;
         MultiPaxosReplica {
             cfg,
             ballot: Term::ZERO,
@@ -94,6 +122,14 @@ impl MultiPaxosReplica {
             prepare_acks: HashMap::new(),
             exec_index: Slot::NONE,
             kv: KvStore::new(),
+            compacted_through: Slot::NONE,
+            instance_bytes: 0,
+            acceptor_exec: vec![Slot::NONE; n],
+            acceptor_exec_prev: vec![Slot::NONE; n],
+            ckpt_send: SnapshotSender::new(n),
+            snap_asm: SnapshotAssembler::default(),
+            stable_snap: None,
+            snap_stats: SnapshotStats::default(),
             pending: Vec::new(),
             batch_armed: false,
             election_gen: 0,
@@ -132,6 +168,16 @@ impl MultiPaxosReplica {
         }
     }
 
+    /// Checkpoint / compaction counters, peaks included.
+    pub fn snap_stats(&self) -> SnapshotStats {
+        self.snap_stats
+    }
+
+    /// Retained (uncompacted) instances.
+    pub fn retained_instances(&self) -> usize {
+        self.instances.len()
+    }
+
     fn me_bit(&self) -> u64 {
         1 << self.cfg.id.0
     }
@@ -142,8 +188,7 @@ impl MultiPaxosReplica {
         let delay = if self.cfg.initial_leader == Some(self.cfg.id) && self.ballot == Term::ZERO {
             SimDuration::from_millis(5)
         } else {
-            self.cfg.election_min
-                + SimDuration::from_nanos(ctx.rng().gen_range(span.max(1)))
+            self.cfg.election_min + SimDuration::from_nanos(ctx.rng().gen_range(span.max(1)))
         };
         ctx.set_timer(delay, T_ELECTION | self.election_gen);
     }
@@ -175,8 +220,15 @@ impl MultiPaxosReplica {
         // Record our own accepted instances as an implicit Phase1b reply.
         let mine = self.accepted_from(from_slot);
         let tail = self.log_tail();
-        self.prepare_acks.insert(self.cfg.id, (mine, tail));
-        self.broadcast(ctx, PaxosMsg::Prepare { ballot: self.ballot, from_slot });
+        self.prepare_acks
+            .insert(self.cfg.id, (mine, tail, self.compacted_through));
+        self.broadcast(
+            ctx,
+            PaxosMsg::Prepare {
+                ballot: self.ballot,
+                from_slot,
+            },
+        );
         self.arm_election(ctx); // retry if this round stalls
     }
 
@@ -213,16 +265,28 @@ impl MultiPaxosReplica {
         if self.phase1_succeeded || self.prepare_acks.len() < quorum(self.cfg.n) {
             return;
         }
-        let start = self.first_unchosen();
+        // Never fill slots at or below a replying acceptor's checkpoint
+        // floor: those instances are chosen but unreportable (the
+        // acceptor discarded them after execution), so a no-op fill
+        // would overwrite a chosen value. The acceptor ships us its
+        // checkpoint alongside the PrepareOk; execution of the covered
+        // prefix resumes once it installs.
+        let max_floor = self
+            .prepare_acks
+            .values()
+            .map(|(_, _, floor)| *floor)
+            .max()
+            .unwrap_or(Slot::NONE);
+        let start = self.first_unchosen().max(max_floor.next());
         let end = self
             .prepare_acks
             .values()
-            .map(|(_, tail)| *tail)
+            .map(|(_, tail, _)| *tail)
             .max()
             .unwrap_or(Slot::NONE);
         // safeEntry: highest accepted ballot per instance; Noop for gaps.
         let mut safe: BTreeMap<u64, (Term, Command)> = BTreeMap::new();
-        for (entries, _) in self.prepare_acks.values() {
+        for (entries, _, _) in self.prepare_acks.values() {
             for (slot, bal, cmd) in entries {
                 if slot.0 < start.0 {
                     continue;
@@ -246,17 +310,27 @@ impl MultiPaxosReplica {
                     .map(|(_, c)| c.clone())
                     .unwrap_or_else(Command::noop);
                 inst.bal = self.ballot;
-                inst.cmd = Some(cmd.clone());
+                let old = inst.cmd.replace(cmd.clone());
                 inst.acks = me_bit;
+                self.instance_bytes += cmd.size_bytes();
+                self.instance_bytes -= old.map_or(0, |c| c.size_bytes());
                 items.push((s, cmd));
             }
             s = s.next();
         }
+        self.snap_stats
+            .note_log_size(self.instances.len(), self.instance_bytes);
         self.phase1_succeeded = true;
         self.leader_hint = Some(self.cfg.id);
         self.next_slot = Slot(end.0.max(self.log_tail().0) + 1);
         if !items.is_empty() {
-            self.broadcast(ctx, PaxosMsg::Accept { ballot: self.ballot, items });
+            self.broadcast(
+                ctx,
+                PaxosMsg::Accept {
+                    ballot: self.ballot,
+                    items,
+                },
+            );
         }
         self.arm_heartbeat(ctx);
         // Anything buffered while campaigning goes out now.
@@ -283,13 +357,27 @@ impl MultiPaxosReplica {
         for cmd in cmds {
             let slot = self.next_slot;
             self.next_slot = self.next_slot.next();
+            self.instance_bytes += cmd.size_bytes();
             self.instances.insert(
                 slot.0,
-                Instance { bal: self.ballot, cmd: Some(cmd.clone()), committed: false, acks: self.me_bit() },
+                Instance {
+                    bal: self.ballot,
+                    cmd: Some(cmd.clone()),
+                    committed: false,
+                    acks: self.me_bit(),
+                },
             );
             items.push((slot, cmd));
         }
-        self.broadcast(ctx, PaxosMsg::Accept { ballot: self.ballot, items });
+        self.snap_stats
+            .note_log_size(self.instances.len(), self.instance_bytes);
+        self.broadcast(
+            ctx,
+            PaxosMsg::Accept {
+                ballot: self.ballot,
+                items,
+            },
+        );
     }
 
     /// Follower flush: forward buffered requests to the leader.
@@ -308,7 +396,10 @@ impl MultiPaxosReplica {
         }
         let cmds = std::mem::take(&mut self.pending);
         ctx.charge(self.cfg.costs.forward_per_cmd * cmds.len() as u64);
-        ctx.send(self.cfg.peer(leader), Msg::Paxos(PaxosMsg::Forward { cmds }));
+        ctx.send(
+            self.cfg.peer(leader),
+            Msg::Paxos(PaxosMsg::Forward { cmds }),
+        );
     }
 
     /// Applies the contiguous committed prefix; the proposer answers
@@ -316,7 +407,9 @@ impl MultiPaxosReplica {
     fn try_execute(&mut self, ctx: &mut Ctx<Msg>) {
         loop {
             let next = self.exec_index.next();
-            let Some(inst) = self.instances.get(&next.0) else { break };
+            let Some(inst) = self.instances.get(&next.0) else {
+                break;
+            };
             if !inst.committed {
                 break;
             }
@@ -333,6 +426,104 @@ impl MultiPaxosReplica {
                 self.responses_sent += 1;
             }
         }
+        self.maybe_compact(ctx);
+    }
+
+    /// Discards the executed instance prefix once it crosses the
+    /// configured threshold, checkpointing the state machine first.
+    fn maybe_compact(&mut self, ctx: &mut Ctx<Msg>) {
+        if !self.cfg.snapshot.enabled() {
+            return;
+        }
+        let executed_retained = (self.exec_index.0 - self.compacted_through.0) as usize;
+        if !self
+            .cfg
+            .snapshot
+            .should_compact(executed_retained, self.instance_bytes)
+        {
+            return;
+        }
+        let snap = Snapshot {
+            last_slot: self.exec_index,
+            last_term: Term::ZERO,
+            kv: self.kv.snapshot(),
+        };
+        ctx.charge(self.cfg.costs.snapshot_cost(snap.size_bytes()));
+        let retained = self.instances.split_off(&(self.exec_index.0 + 1));
+        let discarded = self.instances.len();
+        for inst in self.instances.values() {
+            self.instance_bytes -= inst.cmd.as_ref().map_or(0, Command::size_bytes);
+        }
+        self.instances = retained;
+        self.committed_no_value = self.committed_no_value.split_off(&(self.exec_index.0 + 1));
+        self.compacted_through = self.exec_index;
+        self.stable_snap = Some(snap);
+        self.snap_stats.compactions += 1;
+        self.snap_stats.entries_discarded += discarded as u64;
+    }
+
+    /// Ships the current checkpoint to `peer` in chunks, rate-limited to
+    /// one transfer per retry interval.
+    fn send_checkpoint_to(&mut self, ctx: &mut Ctx<Msg>, peer: NodeId) {
+        if !self
+            .ckpt_send
+            .try_begin(peer.0 as usize, ctx.now(), self.cfg.retry_interval)
+        {
+            return;
+        }
+        let snap = Snapshot {
+            last_slot: self.exec_index,
+            last_term: Term::ZERO,
+            kv: self.kv.snapshot(),
+        };
+        ctx.charge(self.cfg.costs.snapshot_cost(snap.size_bytes()));
+        self.snap_stats.note_sent(snap.size_bytes());
+        for (offset, total, data) in snap.chunks(self.cfg.snapshot.chunk_bytes) {
+            ctx.send(
+                self.cfg.peer(peer),
+                Msg::Paxos(PaxosMsg::Checkpoint {
+                    ballot: self.ballot,
+                    upto: snap.last_slot,
+                    offset,
+                    total,
+                    data,
+                }),
+            );
+        }
+    }
+
+    /// Installs a fully reassembled checkpoint.
+    fn install_checkpoint(&mut self, ctx: &mut Ctx<Msg>, from: ActorId, snap: Snapshot) {
+        if snap.last_slot > self.exec_index {
+            ctx.charge(self.cfg.costs.snapshot_cost(snap.size_bytes()));
+            self.kv.restore(&snap.kv);
+            self.exec_index = snap.last_slot;
+            let retained = self.instances.split_off(&(snap.last_slot.0 + 1));
+            for inst in self.instances.values() {
+                self.instance_bytes -= inst.cmd.as_ref().map_or(0, Command::size_bytes);
+            }
+            self.instances = retained;
+            self.committed_no_value = self.committed_no_value.split_off(&(snap.last_slot.0 + 1));
+            self.compacted_through = self.compacted_through.max(snap.last_slot);
+            if self.next_slot <= snap.last_slot {
+                self.next_slot = snap.last_slot.next();
+            }
+            // A mid-campaign phase-1 picture is stale now; the armed
+            // election timer retries with a fresh ballot.
+            if !self.phase1_succeeded {
+                self.prepare_acks.clear();
+            }
+            self.stable_snap = Some(snap.clone());
+            self.snap_stats.snapshots_installed += 1;
+            self.try_execute(ctx);
+        }
+        ctx.send(
+            from,
+            Msg::Paxos(PaxosMsg::CheckpointOk {
+                ballot: self.ballot,
+                upto: self.exec_index,
+            }),
+        );
     }
 
     fn on_paxos(&mut self, ctx: &mut Ctx<Msg>, from: ActorId, msg: PaxosMsg) {
@@ -350,14 +541,26 @@ impl MultiPaxosReplica {
                             ballot,
                             entries: self.accepted_from(from_slot),
                             log_tail: self.log_tail(),
+                            floor: self.compacted_through,
                         }),
                     );
+                    // The candidate asks for instances we checkpointed
+                    // away: ship the checkpoint so it can execute the
+                    // covered prefix it will never see as entries.
+                    if from_slot <= self.compacted_through {
+                        self.send_checkpoint_to(ctx, node_of(from));
+                    }
                 }
             }
-            PaxosMsg::PrepareOk { ballot, entries, log_tail } => {
+            PaxosMsg::PrepareOk {
+                ballot,
+                entries,
+                log_tail,
+                floor,
+            } => {
                 if ballot == self.ballot && !self.phase1_succeeded {
                     let node = node_of(from);
-                    self.prepare_acks.insert(node, (entries, log_tail));
+                    self.prepare_acks.insert(node, (entries, log_tail, floor));
                     self.try_phase1_succeed(ctx);
                 }
             }
@@ -376,27 +579,57 @@ impl MultiPaxosReplica {
                             + self.cfg.costs.size_cost(bytes),
                     );
                     let mut slots = Vec::with_capacity(items.len());
+                    let mut below_floor = false;
                     for (slot, cmd) in items {
+                        if slot <= self.compacted_through {
+                            // Checkpointed away: the instance is chosen
+                            // and executed here; a proposer asking about
+                            // it is behind our floor.
+                            below_floor = true;
+                            continue;
+                        }
                         let inst = self.instances.entry(slot.0).or_insert_with(Instance::empty);
                         if !inst.committed {
                             inst.bal = ballot;
-                            inst.cmd = Some(cmd);
+                            self.instance_bytes += cmd.size_bytes();
+                            self.instance_bytes -=
+                                inst.cmd.replace(cmd).map_or(0, |c| c.size_bytes());
                             if self.committed_no_value.remove(&slot.0) {
                                 inst.committed = true;
                             }
                         }
                         slots.push(slot);
                     }
+                    self.snap_stats
+                        .note_log_size(self.instances.len(), self.instance_bytes);
                     self.arm_election(ctx); // accepts double as heartbeats
-                    ctx.send(from, Msg::Paxos(PaxosMsg::AcceptOk { ballot, slots }));
+                    ctx.send(
+                        from,
+                        Msg::Paxos(PaxosMsg::AcceptOk {
+                            ballot,
+                            slots,
+                            exec: self.exec_index,
+                        }),
+                    );
+                    if below_floor {
+                        self.send_checkpoint_to(ctx, node_of(from));
+                    }
                     self.try_execute(ctx);
                 }
             }
-            PaxosMsg::AcceptOk { ballot, slots } => {
+            PaxosMsg::AcceptOk {
+                ballot,
+                slots,
+                exec,
+            } => {
                 // Figure 1 Learn.
+                let node = node_of(from);
+                if exec > self.acceptor_exec[node.0 as usize] {
+                    self.acceptor_exec[node.0 as usize] = exec;
+                }
                 if ballot == self.ballot && self.phase1_succeeded {
                     ctx.charge(self.cfg.costs.ack_process);
-                    let bit = 1u64 << node_of(from).0;
+                    let bit = 1u64 << node.0;
                     let mut chosen = Vec::new();
                     for slot in slots {
                         if let Some(inst) = self.instances.get_mut(&slot.0) {
@@ -409,6 +642,19 @@ impl MultiPaxosReplica {
                             }
                         }
                     }
+                    // An acceptor's executed prefix is chosen globally.
+                    // Instances we proposed at our own ballot (i.e.
+                    // after a successful phase 1) need no quorum count
+                    // there: their value agrees with the chosen one by
+                    // the phase-1 safety argument. Stale-ballot values
+                    // may differ from what was chosen, so they must
+                    // wait for a Learn or checkpoint instead.
+                    for (&s, inst) in self.instances.range_mut(..=exec.0) {
+                        if !inst.committed && inst.cmd.is_some() && inst.bal == self.ballot {
+                            inst.committed = true;
+                            chosen.push(Slot(s));
+                        }
+                    }
                     if !chosen.is_empty() {
                         self.broadcast(ctx, PaxosMsg::Learn { slots: chosen });
                         self.try_execute(ctx);
@@ -417,6 +663,9 @@ impl MultiPaxosReplica {
             }
             PaxosMsg::Learn { slots } => {
                 for slot in slots {
+                    if slot <= self.compacted_through {
+                        continue; // already executed and checkpointed
+                    }
                     match self.instances.get_mut(&slot.0) {
                         Some(inst) if inst.cmd.is_some() => inst.committed = true,
                         _ => {
@@ -435,11 +684,37 @@ impl MultiPaxosReplica {
                     self.arm_batch(ctx);
                 }
             }
+            PaxosMsg::Checkpoint {
+                ballot,
+                upto,
+                offset,
+                total,
+                data,
+            } => {
+                if ballot < self.ballot {
+                    return; // stale sender; ignore
+                }
+                ctx.charge(self.cfg.costs.append_fixed + self.cfg.costs.snapshot_cost(data.len()));
+                if let Some(snap) = self
+                    .snap_asm
+                    .offer(from.0 as u64, upto, offset, total, &data)
+                {
+                    self.install_checkpoint(ctx, from, snap);
+                }
+            }
+            PaxosMsg::CheckpointOk { upto, .. } => {
+                let node = node_of(from);
+                self.ckpt_send.finish(node.0 as usize);
+                if upto > self.acceptor_exec[node.0 as usize] {
+                    self.acceptor_exec[node.0 as usize] = upto;
+                }
+            }
         }
     }
 
-    /// Heartbeat: retransmit uncommitted instances and re-Learn committed
-    /// ones so lagging acceptors converge.
+    /// Heartbeat: retransmit uncommitted instances, re-Learn committed
+    /// ones, and catch lagging acceptors up — by instance replay while
+    /// their gap is still retained, by checkpoint once it is not.
     fn heartbeat(&mut self, ctx: &mut Ctx<Msg>) {
         if !self.phase1_succeeded {
             return;
@@ -456,9 +731,54 @@ impl MultiPaxosReplica {
             .filter(|(_, i)| i.committed)
             .map(|(&s, _)| Slot(s))
             .collect();
-        self.broadcast(ctx, PaxosMsg::Accept { ballot: self.ballot, items: retransmit });
+        self.broadcast(
+            ctx,
+            PaxosMsg::Accept {
+                ballot: self.ballot,
+                items: retransmit,
+            },
+        );
         if !committed.is_empty() {
             self.broadcast(ctx, PaxosMsg::Learn { slots: committed });
+        }
+        // Per-acceptor catch-up, 64 instances per round to bound the
+        // burst. An acceptor behind the checkpoint floor can only be
+        // caught up by state transfer — the instances are gone. A
+        // healthy acceptor's report always trails by a WAN round-trip,
+        // so replay targets only *stalled* reports: ones that did not
+        // advance between two consecutive heartbeats.
+        let peers: Vec<NodeId> = self.cfg.others().collect();
+        for peer in peers {
+            let i = peer.0 as usize;
+            let fexec = self.acceptor_exec[i];
+            let stalled = fexec == self.acceptor_exec_prev[i];
+            self.acceptor_exec_prev[i] = fexec;
+            if fexec >= self.exec_index || !stalled {
+                continue;
+            }
+            if fexec < self.compacted_through {
+                self.send_checkpoint_to(ctx, peer);
+                continue;
+            }
+            let replay: Vec<(Slot, Command)> = self
+                .instances
+                .range(fexec.next().0..)
+                .take(64)
+                .filter(|(_, i)| i.committed)
+                .filter_map(|(&s, i)| i.cmd.clone().map(|c| (Slot(s), c)))
+                .collect();
+            if replay.is_empty() {
+                continue;
+            }
+            let slots: Vec<Slot> = replay.iter().map(|(s, _)| *s).collect();
+            ctx.send(
+                self.cfg.peer(peer),
+                Msg::Paxos(PaxosMsg::Accept {
+                    ballot: self.ballot,
+                    items: replay,
+                }),
+            );
+            ctx.send(self.cfg.peer(peer), Msg::Paxos(PaxosMsg::Learn { slots }));
         }
         self.arm_heartbeat(ctx);
     }
@@ -519,12 +839,21 @@ impl Actor<Msg> for MultiPaxosReplica {
 
     fn on_crash(&mut self) {
         // Model a full restart with stable storage: ballot, accepted
-        // instances and commit flags persist; volatile leadership does not.
+        // instances, commit flags, the executed state and the checkpoint
+        // all persist; volatile leadership does not.
         self.phase1_succeeded = false;
         self.leader_hint = None;
         self.prepare_acks.clear();
         self.pending.clear();
         self.batch_armed = false;
+        self.snap_asm.clear();
+        self.ckpt_send.reset();
+        for e in &mut self.acceptor_exec {
+            *e = Slot::NONE;
+        }
+        for e in &mut self.acceptor_exec_prev {
+            *e = Slot::NONE;
+        }
     }
 
     impl_actor_any!();
@@ -646,9 +975,16 @@ mod tests {
         // and the cached reply comes back rather than a double apply.
         let cmd = sim.actor::<TestClient>(client).sent[0].clone();
         let target = sim.actor::<TestClient>(client).target;
-        sim.send_external(target, Msg::Client(ClientMsg::Request { cmd }), SimDuration::ZERO);
+        sim.send_external(
+            target,
+            Msg::Client(ClientMsg::Request { cmd }),
+            SimDuration::ZERO,
+        );
         sim.run_for(SimDuration::from_secs(2));
-        let kv_writes = sim.actor::<MultiPaxosReplica>(ActorId(0)).kv().applied_ops();
+        let kv_writes = sim
+            .actor::<MultiPaxosReplica>(ActorId(0))
+            .kv()
+            .applied_ops();
         // 1 put + possibly noops; the duplicate must not raise the count by
         // a full apply of the same session seq.
         assert!(kv_writes <= 2, "dedup kept applies at {kv_writes}");

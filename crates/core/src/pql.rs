@@ -62,9 +62,10 @@ impl LeaseManager {
     /// under quorum leases, only the (believed) leader under LL.
     pub fn grant_targets(&self, leader_hint: Option<NodeId>) -> Vec<NodeId> {
         match self.mode {
-            ReadMode::QuorumLease => {
-                (0..self.n as u32).map(NodeId).filter(|&x| x != self.me).collect()
-            }
+            ReadMode::QuorumLease => (0..self.n as u32)
+                .map(NodeId)
+                .filter(|&x| x != self.me)
+                .collect(),
             ReadMode::LeaderLease => match leader_hint {
                 Some(l) if l != self.me => vec![l],
                 _ => Vec::new(),
@@ -92,7 +93,13 @@ impl LeaseManager {
     /// grantor's log tail at grant time and `now` the receipt time: when
     /// this grant *re-establishes* a lapsed lease, local reads are gated
     /// until the replica has applied through `grantor_last`.
-    pub fn on_grant(&mut self, grantor: NodeId, expires: SimTime, grantor_last: Slot, now: SimTime) {
+    pub fn on_grant(
+        &mut self,
+        grantor: NodeId,
+        expires: SimTime,
+        grantor_last: Slot,
+        now: SimTime,
+    ) {
         let e = &mut self.held_from[grantor.0 as usize];
         if *e <= now && grantor_last > self.read_floor {
             // The previous grant from this grantor had lapsed (or never
@@ -237,7 +244,10 @@ mod tests {
         m.on_grant_ack(NodeId(1), t(2000));
         m.drop_held();
         assert_eq!(m.valid_leases(t(1)), 0);
-        assert!(m.current_holders(t(1)).contains(&NodeId(1)), "grants given persist");
+        assert!(
+            m.current_holders(t(1)).contains(&NodeId(1)),
+            "grants given persist"
+        );
     }
 
     #[test]

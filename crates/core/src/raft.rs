@@ -27,6 +27,7 @@ use crate::kv::{Command, KvStore};
 use crate::log::{Entry, Log};
 use crate::msg::{ClientMsg, Msg, RaftMsg};
 use crate::replicate::Replicator;
+use crate::snapshot::{self, Snapshot, SnapshotAssembler, SnapshotSender, SnapshotStats};
 use crate::types::{max_failures, quorum, NodeId, Slot, Term};
 
 const T_ELECTION: u64 = 1 << 48;
@@ -61,6 +62,15 @@ pub struct RaftReplica {
     batch_armed: bool,
     election_gen: u64,
     heartbeat_gen: u64,
+    /// Reassembles incoming snapshot chunks (follower side).
+    snap_asm: SnapshotAssembler,
+    /// Per-peer transfer rate-limiting (leader side).
+    snap_send: SnapshotSender,
+    /// The durable snapshot the log was last compacted against (models
+    /// the on-disk snapshot file); restored on crash-restart because the
+    /// compacted log prefix can no longer be replayed.
+    stable_snap: Option<Snapshot>,
+    snap_stats: SnapshotStats,
     /// Client responses sent (stats).
     pub responses_sent: u64,
 }
@@ -89,6 +99,10 @@ impl RaftReplica {
             batch_armed: false,
             election_gen: 0,
             heartbeat_gen: 0,
+            snap_asm: SnapshotAssembler::default(),
+            snap_send: SnapshotSender::new(n),
+            stable_snap: None,
+            snap_stats: SnapshotStats::default(),
             responses_sent: 0,
         }
     }
@@ -118,6 +132,13 @@ impl RaftReplica {
         &self.kv
     }
 
+    /// Compaction / snapshot-transfer counters, peaks included.
+    pub fn snap_stats(&self) -> SnapshotStats {
+        let mut s = self.snap_stats;
+        s.note_log_size(self.log.peak_entries(), self.log.peak_bytes());
+        s
+    }
+
     fn me_bit(&self) -> u64 {
         1 << self.cfg.id.0
     }
@@ -125,13 +146,12 @@ impl RaftReplica {
     fn arm_election(&mut self, ctx: &mut Ctx<Msg>) {
         self.election_gen += 1;
         let span = self.cfg.election_max.as_nanos() - self.cfg.election_min.as_nanos();
-        let delay = if self.cfg.initial_leader == Some(self.cfg.id)
-            && self.current_term == Term::ZERO
-        {
-            SimDuration::from_millis(5)
-        } else {
-            self.cfg.election_min + SimDuration::from_nanos(ctx.rng().gen_range(span.max(1)))
-        };
+        let delay =
+            if self.cfg.initial_leader == Some(self.cfg.id) && self.current_term == Term::ZERO {
+                SimDuration::from_millis(5)
+            } else {
+                self.cfg.election_min + SimDuration::from_nanos(ctx.rng().gen_range(span.max(1)))
+            };
         ctx.set_timer(delay, T_ELECTION | self.election_gen);
     }
 
@@ -174,8 +194,7 @@ impl RaftReplica {
     }
 
     fn try_become_leader(&mut self, ctx: &mut Ctx<Msg>) {
-        if self.role != Role::Candidate || (self.votes.count_ones() as usize) < quorum(self.cfg.n)
-        {
+        if self.role != Role::Candidate || (self.votes.count_ones() as usize) < quorum(self.cfg.n) {
             return;
         }
         self.role = Role::Leader;
@@ -203,10 +222,22 @@ impl RaftReplica {
     }
 
     fn send_append_to(&mut self, ctx: &mut Ctx<Msg>, peer: NodeId) {
-        let prev = self.repl.next_prev(peer);
+        let mut prev = self.repl.next_prev(peer);
+        if prev < self.log.last_included().0 {
+            // The follower's next entry was compacted away: ship a
+            // snapshot instead of (unavailable) log entries, then
+            // pipeline the retained suffix behind it — FIFO links
+            // deliver the chunks first, so the Append matches once the
+            // snapshot installs.
+            let Some(snap_slot) = self.send_snapshot_to(ctx, peer) else {
+                return; // a transfer is in flight; let it finish
+            };
+            prev = snap_slot;
+        }
         let prev_term = self.log.term_at(prev).unwrap_or(Term::ZERO);
         let entries = self.log.suffix_from(prev);
-        self.repl.mark_sent(peer, prev, self.log.last_index(), ctx.now());
+        self.repl
+            .mark_sent(peer, prev, self.log.last_index(), ctx.now());
         ctx.send(
             self.cfg.peer(peer),
             Msg::Raft(RaftMsg::Append {
@@ -217,6 +248,41 @@ impl RaftReplica {
                 commit: self.commit_index,
             }),
         );
+    }
+
+    /// Ships the current state-machine snapshot to `peer` in chunks,
+    /// rate-limited to one transfer per retry interval. Returns the
+    /// snapshot point, or `None` when a transfer is already in flight.
+    fn send_snapshot_to(&mut self, ctx: &mut Ctx<Msg>, peer: NodeId) -> Option<Slot> {
+        if !self
+            .snap_send
+            .try_begin(peer.0 as usize, ctx.now(), self.cfg.retry_interval)
+        {
+            return None;
+        }
+        let last_slot = self.last_applied;
+        let last_term = self.log.term_at(last_slot).unwrap_or(Term::ZERO);
+        let snap = Snapshot {
+            last_slot,
+            last_term,
+            kv: self.kv.snapshot(),
+        };
+        ctx.charge(self.cfg.costs.snapshot_cost(snap.size_bytes()));
+        self.snap_stats.note_sent(snap.size_bytes());
+        for (offset, total, data) in snap.chunks(self.cfg.snapshot.chunk_bytes) {
+            ctx.send(
+                self.cfg.peer(peer),
+                Msg::Raft(RaftMsg::InstallSnapshot {
+                    term: self.current_term,
+                    last_slot,
+                    last_term,
+                    offset,
+                    total,
+                    data,
+                }),
+            );
+        }
+        Some(last_slot)
     }
 
     /// Leader batch flush: append pending commands and replicate.
@@ -236,7 +302,11 @@ impl RaftReplica {
                 + self.cfg.costs.size_cost(bytes),
         );
         for cmd in cmds {
-            self.log.append(Entry { term: self.current_term, bal: self.current_term, cmd });
+            self.log.append(Entry {
+                term: self.current_term,
+                bal: self.current_term,
+                cmd,
+            });
         }
         self.broadcast_append(ctx);
     }
@@ -278,7 +348,9 @@ impl RaftReplica {
     fn apply_committed(&mut self, ctx: &mut Ctx<Msg>) {
         while self.last_applied < self.commit_index {
             let next = self.last_applied.next();
-            let Some(entry) = self.log.get(next) else { break };
+            let Some(entry) = self.log.get(next) else {
+                break;
+            };
             let cmd = entry.cmd.clone();
             ctx.charge(self.cfg.costs.apply_per_cmd);
             let reply = self.kv.apply(&cmd);
@@ -292,15 +364,62 @@ impl RaftReplica {
                 self.responses_sent += 1;
             }
         }
+        self.maybe_compact(ctx);
+    }
+
+    /// Compacts the applied log prefix once it crosses the configured
+    /// threshold, snapshotting the state machine first (the snapshot is
+    /// the durable replacement for the discarded entries).
+    fn maybe_compact(&mut self, ctx: &mut Ctx<Msg>) {
+        if let Some(bytes) = snapshot::compact_applied_prefix(
+            &self.cfg.snapshot,
+            &mut self.log,
+            &self.kv,
+            self.last_applied,
+            &mut self.stable_snap,
+            &mut self.snap_stats,
+        ) {
+            ctx.charge(self.cfg.costs.snapshot_cost(bytes));
+        }
+    }
+
+    /// Installs a fully reassembled snapshot received from the leader.
+    fn install_snapshot(&mut self, ctx: &mut Ctx<Msg>, from: ActorId, snap: Snapshot) {
+        let bytes = snap.size_bytes();
+        if snapshot::install_into_raft_state(
+            snap,
+            &mut self.log,
+            &mut self.kv,
+            &mut self.last_applied,
+            &mut self.commit_index,
+            &mut self.stable_snap,
+            &mut self.snap_stats,
+        ) {
+            ctx.charge(self.cfg.costs.snapshot_cost(bytes));
+        }
+        // Ack even a stale transfer: the applied prefix is committed
+        // state, so the leader may treat it as matched and resume
+        // normal appends from there.
+        ctx.send(
+            from,
+            Msg::Raft(RaftMsg::SnapshotAck {
+                term: self.current_term,
+                last_idx: self.last_applied,
+            }),
+        );
     }
 
     fn on_raft(&mut self, ctx: &mut Ctx<Msg>, from: ActorId, msg: RaftMsg) {
         match msg {
-            RaftMsg::RequestVote { term, last_idx, last_term } => {
+            RaftMsg::RequestVote {
+                term,
+                last_idx,
+                last_term,
+            } => {
                 if term > self.current_term {
                     // Adopt the term, then apply Raft's up-to-date check.
-                    let up_to_date = (last_term, last_idx)
-                        >= (self.log.last_term(), self.log.last_index());
+                    let up_to_date =
+                        (last_term, last_idx) >= (self.log.last_term(), self.log.last_index());
                     self.step_down(term, ctx);
                     self.leader_hint = None;
                     ctx.send(
@@ -322,7 +441,13 @@ impl RaftReplica {
                     self.try_become_leader(ctx);
                 }
             }
-            RaftMsg::Append { term, prev, prev_term, entries, commit } => {
+            RaftMsg::Append {
+                term,
+                prev,
+                prev_term,
+                entries,
+                commit,
+            } => {
                 if term < self.current_term {
                     ctx.send(
                         from,
@@ -343,6 +468,29 @@ impl RaftReplica {
                         + self.cfg.costs.append_per_cmd * entries.len().max(1) as u64
                         + self.cfg.costs.size_cost(bytes),
                 );
+                // Entries at or below our compaction floor are applied
+                // committed state: skip the overlap and anchor the
+                // consistency check at the floor instead.
+                let (floor, floor_term) = self.log.last_included();
+                let (prev, prev_term, entries) = if prev < floor {
+                    let overlap = (floor.0 - prev.0) as usize;
+                    if entries.len() <= overlap {
+                        // Nothing beyond the snapshot: everything the
+                        // leader sent is already covered.
+                        ctx.send(
+                            from,
+                            Msg::Raft(RaftMsg::AppendOk {
+                                term: self.current_term,
+                                last_idx: floor,
+                                holders: Vec::new(),
+                            }),
+                        );
+                        return;
+                    }
+                    (floor, floor_term, entries[overlap..].to_vec())
+                } else {
+                    (prev, prev_term, entries)
+                };
                 if !self.log.matches(prev, prev_term) {
                     ctx.send(
                         from,
@@ -414,6 +562,48 @@ impl RaftReplica {
                     self.arm_batch(ctx);
                 }
             }
+            // `last_term` rides inside the encoded payload; the header
+            // copy only matters for observability.
+            RaftMsg::InstallSnapshot {
+                term,
+                last_slot,
+                last_term: _,
+                offset,
+                total,
+                data,
+            } => {
+                if term < self.current_term {
+                    ctx.send(
+                        from,
+                        Msg::Raft(RaftMsg::AppendReject {
+                            term: self.current_term,
+                            last_idx: self.log.last_index(),
+                        }),
+                    );
+                    return;
+                }
+                self.current_term = term;
+                self.role = Role::Follower;
+                self.leader_hint = Some(term.owner(self.cfg.n));
+                self.arm_election(ctx);
+                ctx.charge(self.cfg.costs.append_fixed + self.cfg.costs.snapshot_cost(data.len()));
+                if let Some(snap) =
+                    self.snap_asm
+                        .offer(from.0 as u64, last_slot, offset, total, &data)
+                {
+                    self.install_snapshot(ctx, from, snap);
+                }
+            }
+            RaftMsg::SnapshotAck { term, last_idx } => {
+                if term > self.current_term {
+                    self.step_down(term, ctx);
+                } else if term == self.current_term && self.role == Role::Leader {
+                    self.snap_send.finish(node_of(from).0 as usize);
+                    if self.repl.on_ack(node_of(from), last_idx) {
+                        self.advance_commit(ctx);
+                    }
+                }
+            }
         }
     }
 }
@@ -455,7 +645,8 @@ impl Actor<Msg> for RaftReplica {
                     let peers: Vec<NodeId> = self.cfg.others().collect();
                     for peer in peers {
                         // Timed retransmission of unacknowledged suffixes.
-                        self.repl.maybe_rewind(peer, ctx.now(), self.cfg.retry_interval);
+                        self.repl
+                            .maybe_rewind(peer, ctx.now(), self.cfg.retry_interval);
                         self.send_append_to(ctx, peer);
                     }
                     self.arm_heartbeat(ctx);
@@ -475,15 +666,26 @@ impl Actor<Msg> for RaftReplica {
     }
 
     fn on_crash(&mut self) {
-        // Persisted: current_term, log. Volatile: everything else.
+        // Persisted: current_term, log, and the durable snapshot the log
+        // was compacted against. Volatile: everything else. The state
+        // machine restarts from the snapshot (the compacted prefix is
+        // not replayable) and re-applies the retained log as the commit
+        // index re-advances.
         self.role = Role::Follower;
         self.leader_hint = None;
         self.votes = 0;
         self.commit_index = Slot::NONE;
         self.last_applied = Slot::NONE;
         self.kv = KvStore::new();
+        if let Some(snap) = &self.stable_snap {
+            self.kv.restore(&snap.kv);
+            self.last_applied = snap.last_slot;
+            self.commit_index = snap.last_slot;
+        }
         self.pending.clear();
         self.batch_armed = false;
+        self.snap_asm.clear();
+        self.snap_send.reset();
     }
 
     impl_actor_any!();
@@ -520,7 +722,10 @@ mod tests {
             sim.actor::<TestClient>(client).replies.len() == 2
         }));
         let c = sim.actor::<TestClient>(client);
-        assert!(c.replies[1].1.value_id().is_some(), "read observes the write");
+        assert!(
+            c.replies[1].1.value_id().is_some(),
+            "read observes the write"
+        );
     }
 
     #[test]
@@ -630,7 +835,10 @@ mod tests {
         }));
         // The read must see the committed write to key 3.
         let c = sim.actor::<TestClient>(client);
-        assert!(c.replies[5].1.value_id().is_some(), "committed write preserved");
+        assert!(
+            c.replies[5].1.value_id().is_some(),
+            "committed write preserved"
+        );
         assert!(committed.0 >= 5);
     }
 }

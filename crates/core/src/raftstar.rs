@@ -38,6 +38,7 @@ use crate::msg::{ClientMsg, LeaseMsg, Msg, RaftMsg};
 use crate::pql::LeaseManager;
 use crate::raft::Role;
 use crate::replicate::Replicator;
+use crate::snapshot::{self, Snapshot, SnapshotAssembler, SnapshotSender, SnapshotStats};
 use crate::types::{max_failures, quorum, NodeId, Slot, Term};
 
 const T_ELECTION: u64 = 1 << 48;
@@ -74,6 +75,14 @@ pub struct RaftStarReplica {
     batch_armed: bool,
     election_gen: u64,
     heartbeat_gen: u64,
+    /// Reassembles incoming snapshot chunks (follower side).
+    snap_asm: SnapshotAssembler,
+    /// Per-peer transfer rate-limiting (leader side).
+    snap_send: SnapshotSender,
+    /// Durable snapshot backing the compacted log prefix; restored on
+    /// crash-restart.
+    stable_snap: Option<Snapshot>,
+    snap_stats: SnapshotStats,
     /// Client responses sent (stats).
     pub responses_sent: u64,
     /// [PQL] Reads served from the local copy (stats).
@@ -114,6 +123,10 @@ impl RaftStarReplica {
             batch_armed: false,
             election_gen: 0,
             heartbeat_gen: 0,
+            snap_asm: SnapshotAssembler::default(),
+            snap_send: SnapshotSender::new(n),
+            stable_snap: None,
+            snap_stats: SnapshotStats::default(),
             responses_sent: 0,
             local_reads_served: 0,
         }
@@ -149,6 +162,13 @@ impl RaftStarReplica {
         self.lease.as_ref()
     }
 
+    /// Compaction / snapshot-transfer counters, peaks included.
+    pub fn snap_stats(&self) -> SnapshotStats {
+        let mut s = self.snap_stats;
+        s.note_log_size(self.log.peak_entries(), self.log.peak_bytes());
+        s
+    }
+
     fn me_bit(&self) -> u64 {
         1 << self.cfg.id.0
     }
@@ -156,13 +176,12 @@ impl RaftStarReplica {
     fn arm_election(&mut self, ctx: &mut Ctx<Msg>) {
         self.election_gen += 1;
         let span = self.cfg.election_max.as_nanos() - self.cfg.election_min.as_nanos();
-        let delay = if self.cfg.initial_leader == Some(self.cfg.id)
-            && self.current_term == Term::ZERO
-        {
-            SimDuration::from_millis(5)
-        } else {
-            self.cfg.election_min + SimDuration::from_nanos(ctx.rng().gen_range(span.max(1)))
-        };
+        let delay =
+            if self.cfg.initial_leader == Some(self.cfg.id) && self.current_term == Term::ZERO {
+                SimDuration::from_millis(5)
+            } else {
+                self.cfg.election_min + SimDuration::from_nanos(ctx.rng().gen_range(span.max(1)))
+            };
         ctx.set_timer(delay, T_ELECTION | self.election_gen);
     }
 
@@ -209,8 +228,7 @@ impl RaftStarReplica {
     /// (highest `bal` per index), rewriting their term and ballot to the
     /// new term.
     fn try_become_leader(&mut self, ctx: &mut Ctx<Msg>) {
-        if self.role != Role::Candidate || (self.votes.count_ones() as usize) < quorum(self.cfg.n)
-        {
+        if self.role != Role::Candidate || (self.votes.count_ones() as usize) < quorum(self.cfg.n) {
             return;
         }
         let my_last = self.log.last_index();
@@ -234,7 +252,11 @@ impl RaftStarReplica {
             }
             let cmd = best.map(|e| e.cmd.clone()).unwrap_or_else(Command::noop);
             // Figure 2a lines 25-27: bal and term become currentTerm.
-            self.log.append(Entry { term: self.current_term, bal: self.current_term, cmd });
+            self.log.append(Entry {
+                term: self.current_term,
+                bal: self.current_term,
+                cmd,
+            });
             idx = idx.next();
         }
         self.index_writes_from(my_last.next());
@@ -248,7 +270,8 @@ impl RaftStarReplica {
             bal: self.current_term,
             cmd: Command::noop(),
         });
-        self.log.set_bal_upto(self.log.last_index(), self.current_term);
+        self.log
+            .set_bal_upto(self.log.last_index(), self.current_term);
         self.broadcast_append(ctx);
         self.arm_heartbeat(ctx);
         self.flush_pending(ctx);
@@ -276,10 +299,20 @@ impl RaftStarReplica {
     }
 
     fn send_append_to(&mut self, ctx: &mut Ctx<Msg>, peer: NodeId) {
-        let prev = self.repl.next_prev(peer);
+        let mut prev = self.repl.next_prev(peer);
+        if prev < self.log.last_included().0 {
+            // The follower's next entry was compacted away: ship the
+            // state-machine snapshot, then pipeline the retained suffix
+            // behind it on the FIFO link.
+            let Some(snap_slot) = self.send_snapshot_to(ctx, peer) else {
+                return; // transfer in flight
+            };
+            prev = snap_slot;
+        }
         let prev_term = self.log.term_at(prev).unwrap_or(Term::ZERO);
         let entries = self.log.suffix_from(prev);
-        self.repl.mark_sent(peer, prev, self.log.last_index(), ctx.now());
+        self.repl
+            .mark_sent(peer, prev, self.log.last_index(), ctx.now());
         ctx.send(
             self.cfg.peer(peer),
             Msg::Raft(RaftMsg::Append {
@@ -290,6 +323,40 @@ impl RaftStarReplica {
                 commit: self.commit_index,
             }),
         );
+    }
+
+    /// Ships the current state-machine snapshot to `peer` in chunks,
+    /// rate-limited to one transfer per retry interval.
+    fn send_snapshot_to(&mut self, ctx: &mut Ctx<Msg>, peer: NodeId) -> Option<Slot> {
+        if !self
+            .snap_send
+            .try_begin(peer.0 as usize, ctx.now(), self.cfg.retry_interval)
+        {
+            return None;
+        }
+        let last_slot = self.last_applied;
+        let last_term = self.log.term_at(last_slot).unwrap_or(Term::ZERO);
+        let snap = Snapshot {
+            last_slot,
+            last_term,
+            kv: self.kv.snapshot(),
+        };
+        ctx.charge(self.cfg.costs.snapshot_cost(snap.size_bytes()));
+        self.snap_stats.note_sent(snap.size_bytes());
+        for (offset, total, data) in snap.chunks(self.cfg.snapshot.chunk_bytes) {
+            ctx.send(
+                self.cfg.peer(peer),
+                Msg::Raft(RaftMsg::InstallSnapshot {
+                    term: self.current_term,
+                    last_slot,
+                    last_term,
+                    offset,
+                    total,
+                    data,
+                }),
+            );
+        }
+        Some(last_slot)
     }
 
     /// Figure 2b `AppendEntries` (leader side): append the batch, rewrite
@@ -311,10 +378,15 @@ impl RaftStarReplica {
         );
         let first_new = self.log.last_index().next();
         for cmd in cmds {
-            self.log.append(Entry { term: self.current_term, bal: self.current_term, cmd });
+            self.log.append(Entry {
+                term: self.current_term,
+                bal: self.current_term,
+                cmd,
+            });
         }
         // Figure 2b lines 6-7: all ballots become the new entry's term.
-        self.log.set_bal_upto(self.log.last_index(), self.current_term);
+        self.log
+            .set_bal_upto(self.log.last_index(), self.current_term);
         self.index_writes_from(first_new);
         self.broadcast_append(ctx);
     }
@@ -384,7 +456,9 @@ impl RaftStarReplica {
     fn apply_committed(&mut self, ctx: &mut Ctx<Msg>) {
         while self.last_applied < self.commit_index {
             let next = self.last_applied.next();
-            let Some(entry) = self.log.get(next) else { break };
+            let Some(entry) = self.log.get(next) else {
+                break;
+            };
             let cmd = entry.cmd.clone();
             ctx.charge(self.cfg.costs.apply_per_cmd);
             let reply = self.kv.apply(&cmd);
@@ -399,12 +473,62 @@ impl RaftStarReplica {
             }
         }
         self.serve_parked_reads(ctx);
+        self.maybe_compact(ctx);
+    }
+
+    /// Compacts the applied log prefix once it crosses the configured
+    /// threshold, snapshotting the state machine first.
+    fn maybe_compact(&mut self, ctx: &mut Ctx<Msg>) {
+        if let Some(bytes) = snapshot::compact_applied_prefix(
+            &self.cfg.snapshot,
+            &mut self.log,
+            &self.kv,
+            self.last_applied,
+            &mut self.stable_snap,
+            &mut self.snap_stats,
+        ) {
+            ctx.charge(self.cfg.costs.snapshot_cost(bytes));
+        }
+    }
+
+    /// Installs a fully reassembled snapshot received from the leader.
+    /// (The shared helper's log replacement is safe for Raft* too: the
+    /// "no erasing" restriction is about live appends, and any
+    /// accepted-but-uncommitted value discarded here is retained by the
+    /// up-to-date leader that shipped the snapshot.)
+    fn install_snapshot(&mut self, ctx: &mut Ctx<Msg>, from: ActorId, snap: Snapshot) {
+        let bytes = snap.size_bytes();
+        let first_new = snap.last_slot.next();
+        if snapshot::install_into_raft_state(
+            snap,
+            &mut self.log,
+            &mut self.kv,
+            &mut self.last_applied,
+            &mut self.commit_index,
+            &mut self.stable_snap,
+            &mut self.snap_stats,
+        ) {
+            ctx.charge(self.cfg.costs.snapshot_cost(bytes));
+            self.index_writes_from(first_new);
+            self.serve_parked_reads(ctx);
+        }
+        ctx.send(
+            from,
+            Msg::Raft(RaftMsg::SnapshotAck {
+                term: self.current_term,
+                last_idx: self.last_applied,
+            }),
+        );
     }
 
     /// [PQL] Figure 13 `LocalRead`: serve, park, or decline.
     fn try_local_read(&mut self, ctx: &mut Ctx<Msg>, cmd: &Command) -> bool {
-        let Some(lease) = &self.lease else { return false };
-        let Op::Get { key } = &cmd.op else { return false };
+        let Some(lease) = &self.lease else {
+            return false;
+        };
+        let Op::Get { key } = &cmd.op else {
+            return false;
+        };
         match lease.mode() {
             ReadMode::QuorumLease => {
                 if !lease.has_quorum_lease(ctx.now()) {
@@ -418,7 +542,11 @@ impl RaftStarReplica {
             }
             ReadMode::LogRead => return false,
         }
-        let lease_floor = self.lease.as_ref().map(|l| l.read_floor()).unwrap_or(Slot::NONE);
+        let lease_floor = self
+            .lease
+            .as_ref()
+            .map(|l| l.read_floor())
+            .unwrap_or(Slot::NONE);
         let conflict = self
             .key_last_write
             .get(key)
@@ -450,8 +578,9 @@ impl RaftStarReplica {
         }
         let ready: Vec<Command> = {
             let applied = self.last_applied;
-            let (serve, keep): (Vec<_>, Vec<_>) =
-                std::mem::take(&mut self.parked_reads).into_iter().partition(|(_, s)| *s <= applied);
+            let (serve, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.parked_reads)
+                .into_iter()
+                .partition(|(_, s)| *s <= applied);
             self.parked_reads = keep;
             serve.into_iter().map(|(c, _)| c).collect()
         };
@@ -501,7 +630,10 @@ impl RaftStarReplica {
         for t in targets {
             ctx.send(
                 self.cfg.peer(t),
-                Msg::Lease(LeaseMsg::Grant { expires_ns: expiry.as_nanos(), last_idx }),
+                Msg::Lease(LeaseMsg::Grant {
+                    expires_ns: expiry.as_nanos(),
+                    last_idx,
+                }),
             );
         }
         ctx.set_timer(self.cfg.lease.renew_every, T_LEASE);
@@ -511,12 +643,22 @@ impl RaftStarReplica {
 
     fn on_raft(&mut self, ctx: &mut Ctx<Msg>, from: ActorId, msg: RaftMsg) {
         match msg {
-            RaftMsg::RequestVote { term, last_idx, last_term } => {
+            RaftMsg::RequestVote {
+                term,
+                last_idx,
+                last_term,
+            } => {
                 if term > self.current_term {
                     // Raft* vote rule: grant when our log's ballot (==
                     // last entry term, by the uniform-ballot invariant)
                     // does not exceed the candidate's; attach extras.
-                    let granted = self.log.last_term() <= last_term;
+                    // With compaction there is one more condition: a
+                    // candidate whose log ends below our compaction
+                    // floor cannot be completed by extras (the entries
+                    // are gone), so we refuse — it catches up from the
+                    // eventual winner via InstallSnapshot instead.
+                    let granted =
+                        self.log.last_term() <= last_term && last_idx >= self.log.last_included().0;
                     self.step_down(term, ctx);
                     self.leader_hint = None;
                     let (extra_start, extra) = if granted && self.log.last_index() > last_idx {
@@ -526,11 +668,21 @@ impl RaftStarReplica {
                     };
                     ctx.send(
                         from,
-                        Msg::Raft(RaftMsg::Vote { term, granted, extra_start, extra }),
+                        Msg::Raft(RaftMsg::Vote {
+                            term,
+                            granted,
+                            extra_start,
+                            extra,
+                        }),
                     );
                 }
             }
-            RaftMsg::Vote { term, granted, extra_start, extra } => {
+            RaftMsg::Vote {
+                term,
+                granted,
+                extra_start,
+                extra,
+            } => {
                 if term > self.current_term {
                     self.step_down(term, ctx);
                 } else if term == self.current_term && granted && self.role == Role::Candidate {
@@ -539,7 +691,13 @@ impl RaftStarReplica {
                     self.try_become_leader(ctx);
                 }
             }
-            RaftMsg::Append { term, prev, prev_term, entries, commit } => {
+            RaftMsg::Append {
+                term,
+                prev,
+                prev_term,
+                entries,
+                commit,
+            } => {
                 if term < self.current_term {
                     ctx.send(
                         from,
@@ -560,6 +718,32 @@ impl RaftStarReplica {
                         + self.cfg.costs.append_per_cmd * entries.len().max(1) as u64
                         + self.cfg.costs.size_cost(bytes),
                 );
+                // Entries at or below our compaction floor are applied
+                // committed state: skip the overlap and anchor the
+                // consistency check at the floor.
+                let (floor, floor_term) = self.log.last_included();
+                let (prev, prev_term, entries) = if prev < floor {
+                    let overlap = (floor.0 - prev.0) as usize;
+                    if entries.len() <= overlap {
+                        let holders = self
+                            .lease
+                            .as_ref()
+                            .map(|l| l.current_holders(ctx.now()))
+                            .unwrap_or_default();
+                        ctx.send(
+                            from,
+                            Msg::Raft(RaftMsg::AppendOk {
+                                term: self.current_term,
+                                last_idx: floor,
+                                holders,
+                            }),
+                        );
+                        return;
+                    }
+                    (floor, floor_term, entries[overlap..].to_vec())
+                } else {
+                    (prev, prev_term, entries)
+                };
                 let new_last = Slot(prev.0 + entries.len() as u64);
                 // Figure 2b RecieveAppend: match on prev AND never let the
                 // log shrink (`lastIndex ≤ prev + length(ents)`).
@@ -596,7 +780,11 @@ impl RaftStarReplica {
                     }),
                 );
             }
-            RaftMsg::AppendOk { term, last_idx, holders } => {
+            RaftMsg::AppendOk {
+                term,
+                last_idx,
+                holders,
+            } => {
                 if term > self.current_term {
                     self.step_down(term, ctx);
                 } else if term == self.current_term && self.role == Role::Leader {
@@ -639,6 +827,48 @@ impl RaftStarReplica {
                     self.arm_batch(ctx);
                 }
             }
+            // `last_term` rides inside the encoded payload; the header
+            // copy only matters for observability.
+            RaftMsg::InstallSnapshot {
+                term,
+                last_slot,
+                last_term: _,
+                offset,
+                total,
+                data,
+            } => {
+                if term < self.current_term {
+                    ctx.send(
+                        from,
+                        Msg::Raft(RaftMsg::AppendReject {
+                            term: self.current_term,
+                            last_idx: self.log.last_index(),
+                        }),
+                    );
+                    return;
+                }
+                self.current_term = term;
+                self.role = Role::Follower;
+                self.leader_hint = Some(term.owner(self.cfg.n));
+                self.arm_election(ctx);
+                ctx.charge(self.cfg.costs.append_fixed + self.cfg.costs.snapshot_cost(data.len()));
+                if let Some(snap) =
+                    self.snap_asm
+                        .offer(from.0 as u64, last_slot, offset, total, &data)
+                {
+                    self.install_snapshot(ctx, from, snap);
+                }
+            }
+            RaftMsg::SnapshotAck { term, last_idx } => {
+                if term > self.current_term {
+                    self.step_down(term, ctx);
+                } else if term == self.current_term && self.role == Role::Leader {
+                    self.snap_send.finish(node_of(from).0 as usize);
+                    if self.repl.on_ack(node_of(from), last_idx) {
+                        self.advance_commit(ctx);
+                    }
+                }
+            }
         }
     }
 }
@@ -671,7 +901,10 @@ impl Actor<Msg> for RaftStarReplica {
                     self.arm_batch(ctx);
                 }
             }
-            Msg::Lease(LeaseMsg::Grant { expires_ns, last_idx }) => {
+            Msg::Lease(LeaseMsg::Grant {
+                expires_ns,
+                last_idx,
+            }) => {
                 if let Some(lease) = &mut self.lease {
                     ctx.charge(self.cfg.costs.lease_msg);
                     let t = paxraft_sim::time::SimTime::from_nanos(expires_ns);
@@ -700,7 +933,8 @@ impl Actor<Msg> for RaftStarReplica {
                 if token & !KIND_MASK == self.heartbeat_gen && self.role == Role::Leader {
                     let peers: Vec<NodeId> = self.cfg.others().collect();
                     for peer in peers {
-                        self.repl.maybe_rewind(peer, ctx.now(), self.cfg.retry_interval);
+                        self.repl
+                            .maybe_rewind(peer, ctx.now(), self.cfg.retry_interval);
                         self.send_append_to(ctx, peer);
                     }
                     self.arm_heartbeat(ctx);
@@ -721,9 +955,11 @@ impl Actor<Msg> for RaftStarReplica {
     }
 
     fn on_crash(&mut self) {
-        // Persistent: term, log, and grants *given* (a recovering grantor
+        // Persistent: term, log, the durable snapshot backing the
+        // compacted prefix, and grants *given* (a recovering grantor
         // must still honour them). Volatile: everything else, including
-        // leases held.
+        // leases held. The state machine restarts from the snapshot —
+        // the compacted prefix cannot be replayed.
         self.role = Role::Follower;
         self.leader_hint = None;
         self.votes = 0;
@@ -731,9 +967,16 @@ impl Actor<Msg> for RaftStarReplica {
         self.commit_index = Slot::NONE;
         self.last_applied = Slot::NONE;
         self.kv = KvStore::new();
+        if let Some(snap) = &self.stable_snap {
+            self.kv.restore(&snap.kv);
+            self.last_applied = snap.last_slot;
+            self.commit_index = snap.last_slot;
+        }
         self.pending.clear();
         self.parked_reads.clear();
         self.batch_armed = false;
+        self.snap_asm.clear();
+        self.snap_send.reset();
         if let Some(lease) = &mut self.lease {
             lease.drop_held();
         }
@@ -830,7 +1073,7 @@ mod tests {
             sim.actor::<TestClient>(client).replies.len() == 1
         }));
         sim.run_for(SimDuration::from_millis(400)); // heartbeat reaches 2
-        // Cut node 2 off while further entries commit on {0, 1}.
+                                                    // Cut node 2 off while further entries commit on {0, 1}.
         sim.partition_at(vec![0, 0, 1, 0], sim.now() + SimDuration::from_millis(1));
         sim.actor_mut::<TestClient>(client).enqueue_put(7);
         sim.actor_mut::<TestClient>(client).enqueue_put(8);
@@ -873,7 +1116,7 @@ mod tests {
             sim.actor::<TestClient>(client).replies.len() == 1
         }));
         sim.run_for(SimDuration::from_secs(1)); // let commit reach followers
-        // Read from a follower: must be served locally.
+                                                // Read from a follower: must be served locally.
         sim.actor_mut::<TestClient>(client).target = replicas[3];
         sim.actor_mut::<TestClient>(client).enqueue_get(5);
         assert!(drive_until(&mut sim, SimTime::from_secs(5), |sim| {
@@ -882,7 +1125,10 @@ mod tests {
         let served = sim.actor::<RaftStarReplica>(replicas[3]).local_reads_served;
         assert_eq!(served, 1, "follower served the read locally");
         let c = sim.actor::<TestClient>(client);
-        assert!(c.replies[1].1.value_id().is_some(), "local read sees the write");
+        assert!(
+            c.replies[1].1.value_id().is_some(),
+            "local read sees the write"
+        );
     }
 
     #[test]
@@ -894,8 +1140,14 @@ mod tests {
         assert!(drive_until(&mut sim, SimTime::from_secs(10), |sim| {
             sim.actor::<TestClient>(client).replies.len() == 2
         }));
-        assert_eq!(sim.actor::<RaftStarReplica>(replicas[0]).local_reads_served, 1);
-        assert_eq!(sim.actor::<RaftStarReplica>(replicas[1]).local_reads_served, 0);
+        assert_eq!(
+            sim.actor::<RaftStarReplica>(replicas[0]).local_reads_served,
+            1
+        );
+        assert_eq!(
+            sim.actor::<RaftStarReplica>(replicas[1]).local_reads_served,
+            0
+        );
     }
 
     #[test]

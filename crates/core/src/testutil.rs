@@ -50,14 +50,20 @@ impl TestClient {
     /// Queues a write to `key` (value embeds the command id).
     pub fn enqueue_put(&mut self, key: u64) {
         self.seq += 1;
-        let id = CmdId { client: self.client_id, seq: self.seq };
+        let id = CmdId {
+            client: self.client_id,
+            seq: self.seq,
+        };
         self.queue.push_back(Command::put(id, key, vec![0; 8]));
     }
 
     /// Queues a read of `key`.
     pub fn enqueue_get(&mut self, key: u64) {
         self.seq += 1;
-        let id = CmdId { client: self.client_id, seq: self.seq };
+        let id = CmdId {
+            client: self.client_id,
+            seq: self.seq,
+        };
         self.queue.push_back(Command::get(id, key));
     }
 

@@ -127,7 +127,11 @@ mod tests {
     #[test]
     fn builder_accumulates_events_in_order() {
         let plan = FaultPlan::new()
-            .crash_between(ActorId(0), SimTime::from_millis(10), SimTime::from_millis(20))
+            .crash_between(
+                ActorId(0),
+                SimTime::from_millis(10),
+                SimTime::from_millis(20),
+            )
             .partition(vec![0, 1], SimTime::from_millis(30))
             .heal(SimTime::from_millis(40))
             .drop_rate(0.1, SimTime::from_millis(50));

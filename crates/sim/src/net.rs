@@ -66,7 +66,8 @@ impl Region {
 /// paper places the favoured Raft leader there.
 pub const DEFAULT_RTT_MS: [[f64; 5]; 5] = [
     //            OR     OH     IR     CA     SE
-    /* Oregon  */ [0.6, 52.0, 132.0, 66.0, 126.0],
+    /* Oregon  */
+    [0.6, 52.0, 132.0, 66.0, 126.0],
     /* Ohio    */ [52.0, 0.6, 92.0, 25.0, 178.0],
     /* Ireland */ [132.0, 92.0, 0.6, 80.0, 292.0],
     /* Canada  */ [66.0, 25.0, 80.0, 0.6, 190.0],
@@ -243,9 +244,7 @@ impl Network {
         self.nic_free[src] = tx_end;
         self.bytes_sent[src] += (payload_bytes + self.config.overhead_bytes) as u64;
 
-        let base = self
-            .config
-            .one_way(self.regions[src], self.regions[dst]);
+        let base = self.config.one_way(self.regions[src], self.regions[dst]);
         let jitter = if self.config.jitter > 0.0 {
             1.0 + self.config.jitter * (2.0 * rng.gen_f64() - 1.0)
         } else {
@@ -285,7 +284,10 @@ mod tests {
 
     fn net() -> Network {
         Network::new(
-            NetConfig { jitter: 0.0, ..NetConfig::default() },
+            NetConfig {
+                jitter: 0.0,
+                ..NetConfig::default()
+            },
             vec![Region::Oregon, Region::Ohio, Region::Seoul],
         )
     }
@@ -318,13 +320,20 @@ mod tests {
 
     #[test]
     fn tx_time_scales_with_size() {
-        let c = NetConfig { overhead_bytes: 0, ..NetConfig::default() };
+        let c = NetConfig {
+            overhead_bytes: 0,
+            ..NetConfig::default()
+        };
         let t1 = c.tx_time(4096);
         let t2 = c.tx_time(8192);
         let diff = (t2.as_nanos() as i64 - 2 * t1.as_nanos() as i64).abs();
         assert!(diff <= 1, "doubling size doubles tx time (±1ns rounding)");
         // 4KB at 750Mbps is about 43.7 microseconds.
-        assert!((t1.as_micros_f64() - 43.69).abs() < 0.5, "{}", t1.as_micros_f64());
+        assert!(
+            (t1.as_micros_f64() - 43.69).abs() < 0.5,
+            "{}",
+            t1.as_micros_f64()
+        );
     }
 
     #[test]
@@ -362,7 +371,10 @@ mod tests {
         assert_eq!(n.send(SimTime::ZERO, 0, 2, 8, &mut rng), Delivery::Dropped);
         assert_eq!(n.dropped, 1);
         n.heal_partition();
-        assert!(matches!(n.send(SimTime::ZERO, 0, 2, 8, &mut rng), Delivery::ArriveAt(_)));
+        assert!(matches!(
+            n.send(SimTime::ZERO, 0, 2, 8, &mut rng),
+            Delivery::ArriveAt(_)
+        ));
     }
 
     #[test]

@@ -141,7 +141,12 @@ enum Incoming<M> {
 enum EvKind<M> {
     /// A message finishes propagation and joins `dst`'s inbox. `charged`
     /// records whether receiver-NIC serialization was already applied.
-    Arrive { dst: usize, from: ActorId, msg: M, charged: bool },
+    Arrive {
+        dst: usize,
+        from: ActorId,
+        msg: M,
+        charged: bool,
+    },
     /// A timer matures and joins `dst`'s inbox.
     TimerFire { dst: usize, token: u64, epoch: u64 },
     /// `dst`'s CPU becomes free to process its inbox head.
@@ -314,14 +319,26 @@ impl<M: Payload> Simulation<M> {
 
     fn push(&mut self, at: SimTime, kind: EvKind<M>) {
         self.seq += 1;
-        self.queue.push(Reverse(Ev { at, seq: self.seq, kind }));
+        self.queue.push(Reverse(Ev {
+            at,
+            seq: self.seq,
+            kind,
+        }));
     }
 
     /// Injects a message from [`ActorId::EXTERNAL`] arriving after `delay`
     /// (no NIC charges apply to external injections).
     pub fn send_external(&mut self, to: ActorId, msg: M, delay: SimDuration) {
         let at = self.now + delay;
-        self.push(at, EvKind::Arrive { dst: to.0, from: ActorId::EXTERNAL, msg, charged: true });
+        self.push(
+            at,
+            EvKind::Arrive {
+                dst: to.0,
+                from: ActorId::EXTERNAL,
+                msg,
+                charged: true,
+            },
+        );
     }
 
     /// Schedules a crash of `node` at absolute time `at`.
@@ -378,18 +395,36 @@ impl<M: Payload> Simulation<M> {
                     if to == ActorId::EXTERNAL {
                         continue;
                     }
-                    match self.net.send(done, i, to.0, msg.size_bytes(), &mut self.rng) {
+                    match self
+                        .net
+                        .send(done, i, to.0, msg.size_bytes(), &mut self.rng)
+                    {
                         Delivery::ArriveAt(at) => {
                             // Loopback sends skip the NIC entirely.
                             let charged = i == to.0;
-                            self.push(at, EvKind::Arrive { dst: to.0, from: ActorId(i), msg, charged });
+                            self.push(
+                                at,
+                                EvKind::Arrive {
+                                    dst: to.0,
+                                    from: ActorId(i),
+                                    msg,
+                                    charged,
+                                },
+                            );
                         }
                         Delivery::Dropped => self.stats.lost += 1,
                     }
                 }
                 Output::Timer { delay, token } => {
                     let epoch = self.timer_epoch[i];
-                    self.push(done + delay, EvKind::TimerFire { dst: i, token, epoch });
+                    self.push(
+                        done + delay,
+                        EvKind::TimerFire {
+                            dst: i,
+                            token,
+                            epoch,
+                        },
+                    );
                 }
             }
         }
@@ -417,14 +452,27 @@ impl<M: Payload> Simulation<M> {
         self.now = ev.at;
         self.stats.events += 1;
         match ev.kind {
-            EvKind::Arrive { dst, from, msg, charged } => {
+            EvKind::Arrive {
+                dst,
+                from,
+                msg,
+                charged,
+            } => {
                 if self.crashed[dst] {
                     self.stats.lost += 1;
                 } else if !charged {
                     // Charge receiver-side NIC serialization in arrival
                     // order, then re-deliver when fully received.
                     let at = self.net.rx_admit(self.now, dst, msg.size_bytes());
-                    self.push(at, EvKind::Arrive { dst, from, msg, charged: true });
+                    self.push(
+                        at,
+                        EvKind::Arrive {
+                            dst,
+                            from,
+                            msg,
+                            charged: true,
+                        },
+                    );
                 } else {
                     self.inbox[dst].push_back(Incoming::Msg { from, msg });
                     self.schedule_process(dst);
@@ -530,7 +578,12 @@ mod tests {
     }
     impl Echo {
         fn new(cost_us: u64, reply: bool) -> Self {
-            Echo { received: Vec::new(), cost_us, reply, timer_fired: Vec::new() }
+            Echo {
+                received: Vec::new(),
+                cost_us,
+                reply,
+                timer_fired: Vec::new(),
+            }
         }
     }
     impl Actor<Ping> for Echo {
@@ -549,7 +602,10 @@ mod tests {
     }
 
     fn two_node_sim() -> (Simulation<Ping>, ActorId, ActorId) {
-        let cfg = NetConfig { jitter: 0.0, ..NetConfig::default() };
+        let cfg = NetConfig {
+            jitter: 0.0,
+            ..NetConfig::default()
+        };
         let mut sim = Simulation::new(cfg, 1);
         let a = sim.add_actor(Region::Oregon, Box::new(Echo::new(0, false)));
         let b = sim.add_actor(Region::Ohio, Box::new(Echo::new(0, true)));
@@ -583,7 +639,10 @@ mod tests {
 
     #[test]
     fn reply_latency_matches_one_way() {
-        let cfg = NetConfig { jitter: 0.0, ..NetConfig::default() };
+        let cfg = NetConfig {
+            jitter: 0.0,
+            ..NetConfig::default()
+        };
         let mut sim = Simulation::new(cfg, 1);
         let a = sim.add_actor(Region::Oregon, Box::new(Echo::new(0, true)));
         let b = sim.add_actor(Region::Ohio, Box::new(Echo::new(0, true)));
@@ -616,10 +675,20 @@ mod tests {
 
     #[test]
     fn ping_pong_round_trip_time() {
-        let cfg = NetConfig { jitter: 0.0, overhead_bytes: 0, ..NetConfig::default() };
+        let cfg = NetConfig {
+            jitter: 0.0,
+            overhead_bytes: 0,
+            ..NetConfig::default()
+        };
         let mut sim = Simulation::new(cfg, 1);
         let b_id = ActorId(1);
-        let a = sim.add_actor(Region::Oregon, Box::new(Starter { peer: b_id, got: Vec::new() }));
+        let a = sim.add_actor(
+            Region::Oregon,
+            Box::new(Starter {
+                peer: b_id,
+                got: Vec::new(),
+            }),
+        );
         let b = sim.add_actor(Region::Ohio, Box::new(Echo::new(0, true)));
         sim.start();
         sim.run_until(SimTime::from_millis(200));
@@ -639,7 +708,10 @@ mod tests {
     fn cpu_charge_serializes_processing() {
         // Two messages arriving together at a node with 10ms service time
         // finish 10ms apart; replies reflect that.
-        let cfg = NetConfig { jitter: 0.0, ..NetConfig::default() };
+        let cfg = NetConfig {
+            jitter: 0.0,
+            ..NetConfig::default()
+        };
         let mut sim = Simulation::new(cfg, 1);
         let n = sim.add_actor(Region::Oregon, Box::new(Echo::new(10_000, false)));
         sim.start();
@@ -668,7 +740,10 @@ mod tests {
             }
             impl_actor_any!();
         }
-        let cfg = NetConfig { jitter: 0.0, ..NetConfig::default() };
+        let cfg = NetConfig {
+            jitter: 0.0,
+            ..NetConfig::default()
+        };
         let mut sim = Simulation::new(cfg, 1);
         let n = sim.add_actor(Region::Oregon, Box::new(TimerActor { fired: Vec::new() }));
         // Crash between the two timers; only the first should fire, and the
@@ -701,12 +776,21 @@ mod tests {
             let cfg = NetConfig::default();
             let mut sim = Simulation::new(cfg, seed);
             let b_id = ActorId(1);
-            let _a = sim.add_actor(Region::Oregon, Box::new(Starter { peer: b_id, got: Vec::new() }));
+            let _a = sim.add_actor(
+                Region::Oregon,
+                Box::new(Starter {
+                    peer: b_id,
+                    got: Vec::new(),
+                }),
+            );
             let b = sim.add_actor(Region::Seoul, Box::new(Echo::new(5, true)));
             sim.start();
             sim.run_until(SimTime::from_secs(1));
             let e: &Echo = sim.actor(b);
-            e.received.iter().map(|r| r.2.as_nanos()).collect::<Vec<_>>()
+            e.received
+                .iter()
+                .map(|r| r.2.as_nanos())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(99), run(99));
         // Jitter makes different seeds differ.

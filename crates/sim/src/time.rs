@@ -217,8 +217,14 @@ mod tests {
         let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
         assert_eq!(t, SimTime::from_millis(15));
         assert_eq!(t - SimTime::from_millis(10), SimDuration::from_millis(5));
-        assert_eq!(SimDuration::from_millis(4) * 3, SimDuration::from_millis(12));
-        assert_eq!(SimDuration::from_millis(12) / 4, SimDuration::from_millis(3));
+        assert_eq!(
+            SimDuration::from_millis(4) * 3,
+            SimDuration::from_millis(12)
+        );
+        assert_eq!(
+            SimDuration::from_millis(12) / 4,
+            SimDuration::from_millis(3)
+        );
     }
 
     #[test]
@@ -226,7 +232,10 @@ mod tests {
         let a = SimTime::from_millis(3);
         let b = SimTime::from_millis(9);
         assert_eq!(b.since(a), SimDuration::from_millis(6));
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub struct Invariant {
 impl Invariant {
     /// Creates a named invariant.
     pub fn new(name: &str, expr: Expr) -> Self {
-        Invariant { name: name.into(), expr }
+        Invariant {
+            name: name.into(),
+            expr,
+        }
     }
 }
 
@@ -37,7 +40,10 @@ pub struct Limits {
 
 impl Default for Limits {
     fn default() -> Self {
-        Limits { max_states: 200_000, max_depth: usize::MAX }
+        Limits {
+            max_states: 200_000,
+            max_depth: usize::MAX,
+        }
     }
 }
 
@@ -126,7 +132,12 @@ pub fn explore(spec: &Spec, invariants: &[Invariant], limits: Limits) -> CheckRe
     seen.insert(spec.init.clone());
     queue.push_back((spec.init.clone(), 0));
     if let Some(v) = check(&spec.init, 0) {
-        return CheckReport { states: 1, transitions: 0, depth: 0, verdict: v };
+        return CheckReport {
+            states: 1,
+            transitions: 0,
+            depth: 0,
+            verdict: v,
+        };
     }
 
     while let Some((state, depth)) = queue.pop_front() {
@@ -159,7 +170,12 @@ pub fn explore(spec: &Spec, invariants: &[Invariant], limits: Limits) -> CheckRe
             queue.push_back((t.next, depth + 1));
         }
     }
-    CheckReport { states: seen.len(), transitions, depth: max_depth, verdict: Verdict::Exhausted }
+    CheckReport {
+        states: seen.len(),
+        transitions,
+        depth: max_depth,
+        verdict: Verdict::Exhausted,
+    }
 }
 
 /// Collects the reachable states (within limits) — used by the
@@ -223,9 +239,16 @@ mod tests {
         let inv = Invariant::new("x <= 4", le(var(0), int(4)));
         let report = explore(&spec, &[inv], Limits::default());
         match report.verdict {
-            Verdict::Violated { invariant, state, depth } => {
+            Verdict::Violated {
+                invariant,
+                state,
+                depth,
+            } => {
                 assert_eq!(invariant, "x <= 4");
-                assert!(state.contains("x = 5") || state.contains("x = 6"), "{state}");
+                assert!(
+                    state.contains("x = 5") || state.contains("x = 6"),
+                    "{state}"
+                );
                 assert!(depth >= 3);
             }
             other => panic!("expected violation, got {other:?}"),
@@ -244,7 +267,14 @@ mod tests {
     #[test]
     fn budget_stops_exploration() {
         let spec = counter(1_000_000);
-        let report = explore(&spec, &[], Limits { max_states: 50, max_depth: usize::MAX });
+        let report = explore(
+            &spec,
+            &[],
+            Limits {
+                max_states: 50,
+                max_depth: usize::MAX,
+            },
+        );
         assert_eq!(report.verdict, Verdict::BudgetReached);
         assert_eq!(report.states, 50);
     }
@@ -252,7 +282,14 @@ mod tests {
     #[test]
     fn depth_limit_restricts() {
         let spec = counter(100);
-        let report = explore(&spec, &[], Limits { max_states: 10_000, max_depth: 3 });
+        let report = explore(
+            &spec,
+            &[],
+            Limits {
+                max_states: 10_000,
+                max_depth: 3,
+            },
+        );
         assert_eq!(report.verdict, Verdict::Exhausted);
         // Depth 3 with +2 steps reaches at most 6.
         assert!(report.states <= 8);

@@ -102,11 +102,19 @@ pub struct Env<'a> {
 impl<'a> Env<'a> {
     /// Environment over a state with no parameters.
     pub fn of_state(state: &'a [Value]) -> Env<'a> {
-        Env { state, params: &[], locals: Vec::new() }
+        Env {
+            state,
+            params: &[],
+            locals: Vec::new(),
+        }
     }
 
     fn lookup(&self, name: &str) -> Option<&Value> {
-        self.locals.iter().rev().find(|(n, _)| &**n == name).map(|(_, v)| v)
+        self.locals
+            .iter()
+            .rev()
+            .find(|(n, _)| &**n == name)
+            .map(|(_, v)| v)
     }
 }
 
@@ -155,12 +163,14 @@ impl Expr {
                 }
                 Ok(Value::Bool(false))
             }
-            Expr::Implies(a, b) => {
-                Ok(Value::Bool(!a.eval(env)?.as_bool()? || b.eval(env)?.as_bool()?))
-            }
+            Expr::Implies(a, b) => Ok(Value::Bool(
+                !a.eval(env)?.as_bool()? || b.eval(env)?.as_bool()?,
+            )),
             Expr::Eq(a, b) => Ok(Value::Bool(a.eval(env)? == b.eval(env)?)),
             Expr::Lt(a, b) => Ok(Value::Bool(a.eval(env)?.as_int()? < b.eval(env)?.as_int()?)),
-            Expr::Le(a, b) => Ok(Value::Bool(a.eval(env)?.as_int()? <= b.eval(env)?.as_int()?)),
+            Expr::Le(a, b) => Ok(Value::Bool(
+                a.eval(env)?.as_int()? <= b.eval(env)?.as_int()?,
+            )),
             Expr::Add(a, b) => Ok(Value::Int(a.eval(env)?.as_int()? + b.eval(env)?.as_int()?)),
             Expr::Sub(a, b) => Ok(Value::Int(a.eval(env)?.as_int()? - b.eval(env)?.as_int()?)),
             Expr::Mod(a, b) => {
@@ -170,9 +180,9 @@ impl Expr {
                 }
                 Ok(Value::Int(a.eval(env)?.as_int()?.rem_euclid(d)))
             }
-            Expr::Max(a, b) => {
-                Ok(Value::Int(a.eval(env)?.as_int()?.max(b.eval(env)?.as_int()?)))
-            }
+            Expr::Max(a, b) => Ok(Value::Int(
+                a.eval(env)?.as_int()?.max(b.eval(env)?.as_int()?),
+            )),
             Expr::Ite(c, t, e) => {
                 if c.eval(env)?.as_bool()? {
                     t.eval(env)
@@ -190,7 +200,9 @@ impl Expr {
             Expr::Nth(e, i) => {
                 let v = e.eval(env)?;
                 let t = v.as_tuple()?;
-                t.get(*i).cloned().ok_or_else(|| format!("tuple index {i} out of range"))
+                t.get(*i)
+                    .cloned()
+                    .ok_or_else(|| format!("tuple index {i} out of range"))
             }
             Expr::SetLit(es) => {
                 let mut out = BTreeSet::new();
@@ -315,7 +327,11 @@ impl Expr {
         param_map: &dyn Fn(usize) -> Option<Expr>,
     ) -> Expr {
         let s = |e: &Expr| Box::new(e.substitute(var_map, param_map));
-        let sv = |es: &[Expr]| es.iter().map(|e| e.substitute(var_map, param_map)).collect();
+        let sv = |es: &[Expr]| {
+            es.iter()
+                .map(|e| e.substitute(var_map, param_map))
+                .collect()
+        };
         match self {
             Expr::Const(v) => Expr::Const(v.clone()),
             Expr::Var(i) => var_map(*i).unwrap_or(Expr::Var(*i)),
@@ -538,7 +554,12 @@ pub fn exists(name: &str, dom: Expr, body: Expr) -> Expr {
 
 /// Maximum of `body` over `dom`, `default` when empty.
 pub fn max_over(name: &str, dom: Expr, body: Expr, default: Expr) -> Expr {
-    Expr::MaxOver(Rc::from(name), Box::new(dom), Box::new(body), Box::new(default))
+    Expr::MaxOver(
+        Rc::from(name),
+        Box::new(dom),
+        Box::new(body),
+        Box::new(default),
+    )
 }
 
 /// If-then-else.
@@ -556,20 +577,38 @@ mod tests {
 
     #[test]
     fn boolean_connectives() {
-        assert_eq!(ev(&and(vec![boolean(true), boolean(true)])), Value::Bool(true));
-        assert_eq!(ev(&and(vec![boolean(true), boolean(false)])), Value::Bool(false));
+        assert_eq!(
+            ev(&and(vec![boolean(true), boolean(true)])),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            ev(&and(vec![boolean(true), boolean(false)])),
+            Value::Bool(false)
+        );
         assert_eq!(ev(&or(vec![])), Value::Bool(false));
         assert_eq!(ev(&and(vec![])), Value::Bool(true));
-        assert_eq!(ev(&implies(boolean(false), boolean(false))), Value::Bool(true));
+        assert_eq!(
+            ev(&implies(boolean(false), boolean(false))),
+            Value::Bool(true)
+        );
         assert_eq!(ev(&not(boolean(true))), Value::Bool(false));
     }
 
     #[test]
     fn arithmetic_and_comparison() {
         assert_eq!(ev(&add(int(2), int(3))), Value::Int(5));
-        assert_eq!(ev(&Expr::Sub(Box::new(int(2)), Box::new(int(3)))), Value::Int(-1));
-        assert_eq!(ev(&Expr::Mod(Box::new(int(7)), Box::new(int(3)))), Value::Int(1));
-        assert_eq!(ev(&Expr::Max(Box::new(int(7)), Box::new(int(3)))), Value::Int(7));
+        assert_eq!(
+            ev(&Expr::Sub(Box::new(int(2)), Box::new(int(3)))),
+            Value::Int(-1)
+        );
+        assert_eq!(
+            ev(&Expr::Mod(Box::new(int(7)), Box::new(int(3)))),
+            Value::Int(1)
+        );
+        assert_eq!(
+            ev(&Expr::Max(Box::new(int(7)), Box::new(int(3)))),
+            Value::Int(7)
+        );
         assert_eq!(ev(&lt(int(1), int(2))), Value::Bool(true));
         assert_eq!(ev(&ge(int(2), int(2))), Value::Bool(true));
     }
@@ -578,45 +617,77 @@ mod tests {
     fn state_and_params() {
         let state = vec![Value::Int(10)];
         let params = vec![Value::Int(4)];
-        let mut env = Env { state: &state, params: &params, locals: Vec::new() };
-        assert_eq!(add(var(0), param(0)).eval(&mut env).unwrap(), Value::Int(14));
+        let mut env = Env {
+            state: &state,
+            params: &params,
+            locals: Vec::new(),
+        };
+        assert_eq!(
+            add(var(0), param(0)).eval(&mut env).unwrap(),
+            Value::Int(14)
+        );
         assert!(var(3).eval(&mut env).is_err());
     }
 
     #[test]
     fn functions_apply_and_update() {
-        let f = Value::fun([(Value::Int(1), Value::Int(10)), (Value::Int(2), Value::Int(20))]);
+        let f = Value::fun([
+            (Value::Int(1), Value::Int(10)),
+            (Value::Int(2), Value::Int(20)),
+        ]);
         let state = vec![f];
         let mut env = Env::of_state(&state);
         assert_eq!(app(var(0), int(2)).eval(&mut env).unwrap(), Value::Int(20));
         let updated = fun_set(var(0), int(1), int(99)).eval(&mut env).unwrap();
         assert_eq!(updated.as_fun().unwrap()[&Value::Int(1)], Value::Int(99));
-        assert!(app(var(0), int(9)).eval(&mut env).is_err(), "outside domain");
+        assert!(
+            app(var(0), int(9)).eval(&mut env).is_err(),
+            "outside domain"
+        );
     }
 
     #[test]
     fn fun_build_and_nested_update() {
         let mut env = Env::of_state(&[]);
-        let f = fun_build("x", Expr::Const(Value::int_range(1, 3)), add(local("x"), int(10)))
-            .eval(&mut env)
-            .unwrap();
+        let f = fun_build(
+            "x",
+            Expr::Const(Value::int_range(1, 3)),
+            add(local("x"), int(10)),
+        )
+        .eval(&mut env)
+        .unwrap();
         assert_eq!(f.as_fun().unwrap()[&Value::Int(2)], Value::Int(12));
         // Nested: g = [1 |-> f]; g[1][2] = 0
         let g = Value::fun([(Value::Int(1), f)]);
         let state = vec![g];
         let mut env = Env::of_state(&state);
-        let g2 = fun_set2(var(0), int(1), int(2), int(0)).eval(&mut env).unwrap();
+        let g2 = fun_set2(var(0), int(1), int(2), int(0))
+            .eval(&mut env)
+            .unwrap();
         let inner = g2.as_fun().unwrap()[&Value::Int(1)].clone();
         assert_eq!(inner.as_fun().unwrap()[&Value::Int(2)], Value::Int(0));
-        assert_eq!(inner.as_fun().unwrap()[&Value::Int(3)], Value::Int(13), "others kept");
+        assert_eq!(
+            inner.as_fun().unwrap()[&Value::Int(3)],
+            Value::Int(13),
+            "others kept"
+        );
     }
 
     #[test]
     fn quantifiers_and_comprehensions() {
         let dom = Expr::Const(Value::int_range(1, 4));
-        assert_eq!(ev(&forall("x", dom.clone(), gt(local("x"), int(0)))), Value::Bool(true));
-        assert_eq!(ev(&exists("x", dom.clone(), gt(local("x"), int(3)))), Value::Bool(true));
-        assert_eq!(ev(&exists("x", dom.clone(), gt(local("x"), int(4)))), Value::Bool(false));
+        assert_eq!(
+            ev(&forall("x", dom.clone(), gt(local("x"), int(0)))),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            ev(&exists("x", dom.clone(), gt(local("x"), int(3)))),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            ev(&exists("x", dom.clone(), gt(local("x"), int(4)))),
+            Value::Bool(false)
+        );
         let doubled = Expr::SetMap(
             "x".into(),
             Box::new(dom.clone()),
@@ -626,12 +697,20 @@ mod tests {
         let evens = Expr::SetFilter(
             "x".into(),
             Box::new(dom.clone()),
-            Box::new(eq(Expr::Mod(Box::new(local("x")), Box::new(int(2))), int(0))),
+            Box::new(eq(
+                Expr::Mod(Box::new(local("x")), Box::new(int(2))),
+                int(0),
+            )),
         );
         assert_eq!(ev(&evens), Value::set([2, 4].map(Value::Int)));
         assert_eq!(ev(&max_over("x", dom, local("x"), int(-1))), Value::Int(4));
         assert_eq!(
-            ev(&max_over("x", Expr::Const(Value::set([])), local("x"), int(-1))),
+            ev(&max_over(
+                "x",
+                Expr::Const(Value::set([])),
+                local("x"),
+                int(-1)
+            )),
             Value::Int(-1)
         );
     }
@@ -643,7 +722,10 @@ mod tests {
         let s = Expr::SetLit(vec![int(1), int(2), int(1)]);
         assert_eq!(ev(&Expr::Card(Box::new(s.clone()))), Value::Int(2));
         assert_eq!(ev(&contains(s.clone(), int(2))), Value::Bool(true));
-        assert_eq!(ev(&set_insert(s, int(5))), Value::set([1, 2, 5].map(Value::Int)));
+        assert_eq!(
+            ev(&set_insert(s, int(5))),
+            Value::set([1, 2, 5].map(Value::Int))
+        );
     }
 
     #[test]
@@ -651,7 +733,13 @@ mod tests {
         // (var 0 + param 1) with var0 := param0 + 1, param1 := var 2
         let e = add(var(0), param(1));
         let sub = e.substitute(
-            &|i| if i == 0 { Some(add(param(0), int(1))) } else { None },
+            &|i| {
+                if i == 0 {
+                    Some(add(param(0), int(1)))
+                } else {
+                    None
+                }
+            },
             &|i| if i == 1 { Some(var(2)) } else { None },
         );
         assert_eq!(sub, add(add(param(0), int(1)), var(2)));
@@ -666,7 +754,10 @@ mod tests {
 
     #[test]
     fn vars_read_collects() {
-        let e = and(vec![eq(var(1), int(0)), forall("x", var(3), contains(var(4), local("x")))]);
+        let e = and(vec![
+            eq(var(1), int(0)),
+            forall("x", var(3), contains(var(4), local("x"))),
+        ]);
         let mut out = BTreeSet::new();
         e.vars_read(&mut out);
         assert_eq!(out, BTreeSet::from([1, 3, 4]));

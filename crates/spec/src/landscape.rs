@@ -152,14 +152,17 @@ pub fn render() -> String {
 pub fn mechanical_verdicts() -> Vec<(String, bool)> {
     let mp_cfg = MpConfig::default();
     let mp = crate::specs::multipaxos::spec(&mp_cfg);
-    let pql_ok = crate::specs::pql::delta(&mp_cfg).check_non_mutating(&mp).is_ok();
+    let pql_ok = crate::specs::pql::delta(&mp_cfg)
+        .check_non_mutating(&mp)
+        .is_ok();
     let m_cfg = MpConfig {
         values: vec![1, crate::specs::mencius::NOOP],
         ..MpConfig::default()
     };
     let mp2 = crate::specs::multipaxos::spec(&m_cfg);
-    let mencius_ok =
-        crate::specs::mencius::delta(&m_cfg).check_non_mutating(&mp2).is_ok();
+    let mencius_ok = crate::specs::mencius::delta(&m_cfg)
+        .check_non_mutating(&mp2)
+        .is_ok();
     vec![
         ("Paxos Quorum Lease".into(), pql_ok),
         ("Mencius (Coordinated Paxos)".into(), mencius_ok),
@@ -180,12 +183,20 @@ mod tests {
     #[test]
     fn landscape_matches_paper_counts() {
         let l = landscape();
-        let non_mutating = l.iter().filter(|e| e.relation == Relation::NonMutating).count();
+        let non_mutating = l
+            .iter()
+            .filter(|e| e.relation == Relation::NonMutating)
+            .count();
         // The paper: "6 protocols belong to the class of non-mutating
         // optimization on Paxos" (plus the two case studies).
         assert!(non_mutating >= 6);
         assert!(l.iter().any(|e| e.relation == Relation::GeneralizedByPaxos));
-        assert!(l.iter().filter(|e| e.relation == Relation::Mutating).count() >= 5);
+        assert!(
+            l.iter()
+                .filter(|e| e.relation == Relation::Mutating)
+                .count()
+                >= 5
+        );
     }
 
     #[test]

@@ -86,7 +86,12 @@ impl OptDelta {
                 a.name
             );
         }
-        Spec { name: format!("{}+∆", a.name), vars, init, actions }
+        Spec {
+            name: format!("{}+∆", a.name),
+            vars,
+            init,
+            actions,
+        }
     }
 
     /// Section 4.2's check: the delta never mutates `Var_A`.
@@ -245,10 +250,20 @@ pub fn port(a: &Spec, delta: &OptDelta, b: &Spec, map: &PortMap) -> Result<Spec,
                 *e = e.substitute(&remap_var, &|_| None);
             }
         }
-        actions.push(ActionSchema { name: added.name.clone(), params, guard, updates });
+        actions.push(ActionSchema {
+            name: added.name.clone(),
+            params,
+            guard,
+            updates,
+        });
     }
 
-    let spec = Spec { name: format!("{}+∆(ported)", b.name), vars, init, actions };
+    let spec = Spec {
+        name: format!("{}+∆(ported)", b.name),
+        vars,
+        init,
+        actions,
+    };
     spec.validate()?;
     Ok(spec)
 }
@@ -363,7 +378,9 @@ mod tests {
 
     fn tiny_map() -> PortMap {
         PortMap {
-            state_map: StateMap { exprs: vec![var(0)] },
+            state_map: StateMap {
+                exprs: vec![var(0)],
+            },
             action_map: vec![("SetBoth".into(), "Set".into())],
             param_maps: vec![vec![param(0)]],
         }
@@ -400,7 +417,11 @@ mod tests {
         let ts = bd.transitions(&bd.init).unwrap();
         assert_eq!(ts.len(), 2);
         for t in &ts {
-            assert_eq!(t.next[2], Value::Int(1), "count incremented by ported clause");
+            assert_eq!(
+                t.next[2],
+                Value::Int(1),
+                "count incremented by ported clause"
+            );
             assert_eq!(t.next[0], t.next[1], "original B behaviour preserved");
         }
     }
@@ -418,8 +439,7 @@ mod tests {
         let ext = extended_map(&a, &b, &delta, &tiny_map().state_map);
         check_refinement(&bd, &ad, &ext, Limits::default()).expect("B∆ refines A∆");
         // B∆ ⇒ B by dropping ∆ vars.
-        check_refinement(&bd, &b, &projection_map(&b), Limits::default())
-            .expect("B∆ refines B");
+        check_refinement(&bd, &b, &projection_map(&b), Limits::default()).expect("B∆ refines B");
     }
 
     #[test]

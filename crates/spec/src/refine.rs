@@ -24,7 +24,9 @@ impl StateMap {
     /// The identity-prefix map: A-var `i` := B-var `i` (for specs whose
     /// variable lists share a prefix).
     pub fn identity(n: usize) -> StateMap {
-        StateMap { exprs: (0..n).map(Expr::Var).collect() }
+        StateMap {
+            exprs: (0..n).map(Expr::Var).collect(),
+        }
     }
 
     /// Applies the map to a B state.
@@ -106,7 +108,8 @@ pub fn check_refinement(
     // Sanity: the initial states correspond.
     let mapped_init = map.apply(&b.init).expect("map applies to init");
     assert_eq!(
-        mapped_init, a.init,
+        mapped_init,
+        a.init,
         "f(Init_B) must equal Init_A (got {} expected {})",
         render(a, &mapped_init),
         render(a, &a.init)
@@ -128,7 +131,10 @@ pub fn check_refinement(
             let mapped_post = map.apply(&t.next).expect("map applies");
             if mapped_post == mapped_pre {
                 stutters += 1;
-            } else if !a.admits(&mapped_pre, &mapped_post).expect("A transitions evaluate") {
+            } else if !a
+                .admits(&mapped_pre, &mapped_post)
+                .expect("A transitions evaluate")
+            {
                 return Err(RefinementError {
                     b_action: b.actions[t.action].name.clone(),
                     mapped_pre: render(a, &mapped_pre),
@@ -145,7 +151,12 @@ pub fn check_refinement(
             }
         }
     }
-    Ok(RefinementReport { b_states: seen.len(), b_transitions, stutters, exhausted })
+    Ok(RefinementReport {
+        b_states: seen.len(),
+        b_transitions,
+        stutters,
+        exhausted,
+    })
 }
 
 #[cfg(test)]
@@ -182,7 +193,10 @@ mod tests {
                     guard: lt(var(0), int(4)),
                     updates: vec![
                         (0, add(var(0), int(1))),
-                        (1, Expr::Mod(Box::new(add(var(1), int(1))), Box::new(int(2)))),
+                        (
+                            1,
+                            Expr::Mod(Box::new(add(var(1), int(1))), Box::new(int(2))),
+                        ),
                     ],
                 },
                 ActionSchema {
@@ -197,7 +211,9 @@ mod tests {
 
     #[test]
     fn b_refines_a_by_projection() {
-        let map = StateMap { exprs: vec![var(0)] };
+        let map = StateMap {
+            exprs: vec![var(0)],
+        };
         let report = check_refinement(&spec_b(), &spec_a(), &map, Limits::default()).unwrap();
         assert!(report.exhausted);
         assert!(report.b_states >= 5);
@@ -216,7 +232,9 @@ mod tests {
         });
         // Changing parity independently breaks the parity invariant but
         // not the refinement to A (parity is not mapped).
-        let map = StateMap { exprs: vec![var(0)] };
+        let map = StateMap {
+            exprs: vec![var(0)],
+        };
         let report = check_refinement(&b, &spec_a(), &map, Limits::default()).unwrap();
         assert!(report.stutters > 0);
     }
@@ -231,7 +249,9 @@ mod tests {
             guard: lt(var(0), int(3)),
             updates: vec![(0, add(var(0), int(2)))],
         });
-        let map = StateMap { exprs: vec![var(0)] };
+        let map = StateMap {
+            exprs: vec![var(0)],
+        };
         let err = check_refinement(&b, &spec_a(), &map, Limits::default()).unwrap_err();
         assert_eq!(err.b_action, "Jump");
         assert!(err.to_string().contains("impossible"));
@@ -242,7 +262,9 @@ mod tests {
     fn init_mismatch_panics() {
         let mut b = spec_b();
         b.init[0] = Value::Int(7);
-        let map = StateMap { exprs: vec![var(0)] };
+        let map = StateMap {
+            exprs: vec![var(0)],
+        };
         let _ = check_refinement(&b, &spec_a(), &map, Limits::default());
     }
 
@@ -261,7 +283,9 @@ mod tests {
                 updates: vec![(0, add(var(0), int(1)))],
             }],
         };
-        let map = StateMap { exprs: vec![add(var(0), var(1))] };
+        let map = StateMap {
+            exprs: vec![add(var(0), var(1))],
+        };
         let report = check_refinement(&b2, &spec_a(), &map, Limits::default()).unwrap();
         assert!(report.exhausted);
         let _ = param(0);

@@ -100,7 +100,10 @@ pub struct Transition {
 impl Spec {
     /// Looks up an action by name.
     pub fn action(&self, name: &str) -> Option<(usize, &ActionSchema)> {
-        self.actions.iter().enumerate().find(|(_, a)| a.name == name)
+        self.actions
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.name == name)
     }
 
     /// Validates internal consistency (update indices in range).
@@ -120,7 +123,10 @@ impl Spec {
         for a in &self.actions {
             for (i, _) in &a.updates {
                 if *i >= self.vars.len() {
-                    return Err(format!("{}: action {} updates unknown var {}", self.name, a.name, i));
+                    return Err(format!(
+                        "{}: action {} updates unknown var {}",
+                        self.name, a.name, i
+                    ));
                 }
             }
         }
@@ -144,9 +150,16 @@ impl Spec {
                 if domains.iter().any(|d| d.is_empty()) {
                     break;
                 }
-                let params: Vec<Value> =
-                    idx.iter().zip(&domains).map(|(&i, d)| d[i].clone()).collect();
-                let mut env = Env { state, params: &params, locals: Vec::new() };
+                let params: Vec<Value> = idx
+                    .iter()
+                    .zip(&domains)
+                    .map(|(&i, d)| d[i].clone())
+                    .collect();
+                let mut env = Env {
+                    state,
+                    params: &params,
+                    locals: Vec::new(),
+                };
                 let enabled = action
                     .guard
                     .eval(&mut env)
@@ -155,13 +168,21 @@ impl Spec {
                 if enabled {
                     let mut next = state.clone();
                     for (vi, expr) in &action.updates {
-                        let mut env = Env { state, params: &params, locals: Vec::new() };
-                        next[*vi] = expr
-                            .eval(&mut env)
-                            .map_err(|e| format!("{}/{}: update {vi}: {e}", self.name, action.name))?;
+                        let mut env = Env {
+                            state,
+                            params: &params,
+                            locals: Vec::new(),
+                        };
+                        next[*vi] = expr.eval(&mut env).map_err(|e| {
+                            format!("{}/{}: update {vi}: {e}", self.name, action.name)
+                        })?;
                     }
                     if &next != state {
-                        out.push(Transition { action: ai, params, next });
+                        out.push(Transition {
+                            action: ai,
+                            params,
+                            next,
+                        });
                     }
                 }
                 // Advance the parameter odometer.
@@ -223,7 +244,10 @@ mod tests {
                 ActionSchema {
                     name: "SetFlag".into(),
                     params: vec![],
-                    guard: and(vec![eq(var(0), int(3)), eq(var(1), Expr::Const(Value::Bool(false)))]),
+                    guard: and(vec![
+                        eq(var(0), int(3)),
+                        eq(var(1), Expr::Const(Value::Bool(false))),
+                    ]),
                     updates: vec![(1, Expr::Const(Value::Bool(true)))],
                 },
             ],

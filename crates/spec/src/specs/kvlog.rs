@@ -97,8 +97,13 @@ pub fn size_delta() -> OptDelta {
 /// `Get(k := i)`.
 pub fn port_map() -> PortMap {
     PortMap {
-        state_map: StateMap { exprs: vec![var(0), var(1)] },
-        action_map: vec![("Write".into(), "Put".into()), ("Read".into(), "Get".into())],
+        state_map: StateMap {
+            exprs: vec![var(0), var(1)],
+        },
+        action_map: vec![
+            ("Write".into(), "Put".into()),
+            ("Read".into(), "Get".into()),
+        ],
         param_maps: vec![vec![param(0), param(1)], vec![param(0)]],
     }
 }
@@ -109,7 +114,11 @@ pub fn log_store_with_size_by_hand() -> Spec {
     spec.name = "LogStore+∆(hand)".into();
     spec.vars.push("size".into());
     spec.init.push(Value::Int(0));
-    let write = spec.actions.iter_mut().find(|a| a.name == "Write").expect("Write exists");
+    let write = spec
+        .actions
+        .iter_mut()
+        .find(|a| a.name == "Write")
+        .expect("Write exists");
     write.guard = and(vec![write.guard.clone(), eq(app(var(0), param(0)), int(0))]);
     write.updates.push((2, add(var(2), int(1))));
     spec
@@ -163,7 +172,11 @@ mod tests {
                 not(eq(app(var(0), add(local("i"), int(-1))), int(0))),
             ),
         );
-        let report = explore(&b, &[Invariant::new("contiguous", contiguous)], Limits::default());
+        let report = explore(
+            &b,
+            &[Invariant::new("contiguous", contiguous)],
+            Limits::default(),
+        );
         assert!(report.ok());
     }
 
@@ -217,7 +230,11 @@ mod tests {
             )));
             eq(var(2), filled)
         };
-        let report = explore(&bd, &[Invariant::new("size=filled", size_correct)], Limits::default());
+        let report = explore(
+            &bd,
+            &[Invariant::new("size=filled", size_correct)],
+            Limits::default(),
+        );
         assert!(report.ok(), "{:?}", report.verdict);
         let _ = le(int(0), int(1));
     }

@@ -29,8 +29,8 @@
 use std::collections::BTreeSet;
 
 use crate::expr::{
-    and, app, app2, contains, eq, exists, forall, fun_build, fun_set, gt, int, ite, le, local,
-    lt, max_over, nth, or, param, set_insert, tuple, var, Expr,
+    and, app, app2, contains, eq, exists, forall, fun_build, fun_set, gt, int, ite, le, local, lt,
+    max_over, nth, or, param, set_insert, tuple, var, Expr,
 };
 use crate::spec::{ActionSchema, Domain, Spec};
 use crate::value::Value;
@@ -61,7 +61,12 @@ pub struct MpConfig {
 
 impl Default for MpConfig {
     fn default() -> Self {
-        MpConfig { n: 3, max_ballot: 3, slots: 1, values: vec![1] }
+        MpConfig {
+            n: 3,
+            max_ballot: 3,
+            slots: 1,
+            values: vec![1],
+        }
     }
 }
 
@@ -88,8 +93,10 @@ impl MpConfig {
         let mut out = BTreeSet::new();
         for mask in 0u32..(1 << n) {
             if mask.count_ones() as usize >= need {
-                let q: BTreeSet<Value> =
-                    (0..n).filter(|i| mask >> i & 1 == 1).map(|i| Value::Int(i as i64)).collect();
+                let q: BTreeSet<Value> = (0..n)
+                    .filter(|i| mask >> i & 1 == 1)
+                    .map(|i| Value::Int(i as i64))
+                    .collect();
                 out.insert(Value::Set(q));
             }
         }
@@ -132,14 +139,20 @@ fn safe_entry_guard(_cfg: &MpConfig, q_param: usize, e: Expr, s_expr: Expr) -> E
     and(vec![
         eq(nth(e.clone(), 0), max_bal),
         or(vec![
-            and(vec![eq(nth(e.clone(), 0), int(0)), eq(nth(e.clone(), 1), int(0))]),
+            and(vec![
+                eq(nth(e.clone(), 0), int(0)),
+                eq(nth(e.clone(), 1), int(0)),
+            ]),
             and(vec![
                 gt(nth(e.clone(), 0), int(0)),
                 exists(
                     "q",
                     param(q_param),
                     and(vec![
-                        eq(app2(var(ABAL), local("q"), s_expr.clone()), nth(e.clone(), 0)),
+                        eq(
+                            app2(var(ABAL), local("q"), s_expr.clone()),
+                            nth(e.clone(), 0),
+                        ),
                         eq(app2(var(AVAL), local("q"), s_expr), nth(e, 1)),
                     ]),
                 ),
@@ -158,9 +171,15 @@ pub fn spec(cfg: &MpConfig) -> Spec {
     // ---- Phase1(a, b, Q, e_1 .. e_S) ------------------------------
     // Params: 0 = a, 1 = b, 2 = Q, 3.. = per-slot safe entries.
     let mut p1_params = vec![
-        ("a".to_string(), Domain::Const(cfg.acceptors().as_set().unwrap().clone())),
+        (
+            "a".to_string(),
+            Domain::Const(cfg.acceptors().as_set().unwrap().clone()),
+        ),
         ("b".to_string(), Domain::ints(1, cfg.max_ballot)),
-        ("Q".to_string(), Domain::Const(cfg.quorums().as_set().unwrap().clone())),
+        (
+            "Q".to_string(),
+            Domain::Const(cfg.quorums().as_set().unwrap().clone()),
+        ),
     ];
     for s in 1..=cfg.slots {
         p1_params.push((format!("e{s}"), cfg.entry_domain()));
@@ -179,7 +198,11 @@ pub fn spec(cfg: &MpConfig) -> Spec {
         // FunBuild over slots, selecting nth(e_s, field) per slot.
         let mut body = int(0);
         for s in (1..=cfg.slots).rev() {
-            body = ite(eq(local("s"), int(s)), nth(param(2 + s as usize), field), body);
+            body = ite(
+                eq(local("s"), int(s)),
+                nth(param(2 + s as usize), field),
+                body,
+            );
         }
         fun_build("s", slots.clone(), body)
     };
@@ -193,7 +216,11 @@ pub fn spec(cfg: &MpConfig) -> Spec {
                 fun_build(
                     "x",
                     acc.clone(),
-                    ite(contains(param(2), local("x")), param(1), app(var(BAL), local("x"))),
+                    ite(
+                        contains(param(2), local("x")),
+                        param(1),
+                        app(var(BAL), local("x")),
+                    ),
                 ),
             ),
             (
@@ -223,9 +250,15 @@ pub fn spec(cfg: &MpConfig) -> Spec {
     let propose = ActionSchema {
         name: "Propose".into(),
         params: vec![
-            ("a".to_string(), Domain::Const(cfg.acceptors().as_set().unwrap().clone())),
+            (
+                "a".to_string(),
+                Domain::Const(cfg.acceptors().as_set().unwrap().clone()),
+            ),
             ("s".to_string(), Domain::ints(1, cfg.slots)),
-            ("v".to_string(), Domain::Const(cfg.value_set().as_set().unwrap().clone())),
+            (
+                "v".to_string(),
+                Domain::Const(cfg.value_set().as_set().unwrap().clone()),
+            ),
         ],
         guard: and(vec![
             app(var(LDR), param(0)),
@@ -235,8 +268,14 @@ pub fn spec(cfg: &MpConfig) -> Spec {
             ]),
         ]),
         updates: vec![
-            (ABAL, crate::expr::fun_set2(var(ABAL), param(0), param(1), app(var(BAL), param(0)))),
-            (AVAL, crate::expr::fun_set2(var(AVAL), param(0), param(1), param(2))),
+            (
+                ABAL,
+                crate::expr::fun_set2(var(ABAL), param(0), param(1), app(var(BAL), param(0))),
+            ),
+            (
+                AVAL,
+                crate::expr::fun_set2(var(AVAL), param(0), param(1), param(2)),
+            ),
             (
                 VOTES,
                 crate::expr::fun_set2(
@@ -255,7 +294,10 @@ pub fn spec(cfg: &MpConfig) -> Spec {
     // ---- AcceptOne(q, a, s) ---------------------------------------
     let active = |s_expr: Expr| -> Expr {
         and(vec![
-            Expr::Not(Box::new(eq(app2(var(AVAL), param(1), s_expr.clone()), int(0)))),
+            Expr::Not(Box::new(eq(
+                app2(var(AVAL), param(1), s_expr.clone()),
+                int(0),
+            ))),
             eq(app2(var(ABAL), param(1), s_expr), app(var(BAL), param(1))),
         ])
     };
@@ -271,8 +313,14 @@ pub fn spec(cfg: &MpConfig) -> Spec {
     let accept_one = ActionSchema {
         name: "AcceptOne".into(),
         params: vec![
-            ("q".to_string(), Domain::Const(cfg.acceptors().as_set().unwrap().clone())),
-            ("a".to_string(), Domain::Const(cfg.acceptors().as_set().unwrap().clone())),
+            (
+                "q".to_string(),
+                Domain::Const(cfg.acceptors().as_set().unwrap().clone()),
+            ),
+            (
+                "a".to_string(),
+                Domain::Const(cfg.acceptors().as_set().unwrap().clone()),
+            ),
             ("s".to_string(), Domain::ints(1, cfg.slots)),
         ],
         guard: and(vec![
@@ -378,8 +426,14 @@ pub fn spec(cfg: &MpConfig) -> Spec {
     let accept_all = ActionSchema {
         name: "AcceptAll".into(),
         params: vec![
-            ("q".to_string(), Domain::Const(cfg.acceptors().as_set().unwrap().clone())),
-            ("a".to_string(), Domain::Const(cfg.acceptors().as_set().unwrap().clone())),
+            (
+                "q".to_string(),
+                Domain::Const(cfg.acceptors().as_set().unwrap().clone()),
+            ),
+            (
+                "a".to_string(),
+                Domain::Const(cfg.acceptors().as_set().unwrap().clone()),
+            ),
         ],
         guard: and(vec![
             app(var(LDR), param(1)),
@@ -400,7 +454,13 @@ pub fn spec(cfg: &MpConfig) -> Spec {
     ));
     Spec {
         name: "MultiPaxos".into(),
-        vars: vec!["bal".into(), "ldr".into(), "abal".into(), "aval".into(), "votes".into()],
+        vars: vec![
+            "bal".into(),
+            "ldr".into(),
+            "abal".into(),
+            "aval".into(),
+            "votes".into(),
+        ],
         init: vec![
             cfg.per_acceptor(Value::Int(0)),
             cfg.per_acceptor(Value::Bool(false)),
@@ -420,7 +480,10 @@ pub fn chosen_expr(cfg: &MpConfig, s: Expr, b: Expr, v: Expr) -> Expr {
         forall(
             "q",
             local("Q"),
-            contains(app2(var(VOTES), local("q"), s.clone()), tuple(vec![b.clone(), v.clone()])),
+            contains(
+                app2(var(VOTES), local("q"), s.clone()),
+                tuple(vec![b.clone(), v.clone()]),
+            ),
         ),
     )
 }
@@ -522,10 +585,17 @@ mod tests {
                 Invariant::new("Agreement", agreement_invariant(&cfg)),
                 Invariant::new("OneValuePerBallot", one_value_per_ballot(&cfg)),
             ],
-            Limits { max_states: 60_000, max_depth: usize::MAX },
+            Limits {
+                max_states: 60_000,
+                max_depth: usize::MAX,
+            },
         );
         assert!(report.ok(), "{:?}", report.verdict);
-        assert!(report.states > 100, "non-trivial exploration: {}", report.states);
+        assert!(
+            report.states > 100,
+            "non-trivial exploration: {}",
+            report.states
+        );
     }
 
     #[test]
@@ -538,7 +608,10 @@ mod tests {
         let report = explore(
             &mp,
             &[Invariant::new("NothingChosen", nothing_chosen)],
-            Limits { max_states: 60_000, max_depth: usize::MAX },
+            Limits {
+                max_states: 60_000,
+                max_depth: usize::MAX,
+            },
         );
         assert!(
             matches!(report.verdict, Verdict::Violated { .. }),
@@ -553,7 +626,10 @@ mod tests {
         // out-of-order commit that distinguishes MultiPaxos from Raft
         // (Section 3). We detect reachability of that state by checking
         // the negated property and expecting a violation.
-        let cfg = MpConfig { slots: 2, ..MpConfig::default() };
+        let cfg = MpConfig {
+            slots: 2,
+            ..MpConfig::default()
+        };
         let mp = spec(&cfg);
         let slot2_chosen_slot1_not = and(vec![
             chosen_expr(&cfg, int(2), int(1), int(1)),
@@ -561,8 +637,14 @@ mod tests {
         ]);
         let report = explore(
             &mp,
-            &[Invariant::new("NeverOutOfOrder", Expr::Not(Box::new(slot2_chosen_slot1_not)))],
-            Limits { max_states: 150_000, max_depth: usize::MAX },
+            &[Invariant::new(
+                "NeverOutOfOrder",
+                Expr::Not(Box::new(slot2_chosen_slot1_not)),
+            )],
+            Limits {
+                max_states: 150_000,
+                max_depth: usize::MAX,
+            },
         );
         assert!(
             matches!(report.verdict, Verdict::Violated { .. }),

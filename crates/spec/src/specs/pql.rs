@@ -28,8 +28,8 @@
 //! Section A.1.
 
 use crate::expr::{
-    and, app, app2, contains, eq, exists, forall, fun_set, implies, int, le, local, not, or,
-    param, tuple, var, Expr,
+    and, app, app2, contains, eq, exists, forall, fun_set, implies, int, le, local, not, or, param,
+    tuple, var, Expr,
 };
 use crate::port::{ModifiedAction, OptDelta, PortMap};
 use crate::refine::StateMap;
@@ -69,9 +69,7 @@ pub fn delta(cfg: &MpConfig) -> OptDelta {
     let acc_dom = Domain::Const(cfg.acceptors().as_set().unwrap().clone());
 
     let false_fun = {
-        let inner = Value::fun(
-            (0..cfg.n as i64).map(|h| (Value::Int(h), Value::Bool(false))),
-        );
+        let inner = Value::fun((0..cfg.n as i64).map(|h| (Value::Int(h), Value::Bool(false))));
         Value::fun((0..cfg.n as i64).map(|g| (Value::Int(g), inner.clone())))
     };
     let zero_fun = Value::fun((0..cfg.n as i64).map(|a| (Value::Int(a), Value::Int(0))));
@@ -79,17 +77,28 @@ pub fn delta(cfg: &MpConfig) -> OptDelta {
     // Grant(g, h): grantor g leases to holder h.
     let grant = ActionSchema {
         name: "Grant".into(),
-        params: vec![("g".to_string(), acc_dom.clone()), ("h".to_string(), acc_dom.clone())],
+        params: vec![
+            ("g".to_string(), acc_dom.clone()),
+            ("h".to_string(), acc_dom.clone()),
+        ],
         guard: not(app2(var(leases), param(0), param(1))),
         updates: vec![(
             leases,
-            crate::expr::fun_set2(var(leases), param(0), param(1), Expr::Const(Value::Bool(true))),
+            crate::expr::fun_set2(
+                var(leases),
+                param(0),
+                param(1),
+                Expr::Const(Value::Bool(true)),
+            ),
         )],
     };
     // Expire(g, h): any lease may lapse at any time (adversarial expiry).
     let expire = ActionSchema {
         name: "Expire".into(),
-        params: vec![("g".to_string(), acc_dom.clone()), ("h".to_string(), acc_dom.clone())],
+        params: vec![
+            ("g".to_string(), acc_dom.clone()),
+            ("h".to_string(), acc_dom.clone()),
+        ],
         guard: app2(var(leases), param(0), param(1)),
         updates: vec![(
             leases,
@@ -114,16 +123,25 @@ pub fn delta(cfg: &MpConfig) -> OptDelta {
         params: vec![
             ("a".to_string(), acc_dom.clone()),
             ("s".to_string(), Domain::ints(1, cfg.slots)),
-            ("Q".to_string(), Domain::Const(cfg.quorums().as_set().unwrap().clone())),
+            (
+                "Q".to_string(),
+                Domain::Const(cfg.quorums().as_set().unwrap().clone()),
+            ),
         ],
         guard: and(vec![
-            eq(param(1), crate::expr::add(app(var(applied), param(0)), int(1))),
+            eq(
+                param(1),
+                crate::expr::add(app(var(applied), param(0)), int(1)),
+            ),
             not(eq(app2(var(multipaxos::AVAL), param(0), param(1)), int(0))),
             // Chosen by Q...
             forall(
                 "q",
                 param(2),
-                contains(app2(var(multipaxos::VOTES), local("q"), param(1)), my_vote.clone()),
+                contains(
+                    app2(var(multipaxos::VOTES), local("q"), param(1)),
+                    my_vote.clone(),
+                ),
             ),
             // ...and acknowledged by every holder granted by Q's members.
             forall(
@@ -131,7 +149,10 @@ pub fn delta(cfg: &MpConfig) -> OptDelta {
                 Expr::Const(cfg.acceptors()),
                 implies(
                     exists("g", param(2), app2(var(leases), local("g"), local("p"))),
-                    contains(app2(var(multipaxos::VOTES), local("p"), param(1)), my_vote.clone()),
+                    contains(
+                        app2(var(multipaxos::VOTES), local("p"), param(1)),
+                        my_vote.clone(),
+                    ),
                 ),
             ),
         ]),
@@ -149,12 +170,18 @@ pub fn delta(cfg: &MpConfig) -> OptDelta {
                 "s",
                 Expr::Const(cfg.slot_set()),
                 implies(
-                    not(eq(app2(var(multipaxos::AVAL), param(0), local("s")), int(0))),
+                    not(eq(
+                        app2(var(multipaxos::AVAL), param(0), local("s")),
+                        int(0),
+                    )),
                     le(local("s"), app(var(applied), param(0))),
                 ),
             ),
         ]),
-        updates: vec![(lastread, fun_set(var(lastread), param(0), app(var(applied), param(0))))],
+        updates: vec![(
+            lastread,
+            fun_set(var(lastread), param(0), app(var(applied), param(0))),
+        )],
     };
 
     // Modified Propose: the appendix's gate — only read-typed values
@@ -266,7 +293,11 @@ pub fn raftstar_port_map(cfg: &MpConfig) -> PortMap {
             elect_params,
             // Propose(a, s, v) from ProposeEntry(l, v):
             //   a := l, s := last[l] + 1 (a B-state expression!), v := v.
-            vec![param(0), crate::expr::add(app(var(LAST), param(0)), int(1)), param(1)],
+            vec![
+                param(0),
+                crate::expr::add(app(var(LAST), param(0)), int(1)),
+                param(1),
+            ],
             // AcceptAll(q, a) from Append(l, f): q := f, a := l.
             vec![param(1), param(0)],
         ],
@@ -282,7 +313,12 @@ mod tests {
     use crate::specs::{multipaxos, raftstar};
 
     fn cfg() -> MpConfig {
-        MpConfig { n: 3, max_ballot: 2, slots: 1, values: vec![1] }
+        MpConfig {
+            n: 3,
+            max_ballot: 2,
+            slots: 1,
+            values: vec![1],
+        }
     }
 
     #[test]
@@ -300,7 +336,10 @@ mod tests {
         let report = explore(
             &pql,
             &[Invariant::new("LeaseInv", lease_inv(&c))],
-            Limits { max_states: 15_000, max_depth: usize::MAX },
+            Limits {
+                max_states: 15_000,
+                max_depth: usize::MAX,
+            },
         );
         assert!(report.ok(), "{:?}", report.verdict);
         assert!(report.states > 1_000);
@@ -308,7 +347,12 @@ mod tests {
 
     #[test]
     fn local_read_is_reachable() {
-        let c = MpConfig { n: 3, max_ballot: 1, slots: 1, values: vec![1] };
+        let c = MpConfig {
+            n: 3,
+            max_ballot: 1,
+            slots: 1,
+            values: vec![1],
+        };
         let mp = multipaxos::spec(&c);
         let pql = delta(&c).apply_to(&mp);
         // lastread moves => ReadAtLocal fired... lastread starts at 0 and
@@ -321,7 +365,10 @@ mod tests {
         let report = explore(
             &pql,
             &[Invariant::new("NoReadEver", not(some_read))],
-            Limits { max_states: 60_000, max_depth: usize::MAX },
+            Limits {
+                max_states: 60_000,
+                max_depth: usize::MAX,
+            },
         );
         assert!(
             matches!(report.verdict, Verdict::Violated { .. }),
@@ -343,11 +390,14 @@ mod tests {
 
         let pql = d.apply_to(&mp);
         let ext = extended_map(&mp, &rs, &d, &map.state_map);
-        let limits = Limits { max_states: 2_500, max_depth: usize::MAX };
+        let limits = Limits {
+            max_states: 2_500,
+            max_depth: usize::MAX,
+        };
         let r1 = check_refinement(&rql, &pql, &ext, limits).expect("RQL refines PQL");
         assert!(r1.b_transitions > 100);
-        let r2 = check_refinement(&rql, &rs, &projection_map(&rs), limits)
-            .expect("RQL refines Raft*");
+        let r2 =
+            check_refinement(&rql, &rs, &projection_map(&rs), limits).expect("RQL refines Raft*");
         assert!(r2.b_transitions > 100);
     }
 
@@ -364,7 +414,10 @@ mod tests {
         let report = explore(
             &rql,
             &[Invariant::new("LeaseInv(ported)", inv)],
-            Limits { max_states: 10_000, max_depth: usize::MAX },
+            Limits {
+                max_states: 10_000,
+                max_depth: usize::MAX,
+            },
         );
         assert!(report.ok(), "{:?}", report.verdict);
     }
@@ -383,6 +436,9 @@ mod tests {
         // The ported guard must mention the leases variable (index 8).
         let mut reads = std::collections::BTreeSet::new();
         pe.guard.vars_read(&mut reads);
-        assert!(reads.contains(&(rs.vars.len() + D_LEASES)), "gate references leases");
+        assert!(
+            reads.contains(&(rs.vars.len() + D_LEASES)),
+            "gate references leases"
+        );
     }
 }

@@ -73,7 +73,10 @@ pub fn spec(cfg: &MpConfig) -> Spec {
     let mut el_params = vec![
         ("a".to_string(), acc_dom.clone()),
         ("t".to_string(), Domain::ints(1, cfg.max_ballot)),
-        ("Q".to_string(), Domain::Const(cfg.quorums().as_set().unwrap().clone())),
+        (
+            "Q".to_string(),
+            Domain::Const(cfg.quorums().as_set().unwrap().clone()),
+        ),
     ];
     for s in 1..=cfg.slots {
         el_params.push((format!("e{s}"), cfg.entry_domain()));
@@ -84,7 +87,11 @@ pub fn spec(cfg: &MpConfig) -> Spec {
         forall("q", param(2), lt(app(var(TERM), local("q")), param(1))),
         // The Raft* vote rule: a voter's log ballot (its last term under
         // the uniform-ballot invariant) must not exceed the candidate's.
-        forall("q", param(2), le(last_term(local("q")), last_term(param(0)))),
+        forall(
+            "q",
+            param(2),
+            le(last_term(local("q")), last_term(param(0))),
+        ),
     ];
     for s in 1..=cfg.slots {
         let e = param(2 + s as usize);
@@ -106,11 +113,19 @@ pub fn spec(cfg: &MpConfig) -> Spec {
             ),
         ]);
         // Extras: highest-ballot entry among the quorum (Paxos-safe).
-        let max_bal = max_over("q", param(2), app2(var(RBAL), local("q"), s_e.clone()), int(0));
+        let max_bal = max_over(
+            "q",
+            param(2),
+            app2(var(RBAL), local("q"), s_e.clone()),
+            int(0),
+        );
         let extra = and(vec![
             eq(nth(e.clone(), 0), max_bal),
             or(vec![
-                and(vec![eq(nth(e.clone(), 0), int(0)), eq(nth(e.clone(), 1), int(0))]),
+                and(vec![
+                    eq(nth(e.clone(), 0), int(0)),
+                    eq(nth(e.clone(), 1), int(0)),
+                ]),
                 and(vec![
                     gt(nth(e.clone(), 0), int(0)),
                     exists(
@@ -130,7 +145,11 @@ pub fn spec(cfg: &MpConfig) -> Spec {
     let adopted = |field: usize| -> Expr {
         let mut body = int(0);
         for s in (1..=cfg.slots).rev() {
-            body = ite(eq(local("s"), int(s)), nth(param(2 + s as usize), field), body);
+            body = ite(
+                eq(local("s"), int(s)),
+                nth(param(2 + s as usize), field),
+                body,
+            );
         }
         fun_build("s", slots.clone(), body)
     };
@@ -152,7 +171,11 @@ pub fn spec(cfg: &MpConfig) -> Spec {
                 fun_build(
                     "x",
                     acc.clone(),
-                    ite(contains(param(2), local("x")), param(1), app(var(TERM), local("x"))),
+                    ite(
+                        contains(param(2), local("x")),
+                        param(1),
+                        app(var(TERM), local("x")),
+                    ),
                 ),
             ),
             (
@@ -200,7 +223,10 @@ pub fn spec(cfg: &MpConfig) -> Spec {
         name: "ProposeEntry".into(),
         params: vec![
             ("l".to_string(), acc_dom.clone()),
-            ("v".to_string(), Domain::Const(cfg.value_set().as_set().unwrap().clone())),
+            (
+                "v".to_string(),
+                Domain::Const(cfg.value_set().as_set().unwrap().clone()),
+            ),
         ],
         guard: and(vec![
             app(var(LDR), param(0)),
@@ -216,7 +242,10 @@ pub fn spec(cfg: &MpConfig) -> Spec {
                     app(var(TERM), param(0)),
                 ),
             ),
-            (RVAL, crate::expr::fun_set2(var(RVAL), param(0), next_slot.clone(), param(1))),
+            (
+                RVAL,
+                crate::expr::fun_set2(var(RVAL), param(0), next_slot.clone(), param(1)),
+            ),
             (
                 RTERM,
                 crate::expr::fun_set2(
@@ -258,7 +287,10 @@ pub fn spec(cfg: &MpConfig) -> Spec {
     );
     let append = ActionSchema {
         name: "Append".into(),
-        params: vec![("l".to_string(), acc_dom.clone()), ("f".to_string(), acc_dom.clone())],
+        params: vec![
+            ("l".to_string(), acc_dom.clone()),
+            ("f".to_string(), acc_dom.clone()),
+        ],
         guard: and(vec![
             app(var(LDR), param(0)),
             le(app(var(TERM), param(1)), app(var(TERM), param(0))),
@@ -290,7 +322,10 @@ pub fn spec(cfg: &MpConfig) -> Spec {
                 ),
             ),
             (RVAL, fun_set(var(RVAL), param(1), app(var(RVAL), param(0)))),
-            (RTERM, fun_set(var(RTERM), param(1), app(var(RTERM), param(0)))),
+            (
+                RTERM,
+                fun_set(var(RTERM), param(1), app(var(RTERM), param(0))),
+            ),
             (
                 VOTES,
                 fun_build(
@@ -338,7 +373,10 @@ pub fn spec(cfg: &MpConfig) -> Spec {
         params: vec![
             ("l".to_string(), acc_dom),
             ("k".to_string(), Domain::ints(1, cfg.slots)),
-            ("Q".to_string(), Domain::Const(cfg.quorums().as_set().unwrap().clone())),
+            (
+                "Q".to_string(),
+                Domain::Const(cfg.quorums().as_set().unwrap().clone()),
+            ),
         ],
         guard: and(vec![
             app(var(LDR), param(0)),
@@ -418,7 +456,10 @@ pub fn contiguity_invariant(cfg: &MpConfig) -> Expr {
             "s",
             Expr::Const(cfg.slot_set()),
             eq(
-                Expr::Not(Box::new(eq(app2(var(RVAL), local("x"), local("s")), int(0)))),
+                Expr::Not(Box::new(eq(
+                    app2(var(RVAL), local("x"), local("s")),
+                    int(0),
+                ))),
                 le(local("s"), app(var(LAST), local("x"))),
             ),
         ),
@@ -513,7 +554,10 @@ mod tests {
                 Invariant::new("LogMatching", log_matching_invariant(&cfg)),
                 Invariant::new("Agreement", multipaxos::agreement_invariant(&cfg)),
             ],
-            Limits { max_states: 80_000, max_depth: usize::MAX },
+            Limits {
+                max_states: 80_000,
+                max_depth: usize::MAX,
+            },
         );
         assert!(report.ok(), "{:?}", report.verdict);
         assert!(report.states > 100);
@@ -530,7 +574,10 @@ mod tests {
             &rs,
             &mp,
             &refinement_map(),
-            Limits { max_states: 40_000, max_depth: usize::MAX },
+            Limits {
+                max_states: 40_000,
+                max_depth: usize::MAX,
+            },
         )
         .expect("Raft* refines MultiPaxos");
         assert!(report.b_transitions > 100);
@@ -539,14 +586,21 @@ mod tests {
 
     #[test]
     fn raftstar_refines_multipaxos_two_slots() {
-        let cfg = MpConfig { slots: 2, max_ballot: 2, ..MpConfig::default() };
+        let cfg = MpConfig {
+            slots: 2,
+            max_ballot: 2,
+            ..MpConfig::default()
+        };
         let rs = spec(&cfg);
         let mp = multipaxos::spec(&cfg);
         let report = check_refinement(
             &rs,
             &mp,
             &refinement_map(),
-            Limits { max_states: 15_000, max_depth: usize::MAX },
+            Limits {
+                max_states: 15_000,
+                max_depth: usize::MAX,
+            },
         )
         .expect("Raft* refines MultiPaxos on two slots");
         assert!(report.b_transitions > 100);
@@ -565,9 +619,16 @@ mod tests {
         let report = explore(
             &rs,
             &[Invariant::new("NeverCommits", never_commits)],
-            Limits { max_states: 80_000, max_depth: usize::MAX },
+            Limits {
+                max_states: 80_000,
+                max_depth: usize::MAX,
+            },
         );
-        assert!(matches!(report.verdict, Verdict::Violated { .. }), "{:?}", report.verdict);
+        assert!(
+            matches!(report.verdict, Verdict::Violated { .. }),
+            "{:?}",
+            report.verdict
+        );
     }
 
     #[test]
@@ -582,13 +643,19 @@ mod tests {
             forall(
                 "s",
                 Expr::Const(cfg.slot_set()),
-                le(app2(var(RBAL), local("x"), local("s")), app(var(TERM), local("x"))),
+                le(
+                    app2(var(RBAL), local("x"), local("s")),
+                    app(var(TERM), local("x")),
+                ),
             ),
         );
         let report = explore(
             &rs,
             &[Invariant::new("BallotLeTerm", inv)],
-            Limits { max_states: 80_000, max_depth: usize::MAX },
+            Limits {
+                max_states: 80_000,
+                max_depth: usize::MAX,
+            },
         );
         assert!(report.ok(), "{:?}", report.verdict);
     }

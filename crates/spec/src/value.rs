@@ -148,7 +148,10 @@ mod tests {
         let s = Value::int_range(1, 3);
         assert_eq!(s.as_set().unwrap().len(), 3);
         let f = Value::fun([(Value::Int(1), Value::Bool(true))]);
-        assert_eq!(f.as_fun().unwrap().get(&Value::Int(1)), Some(&Value::Bool(true)));
+        assert_eq!(
+            f.as_fun().unwrap().get(&Value::Int(1)),
+            Some(&Value::Bool(true))
+        );
     }
 
     #[test]

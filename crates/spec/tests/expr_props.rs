@@ -1,68 +1,102 @@
-//! Property-based tests for the spec DSL: evaluation determinism,
+//! Randomized property tests for the spec DSL: evaluation determinism,
 //! substitution laws, and checker sanity.
+//!
+//! Originally proptest-based; the workspace is dependency-free, so the
+//! properties are driven by the deterministic [`SimRng`] instead.
 
-use proptest::prelude::*;
-
+use paxraft_sim::rng::SimRng;
 use paxraft_spec::check::{explore, Limits};
 use paxraft_spec::expr::{add, and, eq, int, le, lt, param, var, Env, Expr};
 use paxraft_spec::spec::{ActionSchema, Domain, Spec};
 use paxraft_spec::value::Value;
 
-/// A tiny strategy for closed integer expressions.
-fn int_expr() -> impl Strategy<Value = Expr> {
-    let leaf = (-20i64..20).prop_map(int);
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| add(a, b)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Max(Box::new(a), Box::new(b))),
-        ]
-    })
+const CASES: u64 = 200;
+
+/// A random closed integer expression of bounded depth.
+fn int_expr(rng: &mut SimRng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return int(rng.gen_range_inclusive(0, 39) as i64 - 20);
+    }
+    let a = int_expr(rng, depth - 1);
+    let b = int_expr(rng, depth - 1);
+    match rng.gen_range(3) {
+        0 => add(a, b),
+        1 => Expr::Sub(Box::new(a), Box::new(b)),
+        _ => Expr::Max(Box::new(a), Box::new(b)),
+    }
 }
 
-proptest! {
-    /// Evaluation is deterministic (pure).
-    #[test]
-    fn eval_is_deterministic(e in int_expr()) {
+/// Evaluation is deterministic (pure).
+#[test]
+fn eval_is_deterministic() {
+    let mut rng = SimRng::new(0xE1);
+    for case in 0..CASES {
+        let e = int_expr(&mut rng, 3);
         let v1 = e.eval(&mut Env::of_state(&[])).unwrap();
         let v2 = e.eval(&mut Env::of_state(&[])).unwrap();
-        prop_assert_eq!(v1, v2);
+        assert_eq!(v1, v2, "case {case}");
     }
+}
 
-    /// The identity substitution leaves expressions unchanged.
-    #[test]
-    fn identity_substitution_is_noop(e in int_expr()) {
+/// The identity substitution leaves expressions unchanged.
+#[test]
+fn identity_substitution_is_noop() {
+    let mut rng = SimRng::new(0xE2);
+    for case in 0..CASES {
+        let e = int_expr(&mut rng, 3);
         let s = e.substitute(&|_| None, &|_| None);
-        prop_assert_eq!(s, e);
+        assert_eq!(s, e, "case {case}");
     }
+}
 
-    /// Substituting Var(i) := Const(c) then evaluating equals evaluating
-    /// with state[i] = c.
-    #[test]
-    fn substitution_commutes_with_eval(c in -50i64..50, k in -50i64..50) {
+/// Substituting Var(i) := Const(c) then evaluating equals evaluating
+/// with state[i] = c.
+#[test]
+fn substitution_commutes_with_eval() {
+    let mut rng = SimRng::new(0xE3);
+    for case in 0..CASES {
+        let c = rng.gen_range_inclusive(0, 99) as i64 - 50;
+        let k = rng.gen_range_inclusive(0, 99) as i64 - 50;
         // e = var(0) + k
         let e = add(var(0), int(k));
         let substituted = e.substitute(&|_| Some(int(c)), &|_| None);
         let v1 = substituted.eval(&mut Env::of_state(&[])).unwrap();
         let state = vec![Value::Int(c)];
         let v2 = e.eval(&mut Env::of_state(&state)).unwrap();
-        prop_assert_eq!(v1, v2);
+        assert_eq!(v1, v2, "case {case}");
     }
+}
 
-    /// Comparison operators agree with Rust semantics.
-    #[test]
-    fn comparisons_match_rust(a in -100i64..100, b in -100i64..100) {
+/// Comparison operators agree with Rust semantics.
+#[test]
+fn comparisons_match_rust() {
+    let mut rng = SimRng::new(0xE4);
+    for case in 0..CASES {
+        let a = rng.gen_range_inclusive(0, 199) as i64 - 100;
+        let b = rng.gen_range_inclusive(0, 199) as i64 - 100;
         let env = &mut Env::of_state(&[]);
-        prop_assert_eq!(lt(int(a), int(b)).eval(env).unwrap(), Value::Bool(a < b));
-        prop_assert_eq!(le(int(a), int(b)).eval(env).unwrap(), Value::Bool(a <= b));
-        prop_assert_eq!(eq(int(a), int(b)).eval(env).unwrap(), Value::Bool(a == b));
+        assert_eq!(
+            lt(int(a), int(b)).eval(env).unwrap(),
+            Value::Bool(a < b),
+            "case {case}"
+        );
+        assert_eq!(
+            le(int(a), int(b)).eval(env).unwrap(),
+            Value::Bool(a <= b),
+            "case {case}"
+        );
+        assert_eq!(
+            eq(int(a), int(b)).eval(env).unwrap(),
+            Value::Bool(a == b),
+            "case {case}"
+        );
     }
+}
 
-    /// A bounded counter's reachable state count is exactly bound + step.
-    #[test]
-    fn explorer_counts_counter_states(bound in 1i64..30) {
+/// A bounded counter's reachable state count is exactly bound + 1.
+#[test]
+fn explorer_counts_counter_states() {
+    for bound in 1i64..30 {
         let spec = Spec {
             name: "C".into(),
             vars: vec!["x".into()],
@@ -75,12 +109,14 @@ proptest! {
             }],
         };
         let report = explore(&spec, &[], Limits::default());
-        prop_assert_eq!(report.states as i64, bound + 1);
+        assert_eq!(report.states as i64, bound + 1);
     }
+}
 
-    /// Parameterized actions enumerate exactly their domain.
-    #[test]
-    fn param_domains_enumerate(n in 1i64..10) {
+/// Parameterized actions enumerate exactly their domain.
+#[test]
+fn param_domains_enumerate() {
+    for n in 1i64..10 {
         let spec = Spec {
             name: "P".into(),
             vars: vec!["x".into()],
@@ -93,18 +129,20 @@ proptest! {
             }],
         };
         let ts = spec.transitions(&spec.init).unwrap();
-        prop_assert_eq!(ts.len() as i64, n);
+        assert_eq!(ts.len() as i64, n);
     }
+}
 
-    /// Guards short-circuit: `and` with a false head never errors on an
-    /// ill-typed tail.
-    #[test]
-    fn and_short_circuits(a in -5i64..5) {
+/// Guards short-circuit: `and` with a false head never errors on an
+/// ill-typed tail.
+#[test]
+fn and_short_circuits() {
+    for a in -5i64..5 {
         let e = and(vec![
-            eq(int(a), int(a + 1)),                  // false
+            eq(int(a), int(a + 1)),                        // false
             Expr::App(Box::new(int(1)), Box::new(int(0))), // ill-typed if evaluated
         ]);
         let v = e.eval(&mut Env::of_state(&[])).unwrap();
-        prop_assert_eq!(v, Value::Bool(false));
+        assert_eq!(v, Value::Bool(false), "a={a}");
     }
 }

@@ -25,7 +25,11 @@ use paxraft_spec::specs::raftstar::{self, LAST, LDR, RBAL, RTERM, RVAL, TERM};
 use paxraft_spec::value::Value;
 
 fn cfg() -> MpConfig {
-    MpConfig { slots: 2, max_ballot: 2, ..MpConfig::default() }
+    MpConfig {
+        slots: 2,
+        max_ballot: 2,
+        ..MpConfig::default()
+    }
 }
 
 /// Raft's truncation: a follower with a *longer* log adopts a shorter
@@ -38,7 +42,10 @@ fn truncating_append(c: &MpConfig) -> ActionSchema {
     let covered = |s: Expr| le(s, app(var(LAST), param(0)));
     ActionSchema {
         name: "RaftTruncatingAppend".into(),
-        params: vec![("l".to_string(), acc_dom.clone()), ("f".to_string(), acc_dom)],
+        params: vec![
+            ("l".to_string(), acc_dom.clone()),
+            ("f".to_string(), acc_dom),
+        ],
         guard: and(vec![
             app(var(LDR), param(0)),
             le(app(var(TERM), param(1)), app(var(TERM), param(0))),
@@ -57,7 +64,11 @@ fn truncating_append(c: &MpConfig) -> ActionSchema {
                     fun_build(
                         "s",
                         slots.clone(),
-                        ite(covered(local("s")), app2(var(RVAL), param(0), local("s")), int(0)),
+                        ite(
+                            covered(local("s")),
+                            app2(var(RVAL), param(0), local("s")),
+                            int(0),
+                        ),
                     ),
                 ),
             ),
@@ -69,11 +80,18 @@ fn truncating_append(c: &MpConfig) -> ActionSchema {
                     fun_build(
                         "s",
                         slots.clone(),
-                        ite(covered(local("s")), app2(var(RBAL), param(0), local("s")), int(0)),
+                        ite(
+                            covered(local("s")),
+                            app2(var(RBAL), param(0), local("s")),
+                            int(0),
+                        ),
                     ),
                 ),
             ),
-            (RTERM, fun_set(var(RTERM), param(1), app(var(RTERM), param(0)))),
+            (
+                RTERM,
+                fun_set(var(RTERM), param(1), app(var(RTERM), param(0))),
+            ),
             (LAST, fun_set(var(LAST), param(1), app(var(LAST), param(0)))),
         ],
     }
@@ -90,7 +108,10 @@ fn truncation_breaks_the_refinement() {
         &raftish,
         &mp,
         &raftstar::refinement_map(),
-        Limits { max_states: 30_000, max_depth: usize::MAX },
+        Limits {
+            max_states: 30_000,
+            max_depth: usize::MAX,
+        },
     )
     .expect_err("Raft's erasing step must have no MultiPaxos image");
     assert_eq!(err.b_action, "RaftTruncatingAppend");
@@ -104,7 +125,10 @@ fn no_rewrite_append(c: &MpConfig) -> ActionSchema {
     let acc_dom = Domain::Const(c.acceptors().as_set().unwrap().clone());
     ActionSchema {
         name: "RaftNoRewriteAppend".into(),
-        params: vec![("l".to_string(), acc_dom.clone()), ("f".to_string(), acc_dom)],
+        params: vec![
+            ("l".to_string(), acc_dom.clone()),
+            ("f".to_string(), acc_dom),
+        ],
         guard: and(vec![
             app(var(LDR), param(0)),
             le(app(var(TERM), param(1)), app(var(TERM), param(0))),
@@ -119,7 +143,10 @@ fn no_rewrite_append(c: &MpConfig) -> ActionSchema {
             // an accept at a ballot nobody is currently proposing.
             (RVAL, fun_set(var(RVAL), param(1), app(var(RVAL), param(0)))),
             (RBAL, fun_set(var(RBAL), param(1), app(var(RBAL), param(0)))),
-            (RTERM, fun_set(var(RTERM), param(1), app(var(RTERM), param(0)))),
+            (
+                RTERM,
+                fun_set(var(RTERM), param(1), app(var(RTERM), param(0))),
+            ),
             (LAST, fun_set(var(LAST), param(1), app(var(LAST), param(0)))),
             // Vote at the *entry's* old ballot, like Raft's appendOK for
             // an unchanged old-term entry.
@@ -144,7 +171,11 @@ fn no_rewrite_append(c: &MpConfig) -> ActionSchema {
 
 #[test]
 fn keeping_old_entry_ballots_breaks_the_refinement() {
-    let c = MpConfig { slots: 1, max_ballot: 3, ..MpConfig::default() };
+    let c = MpConfig {
+        slots: 1,
+        max_ballot: 3,
+        ..MpConfig::default()
+    };
     let mut raftish = raftstar::spec(&c);
     raftish.name = "RaftWithoutBallotRewrite".into();
     raftish.actions.push(no_rewrite_append(&c));
@@ -153,7 +184,10 @@ fn keeping_old_entry_ballots_breaks_the_refinement() {
         &raftish,
         &mp,
         &raftstar::refinement_map(),
-        Limits { max_states: 30_000, max_depth: usize::MAX },
+        Limits {
+            max_states: 30_000,
+            max_depth: usize::MAX,
+        },
     )
     .expect_err("accepting at a stale ballot must have no MultiPaxos image");
     assert_eq!(err.b_action, "RaftNoRewriteAppend");
@@ -171,7 +205,10 @@ fn control_raftstar_still_refines() {
         &rs,
         &mp,
         &raftstar::refinement_map(),
-        Limits { max_states: 15_000, max_depth: usize::MAX },
+        Limits {
+            max_states: 15_000,
+            max_depth: usize::MAX,
+        },
     )
     .expect("Raft* refines MultiPaxos");
 }

@@ -68,10 +68,16 @@ impl WorkloadConfig {
     /// Returns a message describing the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=1.0).contains(&self.read_fraction) {
-            return Err(format!("read_fraction {} outside [0,1]", self.read_fraction));
+            return Err(format!(
+                "read_fraction {} outside [0,1]",
+                self.read_fraction
+            ));
         }
         if !(0.0..=1.0).contains(&self.conflict_rate) {
-            return Err(format!("conflict_rate {} outside [0,1]", self.conflict_rate));
+            return Err(format!(
+                "conflict_rate {} outside [0,1]",
+                self.conflict_rate
+            ));
         }
         if self.partitions == 0 {
             return Err("partitions must be positive".into());
@@ -94,7 +100,11 @@ impl WorkloadConfig {
         let usable = self.records - 1; // key 0 reserved for the hot record
         let per = usable / self.partitions as u64;
         let start = 1 + p as u64 * per;
-        let end = if p == self.partitions - 1 { self.records } else { start + per };
+        let end = if p == self.partitions - 1 {
+            self.records
+        } else {
+            start + per
+        };
         (start, end)
     }
 }
@@ -119,7 +129,11 @@ impl Generator {
     pub fn new(config: WorkloadConfig, partition: usize, rng: SimRng) -> Self {
         config.validate().expect("invalid workload config");
         assert!(partition < config.partitions, "partition out of range");
-        Generator { config, partition, rng }
+        Generator {
+            config,
+            partition,
+            rng,
+        }
     }
 
     /// The workload configuration.
@@ -140,7 +154,11 @@ impl Generator {
             let (lo, hi) = self.config.partition_range(self.partition);
             self.rng.gen_range_inclusive(lo, hi - 1)
         };
-        OpSpec { kind, key, value_size: self.config.value_size }
+        OpSpec {
+            kind,
+            key,
+            value_size: self.config.value_size,
+        }
     }
 }
 
@@ -160,7 +178,9 @@ mod tests {
     #[test]
     fn read_fraction_respected() {
         let mut g = gen_with(0.9, 0.0, 0);
-        let reads = (0..10_000).filter(|_| g.next_op().kind == OpKind::Read).count();
+        let reads = (0..10_000)
+            .filter(|_| g.next_op().kind == OpKind::Read)
+            .count();
         assert!((8_800..9_200).contains(&reads), "got {reads}");
     }
 
@@ -184,7 +204,10 @@ mod tests {
             let (lo, hi) = g.config().partition_range(p);
             for _ in 0..2_000 {
                 let k = g.next_op().key;
-                assert!((lo..hi).contains(&k), "key {k} outside [{lo},{hi}) for p{p}");
+                assert!(
+                    (lo..hi).contains(&k),
+                    "key {k} outside [{lo},{hi}) for p{p}"
+                );
             }
         }
     }
@@ -207,13 +230,26 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_configs() {
-        let bad = WorkloadConfig { read_fraction: 1.5, ..WorkloadConfig::default() };
+        let bad = WorkloadConfig {
+            read_fraction: 1.5,
+            ..WorkloadConfig::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = WorkloadConfig { conflict_rate: -0.1, ..WorkloadConfig::default() };
+        let bad = WorkloadConfig {
+            conflict_rate: -0.1,
+            ..WorkloadConfig::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = WorkloadConfig { partitions: 0, ..WorkloadConfig::default() };
+        let bad = WorkloadConfig {
+            partitions: 0,
+            ..WorkloadConfig::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = WorkloadConfig { records: 2, partitions: 5, ..WorkloadConfig::default() };
+        let bad = WorkloadConfig {
+            records: 2,
+            partitions: 5,
+            ..WorkloadConfig::default()
+        };
         assert!(bad.validate().is_err());
     }
 
@@ -228,7 +264,10 @@ mod tests {
 
     #[test]
     fn value_size_passes_through() {
-        let cfg = WorkloadConfig { value_size: 4096, ..WorkloadConfig::default() };
+        let cfg = WorkloadConfig {
+            value_size: 4096,
+            ..WorkloadConfig::default()
+        };
         let mut g = Generator::new(cfg, 0, SimRng::new(1));
         assert_eq!(g.next_op().value_size, 4096);
     }

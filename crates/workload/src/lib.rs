@@ -25,4 +25,4 @@ pub mod metrics;
 
 pub use generator::{Generator, OpKind, OpSpec, WorkloadConfig, HOT_KEY};
 pub use linearize::{check_history, check_register, Action, CheckError, OpRecord};
-pub use metrics::{median, LatencyRecorder, LatencyTriple, ThroughputWindow};
+pub use metrics::{median, LatencyRecorder, LatencyTriple, PeakGauge, ThroughputWindow};

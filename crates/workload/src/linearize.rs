@@ -56,7 +56,10 @@ impl std::fmt::Display for CheckError {
                 write!(f, "history for key {key} is not linearizable: {detail}")
             }
             CheckError::BudgetExhausted { key, states } => {
-                write!(f, "checker budget exhausted for key {key} after {states} states")
+                write!(
+                    f,
+                    "checker budget exhausted for key {key} after {states} states"
+                )
             }
             CheckError::MalformedRecord { key, detail } => {
                 write!(f, "malformed record for key {key}: {detail}")
@@ -119,9 +122,7 @@ pub fn check_register(history: &[OpRecord], max_states: usize) -> Result<(), Che
         history
             .iter()
             .enumerate()
-            .filter(|(i, op)| {
-                remaining[i / 64] >> (i % 64) & 1 == 1 && op.invoke_ns <= min_respond
-            })
+            .filter(|(i, op)| remaining[i / 64] >> (i % 64) & 1 == 1 && op.invoke_ns <= min_respond)
             .map(|(i, _)| i)
             .collect()
     }
@@ -184,9 +185,17 @@ pub fn check_register(history: &[OpRecord], max_states: usize) -> Result<(), Che
     let witness = history
         .iter()
         .min_by_key(|op| op.invoke_ns)
-        .map(|op| format!("{:?} by client {} at [{}, {}]", op.action, op.client, op.invoke_ns, op.respond_ns))
+        .map(|op| {
+            format!(
+                "{:?} by client {} at [{}, {}]",
+                op.action, op.client, op.invoke_ns, op.respond_ns
+            )
+        })
         .unwrap_or_default();
-    Err(CheckError::Violation { key, detail: format!("no valid linearization; first op: {witness}") })
+    Err(CheckError::Violation {
+        key,
+        detail: format!("no valid linearization; first op: {witness}"),
+    })
 }
 
 /// Groups a mixed-key history by key and checks each register separately.
@@ -200,8 +209,7 @@ pub fn check_history(history: &[OpRecord], max_states: usize) -> Result<(), Chec
     keys.sort_unstable();
     keys.dedup();
     for key in keys {
-        let per_key: Vec<OpRecord> =
-            history.iter().filter(|op| op.key == key).copied().collect();
+        let per_key: Vec<OpRecord> = history.iter().filter(|op| op.key == key).copied().collect();
         check_register(&per_key, max_states)?;
     }
     Ok(())
@@ -212,10 +220,22 @@ mod tests {
     use super::*;
 
     fn w(client: usize, v: u64, invoke: u64, respond: u64) -> OpRecord {
-        OpRecord { client, key: 1, action: Action::Write(v), invoke_ns: invoke, respond_ns: respond }
+        OpRecord {
+            client,
+            key: 1,
+            action: Action::Write(v),
+            invoke_ns: invoke,
+            respond_ns: respond,
+        }
     }
     fn r(client: usize, v: Option<u64>, invoke: u64, respond: u64) -> OpRecord {
-        OpRecord { client, key: 1, action: Action::Read(v), invoke_ns: invoke, respond_ns: respond }
+        OpRecord {
+            client,
+            key: 1,
+            action: Action::Read(v),
+            invoke_ns: invoke,
+            respond_ns: respond,
+        }
     }
 
     const BUDGET: usize = 1 << 20;
@@ -227,7 +247,12 @@ mod tests {
 
     #[test]
     fn sequential_history_ok() {
-        let h = vec![w(0, 10, 0, 5), r(1, Some(10), 10, 15), w(0, 20, 20, 25), r(1, Some(20), 30, 35)];
+        let h = vec![
+            w(0, 10, 0, 5),
+            r(1, Some(10), 10, 15),
+            w(0, 20, 20, 25),
+            r(1, Some(20), 30, 35),
+        ];
         assert_eq!(check_register(&h, BUDGET), Ok(()));
     }
 
@@ -241,7 +266,10 @@ mod tests {
     fn stale_read_after_write_violates() {
         // Write(10) completes at 5; a read starting at 10 returns None.
         let h = vec![w(0, 10, 0, 5), r(1, None, 10, 15)];
-        assert!(matches!(check_register(&h, BUDGET), Err(CheckError::Violation { .. })));
+        assert!(matches!(
+            check_register(&h, BUDGET),
+            Err(CheckError::Violation { .. })
+        ));
     }
 
     #[test]
@@ -263,7 +291,10 @@ mod tests {
             r(1, Some(2), 20, 25),
             r(1, Some(1), 30, 35),
         ];
-        assert!(matches!(check_register(&h, BUDGET), Err(CheckError::Violation { .. })));
+        assert!(matches!(
+            check_register(&h, BUDGET),
+            Err(CheckError::Violation { .. })
+        ));
     }
 
     #[test]
@@ -281,13 +312,25 @@ mod tests {
         // while w2 finished after w1 -> still OK only if w2 linearized
         // before w1; but w1 responded before w2 invoked, so order is fixed.
         let h = vec![w(0, 1, 0, 5), w(1, 2, 10, 15), r(2, Some(1), 20, 25)];
-        assert!(matches!(check_register(&h, BUDGET), Err(CheckError::Violation { .. })));
+        assert!(matches!(
+            check_register(&h, BUDGET),
+            Err(CheckError::Violation { .. })
+        ));
     }
 
     #[test]
     fn malformed_record_detected() {
-        let h = vec![OpRecord { client: 0, key: 1, action: Action::Write(1), invoke_ns: 10, respond_ns: 5 }];
-        assert!(matches!(check_register(&h, BUDGET), Err(CheckError::MalformedRecord { .. })));
+        let h = vec![OpRecord {
+            client: 0,
+            key: 1,
+            action: Action::Write(1),
+            invoke_ns: 10,
+            respond_ns: 5,
+        }];
+        assert!(matches!(
+            check_register(&h, BUDGET),
+            Err(CheckError::MalformedRecord { .. })
+        ));
     }
 
     #[test]
@@ -306,7 +349,13 @@ mod tests {
     #[test]
     fn check_history_splits_keys() {
         let mut h = vec![w(0, 1, 0, 5), r(1, Some(1), 10, 15)];
-        h.push(OpRecord { client: 2, key: 2, action: Action::Read(None), invoke_ns: 0, respond_ns: 5 });
+        h.push(OpRecord {
+            client: 2,
+            key: 2,
+            action: Action::Read(None),
+            invoke_ns: 0,
+            respond_ns: 5,
+        });
         assert_eq!(check_history(&h, BUDGET), Ok(()));
     }
 

@@ -5,8 +5,6 @@
 //! and each trial trims 10-second warm-up and cool-down windows. This
 //! module implements those aggregations.
 
-use serde::Serialize;
-
 /// Collects latency samples (nanoseconds) and answers percentile queries.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyRecorder {
@@ -83,7 +81,7 @@ impl LatencyRecorder {
 
 /// The 50/90/99th percentiles reported in Figures 9a/9b (bar = p90,
 /// error bar = p50..p99).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyTriple {
     /// Median latency in milliseconds.
     pub p50_ms: f64,
@@ -109,7 +107,11 @@ impl ThroughputWindow {
     /// Creates a window covering `[start_ns, end_ns)`.
     pub fn new(start_ns: u64, end_ns: u64) -> Self {
         assert!(end_ns > start_ns, "empty window");
-        ThroughputWindow { start_ns, end_ns, completed: 0 }
+        ThroughputWindow {
+            start_ns,
+            end_ns,
+            completed: 0,
+        }
     }
 
     /// Whether `t_ns` lies inside the window.
@@ -127,6 +129,39 @@ impl ThroughputWindow {
     /// Throughput in operations per second.
     pub fn ops_per_sec(&self) -> f64 {
         self.completed as f64 / ((self.end_ns - self.start_ns) as f64 / 1e9)
+    }
+}
+
+/// Tracks the running maximum of a sampled quantity (resource-usage
+/// high-water marks: retained log entries, retained bytes, queue
+/// depths). Observations are monotone-cheap so hot paths can call
+/// [`PeakGauge::observe`] unconditionally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeakGauge {
+    peak: u64,
+}
+
+impl PeakGauge {
+    /// A gauge that has seen nothing (peak 0).
+    pub fn new() -> Self {
+        PeakGauge::default()
+    }
+
+    /// Records a sample; the peak only ever grows.
+    pub fn observe(&mut self, value: u64) {
+        if value > self.peak {
+            self.peak = value;
+        }
+    }
+
+    /// The largest value observed so far.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Folds another gauge's peak into this one.
+    pub fn merge(&mut self, other: &PeakGauge) {
+        self.observe(other.peak);
     }
 }
 
@@ -213,6 +248,23 @@ mod tests {
     #[should_panic(expected = "empty window")]
     fn empty_window_rejected() {
         let _ = ThroughputWindow::new(5, 5);
+    }
+
+    #[test]
+    fn peak_gauge_tracks_maximum() {
+        let mut g = PeakGauge::new();
+        assert_eq!(g.peak(), 0);
+        g.observe(5);
+        g.observe(3);
+        assert_eq!(g.peak(), 5, "peak never shrinks");
+        g.observe(9);
+        assert_eq!(g.peak(), 9);
+        let mut other = PeakGauge::new();
+        other.observe(7);
+        g.merge(&other);
+        assert_eq!(g.peak(), 9, "merge keeps the larger peak");
+        other.merge(&g);
+        assert_eq!(other.peak(), 9);
     }
 
     #[test]

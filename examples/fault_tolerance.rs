@@ -13,7 +13,10 @@ fn main() {
     let mut cluster = Cluster::builder(ProtocolKind::RaftStar).seed(21).build();
     cluster.elect_leader();
     cluster
-        .submit_and_wait(Op::Put { key: 7, value: b"before-crash".to_vec() })
+        .submit_and_wait(Op::Put {
+            key: 7,
+            value: b"before-crash".to_vec(),
+        })
         .expect("first put");
     println!("committed a write under the initial leader (node 0, Oregon)");
 
@@ -53,10 +56,17 @@ fn main() {
     let n_actors = cluster.replicas().len() + cluster.clients().len() + 1; // + probe
     let mut groups = vec![0u32; n_actors];
     groups[0] = 1;
-    cluster.sim.partition_at(groups, cluster.sim.now() + SimDuration::from_millis(1));
-    cluster.sim.restart_at(leader_actor, cluster.sim.now() + SimDuration::from_millis(2));
+    cluster
+        .sim
+        .partition_at(groups, cluster.sim.now() + SimDuration::from_millis(1));
+    cluster.sim.restart_at(
+        leader_actor,
+        cluster.sim.now() + SimDuration::from_millis(2),
+    );
     cluster.sim.run_for(SimDuration::from_secs(2));
-    cluster.sim.heal_at(cluster.sim.now() + SimDuration::from_millis(1));
+    cluster
+        .sim
+        .heal_at(cluster.sim.now() + SimDuration::from_millis(1));
     cluster.sim.run_for(SimDuration::from_secs(3));
     println!(
         "old leader restarted + partition healed; cluster still serves: {:?}",

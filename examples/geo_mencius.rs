@@ -26,13 +26,23 @@ fn run(protocol: ProtocolKind, conflict: f64) {
         SimDuration::from_secs(5),
         SimDuration::from_secs(1),
     );
-    println!("== {} (conflict {:.0}%) ==", protocol.name(), conflict * 100.0);
+    println!(
+        "== {} (conflict {:.0}%) ==",
+        protocol.name(),
+        conflict * 100.0
+    );
     println!("  throughput {:.0} ops/s", report.throughput_ops);
     if let Some(t) = report.leader_writes {
-        println!("  Oregon-region writes p50/p90 = {:.0}/{:.0} ms", t.p50_ms, t.p90_ms);
+        println!(
+            "  Oregon-region writes p50/p90 = {:.0}/{:.0} ms",
+            t.p50_ms, t.p90_ms
+        );
     }
     if let Some(t) = report.follower_writes {
-        println!("  other-region  writes p50/p90 = {:.0}/{:.0} ms", t.p50_ms, t.p90_ms);
+        println!(
+            "  other-region  writes p50/p90 = {:.0}/{:.0} ms",
+            t.p50_ms, t.p90_ms
+        );
     }
     if matches!(protocol, ProtocolKind::RaftStarMencius) {
         let skips: u64 = cluster

@@ -10,7 +10,11 @@ use paxraft::sim::time::SimDuration;
 use paxraft::workload::generator::WorkloadConfig;
 
 fn run(protocol: ProtocolKind) {
-    let workload = WorkloadConfig { read_fraction: 0.9, conflict_rate: 0.05, ..Default::default() };
+    let workload = WorkloadConfig {
+        read_fraction: 0.9,
+        conflict_rate: 0.05,
+        ..Default::default()
+    };
     let mut cluster = Cluster::builder(protocol)
         .clients_per_region(20)
         .workload(workload)
@@ -24,13 +28,22 @@ fn run(protocol: ProtocolKind) {
     );
     println!("== {} ==", protocol.name());
     if let Some(t) = report.leader_reads {
-        println!("  leader-region reads   p50/p90/p99 = {:.1}/{:.1}/{:.1} ms", t.p50_ms, t.p90_ms, t.p99_ms);
+        println!(
+            "  leader-region reads   p50/p90/p99 = {:.1}/{:.1}/{:.1} ms",
+            t.p50_ms, t.p90_ms, t.p99_ms
+        );
     }
     if let Some(t) = report.follower_reads {
-        println!("  follower-region reads p50/p90/p99 = {:.1}/{:.1}/{:.1} ms", t.p50_ms, t.p90_ms, t.p99_ms);
+        println!(
+            "  follower-region reads p50/p90/p99 = {:.1}/{:.1}/{:.1} ms",
+            t.p50_ms, t.p90_ms, t.p99_ms
+        );
     }
     if let Some(t) = report.leader_writes {
-        println!("  leader-region writes  p50/p90/p99 = {:.1}/{:.1}/{:.1} ms", t.p50_ms, t.p90_ms, t.p99_ms);
+        println!(
+            "  leader-region writes  p50/p90/p99 = {:.1}/{:.1}/{:.1} ms",
+            t.p50_ms, t.p90_ms, t.p99_ms
+        );
     }
     println!("  throughput {:.0} ops/s", report.throughput_ops);
     if matches!(protocol, ProtocolKind::RaftStarPql) {

@@ -10,7 +10,10 @@ use paxraft::spec::specs::{multipaxos, raftstar};
 
 fn main() {
     let cfg = multipaxos::MpConfig::default();
-    let limits = Limits { max_states: 50_000, max_depth: usize::MAX };
+    let limits = Limits {
+        max_states: 50_000,
+        max_depth: usize::MAX,
+    };
 
     println!("[1/3] MultiPaxos: agreement + one-value-per-ballot");
     let mp = multipaxos::spec(&cfg);
@@ -22,7 +25,10 @@ fn main() {
         ],
         limits,
     );
-    println!("  {:?} over {} states / {} transitions", report.verdict, report.states, report.transitions);
+    println!(
+        "  {:?} over {} states / {} transitions",
+        report.verdict, report.states, report.transitions
+    );
 
     println!("[2/3] Raft*: contiguity, commit safety, log matching");
     let rs = raftstar::spec(&cfg);
@@ -35,11 +41,14 @@ fn main() {
         ],
         limits,
     );
-    println!("  {:?} over {} states / {} transitions", report.verdict, report.states, report.transitions);
+    println!(
+        "  {:?} over {} states / {} transitions",
+        report.verdict, report.states, report.transitions
+    );
 
     println!("[3/3] Refinement: Raft* ⇒ MultiPaxos (Appendix C, bounded)");
-    let r = check_refinement(&rs, &mp, &raftstar::refinement_map(), limits)
-        .expect("refinement holds");
+    let r =
+        check_refinement(&rs, &mp, &raftstar::refinement_map(), limits).expect("refinement holds");
     println!(
         "  OK over {} Raft* states / {} transitions ({} stutters), exhausted={}",
         r.b_states, r.b_transitions, r.stutters, r.exhausted

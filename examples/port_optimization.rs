@@ -28,7 +28,10 @@ fn main() {
 
     // ---- Case study: PQL -> Raft*-PQL ------------------------------
     println!("[2/2] Case study: port Paxos Quorum Lease to Raft*");
-    let cfg = multipaxos::MpConfig { max_ballot: 2, ..Default::default() };
+    let cfg = multipaxos::MpConfig {
+        max_ballot: 2,
+        ..Default::default()
+    };
     let mp = multipaxos::spec(&cfg);
     let rs = raftstar::spec(&cfg);
     let d = pql::delta(&cfg);
@@ -43,11 +46,20 @@ fn main() {
     );
     let pql_spec = d.apply_to(&mp);
     let ext = extended_map(&mp, &rs, &d, &pmap.state_map);
-    let limits = Limits { max_states: 2_000, max_depth: usize::MAX };
+    let limits = Limits {
+        max_states: 2_000,
+        max_depth: usize::MAX,
+    };
     let r1 = check_refinement(&rql, &pql_spec, &ext, limits).expect("RQL ⇒ PQL");
-    println!("  RQL ⇒ PQL   checked over {} states / {} transitions", r1.b_states, r1.b_transitions);
+    println!(
+        "  RQL ⇒ PQL   checked over {} states / {} transitions",
+        r1.b_states, r1.b_transitions
+    );
     let r2 = check_refinement(&rql, &rs, &projection_map(&rs), limits).expect("RQL ⇒ Raft*");
-    println!("  RQL ⇒ Raft* checked over {} states / {} transitions", r2.b_states, r2.b_transitions);
+    println!(
+        "  RQL ⇒ Raft* checked over {} states / {} transitions",
+        r2.b_states, r2.b_transitions
+    );
     println!("\nBoth obligations of Section 4.3's correctness argument hold: the");
     println!("generated protocol preserves the optimization's invariants AND the");
     println!("original protocol's invariants.");

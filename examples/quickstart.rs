@@ -14,13 +14,18 @@ fn main() {
     for key in 0..3u64 {
         let t0 = cluster.sim.now();
         cluster
-            .submit_and_wait(Op::Put { key, value: format!("value-{key}").into_bytes() })
+            .submit_and_wait(Op::Put {
+                key,
+                value: format!("value-{key}").into_bytes(),
+            })
             .expect("put commits");
         println!("put key={key} committed in {}", cluster.sim.now() - t0);
     }
 
     let t0 = cluster.sim.now();
-    let reply = cluster.submit_and_wait(Op::Get { key: 1 }).expect("get succeeds");
+    let reply = cluster
+        .submit_and_wait(Op::Get { key: 1 })
+        .expect("get succeeds");
     match reply {
         Reply::Value(Some(v)) => println!(
             "get key=1 -> {:?} in {}",

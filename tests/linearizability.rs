@@ -77,8 +77,12 @@ fn pql_stays_linearizable_across_leaseholder_crash() {
     cluster.elect_leader();
     // Crash a follower leaseholder mid-run and restart it later.
     let victim = cluster.replicas()[3];
-    cluster.sim.crash_at(victim, paxraft::sim::time::SimTime::from_secs(4));
-    cluster.sim.restart_at(victim, paxraft::sim::time::SimTime::from_secs(7));
+    cluster
+        .sim
+        .crash_at(victim, paxraft::sim::time::SimTime::from_secs(4));
+    cluster
+        .sim
+        .restart_at(victim, paxraft::sim::time::SimTime::from_secs(7));
     let report = cluster.run_measurement(
         SimDuration::from_secs(2),
         SimDuration::from_secs(8),

@@ -25,7 +25,10 @@ fn figure4_pipeline_end_to_end() {
 
 #[test]
 fn pql_port_pipeline_end_to_end() {
-    let cfg = multipaxos::MpConfig { max_ballot: 2, ..Default::default() };
+    let cfg = multipaxos::MpConfig {
+        max_ballot: 2,
+        ..Default::default()
+    };
     let mp = multipaxos::spec(&cfg);
     let rs = raftstar::spec(&cfg);
     let d = pql::delta(&cfg);
@@ -37,7 +40,10 @@ fn pql_port_pipeline_end_to_end() {
     let report = explore(
         &rql,
         &[Invariant::new("LeaseInv", inv)],
-        Limits { max_states: 5_000, max_depth: usize::MAX },
+        Limits {
+            max_states: 5_000,
+            max_depth: usize::MAX,
+        },
     );
     assert!(report.ok(), "{:?}", report.verdict);
 }
@@ -59,7 +65,10 @@ fn mencius_port_pipeline_end_to_end() {
     let report = explore(
         &coor,
         &[Invariant::new("SkipSafety", inv)],
-        Limits { max_states: 5_000, max_depth: usize::MAX },
+        Limits {
+            max_states: 5_000,
+            max_depth: usize::MAX,
+        },
     );
     assert!(report.ok(), "{:?}", report.verdict);
 }

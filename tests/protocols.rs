@@ -21,7 +21,10 @@ fn every_protocol_commits_and_reads_back() {
         let mut cluster = Cluster::builder(p).seed(13).build();
         cluster.elect_leader();
         cluster
-            .submit_and_wait(Op::Put { key: 5, value: vec![1; 16] })
+            .submit_and_wait(Op::Put {
+                key: 5,
+                value: vec![1; 16],
+            })
             .unwrap_or_else(|e| panic!("{}: put failed: {e}", p.name()));
         let r = cluster
             .submit_and_wait(Op::Get { key: 5 })
@@ -36,7 +39,11 @@ fn every_protocol_commits_and_reads_back() {
 
 #[test]
 fn every_protocol_sustains_a_mixed_workload() {
-    let workload = WorkloadConfig { read_fraction: 0.5, conflict_rate: 0.05, ..Default::default() };
+    let workload = WorkloadConfig {
+        read_fraction: 0.5,
+        conflict_rate: 0.05,
+        ..Default::default()
+    };
     for p in ALL {
         let mut cluster = Cluster::builder(p)
             .clients_per_region(5)
@@ -81,7 +88,11 @@ fn runs_are_deterministic_given_a_seed() {
 
 #[test]
 fn pql_reads_are_fast_and_writes_slower_than_raft() {
-    let workload = WorkloadConfig { read_fraction: 0.9, conflict_rate: 0.0, ..Default::default() };
+    let workload = WorkloadConfig {
+        read_fraction: 0.9,
+        conflict_rate: 0.0,
+        ..Default::default()
+    };
     let measure = |p| {
         let mut cluster = Cluster::builder(p)
             .clients_per_region(10)
@@ -113,7 +124,11 @@ fn pql_reads_are_fast_and_writes_slower_than_raft() {
 
 #[test]
 fn mencius_beats_raft_under_saturating_writes() {
-    let workload = WorkloadConfig { read_fraction: 0.0, conflict_rate: 0.0, ..Default::default() };
+    let workload = WorkloadConfig {
+        read_fraction: 0.0,
+        conflict_rate: 0.0,
+        ..Default::default()
+    };
     let peak = |p| {
         // Past the single-leader saturation point (Figure 10a's
         // crossover sits near 2-3K clients/region).
