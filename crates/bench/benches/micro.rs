@@ -6,6 +6,10 @@
 //! workspace carries no external bench dependency; each benchmark is
 //! run for a fixed number of timed iterations after a short warm-up and
 //! reported as ns/iter (median of samples).
+//!
+//! Besides the stdout table, results are written as JSON to the path in
+//! `BENCH_JSON_OUT` (default `BENCH.json` in the working directory); CI
+//! points that at a per-PR file to archive the perf trajectory.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -20,9 +24,28 @@ use paxraft_sim::net::{NetConfig, Region};
 use paxraft_sim::sim::{Actor, ActorId, Ctx, Payload, Simulation};
 use paxraft_sim::time::SimTime;
 
+/// Collects `(name, median ns/iter)` rows for the JSON report.
+struct Reporter {
+    rows: Vec<(String, f64)>,
+}
+
+impl Reporter {
+    /// Writes the collected rows as a flat JSON object (hand-rolled:
+    /// the workspace is intentionally dependency-free).
+    fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let mut out = String::from("{\n");
+        for (i, (name, median)) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            out.push_str(&format!("  \"{name}\": {median:.1}{comma}\n"));
+        }
+        out.push_str("}\n");
+        std::fs::write(path, out)
+    }
+}
+
 /// Times `f` over `samples` samples of `iters` iterations each and
 /// prints the median ns/iter.
-fn bench(name: &str, samples: usize, iters: usize, mut f: impl FnMut()) {
+fn bench(rep: &mut Reporter, name: &str, samples: usize, iters: usize, mut f: impl FnMut()) {
     // Warm-up.
     for _ in 0..iters.min(3) {
         f();
@@ -38,10 +61,11 @@ fn bench(name: &str, samples: usize, iters: usize, mut f: impl FnMut()) {
     per_iter.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
     let median = per_iter[per_iter.len() / 2];
     println!("{name:<40} {median:>14.0} ns/iter  ({samples} x {iters})");
+    rep.rows.push((name.to_string(), median));
 }
 
-fn bench_log_append() {
-    bench("log_append_1k", 10, 20, || {
+fn bench_log_append(rep: &mut Reporter) {
+    bench(rep, "log_append_1k", 10, 20, || {
         let mut log = Log::new();
         for i in 0..1000u64 {
             log.append(Entry {
@@ -54,7 +78,7 @@ fn bench_log_append() {
     });
 }
 
-fn bench_bal_rewrite() {
+fn bench_bal_rewrite(rep: &mut Reporter) {
     let mut log = Log::new();
     for i in 0..1000u64 {
         log.append(Entry {
@@ -64,15 +88,15 @@ fn bench_bal_rewrite() {
         });
     }
     let mut t = 2u64;
-    bench("raftstar_bal_rewrite_1k", 10, 100, || {
+    bench(rep, "raftstar_bal_rewrite_1k", 10, 100, || {
         t += 1;
         log.set_bal_upto(Slot(1000), Term(t));
         black_box(log.last_term());
     });
 }
 
-fn bench_replicator() {
-    bench("replicator_ack_commit_track", 10, 50, || {
+fn bench_replicator(rep: &mut Reporter) {
+    bench(rep, "replicator_ack_commit_track", 10, 50, || {
         let mut r = Replicator::new(5);
         for i in 1..=100u64 {
             for p in 1..5u32 {
@@ -83,7 +107,7 @@ fn bench_replicator() {
     });
 }
 
-fn bench_lease_check() {
+fn bench_lease_check(rep: &mut Reporter) {
     let mut lm = LeaseManager::new(LeaseConfig::default(), ReadMode::QuorumLease, 5, NodeId(2));
     let now = SimTime::from_millis(100);
     lm.self_grant(now);
@@ -91,7 +115,7 @@ fn bench_lease_check() {
         lm.on_grant(NodeId(g), SimTime::from_secs(5), Slot::NONE, SimTime::ZERO);
         lm.on_grant_ack(NodeId(g), SimTime::from_secs(5));
     }
-    bench("pql_quorum_lease_check", 10, 10_000, || {
+    bench(rep, "pql_quorum_lease_check", 10, 10_000, || {
         black_box(lm.has_quorum_lease(now) && !lm.current_holders(now).is_empty());
     });
 }
@@ -120,8 +144,8 @@ impl Actor<Ping> for Echo {
     paxraft_sim::impl_actor_any!();
 }
 
-fn bench_sim_event_loop() {
-    bench("sim_10k_message_events", 5, 3, || {
+fn bench_sim_event_loop(rep: &mut Reporter) {
+    bench(rep, "sim_10k_message_events", 5, 3, || {
         let mut sim = Simulation::new(NetConfig::default(), 7);
         let a = sim.add_actor(
             Region::Oregon,
@@ -142,12 +166,12 @@ fn bench_sim_event_loop() {
     });
 }
 
-fn bench_model_check_small() {
+fn bench_model_check_small(rep: &mut Reporter) {
     use paxraft_spec::check::{explore, Limits};
     use paxraft_spec::specs::multipaxos::{self, MpConfig};
     let cfg = MpConfig::default();
     let mp = multipaxos::spec(&cfg);
-    bench("model_check_multipaxos_2k_states", 5, 3, || {
+    bench(rep, "model_check_multipaxos_2k_states", 5, 3, || {
         let report = explore(
             &mp,
             &[],
@@ -160,10 +184,10 @@ fn bench_model_check_small() {
     });
 }
 
-fn bench_cluster_commit() {
+fn bench_cluster_commit(rep: &mut Reporter) {
     use paxraft_core::harness::{Cluster, ProtocolKind};
     use paxraft_core::kv::Op;
-    bench("raftstar_cluster_100_commits", 3, 1, || {
+    bench(rep, "raftstar_cluster_100_commits", 3, 1, || {
         let mut cluster = Cluster::builder(ProtocolKind::RaftStar).seed(3).build();
         cluster.elect_leader();
         for k in 0..100 {
@@ -179,12 +203,19 @@ fn bench_cluster_commit() {
 }
 
 fn main() {
+    let mut rep = Reporter { rows: Vec::new() };
+    let rep = &mut rep;
     println!("{:<40} {:>14}", "benchmark", "median");
-    bench_log_append();
-    bench_bal_rewrite();
-    bench_replicator();
-    bench_lease_check();
-    bench_sim_event_loop();
-    bench_model_check_small();
-    bench_cluster_commit();
+    bench_log_append(rep);
+    bench_bal_rewrite(rep);
+    bench_replicator(rep);
+    bench_lease_check(rep);
+    bench_sim_event_loop(rep);
+    bench_model_check_small(rep);
+    bench_cluster_commit(rep);
+    let path = std::env::var("BENCH_JSON_OUT").unwrap_or_else(|_| "BENCH.json".into());
+    match rep.write_json(&path) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
 }

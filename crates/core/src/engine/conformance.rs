@@ -1,0 +1,312 @@
+//! Cross-protocol conformance suite: one parameterized harness run over
+//! all four [`ProtocolRules`] implementations.
+//!
+//! These scenarios used to exist as four near-identical test clusters,
+//! one per protocol file; the engine refactor makes them a single
+//! generic suite. Each scenario runs against Raft, Raft*, MultiPaxos and
+//! Mencius and asserts engine-level guarantees: elect-and-commit, leader
+//! crash failover, partition heal via snapshot transfer,
+//! duplicate-request dedup, batch-timer discipline, and seed-for-seed
+//! determinism of the full measurement harness.
+
+use paxraft_sim::sim::{ActorId, Simulation};
+use paxraft_sim::time::{SimDuration, SimTime};
+
+use crate::config::ReplicaConfig;
+use crate::engine::{ProtocolRules, ReplicaEngine};
+use crate::harness::{Cluster, ProtocolKind};
+use crate::mencius::MenciusReplica;
+use crate::msg::{ClientMsg, Msg};
+use crate::multipaxos::MultiPaxosReplica;
+use crate::raft::RaftReplica;
+use crate::raftstar::RaftStarReplica;
+use crate::snapshot::SnapshotConfig;
+use crate::testutil::{cluster_with, drive_until, TestClient};
+use crate::types::NodeId;
+
+/// Builds an `n`-replica cluster of one protocol plus a scripted client
+/// targeting replica 0. Mencius ignores `initial_leader`; the shortened
+/// revocation timeout keeps its failover scenarios inside the deadlines.
+fn conformance_cluster<P: ProtocolRules>(
+    n: usize,
+    snapshot: Option<SnapshotConfig>,
+    make: impl Fn(ReplicaConfig) -> ReplicaEngine<P>,
+) -> (Simulation<Msg>, Vec<ActorId>, ActorId) {
+    cluster_with(n, |mut cfg| {
+        cfg.initial_leader = Some(NodeId(0));
+        cfg.mencius.revoke_timeout = SimDuration::from_secs(2);
+        if let Some(s) = &snapshot {
+            cfg.snapshot = s.clone();
+        }
+        Box::new(make(cfg))
+    })
+}
+
+/// Runs `scenario` once per protocol, labeled for failure messages.
+macro_rules! for_all_protocols {
+    ($scenario:ident) => {
+        $scenario("Raft", RaftReplica::new);
+        $scenario("Raft*", RaftStarReplica::new);
+        $scenario("MultiPaxos", MultiPaxosReplica::new);
+        $scenario("Mencius", MenciusReplica::new);
+    };
+}
+
+#[test]
+fn every_protocol_elects_commits_and_reads_back() {
+    fn scenario<P: ProtocolRules>(name: &str, make: fn(ReplicaConfig) -> ReplicaEngine<P>) {
+        let (mut sim, replicas, client) = conformance_cluster(3, None, make);
+        sim.actor_mut::<TestClient>(client).enqueue_put(42);
+        sim.actor_mut::<TestClient>(client).enqueue_get(42);
+        assert!(
+            drive_until(&mut sim, SimTime::from_secs(5), |sim| {
+                sim.actor::<TestClient>(client).replies.len() == 2
+            }),
+            "{name}: both ops answered"
+        );
+        let c = sim.actor::<TestClient>(client);
+        assert!(
+            c.replies[1].1.value_id().is_some(),
+            "{name}: read observes the write"
+        );
+        assert!(
+            replicas
+                .iter()
+                .any(|&r| sim.actor::<ReplicaEngine<P>>(r).is_leader()),
+            "{name}: some replica leads"
+        );
+    }
+    for_all_protocols!(scenario);
+}
+
+#[test]
+fn every_protocol_survives_crash_of_the_serving_replica() {
+    fn scenario<P: ProtocolRules>(name: &str, make: fn(ReplicaConfig) -> ReplicaEngine<P>) {
+        let (mut sim, replicas, client) = conformance_cluster(3, None, make);
+        sim.actor_mut::<TestClient>(client).enqueue_put(1);
+        assert!(
+            drive_until(&mut sim, SimTime::from_secs(5), |sim| {
+                sim.actor::<TestClient>(client).replies.len() == 1
+            }),
+            "{name}: first write committed"
+        );
+        // Crash the replica serving the client (the leader where there is
+        // one); the client fails over to a survivor, which must finish
+        // the remaining work — by re-election or, for Mencius, by
+        // revoking the dead owner's slots.
+        sim.crash_at(replicas[0], sim.now() + SimDuration::from_millis(1));
+        sim.actor_mut::<TestClient>(client).target = replicas[1];
+        sim.actor_mut::<TestClient>(client).enqueue_put(2);
+        sim.actor_mut::<TestClient>(client).enqueue_get(2);
+        assert!(
+            drive_until(&mut sim, SimTime::from_secs(60), |sim| {
+                sim.actor::<TestClient>(client).replies.len() == 3
+            }),
+            "{name}: survivor served the remaining ops"
+        );
+        let c = sim.actor::<TestClient>(client);
+        assert!(
+            c.replies[2].1.value_id().is_some(),
+            "{name}: committed write survived the crash"
+        );
+    }
+    for_all_protocols!(scenario);
+}
+
+#[test]
+fn every_protocol_heals_a_partitioned_replica_via_snapshot() {
+    fn scenario<P: ProtocolRules>(name: &str, make: fn(ReplicaConfig) -> ReplicaEngine<P>) {
+        let (mut sim, replicas, client) =
+            conformance_cluster(3, Some(SnapshotConfig::every(16)), make);
+        // Cut replica 2 off, then commit far more than the compaction
+        // threshold so the survivors discard the prefix it still needs.
+        sim.partition_at(vec![0, 0, 1, 0], SimTime::from_millis(1));
+        for k in 0..45 {
+            sim.actor_mut::<TestClient>(client).enqueue_put(k);
+        }
+        assert!(
+            drive_until(&mut sim, SimTime::from_secs(280), |sim| {
+                sim.actor::<TestClient>(client).replies.len() == 45
+            }),
+            "{name}: majority side kept committing under the partition"
+        );
+        let survivor_applied = sim.actor::<ReplicaEngine<P>>(replicas[0]).applied_index();
+        assert!(
+            sim.actor::<ReplicaEngine<P>>(replicas[0])
+                .snap_stats()
+                .compactions
+                >= 1,
+            "{name}: survivors compacted past the lagger"
+        );
+        sim.heal_at(sim.now() + SimDuration::from_millis(1));
+        sim.run_for(SimDuration::from_secs(20));
+        let lagger = sim.actor::<ReplicaEngine<P>>(replicas[2]);
+        assert!(
+            lagger.snap_stats().snapshots_installed >= 1,
+            "{name}: rejoined replica installed a snapshot ({:?})",
+            lagger.snap_stats()
+        );
+        assert!(
+            lagger.applied_index().0 + 64 >= survivor_applied.0,
+            "{name}: rejoined replica converged ({} vs {})",
+            lagger.applied_index(),
+            survivor_applied
+        );
+    }
+    for_all_protocols!(scenario);
+}
+
+#[test]
+fn requests_sent_to_a_follower_are_forwarded_and_answered() {
+    fn scenario<P: ProtocolRules>(name: &str, make: fn(ReplicaConfig) -> ReplicaEngine<P>) {
+        let (mut sim, replicas, _client) = conformance_cluster(3, None, make);
+        // Let replica 0 take leadership, then drive a fresh client at a
+        // *follower*: the engine's forward path (or Mencius's local
+        // proposal) must still answer it.
+        assert!(
+            drive_until(&mut sim, SimTime::from_secs(5), |sim| {
+                sim.actor::<ReplicaEngine<P>>(replicas[0]).is_leader()
+            }),
+            "{name}: replica 0 leads"
+        );
+        let mut follower_client = TestClient::new(1, replicas[1]);
+        follower_client.enqueue_put(9);
+        follower_client.enqueue_get(9);
+        let fc = sim.add_actor(paxraft_sim::net::Region::Ohio, Box::new(follower_client));
+        assert!(
+            drive_until(&mut sim, SimTime::from_secs(10), |sim| {
+                sim.actor::<TestClient>(fc).replies.len() == 2
+            }),
+            "{name}: follower-targeted ops were forwarded and answered"
+        );
+        assert!(
+            sim.actor::<TestClient>(fc).replies[1]
+                .1
+                .value_id()
+                .is_some(),
+            "{name}: read through the follower observes the write"
+        );
+    }
+    for_all_protocols!(scenario);
+}
+
+#[test]
+fn every_protocol_dedups_duplicate_requests() {
+    fn scenario<P: ProtocolRules>(name: &str, make: fn(ReplicaConfig) -> ReplicaEngine<P>) {
+        let (mut sim, replicas, client) = conformance_cluster(3, None, make);
+        sim.actor_mut::<TestClient>(client).enqueue_put(5);
+        assert!(
+            drive_until(&mut sim, SimTime::from_secs(5), |sim| {
+                sim.actor::<TestClient>(client).replies.len() == 1
+            }),
+            "{name}: write committed"
+        );
+        sim.run_for(SimDuration::from_secs(1)); // let the apply settle
+        let before = sim
+            .actor::<ReplicaEngine<P>>(replicas[0])
+            .kv()
+            .applied_ops();
+        // Resend the same command; the session table must return the
+        // cached reply rather than double-apply.
+        let cmd = sim.actor::<TestClient>(client).sent[0].clone();
+        let target = sim.actor::<TestClient>(client).target;
+        sim.send_external(
+            target,
+            Msg::Client(ClientMsg::Request { cmd }),
+            SimDuration::ZERO,
+        );
+        sim.run_for(SimDuration::from_secs(2));
+        let after = sim
+            .actor::<ReplicaEngine<P>>(replicas[0])
+            .kv()
+            .applied_ops();
+        assert_eq!(
+            before, after,
+            "{name}: duplicate request did not re-apply (was {before}, now {after})"
+        );
+    }
+    for_all_protocols!(scenario);
+}
+
+#[test]
+fn burst_of_requests_arms_one_batch_timer_and_one_flush() {
+    fn scenario<P: ProtocolRules>(name: &str, make: fn(ReplicaConfig) -> ReplicaEngine<P>) {
+        let (mut sim, replicas, _client) = conformance_cluster(3, None, make);
+        // Let the cluster elect and go quiet.
+        assert!(
+            drive_until(&mut sim, SimTime::from_secs(5), |sim| {
+                sim.actor::<ReplicaEngine<P>>(replicas[0]).is_leader()
+            }),
+            "{name}: replica 0 leads"
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        let (armed0, flushed0) = sim.actor::<ReplicaEngine<P>>(replicas[0]).batching_stats();
+        // A burst of N requests lands within one batch window (N well
+        // under batch_max, so only the timer can flush it).
+        let n_burst = 8u64;
+        for seq in 1..=n_burst {
+            let cmd = crate::kv::Command::put(crate::kv::CmdId { client: 0, seq }, seq, vec![0; 8]);
+            sim.send_external(
+                replicas[0],
+                Msg::Client(ClientMsg::Request { cmd }),
+                SimDuration::ZERO,
+            );
+        }
+        sim.run_for(SimDuration::from_secs(1));
+        let (armed1, flushed1) = sim.actor::<ReplicaEngine<P>>(replicas[0]).batching_stats();
+        assert_eq!(
+            armed1 - armed0,
+            1,
+            "{name}: a burst of {n_burst} requests arms exactly one batch timer"
+        );
+        assert_eq!(
+            flushed1 - flushed0,
+            1,
+            "{name}: and produces exactly one flush"
+        );
+    }
+    for_all_protocols!(scenario);
+}
+
+/// Seed-for-seed determinism of the full measurement harness: two runs
+/// with identical seeds must produce identical [`RunReport`]s (committed
+/// ops, latency percentiles, compaction counters, peak log size) for
+/// every protocol.
+///
+/// [`RunReport`]: crate::harness::RunReport
+#[test]
+fn fixed_seed_runs_are_deterministic_for_every_protocol() {
+    fn fingerprint(p: ProtocolKind, seed: u64) -> String {
+        let mut cluster = Cluster::builder(p)
+            .clients_per_region(1)
+            .seed(seed)
+            .snapshot_config(SnapshotConfig::every(64))
+            .build();
+        cluster.elect_leader();
+        let r = cluster.run_measurement(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(1),
+        );
+        format!(
+            "thr={} lr={:?} fr={:?} lw={:?} fw={:?} snaps={:?} end={}",
+            r.throughput_ops,
+            r.leader_reads,
+            r.follower_reads,
+            r.leader_writes,
+            r.follower_writes,
+            r.snapshots,
+            cluster.sim.now()
+        )
+    }
+    for p in [
+        ProtocolKind::Raft,
+        ProtocolKind::RaftStar,
+        ProtocolKind::MultiPaxos,
+        ProtocolKind::RaftStarMencius,
+    ] {
+        let a = fingerprint(p, 9);
+        let b = fingerprint(p, 9);
+        assert_eq!(a, b, "{}: same seed, same RunReport", p.name());
+    }
+}

@@ -1,0 +1,511 @@
+//! The shared replica engine: every behavior the four protocols have in
+//! common, written once.
+//!
+//! The paper's thesis is that Paxos and Raft share so much structure
+//! that optimizations port mechanically between them. This module makes
+//! that true *by construction*: [`ReplicaEngine`]`<P>` owns all the
+//! protocol-agnostic machinery — the key-value state machine with client
+//! session dedup, pending-command batching and follower→leader
+//! forwarding, election/heartbeat/batch timer arming, chunked snapshot
+//! send and install with per-sender reassembly, and the
+//! [`Actor`] plumbing — while each protocol shrinks to a
+//! [`ProtocolRules`] impl expressing only what genuinely differs:
+//!
+//! | rules hook | Raft | Raft* | MultiPaxos | Mencius |
+//! |---|---|---|---|---|
+//! | `can_propose` | is leader | is leader | phase-1 succeeded | always |
+//! | `propose` | append + AppendEntries | + ballot rewrite | next instance + Accept | own round-robin slot + Suggest |
+//! | `on_election_timeout` | RequestVote | RequestVote + extras | Phase1a | — (revocation instead) |
+//! | commit advance | §5.4.2 term check | f-th match | per-instance quorum | per-slot quorum + skips |
+//!
+//! An optimization added to the engine (a smarter batcher, snapshot
+//! pacing, a new transfer encoding) lands in all four protocols at once:
+//! the paper's "port the optimization" becomes "the engine already has
+//! it".
+
+pub mod raft_family;
+mod transfer;
+
+#[cfg(test)]
+mod conformance;
+
+pub use transfer::{compact_applied_prefix, install_into_raft_state, ship_snapshot};
+
+use paxraft_sim::impl_actor_any;
+use paxraft_sim::sim::{Actor, ActorId, Ctx};
+use paxraft_sim::time::SimDuration;
+
+use crate::config::ReplicaConfig;
+use crate::costs::CostModel;
+use crate::kv::{CmdId, Command, KvStore, Reply};
+use crate::msg::{ClientMsg, EngineMsg, Msg};
+use crate::snapshot::{Snapshot, SnapshotAssembler, SnapshotSender, SnapshotStats};
+use crate::types::{self, NodeId, Slot, Term};
+
+/// Timer token kinds (upper 16 bits); generation counters live in the
+/// lower bits so stale timers are ignored. One registry for every
+/// protocol — rules-specific timers ([`T_LEASE`], [`T_COORD`]) reach the
+/// rules through [`ProtocolRules::on_timer`].
+pub const T_ELECTION: u64 = 1 << 48;
+/// Leader heartbeat / retransmission tick.
+pub const T_HEARTBEAT: u64 = 2 << 48;
+/// Pending-batch flush deadline.
+pub const T_BATCH: u64 = 3 << 48;
+/// Lease renewal tick (Raft*-PQL / LL).
+pub const T_LEASE: u64 = 4 << 48;
+/// Mencius coordination tick (skips, commit flush, revocation check).
+pub const T_COORD: u64 = 6 << 48;
+/// Mask selecting the timer kind bits.
+pub const KIND_MASK: u64 = 0xFFFF << 48;
+
+/// All protocol-agnostic replica state, owned by the engine.
+#[derive(Debug)]
+pub struct EngineCore {
+    /// Static replica configuration.
+    pub cfg: ReplicaConfig,
+    /// The replicated state machine (client sessions included — the
+    /// single implementation of duplicate-request dedup).
+    pub kv: KvStore,
+    /// Where this replica believes the leader is (forwarding target).
+    pub leader_hint: Option<NodeId>,
+    /// Commands buffered for the next batch flush (leader) or forward
+    /// (follower).
+    pub pending: Vec<Command>,
+    batch_armed: bool,
+    batch_gen: u64,
+    /// Election timer generation (stale timers are ignored).
+    pub election_gen: u64,
+    /// Heartbeat timer generation.
+    pub heartbeat_gen: u64,
+    /// Reassembles incoming snapshot chunks, keyed by sender.
+    pub snap_asm: SnapshotAssembler,
+    /// Per-peer outbound transfer rate-limiting.
+    pub snap_send: SnapshotSender,
+    /// The durable snapshot the log was last compacted against (models
+    /// the on-disk snapshot file); restored on crash-restart because the
+    /// compacted prefix can no longer be replayed.
+    pub stable_snap: Option<Snapshot>,
+    /// Compaction / transfer counters.
+    pub snap_stats: SnapshotStats,
+    /// Client responses sent (stats).
+    pub responses_sent: u64,
+    /// Batch timers actually armed (stats; the re-arm regression test
+    /// asserts a burst of requests arms exactly one).
+    pub batch_timers_armed: u64,
+    /// Batch flushes performed (stats).
+    pub batch_flushes: u64,
+}
+
+impl EngineCore {
+    /// Engine state for a validated configuration.
+    pub fn new(cfg: ReplicaConfig) -> Self {
+        let n = cfg.n;
+        EngineCore {
+            cfg,
+            kv: KvStore::new(),
+            leader_hint: None,
+            pending: Vec::new(),
+            batch_armed: false,
+            batch_gen: 0,
+            election_gen: 0,
+            heartbeat_gen: 0,
+            snap_asm: SnapshotAssembler::default(),
+            snap_send: SnapshotSender::new(n),
+            stable_snap: None,
+            snap_stats: SnapshotStats::default(),
+            responses_sent: 0,
+            batch_timers_armed: 0,
+            batch_flushes: 0,
+        }
+    }
+
+    /// This replica's bit in quorum bitmaps.
+    pub fn me_bit(&self) -> u64 {
+        types::me_bit(self.cfg.id)
+    }
+
+    /// Arms a fresh randomized election timer (invalidates the previous
+    /// one). `never_led` selects the tiny bootstrap timeout on the
+    /// configured initial leader's first round.
+    pub fn arm_election(&mut self, ctx: &mut Ctx<Msg>, never_led: bool) {
+        self.election_gen += 1;
+        let span = self.cfg.election_max.as_nanos() - self.cfg.election_min.as_nanos();
+        let delay = if self.cfg.initial_leader == Some(self.cfg.id) && never_led {
+            SimDuration::from_millis(5)
+        } else {
+            self.cfg.election_min + SimDuration::from_nanos(ctx.rng().gen_range(span.max(1)))
+        };
+        ctx.set_timer(delay, T_ELECTION | self.election_gen);
+    }
+
+    /// Arms the next heartbeat tick (invalidates the previous one).
+    pub fn arm_heartbeat(&mut self, ctx: &mut Ctx<Msg>) {
+        self.heartbeat_gen += 1;
+        ctx.set_timer(self.cfg.heartbeat, T_HEARTBEAT | self.heartbeat_gen);
+    }
+
+    /// Arms the batch-flush timer. At most one batch timer is ever
+    /// outstanding: re-arming while armed is a no-op, and the generation
+    /// in the token retires superseded timers.
+    pub fn arm_batch(&mut self, ctx: &mut Ctx<Msg>) {
+        if !self.batch_armed {
+            self.batch_armed = true;
+            self.batch_gen += 1;
+            self.batch_timers_armed += 1;
+            ctx.set_timer(self.cfg.batch_delay, T_BATCH | self.batch_gen);
+        }
+    }
+
+    /// Sends a client response (no CPU charge; callers charge the cost
+    /// appropriate to their path first).
+    pub fn send_response(&mut self, ctx: &mut Ctx<Msg>, id: CmdId, reply: Reply) {
+        ctx.send(
+            self.cfg.client_actor(id.client),
+            Msg::Client(ClientMsg::Response { id, reply }),
+        );
+        self.responses_sent += 1;
+    }
+
+    /// Charges the reply cost and sends a client response.
+    pub fn respond(&mut self, ctx: &mut Ctx<Msg>, id: CmdId, reply: Reply) {
+        ctx.charge(self.cfg.costs.reply_fixed);
+        self.send_response(ctx, id, reply);
+    }
+
+    /// Forwards the buffered commands to the believed leader, or re-arms
+    /// the batch timer to retry while no leader is known.
+    pub fn forward_pending(&mut self, ctx: &mut Ctx<Msg>) {
+        let Some(leader) = self.leader_hint else {
+            if !self.pending.is_empty() {
+                self.arm_batch(ctx);
+            }
+            return;
+        };
+        if leader == self.cfg.id || self.pending.is_empty() {
+            return;
+        }
+        let cmds = std::mem::take(&mut self.pending);
+        ctx.charge(self.cfg.costs.forward_per_cmd * cmds.len() as u64);
+        ctx.send(
+            self.cfg.peer(leader),
+            Msg::Engine(EngineMsg::Forward { cmds }),
+        );
+    }
+}
+
+/// What a protocol must define for the engine to run it: ballot/vote
+/// semantics, slot assignment, the commit-advance rule, and recovery.
+/// Everything else — batching, forwarding, dedup, timers, snapshot
+/// transfer — is inherited from [`ReplicaEngine`].
+pub trait ProtocolRules: Sized + 'static {
+    /// Whether this replica may assign slots to client commands itself
+    /// (Raft-family leader, Paxos phase-1 winner; always true under
+    /// Mencius, where every replica owns slots).
+    fn can_propose(&self, core: &EngineCore) -> bool;
+
+    /// Whether this replica counts as "the leader" for harness
+    /// observation. Defaults to [`ProtocolRules::can_propose`].
+    fn is_leader(&self, core: &EngineCore) -> bool {
+        self.can_propose(core)
+    }
+
+    /// The applied prefix (Raft `lastApplied` / Paxos executed index).
+    fn applied_index(&self, core: &EngineCore) -> Slot;
+
+    /// Extra per-command propose cost (Mencius coordination overhead).
+    fn extra_propose_cost(&self, costs: &CostModel) -> SimDuration {
+        let _ = costs;
+        SimDuration::ZERO
+    }
+
+    /// Assigns slots to a flushed batch and replicates it. Called only
+    /// when [`ProtocolRules::can_propose`] holds; the engine has already
+    /// charged the propose cost.
+    fn propose(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, cmds: Vec<Command>);
+
+    /// Serves a command without replication when a read optimization
+    /// applies (quorum-lease local reads). `true` consumes the command.
+    fn try_serve_local(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: &mut Ctx<Msg>,
+        cmd: &Command,
+    ) -> bool {
+        let _ = (core, ctx, cmd);
+        false
+    }
+
+    /// Arms the protocol's initial timers (election bootstrap, lease
+    /// renewal, Mencius coordination).
+    fn on_start(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>);
+
+    /// The (generation-valid) election timer fired and this replica is
+    /// not leading: start recovery (RequestVote / Phase1a).
+    fn on_election_timeout(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        let _ = (core, ctx);
+    }
+
+    /// The (generation-valid) heartbeat timer fired.
+    fn on_heartbeat(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        let _ = (core, ctx);
+    }
+
+    /// A protocol-specific timer kind fired ([`T_LEASE`], [`T_COORD`]).
+    fn on_timer(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, kind: u64, token: u64) {
+        let _ = (core, ctx, kind, token);
+    }
+
+    /// Handles one protocol message (everything the engine does not
+    /// consume itself).
+    fn on_msg(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, from: ActorId, msg: Msg);
+
+    /// Fixed CPU cost of receiving one snapshot chunk.
+    fn snapshot_chunk_fixed_cost(&self, costs: &CostModel) -> SimDuration {
+        costs.append_fixed
+    }
+
+    /// Gates an incoming snapshot chunk (term/ballot check, stepping
+    /// down to the sender). `false` drops the chunk un-charged.
+    fn accept_snapshot_chunk(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: &mut Ctx<Msg>,
+        from: ActorId,
+        seal: Term,
+    ) -> bool {
+        let _ = (core, ctx, from, seal);
+        true
+    }
+
+    /// Installs a fully reassembled snapshot into the protocol's log /
+    /// instance store and acknowledges it.
+    fn install_snapshot(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: &mut Ctx<Msg>,
+        from: ActorId,
+        snap: Snapshot,
+    );
+
+    /// Handles a snapshot acknowledgement (release the per-peer transfer
+    /// slot via [`SnapshotSender::finish`], then treat `upto` like a
+    /// replication ack).
+    fn on_snapshot_ack(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: &mut Ctx<Msg>,
+        from: ActorId,
+        seal: Term,
+        upto: Slot,
+    );
+
+    /// Folds protocol-held peaks (retained log size) into the reported
+    /// stats.
+    fn decorate_stats(&self, stats: &mut SnapshotStats) {
+        let _ = stats;
+    }
+
+    /// Resets volatile protocol state after a crash. The engine has
+    /// already cleared its own volatile state (pending batch, transfer
+    /// buffers, leader hint); restoring the state machine from
+    /// `core.stable_snap` is the rules' job because what survives a
+    /// restart differs per protocol family.
+    fn on_crash(&mut self, core: &mut EngineCore);
+}
+
+/// A replica: the shared engine plus one protocol's rules.
+pub struct ReplicaEngine<P: ProtocolRules> {
+    pub(crate) core: EngineCore,
+    pub(crate) rules: P,
+}
+
+impl<P: ProtocolRules> ReplicaEngine<P> {
+    /// Assembles a replica from parts (protocol aliases provide `new`).
+    pub fn from_parts(core: EngineCore, rules: P) -> Self {
+        ReplicaEngine { core, rules }
+    }
+
+    /// Whether this replica currently counts as the leader.
+    pub fn is_leader(&self) -> bool {
+        self.rules.is_leader(&self.core)
+    }
+
+    /// Read-only state machine access.
+    pub fn kv(&self) -> &KvStore {
+        &self.core.kv
+    }
+
+    /// The applied prefix (Raft `lastApplied` / Paxos executed index).
+    pub fn applied_index(&self) -> Slot {
+        self.rules.applied_index(&self.core)
+    }
+
+    /// Compaction / snapshot-transfer counters, peaks included.
+    pub fn snap_stats(&self) -> SnapshotStats {
+        let mut s = self.core.snap_stats;
+        self.rules.decorate_stats(&mut s);
+        s
+    }
+
+    /// Client responses sent (stats).
+    pub fn responses_sent(&self) -> u64 {
+        self.core.responses_sent
+    }
+
+    /// `(batch timers armed, batch flushes)` — stats for the batching
+    /// regression tests.
+    pub fn batching_stats(&self) -> (u64, u64) {
+        (self.core.batch_timers_armed, self.core.batch_flushes)
+    }
+}
+
+/// The single batch-flush implementation: charge the propose cost and
+/// hand the batch to the rules, or forward it toward the leader when
+/// this replica cannot assign slots itself.
+pub fn flush_pending<P: ProtocolRules>(rules: &mut P, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+    if !rules.can_propose(core) {
+        core.forward_pending(ctx);
+        return;
+    }
+    if core.pending.is_empty() {
+        return;
+    }
+    let cmds = std::mem::take(&mut core.pending);
+    let bytes: usize = cmds.iter().map(Command::size_bytes).sum();
+    let per_cmd = core.cfg.costs.propose_per_cmd + rules.extra_propose_cost(&core.cfg.costs);
+    ctx.charge(
+        core.cfg.costs.propose_fixed
+            + per_cmd * cmds.len() as u64
+            + core.cfg.costs.size_cost(bytes),
+    );
+    core.batch_flushes += 1;
+    rules.propose(core, ctx, cmds);
+}
+
+/// Accepts a forwarded batch: lease-serve what can be served locally,
+/// buffer the rest, and flush once the batch limit is reached.
+fn on_forwarded<P: ProtocolRules>(
+    rules: &mut P,
+    core: &mut EngineCore,
+    ctx: &mut Ctx<Msg>,
+    cmds: Vec<Command>,
+) {
+    ctx.charge(core.cfg.costs.forward_per_cmd * cmds.len() as u64);
+    for cmd in cmds {
+        if rules.try_serve_local(core, ctx, &cmd) {
+            continue;
+        }
+        core.pending.push(cmd);
+    }
+    if rules.can_propose(core) && core.pending.len() >= core.cfg.batch_max {
+        flush_pending(rules, core, ctx);
+    } else if !core.pending.is_empty() {
+        core.arm_batch(ctx);
+    }
+}
+
+impl<P: ProtocolRules> Actor<Msg> for ReplicaEngine<P> {
+    fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+        self.rules.on_start(&mut self.core, ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Msg>, from: ActorId, msg: Msg) {
+        match msg {
+            Msg::Client(ClientMsg::Request { cmd }) => {
+                ctx.charge(self.core.cfg.costs.client_req);
+                if self.rules.try_serve_local(&mut self.core, ctx, &cmd) {
+                    return;
+                }
+                self.core.pending.push(cmd);
+                if self.rules.can_propose(&self.core)
+                    && self.core.pending.len() >= self.core.cfg.batch_max
+                {
+                    flush_pending(&mut self.rules, &mut self.core, ctx);
+                } else {
+                    self.core.arm_batch(ctx);
+                }
+            }
+            Msg::Engine(EngineMsg::Forward { cmds }) => {
+                on_forwarded(&mut self.rules, &mut self.core, ctx, cmds);
+            }
+            // `last_term` rides inside the encoded payload; the header
+            // copy only matters for observability.
+            Msg::Engine(EngineMsg::SnapshotChunk {
+                seal,
+                last_slot,
+                last_term: _,
+                offset,
+                total,
+                data,
+            }) => {
+                if !self
+                    .rules
+                    .accept_snapshot_chunk(&mut self.core, ctx, from, seal)
+                {
+                    return;
+                }
+                ctx.charge(
+                    self.rules.snapshot_chunk_fixed_cost(&self.core.cfg.costs)
+                        + self.core.cfg.costs.snapshot_cost(data.len()),
+                );
+                if let Some(snap) =
+                    self.core
+                        .snap_asm
+                        .offer(from.0 as u64, last_slot, offset, total, &data)
+                {
+                    self.rules.install_snapshot(&mut self.core, ctx, from, snap);
+                }
+            }
+            Msg::Engine(EngineMsg::SnapshotAck { seal, upto }) => {
+                self.rules
+                    .on_snapshot_ack(&mut self.core, ctx, from, seal, upto);
+            }
+            other => self.rules.on_msg(&mut self.core, ctx, from, other),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Msg>, token: u64) {
+        match token & KIND_MASK {
+            T_ELECTION => {
+                if token & !KIND_MASK == self.core.election_gen && !self.rules.is_leader(&self.core)
+                {
+                    self.rules.on_election_timeout(&mut self.core, ctx);
+                }
+            }
+            T_HEARTBEAT => {
+                if token & !KIND_MASK == self.core.heartbeat_gen {
+                    self.rules.on_heartbeat(&mut self.core, ctx);
+                }
+            }
+            T_BATCH => {
+                if token & !KIND_MASK != self.core.batch_gen {
+                    return;
+                }
+                self.core.batch_armed = false;
+                if !self.core.pending.is_empty() {
+                    flush_pending(&mut self.rules, &mut self.core, ctx);
+                }
+                if !self.core.pending.is_empty() {
+                    // Still buffered (e.g. no leader known): retry later.
+                    self.core.arm_batch(ctx);
+                }
+            }
+            kind => self.rules.on_timer(&mut self.core, ctx, kind, token),
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // Shared volatile state: the pending batch, the batch timer, any
+        // in-flight transfer bookkeeping and the leader hint die with the
+        // process. Durable state (and what of it each protocol restores)
+        // is the rules' concern.
+        self.core.pending.clear();
+        self.core.batch_armed = false;
+        self.core.leader_hint = None;
+        self.core.snap_asm.clear();
+        self.core.snap_send.reset();
+        self.rules.on_crash(&mut self.core);
+    }
+
+    impl_actor_any!();
+}

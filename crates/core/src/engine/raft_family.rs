@@ -1,0 +1,304 @@
+//! The Raft-family base: replication state and plumbing shared verbatim
+//! by Raft and Raft*.
+//!
+//! Both protocols drive the same contiguous [`Log`] with the same
+//! leader-side [`Replicator`], the same election/heartbeat shape, and
+//! the same snapshot install/ack handling; they differ only in the
+//! append acceptance rule (truncate vs no-shrink + ballot rewrite), the
+//! vote rule (plain up-to-date check vs extras), and the commit rule
+//! (§5.4.2 term check vs f-th largest match, optionally PQL-gated).
+//! [`RaftBase`] holds the shared part so a fix to — say — the
+//! snapshot-then-pipeline append path is written once.
+
+use paxraft_sim::sim::{ActorId, Ctx};
+
+use crate::kv::KvStore;
+use crate::log::Log;
+use crate::msg::{EngineMsg, Msg, RaftMsg};
+use crate::replicate::Replicator;
+use crate::snapshot::{Snapshot, SnapshotStats};
+use crate::types::{node_of, NodeId, Slot, Term};
+
+use super::{transfer, EngineCore};
+
+/// Raft roles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Passive replica.
+    Follower,
+    /// Campaigning for leadership.
+    Candidate,
+    /// Elected leader.
+    Leader,
+}
+
+/// Replication state common to Raft and Raft*.
+#[derive(Debug)]
+pub struct RaftBase {
+    /// Current term (ballot-encoded; see [`Term::encode`]).
+    pub current_term: Term,
+    /// Current role.
+    pub role: Role,
+    /// The replicated log.
+    pub log: Log,
+    /// Highest committed slot.
+    pub commit_index: Slot,
+    /// Highest applied slot.
+    pub last_applied: Slot,
+    /// Vote bitmap for the current candidacy.
+    pub votes: u64,
+    /// Leader-side per-follower progress.
+    pub repl: Replicator,
+}
+
+impl RaftBase {
+    /// Fresh follower state for an `n`-replica cluster.
+    pub fn new(n: usize) -> Self {
+        RaftBase {
+            current_term: Term::ZERO,
+            role: Role::Follower,
+            log: Log::new(),
+            commit_index: Slot::NONE,
+            last_applied: Slot::NONE,
+            votes: 0,
+            repl: Replicator::new(n),
+        }
+    }
+
+    /// Arms the randomized election timer (bootstrap-fast while the
+    /// replica has never seen a term).
+    pub fn arm_election(&self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        core.arm_election(ctx, self.current_term == Term::ZERO);
+    }
+
+    /// Adopts a higher term and falls back to follower.
+    pub fn step_down(&mut self, core: &mut EngineCore, term: Term, ctx: &mut Ctx<Msg>) {
+        self.current_term = term;
+        self.role = Role::Follower;
+        self.arm_election(core, ctx);
+    }
+
+    /// Starts a campaign: fresh owned term, candidate role, self-vote,
+    /// `RequestVote` broadcast, election retry timer. The caller then
+    /// checks for the degenerate immediate win.
+    pub fn begin_election(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        self.current_term = self.current_term.next_for(core.cfg.id, core.cfg.n);
+        self.role = Role::Candidate;
+        core.leader_hint = None;
+        self.votes = core.me_bit();
+        for peer in core.cfg.others() {
+            ctx.send(
+                core.cfg.peer(peer),
+                Msg::Raft(RaftMsg::RequestVote {
+                    term: self.current_term,
+                    last_idx: self.log.last_index(),
+                    last_term: self.log.last_term(),
+                }),
+            );
+        }
+        self.arm_election(core, ctx);
+    }
+
+    /// Sends each follower its tailored suffix.
+    pub fn broadcast_append(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        let peers: Vec<NodeId> = core.cfg.others().collect();
+        for peer in peers {
+            self.send_append_to(core, ctx, peer);
+        }
+    }
+
+    /// Sends `peer` the log suffix after its send cursor. When the
+    /// follower's next entry was compacted away, ships a snapshot
+    /// instead and pipelines the retained suffix behind it — FIFO links
+    /// deliver the chunks first, so the Append matches once the
+    /// snapshot installs.
+    pub fn send_append_to(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, peer: NodeId) {
+        let mut prev = self.repl.next_prev(peer);
+        if prev < self.log.last_included().0 {
+            let point = self.snapshot_point();
+            let Some(snap_slot) =
+                transfer::ship_snapshot(core, ctx, peer, point, self.current_term)
+            else {
+                return; // a transfer is in flight; let it finish
+            };
+            prev = snap_slot;
+        }
+        let prev_term = self.log.term_at(prev).unwrap_or(Term::ZERO);
+        let entries = self.log.suffix_from(prev);
+        self.repl
+            .mark_sent(peer, prev, self.log.last_index(), ctx.now());
+        ctx.send(
+            core.cfg.peer(peer),
+            Msg::Raft(RaftMsg::Append {
+                term: self.current_term,
+                prev,
+                prev_term,
+                entries,
+                commit: self.commit_index,
+            }),
+        );
+    }
+
+    /// Leader heartbeat: timed retransmission of unacknowledged
+    /// suffixes to every follower, then re-arm.
+    pub fn heartbeat(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        if self.role != Role::Leader {
+            return;
+        }
+        let peers: Vec<NodeId> = core.cfg.others().collect();
+        for peer in peers {
+            self.repl
+                .maybe_rewind(peer, ctx.now(), core.cfg.retry_interval);
+            self.send_append_to(core, ctx, peer);
+        }
+        core.arm_heartbeat(ctx);
+    }
+
+    /// Applies the committed prefix in order; the leader answers
+    /// clients at apply time.
+    pub fn apply_loop(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        while self.last_applied < self.commit_index {
+            let next = self.last_applied.next();
+            let Some(entry) = self.log.get(next) else {
+                break;
+            };
+            let cmd = entry.cmd.clone();
+            ctx.charge(core.cfg.costs.apply_per_cmd);
+            let reply = core.kv.apply(&cmd);
+            self.last_applied = next;
+            if self.role == Role::Leader && cmd.id.client != u32::MAX {
+                core.respond(ctx, cmd.id, reply);
+            }
+        }
+    }
+
+    /// Compacts the applied log prefix once it crosses the configured
+    /// threshold, snapshotting the state machine first (the snapshot is
+    /// the durable replacement for the discarded entries).
+    pub fn maybe_compact(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        if let Some(bytes) = transfer::compact_applied_prefix(
+            &core.cfg.snapshot,
+            &mut self.log,
+            &core.kv,
+            self.last_applied,
+            &mut core.stable_snap,
+            &mut core.snap_stats,
+        ) {
+            ctx.charge(core.cfg.costs.snapshot_cost(bytes));
+        }
+    }
+
+    /// `(slot, term)` an outbound snapshot covers.
+    pub fn snapshot_point(&self) -> (Slot, Term) {
+        (
+            self.last_applied,
+            self.log.term_at(self.last_applied).unwrap_or(Term::ZERO),
+        )
+    }
+
+    /// Gates an incoming snapshot chunk: reject stale senders, adopt
+    /// the sender's term otherwise.
+    pub fn accept_snapshot_chunk(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: &mut Ctx<Msg>,
+        from: ActorId,
+        seal: Term,
+    ) -> bool {
+        if seal < self.current_term {
+            ctx.send(
+                from,
+                Msg::Raft(RaftMsg::AppendReject {
+                    term: self.current_term,
+                    last_idx: self.log.last_index(),
+                }),
+            );
+            return false;
+        }
+        self.current_term = seal;
+        self.role = Role::Follower;
+        core.leader_hint = Some(seal.owner(core.cfg.n));
+        self.arm_election(core, ctx);
+        true
+    }
+
+    /// Installs a reassembled snapshot into the log/state machine;
+    /// returns whether it was fresh (and charges its cost if so).
+    pub fn install_snapshot(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: &mut Ctx<Msg>,
+        snap: Snapshot,
+    ) -> bool {
+        let bytes = snap.size_bytes();
+        let fresh = transfer::install_into_raft_state(
+            snap,
+            &mut self.log,
+            &mut core.kv,
+            &mut self.last_applied,
+            &mut self.commit_index,
+            &mut core.stable_snap,
+            &mut core.snap_stats,
+        );
+        if fresh {
+            ctx.charge(core.cfg.costs.snapshot_cost(bytes));
+        }
+        fresh
+    }
+
+    /// Acknowledges a snapshot transfer — even a stale one: the applied
+    /// prefix is committed state, so the leader may treat it as matched
+    /// and resume normal appends from there.
+    pub fn ack_snapshot(&self, ctx: &mut Ctx<Msg>, from: ActorId) {
+        ctx.send(
+            from,
+            Msg::Engine(EngineMsg::SnapshotAck {
+                seal: self.current_term,
+                upto: self.last_applied,
+            }),
+        );
+    }
+
+    /// Handles a snapshot acknowledgement; returns whether the
+    /// follower's match advanced at the current term (the caller then
+    /// runs its commit rule).
+    pub fn on_snapshot_ack(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: &mut Ctx<Msg>,
+        from: ActorId,
+        seal: Term,
+        upto: Slot,
+    ) -> bool {
+        if seal > self.current_term {
+            self.step_down(core, seal, ctx);
+        } else if seal == self.current_term && self.role == Role::Leader {
+            core.snap_send.finish(node_of(from).0 as usize);
+            return self.repl.on_ack(node_of(from), upto);
+        }
+        false
+    }
+
+    /// Folds the log's retained-size peaks into the reported stats.
+    pub fn decorate_stats(&self, stats: &mut SnapshotStats) {
+        stats.note_log_size(self.log.peak_entries(), self.log.peak_bytes());
+    }
+
+    /// Crash-restart: terms, the log and the durable snapshot persist;
+    /// roles, votes and the state machine do not. The state machine
+    /// restarts from the snapshot (the compacted prefix is not
+    /// replayable) and re-applies the retained log as the commit index
+    /// re-advances.
+    pub fn crash_reset(&mut self, core: &mut EngineCore) {
+        self.role = Role::Follower;
+        self.votes = 0;
+        self.commit_index = Slot::NONE;
+        self.last_applied = Slot::NONE;
+        core.kv = KvStore::new();
+        if let Some(snap) = &core.stable_snap {
+            core.kv.restore(&snap.kv);
+            self.last_applied = snap.last_slot;
+            self.commit_index = snap.last_slot;
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The single snapshot-transfer implementation shared by every
+//! protocol: outbound chunked shipping (rate-limited per peer), and the
+//! Raft-family compaction/installation helpers.
+//!
+//! Inbound reassembly and installation dispatch live in the engine's
+//! message loop ([`super::ReplicaEngine`]); the encoding, chunking and
+//! per-sender reassembly primitives live in [`crate::snapshot`].
+
+use paxraft_sim::sim::Ctx;
+
+use crate::kv::KvStore;
+use crate::log::Log;
+use crate::msg::{EngineMsg, Msg};
+use crate::snapshot::{Snapshot, SnapshotConfig, SnapshotStats};
+use crate::types::{NodeId, Slot, Term};
+
+use super::EngineCore;
+
+/// Ships the current state-machine snapshot to `peer` in chunks,
+/// rate-limited to one transfer per retry interval. `point` is the
+/// `(slot, term)` the snapshot covers (the applied prefix; the Paxos
+/// family passes [`Term::ZERO`] for the term) and `seal` the sender's
+/// term/ballot stamped on each chunk. Returns the snapshot point, or
+/// `None` when a transfer to that peer is already in flight.
+pub fn ship_snapshot(
+    core: &mut EngineCore,
+    ctx: &mut Ctx<Msg>,
+    peer: NodeId,
+    point: (Slot, Term),
+    seal: Term,
+) -> Option<Slot> {
+    if !core
+        .snap_send
+        .try_begin(peer.0 as usize, ctx.now(), core.cfg.retry_interval)
+    {
+        return None;
+    }
+    let (last_slot, last_term) = point;
+    let snap = Snapshot {
+        last_slot,
+        last_term,
+        kv: core.kv.snapshot(),
+    };
+    ctx.charge(core.cfg.costs.snapshot_cost(snap.size_bytes()));
+    core.snap_stats.note_sent(snap.size_bytes());
+    for (offset, total, data) in snap.chunks(core.cfg.snapshot.chunk_bytes) {
+        ctx.send(
+            core.cfg.peer(peer),
+            Msg::Engine(EngineMsg::SnapshotChunk {
+                seal,
+                last_slot,
+                last_term,
+                offset,
+                total,
+                data,
+            }),
+        );
+    }
+    Some(last_slot)
+}
+
+/// Raft-family compaction, shared by Raft and Raft*: when the applied
+/// retained prefix crosses the thresholds, snapshot the state machine
+/// at `last_applied` and discard the covered log prefix. Returns the
+/// encoded size to charge snapshot CPU cost for, or `None` when below
+/// threshold (or disabled).
+pub fn compact_applied_prefix(
+    cfg: &SnapshotConfig,
+    log: &mut Log,
+    kv: &KvStore,
+    last_applied: Slot,
+    stable: &mut Option<Snapshot>,
+    stats: &mut SnapshotStats,
+) -> Option<usize> {
+    if !cfg.enabled() {
+        return None;
+    }
+    let floor = log.last_included().0;
+    let applied_retained = (last_applied.0 - floor.0) as usize;
+    if !cfg.should_compact(applied_retained, log.bytes()) {
+        return None;
+    }
+    let last_term = log.term_at(last_applied).unwrap_or(Term::ZERO);
+    let snap = Snapshot {
+        last_slot: last_applied,
+        last_term,
+        kv: kv.snapshot(),
+    };
+    let bytes = snap.size_bytes();
+    let discarded = log.compact_to(last_applied);
+    *stable = Some(snap);
+    stats.compactions += 1;
+    stats.entries_discarded += discarded as u64;
+    Some(bytes)
+}
+
+/// Raft-family snapshot installation, shared by Raft and Raft*:
+/// restores the state machine, advances the applied/commit indices, and
+/// reconciles the log — keeping a consistent retained suffix, else
+/// replacing the log with the snapshot's history. Returns whether the
+/// snapshot was fresh (stale transfers change nothing).
+pub fn install_into_raft_state(
+    snap: Snapshot,
+    log: &mut Log,
+    kv: &mut KvStore,
+    last_applied: &mut Slot,
+    commit_index: &mut Slot,
+    stable: &mut Option<Snapshot>,
+    stats: &mut SnapshotStats,
+) -> bool {
+    if snap.last_slot <= *last_applied {
+        return false;
+    }
+    kv.restore(&snap.kv);
+    *last_applied = snap.last_slot;
+    *commit_index = (*commit_index).max(snap.last_slot);
+    if log.term_at(snap.last_slot) == Some(snap.last_term) {
+        // The log extends consistently past the snapshot: keep the
+        // suffix, discard the covered prefix.
+        log.compact_to(snap.last_slot);
+    } else {
+        // Short or conflicting log: the snapshot replaces it. (For
+        // Raft*, the "no erasing" restriction is about live appends;
+        // replacing a log with committed state it lags behind is the
+        // same transition Paxos checkpoint recovery performs, and any
+        // accepted-but-uncommitted value this discards is retained by
+        // the up-to-date leader that shipped the snapshot.)
+        log.reset_to(snap.last_slot, snap.last_term);
+    }
+    *stable = Some(snap);
+    stats.snapshots_installed += 1;
+    true
+}

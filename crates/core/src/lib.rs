@@ -1,7 +1,13 @@
 //! # paxraft-core
 //!
-//! Runnable implementations of every protocol the paper touches:
+//! Runnable implementations of every protocol the paper touches, all
+//! built on one shared replica engine:
 //!
+//! - [`engine`] — [`engine::ReplicaEngine`]`<P:`
+//!   [`engine::ProtocolRules`]`>`: the protocol-agnostic machinery
+//!   (state machine + session dedup, batching and forwarding, timers,
+//!   chunked snapshot transfer, actor plumbing) written once; each
+//!   protocol below is a thin `ProtocolRules` impl.
 //! - [`multipaxos`] — MultiPaxos (Figure 1), the refinement target.
 //! - [`raft`] — standard Raft (the baseline; truncates conflicting
 //!   follower suffixes and keeps original entry terms).
@@ -22,6 +28,7 @@
 pub mod client;
 pub mod config;
 pub mod costs;
+pub mod engine;
 pub mod harness;
 pub mod kv;
 pub mod log;

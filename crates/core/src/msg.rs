@@ -16,6 +16,10 @@ use paxraft_sim::sim::Payload;
 pub enum Msg {
     /// Client-replica traffic.
     Client(ClientMsg),
+    /// Protocol-agnostic replica-engine traffic (request forwarding and
+    /// chunked snapshot transfer) shared by every protocol; see
+    /// [`EngineMsg`].
+    Engine(EngineMsg),
     /// MultiPaxos traffic (Figure 1).
     Paxos(PaxosMsg),
     /// Raft / Raft* / Raft*-PQL traffic (Figure 2).
@@ -24,6 +28,51 @@ pub enum Msg {
     Lease(LeaseMsg),
     /// Raft*-Mencius traffic (Appendix A.4).
     Mencius(MenciusMsg),
+}
+
+/// The shared envelope for the engine-level traffic every protocol
+/// needs. Under the Figure-3 vocabulary map these used to exist in three
+/// spellings (Raft `InstallSnapshot`/`SnapshotAck`, Paxos and Mencius
+/// `Checkpoint`/`CheckpointOk`, plus two `Forward` copies); the
+/// [`crate::engine`] refactor collapses them into one wire form with a
+/// protocol-interpreted `seal` field (Raft term / Paxos ballot;
+/// [`Term::ZERO`] for Mencius, whose multi-leader transfers are
+/// ballot-free).
+#[derive(Debug, Clone)]
+pub enum EngineMsg {
+    /// Follower-to-leader client-request forwarding (etcd-style batching;
+    /// Section 5 "Implementation").
+    Forward {
+        /// The batched commands.
+        cmds: Vec<Command>,
+    },
+    /// One chunk of a state snapshot, shipped when a peer's applied
+    /// prefix fell behind the sender's compaction floor (see
+    /// [`crate::snapshot`]).
+    SnapshotChunk {
+        /// Sender's term/ballot; receivers gate stale transfers on it.
+        seal: Term,
+        /// Last log slot / instance covered by the snapshot.
+        last_slot: Slot,
+        /// Term of the entry at `last_slot` (Raft family; `Term::ZERO`
+        /// for the Paxos family, whose instances carry no term once
+        /// executed).
+        last_term: Term,
+        /// Byte offset of this chunk within the encoded snapshot.
+        offset: usize,
+        /// Total encoded size.
+        total: usize,
+        /// The chunk payload.
+        data: Vec<u8>,
+    },
+    /// Acknowledges a fully installed snapshot; senders treat it like an
+    /// acknowledgement at `upto` and resume normal replication.
+    SnapshotAck {
+        /// Echoed term/ballot.
+        seal: Term,
+        /// The applied prefix the responder's state now covers.
+        upto: Slot,
+    },
 }
 
 /// Client-replica request/response pairs.
@@ -93,35 +142,6 @@ pub enum PaxosMsg {
         /// Instances now chosen.
         slots: Vec<Slot>,
     },
-    /// Follower-to-leader client-request forwarding (etcd-style batching;
-    /// Section 5 "Implementation").
-    Forward {
-        /// The batched commands.
-        cmds: Vec<Command>,
-    },
-    /// One chunk of a state checkpoint — the Paxos-family spelling of
-    /// Raft's `InstallSnapshot` (see [`crate::snapshot`]). Shipped by
-    /// the proposer when an acceptor's executed prefix lies below the
-    /// proposer's compaction floor.
-    Checkpoint {
-        /// Proposer's ballot.
-        ballot: Term,
-        /// Last instance covered by the checkpointed state.
-        upto: Slot,
-        /// Byte offset of this chunk within the encoded checkpoint.
-        offset: usize,
-        /// Total encoded size.
-        total: usize,
-        /// The chunk payload.
-        data: Vec<u8>,
-    },
-    /// Acknowledges a fully installed checkpoint.
-    CheckpointOk {
-        /// Echoed ballot.
-        ballot: Term,
-        /// The acceptor's executed prefix after installation.
-        upto: Slot,
-    },
 }
 
 /// Raft-family messages (Figure 2), shared by Raft, Raft* and Raft*-PQL.
@@ -178,36 +198,6 @@ pub enum RaftMsg {
         /// Responder's term.
         term: Term,
         /// Responder's last index (backoff hint).
-        last_idx: Slot,
-    },
-    /// Follower-to-leader client-request forwarding (etcd-style batching).
-    Forward {
-        /// The batched commands.
-        cmds: Vec<Command>,
-    },
-    /// One chunk of a leader snapshot, sent when the leader's compacted
-    /// log no longer contains a follower's next index (see
-    /// [`crate::snapshot`]).
-    InstallSnapshot {
-        /// Leader's term.
-        term: Term,
-        /// Last log slot covered by the snapshot.
-        last_slot: Slot,
-        /// Term of the entry at `last_slot`.
-        last_term: Term,
-        /// Byte offset of this chunk within the encoded snapshot.
-        offset: usize,
-        /// Total encoded size.
-        total: usize,
-        /// The chunk payload.
-        data: Vec<u8>,
-    },
-    /// Acknowledges a fully installed snapshot; the leader treats it
-    /// like an `AppendOk` at `last_idx` and resumes normal appends.
-    SnapshotAck {
-        /// Responder's term.
-        term: Term,
-        /// The snapshot slot now covered by the responder's state.
         last_idx: Slot,
     },
 }
@@ -318,24 +308,6 @@ pub enum MenciusMsg {
         /// Decided `(slot, command)` pairs for the revoked range.
         items: Vec<(Slot, Command)>,
     },
-    /// One chunk of a peer checkpoint (multi-leader spelling: any
-    /// replica whose compaction floor passed a peer's executed prefix
-    /// ships its state; see [`crate::snapshot`]).
-    Checkpoint {
-        /// Last slot covered by the checkpointed state.
-        upto: Slot,
-        /// Byte offset of this chunk within the encoded checkpoint.
-        offset: usize,
-        /// Total encoded size.
-        total: usize,
-        /// The chunk payload.
-        data: Vec<u8>,
-    },
-    /// Acknowledges a fully installed checkpoint.
-    CheckpointOk {
-        /// The receiver's executed prefix after installation.
-        upto: Slot,
-    },
 }
 
 fn entries_size(entries: &[Entry]) -> usize {
@@ -348,6 +320,13 @@ impl Payload for Msg {
             Msg::Client(m) => match m {
                 ClientMsg::Request { cmd } => 8 + cmd.size_bytes(),
                 ClientMsg::Response { reply, .. } => 20 + reply.size_bytes(),
+            },
+            Msg::Engine(m) => match m {
+                EngineMsg::Forward { cmds } => {
+                    8 + cmds.iter().map(Command::size_bytes).sum::<usize>()
+                }
+                EngineMsg::SnapshotChunk { data, .. } => 48 + data.len(),
+                EngineMsg::SnapshotAck { .. } => 16,
             },
             Msg::Paxos(m) => match m {
                 PaxosMsg::Prepare { .. } => 24,
@@ -362,11 +341,6 @@ impl Payload for Msg {
                 }
                 PaxosMsg::AcceptOk { slots, .. } => 24 + 8 * slots.len(),
                 PaxosMsg::Learn { slots } => 8 + 8 * slots.len(),
-                PaxosMsg::Forward { cmds } => {
-                    8 + cmds.iter().map(Command::size_bytes).sum::<usize>()
-                }
-                PaxosMsg::Checkpoint { data, .. } => 40 + data.len(),
-                PaxosMsg::CheckpointOk { .. } => 16,
             },
             Msg::Raft(m) => match m {
                 RaftMsg::RequestVote { .. } => 32,
@@ -374,11 +348,6 @@ impl Payload for Msg {
                 RaftMsg::Append { entries, .. } => 40 + entries_size(entries),
                 RaftMsg::AppendOk { holders, .. } => 24 + 4 * holders.len(),
                 RaftMsg::AppendReject { .. } => 24,
-                RaftMsg::Forward { cmds } => {
-                    8 + cmds.iter().map(Command::size_bytes).sum::<usize>()
-                }
-                RaftMsg::InstallSnapshot { data, .. } => 48 + data.len(),
-                RaftMsg::SnapshotAck { .. } => 16,
             },
             Msg::Lease(LeaseMsg::Grant { .. }) => 24,
             Msg::Lease(LeaseMsg::GrantAck { .. }) => 16,
@@ -400,8 +369,6 @@ impl Payload for Msg {
                 MenciusMsg::RevokeCommit { items, .. } => {
                     16 + items.iter().map(|(_, c)| 8 + c.size_bytes()).sum::<usize>()
                 }
-                MenciusMsg::Checkpoint { data, .. } => 32 + data.len(),
-                MenciusMsg::CheckpointOk { .. } => 8,
             },
         }
     }
@@ -488,34 +455,19 @@ mod tests {
     #[test]
     fn snapshot_chunk_sizes_dominated_by_payload() {
         let chunk = vec![0u8; 64 * 1024];
-        let m = Msg::Raft(RaftMsg::InstallSnapshot {
-            term: Term(3),
+        let m = Msg::Engine(EngineMsg::SnapshotChunk {
+            seal: Term(3),
             last_slot: Slot(100),
             last_term: Term(3),
             offset: 0,
             total: chunk.len(),
-            data: chunk.clone(),
-        });
-        assert!(m.size_bytes() >= 64 * 1024);
-        let p = Msg::Paxos(PaxosMsg::Checkpoint {
-            ballot: Term(3),
-            upto: Slot(100),
-            offset: 0,
-            total: chunk.len(),
-            data: chunk.clone(),
-        });
-        assert!(p.size_bytes() >= 64 * 1024);
-        let q = Msg::Mencius(MenciusMsg::Checkpoint {
-            upto: Slot(100),
-            offset: 0,
-            total: chunk.len(),
             data: chunk,
         });
-        assert!(q.size_bytes() >= 64 * 1024);
+        assert!(m.size_bytes() >= 64 * 1024);
         assert!(
-            Msg::Raft(RaftMsg::SnapshotAck {
-                term: Term(3),
-                last_idx: Slot(100)
+            Msg::Engine(EngineMsg::SnapshotAck {
+                seal: Term(3),
+                upto: Slot(100)
             })
             .size_bytes()
                 < 64

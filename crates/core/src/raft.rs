@@ -1,4 +1,6 @@
-//! Standard Raft (Section 2.1, Figure 2 *without* the blue Raft* code).
+//! Standard Raft (Section 2.1, Figure 2 *without* the blue Raft* code),
+//! expressed as [`ProtocolRules`] over the shared [`ReplicaEngine`] and
+//! the Raft-family [`RaftBase`].
 //!
 //! The two behaviours that distinguish Raft from Raft* (Section 3) are
 //! implemented here exactly as Raft specifies them:
@@ -12,67 +14,39 @@
 //!    extra commit restriction of the Raft paper's Section 5.4.2 — a
 //!    leader only counts replicas for entries of its *own* term.
 //!
+//! Everything protocol-agnostic — batching, forwarding, client dedup,
+//! timers, snapshot transfer — is inherited from the engine, and the
+//! Raft-family replication plumbing (appends, heartbeats, apply loop,
+//! snapshot install) from [`RaftBase`]; this file holds only the vote
+//! rule, the append acceptance rule and the 5.4.2 commit rule.
+//!
 //! One engineering liberty shared by all our replicas: terms use the
 //! Paxos ballot encoding `round * n + node` so every term has a unique
 //! owner. This replaces Raft's per-term `votedFor` vote splitting (a
 //! node grants at most one vote per term by construction) without
 //! changing any other behaviour.
 
-use paxraft_sim::impl_actor_any;
-use paxraft_sim::sim::{Actor, ActorId, Ctx};
-use paxraft_sim::time::SimDuration;
+use paxraft_sim::sim::{ActorId, Ctx};
 
 use crate::config::ReplicaConfig;
-use crate::kv::{Command, KvStore};
+use crate::engine::raft_family::RaftBase;
+use crate::engine::{self, EngineCore, ProtocolRules, ReplicaEngine};
+use crate::kv::Command;
 use crate::log::{Entry, Log};
-use crate::msg::{ClientMsg, Msg, RaftMsg};
-use crate::replicate::Replicator;
-use crate::snapshot::{self, Snapshot, SnapshotAssembler, SnapshotSender, SnapshotStats};
-use crate::types::{max_failures, quorum, NodeId, Slot, Term};
+use crate::msg::{Msg, RaftMsg};
+use crate::snapshot::{Snapshot, SnapshotStats};
+use crate::types::{max_failures, me_bit, node_of, quorum, Slot, Term};
 
-const T_ELECTION: u64 = 1 << 48;
-const T_HEARTBEAT: u64 = 2 << 48;
-const T_BATCH: u64 = 3 << 48;
-const KIND_MASK: u64 = 0xFFFF << 48;
+pub use crate::engine::raft_family::Role;
 
-/// Raft roles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Role {
-    /// Passive replica.
-    Follower,
-    /// Campaigning for leadership.
-    Candidate,
-    /// Elected leader.
-    Leader,
-}
+/// A standard Raft replica: the shared engine running [`RaftRules`].
+pub type RaftReplica = ReplicaEngine<RaftRules>;
 
-/// A standard Raft replica.
-pub struct RaftReplica {
-    cfg: ReplicaConfig,
-    current_term: Term,
-    role: Role,
-    leader_hint: Option<NodeId>,
-    log: Log,
-    commit_index: Slot,
-    last_applied: Slot,
-    kv: KvStore,
-    votes: u64,
-    repl: Replicator,
-    pending: Vec<Command>,
-    batch_armed: bool,
-    election_gen: u64,
-    heartbeat_gen: u64,
-    /// Reassembles incoming snapshot chunks (follower side).
-    snap_asm: SnapshotAssembler,
-    /// Per-peer transfer rate-limiting (leader side).
-    snap_send: SnapshotSender,
-    /// The durable snapshot the log was last compacted against (models
-    /// the on-disk snapshot file); restored on crash-restart because the
-    /// compacted log prefix can no longer be replayed.
-    stable_snap: Option<Snapshot>,
-    snap_stats: SnapshotStats,
-    /// Client responses sent (stats).
-    pub responses_sent: u64,
+/// What standard Raft adds on top of the engine and [`RaftBase`]: the
+/// plain up-to-date vote rule, truncating append acceptance, and the
+/// 5.4.2 commit rule.
+pub struct RaftRules {
+    base: RaftBase,
 }
 
 impl RaftReplica {
@@ -84,344 +58,97 @@ impl RaftReplica {
     pub fn new(cfg: ReplicaConfig) -> Self {
         cfg.validate().expect("invalid replica config");
         let n = cfg.n;
-        RaftReplica {
-            cfg,
-            current_term: Term::ZERO,
-            role: Role::Follower,
-            leader_hint: None,
-            log: Log::new(),
-            commit_index: Slot::NONE,
-            last_applied: Slot::NONE,
-            kv: KvStore::new(),
-            votes: 0,
-            repl: Replicator::new(n),
-            pending: Vec::new(),
-            batch_armed: false,
-            election_gen: 0,
-            heartbeat_gen: 0,
-            snap_asm: SnapshotAssembler::default(),
-            snap_send: SnapshotSender::new(n),
-            stable_snap: None,
-            snap_stats: SnapshotStats::default(),
-            responses_sent: 0,
-        }
-    }
-
-    /// Whether this replica is the leader.
-    pub fn is_leader(&self) -> bool {
-        self.role == Role::Leader
+        ReplicaEngine::from_parts(
+            EngineCore::new(cfg),
+            RaftRules {
+                base: RaftBase::new(n),
+            },
+        )
     }
 
     /// Current term.
     pub fn current_term(&self) -> Term {
-        self.current_term
+        self.rules.base.current_term
     }
 
     /// The replica's log (for convergence tests).
     pub fn log(&self) -> &Log {
-        &self.log
+        &self.rules.base.log
     }
 
     /// Commit index.
     pub fn commit_index(&self) -> Slot {
-        self.commit_index
+        self.rules.base.commit_index
     }
+}
 
-    /// Read-only state machine access.
-    pub fn kv(&self) -> &KvStore {
-        &self.kv
-    }
-
-    /// Compaction / snapshot-transfer counters, peaks included.
-    pub fn snap_stats(&self) -> SnapshotStats {
-        let mut s = self.snap_stats;
-        s.note_log_size(self.log.peak_entries(), self.log.peak_bytes());
-        s
-    }
-
-    fn me_bit(&self) -> u64 {
-        1 << self.cfg.id.0
-    }
-
-    fn arm_election(&mut self, ctx: &mut Ctx<Msg>) {
-        self.election_gen += 1;
-        let span = self.cfg.election_max.as_nanos() - self.cfg.election_min.as_nanos();
-        let delay =
-            if self.cfg.initial_leader == Some(self.cfg.id) && self.current_term == Term::ZERO {
-                SimDuration::from_millis(5)
-            } else {
-                self.cfg.election_min + SimDuration::from_nanos(ctx.rng().gen_range(span.max(1)))
-            };
-        ctx.set_timer(delay, T_ELECTION | self.election_gen);
-    }
-
-    fn arm_heartbeat(&mut self, ctx: &mut Ctx<Msg>) {
-        self.heartbeat_gen += 1;
-        ctx.set_timer(self.cfg.heartbeat, T_HEARTBEAT | self.heartbeat_gen);
-    }
-
-    fn arm_batch(&mut self, ctx: &mut Ctx<Msg>) {
-        if !self.batch_armed {
-            self.batch_armed = true;
-            ctx.set_timer(self.cfg.batch_delay, T_BATCH);
-        }
-    }
-
-    fn step_down(&mut self, term: Term, ctx: &mut Ctx<Msg>) {
-        self.current_term = term;
-        self.role = Role::Follower;
-        self.arm_election(ctx);
-    }
-
+impl RaftRules {
     /// Figure 2a `RequestVote`: campaign with a fresh owned term.
-    fn start_election(&mut self, ctx: &mut Ctx<Msg>) {
-        self.current_term = self.current_term.next_for(self.cfg.id, self.cfg.n);
-        self.role = Role::Candidate;
-        self.leader_hint = None;
-        self.votes = self.me_bit();
-        for peer in self.cfg.others() {
-            ctx.send(
-                self.cfg.peer(peer),
-                Msg::Raft(RaftMsg::RequestVote {
-                    term: self.current_term,
-                    last_idx: self.log.last_index(),
-                    last_term: self.log.last_term(),
-                }),
-            );
-        }
-        self.arm_election(ctx);
-        self.try_become_leader(ctx); // n = 1 degenerate case
+    fn start_election(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        self.base.begin_election(core, ctx);
+        self.try_become_leader(core, ctx); // n = 1 degenerate case
     }
 
-    fn try_become_leader(&mut self, ctx: &mut Ctx<Msg>) {
-        if self.role != Role::Candidate || (self.votes.count_ones() as usize) < quorum(self.cfg.n) {
+    fn try_become_leader(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        if self.base.role != Role::Candidate
+            || (self.base.votes.count_ones() as usize) < quorum(core.cfg.n)
+        {
             return;
         }
-        self.role = Role::Leader;
-        self.leader_hint = Some(self.cfg.id);
+        self.base.role = Role::Leader;
+        core.leader_hint = Some(core.cfg.id);
         // Optimistically assume followers hold our pre-existing log; the
         // no-op of the new term below lets the leader commit the tail of
         // its log under the Section-5.4.2 restriction.
-        self.repl.reset_for_leadership(self.log.last_index());
-        self.log.append(Entry {
-            term: self.current_term,
-            bal: self.current_term,
+        self.base
+            .repl
+            .reset_for_leadership(self.base.log.last_index());
+        self.base.log.append(Entry {
+            term: self.base.current_term,
+            bal: self.base.current_term,
             cmd: Command::noop(),
         });
-        self.broadcast_append(ctx);
-        self.arm_heartbeat(ctx);
-        self.flush_pending(ctx);
-    }
-
-    /// Sends each follower its tailored suffix.
-    fn broadcast_append(&mut self, ctx: &mut Ctx<Msg>) {
-        let peers: Vec<NodeId> = self.cfg.others().collect();
-        for peer in peers {
-            self.send_append_to(ctx, peer);
-        }
-    }
-
-    fn send_append_to(&mut self, ctx: &mut Ctx<Msg>, peer: NodeId) {
-        let mut prev = self.repl.next_prev(peer);
-        if prev < self.log.last_included().0 {
-            // The follower's next entry was compacted away: ship a
-            // snapshot instead of (unavailable) log entries, then
-            // pipeline the retained suffix behind it — FIFO links
-            // deliver the chunks first, so the Append matches once the
-            // snapshot installs.
-            let Some(snap_slot) = self.send_snapshot_to(ctx, peer) else {
-                return; // a transfer is in flight; let it finish
-            };
-            prev = snap_slot;
-        }
-        let prev_term = self.log.term_at(prev).unwrap_or(Term::ZERO);
-        let entries = self.log.suffix_from(prev);
-        self.repl
-            .mark_sent(peer, prev, self.log.last_index(), ctx.now());
-        ctx.send(
-            self.cfg.peer(peer),
-            Msg::Raft(RaftMsg::Append {
-                term: self.current_term,
-                prev,
-                prev_term,
-                entries,
-                commit: self.commit_index,
-            }),
-        );
-    }
-
-    /// Ships the current state-machine snapshot to `peer` in chunks,
-    /// rate-limited to one transfer per retry interval. Returns the
-    /// snapshot point, or `None` when a transfer is already in flight.
-    fn send_snapshot_to(&mut self, ctx: &mut Ctx<Msg>, peer: NodeId) -> Option<Slot> {
-        if !self
-            .snap_send
-            .try_begin(peer.0 as usize, ctx.now(), self.cfg.retry_interval)
-        {
-            return None;
-        }
-        let last_slot = self.last_applied;
-        let last_term = self.log.term_at(last_slot).unwrap_or(Term::ZERO);
-        let snap = Snapshot {
-            last_slot,
-            last_term,
-            kv: self.kv.snapshot(),
-        };
-        ctx.charge(self.cfg.costs.snapshot_cost(snap.size_bytes()));
-        self.snap_stats.note_sent(snap.size_bytes());
-        for (offset, total, data) in snap.chunks(self.cfg.snapshot.chunk_bytes) {
-            ctx.send(
-                self.cfg.peer(peer),
-                Msg::Raft(RaftMsg::InstallSnapshot {
-                    term: self.current_term,
-                    last_slot,
-                    last_term,
-                    offset,
-                    total,
-                    data,
-                }),
-            );
-        }
-        Some(last_slot)
-    }
-
-    /// Leader batch flush: append pending commands and replicate.
-    fn flush_pending(&mut self, ctx: &mut Ctx<Msg>) {
-        if self.role != Role::Leader {
-            self.forward_pending(ctx);
-            return;
-        }
-        if self.pending.is_empty() {
-            return;
-        }
-        let cmds = std::mem::take(&mut self.pending);
-        let bytes: usize = cmds.iter().map(Command::size_bytes).sum();
-        ctx.charge(
-            self.cfg.costs.propose_fixed
-                + self.cfg.costs.propose_per_cmd * cmds.len() as u64
-                + self.cfg.costs.size_cost(bytes),
-        );
-        for cmd in cmds {
-            self.log.append(Entry {
-                term: self.current_term,
-                bal: self.current_term,
-                cmd,
-            });
-        }
-        self.broadcast_append(ctx);
-    }
-
-    fn forward_pending(&mut self, ctx: &mut Ctx<Msg>) {
-        let Some(leader) = self.leader_hint else {
-            if !self.pending.is_empty() {
-                self.batch_armed = false;
-                self.arm_batch(ctx);
-            }
-            return;
-        };
-        if leader == self.cfg.id || self.pending.is_empty() {
-            return;
-        }
-        let cmds = std::mem::take(&mut self.pending);
-        ctx.charge(self.cfg.costs.forward_per_cmd * cmds.len() as u64);
-        ctx.send(self.cfg.peer(leader), Msg::Raft(RaftMsg::Forward { cmds }));
+        self.base.broadcast_append(core, ctx);
+        core.arm_heartbeat(ctx);
+        engine::flush_pending(self, core, ctx);
     }
 
     /// Advances `commit_index` using the 5.4.2 rule: only entries of the
     /// current term commit by counting.
-    fn advance_commit(&mut self, ctx: &mut Ctx<Msg>) {
-        if self.role != Role::Leader {
+    fn advance_commit(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        if self.base.role != Role::Leader {
             return;
         }
-        let f = max_failures(self.cfg.n);
+        let f = max_failures(core.cfg.n);
         // The f-th largest follower match is replicated on f followers +
         // the leader = a majority.
-        let quorum_match = self.repl.kth_largest_match(f, self.cfg.id);
-        if quorum_match > self.commit_index
-            && self.log.term_at(quorum_match) == Some(self.current_term)
+        let quorum_match = self.base.repl.kth_largest_match(f, core.cfg.id);
+        if quorum_match > self.base.commit_index
+            && self.base.log.term_at(quorum_match) == Some(self.base.current_term)
         {
-            self.commit_index = quorum_match;
-            self.apply_committed(ctx);
+            self.base.commit_index = quorum_match;
+            self.apply_committed(core, ctx);
         }
     }
 
-    fn apply_committed(&mut self, ctx: &mut Ctx<Msg>) {
-        while self.last_applied < self.commit_index {
-            let next = self.last_applied.next();
-            let Some(entry) = self.log.get(next) else {
-                break;
-            };
-            let cmd = entry.cmd.clone();
-            ctx.charge(self.cfg.costs.apply_per_cmd);
-            let reply = self.kv.apply(&cmd);
-            self.last_applied = next;
-            if self.role == Role::Leader && cmd.id.client != u32::MAX {
-                ctx.charge(self.cfg.costs.reply_fixed);
-                ctx.send(
-                    self.cfg.client_actor(cmd.id.client),
-                    Msg::Client(ClientMsg::Response { id: cmd.id, reply }),
-                );
-                self.responses_sent += 1;
-            }
-        }
-        self.maybe_compact(ctx);
+    fn apply_committed(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        self.base.apply_loop(core, ctx);
+        self.base.maybe_compact(core, ctx);
     }
 
-    /// Compacts the applied log prefix once it crosses the configured
-    /// threshold, snapshotting the state machine first (the snapshot is
-    /// the durable replacement for the discarded entries).
-    fn maybe_compact(&mut self, ctx: &mut Ctx<Msg>) {
-        if let Some(bytes) = snapshot::compact_applied_prefix(
-            &self.cfg.snapshot,
-            &mut self.log,
-            &self.kv,
-            self.last_applied,
-            &mut self.stable_snap,
-            &mut self.snap_stats,
-        ) {
-            ctx.charge(self.cfg.costs.snapshot_cost(bytes));
-        }
-    }
-
-    /// Installs a fully reassembled snapshot received from the leader.
-    fn install_snapshot(&mut self, ctx: &mut Ctx<Msg>, from: ActorId, snap: Snapshot) {
-        let bytes = snap.size_bytes();
-        if snapshot::install_into_raft_state(
-            snap,
-            &mut self.log,
-            &mut self.kv,
-            &mut self.last_applied,
-            &mut self.commit_index,
-            &mut self.stable_snap,
-            &mut self.snap_stats,
-        ) {
-            ctx.charge(self.cfg.costs.snapshot_cost(bytes));
-        }
-        // Ack even a stale transfer: the applied prefix is committed
-        // state, so the leader may treat it as matched and resume
-        // normal appends from there.
-        ctx.send(
-            from,
-            Msg::Raft(RaftMsg::SnapshotAck {
-                term: self.current_term,
-                last_idx: self.last_applied,
-            }),
-        );
-    }
-
-    fn on_raft(&mut self, ctx: &mut Ctx<Msg>, from: ActorId, msg: RaftMsg) {
+    fn on_raft(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, from: ActorId, msg: RaftMsg) {
         match msg {
             RaftMsg::RequestVote {
                 term,
                 last_idx,
                 last_term,
             } => {
-                if term > self.current_term {
+                if term > self.base.current_term {
                     // Adopt the term, then apply Raft's up-to-date check.
-                    let up_to_date =
-                        (last_term, last_idx) >= (self.log.last_term(), self.log.last_index());
-                    self.step_down(term, ctx);
-                    self.leader_hint = None;
+                    let up_to_date = (last_term, last_idx)
+                        >= (self.base.log.last_term(), self.base.log.last_index());
+                    self.base.step_down(core, term, ctx);
+                    core.leader_hint = None;
                     ctx.send(
                         from,
                         Msg::Raft(RaftMsg::Vote {
@@ -434,11 +161,11 @@ impl RaftReplica {
                 }
             }
             RaftMsg::Vote { term, granted, .. } => {
-                if term > self.current_term {
-                    self.step_down(term, ctx);
-                } else if term == self.current_term && granted {
-                    self.votes |= 1 << node_of(from).0;
-                    self.try_become_leader(ctx);
+                if term > self.base.current_term {
+                    self.base.step_down(core, term, ctx);
+                } else if term == self.base.current_term && granted {
+                    self.base.votes |= me_bit(node_of(from));
+                    self.try_become_leader(core, ctx);
                 }
             }
             RaftMsg::Append {
@@ -448,30 +175,30 @@ impl RaftReplica {
                 entries,
                 commit,
             } => {
-                if term < self.current_term {
+                if term < self.base.current_term {
                     ctx.send(
                         from,
                         Msg::Raft(RaftMsg::AppendReject {
-                            term: self.current_term,
-                            last_idx: self.log.last_index(),
+                            term: self.base.current_term,
+                            last_idx: self.base.log.last_index(),
                         }),
                     );
                     return;
                 }
-                self.current_term = term;
-                self.role = Role::Follower;
-                self.leader_hint = Some(term.owner(self.cfg.n));
-                self.arm_election(ctx);
+                self.base.current_term = term;
+                self.base.role = Role::Follower;
+                core.leader_hint = Some(term.owner(core.cfg.n));
+                self.base.arm_election(core, ctx);
                 let bytes: usize = entries.iter().map(Entry::size_bytes).sum();
                 ctx.charge(
-                    self.cfg.costs.append_fixed
-                        + self.cfg.costs.append_per_cmd * entries.len().max(1) as u64
-                        + self.cfg.costs.size_cost(bytes),
+                    core.cfg.costs.append_fixed
+                        + core.cfg.costs.append_per_cmd * entries.len().max(1) as u64
+                        + core.cfg.costs.size_cost(bytes),
                 );
                 // Entries at or below our compaction floor are applied
                 // committed state: skip the overlap and anchor the
                 // consistency check at the floor instead.
-                let (floor, floor_term) = self.log.last_included();
+                let (floor, floor_term) = self.base.log.last_included();
                 let (prev, prev_term, entries) = if prev < floor {
                     let overlap = (floor.0 - prev.0) as usize;
                     if entries.len() <= overlap {
@@ -480,7 +207,7 @@ impl RaftReplica {
                         ctx.send(
                             from,
                             Msg::Raft(RaftMsg::AppendOk {
-                                term: self.current_term,
+                                term: self.base.current_term,
                                 last_idx: floor,
                                 holders: Vec::new(),
                             }),
@@ -491,12 +218,12 @@ impl RaftReplica {
                 } else {
                     (prev, prev_term, entries)
                 };
-                if !self.log.matches(prev, prev_term) {
+                if !self.base.log.matches(prev, prev_term) {
                     ctx.send(
                         from,
                         Msg::Raft(RaftMsg::AppendReject {
-                            term: self.current_term,
-                            last_idx: self.log.last_index().min(prev),
+                            term: self.base.current_term,
+                            last_idx: self.base.log.last_index().min(prev),
                         }),
                     );
                     return;
@@ -508,224 +235,149 @@ impl RaftReplica {
                 let mut to_append = Vec::new();
                 for e in entries.iter() {
                     idx = idx.next();
-                    match self.log.term_at(idx) {
+                    match self.base.log.term_at(idx) {
                         Some(t) if t == e.term => continue,
                         Some(_) => {
-                            self.log.truncate_from(idx);
+                            self.base.log.truncate_from(idx);
                             to_append.push(e.clone());
                         }
                         None => to_append.push(e.clone()),
                     }
                 }
                 for e in to_append {
-                    self.log.append(e);
+                    self.base.log.append(e);
                 }
                 let match_through = Slot(prev.0 + entries.len() as u64);
-                if commit > self.commit_index {
-                    self.commit_index = Slot(commit.0.min(match_through.0));
-                    self.apply_committed(ctx);
+                if commit > self.base.commit_index {
+                    self.base.commit_index = Slot(commit.0.min(match_through.0));
+                    self.apply_committed(core, ctx);
                 }
                 ctx.send(
                     from,
                     Msg::Raft(RaftMsg::AppendOk {
-                        term: self.current_term,
+                        term: self.base.current_term,
                         last_idx: match_through,
                         holders: Vec::new(),
                     }),
                 );
             }
             RaftMsg::AppendOk { term, last_idx, .. } => {
-                if term > self.current_term {
-                    self.step_down(term, ctx);
-                } else if term == self.current_term && self.role == Role::Leader {
-                    ctx.charge(self.cfg.costs.ack_process);
-                    if self.repl.on_ack(node_of(from), last_idx) {
-                        self.advance_commit(ctx);
+                if term > self.base.current_term {
+                    self.base.step_down(core, term, ctx);
+                } else if term == self.base.current_term && self.base.role == Role::Leader {
+                    ctx.charge(core.cfg.costs.ack_process);
+                    if self.base.repl.on_ack(node_of(from), last_idx) {
+                        self.advance_commit(core, ctx);
                     }
                 }
             }
             RaftMsg::AppendReject { term, last_idx } => {
-                if term > self.current_term {
-                    self.step_down(term, ctx);
-                } else if term == self.current_term && self.role == Role::Leader {
+                if term > self.base.current_term {
+                    self.base.step_down(core, term, ctx);
+                } else if term == self.base.current_term && self.base.role == Role::Leader {
                     // Back off toward the follower's tail and re-probe.
-                    self.repl.on_reject(node_of(from), last_idx);
-                    self.send_append_to(ctx, node_of(from));
-                }
-            }
-            RaftMsg::Forward { cmds } => {
-                ctx.charge(self.cfg.costs.forward_per_cmd * cmds.len() as u64);
-                self.pending.extend(cmds);
-                if self.role == Role::Leader && self.pending.len() >= self.cfg.batch_max {
-                    self.flush_pending(ctx);
-                } else {
-                    self.arm_batch(ctx);
-                }
-            }
-            // `last_term` rides inside the encoded payload; the header
-            // copy only matters for observability.
-            RaftMsg::InstallSnapshot {
-                term,
-                last_slot,
-                last_term: _,
-                offset,
-                total,
-                data,
-            } => {
-                if term < self.current_term {
-                    ctx.send(
-                        from,
-                        Msg::Raft(RaftMsg::AppendReject {
-                            term: self.current_term,
-                            last_idx: self.log.last_index(),
-                        }),
-                    );
-                    return;
-                }
-                self.current_term = term;
-                self.role = Role::Follower;
-                self.leader_hint = Some(term.owner(self.cfg.n));
-                self.arm_election(ctx);
-                ctx.charge(self.cfg.costs.append_fixed + self.cfg.costs.snapshot_cost(data.len()));
-                if let Some(snap) =
-                    self.snap_asm
-                        .offer(from.0 as u64, last_slot, offset, total, &data)
-                {
-                    self.install_snapshot(ctx, from, snap);
-                }
-            }
-            RaftMsg::SnapshotAck { term, last_idx } => {
-                if term > self.current_term {
-                    self.step_down(term, ctx);
-                } else if term == self.current_term && self.role == Role::Leader {
-                    self.snap_send.finish(node_of(from).0 as usize);
-                    if self.repl.on_ack(node_of(from), last_idx) {
-                        self.advance_commit(ctx);
-                    }
+                    self.base.repl.on_reject(node_of(from), last_idx);
+                    self.base.send_append_to(core, ctx, node_of(from));
                 }
             }
         }
     }
 }
 
-fn node_of(from: ActorId) -> NodeId {
-    NodeId(from.0 as u32)
-}
-
-impl Actor<Msg> for RaftReplica {
-    fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
-        self.arm_election(ctx);
+impl ProtocolRules for RaftRules {
+    fn can_propose(&self, _core: &EngineCore) -> bool {
+        self.base.role == Role::Leader
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<Msg>, from: ActorId, msg: Msg) {
-        match msg {
-            Msg::Raft(m) => self.on_raft(ctx, from, m),
-            Msg::Client(ClientMsg::Request { cmd }) => {
-                ctx.charge(self.cfg.costs.client_req);
-                self.pending.push(cmd);
-                if self.role == Role::Leader && self.pending.len() >= self.cfg.batch_max {
-                    self.flush_pending(ctx);
-                } else {
-                    self.arm_batch(ctx);
-                }
-            }
-            _ => {}
+    fn applied_index(&self, _core: &EngineCore) -> Slot {
+        self.base.last_applied
+    }
+
+    fn propose(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, cmds: Vec<Command>) {
+        for cmd in cmds {
+            self.base.log.append(Entry {
+                term: self.base.current_term,
+                bal: self.base.current_term,
+                cmd,
+            });
+        }
+        self.base.broadcast_append(core, ctx);
+    }
+
+    fn on_start(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        self.base.arm_election(core, ctx);
+    }
+
+    fn on_election_timeout(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        self.start_election(core, ctx);
+    }
+
+    fn on_heartbeat(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        self.base.heartbeat(core, ctx);
+    }
+
+    fn on_msg(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, from: ActorId, msg: Msg) {
+        if let Msg::Raft(m) = msg {
+            self.on_raft(core, ctx, from, m);
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<Msg>, token: u64) {
-        match token & KIND_MASK {
-            T_ELECTION => {
-                if token & !KIND_MASK == self.election_gen && self.role != Role::Leader {
-                    self.start_election(ctx);
-                }
-            }
-            T_HEARTBEAT => {
-                if token & !KIND_MASK == self.heartbeat_gen && self.role == Role::Leader {
-                    let peers: Vec<NodeId> = self.cfg.others().collect();
-                    for peer in peers {
-                        // Timed retransmission of unacknowledged suffixes.
-                        self.repl
-                            .maybe_rewind(peer, ctx.now(), self.cfg.retry_interval);
-                        self.send_append_to(ctx, peer);
-                    }
-                    self.arm_heartbeat(ctx);
-                }
-            }
-            T_BATCH => {
-                self.batch_armed = false;
-                if !self.pending.is_empty() {
-                    self.flush_pending(ctx);
-                }
-                if !self.pending.is_empty() {
-                    self.arm_batch(ctx);
-                }
-            }
-            _ => {}
+    fn accept_snapshot_chunk(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: &mut Ctx<Msg>,
+        from: ActorId,
+        seal: Term,
+    ) -> bool {
+        self.base.accept_snapshot_chunk(core, ctx, from, seal)
+    }
+
+    fn install_snapshot(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: &mut Ctx<Msg>,
+        from: ActorId,
+        snap: Snapshot,
+    ) {
+        self.base.install_snapshot(core, ctx, snap);
+        self.base.ack_snapshot(ctx, from);
+    }
+
+    fn on_snapshot_ack(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: &mut Ctx<Msg>,
+        from: ActorId,
+        seal: Term,
+        upto: Slot,
+    ) {
+        if self.base.on_snapshot_ack(core, ctx, from, seal, upto) {
+            self.advance_commit(core, ctx);
         }
     }
 
-    fn on_crash(&mut self) {
-        // Persisted: current_term, log, and the durable snapshot the log
-        // was compacted against. Volatile: everything else. The state
-        // machine restarts from the snapshot (the compacted prefix is
-        // not replayable) and re-applies the retained log as the commit
-        // index re-advances.
-        self.role = Role::Follower;
-        self.leader_hint = None;
-        self.votes = 0;
-        self.commit_index = Slot::NONE;
-        self.last_applied = Slot::NONE;
-        self.kv = KvStore::new();
-        if let Some(snap) = &self.stable_snap {
-            self.kv.restore(&snap.kv);
-            self.last_applied = snap.last_slot;
-            self.commit_index = snap.last_slot;
-        }
-        self.pending.clear();
-        self.batch_armed = false;
-        self.snap_asm.clear();
-        self.snap_send.reset();
+    fn decorate_stats(&self, stats: &mut SnapshotStats) {
+        self.base.decorate_stats(stats);
     }
 
-    impl_actor_any!();
+    fn on_crash(&mut self, core: &mut EngineCore) {
+        self.base.crash_reset(core);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::{cluster_with, drive_until, TestClient};
+    use crate::types::NodeId;
     use paxraft_sim::sim::Simulation;
-    use paxraft_sim::time::SimTime;
+    use paxraft_sim::time::{SimDuration, SimTime};
 
     fn raft_cluster(n: usize) -> (Simulation<Msg>, Vec<ActorId>, ActorId) {
         cluster_with(n, |mut cfg| {
             cfg.initial_leader = Some(NodeId(0));
             Box::new(RaftReplica::new(cfg))
         })
-    }
-
-    #[test]
-    fn elects_initial_leader() {
-        let (mut sim, replicas, _client) = raft_cluster(3);
-        assert!(drive_until(&mut sim, SimTime::from_secs(2), |sim| {
-            sim.actor::<RaftReplica>(replicas[0]).is_leader()
-        }));
-    }
-
-    #[test]
-    fn commits_and_replies() {
-        let (mut sim, _replicas, client) = raft_cluster(3);
-        sim.actor_mut::<TestClient>(client).enqueue_put(42);
-        sim.actor_mut::<TestClient>(client).enqueue_get(42);
-        assert!(drive_until(&mut sim, SimTime::from_secs(5), |sim| {
-            sim.actor::<TestClient>(client).replies.len() == 2
-        }));
-        let c = sim.actor::<TestClient>(client);
-        assert!(
-            c.replies[1].1.value_id().is_some(),
-            "read observes the write"
-        );
     }
 
     #[test]
@@ -753,24 +405,6 @@ mod tests {
                 .collect();
             assert_eq!(lr, log0, "log matching across replicas");
         }
-    }
-
-    #[test]
-    fn leader_crash_failover() {
-        let (mut sim, replicas, client) = raft_cluster(3);
-        sim.actor_mut::<TestClient>(client).enqueue_put(1);
-        assert!(drive_until(&mut sim, SimTime::from_secs(5), |sim| {
-            sim.actor::<TestClient>(client).replies.len() == 1
-        }));
-        sim.crash_at(replicas[0], sim.now() + SimDuration::from_millis(1));
-        sim.actor_mut::<TestClient>(client).target = replicas[1];
-        sim.actor_mut::<TestClient>(client).enqueue_put(2);
-        sim.actor_mut::<TestClient>(client).enqueue_get(2);
-        assert!(drive_until(&mut sim, SimTime::from_secs(30), |sim| {
-            sim.actor::<TestClient>(client).replies.len() == 3
-        }));
-        let c = sim.actor::<TestClient>(client);
-        assert!(c.replies[2].1.value_id().is_some());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Raft* (Section 3, Figure 2 *including* the blue code) with the ported
 //! Paxos Quorum Lease optimization (Raft*-PQL, Figure 8) and the
-//! Leader-Lease baseline as read-mode options.
+//! Leader-Lease baseline as read-mode options, expressed as
+//! [`ProtocolRules`] over the shared [`ReplicaEngine`].
 //!
 //! Raft* differs from Raft in exactly the two ways Section 3 introduces:
 //!
@@ -23,44 +24,35 @@
 //! attachment maps to `appendOK`, `Learn`'s holder-quorum check maps to
 //! `LeaderLearn` *including the leader's own grants* (the implicit
 //! `acceptOK`), and the added `LocalRead` action waits until every log
-//! entry touching the key is `≤ commitIndex` and applied.
+//! entry touching the key is `≤ commitIndex` and applied. The local-read
+//! intercept rides the engine's [`ProtocolRules::try_serve_local`] hook,
+//! so it applies uniformly to direct and forwarded requests.
 
 use std::collections::HashMap;
 
-use paxraft_sim::impl_actor_any;
-use paxraft_sim::sim::{Actor, ActorId, Ctx};
+use paxraft_sim::sim::{ActorId, Ctx};
 use paxraft_sim::time::SimDuration;
 
 use crate::config::{ReadMode, ReplicaConfig};
-use crate::kv::{Command, Key, KvStore, Op};
+use crate::engine::raft_family::{RaftBase, Role};
+use crate::engine::{self, EngineCore, ProtocolRules, ReplicaEngine, T_LEASE};
+use crate::kv::{Command, Key, Op};
 use crate::log::{Entry, Log};
-use crate::msg::{ClientMsg, LeaseMsg, Msg, RaftMsg};
+use crate::msg::{LeaseMsg, Msg, RaftMsg};
 use crate::pql::LeaseManager;
-use crate::raft::Role;
-use crate::replicate::Replicator;
-use crate::snapshot::{self, Snapshot, SnapshotAssembler, SnapshotSender, SnapshotStats};
-use crate::types::{max_failures, quorum, NodeId, Slot, Term};
+use crate::snapshot::{Snapshot, SnapshotStats};
+use crate::types::{max_failures, me_bit, node_of, quorum, NodeId, Slot, Term};
 
-const T_ELECTION: u64 = 1 << 48;
-const T_HEARTBEAT: u64 = 2 << 48;
-const T_BATCH: u64 = 3 << 48;
-const T_LEASE: u64 = 4 << 48;
-const KIND_MASK: u64 = 0xFFFF << 48;
+/// A Raft* replica, optionally running the ported PQL or LL read path:
+/// the shared engine running [`RaftStarRules`].
+pub type RaftStarReplica = ReplicaEngine<RaftStarRules>;
 
-/// A Raft* replica, optionally running the ported PQL or LL read path.
-pub struct RaftStarReplica {
-    cfg: ReplicaConfig,
-    current_term: Term,
-    role: Role,
-    leader_hint: Option<NodeId>,
-    log: Log,
-    commit_index: Slot,
-    last_applied: Slot,
-    kv: KvStore,
-    votes: u64,
+/// What Raft* adds on top of the engine: vote extras, ballot rewriting,
+/// the erase-free append rule, and the ported lease read paths.
+pub struct RaftStarRules {
+    base: RaftBase,
     /// Raft*: extras received from voters, keyed by voter.
     vote_extras: HashMap<NodeId, (Slot, Vec<Entry>)>,
-    repl: Replicator,
     /// [PQL] Last lease-holder set reported by each follower's appendOK.
     reported_holders: Vec<Vec<NodeId>>,
     /// [PQL] Lease state (present in LeaderLease/QuorumLease modes).
@@ -71,22 +63,8 @@ pub struct RaftStarReplica {
     /// [PQL] Local reads waiting for a conflicting write to apply:
     /// `(command, serve once last_applied ≥ slot)`.
     parked_reads: Vec<(Command, Slot)>,
-    pending: Vec<Command>,
-    batch_armed: bool,
-    election_gen: u64,
-    heartbeat_gen: u64,
-    /// Reassembles incoming snapshot chunks (follower side).
-    snap_asm: SnapshotAssembler,
-    /// Per-peer transfer rate-limiting (leader side).
-    snap_send: SnapshotSender,
-    /// Durable snapshot backing the compacted log prefix; restored on
-    /// crash-restart.
-    stable_snap: Option<Snapshot>,
-    snap_stats: SnapshotStats,
-    /// Client responses sent (stats).
-    pub responses_sent: u64,
     /// [PQL] Reads served from the local copy (stats).
-    pub local_reads_served: u64,
+    local_reads_served: u64,
 }
 
 impl RaftStarReplica {
@@ -103,135 +81,64 @@ impl RaftStarReplica {
             ReadMode::LogRead => None,
             mode => Some(LeaseManager::new(cfg.lease.clone(), mode, n, cfg.id)),
         };
-        RaftStarReplica {
-            cfg,
-            current_term: Term::ZERO,
-            role: Role::Follower,
-            leader_hint: None,
-            log: Log::new(),
-            commit_index: Slot::NONE,
-            last_applied: Slot::NONE,
-            kv: KvStore::new(),
-            votes: 0,
-            vote_extras: HashMap::new(),
-            repl: Replicator::new(n),
-            reported_holders: vec![Vec::new(); n],
-            lease,
-            key_last_write: HashMap::new(),
-            parked_reads: Vec::new(),
-            pending: Vec::new(),
-            batch_armed: false,
-            election_gen: 0,
-            heartbeat_gen: 0,
-            snap_asm: SnapshotAssembler::default(),
-            snap_send: SnapshotSender::new(n),
-            stable_snap: None,
-            snap_stats: SnapshotStats::default(),
-            responses_sent: 0,
-            local_reads_served: 0,
-        }
-    }
-
-    /// Whether this replica is the leader.
-    pub fn is_leader(&self) -> bool {
-        self.role == Role::Leader
+        ReplicaEngine::from_parts(
+            EngineCore::new(cfg),
+            RaftStarRules {
+                base: RaftBase::new(n),
+                vote_extras: HashMap::new(),
+                reported_holders: vec![Vec::new(); n],
+                lease,
+                key_last_write: HashMap::new(),
+                parked_reads: Vec::new(),
+                local_reads_served: 0,
+            },
+        )
     }
 
     /// Current term.
     pub fn current_term(&self) -> Term {
-        self.current_term
+        self.rules.base.current_term
     }
 
     /// The log (for convergence and invariant tests).
     pub fn log(&self) -> &Log {
-        &self.log
+        &self.rules.base.log
     }
 
     /// Commit index.
     pub fn commit_index(&self) -> Slot {
-        self.commit_index
-    }
-
-    /// Read-only state machine access.
-    pub fn kv(&self) -> &KvStore {
-        &self.kv
+        self.rules.base.commit_index
     }
 
     /// Lease state (tests).
     pub fn lease(&self) -> Option<&LeaseManager> {
-        self.lease.as_ref()
+        self.rules.lease.as_ref()
     }
 
-    /// Compaction / snapshot-transfer counters, peaks included.
-    pub fn snap_stats(&self) -> SnapshotStats {
-        let mut s = self.snap_stats;
-        s.note_log_size(self.log.peak_entries(), self.log.peak_bytes());
-        s
+    /// [PQL] Reads served from the local copy (stats).
+    pub fn local_reads_served(&self) -> u64 {
+        self.rules.local_reads_served
     }
+}
 
-    fn me_bit(&self) -> u64 {
-        1 << self.cfg.id.0
-    }
-
-    fn arm_election(&mut self, ctx: &mut Ctx<Msg>) {
-        self.election_gen += 1;
-        let span = self.cfg.election_max.as_nanos() - self.cfg.election_min.as_nanos();
-        let delay =
-            if self.cfg.initial_leader == Some(self.cfg.id) && self.current_term == Term::ZERO {
-                SimDuration::from_millis(5)
-            } else {
-                self.cfg.election_min + SimDuration::from_nanos(ctx.rng().gen_range(span.max(1)))
-            };
-        ctx.set_timer(delay, T_ELECTION | self.election_gen);
-    }
-
-    fn arm_heartbeat(&mut self, ctx: &mut Ctx<Msg>) {
-        self.heartbeat_gen += 1;
-        ctx.set_timer(self.cfg.heartbeat, T_HEARTBEAT | self.heartbeat_gen);
-    }
-
-    fn arm_batch(&mut self, ctx: &mut Ctx<Msg>) {
-        if !self.batch_armed {
-            self.batch_armed = true;
-            ctx.set_timer(self.cfg.batch_delay, T_BATCH);
-        }
-    }
-
-    fn step_down(&mut self, term: Term, ctx: &mut Ctx<Msg>) {
-        self.current_term = term;
-        self.role = Role::Follower;
-        self.arm_election(ctx);
-    }
-
+impl RaftStarRules {
     /// Figure 2a `RequestVote`.
-    fn start_election(&mut self, ctx: &mut Ctx<Msg>) {
-        self.current_term = self.current_term.next_for(self.cfg.id, self.cfg.n);
-        self.role = Role::Candidate;
-        self.leader_hint = None;
-        self.votes = self.me_bit();
+    fn start_election(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
         self.vote_extras.clear();
-        for peer in self.cfg.others() {
-            ctx.send(
-                self.cfg.peer(peer),
-                Msg::Raft(RaftMsg::RequestVote {
-                    term: self.current_term,
-                    last_idx: self.log.last_index(),
-                    last_term: self.log.last_term(),
-                }),
-            );
-        }
-        self.arm_election(ctx);
-        self.try_become_leader(ctx);
+        self.base.begin_election(core, ctx);
+        self.try_become_leader(core, ctx);
     }
 
     /// Figure 2a `BecomeLeader`: merge the safe entries from voter extras
     /// (highest `bal` per index), rewriting their term and ballot to the
     /// new term.
-    fn try_become_leader(&mut self, ctx: &mut Ctx<Msg>) {
-        if self.role != Role::Candidate || (self.votes.count_ones() as usize) < quorum(self.cfg.n) {
+    fn try_become_leader(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        if self.base.role != Role::Candidate
+            || (self.base.votes.count_ones() as usize) < quorum(core.cfg.n)
+        {
             return;
         }
-        let my_last = self.log.last_index();
+        let my_last = self.base.log.last_index();
         let max_end = self
             .vote_extras
             .values()
@@ -252,29 +159,32 @@ impl RaftStarReplica {
             }
             let cmd = best.map(|e| e.cmd.clone()).unwrap_or_else(Command::noop);
             // Figure 2a lines 25-27: bal and term become currentTerm.
-            self.log.append(Entry {
-                term: self.current_term,
-                bal: self.current_term,
+            self.base.log.append(Entry {
+                term: self.base.current_term,
+                bal: self.base.current_term,
                 cmd,
             });
             idx = idx.next();
         }
         self.index_writes_from(my_last.next());
-        self.role = Role::Leader;
-        self.leader_hint = Some(self.cfg.id);
-        self.repl.reset_for_leadership(self.log.last_index());
+        self.base.role = Role::Leader;
+        core.leader_hint = Some(core.cfg.id);
+        self.base
+            .repl
+            .reset_for_leadership(self.base.log.last_index());
         // A fresh no-op carries the term forward (progress, not safety:
         // Raft* needs no 5.4.2-style commit restriction).
-        self.log.append(Entry {
-            term: self.current_term,
-            bal: self.current_term,
+        self.base.log.append(Entry {
+            term: self.base.current_term,
+            bal: self.base.current_term,
             cmd: Command::noop(),
         });
-        self.log
-            .set_bal_upto(self.log.last_index(), self.current_term);
-        self.broadcast_append(ctx);
-        self.arm_heartbeat(ctx);
-        self.flush_pending(ctx);
+        self.base
+            .log
+            .set_bal_upto(self.base.log.last_index(), self.base.current_term);
+        self.base.broadcast_append(core, ctx);
+        core.arm_heartbeat(ctx);
+        engine::flush_pending(self, core, ctx);
     }
 
     /// [PQL] Records key→slot for entries from `from` onward.
@@ -283,7 +193,7 @@ impl RaftStarReplica {
             return;
         }
         let mut s = from;
-        while let Some(e) = self.log.get(s) {
+        while let Some(e) = self.base.log.get(s) {
             if let Op::Put { key, .. } = &e.cmd.op {
                 self.key_last_write.insert(*key, s);
             }
@@ -291,129 +201,13 @@ impl RaftStarReplica {
         }
     }
 
-    fn broadcast_append(&mut self, ctx: &mut Ctx<Msg>) {
-        let peers: Vec<NodeId> = self.cfg.others().collect();
-        for peer in peers {
-            self.send_append_to(ctx, peer);
-        }
-    }
-
-    fn send_append_to(&mut self, ctx: &mut Ctx<Msg>, peer: NodeId) {
-        let mut prev = self.repl.next_prev(peer);
-        if prev < self.log.last_included().0 {
-            // The follower's next entry was compacted away: ship the
-            // state-machine snapshot, then pipeline the retained suffix
-            // behind it on the FIFO link.
-            let Some(snap_slot) = self.send_snapshot_to(ctx, peer) else {
-                return; // transfer in flight
-            };
-            prev = snap_slot;
-        }
-        let prev_term = self.log.term_at(prev).unwrap_or(Term::ZERO);
-        let entries = self.log.suffix_from(prev);
-        self.repl
-            .mark_sent(peer, prev, self.log.last_index(), ctx.now());
-        ctx.send(
-            self.cfg.peer(peer),
-            Msg::Raft(RaftMsg::Append {
-                term: self.current_term,
-                prev,
-                prev_term,
-                entries,
-                commit: self.commit_index,
-            }),
-        );
-    }
-
-    /// Ships the current state-machine snapshot to `peer` in chunks,
-    /// rate-limited to one transfer per retry interval.
-    fn send_snapshot_to(&mut self, ctx: &mut Ctx<Msg>, peer: NodeId) -> Option<Slot> {
-        if !self
-            .snap_send
-            .try_begin(peer.0 as usize, ctx.now(), self.cfg.retry_interval)
-        {
-            return None;
-        }
-        let last_slot = self.last_applied;
-        let last_term = self.log.term_at(last_slot).unwrap_or(Term::ZERO);
-        let snap = Snapshot {
-            last_slot,
-            last_term,
-            kv: self.kv.snapshot(),
-        };
-        ctx.charge(self.cfg.costs.snapshot_cost(snap.size_bytes()));
-        self.snap_stats.note_sent(snap.size_bytes());
-        for (offset, total, data) in snap.chunks(self.cfg.snapshot.chunk_bytes) {
-            ctx.send(
-                self.cfg.peer(peer),
-                Msg::Raft(RaftMsg::InstallSnapshot {
-                    term: self.current_term,
-                    last_slot,
-                    last_term,
-                    offset,
-                    total,
-                    data,
-                }),
-            );
-        }
-        Some(last_slot)
-    }
-
-    /// Figure 2b `AppendEntries` (leader side): append the batch, rewrite
-    /// ballots, replicate.
-    fn flush_pending(&mut self, ctx: &mut Ctx<Msg>) {
-        if self.role != Role::Leader {
-            self.forward_pending(ctx);
-            return;
-        }
-        if self.pending.is_empty() {
-            return;
-        }
-        let cmds = std::mem::take(&mut self.pending);
-        let bytes: usize = cmds.iter().map(Command::size_bytes).sum();
-        ctx.charge(
-            self.cfg.costs.propose_fixed
-                + self.cfg.costs.propose_per_cmd * cmds.len() as u64
-                + self.cfg.costs.size_cost(bytes),
-        );
-        let first_new = self.log.last_index().next();
-        for cmd in cmds {
-            self.log.append(Entry {
-                term: self.current_term,
-                bal: self.current_term,
-                cmd,
-            });
-        }
-        // Figure 2b lines 6-7: all ballots become the new entry's term.
-        self.log
-            .set_bal_upto(self.log.last_index(), self.current_term);
-        self.index_writes_from(first_new);
-        self.broadcast_append(ctx);
-    }
-
-    fn forward_pending(&mut self, ctx: &mut Ctx<Msg>) {
-        let Some(leader) = self.leader_hint else {
-            if !self.pending.is_empty() {
-                self.batch_armed = false;
-                self.arm_batch(ctx);
-            }
-            return;
-        };
-        if leader == self.cfg.id || self.pending.is_empty() {
-            return;
-        }
-        let cmds = std::mem::take(&mut self.pending);
-        ctx.charge(self.cfg.costs.forward_per_cmd * cmds.len() as u64);
-        ctx.send(self.cfg.peer(leader), Msg::Raft(RaftMsg::Forward { cmds }));
-    }
-
     /// Figure 2b `LeaderLearn` with the [PQL] holder gate of Figure 8.
-    fn advance_commit(&mut self, ctx: &mut Ctx<Msg>) {
-        if self.role != Role::Leader {
+    fn advance_commit(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        if self.base.role != Role::Leader {
             return;
         }
-        let f = max_failures(self.cfg.n);
-        let mut target = self.repl.kth_largest_match(f, self.cfg.id);
+        let f = max_failures(core.cfg.n);
+        let mut target = self.base.repl.kth_largest_match(f, core.cfg.id);
         // [PQL] holderSet = holders reported by the *responders* (the
         // followers whose appendOKs form this commit's quorum) ∪ holders
         // granted by the leader itself (the implicit appendOK). Every
@@ -423,10 +217,10 @@ impl RaftStarReplica {
         // consulted, so an expired holder stops gating writes.
         if let Some(lease) = &self.lease {
             if lease.mode() == ReadMode::QuorumLease {
-                while target > self.commit_index {
+                while target > self.base.commit_index {
                     let mut holders: Vec<NodeId> = lease.current_holders(ctx.now());
-                    for p in self.cfg.others() {
-                        if self.repl.match_index(p) >= target {
+                    for p in core.cfg.others() {
+                        if self.base.repl.match_index(p) >= target {
                             for h in &self.reported_holders[p.0 as usize] {
                                 if !holders.contains(h) {
                                     holders.push(*h);
@@ -436,8 +230,8 @@ impl RaftStarReplica {
                     }
                     let mut limit = target;
                     for h in holders {
-                        if h != self.cfg.id {
-                            limit = limit.min(self.repl.match_index(h));
+                        if h != core.cfg.id {
+                            limit = limit.min(self.base.repl.match_index(h));
                         }
                     }
                     if limit >= target {
@@ -447,137 +241,24 @@ impl RaftStarReplica {
                 }
             }
         }
-        if target > self.commit_index {
-            self.commit_index = target;
-            self.apply_committed(ctx);
+        if target > self.base.commit_index {
+            self.base.commit_index = target;
+            self.apply_committed(core, ctx);
         }
     }
 
-    fn apply_committed(&mut self, ctx: &mut Ctx<Msg>) {
-        while self.last_applied < self.commit_index {
-            let next = self.last_applied.next();
-            let Some(entry) = self.log.get(next) else {
-                break;
-            };
-            let cmd = entry.cmd.clone();
-            ctx.charge(self.cfg.costs.apply_per_cmd);
-            let reply = self.kv.apply(&cmd);
-            self.last_applied = next;
-            if self.role == Role::Leader && cmd.id.client != u32::MAX {
-                ctx.charge(self.cfg.costs.reply_fixed);
-                ctx.send(
-                    self.cfg.client_actor(cmd.id.client),
-                    Msg::Client(ClientMsg::Response { id: cmd.id, reply }),
-                );
-                self.responses_sent += 1;
-            }
-        }
-        self.serve_parked_reads(ctx);
-        self.maybe_compact(ctx);
+    fn apply_committed(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        self.base.apply_loop(core, ctx);
+        self.serve_parked_reads(core, ctx);
+        self.base.maybe_compact(core, ctx);
     }
 
-    /// Compacts the applied log prefix once it crosses the configured
-    /// threshold, snapshotting the state machine first.
-    fn maybe_compact(&mut self, ctx: &mut Ctx<Msg>) {
-        if let Some(bytes) = snapshot::compact_applied_prefix(
-            &self.cfg.snapshot,
-            &mut self.log,
-            &self.kv,
-            self.last_applied,
-            &mut self.stable_snap,
-            &mut self.snap_stats,
-        ) {
-            ctx.charge(self.cfg.costs.snapshot_cost(bytes));
-        }
-    }
-
-    /// Installs a fully reassembled snapshot received from the leader.
-    /// (The shared helper's log replacement is safe for Raft* too: the
-    /// "no erasing" restriction is about live appends, and any
-    /// accepted-but-uncommitted value discarded here is retained by the
-    /// up-to-date leader that shipped the snapshot.)
-    fn install_snapshot(&mut self, ctx: &mut Ctx<Msg>, from: ActorId, snap: Snapshot) {
-        let bytes = snap.size_bytes();
-        let first_new = snap.last_slot.next();
-        if snapshot::install_into_raft_state(
-            snap,
-            &mut self.log,
-            &mut self.kv,
-            &mut self.last_applied,
-            &mut self.commit_index,
-            &mut self.stable_snap,
-            &mut self.snap_stats,
-        ) {
-            ctx.charge(self.cfg.costs.snapshot_cost(bytes));
-            self.index_writes_from(first_new);
-            self.serve_parked_reads(ctx);
-        }
-        ctx.send(
-            from,
-            Msg::Raft(RaftMsg::SnapshotAck {
-                term: self.current_term,
-                last_idx: self.last_applied,
-            }),
-        );
-    }
-
-    /// [PQL] Figure 13 `LocalRead`: serve, park, or decline.
-    fn try_local_read(&mut self, ctx: &mut Ctx<Msg>, cmd: &Command) -> bool {
-        let Some(lease) = &self.lease else {
-            return false;
-        };
-        let Op::Get { key } = &cmd.op else {
-            return false;
-        };
-        match lease.mode() {
-            ReadMode::QuorumLease => {
-                if !lease.has_quorum_lease(ctx.now()) {
-                    return false;
-                }
-            }
-            ReadMode::LeaderLease => {
-                if self.role != Role::Leader || !lease.has_quorum_lease(ctx.now()) {
-                    return false;
-                }
-            }
-            ReadMode::LogRead => return false,
-        }
-        let lease_floor = self
-            .lease
-            .as_ref()
-            .map(|l| l.read_floor())
-            .unwrap_or(Slot::NONE);
-        let conflict = self
-            .key_last_write
-            .get(key)
-            .copied()
-            .unwrap_or(Slot::NONE)
-            .max(lease_floor);
-        if conflict > self.last_applied {
-            // Figure 13 line 4: wait until the conflicting write commits
-            // and applies locally — and, after a lease lapse, until the
-            // replica has caught up to the grant's read floor (writes
-            // committed during the lapse never waited for us).
-            self.parked_reads.push((cmd.clone(), conflict));
-            return true;
-        }
-        ctx.charge(self.cfg.costs.read_local);
-        let reply = self.kv.read_local(*key);
-        ctx.send(
-            self.cfg.client_actor(cmd.id.client),
-            Msg::Client(ClientMsg::Response { id: cmd.id, reply }),
-        );
-        self.responses_sent += 1;
-        self.local_reads_served += 1;
-        true
-    }
-
-    fn serve_parked_reads(&mut self, ctx: &mut Ctx<Msg>) {
+    fn serve_parked_reads(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
         if self.parked_reads.is_empty() {
             return;
         }
         let ready: Vec<Command> = {
-            let applied = self.last_applied;
+            let applied = self.base.last_applied;
             let (serve, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.parked_reads)
                 .into_iter()
                 .partition(|(_, s)| *s <= applied);
@@ -595,60 +276,56 @@ impl RaftStarReplica {
                 .map(|l| match l.mode() {
                     ReadMode::QuorumLease => l.has_quorum_lease(ctx.now()),
                     ReadMode::LeaderLease => {
-                        self.role == Role::Leader && l.has_quorum_lease(ctx.now())
+                        self.base.role == Role::Leader && l.has_quorum_lease(ctx.now())
                     }
                     ReadMode::LogRead => false,
                 })
                 .unwrap_or(false);
             if lease_ok {
                 if let Op::Get { key } = &cmd.op {
-                    ctx.charge(self.cfg.costs.read_local);
-                    let reply = self.kv.read_local(*key);
-                    ctx.send(
-                        self.cfg.client_actor(cmd.id.client),
-                        Msg::Client(ClientMsg::Response { id: cmd.id, reply }),
-                    );
-                    self.responses_sent += 1;
+                    ctx.charge(core.cfg.costs.read_local);
+                    let reply = core.kv.read_local(*key);
+                    core.send_response(ctx, cmd.id, reply);
                     self.local_reads_served += 1;
                     continue;
                 }
             }
             // Lease lapsed while parked: fall back to replication.
-            self.pending.push(cmd);
-            self.arm_batch(ctx);
+            core.pending.push(cmd);
+            core.arm_batch(ctx);
         }
     }
 
     /// [PQL] Periodic lease renewal (grantors renew every 0.5 s).
-    fn lease_tick(&mut self, ctx: &mut Ctx<Msg>) {
+    fn lease_tick(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
         let Some(lease) = &mut self.lease else { return };
-        ctx.charge(self.cfg.costs.lease_msg);
+        ctx.charge(core.cfg.costs.lease_msg);
         lease.self_grant(ctx.now());
         let expiry = lease.grant_expiry(ctx.now());
-        let targets = lease.grant_targets(self.leader_hint);
-        let last_idx = self.log.last_index();
+        let targets = lease.grant_targets(core.leader_hint);
+        let last_idx = self.base.log.last_index();
         for t in targets {
             ctx.send(
-                self.cfg.peer(t),
+                core.cfg.peer(t),
                 Msg::Lease(LeaseMsg::Grant {
                     expires_ns: expiry.as_nanos(),
                     last_idx,
                 }),
             );
         }
-        ctx.set_timer(self.cfg.lease.renew_every, T_LEASE);
+        ctx.set_timer(core.cfg.lease.renew_every, T_LEASE);
         // Expired holders may unblock commits.
-        self.advance_commit(ctx);
+        self.advance_commit(core, ctx);
     }
 
-    fn on_raft(&mut self, ctx: &mut Ctx<Msg>, from: ActorId, msg: RaftMsg) {
+    fn on_raft(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, from: ActorId, msg: RaftMsg) {
         match msg {
             RaftMsg::RequestVote {
                 term,
                 last_idx,
                 last_term,
             } => {
-                if term > self.current_term {
+                if term > self.base.current_term {
                     // Raft* vote rule: grant when our log's ballot (==
                     // last entry term, by the uniform-ballot invariant)
                     // does not exceed the candidate's; attach extras.
@@ -656,13 +333,13 @@ impl RaftStarReplica {
                     // candidate whose log ends below our compaction
                     // floor cannot be completed by extras (the entries
                     // are gone), so we refuse — it catches up from the
-                    // eventual winner via InstallSnapshot instead.
-                    let granted =
-                        self.log.last_term() <= last_term && last_idx >= self.log.last_included().0;
-                    self.step_down(term, ctx);
-                    self.leader_hint = None;
-                    let (extra_start, extra) = if granted && self.log.last_index() > last_idx {
-                        (last_idx.next(), self.log.suffix_from(last_idx))
+                    // eventual winner via the snapshot path instead.
+                    let granted = self.base.log.last_term() <= last_term
+                        && last_idx >= self.base.log.last_included().0;
+                    self.base.step_down(core, term, ctx);
+                    core.leader_hint = None;
+                    let (extra_start, extra) = if granted && self.base.log.last_index() > last_idx {
+                        (last_idx.next(), self.base.log.suffix_from(last_idx))
                     } else {
                         (last_idx.next(), Vec::new())
                     };
@@ -683,12 +360,15 @@ impl RaftStarReplica {
                 extra_start,
                 extra,
             } => {
-                if term > self.current_term {
-                    self.step_down(term, ctx);
-                } else if term == self.current_term && granted && self.role == Role::Candidate {
-                    self.votes |= 1 << node_of(from).0;
+                if term > self.base.current_term {
+                    self.base.step_down(core, term, ctx);
+                } else if term == self.base.current_term
+                    && granted
+                    && self.base.role == Role::Candidate
+                {
+                    self.base.votes |= me_bit(node_of(from));
                     self.vote_extras.insert(node_of(from), (extra_start, extra));
-                    self.try_become_leader(ctx);
+                    self.try_become_leader(core, ctx);
                 }
             }
             RaftMsg::Append {
@@ -698,30 +378,30 @@ impl RaftStarReplica {
                 entries,
                 commit,
             } => {
-                if term < self.current_term {
+                if term < self.base.current_term {
                     ctx.send(
                         from,
                         Msg::Raft(RaftMsg::AppendReject {
-                            term: self.current_term,
-                            last_idx: self.log.last_index(),
+                            term: self.base.current_term,
+                            last_idx: self.base.log.last_index(),
                         }),
                     );
                     return;
                 }
-                self.current_term = term;
-                self.role = Role::Follower;
-                self.leader_hint = Some(term.owner(self.cfg.n));
-                self.arm_election(ctx);
+                self.base.current_term = term;
+                self.base.role = Role::Follower;
+                core.leader_hint = Some(term.owner(core.cfg.n));
+                self.base.arm_election(core, ctx);
                 let bytes: usize = entries.iter().map(Entry::size_bytes).sum();
                 ctx.charge(
-                    self.cfg.costs.append_fixed
-                        + self.cfg.costs.append_per_cmd * entries.len().max(1) as u64
-                        + self.cfg.costs.size_cost(bytes),
+                    core.cfg.costs.append_fixed
+                        + core.cfg.costs.append_per_cmd * entries.len().max(1) as u64
+                        + core.cfg.costs.size_cost(bytes),
                 );
                 // Entries at or below our compaction floor are applied
                 // committed state: skip the overlap and anchor the
                 // consistency check at the floor.
-                let (floor, floor_term) = self.log.last_included();
+                let (floor, floor_term) = self.base.log.last_included();
                 let (prev, prev_term, entries) = if prev < floor {
                     let overlap = (floor.0 - prev.0) as usize;
                     if entries.len() <= overlap {
@@ -733,7 +413,7 @@ impl RaftStarReplica {
                         ctx.send(
                             from,
                             Msg::Raft(RaftMsg::AppendOk {
-                                term: self.current_term,
+                                term: self.base.current_term,
                                 last_idx: floor,
                                 holders,
                             }),
@@ -747,23 +427,24 @@ impl RaftStarReplica {
                 let new_last = Slot(prev.0 + entries.len() as u64);
                 // Figure 2b RecieveAppend: match on prev AND never let the
                 // log shrink (`lastIndex ≤ prev + length(ents)`).
-                if !self.log.matches(prev, prev_term) || new_last < self.log.last_index() {
+                if !self.base.log.matches(prev, prev_term) || new_last < self.base.log.last_index()
+                {
                     ctx.send(
                         from,
                         Msg::Raft(RaftMsg::AppendReject {
-                            term: self.current_term,
-                            last_idx: self.log.last_index(),
+                            term: self.base.current_term,
+                            last_idx: self.base.log.last_index(),
                         }),
                     );
                     return;
                 }
-                self.log.replace_suffix(prev, entries);
+                self.base.log.replace_suffix(prev, entries);
                 // Figure 2b: every covered ballot becomes the append term.
-                self.log.set_bal_upto(new_last, term);
+                self.base.log.set_bal_upto(new_last, term);
                 self.index_writes_from(prev.next());
-                if commit > self.commit_index {
-                    self.commit_index = Slot(commit.0.min(new_last.0));
-                    self.apply_committed(ctx);
+                if commit > self.base.commit_index {
+                    self.base.commit_index = Slot(commit.0.min(new_last.0));
+                    self.apply_committed(core, ctx);
                 }
                 // [PQL] Phase2b Δ: attach the holders we granted.
                 let holders = self
@@ -774,7 +455,7 @@ impl RaftStarReplica {
                 ctx.send(
                     from,
                     Msg::Raft(RaftMsg::AppendOk {
-                        term: self.current_term,
+                        term: self.base.current_term,
                         last_idx: new_last,
                         holders,
                     }),
@@ -785,87 +466,28 @@ impl RaftStarReplica {
                 last_idx,
                 holders,
             } => {
-                if term > self.current_term {
-                    self.step_down(term, ctx);
-                } else if term == self.current_term && self.role == Role::Leader {
-                    ctx.charge(self.cfg.costs.ack_process);
+                if term > self.base.current_term {
+                    self.base.step_down(core, term, ctx);
+                } else if term == self.base.current_term && self.base.role == Role::Leader {
+                    ctx.charge(core.cfg.costs.ack_process);
                     self.reported_holders[node_of(from).0 as usize] = holders;
-                    if self.repl.on_ack(node_of(from), last_idx) {
-                        self.advance_commit(ctx);
-                    } else {
-                        // Holder reports may still unblock the PQL gate.
-                        self.advance_commit(ctx);
-                    }
+                    // Advance on a match step — or on holder reports
+                    // alone, which may still unblock the PQL gate.
+                    self.base.repl.on_ack(node_of(from), last_idx);
+                    self.advance_commit(core, ctx);
                 }
             }
             RaftMsg::AppendReject { term, last_idx } => {
-                if term > self.current_term {
-                    self.step_down(term, ctx);
-                } else if term == self.current_term && self.role == Role::Leader {
-                    self.repl.on_reject(node_of(from), last_idx);
+                if term > self.base.current_term {
+                    self.base.step_down(core, term, ctx);
+                } else if term == self.base.current_term && self.base.role == Role::Leader {
+                    self.base.repl.on_reject(node_of(from), last_idx);
                     // Back off for a prev mismatch; when the follower's
                     // log is simply longer than ours (the Raft* "no
                     // shrink" rule), wait for new appends instead of
                     // ping-ponging rejects.
-                    if last_idx <= self.log.last_index() {
-                        self.send_append_to(ctx, node_of(from));
-                    }
-                }
-            }
-            RaftMsg::Forward { cmds } => {
-                ctx.charge(self.cfg.costs.forward_per_cmd * cmds.len() as u64);
-                for cmd in cmds {
-                    // [PQL] a forwarded read may be lease-served here too.
-                    if matches!(cmd.op, Op::Get { .. }) && self.try_local_read(ctx, &cmd) {
-                        continue;
-                    }
-                    self.pending.push(cmd);
-                }
-                if self.role == Role::Leader && self.pending.len() >= self.cfg.batch_max {
-                    self.flush_pending(ctx);
-                } else if !self.pending.is_empty() {
-                    self.arm_batch(ctx);
-                }
-            }
-            // `last_term` rides inside the encoded payload; the header
-            // copy only matters for observability.
-            RaftMsg::InstallSnapshot {
-                term,
-                last_slot,
-                last_term: _,
-                offset,
-                total,
-                data,
-            } => {
-                if term < self.current_term {
-                    ctx.send(
-                        from,
-                        Msg::Raft(RaftMsg::AppendReject {
-                            term: self.current_term,
-                            last_idx: self.log.last_index(),
-                        }),
-                    );
-                    return;
-                }
-                self.current_term = term;
-                self.role = Role::Follower;
-                self.leader_hint = Some(term.owner(self.cfg.n));
-                self.arm_election(ctx);
-                ctx.charge(self.cfg.costs.append_fixed + self.cfg.costs.snapshot_cost(data.len()));
-                if let Some(snap) =
-                    self.snap_asm
-                        .offer(from.0 as u64, last_slot, offset, total, &data)
-                {
-                    self.install_snapshot(ctx, from, snap);
-                }
-            }
-            RaftMsg::SnapshotAck { term, last_idx } => {
-                if term > self.current_term {
-                    self.step_down(term, ctx);
-                } else if term == self.current_term && self.role == Role::Leader {
-                    self.snap_send.finish(node_of(from).0 as usize);
-                    if self.repl.on_ack(node_of(from), last_idx) {
-                        self.advance_commit(ctx);
+                    if last_idx <= self.base.log.last_index() {
+                        self.base.send_append_to(core, ctx, node_of(from));
                     }
                 }
             }
@@ -873,40 +495,116 @@ impl RaftStarReplica {
     }
 }
 
-fn node_of(from: ActorId) -> NodeId {
-    NodeId(from.0 as u32)
-}
+impl ProtocolRules for RaftStarRules {
+    fn can_propose(&self, _core: &EngineCore) -> bool {
+        self.base.role == Role::Leader
+    }
 
-impl Actor<Msg> for RaftStarReplica {
-    fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
-        self.arm_election(ctx);
+    fn applied_index(&self, _core: &EngineCore) -> Slot {
+        self.base.last_applied
+    }
+
+    /// Figure 2b `AppendEntries` (leader side): append the batch, rewrite
+    /// ballots, replicate.
+    fn propose(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, cmds: Vec<Command>) {
+        let first_new = self.base.log.last_index().next();
+        for cmd in cmds {
+            self.base.log.append(Entry {
+                term: self.base.current_term,
+                bal: self.base.current_term,
+                cmd,
+            });
+        }
+        // Figure 2b lines 6-7: all ballots become the new entry's term.
+        self.base
+            .log
+            .set_bal_upto(self.base.log.last_index(), self.base.current_term);
+        self.index_writes_from(first_new);
+        self.base.broadcast_append(core, ctx);
+    }
+
+    /// [PQL] Figure 13 `LocalRead`: serve, park, or decline.
+    fn try_serve_local(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: &mut Ctx<Msg>,
+        cmd: &Command,
+    ) -> bool {
+        let Some(lease) = &self.lease else {
+            return false;
+        };
+        let Op::Get { key } = &cmd.op else {
+            return false;
+        };
+        match lease.mode() {
+            ReadMode::QuorumLease => {
+                if !lease.has_quorum_lease(ctx.now()) {
+                    return false;
+                }
+            }
+            ReadMode::LeaderLease => {
+                if self.base.role != Role::Leader || !lease.has_quorum_lease(ctx.now()) {
+                    return false;
+                }
+            }
+            ReadMode::LogRead => return false,
+        }
+        let lease_floor = self
+            .lease
+            .as_ref()
+            .map(|l| l.read_floor())
+            .unwrap_or(Slot::NONE);
+        let conflict = self
+            .key_last_write
+            .get(key)
+            .copied()
+            .unwrap_or(Slot::NONE)
+            .max(lease_floor);
+        if conflict > self.base.last_applied {
+            // Figure 13 line 4: wait until the conflicting write commits
+            // and applies locally — and, after a lease lapse, until the
+            // replica has caught up to the grant's read floor (writes
+            // committed during the lapse never waited for us).
+            self.parked_reads.push((cmd.clone(), conflict));
+            return true;
+        }
+        ctx.charge(core.cfg.costs.read_local);
+        let reply = core.kv.read_local(*key);
+        core.send_response(ctx, cmd.id, reply);
+        self.local_reads_served += 1;
+        true
+    }
+
+    fn on_start(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        self.base.arm_election(core, ctx);
         if self.lease.is_some() {
             ctx.set_timer(SimDuration::from_millis(1), T_LEASE);
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<Msg>, from: ActorId, msg: Msg) {
+    fn on_election_timeout(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        self.start_election(core, ctx);
+    }
+
+    fn on_heartbeat(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        self.base.heartbeat(core, ctx);
+    }
+
+    fn on_timer(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, kind: u64, _token: u64) {
+        if kind == T_LEASE {
+            self.lease_tick(core, ctx);
+        }
+    }
+
+    fn on_msg(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, from: ActorId, msg: Msg) {
         match msg {
-            Msg::Raft(m) => self.on_raft(ctx, from, m),
-            Msg::Client(ClientMsg::Request { cmd }) => {
-                ctx.charge(self.cfg.costs.client_req);
-                // [PQL] added LocalRead action.
-                if self.try_local_read(ctx, &cmd) {
-                    return;
-                }
-                self.pending.push(cmd);
-                if self.role == Role::Leader && self.pending.len() >= self.cfg.batch_max {
-                    self.flush_pending(ctx);
-                } else {
-                    self.arm_batch(ctx);
-                }
-            }
+            Msg::Raft(m) => self.on_raft(core, ctx, from, m),
             Msg::Lease(LeaseMsg::Grant {
                 expires_ns,
                 last_idx,
             }) => {
                 if let Some(lease) = &mut self.lease {
-                    ctx.charge(self.cfg.costs.lease_msg);
+                    ctx.charge(core.cfg.costs.lease_msg);
                     let t = paxraft_sim::time::SimTime::from_nanos(expires_ns);
                     lease.on_grant(node_of(from), t, last_idx, ctx.now());
                     ctx.send(from, Msg::Lease(LeaseMsg::GrantAck { expires_ns }));
@@ -922,67 +620,66 @@ impl Actor<Msg> for RaftStarReplica {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<Msg>, token: u64) {
-        match token & KIND_MASK {
-            T_ELECTION => {
-                if token & !KIND_MASK == self.election_gen && self.role != Role::Leader {
-                    self.start_election(ctx);
-                }
-            }
-            T_HEARTBEAT => {
-                if token & !KIND_MASK == self.heartbeat_gen && self.role == Role::Leader {
-                    let peers: Vec<NodeId> = self.cfg.others().collect();
-                    for peer in peers {
-                        self.repl
-                            .maybe_rewind(peer, ctx.now(), self.cfg.retry_interval);
-                        self.send_append_to(ctx, peer);
-                    }
-                    self.arm_heartbeat(ctx);
-                }
-            }
-            T_BATCH => {
-                self.batch_armed = false;
-                if !self.pending.is_empty() {
-                    self.flush_pending(ctx);
-                }
-                if !self.pending.is_empty() {
-                    self.arm_batch(ctx);
-                }
-            }
-            T_LEASE => self.lease_tick(ctx),
-            _ => {}
+    fn accept_snapshot_chunk(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: &mut Ctx<Msg>,
+        from: ActorId,
+        seal: Term,
+    ) -> bool {
+        self.base.accept_snapshot_chunk(core, ctx, from, seal)
+    }
+
+    /// Installs a fully reassembled snapshot received from the leader.
+    /// (The shared helper's log replacement is safe for Raft* too: the
+    /// "no erasing" restriction is about live appends, and any
+    /// accepted-but-uncommitted value discarded here is retained by the
+    /// up-to-date leader that shipped the snapshot.)
+    fn install_snapshot(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: &mut Ctx<Msg>,
+        from: ActorId,
+        snap: Snapshot,
+    ) {
+        let first_new = snap.last_slot.next();
+        if self.base.install_snapshot(core, ctx, snap) {
+            self.index_writes_from(first_new);
+            self.serve_parked_reads(core, ctx);
+        }
+        self.base.ack_snapshot(ctx, from);
+    }
+
+    fn on_snapshot_ack(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: &mut Ctx<Msg>,
+        from: ActorId,
+        seal: Term,
+        upto: Slot,
+    ) {
+        if self.base.on_snapshot_ack(core, ctx, from, seal, upto) {
+            self.advance_commit(core, ctx);
         }
     }
 
-    fn on_crash(&mut self) {
+    fn decorate_stats(&self, stats: &mut SnapshotStats) {
+        self.base.decorate_stats(stats);
+    }
+
+    fn on_crash(&mut self, core: &mut EngineCore) {
         // Persistent: term, log, the durable snapshot backing the
         // compacted prefix, and grants *given* (a recovering grantor
         // must still honour them). Volatile: everything else, including
         // leases held. The state machine restarts from the snapshot —
         // the compacted prefix cannot be replayed.
-        self.role = Role::Follower;
-        self.leader_hint = None;
-        self.votes = 0;
+        self.base.crash_reset(core);
         self.vote_extras.clear();
-        self.commit_index = Slot::NONE;
-        self.last_applied = Slot::NONE;
-        self.kv = KvStore::new();
-        if let Some(snap) = &self.stable_snap {
-            self.kv.restore(&snap.kv);
-            self.last_applied = snap.last_slot;
-            self.commit_index = snap.last_slot;
-        }
-        self.pending.clear();
         self.parked_reads.clear();
-        self.batch_armed = false;
-        self.snap_asm.clear();
-        self.snap_send.reset();
         if let Some(lease) = &mut self.lease {
             lease.drop_held();
         }
     }
-
-    impl_actor_any!();
 }
 
 #[cfg(test)]
@@ -998,19 +695,6 @@ mod tests {
             cfg.read_mode = mode;
             Box::new(RaftStarReplica::new(cfg))
         })
-    }
-
-    #[test]
-    fn elects_and_commits() {
-        let (mut sim, replicas, client) = star_cluster(3, ReadMode::LogRead);
-        sim.actor_mut::<TestClient>(client).enqueue_put(42);
-        sim.actor_mut::<TestClient>(client).enqueue_get(42);
-        assert!(drive_until(&mut sim, SimTime::from_secs(5), |sim| {
-            sim.actor::<TestClient>(client).replies.len() == 2
-        }));
-        assert!(sim.actor::<RaftStarReplica>(replicas[0]).is_leader());
-        let c = sim.actor::<TestClient>(client);
-        assert!(c.replies[1].1.value_id().is_some());
     }
 
     #[test]
@@ -1122,7 +806,9 @@ mod tests {
         assert!(drive_until(&mut sim, SimTime::from_secs(5), |sim| {
             sim.actor::<TestClient>(client).replies.len() == 2
         }));
-        let served = sim.actor::<RaftStarReplica>(replicas[3]).local_reads_served;
+        let served = sim
+            .actor::<RaftStarReplica>(replicas[3])
+            .local_reads_served();
         assert_eq!(served, 1, "follower served the read locally");
         let c = sim.actor::<TestClient>(client);
         assert!(
@@ -1141,11 +827,13 @@ mod tests {
             sim.actor::<TestClient>(client).replies.len() == 2
         }));
         assert_eq!(
-            sim.actor::<RaftStarReplica>(replicas[0]).local_reads_served,
+            sim.actor::<RaftStarReplica>(replicas[0])
+                .local_reads_served(),
             1
         );
         assert_eq!(
-            sim.actor::<RaftStarReplica>(replicas[1]).local_reads_served,
+            sim.actor::<RaftStarReplica>(replicas[1])
+                .local_reads_served(),
             0
         );
     }

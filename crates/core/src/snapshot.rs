@@ -328,79 +328,6 @@ impl SnapshotSender {
     }
 }
 
-/// Raft-family compaction, shared by Raft and Raft*: when the applied
-/// retained prefix crosses the thresholds, snapshot the state machine
-/// at `last_applied` and discard the covered log prefix. Returns the
-/// encoded size to charge snapshot CPU cost for, or `None` when below
-/// threshold (or disabled).
-pub fn compact_applied_prefix(
-    cfg: &SnapshotConfig,
-    log: &mut crate::log::Log,
-    kv: &crate::kv::KvStore,
-    last_applied: Slot,
-    stable: &mut Option<Snapshot>,
-    stats: &mut SnapshotStats,
-) -> Option<usize> {
-    if !cfg.enabled() {
-        return None;
-    }
-    let floor = log.last_included().0;
-    let applied_retained = (last_applied.0 - floor.0) as usize;
-    if !cfg.should_compact(applied_retained, log.bytes()) {
-        return None;
-    }
-    let last_term = log.term_at(last_applied).unwrap_or(Term::ZERO);
-    let snap = Snapshot {
-        last_slot: last_applied,
-        last_term,
-        kv: kv.snapshot(),
-    };
-    let bytes = snap.size_bytes();
-    let discarded = log.compact_to(last_applied);
-    *stable = Some(snap);
-    stats.compactions += 1;
-    stats.entries_discarded += discarded as u64;
-    Some(bytes)
-}
-
-/// Raft-family snapshot installation, shared by Raft and Raft*:
-/// restores the state machine, advances the applied/commit indices, and
-/// reconciles the log — keeping a consistent retained suffix, else
-/// replacing the log with the snapshot's history. Returns whether the
-/// snapshot was fresh (stale transfers change nothing).
-pub fn install_into_raft_state(
-    snap: Snapshot,
-    log: &mut crate::log::Log,
-    kv: &mut crate::kv::KvStore,
-    last_applied: &mut Slot,
-    commit_index: &mut Slot,
-    stable: &mut Option<Snapshot>,
-    stats: &mut SnapshotStats,
-) -> bool {
-    if snap.last_slot <= *last_applied {
-        return false;
-    }
-    kv.restore(&snap.kv);
-    *last_applied = snap.last_slot;
-    *commit_index = (*commit_index).max(snap.last_slot);
-    if log.term_at(snap.last_slot) == Some(snap.last_term) {
-        // The log extends consistently past the snapshot: keep the
-        // suffix, discard the covered prefix.
-        log.compact_to(snap.last_slot);
-    } else {
-        // Short or conflicting log: the snapshot replaces it. (For
-        // Raft*, the "no erasing" restriction is about live appends;
-        // replacing a log with committed state it lags behind is the
-        // same transition Paxos checkpoint recovery performs, and any
-        // accepted-but-uncommitted value this discards is retained by
-        // the up-to-date leader that shipped the snapshot.)
-        log.reset_to(snap.last_slot, snap.last_term);
-    }
-    *stable = Some(snap);
-    stats.snapshots_installed += 1;
-    true
-}
-
 /// Compaction and snapshot-transfer counters, kept per replica and
 /// aggregated by the harness into
 /// [`crate::harness::RunReport::snapshots`].

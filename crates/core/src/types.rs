@@ -6,6 +6,8 @@
 
 use std::fmt;
 
+use paxraft_sim::sim::ActorId;
+
 /// A replica identifier, `0..n`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub u32);
@@ -94,6 +96,18 @@ impl fmt::Display for Slot {
     }
 }
 
+/// The replica behind a peer actor. Replica actors are created first in
+/// every harness, so `ActorId(i) == NodeId(i)` by construction.
+pub fn node_of(from: ActorId) -> NodeId {
+    NodeId(from.0 as u32)
+}
+
+/// The quorum-bitmap bit of a replica (acknowledgement and vote sets are
+/// `u64` bitmaps indexed by node id).
+pub fn me_bit(id: NodeId) -> u64 {
+    1 << id.0
+}
+
 /// Size of the majority quorum for `n` replicas (`f + 1` where
 /// `n = 2f + 1`).
 pub fn quorum(n: usize) -> usize {
@@ -161,6 +175,13 @@ mod tests {
         assert_eq!(quorum(7), 4);
         assert_eq!(max_failures(3), 1);
         assert_eq!(max_failures(5), 2);
+    }
+
+    #[test]
+    fn node_of_and_me_bit() {
+        assert_eq!(node_of(ActorId(3)), NodeId(3));
+        assert_eq!(me_bit(NodeId(0)), 1);
+        assert_eq!(me_bit(NodeId(5)), 32);
     }
 
     #[test]

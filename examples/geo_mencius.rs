@@ -48,7 +48,7 @@ fn run(protocol: ProtocolKind, conflict: f64) {
         let skips: u64 = cluster
             .replicas()
             .iter()
-            .map(|&r| cluster.sim.actor::<MenciusReplica>(r).skips_issued)
+            .map(|&r| cluster.sim.actor::<MenciusReplica>(r).skips_issued())
             .sum();
         println!("  slots skipped across replicas: {skips}");
     }

@@ -50,7 +50,7 @@ fn run(protocol: ProtocolKind) {
         let local: u64 = cluster
             .replicas()
             .iter()
-            .map(|&r| cluster.sim.actor::<RaftStarReplica>(r).local_reads_served)
+            .map(|&r| cluster.sim.actor::<RaftStarReplica>(r).local_reads_served())
             .sum();
         println!("  local reads served across replicas: {local}");
     }
