@@ -202,6 +202,81 @@ fn bench_cluster_commit(rep: &mut Reporter) {
     });
 }
 
+/// Pipeline-depth sweep on the high-latency WAN config: virtual time for
+/// one closed-loop client to complete 100 write commits, per window
+/// depth (0 = pipelining off, the pre-PR3 batching discipline), measured
+/// both co-located with the leader and from the farthest follower region
+/// (where the forward path pays the batch delay twice); plus aggregate
+/// closed-loop throughput. These rows are *virtual-clock* measurements —
+/// deterministic for the fixed seed — so the perf trajectory across PRs
+/// is noise-free.
+fn bench_pipeline_sweep(rep: &mut Reporter) {
+    use paxraft_core::client::WorkloadClient;
+    use paxraft_core::engine::PipelineConfig;
+    use paxraft_core::harness::{Cluster, ProtocolKind};
+    use paxraft_sim::rng::SimRng;
+    use paxraft_sim::time::SimDuration;
+    use paxraft_workload::generator::{Generator, WorkloadConfig};
+
+    let serial_100 = |depth: usize, region_idx: usize| -> f64 {
+        let mut cluster = Cluster::builder(ProtocolKind::RaftStar)
+            .seed(3)
+            .pipeline_config(PipelineConfig { depth })
+            .build();
+        cluster.elect_leader();
+        let writes = WorkloadConfig {
+            read_fraction: 0.0,
+            conflict_rate: 0.0,
+            ..Default::default()
+        };
+        let target = cluster.replicas()[region_idx];
+        // The first client actor added after the replicas maps to
+        // logical client 0 (`client_base == replica count`).
+        let wc = WorkloadClient::new(0, target, Generator::new(writes, 0, SimRng::new(9)));
+        let added_at = cluster.sim.now();
+        let wc_id = cluster.sim.add_actor(Region::ALL[region_idx], Box::new(wc));
+        while cluster.sim.actor::<WorkloadClient>(wc_id).completions.len() < 100 {
+            cluster.sim.run_for(SimDuration::from_millis(50));
+        }
+        let done = cluster.sim.actor::<WorkloadClient>(wc_id).completions[99].at_ns;
+        (done - added_at.as_nanos()) as f64 / 1e6
+    };
+    for depth in [0usize, 2, 4, 8] {
+        let ms = serial_100(depth, 0);
+        let name = format!("pipeline_depth{depth}_100_commits_leader_region_virtual_ms");
+        println!("{name:<55} {ms:>10.3} ms (virtual)");
+        rep.rows.push((name, ms));
+    }
+    for depth in [0usize, 8] {
+        let ms = serial_100(depth, 4); // Seoul: the farthest follower
+        let name = format!("pipeline_depth{depth}_100_commits_follower_region_virtual_ms");
+        println!("{name:<55} {ms:>10.3} ms (virtual)");
+        rep.rows.push((name, ms));
+    }
+    for depth in [0usize, 8] {
+        let w = WorkloadConfig {
+            read_fraction: 0.5,
+            conflict_rate: 0.2,
+            ..Default::default()
+        };
+        let mut cluster = Cluster::builder(ProtocolKind::RaftStar)
+            .clients_per_region(2)
+            .workload(w)
+            .seed(7)
+            .pipeline_config(PipelineConfig { depth })
+            .build();
+        cluster.elect_leader();
+        let r = cluster.run_measurement(
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(1),
+        );
+        let name = format!("raftstar_wan_closed_loop_depth{depth}_ops_per_sec");
+        println!("{name:<55} {:>10.1} ops/s (virtual)", r.throughput_ops);
+        rep.rows.push((name, r.throughput_ops));
+    }
+}
+
 fn main() {
     let mut rep = Reporter { rows: Vec::new() };
     let rep = &mut rep;
@@ -213,6 +288,7 @@ fn main() {
     bench_sim_event_loop(rep);
     bench_model_check_small(rep);
     bench_cluster_commit(rep);
+    bench_pipeline_sweep(rep);
     let path = std::env::var("BENCH_JSON_OUT").unwrap_or_else(|_| "BENCH.json".into());
     match rep.write_json(&path) {
         Ok(()) => println!("\nwrote {path}"),

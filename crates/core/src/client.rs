@@ -98,6 +98,32 @@ impl WorkloadClient {
         });
         ctx.send(self.target, Msg::Client(ClientMsg::Request { cmd }));
     }
+
+    /// The recorded history, completed by the still-in-flight operation
+    /// if it is a write to the recorded key. An unanswered write may
+    /// already have taken effect at the replicas (the response was
+    /// simply still crossing the WAN when the run stopped), and a
+    /// completed read may have observed its value — omitting it would
+    /// make the checker report a read of an unwritten value. The open
+    /// interval (`respond_ns = u64::MAX`) lets the checker linearize it
+    /// anywhere at or after its invocation, including "never visible"
+    /// (ordered after every completed read). An in-flight *read*
+    /// constrains nothing and is dropped.
+    pub fn history_records(&self) -> Vec<OpRecord> {
+        let mut out = self.history.clone();
+        if let Some(inflight) = &self.inflight {
+            if self.history_key == Some(inflight.key) && inflight.kind == OpKind::Write {
+                out.push(OpRecord {
+                    client: self.client_id as usize,
+                    key: inflight.key,
+                    action: Action::Write(inflight.cmd.id.as_value_id()),
+                    invoke_ns: inflight.first_sent.as_nanos(),
+                    respond_ns: u64::MAX,
+                });
+            }
+        }
+        out
+    }
 }
 
 impl Actor<Msg> for WorkloadClient {

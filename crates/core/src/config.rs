@@ -1,6 +1,7 @@
 //! Replica configuration shared by every protocol.
 
 use crate::costs::CostModel;
+use crate::engine::PipelineConfig;
 use crate::snapshot::SnapshotConfig;
 use crate::types::NodeId;
 use paxraft_sim::sim::ActorId;
@@ -93,6 +94,8 @@ pub struct ReplicaConfig {
     pub mencius: MenciusConfig,
     /// Snapshot / log-compaction parameters (disabled by default).
     pub snapshot: SnapshotConfig,
+    /// Replication pipelining / adaptive-batching parameters.
+    pub pipeline: PipelineConfig,
 }
 
 impl ReplicaConfig {
@@ -116,6 +119,7 @@ impl ReplicaConfig {
             lease: LeaseConfig::default(),
             mencius: MenciusConfig::default(),
             snapshot: SnapshotConfig::default(),
+            pipeline: PipelineConfig::default(),
         }
     }
 

@@ -46,6 +46,20 @@ pub struct CostModel {
     /// Per-KiB cost of encoding or installing a state-machine snapshot
     /// (charged on top of the NIC transfer the simulator models).
     pub snapshot_per_kib: SimDuration,
+    /// Wire-header bytes of one Raft-spelling `InstallSnapshot` chunk
+    /// (term, leaderId, lastIncludedIndex, lastIncludedTerm, offset,
+    /// done). The Paxos family's `Checkpoint` spelling is leaner; see
+    /// [`CostModel::checkpoint_chunk_header`].
+    pub snapshot_chunk_header: usize,
+    /// Wire-header bytes of one Raft-spelling `SnapshotAck`.
+    pub snapshot_ack_header: usize,
+    /// Wire-header bytes of one Paxos-spelling `Checkpoint` chunk
+    /// (ballot, executedThrough, offset — no per-entry term, no done
+    /// flag; Mencius drops the ballot too, see
+    /// [`crate::engine::ProtocolRules::snapshot_wire_overhead`]).
+    pub checkpoint_chunk_header: usize,
+    /// Wire-header bytes of one Paxos-spelling `CheckpointOk`.
+    pub checkpoint_ack_header: usize,
 }
 
 impl Default for CostModel {
@@ -66,6 +80,10 @@ impl Default for CostModel {
             coord_per_cmd: SimDuration::from_micros(3),
             per_kib: SimDuration::from_micros(1),
             snapshot_per_kib: SimDuration::from_micros(2),
+            snapshot_chunk_header: 48,
+            snapshot_ack_header: 16,
+            checkpoint_chunk_header: 40,
+            checkpoint_ack_header: 16,
         }
     }
 }
@@ -100,6 +118,11 @@ impl CostModel {
             coord_per_cmd: SimDuration::ZERO,
             per_kib: SimDuration::ZERO,
             snapshot_per_kib: SimDuration::ZERO,
+            // Wire sizes are not CPU costs; the free model keeps them.
+            snapshot_chunk_header: 48,
+            snapshot_ack_header: 16,
+            checkpoint_chunk_header: 40,
+            checkpoint_ack_header: 16,
         }
     }
 }

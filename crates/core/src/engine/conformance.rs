@@ -6,17 +6,18 @@
 //! generic suite. Each scenario runs against Raft, Raft*, MultiPaxos and
 //! Mencius and asserts engine-level guarantees: elect-and-commit, leader
 //! crash failover, partition heal via snapshot transfer,
-//! duplicate-request dedup, batch-timer discipline, and seed-for-seed
-//! determinism of the full measurement harness.
+//! duplicate-request dedup, batch-timer discipline, pipelined
+//! replication under loss and leader crash, forwarding discipline, and
+//! seed-for-seed determinism of the full measurement harness.
 
-use paxraft_sim::sim::{ActorId, Simulation};
+use paxraft_sim::sim::{Actor, ActorId, Simulation};
 use paxraft_sim::time::{SimDuration, SimTime};
 
 use crate::config::ReplicaConfig;
-use crate::engine::{ProtocolRules, ReplicaEngine};
+use crate::engine::{PipelineConfig, ProtocolRules, ReplicaEngine};
 use crate::harness::{Cluster, ProtocolKind};
 use crate::mencius::MenciusReplica;
-use crate::msg::{ClientMsg, Msg};
+use crate::msg::{ClientMsg, EngineMsg, Msg};
 use crate::multipaxos::MultiPaxosReplica;
 use crate::raft::RaftReplica;
 use crate::raftstar::RaftStarReplica;
@@ -230,8 +231,14 @@ fn every_protocol_dedups_duplicate_requests() {
 
 #[test]
 fn burst_of_requests_arms_one_batch_timer_and_one_flush() {
+    // Pins the legacy (pipeline-disabled) batching discipline: with no
+    // eager cutting, a burst under `batch_max` arms exactly one timer
+    // and produces exactly one flush.
     fn scenario<P: ProtocolRules>(name: &str, make: fn(ReplicaConfig) -> ReplicaEngine<P>) {
-        let (mut sim, replicas, _client) = conformance_cluster(3, None, make);
+        let (mut sim, replicas, _client) = conformance_cluster(3, None, move |mut cfg| {
+            cfg.pipeline = PipelineConfig::disabled();
+            make(cfg)
+        });
         // Let the cluster elect and go quiet.
         assert!(
             drive_until(&mut sim, SimTime::from_secs(5), |sim| {
@@ -289,13 +296,14 @@ fn fixed_seed_runs_are_deterministic_for_every_protocol() {
             SimDuration::from_secs(1),
         );
         format!(
-            "thr={} lr={:?} fr={:?} lw={:?} fw={:?} snaps={:?} end={}",
+            "thr={} lr={:?} fr={:?} lw={:?} fw={:?} snaps={:?} pipe={:?} end={}",
             r.throughput_ops,
             r.leader_reads,
             r.follower_reads,
             r.leader_writes,
             r.follower_writes,
             r.snapshots,
+            r.pipeline,
             cluster.sim.now()
         )
     }
@@ -309,4 +317,440 @@ fn fixed_seed_runs_are_deterministic_for_every_protocol() {
         let b = fingerprint(p, 9);
         assert_eq!(a, b, "{}: same seed, same RunReport", p.name());
     }
+}
+
+/// A burst injected at a proposer overlaps replication rounds: the
+/// adaptive cutter flushes eagerly while the window has room, so several
+/// rounds are in flight at once — and for the window-gated protocols the
+/// per-peer depth bound is respected.
+#[test]
+fn pipelined_burst_overlaps_rounds_within_the_depth_bound() {
+    fn scenario<P: ProtocolRules>(
+        name: &str,
+        gated: bool,
+        make: fn(ReplicaConfig) -> ReplicaEngine<P>,
+    ) {
+        let depth = 4usize;
+        let (mut sim, replicas, _client) = conformance_cluster(3, None, move |mut cfg| {
+            cfg.pipeline = PipelineConfig::depth(depth);
+            make(cfg)
+        });
+        assert!(
+            drive_until(&mut sim, SimTime::from_secs(5), |sim| {
+                sim.actor::<ReplicaEngine<P>>(replicas[0]).is_leader()
+            }),
+            "{name}: replica 0 leads"
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        let before = sim
+            .actor::<ReplicaEngine<P>>(replicas[0])
+            .kv()
+            .applied_ops();
+        let n_burst = 10u64;
+        for seq in 1..=n_burst {
+            let cmd = crate::kv::Command::put(crate::kv::CmdId { client: 0, seq }, seq, vec![0; 8]);
+            sim.send_external(
+                replicas[0],
+                Msg::Client(ClientMsg::Request { cmd }),
+                SimDuration::ZERO,
+            );
+        }
+        sim.run_for(SimDuration::from_secs(3));
+        let rep = sim.actor::<ReplicaEngine<P>>(replicas[0]);
+        assert_eq!(
+            rep.kv().applied_ops() - before,
+            n_burst,
+            "{name}: every burst command committed and applied"
+        );
+        let stats = rep.pipeline_stats();
+        assert!(
+            stats.peak_in_flight >= 2,
+            "{name}: rounds overlapped in flight ({stats:?})"
+        );
+        assert!(
+            stats.eager_flushes >= 1,
+            "{name}: the cutter flushed eagerly ({stats:?})"
+        );
+        if gated {
+            assert!(
+                stats.peak_in_flight <= depth as u64,
+                "{name}: per-peer window bound respected ({stats:?})"
+            );
+        }
+    }
+    scenario("Raft", true, RaftReplica::new);
+    scenario("Raft*", true, RaftStarReplica::new);
+    scenario("MultiPaxos", true, MultiPaxosReplica::new);
+    // Mencius suggestions always reach every peer (watermark safety), so
+    // its window paces the cutter but does not gate sends.
+    scenario("Mencius", false, MenciusReplica::new);
+}
+
+/// Pipelined replication under message loss: rounds are dropped and
+/// acknowledged out of order, retransmission regresses the window, and
+/// every protocol still commits every command exactly once — with the
+/// same final replicated state across all four protocols.
+#[test]
+fn every_protocol_converges_under_loss_with_pipelining() {
+    fn scenario<P: ProtocolRules>(
+        name: &str,
+        make: fn(ReplicaConfig) -> ReplicaEngine<P>,
+    ) -> Vec<(u64, Option<u64>)> {
+        let (mut sim, replicas, client) = conformance_cluster(3, None, move |mut cfg| {
+            cfg.pipeline = PipelineConfig::depth(4);
+            make(cfg)
+        });
+        sim.set_drop_rate_at(0.10, SimTime::from_millis(1));
+        for k in 0..20 {
+            sim.actor_mut::<TestClient>(client).enqueue_put(k);
+        }
+        assert!(
+            drive_until(&mut sim, SimTime::from_secs(120), |sim| {
+                sim.actor::<TestClient>(client).replies.len() == 20
+            }),
+            "{name}: all writes committed despite 10% loss"
+        );
+        sim.set_drop_rate_at(0.0, sim.now() + SimDuration::from_millis(1));
+        sim.run_for(SimDuration::from_secs(5));
+        // Every replica converges to the same state machine.
+        let digest: Vec<(u64, Option<u64>)> = (0..20)
+            .map(|k| {
+                (
+                    k,
+                    sim.actor::<ReplicaEngine<P>>(replicas[0])
+                        .kv()
+                        .read_local(k)
+                        .value_id(),
+                )
+            })
+            .collect();
+        for &r in &replicas {
+            let rep = sim.actor::<ReplicaEngine<P>>(r);
+            assert_eq!(
+                rep.kv().applied_ops(),
+                sim.actor::<ReplicaEngine<P>>(replicas[0])
+                    .kv()
+                    .applied_ops(),
+                "{name}: duplicate retransmissions were deduplicated everywhere"
+            );
+            for &(k, v) in &digest {
+                assert_eq!(
+                    rep.kv().read_local(k).value_id(),
+                    v,
+                    "{name}: replica {r:?} agrees at key {k}"
+                );
+            }
+        }
+        digest
+    }
+    let raft = scenario("Raft", RaftReplica::new);
+    let raftstar = scenario("Raft*", RaftStarReplica::new);
+    let paxos = scenario("MultiPaxos", MultiPaxosReplica::new);
+    let mencius = scenario("Mencius", MenciusReplica::new);
+    // Same client script, same committed state — in all four protocols.
+    assert_eq!(raft, raftstar, "Raft vs Raft* final state");
+    assert_eq!(raft, paxos, "Raft vs MultiPaxos final state");
+    assert_eq!(raft, mencius, "Raft vs Mencius final state");
+}
+
+/// Leader crash with a full pipeline in flight: the client's pending
+/// burst survives the failover (commands are retried, deduplicated and
+/// committed exactly once by the successor).
+#[test]
+fn every_protocol_survives_leader_crash_mid_pipeline() {
+    fn scenario<P: ProtocolRules>(name: &str, make: fn(ReplicaConfig) -> ReplicaEngine<P>) {
+        let (mut sim, replicas, client) = conformance_cluster(3, None, move |mut cfg| {
+            cfg.pipeline = PipelineConfig::depth(4);
+            make(cfg)
+        });
+        sim.actor_mut::<TestClient>(client).enqueue_put(1);
+        assert!(
+            drive_until(&mut sim, SimTime::from_secs(5), |sim| {
+                sim.actor::<TestClient>(client).replies.len() == 1
+            }),
+            "{name}: first write committed"
+        );
+        // Fill the serving replica's pipeline with a burst (from a second
+        // client actor, so its responses have somewhere to go), then
+        // crash the replica before the rounds can be acknowledged.
+        let sink = sim.add_actor(
+            paxraft_sim::net::Region::Oregon,
+            Box::new(TestClient::new(1, replicas[0])),
+        );
+        let sink_client = (sink.0 - replicas.len()) as u32;
+        for seq in 100..110u64 {
+            let cmd = crate::kv::Command::put(
+                crate::kv::CmdId {
+                    client: sink_client,
+                    seq,
+                },
+                seq,
+                vec![0; 8],
+            );
+            sim.send_external(
+                replicas[0],
+                Msg::Client(ClientMsg::Request { cmd }),
+                SimDuration::ZERO,
+            );
+        }
+        sim.crash_at(replicas[0], sim.now() + SimDuration::from_millis(2));
+        sim.actor_mut::<TestClient>(client).target = replicas[1];
+        sim.actor_mut::<TestClient>(client).enqueue_put(2);
+        sim.actor_mut::<TestClient>(client).enqueue_get(2);
+        assert!(
+            drive_until(&mut sim, SimTime::from_secs(60), |sim| {
+                sim.actor::<TestClient>(client).replies.len() == 3
+            }),
+            "{name}: survivor served the remaining ops"
+        );
+        assert!(
+            sim.actor::<TestClient>(client).replies[2]
+                .1
+                .value_id()
+                .is_some(),
+            "{name}: committed write survived the mid-pipeline crash"
+        );
+    }
+    for_all_protocols!(scenario);
+}
+
+/// PR 2 drift regression: a full forwarded batch arriving at a
+/// *non-leader* replica must be forwarded onward immediately, not parked
+/// until the batch timer.
+#[test]
+fn full_forwarded_batch_is_flushed_immediately_regardless_of_leadership() {
+    fn scenario<P: ProtocolRules>(
+        name: &str,
+        proposes_locally: bool,
+        make: fn(ReplicaConfig) -> ReplicaEngine<P>,
+    ) {
+        let (mut sim, replicas, _client) = conformance_cluster(3, None, make);
+        assert!(
+            drive_until(&mut sim, SimTime::from_secs(5), |sim| {
+                sim.actor::<ReplicaEngine<P>>(replicas[0]).is_leader()
+            }),
+            "{name}: replica 0 leads"
+        );
+        // Let heartbeats teach replica 1 who leads.
+        sim.run_for(SimDuration::from_secs(1));
+        let sink = sim.add_actor(
+            paxraft_sim::net::Region::Ohio,
+            Box::new(TestClient::new(1, replicas[1])),
+        );
+        let sink_client = (sink.0 - replicas.len()) as u32;
+        let batch_max = sim
+            .actor::<ReplicaEngine<P>>(replicas[1])
+            .core
+            .cfg
+            .batch_max;
+        let cmds: Vec<crate::kv::Command> = (1..=batch_max as u64)
+            .map(|seq| {
+                crate::kv::Command::put(
+                    crate::kv::CmdId {
+                        client: sink_client,
+                        seq,
+                    },
+                    seq,
+                    vec![0; 8],
+                )
+            })
+            .collect();
+        sim.send_external(
+            replicas[1],
+            Msg::Engine(EngineMsg::Forward { cmds }),
+            SimDuration::ZERO,
+        );
+        // Well under batch_delay (2 ms): only an immediate flush can have
+        // emptied the buffer.
+        sim.run_for(SimDuration::from_millis(1));
+        let rep = sim.actor::<ReplicaEngine<P>>(replicas[1]);
+        assert!(
+            rep.core.pending.is_empty(),
+            "{name}: full batch did not wait for the batch timer"
+        );
+        if !proposes_locally {
+            assert_eq!(
+                rep.forwarded_cmds(),
+                batch_max as u64,
+                "{name}: non-leader forwarded the full batch at once"
+            );
+        }
+    }
+    scenario("Raft", false, RaftReplica::new);
+    scenario("Raft*", false, RaftStarReplica::new);
+    scenario("MultiPaxos", false, MultiPaxosReplica::new);
+    // Mencius proposes into its own slots instead of forwarding, but the
+    // batch-full flush must be just as immediate.
+    scenario("Mencius", true, MenciusReplica::new);
+}
+
+/// PR 2 drift regression: `forward_pending` with no known leader keeps
+/// retrying on the batch timer, terminates once a leader appears, and
+/// the buffered command is forwarded exactly once — neither dropped nor
+/// duplicated across the transition.
+#[test]
+fn forward_pending_retries_until_a_leader_appears_without_loss_or_duplication() {
+    fn scenario<P: ProtocolRules>(
+        name: &str,
+        expected_forwards: u64,
+        make: fn(ReplicaConfig) -> ReplicaEngine<P>,
+    ) {
+        let (mut sim, replicas, _client) = conformance_cluster(3, None, make);
+        // Inject at a follower at t=0, before any replica has ever led:
+        // the engine must buffer and retry until the election finishes
+        // and the leader hint propagates.
+        let cmd = crate::kv::Command::put(crate::kv::CmdId { client: 0, seq: 1 }, 5, vec![0; 8]);
+        sim.send_external(
+            replicas[1],
+            Msg::Client(ClientMsg::Request { cmd }),
+            SimDuration::ZERO,
+        );
+        sim.run_for(SimDuration::from_millis(1));
+        {
+            let rep = sim.actor::<ReplicaEngine<P>>(replicas[1]);
+            if expected_forwards > 0 {
+                assert_eq!(
+                    rep.core.pending.len(),
+                    1,
+                    "{name}: command buffered while no leader is known"
+                );
+                assert_eq!(rep.forwarded_cmds(), 0, "{name}: nothing forwarded yet");
+            }
+        }
+        sim.run_for(SimDuration::from_secs(3));
+        let rep = sim.actor::<ReplicaEngine<P>>(replicas[1]);
+        assert!(
+            rep.core.pending.is_empty(),
+            "{name}: retry loop terminated once a leader appeared"
+        );
+        assert_eq!(
+            rep.forwarded_cmds(),
+            expected_forwards,
+            "{name}: buffered command forwarded exactly once"
+        );
+        // The command took effect.
+        assert_eq!(
+            sim.actor::<ReplicaEngine<P>>(replicas[0])
+                .kv()
+                .read_local(5)
+                .value_id(),
+            Some(crate::kv::CmdId { client: 0, seq: 1 }.as_value_id()),
+            "{name}: buffered write committed after the transition"
+        );
+    }
+    scenario("Raft", 1, RaftReplica::new);
+    scenario("Raft*", 1, RaftStarReplica::new);
+    scenario("MultiPaxos", 1, MultiPaxosReplica::new);
+    // Mencius owns its slots: it proposes locally and never forwards.
+    scenario("Mencius", 0, MenciusReplica::new);
+}
+
+/// PR 2 drift regression: a crash retires *every* engine timer
+/// generation, so no pre-crash in-flight timer token can match
+/// post-restart state even if the runtime redelivers it.
+#[test]
+fn crash_bumps_every_engine_timer_generation() {
+    fn scenario<P: ProtocolRules>(name: &str, make: fn(ReplicaConfig) -> ReplicaEngine<P>) {
+        let mut cfg = ReplicaConfig::wan_default(NodeId(0), 3);
+        cfg.peers = (0..3).map(ActorId).collect();
+        let mut rep = make(cfg);
+        // Simulate armed timers whose tokens are still in flight.
+        rep.core.batch_armed = true;
+        rep.core.batch_gen = 5;
+        rep.core.election_gen = 7;
+        rep.core.heartbeat_gen = 9;
+        Actor::on_crash(&mut rep);
+        assert!(!rep.core.batch_armed, "{name}: batch timer disarmed");
+        assert!(
+            rep.core.batch_gen > 5,
+            "{name}: pre-crash batch token retired"
+        );
+        assert!(
+            rep.core.election_gen > 7,
+            "{name}: pre-crash election token retired"
+        );
+        assert!(
+            rep.core.heartbeat_gen > 9,
+            "{name}: pre-crash heartbeat token retired"
+        );
+    }
+    for_all_protocols!(scenario);
+}
+
+/// Behavioral face of the same drift: crash a replica while its batch
+/// timer is armed with a buffered command; after restart the replica
+/// serves new work with a clean batching state.
+#[test]
+fn crash_while_batch_timer_armed_recovers_cleanly() {
+    fn scenario<P: ProtocolRules>(name: &str, make: fn(ReplicaConfig) -> ReplicaEngine<P>) {
+        let (mut sim, replicas, client) = conformance_cluster(3, None, make);
+        sim.actor_mut::<TestClient>(client).enqueue_put(1);
+        assert!(
+            drive_until(&mut sim, SimTime::from_secs(5), |sim| {
+                sim.actor::<TestClient>(client).replies.len() == 1
+            }),
+            "{name}: warm-up write committed"
+        );
+        // Arm replica 1's batch timer with a buffered command (from a
+        // second client actor so its response has somewhere to go), then
+        // crash before the 2 ms timer can fire.
+        let sink = sim.add_actor(
+            paxraft_sim::net::Region::Ohio,
+            Box::new(TestClient::new(1, replicas[1])),
+        );
+        let sink_client = (sink.0 - replicas.len()) as u32;
+        let cmd = crate::kv::Command::put(
+            crate::kv::CmdId {
+                client: sink_client,
+                seq: 1,
+            },
+            9,
+            vec![0; 8],
+        );
+        sim.send_external(
+            replicas[1],
+            Msg::Client(ClientMsg::Request { cmd }),
+            SimDuration::ZERO,
+        );
+        sim.run_for(SimDuration::from_micros(100));
+        sim.crash_at(replicas[1], sim.now() + SimDuration::from_micros(100));
+        sim.restart_at(replicas[1], sim.now() + SimDuration::from_millis(50));
+        sim.run_for(SimDuration::from_millis(200));
+        // Post-restart the replica accepts and completes new work.
+        sim.actor_mut::<TestClient>(client).target = replicas[1];
+        sim.actor_mut::<TestClient>(client).enqueue_put(2);
+        assert!(
+            drive_until(&mut sim, SimTime::from_secs(30), |sim| {
+                sim.actor::<TestClient>(client).replies.len() == 2
+            }),
+            "{name}: restarted replica serves new requests"
+        );
+        let rep = sim.actor::<ReplicaEngine<P>>(replicas[1]);
+        assert!(
+            rep.core.pending.is_empty(),
+            "{name}: no resurrected pre-crash batch state"
+        );
+    }
+    for_all_protocols!(scenario);
+}
+
+/// The snapshot wire model stays per-protocol through the shared
+/// engine envelope: Raft's InstallSnapshot spelling is costlier than
+/// MultiPaxos's Checkpoint, which is costlier than Mencius's
+/// ballot-free Checkpoint.
+#[test]
+fn snapshot_wire_overhead_is_distinct_per_protocol_family() {
+    let mk_cfg = || {
+        let mut cfg = ReplicaConfig::wan_default(NodeId(0), 3);
+        cfg.peers = (0..3).map(ActorId).collect();
+        cfg
+    };
+    let raft = RaftReplica::new(mk_cfg());
+    let raftstar = RaftStarReplica::new(mk_cfg());
+    let paxos = MultiPaxosReplica::new(mk_cfg());
+    let mencius = MenciusReplica::new(mk_cfg());
+    assert_eq!(raft.core.snap_wire, (48, 16), "Raft InstallSnapshot");
+    assert_eq!(raftstar.core.snap_wire, (48, 16), "Raft* InstallSnapshot");
+    assert_eq!(paxos.core.snap_wire, (40, 16), "MultiPaxos Checkpoint");
+    assert_eq!(mencius.core.snap_wire, (32, 8), "Mencius Checkpoint");
 }

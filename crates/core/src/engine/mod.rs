@@ -21,14 +21,19 @@
 //! An optimization added to the engine (a smarter batcher, snapshot
 //! pacing, a new transfer encoding) lands in all four protocols at once:
 //! the paper's "port the optimization" becomes "the engine already has
-//! it".
+//! it". The worked example is [`pipeline`]: one per-peer replication
+//! window plus an adaptive batch cutter (`cut_batch`) that flushes
+//! eagerly while a quorum has window room and accumulates once
+//! saturated — inherited by every rules impl.
 
+pub mod pipeline;
 pub mod raft_family;
 mod transfer;
 
 #[cfg(test)]
 mod conformance;
 
+pub use pipeline::{PipelineConfig, PipelineStats, PipelineWindow};
 pub use transfer::{compact_applied_prefix, install_into_raft_state, ship_snapshot};
 
 use paxraft_sim::impl_actor_any;
@@ -94,12 +99,31 @@ pub struct EngineCore {
     pub batch_timers_armed: u64,
     /// Batch flushes performed (stats).
     pub batch_flushes: u64,
+    /// Commands forwarded toward the believed leader (stats; the
+    /// no-leader retry regression asserts buffered commands are neither
+    /// dropped nor duplicated across a leader transition).
+    pub forwarded_cmds: u64,
+    /// Per-peer in-flight replication round tracking; drives the
+    /// adaptive batch cutter and the per-peer send gate.
+    pub pipe: PipelineWindow,
+    /// `(chunk, ack)` wire-header bytes of this protocol's snapshot
+    /// spelling, resolved once from
+    /// [`ProtocolRules::snapshot_wire_overhead`].
+    pub snap_wire: (usize, usize),
 }
 
 impl EngineCore {
     /// Engine state for a validated configuration.
     pub fn new(cfg: ReplicaConfig) -> Self {
         let n = cfg.n;
+        let pipe = PipelineWindow::new(n, &cfg.pipeline);
+        // Placeholder spelling only: [`ReplicaEngine::from_parts`]
+        // re-derives `snap_wire` from the rules' actual snapshot
+        // spelling; a bare `EngineCore` never ships snapshots itself.
+        let snap_wire = (
+            cfg.costs.snapshot_chunk_header,
+            cfg.costs.snapshot_ack_header,
+        );
         EngineCore {
             cfg,
             kv: KvStore::new(),
@@ -116,6 +140,9 @@ impl EngineCore {
             responses_sent: 0,
             batch_timers_armed: 0,
             batch_flushes: 0,
+            forwarded_cmds: 0,
+            pipe,
+            snap_wire,
         }
     }
 
@@ -185,6 +212,7 @@ impl EngineCore {
             return;
         }
         let cmds = std::mem::take(&mut self.pending);
+        self.forwarded_cmds += cmds.len() as u64;
         ctx.charge(self.cfg.costs.forward_per_cmd * cmds.len() as u64);
         ctx.send(
             self.cfg.peer(leader),
@@ -264,6 +292,15 @@ pub trait ProtocolRules: Sized + 'static {
         costs.append_fixed
     }
 
+    /// `(chunk, ack)` wire-header bytes of this protocol's snapshot
+    /// spelling. Defaults to the Raft `InstallSnapshot`/`SnapshotAck`
+    /// header sizes; the Paxos family overrides with its leaner
+    /// `Checkpoint`/`CheckpointOk` spelling so the shared envelope keeps
+    /// the per-protocol wire-cost distinction.
+    fn snapshot_wire_overhead(&self, costs: &CostModel) -> (usize, usize) {
+        (costs.snapshot_chunk_header, costs.snapshot_ack_header)
+    }
+
     /// Gates an incoming snapshot chunk (term/ballot check, stepping
     /// down to the sender). `false` drops the chunk un-charged.
     fn accept_snapshot_chunk(
@@ -321,7 +358,8 @@ pub struct ReplicaEngine<P: ProtocolRules> {
 
 impl<P: ProtocolRules> ReplicaEngine<P> {
     /// Assembles a replica from parts (protocol aliases provide `new`).
-    pub fn from_parts(core: EngineCore, rules: P) -> Self {
+    pub fn from_parts(mut core: EngineCore, rules: P) -> Self {
+        core.snap_wire = rules.snapshot_wire_overhead(&core.cfg.costs);
         ReplicaEngine { core, rules }
     }
 
@@ -357,6 +395,16 @@ impl<P: ProtocolRules> ReplicaEngine<P> {
     pub fn batching_stats(&self) -> (u64, u64) {
         (self.core.batch_timers_armed, self.core.batch_flushes)
     }
+
+    /// Pipeline occupancy and adaptive-batching counters.
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        self.core.pipe.stats
+    }
+
+    /// Commands forwarded toward the believed leader (stats).
+    pub fn forwarded_cmds(&self) -> u64 {
+        self.core.forwarded_cmds
+    }
 }
 
 /// The single batch-flush implementation: charge the propose cost and
@@ -382,8 +430,45 @@ pub fn flush_pending<P: ProtocolRules>(rules: &mut P, core: &mut EngineCore, ctx
     rules.propose(core, ctx, cmds);
 }
 
+/// The adaptive batch cutter: decides, after commands were buffered,
+/// whether the batch ships now or accumulates.
+///
+/// - A **full** batch (`batch_max`) always flushes immediately — a
+///   leader proposes it, a follower forwards it. (Forwarding on
+///   batch-full regardless of leadership is pre-refactor behavior; PR 2
+///   accidentally made non-leader replicas sit on full forwarded
+///   batches until the timer.)
+/// - Below the limit, a proposer with **pipeline window room** for a
+///   replication quorum flushes immediately too: the window hides the
+///   round trip, so waiting for the timer would only add latency.
+/// - Otherwise (window saturated, or a follower below the limit) the
+///   batch accumulates under the batch timer — the regime where
+///   batching amortizes per-round cost.
+fn cut_batch<P: ProtocolRules>(rules: &mut P, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+    if core.pending.is_empty() {
+        return;
+    }
+    if core.pending.len() >= core.cfg.batch_max {
+        flush_pending(rules, core, ctx);
+        if !core.pending.is_empty() {
+            // Could not ship (e.g. no leader known): retry on the timer.
+            core.arm_batch(ctx);
+        }
+        return;
+    }
+    if rules.can_propose(core) && core.pipe.enabled() {
+        if core.pipe.quorum_has_room(core.cfg.id, core.cfg.n) {
+            core.pipe.stats.eager_flushes += 1;
+            flush_pending(rules, core, ctx);
+            return;
+        }
+        core.pipe.stats.window_deferrals += 1;
+    }
+    core.arm_batch(ctx);
+}
+
 /// Accepts a forwarded batch: lease-serve what can be served locally,
-/// buffer the rest, and flush once the batch limit is reached.
+/// buffer the rest, and hand the result to the batch cutter.
 fn on_forwarded<P: ProtocolRules>(
     rules: &mut P,
     core: &mut EngineCore,
@@ -397,11 +482,7 @@ fn on_forwarded<P: ProtocolRules>(
         }
         core.pending.push(cmd);
     }
-    if rules.can_propose(core) && core.pending.len() >= core.cfg.batch_max {
-        flush_pending(rules, core, ctx);
-    } else if !core.pending.is_empty() {
-        core.arm_batch(ctx);
-    }
+    cut_batch(rules, core, ctx);
 }
 
 impl<P: ProtocolRules> Actor<Msg> for ReplicaEngine<P> {
@@ -417,13 +498,7 @@ impl<P: ProtocolRules> Actor<Msg> for ReplicaEngine<P> {
                     return;
                 }
                 self.core.pending.push(cmd);
-                if self.rules.can_propose(&self.core)
-                    && self.core.pending.len() >= self.core.cfg.batch_max
-                {
-                    flush_pending(&mut self.rules, &mut self.core, ctx);
-                } else {
-                    self.core.arm_batch(ctx);
-                }
+                cut_batch(&mut self.rules, &mut self.core, ctx);
             }
             Msg::Engine(EngineMsg::Forward { cmds }) => {
                 on_forwarded(&mut self.rules, &mut self.core, ctx, cmds);
@@ -436,6 +511,7 @@ impl<P: ProtocolRules> Actor<Msg> for ReplicaEngine<P> {
                 last_term: _,
                 offset,
                 total,
+                header_bytes: _,
                 data,
             }) => {
                 if !self
@@ -456,11 +532,19 @@ impl<P: ProtocolRules> Actor<Msg> for ReplicaEngine<P> {
                     self.rules.install_snapshot(&mut self.core, ctx, from, snap);
                 }
             }
-            Msg::Engine(EngineMsg::SnapshotAck { seal, upto }) => {
+            Msg::Engine(EngineMsg::SnapshotAck { seal, upto, .. }) => {
                 self.rules
                     .on_snapshot_ack(&mut self.core, ctx, from, seal, upto);
             }
-            other => self.rules.on_msg(&mut self.core, ctx, from, other),
+            other => {
+                self.rules.on_msg(&mut self.core, ctx, from, other);
+                // Acknowledgements may have freed pipeline window room:
+                // ship a batch that accumulated while saturated without
+                // waiting for its timer.
+                if self.core.pipe.enabled() && !self.core.pending.is_empty() {
+                    cut_batch(&mut self.rules, &mut self.core, ctx);
+                }
+            }
         }
     }
 
@@ -496,14 +580,22 @@ impl<P: ProtocolRules> Actor<Msg> for ReplicaEngine<P> {
 
     fn on_crash(&mut self) {
         // Shared volatile state: the pending batch, the batch timer, any
-        // in-flight transfer bookkeeping and the leader hint die with the
-        // process. Durable state (and what of it each protocol restores)
-        // is the rules' concern.
+        // in-flight transfer bookkeeping, the pipeline window and the
+        // leader hint die with the process. Durable state (and what of
+        // it each protocol restores) is the rules' concern.
         self.core.pending.clear();
         self.core.batch_armed = false;
+        // Retire every timer generation: a pre-crash in-flight timer
+        // token must never match post-restart state, even if the runtime
+        // redelivers it (the engine does not rely on the host dropping
+        // timers across a restart).
+        self.core.batch_gen += 1;
+        self.core.election_gen += 1;
+        self.core.heartbeat_gen += 1;
         self.core.leader_hint = None;
         self.core.snap_asm.clear();
         self.core.snap_send.reset();
+        self.core.pipe.reset();
         self.rules.on_crash(&mut self.core);
     }
 

@@ -107,13 +107,20 @@ impl RaftBase {
         }
     }
 
-    /// Sends `peer` the log suffix after its send cursor. When the
-    /// follower's next entry was compacted away, ships a snapshot
-    /// instead and pipelines the retained suffix behind it — FIFO links
-    /// deliver the chunks first, so the Append matches once the
-    /// snapshot installs.
+    /// Sends `peer` the log suffix after its send cursor — one pipelined
+    /// replication round. When the peer's window is full the round is
+    /// withheld (the backlog ships from [`RaftBase::pump`] as acks free
+    /// slots, or after the heartbeat rewinds a timed-out peer); empty
+    /// (heartbeat) appends are never gated. When the follower's next
+    /// entry was compacted away, ships a snapshot instead and pipelines
+    /// the retained suffix behind it — FIFO links deliver the chunks
+    /// first, so the Append matches once the snapshot installs.
     pub fn send_append_to(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, peer: NodeId) {
         let mut prev = self.repl.next_prev(peer);
+        let has_entries = self.log.last_index() > prev;
+        if has_entries && !core.pipe.has_room(peer) {
+            return; // window full: new rounds wait for acks
+        }
         if prev < self.log.last_included().0 {
             let point = self.snapshot_point();
             let Some(snap_slot) =
@@ -125,8 +132,11 @@ impl RaftBase {
         }
         let prev_term = self.log.term_at(prev).unwrap_or(Term::ZERO);
         let entries = self.log.suffix_from(prev);
-        self.repl
-            .mark_sent(peer, prev, self.log.last_index(), ctx.now());
+        let tail = self.log.last_index();
+        self.repl.mark_sent(peer, prev, tail, ctx.now());
+        if !entries.is_empty() {
+            core.pipe.on_sent(peer, tail, ctx.now());
+        }
         ctx.send(
             core.cfg.peer(peer),
             Msg::Raft(RaftMsg::Append {
@@ -139,16 +149,30 @@ impl RaftBase {
         );
     }
 
+    /// Ships `peer` any entries that accumulated while its pipeline
+    /// window was full. Called after an acknowledgement frees a slot.
+    pub fn pump(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, peer: NodeId) {
+        if self.role == Role::Leader && self.log.last_index() > self.repl.next_prev(peer) {
+            self.send_append_to(core, ctx, peer);
+        }
+    }
+
     /// Leader heartbeat: timed retransmission of unacknowledged
-    /// suffixes to every follower, then re-arm.
+    /// suffixes to every follower, then re-arm. A rewound peer's
+    /// in-flight rounds are presumed lost, so its pipeline window is
+    /// regressed and the retransmission starts a fresh round.
     pub fn heartbeat(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
         if self.role != Role::Leader {
             return;
         }
         let peers: Vec<NodeId> = core.cfg.others().collect();
         for peer in peers {
-            self.repl
-                .maybe_rewind(peer, ctx.now(), core.cfg.retry_interval);
+            if self
+                .repl
+                .maybe_rewind(peer, ctx.now(), core.cfg.retry_interval)
+            {
+                core.pipe.on_regress(peer);
+            }
             self.send_append_to(core, ctx, peer);
         }
         core.arm_heartbeat(ctx);
@@ -249,12 +273,13 @@ impl RaftBase {
     /// Acknowledges a snapshot transfer — even a stale one: the applied
     /// prefix is committed state, so the leader may treat it as matched
     /// and resume normal appends from there.
-    pub fn ack_snapshot(&self, ctx: &mut Ctx<Msg>, from: ActorId) {
+    pub fn ack_snapshot(&self, core: &EngineCore, ctx: &mut Ctx<Msg>, from: ActorId) {
         ctx.send(
             from,
             Msg::Engine(EngineMsg::SnapshotAck {
                 seal: self.current_term,
                 upto: self.last_applied,
+                header_bytes: core.snap_wire.1,
             }),
         );
     }
@@ -273,8 +298,12 @@ impl RaftBase {
         if seal > self.current_term {
             self.step_down(core, seal, ctx);
         } else if seal == self.current_term && self.role == Role::Leader {
-            core.snap_send.finish(node_of(from).0 as usize);
-            return self.repl.on_ack(node_of(from), upto);
+            let peer = node_of(from);
+            core.snap_send.finish(peer.0 as usize);
+            core.pipe.on_ack(peer, upto);
+            let advanced = self.repl.on_ack(peer, upto);
+            self.pump(core, ctx, peer);
+            return advanced;
         }
         false
     }

@@ -52,6 +52,7 @@ pub fn ship_snapshot(
                 last_term,
                 offset,
                 total,
+                header_bytes: core.snap_wire.0,
                 data,
             }),
         );

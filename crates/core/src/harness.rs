@@ -14,6 +14,7 @@ use paxraft_workload::metrics::{LatencyRecorder, LatencyTriple};
 use crate::client::WorkloadClient;
 use crate::config::{LeaseConfig, ReadMode, ReplicaConfig};
 use crate::costs::CostModel;
+use crate::engine::{PipelineConfig, PipelineStats};
 use crate::kv::{CmdId, Command, Key, Op, Reply};
 use crate::mencius::MenciusReplica;
 use crate::msg::{ClientMsg, Msg};
@@ -70,6 +71,7 @@ pub struct ClusterBuilder {
     batch_delay: SimDuration,
     lease: LeaseConfig,
     snapshot: SnapshotConfig,
+    pipeline: PipelineConfig,
 }
 
 impl ClusterBuilder {
@@ -148,6 +150,14 @@ impl ClusterBuilder {
         self
     }
 
+    /// Replication pipelining / adaptive-batching parameters for every
+    /// replica (default: enabled, depth 8; `PipelineConfig::disabled()`
+    /// restores the one-round-per-timer legacy batching).
+    pub fn pipeline_config(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
     /// Constructs the cluster.
     ///
     /// # Panics
@@ -167,6 +177,7 @@ impl ClusterBuilder {
             cfg.batch_delay = self.batch_delay;
             cfg.lease = self.lease.clone();
             cfg.snapshot = self.snapshot.clone();
+            cfg.pipeline = self.pipeline.clone();
             cfg.initial_leader = Some(self.leader);
             cfg.read_mode = match self.protocol {
                 ProtocolKind::RaftStarPql => ReadMode::QuorumLease,
@@ -233,6 +244,10 @@ pub struct RunReport {
     /// `peak_log_entries` certifies that compaction kept every replica's
     /// in-memory log bounded for the whole run.
     pub snapshots: SnapshotStats,
+    /// Pipeline occupancy and adaptive-batching counters summed across
+    /// replicas (`peak_in_flight` takes the cluster-wide maximum, i.e.
+    /// the deepest any peer window got during the run).
+    pub pipeline: PipelineStats,
 }
 
 /// A built cluster ready to run.
@@ -265,6 +280,7 @@ impl Cluster {
             batch_delay: SimDuration::from_millis(2),
             lease: LeaseConfig::default(),
             snapshot: SnapshotConfig::default(),
+            pipeline: PipelineConfig::default(),
         }
     }
 
@@ -320,6 +336,26 @@ impl Cluster {
                     self.sim.actor::<RaftStarReplica>(r).snap_stats()
                 }
                 ProtocolKind::RaftStarMencius => self.sim.actor::<MenciusReplica>(r).snap_stats(),
+            };
+            total.absorb(&s);
+        }
+        total
+    }
+
+    /// Pipeline occupancy / adaptive-batching counters aggregated over
+    /// all replicas (sums for counters, maximum for `peak_in_flight`).
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        let mut total = PipelineStats::default();
+        for &r in &self.replicas {
+            let s = match self.protocol {
+                ProtocolKind::MultiPaxos => self.sim.actor::<MultiPaxosReplica>(r).pipeline_stats(),
+                ProtocolKind::Raft => self.sim.actor::<RaftReplica>(r).pipeline_stats(),
+                ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => {
+                    self.sim.actor::<RaftStarReplica>(r).pipeline_stats()
+                }
+                ProtocolKind::RaftStarMencius => {
+                    self.sim.actor::<MenciusReplica>(r).pipeline_stats()
+                }
             };
             total.absorb(&s);
         }
@@ -434,7 +470,7 @@ impl Cluster {
                     (OpKind::Write, false) => follower_writes.record_ns(comp.latency_ns),
                 }
             }
-            histories.extend(client.history.iter().copied());
+            histories.extend(client.history_records());
         }
         RunReport {
             throughput_ops: completed as f64 / measure.as_secs_f64(),
@@ -444,6 +480,7 @@ impl Cluster {
             follower_writes: follower_writes.paper_triple_ms(),
             histories,
             snapshots: self.snapshot_stats(),
+            pipeline: self.pipeline_stats(),
         }
     }
 }

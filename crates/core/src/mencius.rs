@@ -62,6 +62,9 @@ struct MSlot {
     acks: u64,
     /// Whether the owner already answered the client.
     responded: bool,
+    /// When the owner last (re)suggested this slot (own slots only;
+    /// paces the uncommitted-suggestion retransmission).
+    suggested_at: SimTime,
 }
 
 /// An in-flight revocation of a crashed owner's slots.
@@ -100,6 +103,14 @@ pub struct MenciusRules {
     await_respond: Vec<Slot>,
     commit_buf: Vec<Slot>,
     last_heard: Vec<SimTime>,
+    /// Executed prefix each peer last reported via `SkipNotice` — the
+    /// Mencius spelling of MultiPaxos's piggybacked `exec` report.
+    peer_exec: Vec<Slot>,
+    /// `peer_exec` as of the previous coordination tick: a report that
+    /// did not move between ticks marks a *stalled* peer (a lost
+    /// suggestion left it a committed-without-value gap), as opposed to
+    /// one merely trailing by a WAN round-trip.
+    peer_exec_prev: Vec<Slot>,
     revoke: Option<RevokeOp>,
     last_revoke_attempt: SimTime,
     /// Checkpoint floor: slots at or below it were discarded after
@@ -135,6 +146,8 @@ impl MenciusReplica {
                 await_respond: Vec::new(),
                 commit_buf: Vec::new(),
                 last_heard: vec![SimTime::ZERO; n],
+                peer_exec: vec![Slot::NONE; n],
+                peer_exec_prev: vec![Slot::NONE; n],
                 revoke: None,
                 last_revoke_attempt: SimTime::ZERO,
                 compacted_through: Slot::NONE,
@@ -224,10 +237,21 @@ impl MenciusRules {
     /// Stores an accepted value and indexes its key. Returns `false`
     /// (and stores nothing) for slots at or below the checkpoint floor
     /// — they are decided and executed; re-creating them would corrupt
-    /// the compacted prefix.
+    /// the compacted prefix. A slot already committed with a value keeps
+    /// it (agreement: the decided value is unique, so an arriving
+    /// suggestion for it is at worst a duplicate and must never rewrite
+    /// — e.g. a partitioned owner's stale retransmission racing a
+    /// revocation that already decided the slot as a no-op).
     fn accept_value(&mut self, core: &mut EngineCore, s: Slot, term: Term, cmd: Command) -> bool {
         if s <= self.compacted_through {
             return false;
+        }
+        if self
+            .slots
+            .get(&s.0)
+            .is_some_and(|x| x.committed && x.cmd.is_some())
+        {
+            return true;
         }
         if let Op::Put { key, .. } = &cmd.op {
             self.key_slots.entry(*key).or_default().insert(s.0);
@@ -426,6 +450,122 @@ impl MenciusRules {
         }
     }
 
+    /// Retransmits my own suggested-but-unexecuted slots after
+    /// `retry_interval` of silence — the MultiPaxos heartbeat's
+    /// uncommitted-instance retransmission in the Mencius spelling. A
+    /// `Suggest` or `SuggestOk` lost on the wire otherwise stalls the
+    /// slot until the client gives up and retries; committed slots are
+    /// included because a peer that missed the original suggestion can
+    /// neither advance its watermark past the slot nor execute it, which
+    /// blocks the respond condition's coverage check cluster-wide.
+    ///
+    /// Each slot is re-sent at its *original* accepted term (`bal`), not
+    /// `current_term`: ack counting matches acks against the slot's
+    /// ballot, and a term that advanced in between (a revocation attempt
+    /// on some third owner, a `SuggestReject`) would both orphan the
+    /// acks and let a stale value ride over a revocation-raised ballot.
+    /// Slots suggested at different terms therefore go out in separate
+    /// per-term rounds.
+    fn retransmit_own_unexecuted(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        let now = ctx.now();
+        let retry = core.cfg.retry_interval;
+        let me = core.cfg.id;
+        let n = core.cfg.n;
+        let mut by_term: BTreeMap<Term, Vec<(Slot, Command)>> = BTreeMap::new();
+        let mut committed = Vec::new();
+        let mut taken = 0usize;
+        for (&s, slot) in self.slots.range_mut(self.exec_index.next().0..) {
+            if taken >= 64 {
+                break;
+            }
+            if MenciusReplica::owner_of(Slot(s), n) != me || slot.skipped {
+                continue;
+            }
+            let Some(cmd) = slot.cmd.clone() else {
+                continue;
+            };
+            if now.since(slot.suggested_at.min(now)) <= retry {
+                continue;
+            }
+            slot.suggested_at = now;
+            if slot.committed {
+                committed.push(Slot(s));
+            }
+            by_term.entry(slot.bal).or_default().push((Slot(s), cmd));
+            taken += 1;
+        }
+        for (term, items) in by_term {
+            self.broadcast(
+                core,
+                ctx,
+                MenciusMsg::Suggest {
+                    term,
+                    items,
+                    watermark: self.next_own,
+                },
+            );
+        }
+        if !committed.is_empty() {
+            self.broadcast(core, ctx, MenciusMsg::Commit { slots: committed });
+        }
+    }
+
+    /// Per-peer catch-up: the MultiPaxos stall-gated replay ported to the
+    /// Mencius spelling. A suggestion lost on the wire leaves the peer a
+    /// committed-without-value gap it can never fill itself (unlike a
+    /// crashed owner's slots, a live owner's slots are never revoked), so
+    /// each owner re-suggests its *own* decided slots to peers whose
+    /// executed prefix stalled between two coordination ticks — 64 slots
+    /// per round to bound the burst, by state transfer once the gap is
+    /// below the checkpoint floor (handled on `SkipNotice` receipt).
+    fn replay_to_stalled_peers(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        let peers: Vec<NodeId> = core.cfg.others().collect();
+        for peer in peers {
+            let i = peer.0 as usize;
+            let fexec = self.peer_exec[i];
+            let stalled = fexec == self.peer_exec_prev[i];
+            self.peer_exec_prev[i] = fexec;
+            if fexec >= self.exec_index || !stalled || fexec < self.compacted_through {
+                continue;
+            }
+            // Replay each slot at the term it was accepted at (see
+            // `retransmit_own_unexecuted` for why `current_term` would
+            // be wrong), grouped into per-term rounds.
+            let mut by_term: BTreeMap<Term, Vec<(Slot, Command)>> = BTreeMap::new();
+            let mut slots = Vec::new();
+            for (&s, slot) in self.slots.range(fexec.next().0..) {
+                if slots.len() >= 64 {
+                    break;
+                }
+                if MenciusReplica::owner_of(Slot(s), core.cfg.n) != core.cfg.id || !slot.committed {
+                    continue;
+                }
+                let Some(cmd) = slot.cmd.clone() else {
+                    continue;
+                };
+                by_term.entry(slot.bal).or_default().push((Slot(s), cmd));
+                slots.push(Slot(s));
+            }
+            if slots.is_empty() {
+                continue;
+            }
+            for (term, items) in by_term {
+                ctx.send(
+                    core.cfg.peer(peer),
+                    Msg::Mencius(MenciusMsg::Suggest {
+                        term,
+                        items,
+                        watermark: self.next_own,
+                    }),
+                );
+            }
+            ctx.send(
+                core.cfg.peer(peer),
+                Msg::Mencius(MenciusMsg::Commit { slots }),
+            );
+        }
+    }
+
     /// The highest slot any owner is known to have reached (sizing the
     /// revocation range).
     fn horizon(&self) -> Slot {
@@ -601,6 +741,9 @@ impl MenciusRules {
             } => {
                 ctx.charge(core.cfg.costs.ack_process);
                 self.note_known(core, peer, watermark);
+                if let Some(&upto) = slots.iter().max() {
+                    core.pipe.on_ack(peer, upto);
+                }
                 let bit = 1u64 << peer.0;
                 let quorum_extra = max_failures(core.cfg.n); // f followers + me
                 for s in slots {
@@ -622,7 +765,9 @@ impl MenciusRules {
             }
             MenciusMsg::SuggestReject { slots, term } => {
                 // Our slots were revoked: re-propose the commands in
-                // fresh slots above the revoked range.
+                // fresh slots above the revoked range. In-flight rounds
+                // toward the rejecting peer are dead.
+                core.pipe.on_regress(peer);
                 if term > self.current_term {
                     self.current_term = self.current_term.next_for(core.cfg.id, core.cfg.n);
                     while self.current_term < term {
@@ -648,6 +793,9 @@ impl MenciusRules {
             MenciusMsg::SkipNotice { watermark, exec } => {
                 ctx.charge(core.cfg.costs.coord_msg);
                 self.note_known(core, peer, watermark);
+                if exec > self.peer_exec[peer.0 as usize] {
+                    self.peer_exec[peer.0 as usize] = exec;
+                }
                 // A peer whose executed prefix fell below our checkpoint
                 // floor can never learn the dropped commit decisions
                 // from us: ship it the state instead.
@@ -819,7 +967,12 @@ impl ProtocolRules for MenciusRules {
         costs.coord_per_cmd
     }
 
-    /// Proposes the batch into my own slots (`Suggest`).
+    /// Proposes the batch into my own slots (`Suggest`) — one pipelined
+    /// round over this owner's slot range. The suggestion always reaches
+    /// every peer (watermark safety and commit learning require it), so
+    /// unlike the single-leader protocols the send is not gated; the
+    /// per-peer window still tracks in-flight rounds so the engine's
+    /// batch cutter can pace this owner's range.
     fn propose(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, cmds: Vec<Command>) {
         let mut items = Vec::with_capacity(cmds.len());
         let me_bit = core.me_bit();
@@ -829,7 +982,14 @@ impl ProtocolRules for MenciusRules {
             self.accept_value(core, s, self.current_term, cmd.clone());
             let slot = self.slots.get_mut(&s.0).expect("just accepted");
             slot.acks = me_bit;
+            slot.suggested_at = ctx.now();
             items.push((s, cmd));
+        }
+        if let Some(upto) = items.iter().map(|(s, _)| *s).max() {
+            let peers: Vec<NodeId> = core.cfg.others().collect();
+            for peer in peers {
+                core.pipe.on_sent(peer, upto, ctx.now());
+            }
         }
         self.broadcast(
             core,
@@ -851,6 +1011,10 @@ impl ProtocolRules for MenciusRules {
         if kind != T_COORD {
             return;
         }
+        // Rounds whose acks never came are presumed lost (the commit
+        // broadcast and watermarks re-cover them); don't let them pin
+        // the window shut.
+        core.pipe.expire_stale(ctx.now(), core.cfg.retry_interval);
         // Keepalive watermark, commit flush, revocation check.
         self.broadcast(
             core,
@@ -861,6 +1025,8 @@ impl ProtocolRules for MenciusRules {
             },
         );
         self.flush_commits(core, ctx);
+        self.retransmit_own_unexecuted(core, ctx);
+        self.replay_to_stalled_peers(core, ctx);
         self.maybe_revoke(core, ctx);
         self.try_execute(core, ctx);
         ctx.set_timer(core.cfg.mencius.skip_heartbeat, T_COORD);
@@ -874,6 +1040,15 @@ impl ProtocolRules for MenciusRules {
 
     fn snapshot_chunk_fixed_cost(&self, costs: &CostModel) -> SimDuration {
         costs.coord_msg
+    }
+
+    /// Mencius's multi-leader `Checkpoint` spelling is ballot-free: its
+    /// headers drop the 8-byte seal the MultiPaxos spelling carries.
+    fn snapshot_wire_overhead(&self, costs: &CostModel) -> (usize, usize) {
+        (
+            costs.checkpoint_chunk_header.saturating_sub(8),
+            costs.checkpoint_ack_header.saturating_sub(8),
+        )
     }
 
     fn accept_snapshot_chunk(
@@ -927,6 +1102,7 @@ impl ProtocolRules for MenciusRules {
             Msg::Engine(EngineMsg::SnapshotAck {
                 seal: Term::ZERO,
                 upto: self.exec_index,
+                header_bytes: core.snap_wire.1,
             }),
         );
     }
@@ -954,6 +1130,12 @@ impl ProtocolRules for MenciusRules {
         self.await_respond.clear();
         self.commit_buf.clear();
         self.revoke = None;
+        for e in &mut self.peer_exec {
+            *e = Slot::NONE;
+        }
+        for e in &mut self.peer_exec_prev {
+            *e = Slot::NONE;
+        }
         core.kv = crate::kv::KvStore::new();
         self.exec_index = Slot::NONE;
         if let Some(snap) = &core.stable_snap {

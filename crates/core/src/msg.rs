@@ -62,6 +62,11 @@ pub enum EngineMsg {
         offset: usize,
         /// Total encoded size.
         total: usize,
+        /// Wire-header bytes of the sender's protocol spelling (Raft
+        /// `InstallSnapshot` carries a richer header than a Paxos or
+        /// Mencius `Checkpoint`); stamped by the sender from its rules
+        /// so the shared envelope keeps the per-protocol cost model.
+        header_bytes: usize,
         /// The chunk payload.
         data: Vec<u8>,
     },
@@ -72,6 +77,9 @@ pub enum EngineMsg {
         seal: Term,
         /// The applied prefix the responder's state now covers.
         upto: Slot,
+        /// Wire-header bytes of the responder's protocol spelling
+        /// (Raft `SnapshotAck` vs Paxos/Mencius `CheckpointOk`).
+        header_bytes: usize,
     },
 }
 
@@ -325,8 +333,10 @@ impl Payload for Msg {
                 EngineMsg::Forward { cmds } => {
                     8 + cmds.iter().map(Command::size_bytes).sum::<usize>()
                 }
-                EngineMsg::SnapshotChunk { data, .. } => 48 + data.len(),
-                EngineMsg::SnapshotAck { .. } => 16,
+                EngineMsg::SnapshotChunk {
+                    header_bytes, data, ..
+                } => header_bytes + data.len(),
+                EngineMsg::SnapshotAck { header_bytes, .. } => *header_bytes,
             },
             Msg::Paxos(m) => match m {
                 PaxosMsg::Prepare { .. } => 24,
@@ -461,17 +471,49 @@ mod tests {
             last_term: Term(3),
             offset: 0,
             total: chunk.len(),
+            header_bytes: 48,
             data: chunk,
         });
         assert!(m.size_bytes() >= 64 * 1024);
         assert!(
             Msg::Engine(EngineMsg::SnapshotAck {
                 seal: Term(3),
-                upto: Slot(100)
+                upto: Slot(100),
+                header_bytes: 16,
             })
             .size_bytes()
                 < 64
         );
+    }
+
+    #[test]
+    fn snapshot_wire_overhead_is_per_protocol() {
+        // The Raft InstallSnapshot spelling carries a richer header than
+        // the Paxos/Mencius Checkpoint spelling; the shared envelope
+        // preserves that distinction through `header_bytes`.
+        let chunk = |header_bytes| {
+            Msg::Engine(EngineMsg::SnapshotChunk {
+                seal: Term(3),
+                last_slot: Slot(100),
+                last_term: Term(3),
+                offset: 0,
+                total: 128,
+                header_bytes,
+                data: vec![0u8; 128],
+            })
+            .size_bytes()
+        };
+        assert_eq!(chunk(48) - chunk(40), 8, "InstallSnapshot vs Checkpoint");
+        let ack = |header_bytes| {
+            Msg::Engine(EngineMsg::SnapshotAck {
+                seal: Term(3),
+                upto: Slot(100),
+                header_bytes,
+            })
+            .size_bytes()
+        };
+        assert_eq!(ack(16), 16);
+        assert_eq!(ack(8), 8, "ballot-free Mencius CheckpointOk");
     }
 
     #[test]

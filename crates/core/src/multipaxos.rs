@@ -74,6 +74,10 @@ pub struct PaxosRules {
     compacted_through: Slot,
     /// Retained instance payload bytes (compaction byte trigger).
     instance_bytes: usize,
+    /// Highest instance ever offered to each acceptor (send cursor):
+    /// instances above it were cut into rounds this acceptor's full
+    /// window made it skip, and are pumped to it as acks free slots.
+    accept_cursor: Vec<Slot>,
     /// Executed prefix each acceptor reported on its last AcceptOk.
     acceptor_exec: Vec<Slot>,
     /// `acceptor_exec` as of the previous heartbeat: a report that did
@@ -104,6 +108,7 @@ impl MultiPaxosReplica {
                 exec_index: Slot::NONE,
                 compacted_through: Slot::NONE,
                 instance_bytes: 0,
+                accept_cursor: vec![Slot::NONE; n],
                 acceptor_exec: vec![Slot::NONE; n],
                 acceptor_exec_prev: vec![Slot::NONE; n],
             },
@@ -144,6 +149,75 @@ impl PaxosRules {
     fn broadcast(&self, core: &EngineCore, ctx: &mut Ctx<Msg>, msg: PaxosMsg) {
         for peer in core.cfg.others() {
             ctx.send(core.cfg.peer(peer), Msg::Paxos(msg.clone()));
+        }
+    }
+
+    /// Ships one pipelined Accept round: every acceptor whose window has
+    /// room gets the batch now; a saturated acceptor is skipped and
+    /// receives the backlog from [`PaxosRules::pump_accepts`] as its
+    /// acks free slots (with the heartbeat retransmission as the
+    /// loss-recovery backstop). Commits only need a quorum, so a round
+    /// skipped by a minority of slow acceptors commits undelayed.
+    fn send_accept_round(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: &mut Ctx<Msg>,
+        items: &[(Slot, Command)],
+    ) {
+        let Some(upto) = items.iter().map(|(s, _)| *s).max() else {
+            return;
+        };
+        let peers: Vec<NodeId> = core.cfg.others().collect();
+        for peer in peers {
+            if !core.pipe.has_room(peer) {
+                continue;
+            }
+            core.pipe.on_sent(peer, upto, ctx.now());
+            let cur = &mut self.accept_cursor[peer.0 as usize];
+            *cur = (*cur).max(upto);
+            ctx.send(
+                core.cfg.peer(peer),
+                Msg::Paxos(PaxosMsg::Accept {
+                    ballot: self.ballot,
+                    items: items.to_vec(),
+                }),
+            );
+        }
+    }
+
+    /// Ships `peer` the uncommitted instances that accumulated past its
+    /// send cursor while its window was full. Called after one of its
+    /// acknowledgements frees a slot — the MultiPaxos spelling of the
+    /// Raft family's backlog pump.
+    fn pump_accepts(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, peer: NodeId) {
+        let highest = Slot(self.next_slot.0.saturating_sub(1));
+        let i = peer.0 as usize;
+        if self.accept_cursor[i] >= highest || !core.pipe.has_room(peer) {
+            return;
+        }
+        let items: Vec<(Slot, Command)> = self
+            .instances
+            .range(self.accept_cursor[i].next().0..)
+            .filter(|(_, inst)| !inst.committed)
+            .filter_map(|(&s, inst)| inst.cmd.clone().map(|c| (Slot(s), c)))
+            .take(64)
+            .collect();
+        match items.last() {
+            None => {
+                // Everything past the cursor is committed; Learn covers it.
+                self.accept_cursor[i] = highest;
+            }
+            Some(&(upto, _)) => {
+                self.accept_cursor[i] = if items.len() < 64 { highest } else { upto };
+                core.pipe.on_sent(peer, upto, ctx.now());
+                ctx.send(
+                    core.cfg.peer(peer),
+                    Msg::Paxos(PaxosMsg::Accept {
+                        ballot: self.ballot,
+                        items,
+                    }),
+                );
+            }
         }
     }
 
@@ -259,17 +333,12 @@ impl PaxosRules {
             .note_log_size(self.instances.len(), self.instance_bytes);
         self.phase1_succeeded = true;
         core.leader_hint = Some(core.cfg.id);
-        self.next_slot = Slot(end.0.max(self.log_tail().0) + 1);
-        if !items.is_empty() {
-            self.broadcast(
-                core,
-                ctx,
-                PaxosMsg::Accept {
-                    ballot: self.ballot,
-                    items,
-                },
-            );
+        core.pipe.reset();
+        for c in &mut self.accept_cursor {
+            *c = Slot::NONE;
         }
+        self.next_slot = Slot(end.0.max(self.log_tail().0) + 1);
+        self.send_accept_round(core, ctx, &items);
         core.arm_heartbeat(ctx);
         // Anything buffered while campaigning goes out now.
         engine::flush_pending(self, core, ctx);
@@ -449,6 +518,9 @@ impl PaxosRules {
                 if exec > self.acceptor_exec[node.0 as usize] {
                     self.acceptor_exec[node.0 as usize] = exec;
                 }
+                if let Some(&upto) = slots.iter().max() {
+                    core.pipe.on_ack(node, upto);
+                }
                 if ballot == self.ballot && self.phase1_succeeded {
                     ctx.charge(core.cfg.costs.ack_process);
                     let bit = 1u64 << node.0;
@@ -481,6 +553,8 @@ impl PaxosRules {
                         self.broadcast(core, ctx, PaxosMsg::Learn { slots: chosen });
                         self.try_execute(core, ctx);
                     }
+                    // The freed window slot may have a backlog waiting.
+                    self.pump_accepts(core, ctx, node);
                 }
             }
             PaxosMsg::Learn { slots } => {
@@ -507,6 +581,10 @@ impl PaxosRules {
         if !self.phase1_succeeded {
             return;
         }
+        // Rounds whose acks never came are presumed lost; the heartbeat
+        // retransmission below re-covers their instances, so the window
+        // must not stay pinned by them.
+        core.pipe.expire_stale(ctx.now(), core.cfg.retry_interval);
         let retransmit: Vec<(Slot, Command)> = self
             .instances
             .range(self.exec_index.next().0..)
@@ -602,14 +680,7 @@ impl ProtocolRules for PaxosRules {
         }
         core.snap_stats
             .note_log_size(self.instances.len(), self.instance_bytes);
-        self.broadcast(
-            core,
-            ctx,
-            PaxosMsg::Accept {
-                ballot: self.ballot,
-                items,
-            },
-        );
+        self.send_accept_round(core, ctx, &items);
     }
 
     fn on_start(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
@@ -639,6 +710,12 @@ impl ProtocolRules for PaxosRules {
     ) -> bool {
         // A stale proposer's checkpoint is ignored.
         seal >= self.ballot
+    }
+
+    /// The Paxos `Checkpoint`/`CheckpointOk` spelling is leaner on the
+    /// wire than Raft's `InstallSnapshot`/`SnapshotAck`.
+    fn snapshot_wire_overhead(&self, costs: &crate::costs::CostModel) -> (usize, usize) {
+        (costs.checkpoint_chunk_header, costs.checkpoint_ack_header)
     }
 
     /// Installs a fully reassembled checkpoint.
@@ -677,6 +754,7 @@ impl ProtocolRules for PaxosRules {
             Msg::Engine(EngineMsg::SnapshotAck {
                 seal: self.ballot,
                 upto: self.exec_index,
+                header_bytes: core.snap_wire.1,
             }),
         );
     }
@@ -703,6 +781,9 @@ impl ProtocolRules for PaxosRules {
         let _ = core;
         self.phase1_succeeded = false;
         self.prepare_acks.clear();
+        for c in &mut self.accept_cursor {
+            *c = Slot::NONE;
+        }
         for e in &mut self.acceptor_exec {
             *e = Slot::NONE;
         }

@@ -103,6 +103,7 @@ impl RaftRules {
         self.base
             .repl
             .reset_for_leadership(self.base.log.last_index());
+        core.pipe.reset();
         self.base.log.append(Entry {
             term: self.base.current_term,
             bal: self.base.current_term,
@@ -266,17 +267,23 @@ impl RaftRules {
                     self.base.step_down(core, term, ctx);
                 } else if term == self.base.current_term && self.base.role == Role::Leader {
                     ctx.charge(core.cfg.costs.ack_process);
-                    if self.base.repl.on_ack(node_of(from), last_idx) {
+                    let peer = node_of(from);
+                    core.pipe.on_ack(peer, last_idx);
+                    if self.base.repl.on_ack(peer, last_idx) {
                         self.advance_commit(core, ctx);
                     }
+                    // The freed window slot may have a backlog waiting.
+                    self.base.pump(core, ctx, peer);
                 }
             }
             RaftMsg::AppendReject { term, last_idx } => {
                 if term > self.base.current_term {
                     self.base.step_down(core, term, ctx);
                 } else if term == self.base.current_term && self.base.role == Role::Leader {
-                    // Back off toward the follower's tail and re-probe.
+                    // Back off toward the follower's tail and re-probe;
+                    // in-flight rounds to that follower are dead.
                     self.base.repl.on_reject(node_of(from), last_idx);
+                    core.pipe.on_regress(node_of(from));
                     self.base.send_append_to(core, ctx, node_of(from));
                 }
             }
@@ -340,7 +347,7 @@ impl ProtocolRules for RaftRules {
         snap: Snapshot,
     ) {
         self.base.install_snapshot(core, ctx, snap);
-        self.base.ack_snapshot(ctx, from);
+        self.base.ack_snapshot(core, ctx, from);
     }
 
     fn on_snapshot_ack(

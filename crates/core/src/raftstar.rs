@@ -172,6 +172,7 @@ impl RaftStarRules {
         self.base
             .repl
             .reset_for_leadership(self.base.log.last_index());
+        core.pipe.reset();
         // A fresh no-op carries the term forward (progress, not safety:
         // Raft* needs no 5.4.2-style commit restriction).
         self.base.log.append(Entry {
@@ -470,11 +471,15 @@ impl RaftStarRules {
                     self.base.step_down(core, term, ctx);
                 } else if term == self.base.current_term && self.base.role == Role::Leader {
                     ctx.charge(core.cfg.costs.ack_process);
-                    self.reported_holders[node_of(from).0 as usize] = holders;
+                    let peer = node_of(from);
+                    self.reported_holders[peer.0 as usize] = holders;
+                    core.pipe.on_ack(peer, last_idx);
                     // Advance on a match step — or on holder reports
                     // alone, which may still unblock the PQL gate.
-                    self.base.repl.on_ack(node_of(from), last_idx);
+                    self.base.repl.on_ack(peer, last_idx);
                     self.advance_commit(core, ctx);
+                    // The freed window slot may have a backlog waiting.
+                    self.base.pump(core, ctx, peer);
                 }
             }
             RaftMsg::AppendReject { term, last_idx } => {
@@ -482,6 +487,8 @@ impl RaftStarRules {
                     self.base.step_down(core, term, ctx);
                 } else if term == self.base.current_term && self.base.role == Role::Leader {
                     self.base.repl.on_reject(node_of(from), last_idx);
+                    // In-flight rounds to that follower are dead.
+                    core.pipe.on_regress(node_of(from));
                     // Back off for a prev mismatch; when the follower's
                     // log is simply longer than ours (the Raft* "no
                     // shrink" rule), wait for new appends instead of
@@ -647,7 +654,7 @@ impl ProtocolRules for RaftStarRules {
             self.index_writes_from(first_new);
             self.serve_parked_reads(core, ctx);
         }
-        self.base.ack_snapshot(ctx, from);
+        self.base.ack_snapshot(core, ctx, from);
     }
 
     fn on_snapshot_ack(

@@ -83,7 +83,11 @@ fn runs_are_deterministic_given_a_seed() {
         (r.throughput_ops, r.leader_writes.map(|t| t.p90_ms))
     };
     assert_eq!(run(99), run(99), "same seed, same results");
-    assert_ne!(run(1).0, run(2).0, "different seeds diverge");
+    // Different seeds must diverge somewhere. With adaptive batching the
+    // completed-op count in a fixed window is a coarse statistic (the
+    // closed loop is latency-bound, so ±2% jitter rarely moves it);
+    // latency percentiles carry the jitter, so compare the full tuple.
+    assert_ne!(run(1), run(2), "different seeds diverge");
 }
 
 #[test]
