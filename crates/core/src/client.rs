@@ -12,8 +12,33 @@ use paxraft_sim::time::{SimDuration, SimTime};
 use paxraft_workload::generator::{Generator, OpKind};
 use paxraft_workload::linearize::{Action, OpRecord};
 
-use crate::kv::{CmdId, Command, Key};
+use crate::kv::{CmdId, Command, Key, Reply};
 use crate::msg::{ClientMsg, Msg};
+use crate::shard::ShardRouter;
+
+/// Client-side shard routing: the partition map plus, per group, the
+/// replica this client talks to (its own region's member of that group).
+#[derive(Debug, Clone)]
+pub struct ClientRouting {
+    /// The partition map the client believes in. May be stale relative
+    /// to the replicas' map — the [`Reply::WrongGroup`] redirect is what
+    /// reconciles a raced lookup.
+    pub router: ShardRouter,
+    /// `targets[g]` serves group `g` for this client.
+    pub targets: Vec<ActorId>,
+}
+
+impl ClientRouting {
+    /// The replica serving `key`'s group, or `None` when the (possibly
+    /// stale) router names a group this client has no target for — the
+    /// caller falls back to its default replica and lets the
+    /// [`Reply::WrongGroup`] redirect correct the route.
+    fn target_for(&self, key: Key) -> Option<ActorId> {
+        self.targets
+            .get(self.router.group_of(key) as usize)
+            .copied()
+    }
+}
 
 /// One completed operation, for metrics.
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +68,13 @@ pub struct WorkloadClient {
     pub history_key: Option<Key>,
     /// Recorded per-key history.
     pub history: Vec<OpRecord>,
+    /// Sharded clusters: per-key routing over the replica groups
+    /// (`None` = unsharded, every operation goes to [`Self::target`]).
+    pub shard: Option<ClientRouting>,
+    /// Operations answered with [`Reply::WrongGroup`] and re-sent to the
+    /// owning group (stats; misrouting is expected only when the
+    /// client's partition map is stale).
+    pub redirects: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -50,6 +82,8 @@ struct Inflight {
     cmd: Command,
     kind: OpKind,
     key: Key,
+    /// Where the operation was last sent (redirects move it).
+    dest: ActorId,
     sent: SimTime,
     first_sent: SimTime,
 }
@@ -70,6 +104,8 @@ impl WorkloadClient {
             completions: Vec::new(),
             history_key: None,
             history: Vec::new(),
+            shard: None,
+            redirects: 0,
         }
     }
 
@@ -89,14 +125,20 @@ impl WorkloadClient {
 
     fn send_next(&mut self, ctx: &mut Ctx<Msg>) {
         let (cmd, kind, key) = self.next_command();
+        let dest = self
+            .shard
+            .as_ref()
+            .and_then(|s| s.target_for(key))
+            .unwrap_or(self.target);
         self.inflight = Some(Inflight {
             cmd: cmd.clone(),
             kind,
             key,
+            dest,
             sent: ctx.now(),
             first_sent: ctx.now(),
         });
-        ctx.send(self.target, Msg::Client(ClientMsg::Request { cmd }));
+        ctx.send(dest, Msg::Client(ClientMsg::Request { cmd }));
     }
 
     /// The recorded history, completed by the still-in-flight operation
@@ -143,6 +185,24 @@ impl Actor<Msg> for WorkloadClient {
         if inflight.cmd.id != id {
             return; // stale response from a retry
         }
+        if let Reply::WrongGroup { group } = reply {
+            // The replica's partition map disagrees with ours: re-send
+            // to the group it named (latency keeps accruing from the
+            // first send — the misroute is part of the operation).
+            self.redirects += 1;
+            let dest = self
+                .shard
+                .as_ref()
+                .and_then(|s| s.targets.get(group as usize).copied())
+                .unwrap_or(self.target);
+            let cmd = inflight.cmd.clone();
+            if let Some(inf) = &mut self.inflight {
+                inf.dest = dest;
+                inf.sent = ctx.now();
+            }
+            ctx.send(dest, Msg::Client(ClientMsg::Request { cmd }));
+            return;
+        }
         let inflight = self.inflight.take().expect("checked");
         let now = ctx.now();
         self.completions.push(Completion {
@@ -173,10 +233,11 @@ impl Actor<Msg> for WorkloadClient {
                 if ctx.now().since(inflight.sent) > self.retry_after {
                     // Retry (dedup at the replicas makes this safe).
                     let cmd = inflight.cmd.clone();
+                    let dest = inflight.dest;
                     if let Some(inf) = &mut self.inflight {
                         inf.sent = ctx.now();
                     }
-                    ctx.send(self.target, Msg::Client(ClientMsg::Request { cmd }));
+                    ctx.send(dest, Msg::Client(ClientMsg::Request { cmd }));
                 }
             }
         }
@@ -200,6 +261,21 @@ mod tests {
         let (c2, _, _) = c.next_command();
         assert_eq!(c1.id.client, 3);
         assert_eq!(c1.id.seq + 1, c2.id.seq);
+    }
+
+    #[test]
+    fn stale_router_with_more_groups_than_targets_falls_back() {
+        // A router believing in 4 groups on a client holding 2 targets
+        // (partition map raced a split): keys the router maps to groups
+        // 2/3 fall back to the default target instead of panicking; the
+        // replica-side WrongGroup redirect then corrects the route.
+        let routing = ClientRouting {
+            router: ShardRouter::new(1_000, 4),
+            targets: vec![ActorId(0), ActorId(1)],
+        };
+        let (lo3, _) = routing.router.range(3);
+        assert_eq!(routing.target_for(5), Some(ActorId(0)));
+        assert_eq!(routing.target_for(lo3), None, "no target for group 3");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::costs::CostModel;
 use crate::engine::PipelineConfig;
+use crate::shard::ShardMembership;
 use crate::snapshot::SnapshotConfig;
 use crate::types::NodeId;
 use paxraft_sim::sim::ActorId;
@@ -96,6 +97,12 @@ pub struct ReplicaConfig {
     pub snapshot: SnapshotConfig,
     /// Replication pipelining / adaptive-batching parameters.
     pub pipeline: PipelineConfig,
+    /// Shard membership when this replica serves one group of a
+    /// multi-group cluster (`None` = unsharded, the default). Carries
+    /// the partition map so misrouted commands get a
+    /// [`crate::kv::Reply::WrongGroup`] redirect instead of executing
+    /// against the wrong group's state.
+    pub shard: Option<ShardMembership>,
 }
 
 impl ReplicaConfig {
@@ -120,12 +127,39 @@ impl ReplicaConfig {
             mencius: MenciusConfig::default(),
             snapshot: SnapshotConfig::default(),
             pipeline: PipelineConfig::default(),
+            shard: None,
         }
     }
 
     /// Actor id of a replica.
     pub fn peer(&self, node: NodeId) -> ActorId {
         self.peers[node.0 as usize]
+    }
+
+    /// The node id behind a peer's actor id. Replica groups occupy
+    /// contiguous actor-id ranges (`peers[0] + i == peers[i]`), so the
+    /// mapping is a subtraction; in the unsharded layout `peers[0]` is
+    /// actor 0 and this degenerates to the identity.
+    pub fn node_of(&self, from: ActorId) -> NodeId {
+        let node = NodeId((from.0 - self.peers[0].0) as u32);
+        debug_assert_eq!(self.peers[node.0 as usize], from, "contiguous peer ids");
+        node
+    }
+
+    /// This replica's group id (`0` when unsharded).
+    pub fn group_id(&self) -> u32 {
+        self.shard.as_ref().map_or(0, |s| s.group)
+    }
+
+    /// Wire-header bytes of one engine `Forward` in this cluster's
+    /// spelling: the base 8, plus the group header once the cluster is
+    /// sharded and the group id must travel.
+    pub fn forward_header_bytes(&self) -> usize {
+        8 + if self.shard.is_some() {
+            self.costs.shard_group_header
+        } else {
+            0
+        }
     }
 
     /// Actor id of a logical client.
@@ -162,6 +196,18 @@ impl ReplicaConfig {
                 self.peers.len(),
                 self.n
             ));
+        }
+        if self.peers.windows(2).any(|w| w[1].0 != w[0].0 + 1) {
+            return Err("peer actor ids must be contiguous".into());
+        }
+        if let Some(shard) = &self.shard {
+            if shard.group as usize >= shard.router.groups() {
+                return Err(format!(
+                    "shard group {} out of range for {} groups",
+                    shard.group,
+                    shard.router.groups()
+                ));
+            }
         }
         if self.election_min > self.election_max {
             return Err("election_min exceeds election_max".into());
@@ -221,5 +267,42 @@ mod tests {
         let c = cfg();
         assert_eq!(c.client_actor(0), ActorId(5));
         assert_eq!(c.client_actor(3), ActorId(8));
+    }
+
+    #[test]
+    fn node_of_inverts_peer_for_offset_groups() {
+        // Group 1 of a 2-group, 5-node cluster occupies actors 5..10.
+        let mut c = ReplicaConfig::wan_default(NodeId(2), 5);
+        c.peers = (5..10).map(ActorId).collect();
+        for node in 0..5u32 {
+            assert_eq!(c.node_of(c.peer(NodeId(node))), NodeId(node));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_gapped_peer_ids() {
+        let mut c = cfg();
+        c.peers[3] = ActorId(9);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn forward_header_pays_group_bytes_only_when_sharded() {
+        use crate::shard::{ShardMembership, ShardRouter};
+        let mut c = cfg();
+        assert_eq!(c.forward_header_bytes(), 8);
+        assert_eq!(c.group_id(), 0);
+        c.shard = Some(ShardMembership {
+            group: 1,
+            router: ShardRouter::new(1_000, 2),
+        });
+        assert_eq!(c.forward_header_bytes(), 8 + c.costs.shard_group_header);
+        assert_eq!(c.group_id(), 1);
+        assert_eq!(c.validate(), Ok(()));
+        c.shard = Some(ShardMembership {
+            group: 7,
+            router: ShardRouter::new(1_000, 2),
+        });
+        assert!(c.validate().is_err(), "group beyond router range");
     }
 }

@@ -60,6 +60,11 @@ pub struct CostModel {
     pub checkpoint_chunk_header: usize,
     /// Wire-header bytes of one Paxos-spelling `CheckpointOk`.
     pub checkpoint_ack_header: usize,
+    /// Wire-header bytes a sharded cluster adds to every engine-level
+    /// message (forwarding, snapshot transfer) to carry the replica-group
+    /// id. A single-group (unsharded) cluster needs no routing header
+    /// and pays nothing.
+    pub shard_group_header: usize,
 }
 
 impl Default for CostModel {
@@ -84,6 +89,7 @@ impl Default for CostModel {
             snapshot_ack_header: 16,
             checkpoint_chunk_header: 40,
             checkpoint_ack_header: 16,
+            shard_group_header: 4,
         }
     }
 }
@@ -123,7 +129,37 @@ impl CostModel {
             snapshot_ack_header: 16,
             checkpoint_chunk_header: 40,
             checkpoint_ack_header: 16,
+            shard_group_header: 4,
         }
+    }
+
+    /// The same model with every CPU service time multiplied by `mult`
+    /// (wire-header sizes are unchanged — they are not CPU costs).
+    ///
+    /// The sharding benches use this to model a slower core: with the
+    /// default constants a single leader saturates near the paper's 41K
+    /// ops/s, which a deterministic simulation can only reach with
+    /// thousands of client actors. Scaling the costs moves the CPU
+    /// ceiling into the reach of a small closed-loop client fleet so the
+    /// "throughput scales past one leader's CPU" effect is visible in a
+    /// seconds-long virtual run.
+    pub fn scaled_cpu(mut self, mult: u64) -> Self {
+        self.client_req = self.client_req * mult;
+        self.forward_per_cmd = self.forward_per_cmd * mult;
+        self.propose_fixed = self.propose_fixed * mult;
+        self.propose_per_cmd = self.propose_per_cmd * mult;
+        self.append_fixed = self.append_fixed * mult;
+        self.append_per_cmd = self.append_per_cmd * mult;
+        self.ack_process = self.ack_process * mult;
+        self.apply_per_cmd = self.apply_per_cmd * mult;
+        self.reply_fixed = self.reply_fixed * mult;
+        self.read_local = self.read_local * mult;
+        self.lease_msg = self.lease_msg * mult;
+        self.coord_msg = self.coord_msg * mult;
+        self.coord_per_cmd = self.coord_per_cmd * mult;
+        self.per_kib = self.per_kib * mult;
+        self.snapshot_per_kib = self.snapshot_per_kib * mult;
+        self
     }
 }
 
@@ -162,5 +198,16 @@ mod tests {
         let c = CostModel::free();
         assert_eq!(c.client_req, SimDuration::ZERO);
         assert_eq!(c.size_cost(1 << 20), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn scaled_cpu_multiplies_service_times_but_not_wire_headers() {
+        let base = CostModel::default();
+        let c = base.clone().scaled_cpu(100);
+        assert_eq!(c.client_req, base.client_req * 100);
+        assert_eq!(c.apply_per_cmd, base.apply_per_cmd * 100);
+        assert_eq!(c.size_cost(1024), base.size_cost(1024) * 100);
+        assert_eq!(c.snapshot_chunk_header, base.snapshot_chunk_header);
+        assert_eq!(c.shard_group_header, base.shard_group_header);
     }
 }

@@ -557,7 +557,11 @@ fn full_forwarded_batch_is_flushed_immediately_regardless_of_leadership() {
             .collect();
         sim.send_external(
             replicas[1],
-            Msg::Engine(EngineMsg::Forward { cmds }),
+            Msg::Engine(EngineMsg::Forward {
+                group: 0,
+                header_bytes: 8,
+                cmds,
+            }),
             SimDuration::ZERO,
         );
         // Well under batch_delay (2 ms): only an immediate flush can have
@@ -582,6 +586,82 @@ fn full_forwarded_batch_is_flushed_immediately_regardless_of_leadership() {
     // Mencius proposes into its own slots instead of forwarding, but the
     // batch-full flush must be just as immediate.
     scenario("Mencius", true, MenciusReplica::new);
+}
+
+/// Follower-side adaptive forwarding: with `follower_hints` on, a
+/// command arriving at a follower while the leader's piggybacked
+/// occupancy hint shows window room is forwarded immediately — it never
+/// waits for the batch timer. (With hints off, the non-full-batch
+/// follower path always waits; `burst_of_requests_arms_one_batch_timer`
+/// pins that discipline.)
+#[test]
+fn follower_hints_cut_forward_batches_before_the_timer() {
+    fn scenario<P: ProtocolRules>(name: &str, make: fn(ReplicaConfig) -> ReplicaEngine<P>) {
+        let (mut sim, replicas, _client) = conformance_cluster(3, None, move |mut cfg| {
+            cfg.pipeline = PipelineConfig::default().with_follower_hints();
+            make(cfg)
+        });
+        assert!(
+            drive_until(&mut sim, SimTime::from_secs(5), |sim| {
+                sim.actor::<ReplicaEngine<P>>(replicas[0]).is_leader()
+            }),
+            "{name}: replica 0 leads"
+        );
+        // Let a heartbeat round deliver the occupancy hint to followers.
+        sim.run_for(SimDuration::from_secs(1));
+        let sink = sim.add_actor(
+            paxraft_sim::net::Region::Ohio,
+            Box::new(TestClient::new(1, replicas[1])),
+        );
+        let sink_client = (sink.0 - replicas.len()) as u32;
+        let cmd = crate::kv::Command::put(
+            crate::kv::CmdId {
+                client: sink_client,
+                seq: 1,
+            },
+            3,
+            vec![0; 8],
+        );
+        sim.send_external(
+            replicas[1],
+            Msg::Client(ClientMsg::Request { cmd }),
+            SimDuration::ZERO,
+        );
+        // Well under batch_delay (2 ms): only the hint path can have
+        // forwarded it already.
+        sim.run_for(SimDuration::from_millis(1));
+        let rep = sim.actor::<ReplicaEngine<P>>(replicas[1]);
+        assert!(
+            rep.core.pending.is_empty(),
+            "{name}: single command did not wait for the batch timer"
+        );
+        assert_eq!(
+            rep.forwarded_cmds(),
+            1,
+            "{name}: command forwarded immediately on the hint"
+        );
+        assert!(
+            rep.pipeline_stats().hint_flushes >= 1,
+            "{name}: the hint path was what cut the batch ({:?})",
+            rep.pipeline_stats()
+        );
+        // End to end: the forwarded command still commits and applies.
+        assert!(
+            drive_until(&mut sim, SimTime::from_secs(5), |sim| {
+                sim.actor::<ReplicaEngine<P>>(replicas[0])
+                    .kv()
+                    .read_local(3)
+                    .value_id()
+                    .is_some()
+            }),
+            "{name}: hint-forwarded command committed"
+        );
+    }
+    // Mencius proposes locally (never forwards), so the hint path is
+    // exercised by the two forwarding families only.
+    scenario("Raft", RaftReplica::new);
+    scenario("Raft*", RaftStarReplica::new);
+    scenario("MultiPaxos", MultiPaxosReplica::new);
 }
 
 /// PR 2 drift regression: `forward_pending` with no known leader keeps

@@ -38,7 +38,7 @@ pub use transfer::{compact_applied_prefix, install_into_raft_state, ship_snapsho
 
 use paxraft_sim::impl_actor_any;
 use paxraft_sim::sim::{Actor, ActorId, Ctx};
-use paxraft_sim::time::SimDuration;
+use paxraft_sim::time::{SimDuration, SimTime};
 
 use crate::config::ReplicaConfig;
 use crate::costs::CostModel;
@@ -108,8 +108,20 @@ pub struct EngineCore {
     pub pipe: PipelineWindow,
     /// `(chunk, ack)` wire-header bytes of this protocol's snapshot
     /// spelling, resolved once from
-    /// [`ProtocolRules::snapshot_wire_overhead`].
+    /// [`ProtocolRules::snapshot_wire_overhead`] (plus the group header
+    /// in a sharded cluster).
     pub snap_wire: (usize, usize),
+    /// Last leader window-occupancy hint piggybacked on replication
+    /// traffic, and when it arrived. Drives follower-side adaptive
+    /// forwarding when [`PipelineConfig::follower_hints`] is on.
+    pub window_hint: Option<(bool, SimTime)>,
+    /// Engine-level messages dropped because they carried another
+    /// group's id (sharded clusters; stats/assertions).
+    pub cross_group_dropped: u64,
+    /// [`Reply::WrongGroup`] redirects sent to misrouted clients
+    /// (sharded clusters). Kept separate from `responses_sent`, which
+    /// counts only commit-visible work.
+    pub redirects_sent: u64,
 }
 
 impl EngineCore {
@@ -143,7 +155,27 @@ impl EngineCore {
             forwarded_cmds: 0,
             pipe,
             snap_wire,
+            window_hint: None,
+            cross_group_dropped: 0,
+            redirects_sent: 0,
         }
+    }
+
+    /// Records a leader window-occupancy hint piggybacked on incoming
+    /// replication traffic.
+    pub fn note_window_hint(&mut self, room: bool, now: SimTime) {
+        self.window_hint = Some((room, now));
+    }
+
+    /// Whether a fresh hint says the leader's window can absorb a
+    /// forwarded batch right now. A hint older than two heartbeat
+    /// periods is stale: the leader's occupancy has had time to change
+    /// and two missed refreshes suggest the leader itself may be gone.
+    pub fn hint_allows_forward(&self, now: SimTime) -> bool {
+        self.cfg.pipeline.follower_hints
+            && self
+                .window_hint
+                .is_some_and(|(room, at)| room && now.since(at.min(now)) <= self.cfg.heartbeat * 2)
     }
 
     /// This replica's bit in quorum bitmaps.
@@ -216,7 +248,11 @@ impl EngineCore {
         ctx.charge(self.cfg.costs.forward_per_cmd * cmds.len() as u64);
         ctx.send(
             self.cfg.peer(leader),
-            Msg::Engine(EngineMsg::Forward { cmds }),
+            Msg::Engine(EngineMsg::Forward {
+                group: self.cfg.group_id(),
+                header_bytes: self.cfg.forward_header_bytes(),
+                cmds,
+            }),
         );
     }
 }
@@ -359,7 +395,16 @@ pub struct ReplicaEngine<P: ProtocolRules> {
 impl<P: ProtocolRules> ReplicaEngine<P> {
     /// Assembles a replica from parts (protocol aliases provide `new`).
     pub fn from_parts(mut core: EngineCore, rules: P) -> Self {
-        core.snap_wire = rules.snapshot_wire_overhead(&core.cfg.costs);
+        let (chunk, ack) = rules.snapshot_wire_overhead(&core.cfg.costs);
+        // Sharded clusters stamp the group id on every engine-level
+        // message; the header surcharge applies on top of whatever the
+        // protocol's snapshot spelling costs.
+        let gh = if core.cfg.shard.is_some() {
+            core.cfg.costs.shard_group_header
+        } else {
+            0
+        };
+        core.snap_wire = (chunk + gh, ack + gh);
         ReplicaEngine { core, rules }
     }
 
@@ -463,6 +508,21 @@ fn cut_batch<P: ProtocolRules>(rules: &mut P, core: &mut EngineCore, ctx: &mut C
             return;
         }
         core.pipe.stats.window_deferrals += 1;
+    } else if !rules.can_propose(core)
+        && core.leader_hint.is_some()
+        && core.hint_allows_forward(ctx.now())
+    {
+        // Follower-side adaptive forwarding: the leader's piggybacked
+        // occupancy hint says its window can absorb a fresh round, so
+        // paying the batch delay before forwarding would only add
+        // latency (the window hides the round trip, same argument as
+        // the leader's eager cut above). A stale or saturated hint
+        // falls through to the accumulate-under-timer regime.
+        core.pipe.stats.hint_flushes += 1;
+        flush_pending(rules, core, ctx);
+        if core.pending.is_empty() {
+            return;
+        }
     }
     core.arm_batch(ctx);
 }
@@ -494,18 +554,43 @@ impl<P: ProtocolRules> Actor<Msg> for ReplicaEngine<P> {
         match msg {
             Msg::Client(ClientMsg::Request { cmd }) => {
                 ctx.charge(self.core.cfg.costs.client_req);
+                // Sharded clusters: a key owned by another group is
+                // redirected before it can touch this group's log or
+                // sessions (the client's partition map raced a config
+                // change).
+                if let Some(shard) = &self.core.cfg.shard {
+                    if let Some(owner) = shard.misrouted(&cmd.op) {
+                        // Not a response in the commit-visible sense:
+                        // charged like one but counted as a redirect.
+                        ctx.charge(self.core.cfg.costs.reply_fixed);
+                        ctx.send(
+                            self.core.cfg.client_actor(cmd.id.client),
+                            Msg::Client(ClientMsg::Response {
+                                id: cmd.id,
+                                reply: Reply::WrongGroup { group: owner },
+                            }),
+                        );
+                        self.core.redirects_sent += 1;
+                        return;
+                    }
+                }
                 if self.rules.try_serve_local(&mut self.core, ctx, &cmd) {
                     return;
                 }
                 self.core.pending.push(cmd);
                 cut_batch(&mut self.rules, &mut self.core, ctx);
             }
-            Msg::Engine(EngineMsg::Forward { cmds }) => {
+            Msg::Engine(EngineMsg::Forward { group, cmds, .. }) => {
+                if group != self.core.cfg.group_id() {
+                    self.core.cross_group_dropped += 1;
+                    return;
+                }
                 on_forwarded(&mut self.rules, &mut self.core, ctx, cmds);
             }
             // `last_term` rides inside the encoded payload; the header
             // copy only matters for observability.
             Msg::Engine(EngineMsg::SnapshotChunk {
+                group,
                 seal,
                 last_slot,
                 last_term: _,
@@ -514,6 +599,10 @@ impl<P: ProtocolRules> Actor<Msg> for ReplicaEngine<P> {
                 header_bytes: _,
                 data,
             }) => {
+                if group != self.core.cfg.group_id() {
+                    self.core.cross_group_dropped += 1;
+                    return;
+                }
                 if !self
                     .rules
                     .accept_snapshot_chunk(&mut self.core, ctx, from, seal)
@@ -532,7 +621,13 @@ impl<P: ProtocolRules> Actor<Msg> for ReplicaEngine<P> {
                     self.rules.install_snapshot(&mut self.core, ctx, from, snap);
                 }
             }
-            Msg::Engine(EngineMsg::SnapshotAck { seal, upto, .. }) => {
+            Msg::Engine(EngineMsg::SnapshotAck {
+                group, seal, upto, ..
+            }) => {
+                if group != self.core.cfg.group_id() {
+                    self.core.cross_group_dropped += 1;
+                    return;
+                }
                 self.rules
                     .on_snapshot_ack(&mut self.core, ctx, from, seal, upto);
             }
@@ -593,6 +688,7 @@ impl<P: ProtocolRules> Actor<Msg> for ReplicaEngine<P> {
         self.core.election_gen += 1;
         self.core.heartbeat_gen += 1;
         self.core.leader_hint = None;
+        self.core.window_hint = None;
         self.core.snap_asm.clear();
         self.core.snap_send.reset();
         self.core.pipe.reset();

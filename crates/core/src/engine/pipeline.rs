@@ -46,11 +46,23 @@ pub struct PipelineConfig {
     /// per-peer send gating — the pre-pipeline one-round-per-timer/ack
     /// behavior.
     pub depth: usize,
+    /// Follower-side adaptive forwarding: when on, leaders piggyback
+    /// their window occupancy on replication/heartbeat traffic
+    /// (`window_room`) and a follower holding pending commands forwards
+    /// them immediately while the hint says the leader can absorb a
+    /// fresh round — instead of always paying the batch delay before
+    /// forwarding. Off by default (the window-driven cutter alone is the
+    /// PR 3 baseline behavior, and the pinned parity fingerprints assume
+    /// it).
+    pub follower_hints: bool,
 }
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        PipelineConfig { depth: 8 }
+        PipelineConfig {
+            depth: 8,
+            follower_hints: false,
+        }
     }
 }
 
@@ -62,12 +74,24 @@ impl PipelineConfig {
 
     /// Pipelining disabled (legacy batching discipline).
     pub fn disabled() -> Self {
-        PipelineConfig { depth: 0 }
+        PipelineConfig {
+            depth: 0,
+            follower_hints: false,
+        }
     }
 
     /// Pipelining with the given window depth.
     pub fn depth(depth: usize) -> Self {
-        PipelineConfig { depth }
+        PipelineConfig {
+            depth,
+            ..PipelineConfig::default()
+        }
+    }
+
+    /// This configuration with follower-side adaptive forwarding on.
+    pub fn with_follower_hints(mut self) -> Self {
+        self.follower_hints = true;
+        self
     }
 }
 
@@ -98,6 +122,10 @@ pub struct PipelineStats {
     pub rounds_acked: u64,
     /// Rounds cleared by a regress (rejection, rewind, or expiry).
     pub rounds_regressed: u64,
+    /// Follower forwards cut early because a piggybacked leader
+    /// occupancy hint said the window had room
+    /// ([`PipelineConfig::follower_hints`]).
+    pub hint_flushes: u64,
 }
 
 impl PipelineStats {
@@ -109,6 +137,7 @@ impl PipelineStats {
         self.window_deferrals += other.window_deferrals;
         self.rounds_acked += other.rounds_acked;
         self.rounds_regressed += other.rounds_regressed;
+        self.hint_flushes += other.hint_flushes;
     }
 }
 
@@ -218,7 +247,7 @@ mod tests {
     use super::*;
 
     fn window(depth: usize) -> PipelineWindow {
-        PipelineWindow::new(5, &PipelineConfig { depth })
+        PipelineWindow::new(5, &PipelineConfig::depth(depth))
     }
 
     fn t(ms: u64) -> SimTime {

@@ -17,7 +17,7 @@ use crate::log::Log;
 use crate::msg::{EngineMsg, Msg, RaftMsg};
 use crate::replicate::Replicator;
 use crate::snapshot::{Snapshot, SnapshotStats};
-use crate::types::{node_of, NodeId, Slot, Term};
+use crate::types::{NodeId, Slot, Term};
 
 use super::{transfer, EngineCore};
 
@@ -137,6 +137,10 @@ impl RaftBase {
         if !entries.is_empty() {
             core.pipe.on_sent(peer, tail, ctx.now());
         }
+        // Piggyback our window occupancy so followers can cut forward
+        // batches adaptively (empty heartbeat appends refresh the hint
+        // even on an idle cluster).
+        let window_room = core.pipe.quorum_has_room(core.cfg.id, core.cfg.n);
         ctx.send(
             core.cfg.peer(peer),
             Msg::Raft(RaftMsg::Append {
@@ -145,6 +149,7 @@ impl RaftBase {
                 prev_term,
                 entries,
                 commit: self.commit_index,
+                window_room,
             }),
         );
     }
@@ -277,6 +282,7 @@ impl RaftBase {
         ctx.send(
             from,
             Msg::Engine(EngineMsg::SnapshotAck {
+                group: core.cfg.group_id(),
                 seal: self.current_term,
                 upto: self.last_applied,
                 header_bytes: core.snap_wire.1,
@@ -298,7 +304,7 @@ impl RaftBase {
         if seal > self.current_term {
             self.step_down(core, seal, ctx);
         } else if seal == self.current_term && self.role == Role::Leader {
-            let peer = node_of(from);
+            let peer = core.cfg.node_of(from);
             core.snap_send.finish(peer.0 as usize);
             core.pipe.on_ack(peer, upto);
             let advanced = self.repl.on_ack(peer, upto);

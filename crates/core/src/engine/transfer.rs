@@ -47,6 +47,7 @@ pub fn ship_snapshot(
         ctx.send(
             core.cfg.peer(peer),
             Msg::Engine(EngineMsg::SnapshotChunk {
+                group: core.cfg.group_id(),
                 seal,
                 last_slot,
                 last_term,

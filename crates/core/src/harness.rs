@@ -55,23 +55,27 @@ impl ProtocolKind {
     }
 }
 
-/// Builder for [`Cluster`].
+/// Builder for [`Cluster`] (and, via
+/// [`ClusterBuilder::build_sharded`], for
+/// [`crate::shard::ShardedCluster`]).
 #[derive(Debug, Clone)]
 pub struct ClusterBuilder {
-    protocol: ProtocolKind,
-    replicas: usize,
-    regions: Vec<Region>,
-    leader: NodeId,
-    clients_per_region: usize,
-    workload: WorkloadConfig,
-    seed: u64,
-    costs: CostModel,
-    net: NetConfig,
-    record_history_key: Option<Key>,
-    batch_delay: SimDuration,
-    lease: LeaseConfig,
-    snapshot: SnapshotConfig,
-    pipeline: PipelineConfig,
+    pub(crate) protocol: ProtocolKind,
+    pub(crate) replicas: usize,
+    pub(crate) regions: Vec<Region>,
+    pub(crate) leader: NodeId,
+    pub(crate) clients_per_region: usize,
+    pub(crate) workload: WorkloadConfig,
+    pub(crate) seed: u64,
+    pub(crate) costs: CostModel,
+    pub(crate) net: NetConfig,
+    pub(crate) record_history_key: Option<Key>,
+    pub(crate) batch_delay: SimDuration,
+    pub(crate) batch_max: usize,
+    pub(crate) lease: LeaseConfig,
+    pub(crate) snapshot: SnapshotConfig,
+    pub(crate) pipeline: PipelineConfig,
+    pub(crate) shard: crate::shard::ShardConfig,
 }
 
 impl ClusterBuilder {
@@ -137,6 +141,22 @@ impl ClusterBuilder {
         self
     }
 
+    /// Batch-size cap: a pending batch flushes immediately once this
+    /// many commands accumulate (default 64).
+    pub fn batch_max(mut self, max: usize) -> Self {
+        self.batch_max = max;
+        self
+    }
+
+    /// Sharding parameters: how many replica groups to run and where
+    /// their leaders bootstrap. Only [`ClusterBuilder::build_sharded`]
+    /// consumes this; the unsharded [`ClusterBuilder::build`] refuses a
+    /// multi-group configuration.
+    pub fn shard_config(mut self, shard: crate::shard::ShardConfig) -> Self {
+        self.shard = shard;
+        self
+    }
+
     /// Lease parameters (PQL / LL modes).
     pub fn lease_config(mut self, lease: LeaseConfig) -> Self {
         self.lease = lease;
@@ -165,34 +185,17 @@ impl ClusterBuilder {
     /// Panics if region placement does not match the replica count.
     pub fn build(self) -> Cluster {
         assert_eq!(self.regions.len(), self.replicas, "one region per replica");
+        assert!(
+            self.shard.groups <= 1,
+            "multi-group configs need build_sharded()"
+        );
         let mut sim = Simulation::new(self.net.clone(), self.seed);
         let peers: Vec<ActorId> = (0..self.replicas).map(ActorId).collect();
         let client_base = self.replicas;
         let mut replicas = Vec::new();
         for i in 0..self.replicas {
-            let mut cfg = ReplicaConfig::wan_default(NodeId(i as u32), self.replicas);
-            cfg.peers = peers.clone();
-            cfg.client_base = client_base;
-            cfg.costs = self.costs.clone();
-            cfg.batch_delay = self.batch_delay;
-            cfg.lease = self.lease.clone();
-            cfg.snapshot = self.snapshot.clone();
-            cfg.pipeline = self.pipeline.clone();
-            cfg.initial_leader = Some(self.leader);
-            cfg.read_mode = match self.protocol {
-                ProtocolKind::RaftStarPql => ReadMode::QuorumLease,
-                ProtocolKind::LeaderLease => ReadMode::LeaderLease,
-                _ => ReadMode::LogRead,
-            };
-            let actor: Box<dyn paxraft_sim::sim::Actor<Msg>> = match self.protocol {
-                ProtocolKind::MultiPaxos => Box::new(MultiPaxosReplica::new(cfg)),
-                ProtocolKind::Raft => Box::new(RaftReplica::new(cfg)),
-                ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => {
-                    Box::new(RaftStarReplica::new(cfg))
-                }
-                ProtocolKind::RaftStarMencius => Box::new(MenciusReplica::new(cfg)),
-            };
-            replicas.push(sim.add_actor(self.regions[i], actor));
+            let cfg = self.replica_config(NodeId(i as u32), peers.clone(), client_base, None);
+            replicas.push(sim.add_actor(self.regions[i], make_replica(self.protocol, cfg)));
         }
         // One workload client group per region, targeting that region's
         // replica (clients in regions without a replica would target the
@@ -221,6 +224,116 @@ impl ClusterBuilder {
             probe: None,
             probe_seq: 0,
         }
+    }
+
+    /// One replica's configuration under this builder's knobs. Shared by
+    /// the unsharded build and the sharded build (which passes each
+    /// group's peer table and membership).
+    pub(crate) fn replica_config(
+        &self,
+        id: NodeId,
+        peers: Vec<ActorId>,
+        client_base: usize,
+        shard: Option<crate::shard::ShardMembership>,
+    ) -> ReplicaConfig {
+        let mut cfg = ReplicaConfig::wan_default(id, self.replicas);
+        cfg.peers = peers;
+        cfg.client_base = client_base;
+        cfg.costs = self.costs.clone();
+        cfg.batch_delay = self.batch_delay;
+        cfg.batch_max = self.batch_max;
+        cfg.lease = self.lease.clone();
+        cfg.snapshot = self.snapshot.clone();
+        cfg.pipeline = self.pipeline.clone();
+        cfg.initial_leader = Some(self.leader);
+        cfg.shard = shard;
+        cfg.read_mode = match self.protocol {
+            ProtocolKind::RaftStarPql => ReadMode::QuorumLease,
+            ProtocolKind::LeaderLease => ReadMode::LeaderLease,
+            _ => ReadMode::LogRead,
+        };
+        cfg
+    }
+}
+
+/// Boxes the right replica type for a protocol (the harness-side face of
+/// the `ProtocolRules` dispatch).
+pub(crate) fn make_replica(
+    protocol: ProtocolKind,
+    cfg: ReplicaConfig,
+) -> Box<dyn paxraft_sim::sim::Actor<Msg>> {
+    match protocol {
+        ProtocolKind::MultiPaxos => Box::new(MultiPaxosReplica::new(cfg)),
+        ProtocolKind::Raft => Box::new(RaftReplica::new(cfg)),
+        ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => {
+            Box::new(RaftStarReplica::new(cfg))
+        }
+        ProtocolKind::RaftStarMencius => Box::new(MenciusReplica::new(cfg)),
+    }
+}
+
+/// Whether the replica actor currently claims leadership (Mencius is
+/// always "led": every replica leads its own slots).
+pub(crate) fn replica_is_leader(
+    sim: &paxraft_sim::sim::Simulation<Msg>,
+    protocol: ProtocolKind,
+    id: ActorId,
+) -> bool {
+    match protocol {
+        ProtocolKind::MultiPaxos => sim.actor::<MultiPaxosReplica>(id).is_leader(),
+        ProtocolKind::Raft => sim.actor::<RaftReplica>(id).is_leader(),
+        ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => {
+            sim.actor::<RaftStarReplica>(id).is_leader()
+        }
+        ProtocolKind::RaftStarMencius => true,
+    }
+}
+
+/// The replica actor's snapshot/compaction counters.
+pub(crate) fn replica_snap_stats(
+    sim: &paxraft_sim::sim::Simulation<Msg>,
+    protocol: ProtocolKind,
+    id: ActorId,
+) -> SnapshotStats {
+    match protocol {
+        ProtocolKind::MultiPaxos => sim.actor::<MultiPaxosReplica>(id).snap_stats(),
+        ProtocolKind::Raft => sim.actor::<RaftReplica>(id).snap_stats(),
+        ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => {
+            sim.actor::<RaftStarReplica>(id).snap_stats()
+        }
+        ProtocolKind::RaftStarMencius => sim.actor::<MenciusReplica>(id).snap_stats(),
+    }
+}
+
+/// The replica actor's pipeline occupancy counters.
+pub(crate) fn replica_pipeline_stats(
+    sim: &paxraft_sim::sim::Simulation<Msg>,
+    protocol: ProtocolKind,
+    id: ActorId,
+) -> PipelineStats {
+    match protocol {
+        ProtocolKind::MultiPaxos => sim.actor::<MultiPaxosReplica>(id).pipeline_stats(),
+        ProtocolKind::Raft => sim.actor::<RaftReplica>(id).pipeline_stats(),
+        ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => {
+            sim.actor::<RaftStarReplica>(id).pipeline_stats()
+        }
+        ProtocolKind::RaftStarMencius => sim.actor::<MenciusReplica>(id).pipeline_stats(),
+    }
+}
+
+/// Client responses the replica actor has sent (commit-visible work).
+pub(crate) fn replica_responses(
+    sim: &paxraft_sim::sim::Simulation<Msg>,
+    protocol: ProtocolKind,
+    id: ActorId,
+) -> u64 {
+    match protocol {
+        ProtocolKind::MultiPaxos => sim.actor::<MultiPaxosReplica>(id).responses_sent(),
+        ProtocolKind::Raft => sim.actor::<RaftReplica>(id).responses_sent(),
+        ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => {
+            sim.actor::<RaftStarReplica>(id).responses_sent()
+        }
+        ProtocolKind::RaftStarMencius => sim.actor::<MenciusReplica>(id).responses_sent(),
     }
 }
 
@@ -278,9 +391,11 @@ impl Cluster {
             net: NetConfig::default(),
             record_history_key: None,
             batch_delay: SimDuration::from_millis(2),
+            batch_max: 64,
             lease: LeaseConfig::default(),
             snapshot: SnapshotConfig::default(),
             pipeline: PipelineConfig::default(),
+            shard: crate::shard::ShardConfig::default(),
         }
     }
 
@@ -307,21 +422,9 @@ impl Cluster {
     /// Whether some replica currently claims leadership (Mencius is
     /// always "led": every replica leads its own slots).
     pub fn has_leader(&self) -> bool {
-        match self.protocol {
-            ProtocolKind::MultiPaxos => self
-                .replicas
-                .iter()
-                .any(|&r| self.sim.actor::<MultiPaxosReplica>(r).is_leader()),
-            ProtocolKind::Raft => self
-                .replicas
-                .iter()
-                .any(|&r| self.sim.actor::<RaftReplica>(r).is_leader()),
-            ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => self
-                .replicas
-                .iter()
-                .any(|&r| self.sim.actor::<RaftStarReplica>(r).is_leader()),
-            ProtocolKind::RaftStarMencius => true,
-        }
+        self.replicas
+            .iter()
+            .any(|&r| replica_is_leader(&self.sim, self.protocol, r))
     }
 
     /// Snapshot / compaction counters aggregated over all replicas
@@ -329,15 +432,7 @@ impl Cluster {
     pub fn snapshot_stats(&self) -> SnapshotStats {
         let mut total = SnapshotStats::default();
         for &r in &self.replicas {
-            let s = match self.protocol {
-                ProtocolKind::MultiPaxos => self.sim.actor::<MultiPaxosReplica>(r).snap_stats(),
-                ProtocolKind::Raft => self.sim.actor::<RaftReplica>(r).snap_stats(),
-                ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => {
-                    self.sim.actor::<RaftStarReplica>(r).snap_stats()
-                }
-                ProtocolKind::RaftStarMencius => self.sim.actor::<MenciusReplica>(r).snap_stats(),
-            };
-            total.absorb(&s);
+            total.absorb(&replica_snap_stats(&self.sim, self.protocol, r));
         }
         total
     }
@@ -347,17 +442,7 @@ impl Cluster {
     pub fn pipeline_stats(&self) -> PipelineStats {
         let mut total = PipelineStats::default();
         for &r in &self.replicas {
-            let s = match self.protocol {
-                ProtocolKind::MultiPaxos => self.sim.actor::<MultiPaxosReplica>(r).pipeline_stats(),
-                ProtocolKind::Raft => self.sim.actor::<RaftReplica>(r).pipeline_stats(),
-                ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => {
-                    self.sim.actor::<RaftStarReplica>(r).pipeline_stats()
-                }
-                ProtocolKind::RaftStarMencius => {
-                    self.sim.actor::<MenciusReplica>(r).pipeline_stats()
-                }
-            };
-            total.absorb(&s);
+            total.absorb(&replica_pipeline_stats(&self.sim, self.protocol, r));
         }
         total
     }

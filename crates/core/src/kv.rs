@@ -126,6 +126,14 @@ pub enum Reply {
     Done,
     /// A `Get` returned the stored value (or `None` if unset).
     Value(Option<Vec<u8>>),
+    /// The command's key is owned by another replica group (sharded
+    /// clusters only): the client should retry against the named group.
+    /// Sent *before* replication, so it never enters a session table.
+    WrongGroup {
+        /// The group that owns the command's key under the replier's
+        /// partition map.
+        group: u32,
+    },
 }
 
 impl Reply {
@@ -145,6 +153,7 @@ impl Reply {
         match self {
             Reply::Done => 1,
             Reply::Value(v) => 1 + v.as_ref().map_or(0, |b| b.len()),
+            Reply::WrongGroup { .. } => 5,
         }
     }
 }

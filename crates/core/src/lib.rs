@@ -23,7 +23,8 @@
 //! All replicas are [`paxraft_sim::sim::Actor`]s over a shared [`msg::Msg`]
 //! type, driven by the deterministic simulator. The [`harness`] module
 //! assembles geo-replicated clusters with closed-loop clients and collects
-//! the paper's metrics.
+//! the paper's metrics; [`shard`] scales past one leader's CPU by running
+//! many engine groups per node with key-range routing.
 
 pub mod client;
 pub mod config;
@@ -40,6 +41,7 @@ pub mod probe;
 pub mod raft;
 pub mod raftstar;
 pub mod replicate;
+pub mod shard;
 pub mod snapshot;
 pub mod types;
 

@@ -44,7 +44,7 @@ use crate::engine::{EngineCore, ProtocolRules, ReplicaEngine, T_COORD};
 use crate::kv::{Command, Key, Op};
 use crate::msg::{EngineMsg, MenciusMsg, Msg};
 use crate::snapshot::Snapshot;
-use crate::types::{max_failures, node_of, NodeId, Slot, Term};
+use crate::types::{max_failures, NodeId, Slot, Term};
 
 /// Per-slot state.
 #[derive(Debug, Clone, Default)]
@@ -672,7 +672,7 @@ impl MenciusRules {
         from: ActorId,
         msg: MenciusMsg,
     ) {
-        let peer = node_of(from);
+        let peer = core.cfg.node_of(from);
         self.last_heard[peer.0 as usize] = ctx.now();
         match msg {
             MenciusMsg::Suggest {
@@ -1060,7 +1060,7 @@ impl ProtocolRules for MenciusRules {
     ) -> bool {
         // Multi-leader transfers are ballot-free; any peer may ship us
         // its state. The chunk doubles as a liveness signal.
-        self.last_heard[node_of(from).0 as usize] = ctx.now();
+        self.last_heard[_core.cfg.node_of(from).0 as usize] = ctx.now();
         true
     }
 
@@ -1100,6 +1100,7 @@ impl ProtocolRules for MenciusRules {
         ctx.send(
             from,
             Msg::Engine(EngineMsg::SnapshotAck {
+                group: core.cfg.group_id(),
                 seal: Term::ZERO,
                 upto: self.exec_index,
                 header_bytes: core.snap_wire.1,
@@ -1115,7 +1116,7 @@ impl ProtocolRules for MenciusRules {
         _seal: Term,
         upto: Slot,
     ) {
-        let peer = node_of(from);
+        let peer = core.cfg.node_of(from);
         self.last_heard[peer.0 as usize] = ctx.now();
         core.snap_send.finish(peer.0 as usize);
         self.note_known(core, peer, upto.next());

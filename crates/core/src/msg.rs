@@ -43,6 +43,16 @@ pub enum EngineMsg {
     /// Follower-to-leader client-request forwarding (etcd-style batching;
     /// Section 5 "Implementation").
     Forward {
+        /// Replica-group id this batch belongs to. In a sharded cluster
+        /// every engine-level message carries its group so forwarding
+        /// traffic stays group-isolated even if a routing table is
+        /// stale; unsharded clusters always stamp group `0`.
+        group: u32,
+        /// Wire-header bytes of this Forward's spelling: `8` for the
+        /// unsharded format, `8 +` the group-header surcharge
+        /// ([`crate::costs::CostModel::shard_group_header`]) once a
+        /// cluster runs more than one group and the id must travel.
+        header_bytes: usize,
         /// The batched commands.
         cmds: Vec<Command>,
     },
@@ -50,6 +60,9 @@ pub enum EngineMsg {
     /// prefix fell behind the sender's compaction floor (see
     /// [`crate::snapshot`]).
     SnapshotChunk {
+        /// Replica-group id of the transfer (group-isolation guard; see
+        /// [`EngineMsg::Forward::group`]).
+        group: u32,
         /// Sender's term/ballot; receivers gate stale transfers on it.
         seal: Term,
         /// Last log slot / instance covered by the snapshot.
@@ -73,6 +86,8 @@ pub enum EngineMsg {
     /// Acknowledges a fully installed snapshot; senders treat it like an
     /// acknowledgement at `upto` and resume normal replication.
     SnapshotAck {
+        /// Replica-group id of the transfer being acknowledged.
+        group: u32,
         /// Echoed term/ballot.
         seal: Term,
         /// The applied prefix the responder's state now covers.
@@ -133,6 +148,11 @@ pub enum PaxosMsg {
         ballot: Term,
         /// `(instance, value)` pairs.
         items: Vec<(Slot, Command)>,
+        /// Whether the proposer's replication pipeline has window room
+        /// for a quorum (piggybacked occupancy hint; the Paxos spelling
+        /// of [`RaftMsg::Append::window_room`]). Rides in a reserved
+        /// header byte — no wire cost.
+        window_room: bool,
     },
     /// Phase2b reply: `<"acceptOK", instance, ballot>` (batched).
     AcceptOk {
@@ -189,6 +209,12 @@ pub enum RaftMsg {
         entries: Vec<Entry>,
         /// Leader's commit index.
         commit: Slot,
+        /// Whether the leader's replication pipeline currently has window
+        /// room for a quorum — piggybacked so followers can cut forward
+        /// batches eagerly while the leader can absorb them (the
+        /// follower-side face of the adaptive batch cutter). Rides in a
+        /// reserved header byte, so it adds no wire cost.
+        window_room: bool,
     },
     /// `<"appendOK", term, lastIndex[, holders]>`; `holders` is the
     /// Raft*-PQL addition (Figure 8: lease holders granted by the sender).
@@ -330,9 +356,9 @@ impl Payload for Msg {
                 ClientMsg::Response { reply, .. } => 20 + reply.size_bytes(),
             },
             Msg::Engine(m) => match m {
-                EngineMsg::Forward { cmds } => {
-                    8 + cmds.iter().map(Command::size_bytes).sum::<usize>()
-                }
+                EngineMsg::Forward {
+                    header_bytes, cmds, ..
+                } => header_bytes + cmds.iter().map(Command::size_bytes).sum::<usize>(),
                 EngineMsg::SnapshotChunk {
                     header_bytes, data, ..
                 } => header_bytes + data.len(),
@@ -405,6 +431,7 @@ mod tests {
                 cmd: cmd(8),
             }],
             commit: Slot(0),
+            window_room: true,
         });
         let big = Msg::Raft(RaftMsg::Append {
             term: Term(1),
@@ -416,6 +443,7 @@ mod tests {
                 cmd: cmd(4096),
             }],
             commit: Slot(0),
+            window_room: true,
         });
         assert!(big.size_bytes() - small.size_bytes() >= 4096 - 8);
     }
@@ -466,6 +494,7 @@ mod tests {
     fn snapshot_chunk_sizes_dominated_by_payload() {
         let chunk = vec![0u8; 64 * 1024];
         let m = Msg::Engine(EngineMsg::SnapshotChunk {
+            group: 0,
             seal: Term(3),
             last_slot: Slot(100),
             last_term: Term(3),
@@ -477,6 +506,7 @@ mod tests {
         assert!(m.size_bytes() >= 64 * 1024);
         assert!(
             Msg::Engine(EngineMsg::SnapshotAck {
+                group: 0,
                 seal: Term(3),
                 upto: Slot(100),
                 header_bytes: 16,
@@ -493,6 +523,7 @@ mod tests {
         // preserves that distinction through `header_bytes`.
         let chunk = |header_bytes| {
             Msg::Engine(EngineMsg::SnapshotChunk {
+                group: 0,
                 seal: Term(3),
                 last_slot: Slot(100),
                 last_term: Term(3),
@@ -506,6 +537,7 @@ mod tests {
         assert_eq!(chunk(48) - chunk(40), 8, "InstallSnapshot vs Checkpoint");
         let ack = |header_bytes| {
             Msg::Engine(EngineMsg::SnapshotAck {
+                group: 0,
                 seal: Term(3),
                 upto: Slot(100),
                 header_bytes,
@@ -521,11 +553,28 @@ mod tests {
         let one = Msg::Paxos(PaxosMsg::Accept {
             ballot: Term(1),
             items: vec![(Slot(1), cmd(8))],
+            window_room: true,
         });
         let two = Msg::Paxos(PaxosMsg::Accept {
             ballot: Term(1),
             items: vec![(Slot(1), cmd(8)), (Slot(2), cmd(8))],
+            window_room: true,
         });
         assert!(two.size_bytes() > one.size_bytes());
+    }
+
+    #[test]
+    fn forward_wire_size_pays_group_header_only_when_stamped() {
+        let fwd = |header_bytes| {
+            Msg::Engine(EngineMsg::Forward {
+                group: 1,
+                header_bytes,
+                cmds: vec![cmd(8)],
+            })
+            .size_bytes()
+        };
+        // Unsharded spelling (8) vs sharded spelling carrying the group
+        // id (8 + 4): the surcharge is exactly the group header.
+        assert_eq!(fwd(12) - fwd(8), 4);
     }
 }

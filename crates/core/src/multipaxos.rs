@@ -21,7 +21,7 @@ use crate::engine::{self, EngineCore, ProtocolRules, ReplicaEngine};
 use crate::kv::Command;
 use crate::msg::{EngineMsg, Msg, PaxosMsg};
 use crate::snapshot::Snapshot;
-use crate::types::{node_of, quorum, NodeId, Slot, Term};
+use crate::types::{quorum, NodeId, Slot, Term};
 
 /// One Paxos instance (Figure 1's `s.instances[i]`).
 #[derive(Debug, Clone)]
@@ -175,11 +175,13 @@ impl PaxosRules {
             core.pipe.on_sent(peer, upto, ctx.now());
             let cur = &mut self.accept_cursor[peer.0 as usize];
             *cur = (*cur).max(upto);
+            let window_room = core.pipe.quorum_has_room(core.cfg.id, core.cfg.n);
             ctx.send(
                 core.cfg.peer(peer),
                 Msg::Paxos(PaxosMsg::Accept {
                     ballot: self.ballot,
                     items: items.to_vec(),
+                    window_room,
                 }),
             );
         }
@@ -210,11 +212,13 @@ impl PaxosRules {
             Some(&(upto, _)) => {
                 self.accept_cursor[i] = if items.len() < 64 { highest } else { upto };
                 core.pipe.on_sent(peer, upto, ctx.now());
+                let window_room = core.pipe.quorum_has_room(core.cfg.id, core.cfg.n);
                 ctx.send(
                     core.cfg.peer(peer),
                     Msg::Paxos(PaxosMsg::Accept {
                         ballot: self.ballot,
                         items,
+                        window_room,
                     }),
                 );
             }
@@ -430,7 +434,7 @@ impl PaxosRules {
                         engine::ship_snapshot(
                             core,
                             ctx,
-                            node_of(from),
+                            core.cfg.node_of(from),
                             (self.exec_index, Term::ZERO),
                             self.ballot,
                         );
@@ -444,12 +448,16 @@ impl PaxosRules {
                 floor,
             } => {
                 if ballot == self.ballot && !self.phase1_succeeded {
-                    let node = node_of(from);
+                    let node = core.cfg.node_of(from);
                     self.prepare_acks.insert(node, (entries, log_tail, floor));
                     self.try_phase1_succeed(core, ctx);
                 }
             }
-            PaxosMsg::Accept { ballot, items } => {
+            PaxosMsg::Accept {
+                ballot,
+                items,
+                window_room,
+            } => {
                 // Figure 1 Phase2b.
                 if ballot >= self.ballot {
                     if ballot > self.ballot {
@@ -457,6 +465,7 @@ impl PaxosRules {
                         self.phase1_succeeded = false;
                     }
                     core.leader_hint = Some(ballot.owner(core.cfg.n));
+                    core.note_window_hint(window_room, ctx.now());
                     let bytes: usize = items.iter().map(|(_, c)| c.size_bytes()).sum();
                     ctx.charge(
                         core.cfg.costs.append_fixed
@@ -500,7 +509,7 @@ impl PaxosRules {
                         engine::ship_snapshot(
                             core,
                             ctx,
-                            node_of(from),
+                            core.cfg.node_of(from),
                             (self.exec_index, Term::ZERO),
                             self.ballot,
                         );
@@ -514,7 +523,7 @@ impl PaxosRules {
                 exec,
             } => {
                 // Figure 1 Learn.
-                let node = node_of(from);
+                let node = core.cfg.node_of(from);
                 if exec > self.acceptor_exec[node.0 as usize] {
                     self.acceptor_exec[node.0 as usize] = exec;
                 }
@@ -597,12 +606,16 @@ impl PaxosRules {
             .filter(|(_, i)| i.committed)
             .map(|(&s, _)| Slot(s))
             .collect();
+        // The heartbeat Accept doubles as the hint refresh: even an idle
+        // cluster re-teaches acceptors the proposer's window occupancy.
+        let window_room = core.pipe.quorum_has_room(core.cfg.id, core.cfg.n);
         self.broadcast(
             core,
             ctx,
             PaxosMsg::Accept {
                 ballot: self.ballot,
                 items: retransmit,
+                window_room,
             },
         );
         if !committed.is_empty() {
@@ -643,6 +656,7 @@ impl PaxosRules {
                 Msg::Paxos(PaxosMsg::Accept {
                     ballot: self.ballot,
                     items: replay,
+                    window_room,
                 }),
             );
             ctx.send(core.cfg.peer(peer), Msg::Paxos(PaxosMsg::Learn { slots }));
@@ -752,6 +766,7 @@ impl ProtocolRules for PaxosRules {
         ctx.send(
             from,
             Msg::Engine(EngineMsg::SnapshotAck {
+                group: core.cfg.group_id(),
                 seal: self.ballot,
                 upto: self.exec_index,
                 header_bytes: core.snap_wire.1,
@@ -767,7 +782,7 @@ impl ProtocolRules for PaxosRules {
         _seal: Term,
         upto: Slot,
     ) {
-        let node = node_of(from);
+        let node = core.cfg.node_of(from);
         core.snap_send.finish(node.0 as usize);
         if upto > self.acceptor_exec[node.0 as usize] {
             self.acceptor_exec[node.0 as usize] = upto;

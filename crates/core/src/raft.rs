@@ -35,7 +35,7 @@ use crate::kv::Command;
 use crate::log::{Entry, Log};
 use crate::msg::{Msg, RaftMsg};
 use crate::snapshot::{Snapshot, SnapshotStats};
-use crate::types::{max_failures, me_bit, node_of, quorum, Slot, Term};
+use crate::types::{max_failures, me_bit, quorum, Slot, Term};
 
 pub use crate::engine::raft_family::Role;
 
@@ -165,7 +165,7 @@ impl RaftRules {
                 if term > self.base.current_term {
                     self.base.step_down(core, term, ctx);
                 } else if term == self.base.current_term && granted {
-                    self.base.votes |= me_bit(node_of(from));
+                    self.base.votes |= me_bit(core.cfg.node_of(from));
                     self.try_become_leader(core, ctx);
                 }
             }
@@ -175,6 +175,7 @@ impl RaftRules {
                 prev_term,
                 entries,
                 commit,
+                window_room,
             } => {
                 if term < self.base.current_term {
                     ctx.send(
@@ -189,6 +190,7 @@ impl RaftRules {
                 self.base.current_term = term;
                 self.base.role = Role::Follower;
                 core.leader_hint = Some(term.owner(core.cfg.n));
+                core.note_window_hint(window_room, ctx.now());
                 self.base.arm_election(core, ctx);
                 let bytes: usize = entries.iter().map(Entry::size_bytes).sum();
                 ctx.charge(
@@ -267,7 +269,7 @@ impl RaftRules {
                     self.base.step_down(core, term, ctx);
                 } else if term == self.base.current_term && self.base.role == Role::Leader {
                     ctx.charge(core.cfg.costs.ack_process);
-                    let peer = node_of(from);
+                    let peer = core.cfg.node_of(from);
                     core.pipe.on_ack(peer, last_idx);
                     if self.base.repl.on_ack(peer, last_idx) {
                         self.advance_commit(core, ctx);
@@ -282,9 +284,10 @@ impl RaftRules {
                 } else if term == self.base.current_term && self.base.role == Role::Leader {
                     // Back off toward the follower's tail and re-probe;
                     // in-flight rounds to that follower are dead.
-                    self.base.repl.on_reject(node_of(from), last_idx);
-                    core.pipe.on_regress(node_of(from));
-                    self.base.send_append_to(core, ctx, node_of(from));
+                    let peer = core.cfg.node_of(from);
+                    self.base.repl.on_reject(peer, last_idx);
+                    core.pipe.on_regress(peer);
+                    self.base.send_append_to(core, ctx, peer);
                 }
             }
         }

@@ -41,7 +41,7 @@ use crate::log::{Entry, Log};
 use crate::msg::{LeaseMsg, Msg, RaftMsg};
 use crate::pql::LeaseManager;
 use crate::snapshot::{Snapshot, SnapshotStats};
-use crate::types::{max_failures, me_bit, node_of, quorum, NodeId, Slot, Term};
+use crate::types::{max_failures, me_bit, quorum, NodeId, Slot, Term};
 
 /// A Raft* replica, optionally running the ported PQL or LL read path:
 /// the shared engine running [`RaftStarRules`].
@@ -367,8 +367,9 @@ impl RaftStarRules {
                     && granted
                     && self.base.role == Role::Candidate
                 {
-                    self.base.votes |= me_bit(node_of(from));
-                    self.vote_extras.insert(node_of(from), (extra_start, extra));
+                    let voter = core.cfg.node_of(from);
+                    self.base.votes |= me_bit(voter);
+                    self.vote_extras.insert(voter, (extra_start, extra));
                     self.try_become_leader(core, ctx);
                 }
             }
@@ -378,6 +379,7 @@ impl RaftStarRules {
                 prev_term,
                 entries,
                 commit,
+                window_room,
             } => {
                 if term < self.base.current_term {
                     ctx.send(
@@ -392,6 +394,7 @@ impl RaftStarRules {
                 self.base.current_term = term;
                 self.base.role = Role::Follower;
                 core.leader_hint = Some(term.owner(core.cfg.n));
+                core.note_window_hint(window_room, ctx.now());
                 self.base.arm_election(core, ctx);
                 let bytes: usize = entries.iter().map(Entry::size_bytes).sum();
                 ctx.charge(
@@ -471,7 +474,7 @@ impl RaftStarRules {
                     self.base.step_down(core, term, ctx);
                 } else if term == self.base.current_term && self.base.role == Role::Leader {
                     ctx.charge(core.cfg.costs.ack_process);
-                    let peer = node_of(from);
+                    let peer = core.cfg.node_of(from);
                     self.reported_holders[peer.0 as usize] = holders;
                     core.pipe.on_ack(peer, last_idx);
                     // Advance on a match step — or on holder reports
@@ -486,15 +489,16 @@ impl RaftStarRules {
                 if term > self.base.current_term {
                     self.base.step_down(core, term, ctx);
                 } else if term == self.base.current_term && self.base.role == Role::Leader {
-                    self.base.repl.on_reject(node_of(from), last_idx);
+                    let peer = core.cfg.node_of(from);
+                    self.base.repl.on_reject(peer, last_idx);
                     // In-flight rounds to that follower are dead.
-                    core.pipe.on_regress(node_of(from));
+                    core.pipe.on_regress(peer);
                     // Back off for a prev mismatch; when the follower's
                     // log is simply longer than ours (the Raft* "no
                     // shrink" rule), wait for new appends instead of
                     // ping-ponging rejects.
                     if last_idx <= self.base.log.last_index() {
-                        self.base.send_append_to(core, ctx, node_of(from));
+                        self.base.send_append_to(core, ctx, peer);
                     }
                 }
             }
@@ -613,14 +617,14 @@ impl ProtocolRules for RaftStarRules {
                 if let Some(lease) = &mut self.lease {
                     ctx.charge(core.cfg.costs.lease_msg);
                     let t = paxraft_sim::time::SimTime::from_nanos(expires_ns);
-                    lease.on_grant(node_of(from), t, last_idx, ctx.now());
+                    lease.on_grant(core.cfg.node_of(from), t, last_idx, ctx.now());
                     ctx.send(from, Msg::Lease(LeaseMsg::GrantAck { expires_ns }));
                 }
             }
             Msg::Lease(LeaseMsg::GrantAck { expires_ns }) => {
                 if let Some(lease) = &mut self.lease {
                     let t = paxraft_sim::time::SimTime::from_nanos(expires_ns);
-                    lease.on_grant_ack(node_of(from), t);
+                    lease.on_grant_ack(core.cfg.node_of(from), t);
                 }
             }
             _ => {}

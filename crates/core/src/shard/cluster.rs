@@ -1,0 +1,719 @@
+//! The sharded cluster harness: `groups` independent replica groups
+//! over the same simulated nodes.
+
+use paxraft_sim::net::Region;
+use paxraft_sim::sim::{ActorId, Simulation};
+use paxraft_sim::time::SimDuration;
+use paxraft_workload::generator::{Generator, OpKind};
+use paxraft_workload::metrics::LatencyRecorder;
+
+use crate::client::{ClientRouting, WorkloadClient};
+use crate::engine::PipelineStats;
+use crate::harness::{
+    make_replica, replica_is_leader, replica_pipeline_stats, replica_responses, replica_snap_stats,
+    Cluster, ClusterBuilder, ProtocolKind, RunReport,
+};
+use crate::kv::{CmdId, Command, Op, Reply};
+use crate::msg::{ClientMsg, Msg};
+use crate::snapshot::SnapshotStats;
+use crate::types::NodeId;
+
+use super::{ShardMembership, ShardRouter};
+
+/// Where each group's leader bootstraps — the knob the Paxos/Raft
+/// leader-flexibility comparison turns on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaderPlacement {
+    /// Every group's leader starts on the builder's configured leader
+    /// node: one region absorbs all proposer traffic (each group is
+    /// still its own actor with its own CPU — the concentration is
+    /// geographic, not computational).
+    AllOnOne,
+    /// Group `g`'s leader starts on node `(leader + g) mod n`, spreading
+    /// proposers across regions so no single region is every client's
+    /// far endpoint.
+    RoundRobin,
+}
+
+impl LeaderPlacement {
+    /// The bootstrap leader of group `g` given the builder's base leader.
+    pub fn leader_of(self, base: NodeId, g: usize, n: usize) -> NodeId {
+        match self {
+            LeaderPlacement::AllOnOne => base,
+            LeaderPlacement::RoundRobin => NodeId((base.0 + g as u32) % n as u32),
+        }
+    }
+
+    /// Name used in benchmark row keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            LeaderPlacement::AllOnOne => "allonone",
+            LeaderPlacement::RoundRobin => "roundrobin",
+        }
+    }
+}
+
+/// Sharding parameters for [`ClusterBuilder::shard_config`].
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of replica groups (1 = unsharded behavior).
+    pub groups: usize,
+    /// Per-group leader bootstrap placement.
+    pub placement: LeaderPlacement,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            groups: 1,
+            placement: LeaderPlacement::AllOnOne,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// `groups` groups with the default placement.
+    pub fn groups(groups: usize) -> Self {
+        ShardConfig {
+            groups,
+            ..ShardConfig::default()
+        }
+    }
+
+    /// This configuration with the given leader placement.
+    pub fn placement(mut self, placement: LeaderPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+}
+
+/// Per-group counters from one sharded run.
+#[derive(Debug, Clone)]
+pub struct GroupStats {
+    /// Group id.
+    pub group: u32,
+    /// The group's bootstrap leader node.
+    pub leader: NodeId,
+    /// Client responses the group's replicas sent (commit-visible work;
+    /// a crashed group shows up as a flat count here).
+    pub responses: u64,
+    /// Snapshot/compaction counters summed over the group's replicas.
+    pub snapshots: SnapshotStats,
+    /// Pipeline counters summed over the group's replicas.
+    pub pipeline: PipelineStats,
+}
+
+/// A built sharded cluster: `groups × n` replica actors over `n`
+/// simulated nodes, plus per-region clients that route by key.
+pub struct ShardedCluster {
+    /// The underlying simulation (exposed for fault injection).
+    pub sim: Simulation<Msg>,
+    protocol: ProtocolKind,
+    /// `group_actors[g][i]` is node `i`'s actor in group `g`.
+    group_actors: Vec<Vec<ActorId>>,
+    clients: Vec<ActorId>,
+    regions: Vec<Region>,
+    leaders: Vec<NodeId>,
+    router: ShardRouter,
+    probe: Option<ActorId>,
+    probe_seq: u64,
+}
+
+impl ClusterBuilder {
+    /// Constructs a sharded cluster: `shard.groups` independent replica
+    /// groups over the same `n` simulated nodes (distinct actor per
+    /// `(node, group)`, one shared network/clock/fault injector), with
+    /// clients that resolve each key to its owning group.
+    ///
+    /// With `groups == 1` this reduces *exactly* to
+    /// [`ClusterBuilder::build`]'s actor layout, wire format and RNG
+    /// schedule, so a 1-group sharded run reproduces the unsharded
+    /// fixed-seed fingerprints bit for bit (pinned by a conformance
+    /// test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if region placement does not match the replica count.
+    pub fn build_sharded(self) -> ShardedCluster {
+        assert_eq!(self.regions.len(), self.replicas, "one region per replica");
+        let groups = self.shard.groups.max(1);
+        let n = self.replicas;
+        let mut sim = Simulation::new(self.net.clone(), self.seed);
+        let router = ShardRouter::from_workload(&self.workload, groups);
+        let client_base = groups * n;
+        let mut group_actors = Vec::with_capacity(groups);
+        let mut leaders = Vec::with_capacity(groups);
+        for g in 0..groups {
+            let peers: Vec<ActorId> = (g * n..(g + 1) * n).map(ActorId).collect();
+            let leader = self.shard.placement.leader_of(self.leader, g, n);
+            leaders.push(leader);
+            // A single-group cluster *is* the unsharded cluster: no
+            // membership means no routing header on the wire and no
+            // redirect checks, preserving the unsharded fingerprints.
+            let membership = (groups > 1).then(|| ShardMembership {
+                group: g as u32,
+                router: router.clone(),
+            });
+            let mut actors = Vec::with_capacity(n);
+            for i in 0..n {
+                let mut cfg = self.replica_config(
+                    NodeId(i as u32),
+                    peers.clone(),
+                    client_base,
+                    membership.clone(),
+                );
+                cfg.initial_leader = Some(leader);
+                actors.push(sim.add_actor(self.regions[i], make_replica(self.protocol, cfg)));
+            }
+            group_actors.push(actors);
+        }
+        // One workload client fleet per region, identical to the
+        // unsharded build (same RNG forks, same add order); each client
+        // routes per key over its region's member of every group.
+        let mut clients = Vec::new();
+        let mut rng = paxraft_sim::rng::SimRng::new(self.seed ^ 0xC11E57);
+        let mut workload = self.workload.clone();
+        workload.partitions = self.regions.len();
+        for (ri, &region) in self.regions.iter().enumerate() {
+            for _ in 0..self.clients_per_region {
+                let cid = clients.len() as u32;
+                let gen = Generator::new(workload.clone(), ri, rng.fork(cid as u64));
+                let mut wc = WorkloadClient::new(cid, group_actors[0][ri], gen);
+                wc.history_key = self.record_history_key;
+                if groups > 1 {
+                    wc.shard = Some(ClientRouting {
+                        router: router.clone(),
+                        targets: group_actors.iter().map(|ga| ga[ri]).collect(),
+                    });
+                }
+                let id = sim.add_actor(region, Box::new(wc));
+                clients.push(id);
+            }
+        }
+        ShardedCluster {
+            sim,
+            protocol: self.protocol,
+            group_actors,
+            clients,
+            regions: self.regions,
+            leaders,
+            router,
+            probe: None,
+            probe_seq: 0,
+        }
+    }
+}
+
+impl ShardedCluster {
+    /// Starts a builder (alias for [`Cluster::builder`]; finish with
+    /// [`ClusterBuilder::build_sharded`]).
+    pub fn builder(protocol: ProtocolKind) -> ClusterBuilder {
+        Cluster::builder(protocol)
+    }
+
+    /// The protocol under test.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.protocol
+    }
+
+    /// Number of replica groups.
+    pub fn num_groups(&self) -> usize {
+        self.group_actors.len()
+    }
+
+    /// The key-range partition map.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Group `g`'s replica actors, indexed by node.
+    pub fn group_replicas(&self, g: usize) -> &[ActorId] {
+        &self.group_actors[g]
+    }
+
+    /// The actor serving group `g` on node `node`.
+    pub fn replica(&self, g: usize, node: NodeId) -> ActorId {
+        self.group_actors[g][node.0 as usize]
+    }
+
+    /// Client actor ids.
+    pub fn clients(&self) -> &[ActorId] {
+        &self.clients
+    }
+
+    /// Each group's bootstrap leader node.
+    pub fn leaders(&self) -> &[NodeId] {
+        &self.leaders
+    }
+
+    /// Whether some replica of group `g` currently claims leadership.
+    pub fn group_has_leader(&self, g: usize) -> bool {
+        self.group_actors[g]
+            .iter()
+            .any(|&r| replica_is_leader(&self.sim, self.protocol, r))
+    }
+
+    /// Whether every group has a leader.
+    pub fn has_all_leaders(&self) -> bool {
+        (0..self.num_groups()).all(|g| self.group_has_leader(g))
+    }
+
+    /// Runs until every group has elected (and leases, if any, are live).
+    pub fn elect_leaders(&mut self) {
+        let deadline = self.sim.now() + SimDuration::from_secs(30);
+        while !self.has_all_leaders() && self.sim.now() < deadline {
+            self.sim.run_for(SimDuration::from_millis(50));
+        }
+        assert!(self.has_all_leaders(), "every group elects within 30s");
+        if matches!(
+            self.protocol,
+            ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease
+        ) {
+            self.sim.run_for(SimDuration::from_millis(700));
+        }
+    }
+
+    /// Per-group commit/snapshot/pipeline counters.
+    pub fn per_group_stats(&self) -> Vec<GroupStats> {
+        self.group_actors
+            .iter()
+            .enumerate()
+            .map(|(g, actors)| {
+                let mut snapshots = SnapshotStats::default();
+                let mut pipeline = PipelineStats::default();
+                let mut responses = 0;
+                for &r in actors {
+                    snapshots.absorb(&replica_snap_stats(&self.sim, self.protocol, r));
+                    pipeline.absorb(&replica_pipeline_stats(&self.sim, self.protocol, r));
+                    responses += replica_responses(&self.sim, self.protocol, r);
+                }
+                GroupStats {
+                    group: g as u32,
+                    leader: self.leaders[g],
+                    responses,
+                    snapshots,
+                    pipeline,
+                }
+            })
+            .collect()
+    }
+
+    /// Submits one operation through an internal probe client, routed to
+    /// the leader of the group owning the operation's key, and waits for
+    /// its reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if no reply arrives within 30 virtual seconds.
+    pub fn submit_and_wait(&mut self, op: Op) -> Result<Reply, String> {
+        use crate::probe::ProbeClient;
+        self.sim.start();
+        let pid = match self.probe {
+            Some(pid) => pid,
+            None => {
+                let region = self.regions[self.leaders[0].0 as usize];
+                let pid = self.sim.add_actor(region, Box::new(ProbeClient::default()));
+                self.probe = Some(pid);
+                pid
+            }
+        };
+        let replica_count = self.num_groups() * self.regions.len();
+        let client_index = (pid.0 - replica_count) as u32;
+        self.probe_seq += 1;
+        let id = CmdId {
+            client: client_index,
+            seq: self.probe_seq,
+        };
+        let cmd = Command { id, op };
+        let g = cmd.op.key().map_or(0, |k| self.router.group_of(k)) as usize;
+        // Target the owning group's configured leader unless it is
+        // crashed; fall back to the group's first live replica (its
+        // forwarding finds the actual leader).
+        let mut target = self.replica(g, self.leaders[g]);
+        if self.sim.is_crashed(target) {
+            target = *self.group_actors[g]
+                .iter()
+                .find(|&&r| !self.sim.is_crashed(r))
+                .expect("at least one live replica in the group");
+        }
+        {
+            let p = self.sim.actor_mut::<ProbeClient>(pid);
+            p.waiting = Some(id);
+            p.reply = None;
+            p.outbox = Some((target, Msg::Client(ClientMsg::Request { cmd })));
+        }
+        let deadline = self.sim.now() + SimDuration::from_secs(30);
+        while self.sim.now() < deadline {
+            self.sim.run_for(SimDuration::from_millis(20));
+            if let Some(r) = self.sim.actor::<ProbeClient>(pid).reply.clone() {
+                return Ok(r);
+            }
+        }
+        Err("probe timed out".into())
+    }
+
+    /// Runs `warmup + measure + cooldown`, aggregating completions from
+    /// every client exactly like [`Cluster::run_measurement`] — the
+    /// "leader region" latency split is anchored at group 0's leader —
+    /// and summing snapshot/pipeline counters over *all* groups.
+    pub fn run_measurement(
+        &mut self,
+        warmup: SimDuration,
+        measure: SimDuration,
+        cooldown: SimDuration,
+    ) -> RunReport {
+        self.sim.run_for(warmup);
+        let w_start = self.sim.now().as_nanos();
+        self.sim.run_for(measure);
+        let w_end = self.sim.now().as_nanos();
+        self.sim.run_for(cooldown);
+
+        let leader_region = self.regions[self.leaders[0].0 as usize];
+        let mut leader_reads = LatencyRecorder::new();
+        let mut follower_reads = LatencyRecorder::new();
+        let mut leader_writes = LatencyRecorder::new();
+        let mut follower_writes = LatencyRecorder::new();
+        let mut completed: u64 = 0;
+        let mut histories = Vec::new();
+        for &c in &self.clients {
+            let region = self.sim.region_of(c);
+            let is_leader_group = region == leader_region;
+            let client = self.sim.actor::<WorkloadClient>(c);
+            for comp in &client.completions {
+                if !(w_start..w_end).contains(&comp.at_ns) {
+                    continue;
+                }
+                completed += 1;
+                match (comp.kind, is_leader_group) {
+                    (OpKind::Read, true) => leader_reads.record_ns(comp.latency_ns),
+                    (OpKind::Read, false) => follower_reads.record_ns(comp.latency_ns),
+                    (OpKind::Write, true) => leader_writes.record_ns(comp.latency_ns),
+                    (OpKind::Write, false) => follower_writes.record_ns(comp.latency_ns),
+                }
+            }
+            histories.extend(client.history_records());
+        }
+        let per_group = self.per_group_stats();
+        let mut snapshots = SnapshotStats::default();
+        let mut pipeline = PipelineStats::default();
+        for gs in &per_group {
+            snapshots.absorb(&gs.snapshots);
+            pipeline.absorb(&gs.pipeline);
+        }
+        RunReport {
+            throughput_ops: completed as f64 / measure.as_secs_f64(),
+            leader_reads: leader_reads.paper_triple_ms(),
+            follower_reads: follower_reads.paper_triple_ms(),
+            leader_writes: leader_writes.paper_triple_ms(),
+            follower_writes: follower_writes.paper_triple_ms(),
+            histories,
+            snapshots,
+            pipeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotConfig;
+    use paxraft_sim::time::SimTime;
+    use paxraft_workload::generator::WorkloadConfig;
+
+    fn parity_workload() -> WorkloadConfig {
+        WorkloadConfig {
+            read_fraction: 0.5,
+            conflict_rate: 0.2,
+            ..Default::default()
+        }
+    }
+
+    fn report_fingerprint(r: &RunReport, now: SimTime) -> String {
+        format!(
+            "thr={:.6} lr={:?} fr={:?} lw={:?} fw={:?} snaps={:?} pipe={:?} now={}",
+            r.throughput_ops,
+            r.leader_reads,
+            r.follower_reads,
+            r.leader_writes,
+            r.follower_writes,
+            r.snapshots,
+            r.pipeline,
+            now
+        )
+    }
+
+    /// The acceptance gate for the sharding subsystem: a 1-group sharded
+    /// cluster must reproduce the unsharded fixed-seed fingerprints
+    /// bit for bit — same actor layout, same wire sizes, same RNG
+    /// schedule (the pinned PARITY file is the same configuration; the
+    /// parity example diff in CI covers unsharded-vs-pin, this test
+    /// covers sharded-vs-unsharded).
+    #[test]
+    fn one_group_sharded_run_matches_unsharded_bit_for_bit() {
+        for p in [
+            ProtocolKind::Raft,
+            ProtocolKind::MultiPaxos,
+            ProtocolKind::RaftStarMencius,
+        ] {
+            let build = || {
+                Cluster::builder(p)
+                    .clients_per_region(2)
+                    .workload(parity_workload())
+                    .seed(7)
+            };
+            let mut unsharded = build().build();
+            unsharded.elect_leader();
+            let ur = unsharded.run_measurement(
+                SimDuration::from_secs(2),
+                SimDuration::from_secs(5),
+                SimDuration::from_secs(1),
+            );
+            let mut sharded = build().shard_config(ShardConfig::groups(1)).build_sharded();
+            sharded.elect_leaders();
+            let sr = sharded.run_measurement(
+                SimDuration::from_secs(2),
+                SimDuration::from_secs(5),
+                SimDuration::from_secs(1),
+            );
+            assert_eq!(
+                report_fingerprint(&ur, unsharded.sim.now()),
+                report_fingerprint(&sr, sharded.sim.now()),
+                "{}: shards=1 is the unsharded cluster",
+                p.name()
+            );
+        }
+    }
+
+    /// Groups fail independently: crashing group 0's leader must not
+    /// disturb group 1's commits, and group 0 itself recovers by
+    /// re-election inside the group.
+    #[test]
+    fn leader_crash_in_one_group_does_not_disturb_the_other() {
+        for p in [
+            ProtocolKind::Raft,
+            ProtocolKind::RaftStar,
+            ProtocolKind::MultiPaxos,
+            ProtocolKind::RaftStarMencius,
+        ] {
+            let mut cluster = Cluster::builder(p)
+                .shard_config(ShardConfig::groups(2))
+                .seed(11)
+                .build_sharded();
+            cluster.elect_leaders();
+            let (g0_lo, _) = cluster.router().range(0);
+            let (g1_lo, _) = cluster.router().range(1);
+            // Both groups serve before the fault.
+            for key in [g0_lo, g1_lo] {
+                cluster
+                    .submit_and_wait(Op::Put {
+                        key,
+                        value: vec![0; 8],
+                    })
+                    .unwrap_or_else(|e| panic!("{}: pre-crash put({key}): {e}", p.name()));
+            }
+            // Crash group 0's leader *actor*; the same node's group-1
+            // actor keeps running (independent failure domains per
+            // group even on one machine).
+            let victim = cluster.replica(0, cluster.leaders()[0]);
+            cluster
+                .sim
+                .crash_at(victim, cluster.sim.now() + SimDuration::from_millis(1));
+            cluster.sim.run_for(SimDuration::from_millis(10));
+            let before = cluster.sim.now();
+            let r = cluster
+                .submit_and_wait(Op::Get { key: g1_lo })
+                .unwrap_or_else(|e| {
+                    panic!("{}: group 1 read during group 0 outage: {e}", p.name())
+                });
+            assert!(
+                matches!(r, Reply::Value(Some(_))),
+                "{}: group 1 still serves its committed state",
+                p.name()
+            );
+            let group1_latency = cluster.sim.now().since(before);
+            assert!(
+                group1_latency < SimDuration::from_secs(1),
+                "{}: group 1 commit undisturbed by group 0's election ({group1_latency})",
+                p.name()
+            );
+            // Group 0 recovers on its own (re-election or revocation).
+            cluster
+                .submit_and_wait(Op::Put {
+                    key: g0_lo,
+                    value: vec![1; 8],
+                })
+                .unwrap_or_else(|e| panic!("{}: group 0 post-crash put: {e}", p.name()));
+        }
+    }
+
+    /// A client whose partition map is stale (it believes everything
+    /// lives in group 0) is redirected by the replicas' map and still
+    /// completes every operation.
+    #[test]
+    fn stale_client_router_is_corrected_by_wrong_group_redirects() {
+        let mut cluster = Cluster::builder(ProtocolKind::Raft)
+            .shard_config(ShardConfig::groups(2))
+            .clients_per_region(1)
+            .workload(WorkloadConfig {
+                read_fraction: 0.0,
+                conflict_rate: 0.0,
+                ..Default::default()
+            })
+            .seed(3)
+            .build_sharded();
+        cluster.elect_leaders();
+        // Swap every client's router for a stale single-group map:
+        // all keys resolve to group 0, so half the traffic (group 1
+        // keys) is misrouted and must be redirected.
+        let stale = ShardRouter::new(WorkloadConfig::default().records, 1);
+        for &c in &cluster.clients().to_vec() {
+            let wc = cluster.sim.actor_mut::<WorkloadClient>(c);
+            let routing = wc.shard.as_mut().expect("sharded client has routing");
+            routing.router = stale.clone();
+        }
+        cluster.sim.run_for(SimDuration::from_secs(5));
+        let mut redirects = 0;
+        let mut completions = 0;
+        for &c in cluster.clients() {
+            let wc = cluster.sim.actor::<WorkloadClient>(c);
+            redirects += wc.redirects;
+            completions += wc.completions.len();
+        }
+        assert!(
+            redirects > 0,
+            "misrouted commands were redirected ({redirects})"
+        );
+        // Redirects are counted apart from commit-visible responses:
+        // every group-0 replica answered misroutes without inflating its
+        // response counter by them.
+        let mut replica_redirects = 0;
+        for node in 0..5u32 {
+            let rep = cluster
+                .sim
+                .actor::<crate::raft::RaftReplica>(cluster.replica(0, NodeId(node)));
+            replica_redirects += rep.core.redirects_sent;
+        }
+        assert_eq!(
+            replica_redirects, redirects,
+            "replica redirect counters match the clients' view"
+        );
+        assert!(
+            completions > 10,
+            "clients completed operations despite the stale map ({completions})"
+        );
+        // The redirect happened *before* replication: no group ever
+        // applied a foreign key.
+        for g in 0..2 {
+            let (lo, hi) = cluster.router().range(g);
+            for node in 0..5u32 {
+                let rep = cluster
+                    .sim
+                    .actor::<crate::raft::RaftReplica>(cluster.replica(g, NodeId(node)));
+                for (k, _) in rep.kv().snapshot().table.iter() {
+                    assert!(
+                        (lo..hi).contains(k),
+                        "group {g} applied only its own keys (found {k})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Snapshot catch-up stays inside one group of a sharded cluster: a
+    /// lagging replica of group 0 is healed by a group-0 snapshot while
+    /// the co-located group-1 actor never sees a transfer.
+    #[test]
+    fn snapshot_catch_up_is_group_local() {
+        let mut cluster = Cluster::builder(ProtocolKind::Raft)
+            .replicas(3)
+            .regions(vec![Region::Oregon, Region::Ohio, Region::Ireland])
+            .shard_config(ShardConfig::groups(2))
+            .snapshot_config(SnapshotConfig::every(16))
+            .seed(5)
+            .build_sharded();
+        cluster.elect_leaders();
+        let (g0_lo, _) = cluster.router().range(0);
+        let (g1_lo, _) = cluster.router().range(1);
+        // Warm-up commit (also materializes the probe actor, so the
+        // partition vector below covers every actor in the sim).
+        cluster
+            .submit_and_wait(Op::Put {
+                key: g0_lo,
+                value: vec![0; 8],
+            })
+            .expect("warm-up put");
+        // Cut off group 0's replica on node 2 only; node 2's group-1
+        // actor, the other replicas and the probe stay connected
+        // (partition groups are per *actor*).
+        let victim = cluster.replica(0, NodeId(2));
+        let mut partition = vec![0u32; cluster.sim.len()];
+        partition[victim.0] = 1;
+        cluster
+            .sim
+            .partition_at(partition, cluster.sim.now() + SimDuration::from_millis(1));
+        // Commit far past the compaction threshold in BOTH groups.
+        for i in 0..40 {
+            for key in [g0_lo + i, g1_lo + i] {
+                cluster
+                    .submit_and_wait(Op::Put {
+                        key,
+                        value: vec![0; 8],
+                    })
+                    .expect("puts commit under the single-actor partition");
+            }
+        }
+        cluster
+            .sim
+            .heal_at(cluster.sim.now() + SimDuration::from_millis(1));
+        cluster.sim.run_for(SimDuration::from_secs(20));
+        let stats = cluster.per_group_stats();
+        assert!(
+            stats[0].snapshots.compactions >= 1,
+            "group 0 compacted ({:?})",
+            stats[0].snapshots
+        );
+        assert!(
+            stats[0].snapshots.snapshots_installed >= 1,
+            "lagging group-0 replica caught up via snapshot ({:?})",
+            stats[0].snapshots
+        );
+        assert_eq!(
+            stats[1].snapshots.snapshots_installed, 0,
+            "group 1 never needed (or saw) a transfer ({:?})",
+            stats[1].snapshots
+        );
+        let lagger = cluster.sim.actor::<crate::raft::RaftReplica>(victim);
+        assert!(
+            lagger.applied_index().0 + 16 >= 40,
+            "rejoined replica converged ({})",
+            lagger.applied_index()
+        );
+    }
+
+    /// The group id stamped on engine-level traffic is a hard isolation
+    /// guard: a Forward carrying another group's id is dropped before it
+    /// can enter the pending batch.
+    #[test]
+    fn cross_group_forward_is_dropped() {
+        let mut cluster = Cluster::builder(ProtocolKind::Raft)
+            .shard_config(ShardConfig::groups(2))
+            .seed(9)
+            .build_sharded();
+        cluster.elect_leaders();
+        let target = cluster.replica(0, cluster.leaders()[0]);
+        let cmd = Command::put(CmdId { client: 0, seq: 1 }, 1, vec![0; 8]);
+        cluster.sim.send_external(
+            target,
+            Msg::Engine(crate::msg::EngineMsg::Forward {
+                group: 1,
+                header_bytes: 12,
+                cmds: vec![cmd],
+            }),
+            SimDuration::ZERO,
+        );
+        cluster.sim.run_for(SimDuration::from_millis(50));
+        let rep = cluster.sim.actor::<crate::raft::RaftReplica>(target);
+        assert_eq!(rep.core.cross_group_dropped, 1, "foreign Forward dropped");
+        assert!(rep.core.pending.is_empty(), "nothing buffered from it");
+    }
+}

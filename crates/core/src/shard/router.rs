@@ -1,0 +1,160 @@
+//! The key-range partition map shared by clients and replicas.
+
+use crate::kv::{Key, Op};
+use paxraft_workload::generator::{contiguous_split, WorkloadConfig};
+
+/// A contiguous key-range partition of the record space over `groups`
+/// replica groups.
+///
+/// The split mirrors [`WorkloadConfig::partition_range`]: key `0` (the
+/// hot record) belongs to group `0`, keys `1..records` are divided into
+/// `groups` contiguous ranges with the last group absorbing the
+/// remainder. Routers are cheap to clone and compare, so every client
+/// and every replica can carry one; two routers built from the same
+/// `(records, groups)` agree everywhere, and a *stale* router (built for
+/// a different group count) is exactly what the
+/// [`crate::kv::Reply::WrongGroup`] redirect handles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRouter {
+    records: u64,
+    /// `starts[g]` is the first key of group `g`'s range (group 0 also
+    /// owns the hot key below `starts[0]`).
+    starts: Vec<u64>,
+}
+
+impl ShardRouter {
+    /// A router splitting `records` keys over `groups` groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `groups` is zero or exceeds the non-hot key count.
+    pub fn new(records: u64, groups: usize) -> Self {
+        assert!(groups > 0, "at least one group");
+        assert!(
+            records > groups as u64,
+            "records {records} must exceed groups {groups}"
+        );
+        // The generator's split arithmetic, so routing and key
+        // generation can never drift apart.
+        let starts = (0..groups)
+            .map(|g| contiguous_split(records, groups, g).0)
+            .collect();
+        ShardRouter { records, starts }
+    }
+
+    /// A router matching a workload's key space.
+    pub fn from_workload(w: &WorkloadConfig, groups: usize) -> Self {
+        ShardRouter::new(w.records, groups)
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The group owning `key`.
+    pub fn group_of(&self, key: Key) -> u32 {
+        // Hot key 0 lives in group 0; otherwise the last range whose
+        // start is at or below the key.
+        match self.starts.partition_point(|&s| s <= key) {
+            0 => 0,
+            g => (g - 1) as u32,
+        }
+    }
+
+    /// Inclusive-exclusive key range of group `g` (the hot key rides in
+    /// group 0 but is not part of any range).
+    pub fn range(&self, g: usize) -> (u64, u64) {
+        assert!(g < self.groups(), "group out of range");
+        let end = self.starts.get(g + 1).copied().unwrap_or(self.records);
+        (self.starts[g], end)
+    }
+}
+
+/// One replica's view of the partition map: which group it serves and
+/// how keys map to groups, used to answer misrouted commands.
+#[derive(Debug, Clone)]
+pub struct ShardMembership {
+    /// The group this replica belongs to.
+    pub group: u32,
+    /// The partition map.
+    pub router: ShardRouter,
+}
+
+impl ShardMembership {
+    /// When `op`'s key belongs to another group, the owning group (the
+    /// redirect target). Key-less operations (no-ops) are never
+    /// misrouted.
+    pub fn misrouted(&self, op: &Op) -> Option<u32> {
+        let key = op.key()?;
+        let owner = self.router.group_of(key);
+        (owner != self.group).then_some(owner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_group_owns_everything() {
+        let r = ShardRouter::new(100_000, 1);
+        assert_eq!(r.group_of(0), 0);
+        assert_eq!(r.group_of(1), 0);
+        assert_eq!(r.group_of(99_999), 0);
+        assert_eq!(r.range(0), (1, 100_000));
+    }
+
+    #[test]
+    fn ranges_are_contiguous_and_cover_the_keyspace() {
+        for groups in [1usize, 2, 3, 4, 7] {
+            let r = ShardRouter::new(100_000, groups);
+            let mut expect = 1;
+            for g in 0..groups {
+                let (lo, hi) = r.range(g);
+                assert_eq!(lo, expect, "{groups} groups: group {g} contiguous");
+                assert!(hi > lo);
+                expect = hi;
+            }
+            assert_eq!(expect, 100_000, "{groups} groups cover all keys");
+        }
+    }
+
+    #[test]
+    fn group_of_agrees_with_ranges() {
+        let r = ShardRouter::new(1_000, 4);
+        for g in 0..4 {
+            let (lo, hi) = r.range(g);
+            assert_eq!(r.group_of(lo), g as u32);
+            assert_eq!(r.group_of(hi - 1), g as u32);
+        }
+        assert_eq!(r.group_of(0), 0, "hot key rides in group 0");
+    }
+
+    #[test]
+    fn mirrors_workload_partition_arithmetic() {
+        // With groups == partitions the router must reproduce the
+        // generator's per-region split exactly.
+        let w = WorkloadConfig::default();
+        let r = ShardRouter::from_workload(&w, w.partitions);
+        for p in 0..w.partitions {
+            assert_eq!(r.range(p), w.partition_range(p), "partition {p}");
+        }
+    }
+
+    #[test]
+    fn membership_flags_only_foreign_keys() {
+        let router = ShardRouter::new(1_000, 2);
+        let m = ShardMembership { group: 0, router };
+        let (lo1, _) = m.router.range(1);
+        assert_eq!(m.misrouted(&Op::Get { key: 1 }), None);
+        assert_eq!(m.misrouted(&Op::Get { key: lo1 }), Some(1));
+        assert_eq!(m.misrouted(&Op::Noop), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn zero_groups_rejected() {
+        let _ = ShardRouter::new(100, 0);
+    }
+}

@@ -139,6 +139,9 @@ impl Snapshot {
                     out.extend_from_slice(&(v.len() as u32).to_le_bytes());
                     out.extend_from_slice(v);
                 }
+                // Redirects are sent before replication and never enter
+                // a session table, so they cannot appear in a snapshot.
+                Reply::WrongGroup { .. } => unreachable!("redirects are never session replies"),
             }
         }
         debug_assert_eq!(out.len(), self.size_bytes(), "size model matches encoding");

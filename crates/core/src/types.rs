@@ -6,8 +6,6 @@
 
 use std::fmt;
 
-use paxraft_sim::sim::ActorId;
-
 /// A replica identifier, `0..n`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub u32);
@@ -96,12 +94,6 @@ impl fmt::Display for Slot {
     }
 }
 
-/// The replica behind a peer actor. Replica actors are created first in
-/// every harness, so `ActorId(i) == NodeId(i)` by construction.
-pub fn node_of(from: ActorId) -> NodeId {
-    NodeId(from.0 as u32)
-}
-
 /// The quorum-bitmap bit of a replica (acknowledgement and vote sets are
 /// `u64` bitmaps indexed by node id).
 pub fn me_bit(id: NodeId) -> u64 {
@@ -178,8 +170,7 @@ mod tests {
     }
 
     #[test]
-    fn node_of_and_me_bit() {
-        assert_eq!(node_of(ActorId(3)), NodeId(3));
+    fn me_bit_indexes_quorum_bitmaps() {
         assert_eq!(me_bit(NodeId(0)), 1);
         assert_eq!(me_bit(NodeId(5)), 32);
     }

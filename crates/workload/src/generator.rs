@@ -12,6 +12,28 @@ use paxraft_sim::rng::SimRng;
 /// The popular record all conflicting operations touch.
 pub const HOT_KEY: u64 = 0;
 
+/// Inclusive-exclusive key range of slice `idx` when keys `1..records`
+/// are split contiguously into `parts` slices (key 0 is reserved for
+/// the hot record; the last slice absorbs the remainder).
+///
+/// This is the single arithmetic behind both the per-region
+/// [`WorkloadConfig::partition_range`] and the sharding subsystem's
+/// per-group key ranges, so clients, replicas and the generator always
+/// agree on who owns a key.
+pub fn contiguous_split(records: u64, parts: usize, idx: usize) -> (u64, u64) {
+    assert!(parts > 0, "at least one slice");
+    assert!(idx < parts, "slice out of range");
+    let usable = records - 1; // key 0 reserved for the hot record
+    let per = usable / parts as u64;
+    let start = 1 + idx as u64 * per;
+    let end = if idx == parts - 1 {
+        records
+    } else {
+        start + per
+    };
+    (start, end)
+}
+
 /// Read or write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
@@ -96,16 +118,15 @@ impl WorkloadConfig {
     /// Key 0 is the hot key; partition ranges start at 1 so that
     /// non-conflicting traffic never touches the popular record.
     pub fn partition_range(&self, p: usize) -> (u64, u64) {
-        assert!(p < self.partitions, "partition out of range");
-        let usable = self.records - 1; // key 0 reserved for the hot record
-        let per = usable / self.partitions as u64;
-        let start = 1 + p as u64 * per;
-        let end = if p == self.partitions - 1 {
-            self.records
-        } else {
-            start + per
-        };
-        (start, end)
+        contiguous_split(self.records, self.partitions, p)
+    }
+
+    /// Inclusive-exclusive key range of replica group `g` when this
+    /// workload's key space is sharded over `groups` groups — the same
+    /// contiguous split the per-region partitioning uses, so a sharded
+    /// cluster's router and the generator stay in lockstep.
+    pub fn group_range(&self, groups: usize, g: usize) -> (u64, u64) {
+        contiguous_split(self.records, groups, g)
     }
 }
 
@@ -226,6 +247,22 @@ mod tests {
         }
         assert_eq!(covered, cfg.records - 1, "all non-hot keys covered");
         assert_eq!(prev_end, cfg.records);
+    }
+
+    #[test]
+    fn group_ranges_cover_keyspace_for_any_group_count() {
+        let cfg = WorkloadConfig::default();
+        for groups in [1usize, 2, 4, 8] {
+            let mut prev_end = 1;
+            for g in 0..groups {
+                let (lo, hi) = cfg.group_range(groups, g);
+                assert_eq!(lo, prev_end, "{groups} groups: group {g} contiguous");
+                prev_end = hi;
+            }
+            assert_eq!(prev_end, cfg.records, "{groups} groups cover all keys");
+        }
+        // One group over the whole space degenerates to "everything".
+        assert_eq!(cfg.group_range(1, 0), (1, cfg.records));
     }
 
     #[test]
