@@ -253,14 +253,13 @@ fn bench_pipeline_sweep(rep: &mut Reporter) {
         println!("{name:<55} {ms:>10.3} ms (virtual)");
         rep.rows.push((name, ms));
     }
-    // Follower-side adaptive forwarding: same far-follower serial run,
-    // but the leader's piggybacked occupancy hint lets the follower skip
-    // the batch delay before forwarding — compare against the depth-8
-    // follower-region row above (ROADMAP's
-    // `pipeline_depth*_follower_region` gap).
+    // Follower-side adaptive forwarding is on by default since PR 5;
+    // this row re-measures the old default (hints off) so the pair
+    // documents what the flip buys on the far-follower forward path
+    // (the ~2 ms batch delay per commit).
     {
-        let ms = serial_100(PipelineConfig::default().with_follower_hints(), 4);
-        let name = "pipeline_depth8_hints_100_commits_follower_region_virtual_ms".to_string();
+        let ms = serial_100(PipelineConfig::default().without_follower_hints(), 4);
+        let name = "pipeline_depth8_nohints_100_commits_follower_region_virtual_ms".to_string();
         println!("{name:<55} {ms:>10.3} ms (virtual)");
         rep.rows.push((name, ms));
     }
@@ -383,15 +382,131 @@ fn bench_payload_4kb(rep: &mut Reporter) {
         r.throughput_ops
     };
     // batch_max swept in the timer-batched regime (depth 0) where it
-    // actually binds; under depth-8 eager cutting batches rarely grow,
-    // which is itself the finding the depth-8 row documents: when bytes
-    // saturate the NIC, per-command eager rounds pay per-message
-    // overhead that batching would amortize (see ROADMAP).
+    // actually binds; the depth-8 row now runs with the NIC-aware
+    // cutter (on by default since PR 5): once the egress backlog
+    // crosses a quarter of the batch delay the cutter stops cutting
+    // eagerly and accumulates, recovering about a third of the ~9%
+    // that per-command eager rounds lost to per-message overhead on a
+    // saturated NIC (the PR 4 finding; the residual gap comes from the
+    // per-peer window gating itself — see ROADMAP).
     for (depth, batch_max) in [(0usize, 8usize), (0, 64), (0, 256), (8, 64)] {
         let ops = run(depth, batch_max);
         let name = format!("payload_4kb_depth{depth}_batchmax{batch_max}_ops_per_sec");
         println!("{name:<55} {ops:>10.1} ops/s (virtual)");
         rep.rows.push((name, ops));
+    }
+    // Regression row: the same depth-8 run with NIC-aware cutting
+    // forced off reproduces the PR 4 loss, pinning what the new cutter
+    // buys.
+    {
+        let mut cluster = Cluster::builder(ProtocolKind::RaftStar)
+            .clients_per_region(10)
+            .workload(w.clone())
+            .seed(42)
+            .net(net.clone())
+            .batch_max(64)
+            .pipeline_config(PipelineConfig::depth(8).without_nic_aware_cutting())
+            .build();
+        cluster.elect_leader();
+        let r = cluster.run_measurement(
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(1),
+        );
+        let name = "payload_4kb_depth8_nicoff_ops_per_sec".to_string();
+        println!("{name:<55} {:>10.1} ops/s (virtual)", r.throughput_ops);
+        rep.rows.push((name, r.throughput_ops));
+    }
+}
+
+/// Live-rebalancing sweep (the PR 5 demonstration): fixed-seed
+/// closed-loop throughput of a 2-group cluster through a scripted merge
+/// (group 1's range into group 0 — manufacturing the hot-range regime
+/// where one leader absorbs the whole keyspace) and the subsequent split
+/// back out, for both protocol families. CPU costs scaled 200× as in the
+/// shard sweep so the leader CPU is the bottleneck; virtual-clock rows,
+/// deterministic for the fixed seed. `during` overlaps the merge's
+/// freeze/transfer/install window — the price of migrating under load —
+/// and `postsplit` shows the split restoring the balanced ceiling.
+fn bench_rebalance_sweep(rep: &mut Reporter) {
+    use paxraft_core::costs::CostModel;
+    use paxraft_core::harness::{Cluster, ProtocolKind};
+    use paxraft_core::shard::{MigrationSpec, RebalanceConfig, ShardConfig, ShardRouter};
+    use paxraft_sim::time::SimDuration;
+    use paxraft_workload::generator::WorkloadConfig;
+
+    let w = WorkloadConfig {
+        read_fraction: 0.5,
+        conflict_rate: 0.0,
+        ..Default::default()
+    };
+    let router = ShardRouter::new(w.records, 2);
+    let (lo1, hi1) = router.range(1);
+    for (pname, protocol) in [
+        ("raft", ProtocolKind::Raft),
+        ("multipaxos", ProtocolKind::MultiPaxos),
+    ] {
+        let mut cluster = Cluster::builder(protocol)
+            .clients_per_region(25)
+            .workload(w.clone())
+            .seed(42)
+            .costs(CostModel::default().scaled_cpu(200))
+            .shard_config(ShardConfig::groups(2))
+            .rebalance_config(
+                RebalanceConfig::default()
+                    .migrate(MigrationSpec {
+                        at: SimDuration::from_millis(5_500),
+                        lo: lo1,
+                        hi: hi1,
+                        to_group: 0,
+                    })
+                    .migrate(MigrationSpec {
+                        at: SimDuration::from_millis(10_500),
+                        lo: lo1,
+                        hi: hi1,
+                        to_group: 1,
+                    }),
+            )
+            .build_sharded();
+        cluster.elect_leaders();
+        let phases = [
+            (
+                "steady",
+                SimDuration::from_secs(2),
+                SimDuration::from_secs(3),
+                SimDuration::ZERO,
+            ),
+            (
+                "during",
+                SimDuration::ZERO,
+                SimDuration::from_secs(3),
+                SimDuration::ZERO,
+            ),
+            (
+                "merged",
+                SimDuration::ZERO,
+                SimDuration::from_secs(2),
+                SimDuration::from_millis(500),
+            ),
+            (
+                "postsplit",
+                SimDuration::from_millis(1_500),
+                SimDuration::from_secs(3),
+                SimDuration::ZERO,
+            ),
+        ];
+        for (phase, warmup, measure, cooldown) in phases {
+            let r = cluster.run_measurement(warmup, measure, cooldown);
+            let name = format!("rebalance_{pname}_{phase}_ops_per_sec");
+            println!("{name:<55} {:>10.1} ops/s (virtual)", r.throughput_ops);
+            rep.rows.push((name, r.throughput_ops));
+        }
+        cluster.run_until_rebalanced(SimDuration::from_secs(30));
+        assert_eq!(
+            cluster.migrations_completed(),
+            vec![1, 2],
+            "{pname}: both scripted migrations completed"
+        );
     }
 }
 
@@ -409,6 +524,7 @@ fn main() {
     bench_pipeline_sweep(rep);
     bench_shard_sweep(rep);
     bench_payload_4kb(rep);
+    bench_rebalance_sweep(rep);
     let path = std::env::var("BENCH_JSON_OUT").unwrap_or_else(|_| "BENCH.json".into());
     match rep.write_json(&path) {
         Ok(()) => println!("\nwrote {path}"),

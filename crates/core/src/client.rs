@@ -72,10 +72,29 @@ pub struct WorkloadClient {
     /// (`None` = unsharded, every operation goes to [`Self::target`]).
     pub shard: Option<ClientRouting>,
     /// Operations answered with [`Reply::WrongGroup`] and re-sent to the
-    /// owning group (stats; misrouting is expected only when the
-    /// client's partition map is stale).
+    /// owning group (stats; misrouting is expected when the client's
+    /// partition map is stale or a migration is in flight).
     pub redirects: u64,
+    /// Redirects *ignored* because the replier's map version was older
+    /// than the newest version this client has seen — waiting out a
+    /// replica that lags behind a migration instead of ping-ponging
+    /// (stats).
+    pub stale_redirects: u64,
+    /// Router updates adopted from the rebalance coordinator (stats).
+    pub router_updates: u64,
+    /// Highest partition-map version observed (own router or any
+    /// redirect). Redirects below this are stale repliers to be waited
+    /// out: during the freeze→install window the destination still
+    /// answers per the old map, and without the ratchet a client whose
+    /// own map predates the migration would bounce between the two
+    /// groups at RTT rate.
+    pub seen_version: u64,
 }
+
+/// Timer token for the regular send/retry poll tick.
+const T_POLL: u64 = 1;
+/// Timer token for the short stalled-redirect re-send.
+const T_STALL: u64 = 2;
 
 #[derive(Debug, Clone)]
 struct Inflight {
@@ -86,6 +105,11 @@ struct Inflight {
     dest: ActorId,
     sent: SimTime,
     first_sent: SimTime,
+    /// Set when a redirect was ignored as stale (the replier's map was
+    /// older than ours — it has not applied the move we know about
+    /// yet); the short stall timer re-sends instead of following the
+    /// redirect backwards.
+    stalled: bool,
 }
 
 impl WorkloadClient {
@@ -106,6 +130,9 @@ impl WorkloadClient {
             history: Vec::new(),
             shard: None,
             redirects: 0,
+            stale_redirects: 0,
+            router_updates: 0,
+            seen_version: 0,
         }
     }
 
@@ -137,6 +164,7 @@ impl WorkloadClient {
             dest,
             sent: ctx.now(),
             first_sent: ctx.now(),
+            stalled: false,
         });
         ctx.send(dest, Msg::Client(ClientMsg::Request { cmd }));
     }
@@ -176,6 +204,18 @@ impl Actor<Msg> for WorkloadClient {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<Msg>, _from: ActorId, msg: Msg) {
+        if let Msg::Client(ClientMsg::RouterUpdate { router }) = &msg {
+            // The rebalance coordinator published a bumped partition
+            // map; adopt it if it is newer than ours.
+            self.seen_version = self.seen_version.max(router.version());
+            if let Some(s) = &mut self.shard {
+                if router.version() > s.router.version() {
+                    s.router = router.clone();
+                    self.router_updates += 1;
+                }
+            }
+            return;
+        }
         let Msg::Client(ClientMsg::Response { id, reply }) = msg else {
             return;
         };
@@ -185,10 +225,32 @@ impl Actor<Msg> for WorkloadClient {
         if inflight.cmd.id != id {
             return; // stale response from a retry
         }
-        if let Reply::WrongGroup { group } = reply {
-            // The replica's partition map disagrees with ours: re-send
-            // to the group it named (latency keeps accruing from the
-            // first send — the misroute is part of the operation).
+        if let Reply::WrongGroup { group, version } = reply {
+            let my_version = self
+                .shard
+                .as_ref()
+                .map_or(0, |s| s.router.version())
+                .max(self.seen_version);
+            if version < my_version {
+                // The replier's map is older than the newest one we
+                // have seen: it has not applied the move yet (typically
+                // the destination of an in-flight migration that has
+                // not committed its install). Following the redirect
+                // would ping-pong between the two groups at RTT rate;
+                // hold the operation and re-send after a short stall.
+                self.stale_redirects += 1;
+                if let Some(inf) = &mut self.inflight {
+                    inf.stalled = true;
+                }
+                ctx.set_timer(SimDuration::from_millis(50), T_STALL);
+                return;
+            }
+            // The replica's partition map is at or ahead of everything
+            // we have seen: follow (and ratchet to) its version, and
+            // re-send to the group it named (latency keeps accruing
+            // from the first send — the misroute is part of the
+            // operation).
+            self.seen_version = self.seen_version.max(version);
             self.redirects += 1;
             let dest = self
                 .shard
@@ -199,6 +261,7 @@ impl Actor<Msg> for WorkloadClient {
             if let Some(inf) = &mut self.inflight {
                 inf.dest = dest;
                 inf.sent = ctx.now();
+                inf.stalled = false;
             }
             ctx.send(dest, Msg::Client(ClientMsg::Request { cmd }));
             return;
@@ -226,7 +289,40 @@ impl Actor<Msg> for WorkloadClient {
         self.send_next(ctx);
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<Msg>, _token: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<Msg>, token: u64) {
+        if token == T_STALL {
+            // Re-send an operation held back by a stale redirect. Use
+            // whichever routing knowledge is freshest: the client's own
+            // map if it is at the newest version seen, else the last
+            // followed redirect's target (`dest`) — a newer redirect
+            // taught us a move our map does not have yet. The replier
+            // catches up within a migration's install time, so short
+            // retries converge quickly.
+            if let Some(inflight) = &self.inflight {
+                if inflight.stalled {
+                    let cmd = inflight.cmd.clone();
+                    let own_map_fresh = self
+                        .shard
+                        .as_ref()
+                        .is_some_and(|s| s.router.version() >= self.seen_version);
+                    let dest = if own_map_fresh {
+                        self.shard
+                            .as_ref()
+                            .and_then(|s| s.target_for(inflight.key))
+                            .unwrap_or(inflight.dest)
+                    } else {
+                        inflight.dest
+                    };
+                    if let Some(inf) = &mut self.inflight {
+                        inf.dest = dest;
+                        inf.sent = ctx.now();
+                        inf.stalled = false;
+                    }
+                    ctx.send(dest, Msg::Client(ClientMsg::Request { cmd }));
+                }
+            }
+            return;
+        }
         match &self.inflight {
             None => self.send_next(ctx),
             Some(inflight) => {
@@ -241,7 +337,7 @@ impl Actor<Msg> for WorkloadClient {
                 }
             }
         }
-        ctx.set_timer(SimDuration::from_millis(500), 1);
+        ctx.set_timer(SimDuration::from_millis(500), T_POLL);
     }
 
     impl_actor_any!();

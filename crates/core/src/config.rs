@@ -151,6 +151,18 @@ impl ReplicaConfig {
         self.shard.as_ref().map_or(0, |s| s.group)
     }
 
+    /// Actor id of `node`'s replica in another `group` of the same
+    /// sharded cluster. Groups occupy contiguous actor-id blocks of `n`
+    /// in group order (`ShardedCluster`'s layout: group `g`'s node `i`
+    /// is actor `g * n + i`), so the hop is block arithmetic from this
+    /// replica's own peer table. Used by the range-migration transfer,
+    /// the only cross-group sender.
+    pub fn group_actor(&self, group: u32, node: NodeId) -> ActorId {
+        let offset = group as i64 - self.group_id() as i64;
+        let me = self.peers[node.0 as usize].0 as i64;
+        ActorId((me + offset * self.n as i64) as usize)
+    }
+
     /// Wire-header bytes of one engine `Forward` in this cluster's
     /// spelling: the base 8, plus the group header once the cluster is
     /// sharded and the group id must travel.

@@ -36,15 +36,18 @@ mod conformance;
 pub use pipeline::{PipelineConfig, PipelineStats, PipelineWindow};
 pub use transfer::{compact_applied_prefix, install_into_raft_state, ship_snapshot};
 
+use std::collections::{BTreeSet, HashMap};
+
 use paxraft_sim::impl_actor_any;
 use paxraft_sim::sim::{Actor, ActorId, Ctx};
 use paxraft_sim::time::{SimDuration, SimTime};
 
 use crate::config::ReplicaConfig;
 use crate::costs::CostModel;
-use crate::kv::{CmdId, Command, KvStore, Reply};
+use crate::kv::{CmdId, Command, KvStore, Op, Reply};
 use crate::msg::{ClientMsg, EngineMsg, Msg};
-use crate::snapshot::{Snapshot, SnapshotAssembler, SnapshotSender, SnapshotStats};
+use crate::shard::migration::{install_cmd_id, KeyOwnership, RangeExport, RouterVersion};
+use crate::snapshot::{ChunkAssembler, Snapshot, SnapshotAssembler, SnapshotSender, SnapshotStats};
 use crate::types::{self, NodeId, Slot, Term};
 
 /// Timer token kinds (upper 16 bits); generation counters live in the
@@ -122,6 +125,26 @@ pub struct EngineCore {
     /// (sharded clusters). Kept separate from `responses_sent`, which
     /// counts only commit-visible work.
     pub redirects_sent: u64,
+    /// Reassembles incoming range-export chunks (live rebalancing),
+    /// keyed by sender — separate from `snap_asm` so a migration never
+    /// interleaves with a concurrent snapshot transfer from the same
+    /// peer.
+    pub range_asm: ChunkAssembler,
+    /// Migration versions the destination group confirmed installed
+    /// (volatile leader-side bookkeeping; stops the re-export loop).
+    pub mig_acked: BTreeSet<RouterVersion>,
+    /// When each pending migration was last exported (re-export pacing).
+    pub mig_last_export: HashMap<RouterVersion, SimTime>,
+    /// Export attempts per migration: each retry rotates the receiving
+    /// destination replica, so a crashed receiver cannot pin the
+    /// transfer.
+    pub mig_attempts: HashMap<RouterVersion, u64>,
+    /// Range exports shipped (stats).
+    pub mig_exports: u64,
+    /// Range-export bytes shipped (stats).
+    pub mig_export_bytes: u64,
+    /// `InstallRange` commands newly absorbed by this replica (stats).
+    pub mig_installs: u64,
 }
 
 impl EngineCore {
@@ -158,7 +181,51 @@ impl EngineCore {
             window_hint: None,
             cross_group_dropped: 0,
             redirects_sent: 0,
+            range_asm: ChunkAssembler::default(),
+            mig_acked: BTreeSet::new(),
+            mig_last_export: HashMap::new(),
+            mig_attempts: HashMap::new(),
+            mig_exports: 0,
+            mig_export_bytes: 0,
+            mig_installs: 0,
         }
+    }
+
+    /// Resolves where a keyed operation belongs in a sharded cluster:
+    /// `Some((group, version))` when it must be redirected, `None` when
+    /// this replica serves it (always, when unsharded). The replicated
+    /// migration overrides in the state machine win over the build-time
+    /// map, so a range this group froze away bounces at the migration's
+    /// new version and a range it absorbed is accepted even though the
+    /// static map disagrees.
+    pub fn misroute(&self, op: &Op) -> Option<(u32, RouterVersion)> {
+        let shard = self.cfg.shard.as_ref()?;
+        let key = op.key()?;
+        match self.kv.shard_state().override_for(key) {
+            Some(KeyOwnership::Redirect(group, version)) => {
+                (group != shard.group).then_some((group, version))
+            }
+            Some(KeyOwnership::Accept(_)) => None,
+            None => {
+                let owner = shard.router.group_of(key);
+                (owner != shard.group).then_some((owner, self.kv.shard_state().version))
+            }
+        }
+    }
+
+    /// Bounces a misrouted command with a versioned
+    /// [`Reply::WrongGroup`] (charged like a reply but counted as a
+    /// redirect, not commit-visible work).
+    fn send_redirect(&mut self, ctx: &mut Ctx<Msg>, id: CmdId, group: u32, version: RouterVersion) {
+        ctx.charge(self.cfg.costs.reply_fixed);
+        ctx.send(
+            self.cfg.client_actor(id.client),
+            Msg::Client(ClientMsg::Response {
+                id,
+                reply: Reply::WrongGroup { group, version },
+            }),
+        );
+        self.redirects_sent += 1;
     }
 
     /// Records a leader window-occupancy hint piggybacked on incoming
@@ -450,6 +517,61 @@ impl<P: ProtocolRules> ReplicaEngine<P> {
     pub fn forwarded_cmds(&self) -> u64 {
         self.core.forwarded_cmds
     }
+
+    /// `(exports shipped, export bytes, installs absorbed)` — live
+    /// rebalancing counters.
+    pub fn migration_stats(&self) -> (u64, u64, u64) {
+        (
+            self.core.mig_exports,
+            self.core.mig_export_bytes,
+            self.core.mig_installs,
+        )
+    }
+
+    /// A fully reassembled range export arrived from a source-group
+    /// leader. If the migration is already absorbed (this is a
+    /// re-export), confirm it straight back; otherwise wrap the export
+    /// in its deterministic `InstallRange` command and hand it to the
+    /// ordinary propose/forward path — the *destination group's own log*
+    /// is what makes the install replicated, crash-safe and
+    /// exactly-once.
+    fn absorb_range_export(&mut self, ctx: &mut Ctx<Msg>, from: ActorId, export: RangeExport) {
+        if export.to_group != self.core.cfg.group_id() {
+            self.core.cross_group_dropped += 1;
+            return;
+        }
+        if self.core.kv.shard_state().has_absorbed(export.version) {
+            ctx.send(
+                from,
+                Msg::Engine(EngineMsg::RangeAck {
+                    group: export.from_group,
+                    version: export.version,
+                    header_bytes: self.core.snap_wire.1 + 8,
+                }),
+            );
+            // A re-export means somebody upstream missed a completion
+            // signal; re-answer the coordinator too, in case it was its
+            // install response that got lost (its freeze retry is what
+            // provoked this re-export).
+            self.core.send_response(
+                ctx,
+                install_cmd_id(export.coord, export.version),
+                Reply::Done,
+            );
+            return;
+        }
+        let cmd = Command {
+            id: install_cmd_id(export.coord, export.version),
+            op: Op::InstallRange(export),
+        };
+        // Drop a duplicate still sitting in the pending batch (the
+        // source re-exported before our first install committed).
+        if self.core.pending.iter().any(|c| c.id == cmd.id) {
+            return;
+        }
+        self.core.pending.push(cmd);
+        cut_batch(&mut self.rules, &mut self.core, ctx);
+    }
 }
 
 /// The single batch-flush implementation: charge the propose cost and
@@ -501,13 +623,26 @@ fn cut_batch<P: ProtocolRules>(rules: &mut P, core: &mut EngineCore, ctx: &mut C
         }
         return;
     }
+    // NIC-aware cutting: when this node's egress NIC is backed up by a
+    // quarter of the batch delay or more, bytes — not window room — are
+    // the bottleneck: a message cut now queues behind the backlog
+    // instead of starting promptly, so eager cutting buys little
+    // latency while its per-round overhead costs throughput (the
+    // Figure-10b regime). Accumulate under the timer instead and let
+    // batching amortize.
+    let nic_saturated = core.cfg.pipeline.nic_aware && ctx.nic_backlog() * 4 > core.cfg.batch_delay;
     if rules.can_propose(core) && core.pipe.enabled() {
         if core.pipe.quorum_has_room(core.cfg.id, core.cfg.n) {
-            core.pipe.stats.eager_flushes += 1;
-            flush_pending(rules, core, ctx);
-            return;
+            if nic_saturated {
+                core.pipe.stats.nic_deferrals += 1;
+            } else {
+                core.pipe.stats.eager_flushes += 1;
+                flush_pending(rules, core, ctx);
+                return;
+            }
+        } else {
+            core.pipe.stats.window_deferrals += 1;
         }
-        core.pipe.stats.window_deferrals += 1;
     } else if !rules.can_propose(core)
         && core.leader_hint.is_some()
         && core.hint_allows_forward(ctx.now())
@@ -516,19 +651,26 @@ fn cut_batch<P: ProtocolRules>(rules: &mut P, core: &mut EngineCore, ctx: &mut C
         // occupancy hint says its window can absorb a fresh round, so
         // paying the batch delay before forwarding would only add
         // latency (the window hides the round trip, same argument as
-        // the leader's eager cut above). A stale or saturated hint
-        // falls through to the accumulate-under-timer regime.
-        core.pipe.stats.hint_flushes += 1;
-        flush_pending(rules, core, ctx);
-        if core.pending.is_empty() {
-            return;
+        // the leader's eager cut above). A stale or saturated hint —
+        // of the leader's window or of our own NIC — falls through to
+        // the accumulate-under-timer regime.
+        if nic_saturated {
+            core.pipe.stats.nic_deferrals += 1;
+        } else {
+            core.pipe.stats.hint_flushes += 1;
+            flush_pending(rules, core, ctx);
+            if core.pending.is_empty() {
+                return;
+            }
         }
     }
     core.arm_batch(ctx);
 }
 
 /// Accepts a forwarded batch: lease-serve what can be served locally,
-/// buffer the rest, and hand the result to the batch cutter.
+/// bounce what a migration moved away (the forwarding follower may lag
+/// behind the freeze), buffer the rest, and hand the result to the
+/// batch cutter.
 fn on_forwarded<P: ProtocolRules>(
     rules: &mut P,
     core: &mut EngineCore,
@@ -537,12 +679,151 @@ fn on_forwarded<P: ProtocolRules>(
 ) {
     ctx.charge(core.cfg.costs.forward_per_cmd * cmds.len() as u64);
     for cmd in cmds {
+        if let Some((group, version)) = core.misroute(&cmd.op) {
+            core.send_redirect(ctx, cmd.id, group, version);
+            continue;
+        }
         if rules.try_serve_local(core, ctx, &cmd) {
             continue;
         }
         core.pending.push(cmd);
     }
     cut_batch(rules, core, ctx);
+}
+
+/// The single apply-path implementation shared by every protocol:
+/// applies one committed command to the state machine and runs the
+/// migration hooks that need the wire — a (re-)applied `FreezeRange`
+/// re-arms the source's export pump, and an applied `InstallRange` at
+/// the destination's proposer broadcasts [`EngineMsg::RangeAck`] to the
+/// source group so its leader (whoever that is by now) stops
+/// re-exporting.
+pub(crate) fn apply_command(
+    core: &mut EngineCore,
+    ctx: &mut Ctx<Msg>,
+    cmd: &Command,
+    is_proposer: bool,
+) -> Reply {
+    let newly_absorbed = match &cmd.op {
+        Op::InstallRange(export) => !core.kv.shard_state().has_absorbed(export.version),
+        _ => false,
+    };
+    let reply = core.kv.apply(cmd);
+    match &cmd.op {
+        Op::FreezeRange { version, .. } => {
+            // First apply starts the export; a coordinator's freeze
+            // retry (its install-done signal was lost) re-applies as a
+            // session dedup hit but still lands here, forcing a fresh
+            // export so the destination re-announces the install.
+            core.mig_acked.remove(version);
+            core.mig_last_export.remove(version);
+        }
+        Op::InstallRange(export) => {
+            if newly_absorbed {
+                core.mig_installs += 1;
+            }
+            if is_proposer && core.cfg.shard.is_some() {
+                let nodes: Vec<NodeId> = core.cfg.nodes().collect();
+                for node in nodes {
+                    ctx.send(
+                        core.cfg.group_actor(export.from_group, node),
+                        Msg::Engine(EngineMsg::RangeAck {
+                            group: export.from_group,
+                            version: export.version,
+                            header_bytes: core.snap_wire.1 + 8,
+                        }),
+                    );
+                }
+            }
+        }
+        _ => {}
+    }
+    reply
+}
+
+/// The source-side export pump: a proposer holding frozen ranges whose
+/// hand-off is neither released nor acknowledged (re-)ships them to the
+/// destination group, paced by the retry interval. Called after every
+/// handler dispatch, which is what makes the export survive a source
+/// leader crash — the successor applies (or restores) the same frozen
+/// state and its own pump picks the transfer up.
+fn maybe_drive_migration<P: ProtocolRules>(
+    rules: &mut P,
+    core: &mut EngineCore,
+    ctx: &mut Ctx<Msg>,
+) {
+    if core.cfg.shard.is_none() {
+        return;
+    }
+    let has_pending = core
+        .kv
+        .shard_state()
+        .pending_exports()
+        .any(|f| !core.mig_acked.contains(&f.version));
+    if !has_pending || !rules.can_propose(core) {
+        return;
+    }
+    let pending: Vec<crate::shard::migration::FrozenRange> = core
+        .kv
+        .shard_state()
+        .pending_exports()
+        .filter(|f| !core.mig_acked.contains(&f.version))
+        .cloned()
+        .collect();
+    for f in pending {
+        let due = core
+            .mig_last_export
+            .get(&f.version)
+            .is_none_or(|&at| ctx.now().since(at.min(ctx.now())) >= core.cfg.retry_interval);
+        if !due {
+            continue;
+        }
+        core.mig_last_export.insert(f.version, ctx.now());
+        let export = RangeExport {
+            version: f.version,
+            lo: f.lo,
+            hi: f.hi,
+            from_group: core.cfg.group_id(),
+            to_group: f.to_group,
+            coord: f.coord,
+            records: core.kv.export_range(f.lo, f.hi),
+            sessions: core.kv.export_sessions(),
+        };
+        let bytes = export.encode();
+        ctx.charge(core.cfg.costs.snapshot_cost(bytes.len()));
+        core.mig_exports += 1;
+        core.mig_export_bytes += bytes.len() as u64;
+        // Ship to the destination group's co-located replica (same
+        // node) first; if that replica is not the destination leader,
+        // the engine's ordinary forwarding moves the install command
+        // on. Retries rotate through the destination's other replicas
+        // so a crashed receiver cannot pin the transfer.
+        let attempt = core.mig_attempts.entry(f.version).or_insert(0);
+        let node = NodeId((core.cfg.id.0 + *attempt as u32) % core.cfg.n as u32);
+        *attempt += 1;
+        let dest = core.cfg.group_actor(f.to_group, node);
+        let chunk = core.cfg.snapshot.chunk_bytes.max(1);
+        let total = bytes.len();
+        let mut offset = 0;
+        loop {
+            let end = (offset + chunk).min(total);
+            ctx.send(
+                dest,
+                Msg::Engine(EngineMsg::RangeChunk {
+                    group: f.to_group,
+                    version: f.version,
+                    offset,
+                    total,
+                    header_bytes: core.snap_wire.0 + 8,
+                    data: bytes[offset..end].to_vec(),
+                }),
+            );
+            offset = end;
+            if offset >= total {
+                break;
+            }
+        }
+    }
 }
 
 impl<P: ProtocolRules> Actor<Msg> for ReplicaEngine<P> {
@@ -554,25 +835,16 @@ impl<P: ProtocolRules> Actor<Msg> for ReplicaEngine<P> {
         match msg {
             Msg::Client(ClientMsg::Request { cmd }) => {
                 ctx.charge(self.core.cfg.costs.client_req);
-                // Sharded clusters: a key owned by another group is
-                // redirected before it can touch this group's log or
-                // sessions (the client's partition map raced a config
-                // change).
-                if let Some(shard) = &self.core.cfg.shard {
-                    if let Some(owner) = shard.misrouted(&cmd.op) {
-                        // Not a response in the commit-visible sense:
-                        // charged like one but counted as a redirect.
-                        ctx.charge(self.core.cfg.costs.reply_fixed);
-                        ctx.send(
-                            self.core.cfg.client_actor(cmd.id.client),
-                            Msg::Client(ClientMsg::Response {
-                                id: cmd.id,
-                                reply: Reply::WrongGroup { group: owner },
-                            }),
-                        );
-                        self.core.redirects_sent += 1;
-                        return;
-                    }
+                // Sharded clusters: a key owned by another group —
+                // under the build-time map or the replicated migration
+                // overrides — is redirected before it can touch this
+                // group's log or sessions (the client's partition map
+                // raced a config change). Not a response in the
+                // commit-visible sense: charged like one but counted as
+                // a redirect.
+                if let Some((group, version)) = self.core.misroute(&cmd.op) {
+                    self.core.send_redirect(ctx, cmd.id, group, version);
+                    return;
                 }
                 if self.rules.try_serve_local(&mut self.core, ctx, &cmd) {
                     return;
@@ -580,12 +852,51 @@ impl<P: ProtocolRules> Actor<Msg> for ReplicaEngine<P> {
                 self.core.pending.push(cmd);
                 cut_batch(&mut self.rules, &mut self.core, ctx);
             }
+            Msg::Client(ClientMsg::RouterUpdate { .. }) => {
+                // Router updates address clients; a replica ignores them
+                // (its ownership view is replicated through its log).
+            }
             Msg::Engine(EngineMsg::Forward { group, cmds, .. }) => {
                 if group != self.core.cfg.group_id() {
                     self.core.cross_group_dropped += 1;
                     return;
                 }
                 on_forwarded(&mut self.rules, &mut self.core, ctx, cmds);
+            }
+            Msg::Engine(EngineMsg::RangeChunk {
+                group,
+                version,
+                offset,
+                total,
+                header_bytes: _,
+                data,
+            }) => {
+                if group != self.core.cfg.group_id() {
+                    self.core.cross_group_dropped += 1;
+                    return;
+                }
+                ctx.charge(
+                    self.rules.snapshot_chunk_fixed_cost(&self.core.cfg.costs)
+                        + self.core.cfg.costs.snapshot_cost(data.len()),
+                );
+                let done =
+                    self.core
+                        .range_asm
+                        .offer(from.0 as u64, Slot(version), offset, total, &data);
+                if let Some(bytes) = done {
+                    if let Some(export) = RangeExport::decode(&bytes) {
+                        self.absorb_range_export(ctx, from, export);
+                    }
+                }
+            }
+            Msg::Engine(EngineMsg::RangeAck { group, version, .. }) => {
+                if group != self.core.cfg.group_id() {
+                    self.core.cross_group_dropped += 1;
+                    return;
+                }
+                // The destination confirmed the install committed: stop
+                // re-exporting this migration.
+                self.core.mig_acked.insert(version);
             }
             // `last_term` rides inside the encoded payload; the header
             // copy only matters for observability.
@@ -641,6 +952,7 @@ impl<P: ProtocolRules> Actor<Msg> for ReplicaEngine<P> {
                 }
             }
         }
+        maybe_drive_migration(&mut self.rules, &mut self.core, ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<Msg>, token: u64) {
@@ -671,6 +983,7 @@ impl<P: ProtocolRules> Actor<Msg> for ReplicaEngine<P> {
             }
             kind => self.rules.on_timer(&mut self.core, ctx, kind, token),
         }
+        maybe_drive_migration(&mut self.rules, &mut self.core, ctx);
     }
 
     fn on_crash(&mut self) {
@@ -692,6 +1005,13 @@ impl<P: ProtocolRules> Actor<Msg> for ReplicaEngine<P> {
         self.core.snap_asm.clear();
         self.core.snap_send.reset();
         self.core.pipe.reset();
+        // In-flight migration transfer state is volatile; the frozen /
+        // absorbed bookkeeping itself is state-machine state and comes
+        // back with the log / snapshot, re-arming the export pump.
+        self.core.range_asm.clear();
+        self.core.mig_acked.clear();
+        self.core.mig_last_export.clear();
+        self.core.mig_attempts.clear();
         self.rules.on_crash(&mut self.core);
     }
 

@@ -51,17 +51,25 @@ pub struct PipelineConfig {
     /// (`window_room`) and a follower holding pending commands forwards
     /// them immediately while the hint says the leader can absorb a
     /// fresh round — instead of always paying the batch delay before
-    /// forwarding. Off by default (the window-driven cutter alone is the
-    /// PR 3 baseline behavior, and the pinned parity fingerprints assume
-    /// it).
+    /// forwarding. **On by default** since the PR 5 fingerprint re-pin
+    /// (`PARITY_pr5.txt`); it removes the ~2 ms batch delay per
+    /// far-follower commit with no wire cost.
     pub follower_hints: bool,
+    /// NIC-aware batch cutting: when on, the adaptive cutter refuses to
+    /// cut eagerly while this node's egress NIC backlog exceeds a
+    /// quarter of the batch delay — a message cut then queues behind
+    /// the backlog instead of starting promptly, and per-round overhead
+    /// costs throughput once bytes (not window room) are the bottleneck
+    /// (the Figure-10b regime; see the `payload_4kb_*` bench rows).
+    pub nic_aware: bool,
 }
 
 impl Default for PipelineConfig {
     fn default() -> Self {
         PipelineConfig {
             depth: 8,
-            follower_hints: false,
+            follower_hints: true,
+            nic_aware: true,
         }
     }
 }
@@ -77,6 +85,7 @@ impl PipelineConfig {
         PipelineConfig {
             depth: 0,
             follower_hints: false,
+            nic_aware: false,
         }
     }
 
@@ -88,9 +97,24 @@ impl PipelineConfig {
         }
     }
 
-    /// This configuration with follower-side adaptive forwarding on.
+    /// This configuration with follower-side adaptive forwarding on
+    /// (the default since PR 5; kept for call-site compatibility).
     pub fn with_follower_hints(mut self) -> Self {
         self.follower_hints = true;
+        self
+    }
+
+    /// This configuration with follower-side adaptive forwarding off
+    /// (the pre-PR 5 default).
+    pub fn without_follower_hints(mut self) -> Self {
+        self.follower_hints = false;
+        self
+    }
+
+    /// This configuration with NIC-aware batch cutting off (the cutter
+    /// then consults window room alone, the PR 3/4 behavior).
+    pub fn without_nic_aware_cutting(mut self) -> Self {
+        self.nic_aware = false;
         self
     }
 }
@@ -126,6 +150,10 @@ pub struct PipelineStats {
     /// occupancy hint said the window had room
     /// ([`PipelineConfig::follower_hints`]).
     pub hint_flushes: u64,
+    /// Eager cuts refused because the egress NIC backlog exceeded the
+    /// batch delay ([`PipelineConfig::nic_aware`]): the bandwidth-bound
+    /// regime where batching amortizes per-message overhead.
+    pub nic_deferrals: u64,
 }
 
 impl PipelineStats {
@@ -138,6 +166,7 @@ impl PipelineStats {
         self.rounds_acked += other.rounds_acked;
         self.rounds_regressed += other.rounds_regressed;
         self.hint_flushes += other.hint_flushes;
+        self.nic_deferrals += other.nic_deferrals;
     }
 }
 

@@ -184,7 +184,8 @@ impl RaftBase {
     }
 
     /// Applies the committed prefix in order; the leader answers
-    /// clients at apply time.
+    /// clients at apply time. Migration commands run their engine hooks
+    /// ([`super::apply_command`]) here like everywhere else.
     pub fn apply_loop(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
         while self.last_applied < self.commit_index {
             let next = self.last_applied.next();
@@ -193,7 +194,7 @@ impl RaftBase {
             };
             let cmd = entry.cmd.clone();
             ctx.charge(core.cfg.costs.apply_per_cmd);
-            let reply = core.kv.apply(&cmd);
+            let reply = super::apply_command(core, ctx, &cmd, self.role == Role::Leader);
             self.last_applied = next;
             if self.role == Role::Leader && cmd.id.client != u32::MAX {
                 core.respond(ctx, cmd.id, reply);

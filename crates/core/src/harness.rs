@@ -76,6 +76,7 @@ pub struct ClusterBuilder {
     pub(crate) snapshot: SnapshotConfig,
     pub(crate) pipeline: PipelineConfig,
     pub(crate) shard: crate::shard::ShardConfig,
+    pub(crate) rebalance: crate::shard::RebalanceConfig,
 }
 
 impl ClusterBuilder {
@@ -154,6 +155,16 @@ impl ClusterBuilder {
     /// multi-group configuration.
     pub fn shard_config(mut self, shard: crate::shard::ShardConfig) -> Self {
         self.shard = shard;
+        self
+    }
+
+    /// Scripted live rebalancing: key-range migrations the coordinator
+    /// runs at the given virtual times. Only
+    /// [`ClusterBuilder::build_sharded`] consumes this; an empty plan
+    /// (the default) creates no coordinator actor, keeping the cluster
+    /// bit-for-bit the non-rebalancing cluster.
+    pub fn rebalance_config(mut self, rebalance: crate::shard::RebalanceConfig) -> Self {
+        self.rebalance = rebalance;
         self
     }
 
@@ -321,6 +332,41 @@ pub(crate) fn replica_pipeline_stats(
     }
 }
 
+/// The replica actor's live-rebalancing counters
+/// `(exports, export bytes, installs)`.
+pub(crate) fn replica_migration_stats(
+    sim: &paxraft_sim::sim::Simulation<Msg>,
+    protocol: ProtocolKind,
+    id: ActorId,
+) -> (u64, u64, u64) {
+    match protocol {
+        ProtocolKind::MultiPaxos => sim.actor::<MultiPaxosReplica>(id).migration_stats(),
+        ProtocolKind::Raft => sim.actor::<RaftReplica>(id).migration_stats(),
+        ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => {
+            sim.actor::<RaftStarReplica>(id).migration_stats()
+        }
+        ProtocolKind::RaftStarMencius => sim.actor::<MenciusReplica>(id).migration_stats(),
+    }
+}
+
+/// The replica actor's state machine (tests: cross-group exclusivity
+/// assertions).
+#[cfg(test)]
+pub(crate) fn replica_kv(
+    sim: &paxraft_sim::sim::Simulation<Msg>,
+    protocol: ProtocolKind,
+    id: ActorId,
+) -> &crate::kv::KvStore {
+    match protocol {
+        ProtocolKind::MultiPaxos => sim.actor::<MultiPaxosReplica>(id).kv(),
+        ProtocolKind::Raft => sim.actor::<RaftReplica>(id).kv(),
+        ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => {
+            sim.actor::<RaftStarReplica>(id).kv()
+        }
+        ProtocolKind::RaftStarMencius => sim.actor::<MenciusReplica>(id).kv(),
+    }
+}
+
 /// Client responses the replica actor has sent (commit-visible work).
 pub(crate) fn replica_responses(
     sim: &paxraft_sim::sim::Simulation<Msg>,
@@ -396,6 +442,7 @@ impl Cluster {
             snapshot: SnapshotConfig::default(),
             pipeline: PipelineConfig::default(),
             shard: crate::shard::ShardConfig::default(),
+            rebalance: crate::shard::RebalanceConfig::default(),
         }
     }
 

@@ -40,7 +40,7 @@ use paxraft_sim::time::{SimDuration, SimTime};
 
 use crate::config::ReplicaConfig;
 use crate::costs::CostModel;
-use crate::engine::{EngineCore, ProtocolRules, ReplicaEngine, T_COORD};
+use crate::engine::{self, EngineCore, ProtocolRules, ReplicaEngine, T_COORD};
 use crate::kv::{Command, Key, Op};
 use crate::msg::{EngineMsg, MenciusMsg, Msg};
 use crate::snapshot::Snapshot;
@@ -376,7 +376,10 @@ impl MenciusRules {
             };
             if !matches!(cmd.op, Op::Noop) {
                 ctx.charge(core.cfg.costs.apply_per_cmd);
-                core.kv.apply(&cmd);
+                // The slot owner plays the proposer role for the
+                // migration hooks (it proposed this command).
+                let mine = MenciusReplica::owner_of(next, core.cfg.n) == core.cfg.id;
+                engine::apply_command(core, ctx, &cmd, mine);
             }
             self.exec_index = next;
         }

@@ -96,6 +96,40 @@ pub enum EngineMsg {
         /// (Raft `SnapshotAck` vs Paxos/Mencius `CheckpointOk`).
         header_bytes: usize,
     },
+    /// One chunk of a key-range export (live rebalancing): a source
+    /// leader ships a frozen range to the destination group with the
+    /// same chunking/reassembly machinery snapshots use. The payload is
+    /// an encoded [`crate::shard::migration::RangeExport`].
+    RangeChunk {
+        /// The **destination** group (receivers drop foreign-group
+        /// chunks, like every engine-level message).
+        group: u32,
+        /// The migration's partition-map version (doubles as the
+        /// reassembly discriminator: a receiver never interleaves two
+        /// different migrations from one sender).
+        version: u64,
+        /// Byte offset of this chunk within the encoded export.
+        offset: usize,
+        /// Total encoded size.
+        total: usize,
+        /// Wire-header bytes (the sender's snapshot-chunk spelling plus
+        /// the migration version word).
+        header_bytes: usize,
+        /// The chunk payload.
+        data: Vec<u8>,
+    },
+    /// Destination-side confirmation that a migration's `InstallRange`
+    /// has committed and applied; the source leader stops re-exporting.
+    /// Broadcast to every source-group replica so a freshly elected
+    /// source leader learns it too.
+    RangeAck {
+        /// The **source** group.
+        group: u32,
+        /// The migration's version.
+        version: u64,
+        /// Wire-header bytes.
+        header_bytes: usize,
+    },
 }
 
 /// Client-replica request/response pairs.
@@ -112,6 +146,13 @@ pub enum ClientMsg {
         id: CmdId,
         /// The result.
         reply: Reply,
+    },
+    /// The rebalance coordinator publishes a bumped partition map to a
+    /// client after a migration completes. Clients adopt it if its
+    /// version exceeds their current map's.
+    RouterUpdate {
+        /// The new partition map (version inside).
+        router: crate::shard::ShardRouter,
     },
 }
 
@@ -354,6 +395,8 @@ impl Payload for Msg {
             Msg::Client(m) => match m {
                 ClientMsg::Request { cmd } => 8 + cmd.size_bytes(),
                 ClientMsg::Response { reply, .. } => 20 + reply.size_bytes(),
+                // Version + segment table, 12 bytes per segment.
+                ClientMsg::RouterUpdate { router } => 16 + 12 * router.segments().len(),
             },
             Msg::Engine(m) => match m {
                 EngineMsg::Forward {
@@ -363,6 +406,10 @@ impl Payload for Msg {
                     header_bytes, data, ..
                 } => header_bytes + data.len(),
                 EngineMsg::SnapshotAck { header_bytes, .. } => *header_bytes,
+                EngineMsg::RangeChunk {
+                    header_bytes, data, ..
+                } => header_bytes + data.len(),
+                EngineMsg::RangeAck { header_bytes, .. } => *header_bytes,
             },
             Msg::Paxos(m) => match m {
                 PaxosMsg::Prepare { .. } => 24,

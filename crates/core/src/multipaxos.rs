@@ -361,7 +361,7 @@ impl PaxosRules {
             }
             let cmd = inst.cmd.clone().expect("committed instance has a value");
             ctx.charge(core.cfg.costs.apply_per_cmd);
-            let reply = core.kv.apply(&cmd);
+            let reply = engine::apply_command(core, ctx, &cmd, self.phase1_succeeded);
             self.exec_index = next;
             if self.phase1_succeeded && cmd.id.client != u32::MAX {
                 core.respond(ctx, cmd.id, reply);

@@ -18,6 +18,14 @@ pub struct ProbeClient {
     pub reply: Option<Reply>,
     /// A request to send on the next poll tick.
     pub outbox: Option<(ActorId, Msg)>,
+    /// Sharded clusters: `group_targets[g]` serves group `g` for this
+    /// probe, so a [`Reply::WrongGroup`] redirect can be followed (live
+    /// rebalancing moves ranges while probes are in flight).
+    pub group_targets: Vec<ActorId>,
+    /// Highest partition-map version observed on redirects; an older
+    /// redirect is a lagging replica, waited out on the poll tick
+    /// instead of followed backwards.
+    pub seen_version: u64,
     last_request: Option<(ActorId, Msg)>,
     ticks_since_send: u32,
 }
@@ -27,9 +35,30 @@ impl Actor<Msg> for ProbeClient {
         ctx.set_timer(SimDuration::from_millis(1), 1);
     }
 
-    fn on_message(&mut self, _ctx: &mut Ctx<Msg>, _from: ActorId, msg: Msg) {
+    fn on_message(&mut self, ctx: &mut Ctx<Msg>, _from: ActorId, msg: Msg) {
         if let Msg::Client(ClientMsg::Response { id, reply }) = msg {
             if self.waiting == Some(id) {
+                if let Reply::WrongGroup { group, version } = &reply {
+                    if *version >= self.seen_version {
+                        // Follow the redirect if we know the named
+                        // group's replica.
+                        self.seen_version = *version;
+                        if let Some(&target) = self.group_targets.get(*group as usize) {
+                            if let Some((_, msg)) = &self.last_request {
+                                let msg = msg.clone();
+                                self.last_request = Some((target, msg.clone()));
+                                self.ticks_since_send = 0;
+                                ctx.send(target, msg);
+                                return;
+                            }
+                        }
+                    } else {
+                        // Stale replier: schedule a short re-send from
+                        // the poll tick rather than ping-ponging.
+                        self.ticks_since_send = RETRY_TICKS.saturating_sub(5);
+                        return;
+                    }
+                }
                 self.waiting = None;
                 self.reply = Some(reply);
                 self.last_request = None;
@@ -43,9 +72,10 @@ impl Actor<Msg> for ProbeClient {
             self.ticks_since_send = 0;
             ctx.send(to, msg);
         } else if self.waiting.is_some() {
-            // Retry a lost request every ~5 virtual seconds.
+            // Retry a lost request every ~5 virtual seconds (sooner when
+            // a stale redirect shortened the fuse).
             self.ticks_since_send += 1;
-            if self.ticks_since_send >= 500 {
+            if self.ticks_since_send >= RETRY_TICKS {
                 if let Some((to, msg)) = self.last_request.clone() {
                     self.ticks_since_send = 0;
                     ctx.send(to, msg);
@@ -57,3 +87,6 @@ impl Actor<Msg> for ProbeClient {
 
     impl_actor_any!();
 }
+
+/// Poll ticks (10 ms each) between retries of an unanswered request.
+const RETRY_TICKS: u32 = 500;

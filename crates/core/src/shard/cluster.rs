@@ -10,15 +10,15 @@ use paxraft_workload::metrics::LatencyRecorder;
 use crate::client::{ClientRouting, WorkloadClient};
 use crate::engine::PipelineStats;
 use crate::harness::{
-    make_replica, replica_is_leader, replica_pipeline_stats, replica_responses, replica_snap_stats,
-    Cluster, ClusterBuilder, ProtocolKind, RunReport,
+    make_replica, replica_is_leader, replica_migration_stats, replica_pipeline_stats,
+    replica_responses, replica_snap_stats, Cluster, ClusterBuilder, ProtocolKind, RunReport,
 };
 use crate::kv::{CmdId, Command, Op, Reply};
 use crate::msg::{ClientMsg, Msg};
 use crate::snapshot::SnapshotStats;
 use crate::types::NodeId;
 
-use super::{ShardMembership, ShardRouter};
+use super::{RebalanceCoordinator, ShardMembership, ShardRouter};
 
 /// Where each group's leader bootstraps — the knob the Paxos/Raft
 /// leader-flexibility comparison turns on.
@@ -101,6 +101,10 @@ pub struct GroupStats {
     pub snapshots: SnapshotStats,
     /// Pipeline counters summed over the group's replicas.
     pub pipeline: PipelineStats,
+    /// Range exports shipped by the group's replicas (live rebalancing).
+    pub range_exports: u64,
+    /// Range installs absorbed by the group's replicas.
+    pub range_installs: u64,
 }
 
 /// A built sharded cluster: `groups × n` replica actors over `n`
@@ -115,6 +119,7 @@ pub struct ShardedCluster {
     regions: Vec<Region>,
     leaders: Vec<NodeId>,
     router: ShardRouter,
+    coordinator: Option<ActorId>,
     probe: Option<ActorId>,
     probe_seq: u64,
 }
@@ -190,6 +195,23 @@ impl ClusterBuilder {
                 clients.push(id);
             }
         }
+        // The rebalance coordinator rides at the next client id — but
+        // only when migrations are scripted, so a non-rebalancing
+        // sharded cluster keeps the exact actor set (and RNG schedule)
+        // it had before live rebalancing existed.
+        let coordinator = self.rebalance.enabled().then(|| {
+            let coord_client = clients.len() as u32;
+            let coord = RebalanceCoordinator::new(
+                coord_client,
+                router.clone(),
+                self.rebalance.migrations.clone(),
+                group_actors.clone(),
+                clients.clone(),
+            );
+            // Place the coordinator in the base leader's region (a real
+            // deployment runs it near the config service).
+            sim.add_actor(self.regions[self.leader.0 as usize], Box::new(coord))
+        });
         ShardedCluster {
             sim,
             protocol: self.protocol,
@@ -198,6 +220,7 @@ impl ClusterBuilder {
             regions: self.regions,
             leaders,
             router,
+            coordinator,
             probe: None,
             probe_seq: 0,
         }
@@ -221,9 +244,55 @@ impl ShardedCluster {
         self.group_actors.len()
     }
 
-    /// The key-range partition map.
+    /// The build-time key-range partition map (version 0). Live
+    /// rebalancing does not edit this copy; see
+    /// [`ShardedCluster::current_router`].
     pub fn router(&self) -> &ShardRouter {
         &self.router
+    }
+
+    /// The current authoritative partition map: the rebalance
+    /// coordinator's copy when one exists (it applies every completed
+    /// migration), the build-time map otherwise.
+    pub fn current_router(&self) -> ShardRouter {
+        match self.coordinator {
+            Some(c) => self.sim.actor::<RebalanceCoordinator>(c).router().clone(),
+            None => self.router.clone(),
+        }
+    }
+
+    /// The rebalance coordinator actor, when migrations are scripted.
+    pub fn coordinator(&self) -> Option<ActorId> {
+        self.coordinator
+    }
+
+    /// Versions of migrations whose release completed (empty without a
+    /// coordinator).
+    pub fn migrations_completed(&self) -> Vec<u64> {
+        match self.coordinator {
+            Some(c) => self.sim.actor::<RebalanceCoordinator>(c).completed.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Runs the simulation until every scripted migration has completed
+    /// (released), or panics after `limit`.
+    pub fn run_until_rebalanced(&mut self, limit: SimDuration) {
+        let deadline = self.sim.now() + limit;
+        loop {
+            let done = match self.coordinator {
+                Some(c) => self.sim.actor::<RebalanceCoordinator>(c).done(),
+                None => true,
+            };
+            if done {
+                return;
+            }
+            assert!(
+                self.sim.now() < deadline,
+                "migrations did not complete within {limit}"
+            );
+            self.sim.run_for(SimDuration::from_millis(100));
+        }
     }
 
     /// Group `g`'s replica actors, indexed by node.
@@ -282,10 +351,16 @@ impl ShardedCluster {
                 let mut snapshots = SnapshotStats::default();
                 let mut pipeline = PipelineStats::default();
                 let mut responses = 0;
+                let mut range_exports = 0;
+                let mut range_installs = 0;
                 for &r in actors {
                     snapshots.absorb(&replica_snap_stats(&self.sim, self.protocol, r));
                     pipeline.absorb(&replica_pipeline_stats(&self.sim, self.protocol, r));
                     responses += replica_responses(&self.sim, self.protocol, r);
+                    let (exports, _, installs) =
+                        replica_migration_stats(&self.sim, self.protocol, r);
+                    range_exports += exports;
+                    range_installs += installs;
                 }
                 GroupStats {
                     group: g as u32,
@@ -293,6 +368,8 @@ impl ShardedCluster {
                     responses,
                     snapshots,
                     pipeline,
+                    range_exports,
+                    range_installs,
                 }
             })
             .collect()
@@ -325,7 +402,11 @@ impl ShardedCluster {
             seq: self.probe_seq,
         };
         let cmd = Command { id, op };
-        let g = cmd.op.key().map_or(0, |k| self.router.group_of(k)) as usize;
+        // Route by the *current* map (migrations move ranges while
+        // probes run); a raced move is reconciled by the probe's
+        // WrongGroup handling.
+        let router = self.current_router();
+        let g = cmd.op.key().map_or(0, |k| router.group_of(k)) as usize;
         // Target the owning group's configured leader unless it is
         // crashed; fall back to the group's first live replica (its
         // forwarding finds the actual leader).
@@ -336,10 +417,26 @@ impl ShardedCluster {
                 .find(|&&r| !self.sim.is_crashed(r))
                 .expect("at least one live replica in the group");
         }
+        // Give the probe one live replica per group so it can follow
+        // versioned redirects.
+        let group_targets: Vec<ActorId> = (0..self.num_groups())
+            .map(|g| {
+                let preferred = self.replica(g, self.leaders[g]);
+                if self.sim.is_crashed(preferred) {
+                    *self.group_actors[g]
+                        .iter()
+                        .find(|&&r| !self.sim.is_crashed(r))
+                        .expect("at least one live replica in the group")
+                } else {
+                    preferred
+                }
+            })
+            .collect();
         {
             let p = self.sim.actor_mut::<ProbeClient>(pid);
             p.waiting = Some(id);
             p.reply = None;
+            p.group_targets = group_targets;
             p.outbox = Some((target, Msg::Client(ClientMsg::Request { cmd })));
         }
         let deadline = self.sim.now() + SimDuration::from_secs(30);

@@ -20,6 +20,12 @@
 //!   shared network/clock/fault injection), with per-group leader
 //!   placement ([`LeaderPlacement`]) and clients that resolve each key
 //!   to its group ([`crate::client::ClientRouting`]).
+//! - [`migration`] + [`RebalanceCoordinator`] — **live rebalancing**:
+//!   the partition map is versioned, and a coordinator moves key
+//!   ranges between groups through the groups' own logs (freeze →
+//!   chunked export → replicated install → publish → release), so
+//!   splits, merges and hot-range moves run under load with
+//!   exactly-once hand-off in every protocol.
 //!
 //! Leader placement is the axis where the Paxos/Raft leader-flexibility
 //! difference shows up ("Paxos vs Raft: Have we reached consensus on
@@ -28,7 +34,11 @@
 //! different client latency geometry.
 
 mod cluster;
+pub mod migration;
+mod rebalance;
 mod router;
 
 pub use cluster::{GroupStats, LeaderPlacement, ShardConfig, ShardedCluster};
+pub use migration::{MigrationSpec, RouterVersion};
+pub use rebalance::{RebalanceConfig, RebalanceCoordinator};
 pub use router::{ShardMembership, ShardRouter};

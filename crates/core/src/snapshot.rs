@@ -139,10 +139,17 @@ impl Snapshot {
                     out.extend_from_slice(&(v.len() as u32).to_le_bytes());
                     out.extend_from_slice(v);
                 }
-                // Redirects are sent before replication and never enter
-                // a session table, so they cannot appear in a snapshot.
+                // Redirects never enter a session table (the frozen-range
+                // apply guard bypasses the session insert), so they
+                // cannot appear in a snapshot.
                 Reply::WrongGroup { .. } => unreachable!("redirects are never session replies"),
             }
+        }
+        // The shard-migration section is appended only once a migration
+        // touched this group; snapshots of non-migrating runs stay
+        // byte-identical to the pre-migration format.
+        if !self.kv.shard.is_empty() {
+            self.kv.shard.encode_into(&mut out);
         }
         debug_assert_eq!(out.len(), self.size_bytes(), "size model matches encoding");
         out
@@ -150,7 +157,7 @@ impl Snapshot {
 
     /// Parses an encoded snapshot; `None` on any malformed input.
     pub fn decode(bytes: &[u8]) -> Option<Snapshot> {
-        let mut r = Reader { bytes, pos: 0 };
+        let mut r = Reader::new(bytes);
         let last_slot = Slot(r.u64()?);
         let last_term = Term(r.u64()?);
         let applied_ops = r.u64()?;
@@ -179,7 +186,11 @@ impl Snapshot {
             };
             kv.sessions.insert(c, (seq, reply));
         }
-        if r.pos != bytes.len() {
+        if !r.done() {
+            // Bytes remain: the optional shard-migration section.
+            kv.shard = crate::shard::migration::ShardState::decode(&mut r)?;
+        }
+        if !r.done() {
             return None; // trailing garbage
         }
         Some(Snapshot {
@@ -211,13 +222,21 @@ impl Snapshot {
     }
 }
 
-struct Reader<'a> {
+/// Little-endian byte reader shared by the snapshot and range-export
+/// decoders.
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+    pub(crate) fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         let end = self.pos.checked_add(n)?;
         if end > self.bytes.len() {
             return None;
@@ -226,13 +245,13 @@ impl<'a> Reader<'a> {
         self.pos = end;
         Some(s)
     }
-    fn u8(&mut self) -> Option<u8> {
+    pub(crate) fn u8(&mut self) -> Option<u8> {
         Some(self.take(1)?[0])
     }
-    fn u32(&mut self) -> Option<u32> {
+    pub(crate) fn u32(&mut self) -> Option<u32> {
         Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
     }
-    fn u64(&mut self) -> Option<u64> {
+    pub(crate) fn u64(&mut self) -> Option<u64> {
         Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
     }
 }
@@ -250,7 +269,7 @@ impl<'a> Reader<'a> {
 /// chunk simply makes the transfer restart on the sender's retry).
 #[derive(Debug, Default)]
 pub struct SnapshotAssembler {
-    cur: HashMap<u64, (Slot, usize, Vec<u8>)>,
+    chunks: ChunkAssembler,
 }
 
 impl SnapshotAssembler {
@@ -264,13 +283,46 @@ impl SnapshotAssembler {
         total: usize,
         data: &[u8],
     ) -> Option<Snapshot> {
+        self.chunks
+            .offer(sender, last_slot, offset, total, data)
+            .and_then(|bytes| Snapshot::decode(&bytes))
+    }
+
+    /// Abandons every in-flight transfer.
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+    }
+}
+
+/// The payload-agnostic per-sender chunk reassembler behind
+/// [`SnapshotAssembler`], reused verbatim by the range-migration
+/// transfer (which decodes a
+/// [`crate::shard::migration::RangeExport`] instead of a [`Snapshot`]).
+/// The `tag` slot discriminates transfers: a chunk whose tag differs
+/// from the in-progress transfer's restarts it.
+#[derive(Debug, Default)]
+pub struct ChunkAssembler {
+    cur: HashMap<u64, (Slot, usize, Vec<u8>)>,
+}
+
+impl ChunkAssembler {
+    /// Feeds one chunk from `sender`; returns the reassembled bytes
+    /// when that sender's transfer completes.
+    pub fn offer(
+        &mut self,
+        sender: u64,
+        tag: Slot,
+        offset: usize,
+        total: usize,
+        data: &[u8],
+    ) -> Option<Vec<u8>> {
         if offset == 0 {
             self.cur
-                .insert(sender, (last_slot, total, Vec::with_capacity(total)));
+                .insert(sender, (tag, total, Vec::with_capacity(total)));
         }
         let (slot, want_total, buf) = self.cur.get_mut(&sender)?;
-        if *slot != last_slot || *want_total != total || buf.len() != offset {
-            // Mid-transfer mismatch (lost chunk, superseded snapshot):
+        if *slot != tag || *want_total != total || buf.len() != offset {
+            // Mid-transfer mismatch (lost chunk, superseded transfer):
             // drop and wait for this sender's retry from offset 0.
             self.cur.remove(&sender);
             return None;
@@ -278,7 +330,7 @@ impl SnapshotAssembler {
         buf.extend_from_slice(data);
         if buf.len() >= total {
             let (_, _, bytes) = self.cur.remove(&sender).expect("checked");
-            return Snapshot::decode(&bytes);
+            return Some(bytes);
         }
         None
     }

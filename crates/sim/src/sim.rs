@@ -87,6 +87,7 @@ pub struct Ctx<'a, M> {
     rng: &'a mut SimRng,
     outputs: Vec<Output<M>>,
     charge: SimDuration,
+    nic_backlog: SimDuration,
 }
 
 #[derive(Debug)]
@@ -128,6 +129,16 @@ impl<'a, M> Ctx<'a, M> {
     /// Deterministic randomness for this actor.
     pub fn rng(&mut self) -> &mut SimRng {
         self.rng
+    }
+
+    /// How far this node's egress NIC is backed up at handler start: the
+    /// time until a message queued *now* would begin serialization
+    /// (`SimDuration::ZERO` when the NIC is idle). Real stacks expose the
+    /// same signal as a socket/qdisc backlog; actors use it to decide
+    /// whether batching would amortize per-message overhead that an
+    /// already-saturated NIC cannot hide.
+    pub fn nic_backlog(&self) -> SimDuration {
+        self.nic_backlog
     }
 }
 
@@ -376,12 +387,18 @@ impl<M: Payload> Simulation<M> {
     /// node's CPU horizon.
     fn run_handler(&mut self, i: usize, f: impl FnOnce(&mut dyn Actor<M>, &mut Ctx<M>)) {
         let start = self.now.max(self.cpu_free[i]);
+        let nic_free = self.net.nic_free_at(i);
         let mut ctx = Ctx {
             now: start,
             self_id: ActorId(i),
             rng: &mut self.rng,
             outputs: Vec::new(),
             charge: SimDuration::ZERO,
+            nic_backlog: if nic_free > start {
+                nic_free - start
+            } else {
+                SimDuration::ZERO
+            },
         };
         f(self.actors[i].as_mut(), &mut ctx);
         let charge = ctx.charge;
