@@ -24,21 +24,41 @@ use paxraft_sim::net::{NetConfig, Region};
 use paxraft_sim::sim::{Actor, ActorId, Ctx, Payload, Simulation};
 use paxraft_sim::time::SimTime;
 
-/// Collects `(name, median ns/iter)` rows for the JSON report.
+/// Collects `(name, median ns/iter)` rows plus named virtual-time
+/// series (telemetry samples from the sweep benchmarks) for the JSON
+/// report.
 struct Reporter {
     rows: Vec<(String, f64)>,
+    /// `(name, [(t_secs, value), ...])` — per-group telemetry series.
+    series: Vec<(String, Vec<(f64, f64)>)>,
 }
 
 impl Reporter {
-    /// Writes the collected rows as a flat JSON object (hand-rolled:
-    /// the workspace is intentionally dependency-free).
+    /// Writes the collected rows as a flat JSON object, with the
+    /// telemetry series nested under a trailing `"timeseries"` key
+    /// (hand-rolled: the workspace is intentionally dependency-free).
     fn write_json(&self, path: &str) -> std::io::Result<()> {
-        let mut out = String::from("{\n");
-        for (i, (name, median)) in self.rows.iter().enumerate() {
-            let comma = if i + 1 == self.rows.len() { "" } else { "," };
-            out.push_str(&format!("  \"{name}\": {median:.1}{comma}\n"));
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.3}")
+            } else {
+                "null".to_string()
+            }
         }
-        out.push_str("}\n");
+        let mut out = String::from("{\n");
+        for (name, median) in &self.rows {
+            out.push_str(&format!("  \"{name}\": {median:.1},\n"));
+        }
+        out.push_str("  \"timeseries\": {\n");
+        for (i, (name, points)) in self.series.iter().enumerate() {
+            let comma = if i + 1 == self.series.len() { "" } else { "," };
+            let pts: Vec<String> = points
+                .iter()
+                .map(|&(t, v)| format!("[{}, {}]", num(t), num(v)))
+                .collect();
+            out.push_str(&format!("    \"{name}\": [{}]{comma}\n", pts.join(", ")));
+        }
+        out.push_str("  }\n}\n");
         std::fs::write(path, out)
     }
 }
@@ -428,10 +448,20 @@ fn bench_payload_4kb(rep: &mut Reporter) {
 /// deterministic for the fixed seed. `during` overlaps the merge's
 /// freeze/transfer/install window — the price of migrating under load —
 /// and `postsplit` shows the split restoring the balanced ceiling.
+///
+/// The run also samples per-group telemetry every 100 ms of virtual
+/// time and embeds the `throughput_ops`/`pending_depth` series in the
+/// JSON (under `"timeseries"`), so the artifact carries the *shape* of
+/// the migration window — the dip and the post-split recovery — not
+/// just the four phase means. Sampling is driven between simulation
+/// steps and never perturbs the schedule, so the phase rows are
+/// bit-for-bit what a telemetry-off run reports (pinned by the
+/// conformance suite's determinism tests).
 fn bench_rebalance_sweep(rep: &mut Reporter) {
     use paxraft_core::costs::CostModel;
     use paxraft_core::harness::{Cluster, ProtocolKind};
     use paxraft_core::shard::{MigrationSpec, RebalanceConfig, ShardConfig, ShardRouter};
+    use paxraft_core::telemetry::TelemetryConfig;
     use paxraft_sim::time::SimDuration;
     use paxraft_workload::generator::WorkloadConfig;
 
@@ -467,6 +497,7 @@ fn bench_rebalance_sweep(rep: &mut Reporter) {
                         to_group: 1,
                     }),
             )
+            .telemetry_config(TelemetryConfig::sampled())
             .build_sharded();
         cluster.elect_leaders();
         let phases = [
@@ -501,6 +532,25 @@ fn bench_rebalance_sweep(rep: &mut Reporter) {
             println!("{name:<55} {:>10.1} ops/s (virtual)", r.throughput_ops);
             rep.rows.push((name, r.throughput_ops));
         }
+        // Embed the per-group series covering all four phases.
+        let all = cluster.telemetry_series();
+        for g in 0..2u32 {
+            for metric in ["throughput_ops", "pending_depth"] {
+                let sname = format!("group{g}/{metric}");
+                let s = all
+                    .iter()
+                    .find(|s| s.name == sname)
+                    .unwrap_or_else(|| panic!("series {sname} was collected"));
+                assert!(!s.points.is_empty(), "{sname} has samples");
+                rep.series.push((
+                    format!("rebalance_{pname}_group{g}_{metric}"),
+                    s.points
+                        .iter()
+                        .map(|&(at, v)| (at.as_millis_f64() / 1e3, v))
+                        .collect(),
+                ));
+            }
+        }
         cluster.run_until_rebalanced(SimDuration::from_secs(30));
         assert_eq!(
             cluster.migrations_completed(),
@@ -511,7 +561,10 @@ fn bench_rebalance_sweep(rep: &mut Reporter) {
 }
 
 fn main() {
-    let mut rep = Reporter { rows: Vec::new() };
+    let mut rep = Reporter {
+        rows: Vec::new(),
+        series: Vec::new(),
+    };
     let rep = &mut rep;
     println!("{:<40} {:>14}", "benchmark", "median");
     bench_log_append(rep);

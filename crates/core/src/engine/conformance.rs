@@ -22,7 +22,8 @@ use crate::multipaxos::MultiPaxosReplica;
 use crate::raft::RaftReplica;
 use crate::raftstar::RaftStarReplica;
 use crate::snapshot::SnapshotConfig;
-use crate::testutil::{cluster_with, drive_until, TestClient};
+use crate::telemetry::TelemetryConfig;
+use crate::testutil::{cluster_with, drive_until, with_trace_dump, TestClient};
 use crate::types::NodeId;
 
 /// Builds an `n`-replica cluster of one protocol plus a scripted client
@@ -319,6 +320,68 @@ fn fixed_seed_runs_are_deterministic_for_every_protocol() {
     }
 }
 
+/// Telemetry is observation-only: a run with the flight recorder AND
+/// the virtual-time sampler enabled must produce a bit-for-bit
+/// identical [`RunReport`] (same throughput, same latency percentiles,
+/// same counters, same final clock) as the default telemetry-off run —
+/// the recorder never draws from the RNG and the sampler only reads
+/// state between simulation steps. This is what keeps the pinned
+/// `PARITY_pr5.txt` fingerprints valid regardless of observability
+/// settings.
+///
+/// [`RunReport`]: crate::harness::RunReport
+#[test]
+fn telemetry_enabled_runs_are_bit_for_bit_identical_to_disabled() {
+    fn fingerprint(p: ProtocolKind, telemetry: TelemetryConfig) -> (String, usize, u64) {
+        let mut cluster = Cluster::builder(p)
+            .clients_per_region(1)
+            .seed(9)
+            .snapshot_config(SnapshotConfig::every(64))
+            .telemetry_config(telemetry)
+            .build();
+        cluster.elect_leader();
+        let r = cluster.run_measurement(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(1),
+        );
+        let fp = format!(
+            "thr={} lr={:?} fr={:?} lw={:?} fw={:?} snaps={:?} pipe={:?} end={}",
+            r.throughput_ops,
+            r.leader_reads,
+            r.follower_reads,
+            r.leader_writes,
+            r.follower_writes,
+            r.snapshots,
+            r.pipeline,
+            cluster.sim.now()
+        );
+        (fp, r.telemetry.len(), cluster.sim.trace().recorded())
+    }
+    for p in [
+        ProtocolKind::Raft,
+        ProtocolKind::RaftStar,
+        ProtocolKind::MultiPaxos,
+        ProtocolKind::RaftStarMencius,
+    ] {
+        let (off, series_off, traced_off) = fingerprint(p, TelemetryConfig::default());
+        let (on, series_on, traced_on) = fingerprint(p, TelemetryConfig::sampled());
+        assert_eq!(off, on, "{}: telemetry never perturbs the run", p.name());
+        assert_eq!(series_off, 0, "{}: off-run collects nothing", p.name());
+        assert!(
+            series_on > 0,
+            "{}: enabled run collected time-series",
+            p.name()
+        );
+        assert_eq!(traced_off, 0, "{}: off-run records no events", p.name());
+        assert!(
+            traced_on > 0,
+            "{}: enabled run recorded trace events",
+            p.name()
+        );
+    }
+}
+
 /// A burst injected at a proposer overlaps replication rounds: the
 /// adaptive cutter flushes eagerly while the window has room, so several
 /// rounds are in flight at once — and for the window-gated protocols the
@@ -412,36 +475,40 @@ fn every_protocol_converges_under_loss_with_pipelining() {
         );
         sim.set_drop_rate_at(0.0, sim.now() + SimDuration::from_millis(1));
         sim.run_for(SimDuration::from_secs(5));
-        // Every replica converges to the same state machine.
-        let digest: Vec<(u64, Option<u64>)> = (0..20)
-            .map(|k| {
-                (
-                    k,
+        // Every replica converges to the same state machine. A
+        // divergence here dumps the flight-recorder tail (who sent,
+        // dropped, applied what, when) alongside the assertion.
+        with_trace_dump(&mut sim, |sim| {
+            let digest: Vec<(u64, Option<u64>)> = (0..20)
+                .map(|k| {
+                    (
+                        k,
+                        sim.actor::<ReplicaEngine<P>>(replicas[0])
+                            .kv()
+                            .read_local(k)
+                            .value_id(),
+                    )
+                })
+                .collect();
+            for &r in &replicas {
+                let rep = sim.actor::<ReplicaEngine<P>>(r);
+                assert_eq!(
+                    rep.kv().applied_ops(),
                     sim.actor::<ReplicaEngine<P>>(replicas[0])
                         .kv()
-                        .read_local(k)
-                        .value_id(),
-                )
-            })
-            .collect();
-        for &r in &replicas {
-            let rep = sim.actor::<ReplicaEngine<P>>(r);
-            assert_eq!(
-                rep.kv().applied_ops(),
-                sim.actor::<ReplicaEngine<P>>(replicas[0])
-                    .kv()
-                    .applied_ops(),
-                "{name}: duplicate retransmissions were deduplicated everywhere"
-            );
-            for &(k, v) in &digest {
-                assert_eq!(
-                    rep.kv().read_local(k).value_id(),
-                    v,
-                    "{name}: replica {r:?} agrees at key {k}"
+                        .applied_ops(),
+                    "{name}: duplicate retransmissions were deduplicated everywhere"
                 );
+                for &(k, v) in &digest {
+                    assert_eq!(
+                        rep.kv().read_local(k).value_id(),
+                        v,
+                        "{name}: replica {r:?} agrees at key {k}"
+                    );
+                }
             }
-        }
-        digest
+            digest
+        })
     }
     let raft = scenario("Raft", RaftReplica::new);
     let raftstar = scenario("Raft*", RaftStarReplica::new);

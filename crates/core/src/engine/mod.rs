@@ -216,7 +216,13 @@ impl EngineCore {
     /// Bounces a misrouted command with a versioned
     /// [`Reply::WrongGroup`] (charged like a reply but counted as a
     /// redirect, not commit-visible work).
-    fn send_redirect(&mut self, ctx: &mut Ctx<Msg>, id: CmdId, group: u32, version: RouterVersion) {
+    pub(crate) fn send_redirect(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        id: CmdId,
+        group: u32,
+        version: RouterVersion,
+    ) {
         ctx.charge(self.cfg.costs.reply_fixed);
         ctx.send(
             self.cfg.client_actor(id.client),
@@ -528,6 +534,31 @@ impl<P: ProtocolRules> ReplicaEngine<P> {
         )
     }
 
+    /// Registers this replica's named counters and gauges for the
+    /// virtual-time sampler — the single metric source
+    /// [`crate::harness::RunReport`] / [`crate::shard::GroupStats`]
+    /// aggregates are rebuilt from. Counters carry cumulative values
+    /// (the registry differences them into rates); gauges are
+    /// instantaneous.
+    pub fn metric_sample(&self) -> crate::telemetry::MetricSample {
+        let mut s = crate::telemetry::MetricSample::default();
+        // Counters (cumulative).
+        s.record("responses", self.core.responses_sent as f64);
+        s.record("batch_flushes", self.core.batch_flushes as f64);
+        s.record("forwarded", self.core.forwarded_cmds as f64);
+        s.record("redirects", self.core.redirects_sent as f64);
+        s.record("range_exports", self.core.mig_exports as f64);
+        s.record("range_export_bytes", self.core.mig_export_bytes as f64);
+        s.record("range_installs", self.core.mig_installs as f64);
+        // Gauges (instantaneous).
+        s.record("pending_depth", self.core.pending.len() as f64);
+        s.record(
+            "pipeline_occupancy",
+            self.core.pipe.total_in_flight() as f64,
+        );
+        s
+    }
+
     /// A fully reassembled range export arrived from a source-group
     /// leader. If the migration is already absorbed (this is a
     /// re-export), confirm it straight back; otherwise wrap the export
@@ -709,8 +740,10 @@ pub(crate) fn apply_command(
         _ => false,
     };
     let reply = core.kv.apply(cmd);
+    ctx.trace_app("apply", cmd.id.client as u64, cmd.id.seq);
     match &cmd.op {
         Op::FreezeRange { version, .. } => {
+            ctx.trace_app("mig-freeze", *version, 0);
             // First apply starts the export; a coordinator's freeze
             // retry (its install-done signal was lost) re-applies as a
             // session dedup hit but still lands here, forcing a fresh
@@ -721,6 +754,7 @@ pub(crate) fn apply_command(
         Op::InstallRange(export) => {
             if newly_absorbed {
                 core.mig_installs += 1;
+                ctx.trace_app("mig-install", export.version, export.records.len() as u64);
             }
             if is_proposer && core.cfg.shard.is_some() {
                 let nodes: Vec<NodeId> = core.cfg.nodes().collect();
@@ -736,6 +770,7 @@ pub(crate) fn apply_command(
                 }
             }
         }
+        Op::ReleaseRange { version } => ctx.trace_app("mig-release", *version, 0),
         _ => {}
     }
     reply
@@ -793,6 +828,7 @@ fn maybe_drive_migration<P: ProtocolRules>(
         ctx.charge(core.cfg.costs.snapshot_cost(bytes.len()));
         core.mig_exports += 1;
         core.mig_export_bytes += bytes.len() as u64;
+        ctx.trace_app("mig-export", f.version, bytes.len() as u64);
         // Ship to the destination group's co-located replica (same
         // node) first; if that replica is not the destination leader,
         // the engine's ordinary forwarding moves the install command

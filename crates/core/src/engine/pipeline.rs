@@ -199,6 +199,12 @@ impl PipelineWindow {
         self.inflight[peer.0 as usize].len()
     }
 
+    /// Total in-flight rounds across every peer — the occupancy gauge
+    /// the telemetry sampler reads.
+    pub fn total_in_flight(&self) -> usize {
+        self.inflight.iter().map(VecDeque::len).sum()
+    }
+
     /// Whether a new round may be started toward `peer`. Always true
     /// when pipelining is disabled (the legacy unbounded behavior).
     pub fn has_room(&self, peer: NodeId) -> bool {

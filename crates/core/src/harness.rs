@@ -22,6 +22,7 @@ use crate::multipaxos::MultiPaxosReplica;
 use crate::raft::RaftReplica;
 use crate::raftstar::RaftStarReplica;
 use crate::snapshot::{SnapshotConfig, SnapshotStats};
+use crate::telemetry::{MetricRegistry, MetricSample, TelemetryConfig, TimeSeries};
 use crate::types::NodeId;
 
 /// Which protocol the cluster runs.
@@ -77,6 +78,7 @@ pub struct ClusterBuilder {
     pub(crate) pipeline: PipelineConfig,
     pub(crate) shard: crate::shard::ShardConfig,
     pub(crate) rebalance: crate::shard::RebalanceConfig,
+    pub(crate) telemetry: TelemetryConfig,
 }
 
 impl ClusterBuilder {
@@ -189,6 +191,16 @@ impl ClusterBuilder {
         self
     }
 
+    /// Telemetry: the flight recorder and the virtual-time metric
+    /// sampler (default: both off). Sampling and tracing are pure
+    /// observation — enabling them never changes the event schedule or
+    /// the RNG stream, so reports stay bit-for-bit identical either
+    /// way (pinned by the conformance suite).
+    pub fn telemetry_config(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Constructs the cluster.
     ///
     /// # Panics
@@ -201,6 +213,9 @@ impl ClusterBuilder {
             "multi-group configs need build_sharded()"
         );
         let mut sim = Simulation::new(self.net.clone(), self.seed);
+        if self.telemetry.trace_capacity > 0 {
+            sim.enable_trace(self.telemetry.trace_capacity);
+        }
         let peers: Vec<ActorId> = (0..self.replicas).map(ActorId).collect();
         let client_base = self.replicas;
         let mut replicas = Vec::new();
@@ -234,6 +249,7 @@ impl ClusterBuilder {
             leader: self.leader,
             probe: None,
             probe_seq: 0,
+            metrics: MetricRegistry::new(&self.telemetry),
         }
     }
 
@@ -332,23 +348,6 @@ pub(crate) fn replica_pipeline_stats(
     }
 }
 
-/// The replica actor's live-rebalancing counters
-/// `(exports, export bytes, installs)`.
-pub(crate) fn replica_migration_stats(
-    sim: &paxraft_sim::sim::Simulation<Msg>,
-    protocol: ProtocolKind,
-    id: ActorId,
-) -> (u64, u64, u64) {
-    match protocol {
-        ProtocolKind::MultiPaxos => sim.actor::<MultiPaxosReplica>(id).migration_stats(),
-        ProtocolKind::Raft => sim.actor::<RaftReplica>(id).migration_stats(),
-        ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => {
-            sim.actor::<RaftStarReplica>(id).migration_stats()
-        }
-        ProtocolKind::RaftStarMencius => sim.actor::<MenciusReplica>(id).migration_stats(),
-    }
-}
-
 /// The replica actor's state machine (tests: cross-group exclusivity
 /// assertions).
 #[cfg(test)]
@@ -367,20 +366,72 @@ pub(crate) fn replica_kv(
     }
 }
 
-/// Client responses the replica actor has sent (commit-visible work).
-pub(crate) fn replica_responses(
+/// The replica actor's registered metric sample (named counters and
+/// gauges) — the single source the sampler and the end-of-run group
+/// aggregates read.
+pub(crate) fn replica_metrics(
     sim: &paxraft_sim::sim::Simulation<Msg>,
     protocol: ProtocolKind,
     id: ActorId,
-) -> u64 {
+) -> MetricSample {
     match protocol {
-        ProtocolKind::MultiPaxos => sim.actor::<MultiPaxosReplica>(id).responses_sent(),
-        ProtocolKind::Raft => sim.actor::<RaftReplica>(id).responses_sent(),
+        ProtocolKind::MultiPaxos => sim.actor::<MultiPaxosReplica>(id).metric_sample(),
+        ProtocolKind::Raft => sim.actor::<RaftReplica>(id).metric_sample(),
         ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => {
-            sim.actor::<RaftStarReplica>(id).responses_sent()
+            sim.actor::<RaftStarReplica>(id).metric_sample()
         }
-        ProtocolKind::RaftStarMencius => sim.actor::<MenciusReplica>(id).responses_sent(),
+        ProtocolKind::RaftStarMencius => sim.actor::<MenciusReplica>(id).metric_sample(),
     }
+}
+
+/// One sampling tick's group-level registry entries: the group's summed
+/// replica sample plus the harness-observed NIC backlog. The cumulative
+/// `responses` counter becomes the `throughput_ops` rate series;
+/// everything else records as a gauge of the instantaneous (queue
+/// depths) or cumulative (migration/redirect counts) value.
+pub(crate) fn record_group_sample(
+    registry: &mut MetricRegistry,
+    at: paxraft_sim::time::SimTime,
+    group: u32,
+    sample: &MetricSample,
+    nic_backlog_ms: f64,
+) {
+    let name = |metric: &str| format!("group{group}/{metric}");
+    registry.counter_rate(at, &name("throughput_ops"), sample.get("responses"));
+    registry.gauge(at, &name("pending_depth"), sample.get("pending_depth"));
+    registry.gauge(
+        at,
+        &name("pipeline_occupancy"),
+        sample.get("pipeline_occupancy"),
+    );
+    registry.gauge(at, &name("nic_backlog_ms"), nic_backlog_ms);
+    registry.gauge(at, &name("forwarded"), sample.get("forwarded"));
+    registry.gauge(at, &name("redirects"), sample.get("redirects"));
+    registry.gauge(at, &name("range_exports"), sample.get("range_exports"));
+    registry.gauge(at, &name("range_installs"), sample.get("range_installs"));
+}
+
+/// Sums the live replicas' metric samples and NIC backlog for one group
+/// of actors at the current instant.
+pub(crate) fn group_sample_now(
+    sim: &Simulation<Msg>,
+    protocol: ProtocolKind,
+    actors: &[ActorId],
+) -> (MetricSample, f64) {
+    let now = sim.now();
+    let mut sample = MetricSample::default();
+    let mut nic_backlog_ms = 0.0;
+    for &r in actors {
+        if sim.is_crashed(r) {
+            continue;
+        }
+        sample.merge_sum(&replica_metrics(sim, protocol, r));
+        let nic_free = sim.network().nic_free_at(r.0);
+        if nic_free > now {
+            nic_backlog_ms += (nic_free - now).as_millis_f64();
+        }
+    }
+    (sample, nic_backlog_ms)
 }
 
 /// Throughput/latency measurements from one run.
@@ -407,6 +458,9 @@ pub struct RunReport {
     /// replicas (`peak_in_flight` takes the cluster-wide maximum, i.e.
     /// the deepest any peer window got during the run).
     pub pipeline: PipelineStats,
+    /// Sampled metric time-series collected so far (empty unless
+    /// [`ClusterBuilder::telemetry_config`] enabled the sampler).
+    pub telemetry: Vec<TimeSeries>,
 }
 
 /// A built cluster ready to run.
@@ -420,6 +474,7 @@ pub struct Cluster {
     leader: NodeId,
     probe: Option<ActorId>,
     probe_seq: u64,
+    pub(crate) metrics: MetricRegistry,
 }
 
 impl Cluster {
@@ -443,6 +498,7 @@ impl Cluster {
             pipeline: PipelineConfig::default(),
             shard: crate::shard::ShardConfig::default(),
             rebalance: crate::shard::RebalanceConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -564,6 +620,36 @@ impl Cluster {
         Err("probe timed out".into())
     }
 
+    /// Advances virtual time by `d`, pausing at each due sampling
+    /// instant to read replica state into the metric registry.
+    ///
+    /// Determinism: stepping `run_until` in chunks processes the
+    /// identical event order as a single call (events are heap-ordered
+    /// by `(time, seq)`, and setting the clock between chunks is inert)
+    /// and sampling is read-only, so enabling the sampler never changes
+    /// the run.
+    fn advance(&mut self, d: SimDuration) {
+        let target = self.sim.now() + d;
+        if !self.metrics.enabled() {
+            self.sim.run_until(target);
+            return;
+        }
+        self.metrics.fast_forward(self.sim.now());
+        while self.metrics.next_due() <= target {
+            self.sim.run_until(self.metrics.next_due());
+            let (sample, nic) = group_sample_now(&self.sim, self.protocol, &self.replicas);
+            record_group_sample(&mut self.metrics, self.sim.now(), 0, &sample, nic);
+            self.metrics.advance();
+        }
+        self.sim.run_until(target);
+    }
+
+    /// The sampled metric time-series collected so far (empty unless
+    /// telemetry sampling is enabled).
+    pub fn telemetry_series(&self) -> Vec<TimeSeries> {
+        self.metrics.snapshot()
+    }
+
     /// Runs `warmup + measure + cooldown`, counting only completions
     /// inside the measurement window (Section 5: 50 s trials with 10 s
     /// warm-up and cool-down; benches use scaled-down windows).
@@ -573,11 +659,11 @@ impl Cluster {
         measure: SimDuration,
         cooldown: SimDuration,
     ) -> RunReport {
-        self.sim.run_for(warmup);
+        self.advance(warmup);
         let w_start = self.sim.now().as_nanos();
-        self.sim.run_for(measure);
+        self.advance(measure);
         let w_end = self.sim.now().as_nanos();
-        self.sim.run_for(cooldown);
+        self.advance(cooldown);
 
         let leader_region = self.regions[self.leader.0 as usize];
         let mut leader_reads = LatencyRecorder::new();
@@ -613,6 +699,7 @@ impl Cluster {
             histories,
             snapshots: self.snapshot_stats(),
             pipeline: self.pipeline_stats(),
+            telemetry: self.metrics.snapshot(),
         }
     }
 }

@@ -43,6 +43,7 @@ pub mod raftstar;
 pub mod replicate;
 pub mod shard;
 pub mod snapshot;
+pub mod telemetry;
 pub mod types;
 
 #[cfg(test)]

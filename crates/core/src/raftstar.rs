@@ -63,6 +63,14 @@ pub struct RaftStarRules {
     /// [PQL] Local reads waiting for a conflicting write to apply:
     /// `(command, serve once last_applied ≥ slot)`.
     parked_reads: Vec<(Command, Slot)>,
+    /// [PQL] Key ranges frozen by an in-log, possibly not-yet-applied
+    /// `FreezeRange`: `(slot, lo, hi)`. A lease-local read of a covered
+    /// key must wait for that slot to apply — the applied shard state
+    /// then redirects it — or the lease holder would serve a copy that
+    /// is already migrating (writes land in the destination group from
+    /// the freeze on, which never consults this replica's lease).
+    /// Pruned as slots apply.
+    frozen_in_log: Vec<(Slot, Key, Key)>,
     /// [PQL] Reads served from the local copy (stats).
     local_reads_served: u64,
 }
@@ -90,6 +98,7 @@ impl RaftStarReplica {
                 lease,
                 key_last_write: HashMap::new(),
                 parked_reads: Vec::new(),
+                frozen_in_log: Vec::new(),
                 local_reads_served: 0,
             },
         )
@@ -188,15 +197,24 @@ impl RaftStarRules {
         engine::flush_pending(self, core, ctx);
     }
 
-    /// [PQL] Records key→slot for entries from `from` onward.
+    /// [PQL] Records key→slot (and in-log freeze ranges) for entries
+    /// from `from` onward.
     fn index_writes_from(&mut self, from: Slot) {
         if self.lease.is_none() {
             return;
         }
+        // Slots from `from` on are being (re)written — an append can
+        // overwrite an uncommitted suffix, so drop their old records
+        // and re-index from the log.
+        self.frozen_in_log.retain(|(s, _, _)| *s < from);
         let mut s = from;
         while let Some(e) = self.base.log.get(s) {
-            if let Op::Put { key, .. } = &e.cmd.op {
-                self.key_last_write.insert(*key, s);
+            match &e.cmd.op {
+                Op::Put { key, .. } => {
+                    self.key_last_write.insert(*key, s);
+                }
+                Op::FreezeRange { lo, hi, .. } => self.frozen_in_log.push((s, *lo, *hi)),
+                _ => {}
             }
             s = s.next();
         }
@@ -250,6 +268,10 @@ impl RaftStarRules {
 
     fn apply_committed(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
         self.base.apply_loop(core, ctx);
+        // Applied freezes live in the shard state now; the in-log gate
+        // only needs the unapplied suffix.
+        let applied = self.base.last_applied;
+        self.frozen_in_log.retain(|(s, _, _)| *s > applied);
         self.serve_parked_reads(core, ctx);
         self.base.maybe_compact(core, ctx);
     }
@@ -267,6 +289,14 @@ impl RaftStarRules {
             serve.into_iter().map(|(c, _)| c).collect()
         };
         for cmd in ready {
+            // The key's range may have frozen while the read was parked
+            // (the park target can be the freeze slot itself): once
+            // applied, the shard state owns the answer and the read must
+            // chase the range to its new group, not read the local copy.
+            if let Some((group, version)) = core.misroute(&cmd.op) {
+                core.send_redirect(ctx, cmd.id, group, version);
+                continue;
+            }
             // The conflict index was snapshotted at arrival (Figure 13
             // line 4): the read linearizes right after that write, so it
             // must NOT re-park behind newer writes — that would starve
@@ -565,12 +595,26 @@ impl ProtocolRules for RaftStarRules {
             .as_ref()
             .map(|l| l.read_floor())
             .unwrap_or(Slot::NONE);
+        // An in-log `FreezeRange` covering the key gates the read even
+        // though it is not a write to the key: from the freeze's slot
+        // on, writes to the range commit in the *destination* group
+        // without consulting this lease, so serving the local copy past
+        // it would be stale. Parking until the freeze applies routes
+        // the read through the applied shard state's redirect.
+        let freeze_gate = self
+            .frozen_in_log
+            .iter()
+            .filter(|(_, lo, hi)| (*lo..*hi).contains(key))
+            .map(|(s, _, _)| *s)
+            .max()
+            .unwrap_or(Slot::NONE);
         let conflict = self
             .key_last_write
             .get(key)
             .copied()
             .unwrap_or(Slot::NONE)
-            .max(lease_floor);
+            .max(lease_floor)
+            .max(freeze_gate);
         if conflict > self.base.last_applied {
             // Figure 13 line 4: wait until the conflicting write commits
             // and applies locally — and, after a lease lapse, until the

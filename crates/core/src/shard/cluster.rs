@@ -10,12 +10,13 @@ use paxraft_workload::metrics::LatencyRecorder;
 use crate::client::{ClientRouting, WorkloadClient};
 use crate::engine::PipelineStats;
 use crate::harness::{
-    make_replica, replica_is_leader, replica_migration_stats, replica_pipeline_stats,
-    replica_responses, replica_snap_stats, Cluster, ClusterBuilder, ProtocolKind, RunReport,
+    group_sample_now, make_replica, record_group_sample, replica_is_leader, replica_metrics,
+    replica_pipeline_stats, replica_snap_stats, Cluster, ClusterBuilder, ProtocolKind, RunReport,
 };
 use crate::kv::{CmdId, Command, Op, Reply};
 use crate::msg::{ClientMsg, Msg};
 use crate::snapshot::SnapshotStats;
+use crate::telemetry::{MetricRegistry, MetricSample, TimeSeries};
 use crate::types::NodeId;
 
 use super::{RebalanceCoordinator, ShardMembership, ShardRouter};
@@ -122,6 +123,7 @@ pub struct ShardedCluster {
     coordinator: Option<ActorId>,
     probe: Option<ActorId>,
     probe_seq: u64,
+    metrics: MetricRegistry,
 }
 
 impl ClusterBuilder {
@@ -144,6 +146,9 @@ impl ClusterBuilder {
         let groups = self.shard.groups.max(1);
         let n = self.replicas;
         let mut sim = Simulation::new(self.net.clone(), self.seed);
+        if self.telemetry.trace_capacity > 0 {
+            sim.enable_trace(self.telemetry.trace_capacity);
+        }
         let router = ShardRouter::from_workload(&self.workload, groups);
         let client_base = groups * n;
         let mut group_actors = Vec::with_capacity(groups);
@@ -223,6 +228,7 @@ impl ClusterBuilder {
             coordinator,
             probe: None,
             probe_seq: 0,
+            metrics: MetricRegistry::new(&self.telemetry),
         }
     }
 }
@@ -342,7 +348,9 @@ impl ShardedCluster {
         }
     }
 
-    /// Per-group commit/snapshot/pipeline counters.
+    /// Per-group commit/snapshot/pipeline counters, read from the same
+    /// named [`MetricSample`]s the virtual-time sampler folds into
+    /// time-series (one source of truth for aggregates and series).
     pub fn per_group_stats(&self) -> Vec<GroupStats> {
         self.group_actors
             .iter()
@@ -350,26 +358,20 @@ impl ShardedCluster {
             .map(|(g, actors)| {
                 let mut snapshots = SnapshotStats::default();
                 let mut pipeline = PipelineStats::default();
-                let mut responses = 0;
-                let mut range_exports = 0;
-                let mut range_installs = 0;
+                let mut sample = MetricSample::default();
                 for &r in actors {
                     snapshots.absorb(&replica_snap_stats(&self.sim, self.protocol, r));
                     pipeline.absorb(&replica_pipeline_stats(&self.sim, self.protocol, r));
-                    responses += replica_responses(&self.sim, self.protocol, r);
-                    let (exports, _, installs) =
-                        replica_migration_stats(&self.sim, self.protocol, r);
-                    range_exports += exports;
-                    range_installs += installs;
+                    sample.merge_sum(&replica_metrics(&self.sim, self.protocol, r));
                 }
                 GroupStats {
                     group: g as u32,
                     leader: self.leaders[g],
-                    responses,
+                    responses: sample.get("responses") as u64,
                     snapshots,
                     pipeline,
-                    range_exports,
-                    range_installs,
+                    range_exports: sample.get("range_exports") as u64,
+                    range_installs: sample.get("range_installs") as u64,
                 }
             })
             .collect()
@@ -459,11 +461,11 @@ impl ShardedCluster {
         measure: SimDuration,
         cooldown: SimDuration,
     ) -> RunReport {
-        self.sim.run_for(warmup);
+        self.advance(warmup);
         let w_start = self.sim.now().as_nanos();
-        self.sim.run_for(measure);
+        self.advance(measure);
         let w_end = self.sim.now().as_nanos();
-        self.sim.run_for(cooldown);
+        self.advance(cooldown);
 
         let leader_region = self.regions[self.leaders[0].0 as usize];
         let mut leader_reads = LatencyRecorder::new();
@@ -506,7 +508,38 @@ impl ShardedCluster {
             histories,
             snapshots,
             pipeline,
+            telemetry: self.metrics.snapshot(),
         }
+    }
+
+    /// Advances virtual time by `d`, pausing at each due sampling
+    /// instant to fold every group's replica state into the metric
+    /// registry (`group{g}/…` series). Sampling is read-only between
+    /// simulation steps, so enabling it never changes the event
+    /// schedule or the RNG stream.
+    pub fn advance(&mut self, d: SimDuration) {
+        let target = self.sim.now() + d;
+        if !self.metrics.enabled() {
+            self.sim.run_until(target);
+            return;
+        }
+        self.metrics.fast_forward(self.sim.now());
+        while self.metrics.next_due() <= target {
+            self.sim.run_until(self.metrics.next_due());
+            let now = self.sim.now();
+            for (g, actors) in self.group_actors.iter().enumerate() {
+                let (sample, nic) = group_sample_now(&self.sim, self.protocol, actors);
+                record_group_sample(&mut self.metrics, now, g as u32, &sample, nic);
+            }
+            self.metrics.advance();
+        }
+        self.sim.run_until(target);
+    }
+
+    /// The sampled per-group metric time-series collected so far (empty
+    /// unless telemetry sampling is enabled).
+    pub fn telemetry_series(&self) -> Vec<TimeSeries> {
+        self.metrics.snapshot()
     }
 }
 
@@ -578,6 +611,54 @@ mod tests {
                 "{}: shards=1 is the unsharded cluster",
                 p.name()
             );
+        }
+    }
+
+    /// Telemetry parity in the sharded harness: enabling the sampler
+    /// and the flight recorder on a 2-group run *with a scripted
+    /// migration racing the measurement window* changes nothing in the
+    /// [`RunReport`] — and the enabled run collects one series set per
+    /// group.
+    #[test]
+    fn sharded_telemetry_on_and_off_runs_are_bit_for_bit() {
+        use crate::shard::{MigrationSpec, RebalanceConfig};
+        use crate::telemetry::TelemetryConfig;
+        let run = |telemetry: TelemetryConfig| {
+            let mut cluster = Cluster::builder(ProtocolKind::Raft)
+                .shard_config(ShardConfig::groups(2))
+                .clients_per_region(2)
+                .rebalance_config(RebalanceConfig::default().migrate(MigrationSpec {
+                    at: SimDuration::from_secs(3),
+                    lo: 0,
+                    hi: 1,
+                    to_group: 1,
+                }))
+                .workload(parity_workload())
+                .telemetry_config(telemetry)
+                .seed(31)
+                .build_sharded();
+            cluster.elect_leaders();
+            let r = cluster.run_measurement(
+                SimDuration::from_secs(2),
+                SimDuration::from_secs(4),
+                SimDuration::from_secs(1),
+            );
+            let fp = report_fingerprint(&r, cluster.sim.now());
+            (fp, r.telemetry)
+        };
+        let (off, series_off) = run(TelemetryConfig::default());
+        let (on, series_on) = run(TelemetryConfig::sampled());
+        assert_eq!(off, on, "telemetry never perturbs the sharded run");
+        assert!(series_off.is_empty(), "off-run collects nothing");
+        for g in 0..2 {
+            for metric in ["throughput_ops", "pending_depth", "range_exports"] {
+                let name = format!("group{g}/{metric}");
+                let s = series_on
+                    .iter()
+                    .find(|s| s.name == name)
+                    .unwrap_or_else(|| panic!("series {name} collected"));
+                assert!(!s.is_empty(), "{name} has samples");
+            }
         }
     }
 

@@ -127,6 +127,10 @@ pub fn cluster_with(
     mut make: impl FnMut(ReplicaConfig) -> Box<dyn Actor<Msg>>,
 ) -> (Simulation<Msg>, Vec<ActorId>, ActorId) {
     let mut sim = Simulation::new(NetConfig::default(), 7);
+    // Flight recorder on for every protocol test: recording never
+    // perturbs the schedule (pinned by the sim crate's parity test),
+    // and a failing scenario dumps the tail for post-mortem context.
+    sim.enable_trace(TRACE_CAPACITY);
     let peers: Vec<ActorId> = (0..n).map(ActorId).collect();
     let mut replicas = Vec::new();
     for i in 0..n {
@@ -140,8 +144,17 @@ pub fn cluster_with(
     (sim, replicas, client)
 }
 
+/// Flight-recorder ring capacity for test clusters.
+pub const TRACE_CAPACITY: usize = 256;
+
+/// How many trace events a failure dump prints.
+pub const TRACE_DUMP_LAST: usize = 40;
+
 /// Steps the simulation in 50 ms increments until `pred` holds or
-/// `deadline` passes. Returns whether the predicate held.
+/// `deadline` passes. Returns whether the predicate held; on timeout
+/// (the caller is about to fail its assertion) the tail of the flight
+/// recorder goes to stderr first, so the failure carries the event
+/// context that led to it.
 pub fn drive_until<F>(sim: &mut Simulation<Msg>, deadline: SimTime, mut pred: F) -> bool
 where
     F: FnMut(&Simulation<Msg>) -> bool,
@@ -151,8 +164,35 @@ where
             return true;
         }
         if sim.now() >= deadline {
+            eprintln!(
+                "drive_until: predicate still false at {} — last {} trace events:\n{}",
+                sim.now(),
+                TRACE_DUMP_LAST.min(sim.trace().len()),
+                sim.trace().render_last(TRACE_DUMP_LAST)
+            );
             return false;
         }
         sim.run_for(SimDuration::from_millis(50));
+    }
+}
+
+/// Runs `f`; if it panics (a failed assertion), prints the tail of the
+/// simulation's flight recorder before resuming the unwind — the
+/// conformance suite wraps its densest invariant blocks in this so a
+/// red assertion comes with the recent event history.
+pub fn with_trace_dump<R>(
+    sim: &mut Simulation<Msg>,
+    f: impl FnOnce(&mut Simulation<Msg>) -> R,
+) -> R {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(sim))) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "assertion failed — last {} trace events:\n{}",
+                TRACE_DUMP_LAST.min(sim.trace().len()),
+                sim.trace().render_last(TRACE_DUMP_LAST)
+            );
+            std::panic::resume_unwind(e)
+        }
     }
 }

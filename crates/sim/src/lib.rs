@@ -50,9 +50,11 @@ pub mod net;
 pub mod rng;
 pub mod sim;
 pub mod time;
+pub mod trace;
 
 pub use fault::FaultPlan;
 pub use net::{NetConfig, Network, Region};
 pub use rng::SimRng;
 pub use sim::{Actor, ActorId, Ctx, Payload, SimStats, Simulation};
 pub use time::{SimDuration, SimTime};
+pub use trace::{FlightRecorder, TraceEvent, TraceKind};

@@ -22,6 +22,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use crate::net::{Delivery, NetConfig, Network, Region};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{FlightRecorder, TraceKind};
 
 /// Identifies an actor within a simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -85,6 +86,7 @@ pub struct Ctx<'a, M> {
     now: SimTime,
     self_id: ActorId,
     rng: &'a mut SimRng,
+    trace: &'a mut FlightRecorder,
     outputs: Vec<Output<M>>,
     charge: SimDuration,
     nic_backlog: SimDuration,
@@ -139,6 +141,15 @@ impl<'a, M> Ctx<'a, M> {
     /// already-saturated NIC cannot hide.
     pub fn nic_backlog(&self) -> SimDuration {
         self.nic_backlog
+    }
+
+    /// Records an application-level event in the flight recorder
+    /// (command applies, migration phases, …). Observation only: a
+    /// single branch when tracing is off, and never perturbs the RNG
+    /// schedule when on.
+    pub fn trace_app(&mut self, tag: &'static str, a: u64, b: u64) {
+        self.trace
+            .record(self.now, self.self_id, TraceKind::App { tag, a, b });
     }
 }
 
@@ -226,6 +237,7 @@ pub struct Simulation<M: Payload> {
     process_scheduled: Vec<bool>,
     timer_epoch: Vec<u64>,
     started: bool,
+    trace: FlightRecorder,
     /// Event/delivery counters.
     pub stats: SimStats,
 }
@@ -247,8 +259,22 @@ impl<M: Payload> Simulation<M> {
             process_scheduled: Vec::new(),
             timer_epoch: Vec::new(),
             started: false,
+            trace: FlightRecorder::disabled(),
             stats: SimStats::default(),
         }
+    }
+
+    /// Turns on the flight recorder, keeping the last `capacity`
+    /// events. Tracing is pure observation — enabling it never changes
+    /// the event schedule or the RNG stream.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = FlightRecorder::with_capacity(capacity);
+    }
+
+    /// The flight recorder (disabled unless
+    /// [`Simulation::enable_trace`] was called).
+    pub fn trace(&self) -> &FlightRecorder {
+        &self.trace
     }
 
     /// Adds an actor in `region`, returning its id. Actors added after
@@ -392,6 +418,7 @@ impl<M: Payload> Simulation<M> {
             now: start,
             self_id: ActorId(i),
             rng: &mut self.rng,
+            trace: &mut self.trace,
             outputs: Vec::new(),
             charge: SimDuration::ZERO,
             nic_backlog: if nic_free > start {
@@ -412,11 +439,18 @@ impl<M: Payload> Simulation<M> {
                     if to == ActorId::EXTERNAL {
                         continue;
                     }
-                    match self
-                        .net
-                        .send(done, i, to.0, msg.size_bytes(), &mut self.rng)
-                    {
+                    let bytes = msg.size_bytes();
+                    match self.net.send(done, i, to.0, bytes, &mut self.rng) {
                         Delivery::ArriveAt(at) => {
+                            self.trace.record(
+                                done,
+                                ActorId(i),
+                                TraceKind::Send {
+                                    to,
+                                    bytes,
+                                    dropped: false,
+                                },
+                            );
                             // Loopback sends skip the NIC entirely.
                             let charged = i == to.0;
                             self.push(
@@ -429,7 +463,18 @@ impl<M: Payload> Simulation<M> {
                                 },
                             );
                         }
-                        Delivery::Dropped => self.stats.lost += 1,
+                        Delivery::Dropped => {
+                            self.trace.record(
+                                done,
+                                ActorId(i),
+                                TraceKind::Send {
+                                    to,
+                                    bytes,
+                                    dropped: true,
+                                },
+                            );
+                            self.stats.lost += 1;
+                        }
                     }
                 }
                 Output::Timer { delay, token } => {
@@ -509,11 +554,18 @@ impl<M: Payload> Simulation<M> {
                     match item {
                         Incoming::Msg { from, msg } => {
                             self.stats.deliveries += 1;
+                            self.trace
+                                .record(self.now, ActorId(dst), TraceKind::Recv { from });
                             self.run_handler(dst, |a, ctx| a.on_message(ctx, from, msg));
                         }
                         Incoming::Timer { token, epoch } => {
                             if epoch == self.timer_epoch[dst] {
                                 self.stats.timer_fires += 1;
+                                self.trace.record(
+                                    self.now,
+                                    ActorId(dst),
+                                    TraceKind::TimerFire { token },
+                                );
                                 self.run_handler(dst, |a, ctx| a.on_timer(ctx, token));
                             }
                         }
@@ -535,6 +587,7 @@ impl<M: Payload> Simulation<M> {
                     let lost = self.inbox[i].len() as u64;
                     self.stats.lost += lost;
                     self.inbox[i].clear();
+                    self.trace.record(self.now, ActorId(i), TraceKind::Crash);
                     self.actors[i].on_crash();
                 }
             }
@@ -542,6 +595,7 @@ impl<M: Payload> Simulation<M> {
                 if self.crashed[i] {
                     self.crashed[i] = false;
                     self.cpu_free[i] = self.now;
+                    self.trace.record(self.now, ActorId(i), TraceKind::Restart);
                     self.run_handler(i, |a, ctx| a.on_start(ctx));
                 }
             }
@@ -812,6 +866,39 @@ mod tests {
         assert_eq!(run(99), run(99));
         // Jitter makes different seeds differ.
         assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn tracing_never_perturbs_the_schedule() {
+        // Jittered network so the RNG stream matters; the traced run
+        // must follow the identical schedule.
+        let run = |trace: bool| {
+            let mut sim = Simulation::new(NetConfig::default(), 99);
+            if trace {
+                sim.enable_trace(64);
+            }
+            let b_id = ActorId(1);
+            let _a = sim.add_actor(
+                Region::Oregon,
+                Box::new(Starter {
+                    peer: b_id,
+                    got: Vec::new(),
+                }),
+            );
+            let b = sim.add_actor(Region::Seoul, Box::new(Echo::new(5, true)));
+            sim.crash_at(b, SimTime::from_millis(400));
+            sim.restart_at(b, SimTime::from_millis(500));
+            sim.run_until(SimTime::from_secs(1));
+            let e: &Echo = sim.actor(b);
+            let times: Vec<u64> = e.received.iter().map(|r| r.2.as_nanos()).collect();
+            (times, sim.stats.events, sim.trace().recorded())
+        };
+        let (plain, plain_events, plain_recorded) = run(false);
+        let (traced, traced_events, traced_recorded) = run(true);
+        assert_eq!(plain, traced, "delivery schedule identical");
+        assert_eq!(plain_events, traced_events, "event count identical");
+        assert_eq!(plain_recorded, 0);
+        assert!(traced_recorded > 0, "the traced run did record events");
     }
 
     #[test]

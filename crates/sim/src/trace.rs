@@ -1,0 +1,272 @@
+//! A deterministic flight recorder: a bounded ring buffer of structured
+//! trace events stamped with virtual time.
+//!
+//! The recorder is **observation only**. Recording never draws from the
+//! simulation RNG, never schedules or reorders events, and never charges
+//! time, so a run with tracing enabled is bit-for-bit identical to the
+//! same run with tracing disabled. When disabled (capacity 0) the hot
+//! path is a single branch in [`FlightRecorder::record`].
+//!
+//! The buffer keeps the *last* `capacity` events: when a test assertion
+//! fails, the tail of the trace is exactly the window that explains it
+//! (see the conformance suite's dump-on-failure hooks).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::sim::ActorId;
+use crate::time::SimTime;
+
+/// What happened at one traced instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A handler queued a message to `to` (`dropped` when the network
+    /// lost it to a partition/drop fault at send time).
+    Send {
+        /// Destination actor.
+        to: ActorId,
+        /// Wire size of the payload.
+        bytes: usize,
+        /// Lost at send time (partition or drop fault).
+        dropped: bool,
+    },
+    /// A message from `from` was handed to the actor's handler.
+    Recv {
+        /// Source actor.
+        from: ActorId,
+    },
+    /// A live timer matured and was handed to the actor's handler.
+    TimerFire {
+        /// The token the actor armed the timer with.
+        token: u64,
+    },
+    /// The fault injector crashed the actor.
+    Crash,
+    /// The fault injector restarted the actor.
+    Restart,
+    /// An application-level event recorded via [`crate::sim::Ctx::trace_app`]
+    /// (command applies, migration phases, …). `a`/`b` are
+    /// tag-dependent payload words.
+    App {
+        /// Static label, e.g. `"apply"` or `"mig-export"`.
+        tag: &'static str,
+        /// First payload word (tag-dependent).
+        a: u64,
+        /// Second payload word (tag-dependent).
+        b: u64,
+    },
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceKind::Send { to, bytes, dropped } => {
+                let lost = if *dropped { " LOST" } else { "" };
+                write!(f, "send -> a{:<3} {bytes} B{lost}", to.0)
+            }
+            TraceKind::Recv { from } => {
+                if *from == ActorId::EXTERNAL {
+                    write!(f, "recv <- external")
+                } else {
+                    write!(f, "recv <- a{}", from.0)
+                }
+            }
+            TraceKind::TimerFire { token } => write!(f, "timer token={token:#x}"),
+            TraceKind::Crash => write!(f, "crash"),
+            TraceKind::Restart => write!(f, "restart"),
+            TraceKind::App { tag, a, b } => write!(f, "{tag} a={a} b={b}"),
+        }
+    }
+}
+
+/// One recorded event: what, who, and when (virtual time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// The actor the event happened at.
+    pub actor: ActorId,
+    /// The event itself.
+    pub kind: TraceKind,
+}
+
+/// The bounded ring buffer of [`TraceEvent`]s.
+///
+/// Capacity 0 (the default) disables recording entirely.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+    recorded: u64,
+}
+
+impl FlightRecorder {
+    /// A disabled recorder (capacity 0); [`FlightRecorder::record`] is a
+    /// single branch.
+    pub fn disabled() -> Self {
+        FlightRecorder::default()
+    }
+
+    /// A recorder keeping the last `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+            recorded: 0,
+        }
+    }
+
+    /// Whether recording is on.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records one event; no-op (one branch) when disabled.
+    #[inline]
+    pub fn record(&mut self, at: SimTime, actor: ActorId, kind: TraceKind) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(TraceEvent { at, actor, kind });
+        self.recorded += 1;
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever recorded, including those the ring evicted.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Pretty-prints the last `n` retained events, oldest first — the
+    /// diagnostic dumped when a traced test fails.
+    pub fn render_last(&self, n: usize) -> String {
+        if !self.enabled() {
+            return String::from("flight recorder disabled (capacity 0)\n");
+        }
+        let skip = self.buf.len().saturating_sub(n);
+        let mut out = format!(
+            "flight recorder: last {} of {} recorded events\n",
+            self.buf.len() - skip,
+            self.recorded
+        );
+        for ev in self.buf.iter().skip(skip) {
+            out.push_str(&format!(
+                "  {:>14}  a{:<3}  {}\n",
+                ev.at.to_string(),
+                ev.actor.0,
+                ev.kind
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> (SimTime, ActorId, TraceKind) {
+        (
+            SimTime::from_millis(n),
+            ActorId(n as usize),
+            TraceKind::TimerFire { token: n },
+        )
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = FlightRecorder::disabled();
+        assert!(!r.enabled());
+        let (at, actor, kind) = ev(1);
+        r.record(at, actor, kind);
+        assert!(r.is_empty());
+        assert_eq!(r.recorded(), 0);
+        assert!(r.render_last(10).contains("disabled"));
+    }
+
+    #[test]
+    fn ring_keeps_only_the_last_capacity_events() {
+        let mut r = FlightRecorder::with_capacity(3);
+        for n in 0..10 {
+            let (at, actor, kind) = ev(n);
+            r.record(at, actor, kind);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.recorded(), 10);
+        let kept: Vec<u64> = r
+            .events()
+            .map(|e| match e.kind {
+                TraceKind::TimerFire { token } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn render_last_shows_newest_tail() {
+        let mut r = FlightRecorder::with_capacity(8);
+        for n in 0..5 {
+            let (at, actor, kind) = ev(n);
+            r.record(at, actor, kind);
+        }
+        let s = r.render_last(2);
+        assert!(s.contains("token=0x3"), "{s}");
+        assert!(s.contains("token=0x4"), "{s}");
+        assert!(!s.contains("token=0x2"), "{s}");
+    }
+
+    #[test]
+    fn kinds_render_readably() {
+        let send = TraceKind::Send {
+            to: ActorId(4),
+            bytes: 128,
+            dropped: false,
+        };
+        assert_eq!(send.to_string(), "send -> a4   128 B");
+        let lost = TraceKind::Send {
+            to: ActorId(4),
+            bytes: 128,
+            dropped: true,
+        };
+        assert!(lost.to_string().ends_with("LOST"));
+        assert_eq!(
+            TraceKind::Recv { from: ActorId(2) }.to_string(),
+            "recv <- a2"
+        );
+        assert_eq!(
+            TraceKind::Recv {
+                from: ActorId::EXTERNAL
+            }
+            .to_string(),
+            "recv <- external"
+        );
+        assert_eq!(TraceKind::Crash.to_string(), "crash");
+        assert_eq!(
+            TraceKind::App {
+                tag: "apply",
+                a: 1,
+                b: 2
+            }
+            .to_string(),
+            "apply a=1 b=2"
+        );
+    }
+}
