@@ -59,6 +59,88 @@ impl Default for MenciusConfig {
     }
 }
 
+/// When an fsync is forced on the durability path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FsyncPolicy {
+    /// One fsync per appended entry, in order: every entry waits out its
+    /// own flush barrier before anything that attests to it is sent.
+    /// The faithful-but-slow baseline.
+    FsyncPerEntry,
+    /// Group commit: entries accumulate unsynced and one batched fsync
+    /// covers all of them. At most one fsync is in flight; the next is
+    /// issued when `max_batch` entries are waiting, or `max_delay` after
+    /// the first unsynced entry, whichever comes first.
+    GroupCommit {
+        /// Issue the next fsync immediately once this many entries wait.
+        max_batch: usize,
+        /// Longest an unsynced entry waits before an fsync is forced.
+        max_delay: SimDuration,
+    },
+}
+
+/// Durability model for one replica: whether acknowledgements wait for
+/// fsync, and how the simulated disk is provisioned.
+///
+/// The default (`policy: None`) is the pre-durability model — appends
+/// are instantly durable, nothing touches the disk model, and the event
+/// schedule is bit-for-bit identical to builds that predate it (pinned
+/// by `PARITY_pr5.txt`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DurabilityConfig {
+    /// Fsync scheduling policy; `None` disables the durability model.
+    pub policy: Option<FsyncPolicy>,
+    /// Device latency of one fsync.
+    pub fsync_latency: SimDuration,
+    /// Disk write bandwidth in bytes/sec; `0.0` = infinite.
+    pub write_bandwidth_bps: f64,
+}
+
+impl DurabilityConfig {
+    /// Fsync-per-entry on a disk with the given fsync latency.
+    pub fn per_entry(fsync_latency: SimDuration) -> Self {
+        DurabilityConfig {
+            policy: Some(FsyncPolicy::FsyncPerEntry),
+            fsync_latency,
+            write_bandwidth_bps: 0.0,
+        }
+    }
+
+    /// Group commit on a disk with the given fsync latency.
+    pub fn group_commit(
+        fsync_latency: SimDuration,
+        max_batch: usize,
+        max_delay: SimDuration,
+    ) -> Self {
+        DurabilityConfig {
+            policy: Some(FsyncPolicy::GroupCommit {
+                max_batch,
+                max_delay,
+            }),
+            fsync_latency,
+            write_bandwidth_bps: 0.0,
+        }
+    }
+
+    /// This config with the given write bandwidth (bytes/sec).
+    pub fn with_bandwidth(mut self, bps: f64) -> Self {
+        self.write_bandwidth_bps = bps;
+        self
+    }
+
+    /// Whether acks wait for fsync.
+    pub fn enabled(&self) -> bool {
+        self.policy.is_some()
+    }
+
+    /// The sim-level disk parameters this config provisions.
+    pub fn disk_config(&self) -> paxraft_sim::disk::DiskConfig {
+        paxraft_sim::disk::DiskConfig {
+            write_bandwidth_bps: self.write_bandwidth_bps,
+            fsync_latency: self.fsync_latency,
+        }
+    }
+}
+
 /// Configuration for one replica.
 #[derive(Debug, Clone)]
 pub struct ReplicaConfig {
@@ -103,6 +185,9 @@ pub struct ReplicaConfig {
     /// [`crate::kv::Reply::WrongGroup`] redirect instead of executing
     /// against the wrong group's state.
     pub shard: Option<ShardMembership>,
+    /// Durable-storage model: fsync policy + disk provisioning
+    /// (disabled by default — appends are instantly durable).
+    pub durability: DurabilityConfig,
 }
 
 impl ReplicaConfig {
@@ -128,6 +213,7 @@ impl ReplicaConfig {
             snapshot: SnapshotConfig::default(),
             pipeline: PipelineConfig::default(),
             shard: None,
+            durability: DurabilityConfig::default(),
         }
     }
 
@@ -229,6 +315,11 @@ impl ReplicaConfig {
         }
         if self.snapshot.enabled() && self.snapshot.chunk_bytes == 0 {
             return Err("snapshot chunk_bytes must be positive".into());
+        }
+        if let Some(FsyncPolicy::GroupCommit { max_batch, .. }) = &self.durability.policy {
+            if *max_batch == 0 {
+                return Err("group-commit max_batch must be positive".into());
+            }
         }
         Ok(())
     }

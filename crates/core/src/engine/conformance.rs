@@ -13,7 +13,7 @@
 use paxraft_sim::sim::{Actor, ActorId, Simulation};
 use paxraft_sim::time::{SimDuration, SimTime};
 
-use crate::config::ReplicaConfig;
+use crate::config::{DurabilityConfig, ReplicaConfig};
 use crate::engine::{PipelineConfig, ProtocolRules, ReplicaEngine};
 use crate::harness::{Cluster, ProtocolKind};
 use crate::mencius::MenciusReplica;
@@ -879,6 +879,221 @@ fn crash_while_batch_timer_armed_recovers_cleanly() {
         );
     }
     for_all_protocols!(scenario);
+}
+
+/// Group-commit durability for the conformance scenarios: a 1 ms fsync
+/// device with batched flushes, slow enough that a crash injected right
+/// after an append reliably lands inside the fsync window.
+fn conformance_durability() -> DurabilityConfig {
+    DurabilityConfig::group_commit(SimDuration::from_millis(1), 8, SimDuration::from_millis(2))
+}
+
+/// The new failure mode durability introduces: crash a replica holding
+/// an appended-but-unsynced suffix, restart it, and require that (a) it
+/// recovered to the last fsynced prefix — the unsynced entries simply
+/// never happened on that replica, (b) no *acknowledged* write is lost
+/// (under group commit an ack only ever follows the batched fsync that
+/// covers it, so an acked entry is durable on the quorum that committed
+/// it), (c) dedup is still exactly-once through the crash, and (d) the
+/// cluster reconverges to a single state. Runs against all four rule
+/// sets — the truncate-and-recover path is engine code, but each
+/// protocol's recovery differs (Raft re-replicates from the leader,
+/// Mencius self-revokes its lost slots).
+#[test]
+fn crash_with_unsynced_suffix_recovers_to_fsynced_prefix() {
+    fn scenario<P: ProtocolRules>(name: &str, make: fn(ReplicaConfig) -> ReplicaEngine<P>) {
+        let (mut sim, replicas, client) = conformance_cluster(3, None, move |mut cfg| {
+            cfg.durability = conformance_durability();
+            make(cfg)
+        });
+        // Warm-up write; its reply is an end-to-end ack, which under
+        // group commit implies the entry is fsynced on a quorum.
+        sim.actor_mut::<TestClient>(client).enqueue_put(1);
+        assert!(
+            drive_until(&mut sim, SimTime::from_secs(5), |sim| {
+                sim.actor::<TestClient>(client).replies.len() == 1
+            }),
+            "{name}: acked warm-up write"
+        );
+        // Inject a full batch at the serving replica — batch-full cuts
+        // flush immediately, so the entries are appended and their
+        // durability write issued right away — then crash it well inside
+        // the 1 ms fsync window, while the suffix is still unsynced.
+        let sink = sim.add_actor(
+            paxraft_sim::net::Region::Oregon,
+            Box::new(TestClient::new(1, replicas[0])),
+        );
+        let sink_client = (sink.0 - replicas.len()) as u32;
+        let batch_max = sim
+            .actor::<ReplicaEngine<P>>(replicas[0])
+            .core
+            .cfg
+            .batch_max;
+        for seq in 1..=batch_max as u64 {
+            let cmd = crate::kv::Command::put(
+                crate::kv::CmdId {
+                    client: sink_client,
+                    seq,
+                },
+                100 + seq,
+                vec![0; 8],
+            );
+            sim.send_external(
+                replicas[0],
+                Msg::Client(ClientMsg::Request { cmd }),
+                SimDuration::ZERO,
+            );
+        }
+        sim.run_for(SimDuration::from_micros(100));
+        {
+            let dur = &sim.actor::<ReplicaEngine<P>>(replicas[0]).core.dur;
+            assert!(
+                dur.write_seq() > dur.synced_seq(),
+                "{name}: crash is aimed at a genuinely unsynced suffix \
+                 (write_seq {} vs synced_seq {})",
+                dur.write_seq(),
+                dur.synced_seq()
+            );
+        }
+        sim.crash_at(replicas[0], sim.now() + SimDuration::from_micros(10));
+        sim.restart_at(replicas[0], sim.now() + SimDuration::from_millis(50));
+        sim.run_for(SimDuration::from_millis(100));
+        {
+            let dur = &sim.actor::<ReplicaEngine<P>>(replicas[0]).core.dur;
+            assert_eq!(
+                dur.write_seq(),
+                dur.synced_seq(),
+                "{name}: restart rewound the write sequence to the fsynced prefix"
+            );
+        }
+        // Fail over and finish: new work commits, and the acked warm-up
+        // write is still readable.
+        sim.actor_mut::<TestClient>(client).target = replicas[1];
+        sim.actor_mut::<TestClient>(client).enqueue_put(2);
+        sim.actor_mut::<TestClient>(client).enqueue_get(2);
+        sim.actor_mut::<TestClient>(client).enqueue_get(1);
+        assert!(
+            drive_until(&mut sim, SimTime::from_secs(60), |sim| {
+                sim.actor::<TestClient>(client).replies.len() == 4
+            }),
+            "{name}: survivor served the remaining ops"
+        );
+        let c = sim.actor::<TestClient>(client);
+        assert!(
+            c.replies[2].1.value_id().is_some(),
+            "{name}: post-crash write committed"
+        );
+        assert!(
+            c.replies[3].1.value_id().is_some(),
+            "{name}: acked pre-crash write survived the unsynced-suffix crash"
+        );
+        // Dedup across the crash: resend the warm-up command; the
+        // session table must answer from cache, not re-apply.
+        sim.run_for(SimDuration::from_secs(1));
+        let before = sim
+            .actor::<ReplicaEngine<P>>(replicas[1])
+            .kv()
+            .applied_ops();
+        let cmd = sim.actor::<TestClient>(client).sent[0].clone();
+        sim.send_external(
+            replicas[1],
+            Msg::Client(ClientMsg::Request { cmd }),
+            SimDuration::ZERO,
+        );
+        sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(
+            sim.actor::<ReplicaEngine<P>>(replicas[1])
+                .kv()
+                .applied_ops(),
+            before,
+            "{name}: duplicate of an acked pre-crash write did not re-apply"
+        );
+        // Reconvergence: the restarted replica catches back up and every
+        // replica agrees on the acked keys.
+        let converge_by = sim.now() + SimDuration::from_secs(60);
+        assert!(
+            drive_until(&mut sim, converge_by, |sim| {
+                let lead = sim
+                    .actor::<ReplicaEngine<P>>(replicas[1])
+                    .kv()
+                    .applied_ops();
+                replicas
+                    .iter()
+                    .all(|&r| sim.actor::<ReplicaEngine<P>>(r).kv().applied_ops() == lead)
+            }),
+            "{name}: restarted replica reconverged"
+        );
+        with_trace_dump(&mut sim, |sim| {
+            for &r in &replicas {
+                let rep = sim.actor::<ReplicaEngine<P>>(r);
+                for k in [1u64, 2] {
+                    assert_eq!(
+                        rep.kv().read_local(k).value_id(),
+                        sim.actor::<ReplicaEngine<P>>(replicas[1])
+                            .kv()
+                            .read_local(k)
+                            .value_id(),
+                        "{name}: replica {r:?} agrees at key {k}"
+                    );
+                }
+            }
+        });
+        // The scenario actually exercised the disk: survivors fsynced
+        // and deferred acks behind those fsyncs.
+        let stats = sim
+            .actor::<ReplicaEngine<P>>(replicas[1])
+            .durability_stats();
+        assert!(stats.fsyncs > 0, "{name}: survivor fsynced ({stats:?})");
+        assert!(
+            stats.deferred_acks > 0,
+            "{name}: acks were deferred behind fsyncs ({stats:?})"
+        );
+    }
+    for_all_protocols!(scenario);
+}
+
+/// Durability is deterministic like everything else in the sim: two
+/// same-seed measurement runs with group commit enabled produce
+/// identical reports — including the fsync counters — for every
+/// protocol.
+#[test]
+fn durability_enabled_fixed_seed_runs_are_deterministic() {
+    fn fingerprint(p: ProtocolKind, seed: u64) -> String {
+        let mut cluster = Cluster::builder(p)
+            .clients_per_region(1)
+            .seed(seed)
+            .durability_config(conformance_durability())
+            .build();
+        cluster.elect_leader();
+        let r = cluster.run_measurement(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(1),
+        );
+        assert!(
+            r.durability.fsyncs > 0,
+            "{}: durability-enabled run fsynced",
+            p.name()
+        );
+        format!(
+            "thr={} lw={:?} fw={:?} dur={:?} end={}",
+            r.throughput_ops,
+            r.leader_writes,
+            r.follower_writes,
+            r.durability,
+            cluster.sim.now()
+        )
+    }
+    for p in [
+        ProtocolKind::Raft,
+        ProtocolKind::RaftStar,
+        ProtocolKind::MultiPaxos,
+        ProtocolKind::RaftStarMencius,
+    ] {
+        let a = fingerprint(p, 11);
+        let b = fingerprint(p, 11);
+        assert_eq!(a, b, "{}: same seed, same durable RunReport", p.name());
+    }
 }
 
 /// The snapshot wire model stays per-protocol through the shared

@@ -1,0 +1,364 @@
+//! Engine-level durability: write sequencing, fsync scheduling, and
+//! ack-after-fsync deferral — the **group commit** optimization written
+//! once and inherited by all four protocols.
+//!
+//! The invariant this module enforces is protocol-independent: *an
+//! acknowledgement must never precede durability of what it attests
+//! to*. A Raft `AppendOk`, a Paxos `AcceptOk`/`PrepareOk`, a Mencius
+//! `SuggestOk` and a snapshot ack all claim "I hold this state"; if the
+//! claimant crashes and restarts without the state, a quorum that
+//! counted the claim can lose a committed entry. So every durability
+//! write is tagged with a monotone sequence number, every attesting ack
+//! is deferred until the fsync covering its sequence completes, and the
+//! crash path discards whatever the last completed fsync did not cover.
+//!
+//! Two policies schedule the fsyncs ([`FsyncPolicy`]):
+//!
+//! - **FsyncPerEntry**: every entry gets its own flush barrier, in
+//!   order. Durable latency for an N-entry append is N serial fsyncs —
+//!   the regime where a 1 ms device caps a replica near 1000 entries/s.
+//! - **GroupCommit**: entries accumulate unsynced; one batched fsync
+//!   covers all of them. At most one fsync is in flight; the next is
+//!   issued when `max_batch` entries wait or `max_delay` after the
+//!   batch opened. Device cost amortizes across the batch, so
+//!   throughput decouples from fsync latency while the ack invariant
+//!   is untouched — acks simply ride the batch's completion.
+
+use std::collections::VecDeque;
+
+use paxraft_sim::sim::{ActorId, Ctx};
+
+use crate::config::{DurabilityConfig, FsyncPolicy};
+use crate::msg::Msg;
+
+use super::{KIND_MASK, T_FSYNC, T_FSYNC_DELAY};
+
+/// Cumulative durability counters (reporting only).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurabilityStats {
+    /// Fsyncs completed.
+    pub fsyncs: u64,
+    /// Entries covered by completed fsyncs (batch sizes summed).
+    pub fsync_entries: u64,
+    /// Acks that had to wait for an fsync before being sent.
+    pub deferred_acks: u64,
+    /// Entries covered by the most recent fsync.
+    pub last_batch_len: u64,
+}
+
+impl DurabilityStats {
+    /// Mean entries per fsync — the group-commit amortization factor.
+    pub fn mean_batch_len(&self) -> f64 {
+        if self.fsyncs == 0 {
+            0.0
+        } else {
+            self.fsync_entries as f64 / self.fsyncs as f64
+        }
+    }
+
+    /// Sums another replica's counters into this one (report
+    /// aggregation); `last_batch_len` keeps the max.
+    pub fn absorb(&mut self, other: &DurabilityStats) {
+        self.fsyncs += other.fsyncs;
+        self.fsync_entries += other.fsync_entries;
+        self.deferred_acks += other.deferred_acks;
+        self.last_batch_len = self.last_batch_len.max(other.last_batch_len);
+    }
+}
+
+/// Per-replica durability state machine.
+///
+/// `write_seq` stamps every durability write; `synced_seq` trails it at
+/// the last completed fsync. Acks deferred at a sequence flush when
+/// `synced_seq` reaches it. On crash, everything above `synced_seq`
+/// never happened — the protocols truncate their logs to match.
+#[derive(Debug)]
+pub struct DurabilityState {
+    policy: Option<FsyncPolicy>,
+    write_seq: u64,
+    synced_seq: u64,
+    /// Entries written since the last fsync was issued (group commit's
+    /// batch-in-formation).
+    unsynced_entries: usize,
+    /// Group commit: whether an fsync is in flight (at most one).
+    inflight: bool,
+    /// Group commit: whether the max-delay timer is armed.
+    delay_armed: bool,
+    delay_gen: u64,
+    /// Issued fsyncs not yet completed: `(covering seq, entries)`.
+    issued: VecDeque<(u64, u64)>,
+    /// Acks waiting for durability: `(covering seq, to, msg)`, seq
+    /// non-decreasing (FIFO per replica, like a real completion queue).
+    deferred: VecDeque<(u64, ActorId, Msg)>,
+    /// Cumulative counters.
+    pub stats: DurabilityStats,
+}
+
+impl DurabilityState {
+    /// Durability state for one replica's config.
+    pub fn new(cfg: &DurabilityConfig) -> Self {
+        DurabilityState {
+            policy: cfg.policy.clone(),
+            write_seq: 0,
+            synced_seq: 0,
+            unsynced_entries: 0,
+            inflight: false,
+            delay_armed: false,
+            delay_gen: 0,
+            issued: VecDeque::new(),
+            deferred: VecDeque::new(),
+            stats: DurabilityStats::default(),
+        }
+    }
+
+    /// Whether acks wait for fsync at all.
+    pub fn enabled(&self) -> bool {
+        self.policy.is_some()
+    }
+
+    /// The sequence of the most recent durability write.
+    pub fn write_seq(&self) -> u64 {
+        self.write_seq
+    }
+
+    /// The sequence covered by the last completed fsync: writes at or
+    /// below it are durable and survive a crash.
+    pub fn synced_seq(&self) -> u64 {
+        self.synced_seq
+    }
+
+    /// Generation of the group-commit max-delay timer.
+    pub fn delay_gen(&self) -> u64 {
+        self.delay_gen
+    }
+
+    /// Records one durability write of `bytes` covering `entries` log
+    /// entries (0 for pure metadata, counted as 1 toward batching) and
+    /// schedules fsyncs per the policy. No-op when disabled.
+    pub fn durable_write(&mut self, ctx: &mut Ctx<Msg>, bytes: usize, entries: usize) {
+        let Some(policy) = &self.policy else {
+            return;
+        };
+        ctx.disk_write(bytes);
+        let units = entries.max(1);
+        match policy {
+            FsyncPolicy::FsyncPerEntry => {
+                // One barrier per entry, in order: the disk serializes
+                // them, so an N-entry write waits out N device latencies.
+                for _ in 0..units {
+                    self.write_seq += 1;
+                    self.issued.push_back((self.write_seq, 1));
+                    ctx.fsync(T_FSYNC | self.write_seq);
+                }
+                ctx.trace_app(
+                    "disk_queue_depth",
+                    self.issued.len() as u64,
+                    ctx.disk_backlog().as_nanos() / 1_000_000,
+                );
+            }
+            FsyncPolicy::GroupCommit { .. } => {
+                self.write_seq += 1;
+                self.unsynced_entries += units;
+                self.maybe_issue(ctx);
+            }
+        }
+    }
+
+    /// Sends `msg` now if everything written so far is already durable,
+    /// otherwise defers it until the fsync covering the current write
+    /// sequence completes. The deferred queue is FIFO, so ack order is
+    /// preserved relative to other deferred acks.
+    pub fn ack_after_sync(&mut self, ctx: &mut Ctx<Msg>, to: ActorId, msg: Msg) {
+        if self.policy.is_none() || self.write_seq <= self.synced_seq {
+            ctx.send(to, msg);
+            return;
+        }
+        self.stats.deferred_acks += 1;
+        self.deferred.push_back((self.write_seq, to, msg));
+        // A metadata-only ack (no entry written since the last fsync
+        // batch opened) must still be covered by *some* future fsync;
+        // group commit may be idle with an empty batch, so make sure
+        // the delay clock is running.
+        if let Some(FsyncPolicy::GroupCommit { .. }) = &self.policy {
+            self.maybe_issue(ctx);
+        }
+    }
+
+    /// Group commit: issues the next fsync when the batch is full, or
+    /// arms the max-delay timer when work waits and nothing is in
+    /// flight. Called on writes and after each completion.
+    pub fn maybe_issue(&mut self, ctx: &mut Ctx<Msg>) {
+        let Some(FsyncPolicy::GroupCommit {
+            max_batch,
+            max_delay,
+        }) = &self.policy
+        else {
+            return;
+        };
+        if self.inflight || self.write_seq <= self.synced_seq {
+            return;
+        }
+        if self.unsynced_entries >= *max_batch {
+            self.issue_fsync(ctx);
+        } else if !self.delay_armed {
+            self.delay_armed = true;
+            self.delay_gen += 1;
+            ctx.set_timer(*max_delay, T_FSYNC_DELAY | (self.delay_gen & !KIND_MASK));
+        }
+    }
+
+    /// The (generation-valid) max-delay timer fired: flush whatever is
+    /// waiting unless an fsync is already in flight (its completion
+    /// will re-evaluate).
+    pub fn on_delay_fire(&mut self, ctx: &mut Ctx<Msg>) {
+        self.delay_armed = false;
+        if !self.inflight && self.write_seq > self.synced_seq {
+            self.issue_fsync(ctx);
+        }
+    }
+
+    fn issue_fsync(&mut self, ctx: &mut Ctx<Msg>) {
+        self.inflight = true;
+        // Retire any armed delay timer: this fsync covers its batch.
+        if self.delay_armed {
+            self.delay_armed = false;
+            self.delay_gen += 1;
+        }
+        self.issued
+            .push_back((self.write_seq, self.unsynced_entries as u64));
+        self.unsynced_entries = 0;
+        ctx.trace_app(
+            "disk_queue_depth",
+            self.issued.len() as u64,
+            ctx.disk_backlog().as_nanos() / 1_000_000,
+        );
+        ctx.fsync(T_FSYNC | (self.write_seq & !KIND_MASK));
+    }
+
+    /// An fsync completion arrived for `seq`: advance the durable
+    /// watermark, release every ack it covers, and return them with the
+    /// completed batch size (entries).
+    pub fn on_fsync_complete(&mut self, seq: u64) -> (Vec<(ActorId, Msg)>, u64) {
+        self.synced_seq = self.synced_seq.max(seq);
+        self.inflight = false;
+        let mut batch = 0;
+        while let Some(&(s, entries)) = self.issued.front() {
+            if s > seq {
+                break;
+            }
+            batch += entries;
+            self.issued.pop_front();
+        }
+        self.stats.fsyncs += 1;
+        self.stats.fsync_entries += batch;
+        self.stats.last_batch_len = batch;
+        let mut acks = Vec::new();
+        while let Some(&(s, ..)) = self.deferred.front() {
+            if s > self.synced_seq {
+                break;
+            }
+            let (_, to, msg) = self.deferred.pop_front().expect("peeked");
+            acks.push((to, msg));
+        }
+        (acks, batch)
+    }
+
+    /// Crash: unsynced writes never happened. Deferred acks die with
+    /// them (exactly the point — they were never sent), in-flight
+    /// fsyncs are cancelled by the sim's crash epoch, and the write
+    /// sequence rewinds to the durable watermark. `synced_seq` itself
+    /// persists: it *is* the on-disk state.
+    pub fn crash_reset(&mut self) {
+        self.write_seq = self.synced_seq;
+        self.unsynced_entries = 0;
+        self.inflight = false;
+        self.delay_armed = false;
+        self.delay_gen += 1;
+        self.issued.clear();
+        self.deferred.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxraft_sim::time::SimDuration;
+
+    #[test]
+    fn stats_mean_and_absorb() {
+        let mut a = DurabilityStats {
+            fsyncs: 2,
+            fsync_entries: 10,
+            deferred_acks: 3,
+            last_batch_len: 6,
+        };
+        assert_eq!(a.mean_batch_len(), 5.0);
+        let b = DurabilityStats {
+            fsyncs: 1,
+            fsync_entries: 2,
+            deferred_acks: 1,
+            last_batch_len: 2,
+        };
+        a.absorb(&b);
+        assert_eq!(a.fsyncs, 3);
+        assert_eq!(a.fsync_entries, 12);
+        assert_eq!(a.deferred_acks, 4);
+        assert_eq!(a.last_batch_len, 6);
+        assert_eq!(DurabilityStats::default().mean_batch_len(), 0.0);
+    }
+
+    #[test]
+    fn disabled_state_is_inert() {
+        let d = DurabilityState::new(&DurabilityConfig::default());
+        assert!(!d.enabled());
+        assert_eq!(d.write_seq(), 0);
+        assert_eq!(d.synced_seq(), 0);
+    }
+
+    #[test]
+    fn crash_rewinds_to_synced() {
+        let cfg = DurabilityConfig::group_commit(
+            SimDuration::from_millis(1),
+            8,
+            SimDuration::from_millis(2),
+        );
+        let mut d = DurabilityState::new(&cfg);
+        d.write_seq = 7;
+        d.synced_seq = 4;
+        d.unsynced_entries = 3;
+        d.inflight = true;
+        d.issued.push_back((7, 3));
+        d.crash_reset();
+        assert_eq!(d.write_seq(), 4);
+        assert_eq!(d.synced_seq(), 4);
+        assert!(!d.inflight);
+        assert!(d.issued.is_empty());
+        assert!(d.deferred.is_empty());
+    }
+
+    #[test]
+    fn completion_drains_covered_acks_in_order() {
+        let cfg = DurabilityConfig::per_entry(SimDuration::from_millis(1));
+        let mut d = DurabilityState::new(&cfg);
+        d.write_seq = 3;
+        d.issued.extend([(1, 1), (2, 1), (3, 1)]);
+        let stub = || {
+            Msg::Engine(crate::msg::EngineMsg::RangeAck {
+                group: 0,
+                version: 1,
+                header_bytes: 0,
+            })
+        };
+        d.deferred.push_back((2, ActorId(9), stub()));
+        d.deferred.push_back((3, ActorId(8), stub()));
+        let (acks, batch) = d.on_fsync_complete(2);
+        assert_eq!(batch, 2);
+        assert_eq!(acks.len(), 1);
+        assert_eq!(acks[0].0, ActorId(9));
+        assert_eq!(d.synced_seq(), 2);
+        let (acks, batch) = d.on_fsync_complete(3);
+        assert_eq!(batch, 1);
+        assert_eq!(acks.len(), 1);
+        assert_eq!(acks[0].0, ActorId(8));
+    }
+}

@@ -26,6 +26,7 @@
 //! eagerly while a quorum has window room and accumulates once
 //! saturated — inherited by every rules impl.
 
+pub mod durability;
 pub mod pipeline;
 pub mod raft_family;
 mod transfer;
@@ -33,6 +34,7 @@ mod transfer;
 #[cfg(test)]
 mod conformance;
 
+pub use durability::{DurabilityState, DurabilityStats};
 pub use pipeline::{PipelineConfig, PipelineStats, PipelineWindow};
 pub use transfer::{compact_applied_prefix, install_into_raft_state, ship_snapshot};
 
@@ -61,8 +63,13 @@ pub const T_HEARTBEAT: u64 = 2 << 48;
 pub const T_BATCH: u64 = 3 << 48;
 /// Lease renewal tick (Raft*-PQL / LL).
 pub const T_LEASE: u64 = 4 << 48;
+/// An fsync completion (low bits carry the covered write sequence).
+pub const T_FSYNC: u64 = 5 << 48;
 /// Mencius coordination tick (skips, commit flush, revocation check).
 pub const T_COORD: u64 = 6 << 48;
+/// Group-commit max-delay flush deadline (low bits carry the
+/// generation).
+pub const T_FSYNC_DELAY: u64 = 7 << 48;
 /// Mask selecting the timer kind bits.
 pub const KIND_MASK: u64 = 0xFFFF << 48;
 
@@ -145,6 +152,8 @@ pub struct EngineCore {
     pub mig_export_bytes: u64,
     /// `InstallRange` commands newly absorbed by this replica (stats).
     pub mig_installs: u64,
+    /// Durability sequencing + fsync scheduling (disabled by default).
+    pub dur: DurabilityState,
 }
 
 impl EngineCore {
@@ -159,6 +168,7 @@ impl EngineCore {
             cfg.costs.snapshot_chunk_header,
             cfg.costs.snapshot_ack_header,
         );
+        let dur = DurabilityState::new(&cfg.durability);
         EngineCore {
             cfg,
             kv: KvStore::new(),
@@ -188,7 +198,25 @@ impl EngineCore {
             mig_exports: 0,
             mig_export_bytes: 0,
             mig_installs: 0,
+            dur,
         }
+    }
+
+    /// Records one durability write of `bytes` covering `entries` log
+    /// entries and schedules fsyncs per the configured policy
+    /// ([`crate::config::FsyncPolicy`]). No-op when durability is
+    /// disabled — the zero-cost default issues no disk work at all.
+    pub fn durable_write(&mut self, ctx: &mut Ctx<Msg>, bytes: usize, entries: usize) {
+        self.dur.durable_write(ctx, bytes, entries);
+    }
+
+    /// Sends an acknowledgement that attests to replica state — an
+    /// `AppendOk`, `AcceptOk`, `PrepareOk`, `SuggestOk` or snapshot ack
+    /// — **after** everything written so far is fsynced. With
+    /// durability disabled, sends immediately (the pre-durability
+    /// behavior, schedule-identical to older builds).
+    pub fn ack_after_sync(&mut self, ctx: &mut Ctx<Msg>, to: ActorId, msg: Msg) {
+        self.dur.ack_after_sync(ctx, to, msg);
     }
 
     /// Resolves where a keyed operation belongs in a sharded cluster:
@@ -392,6 +420,15 @@ pub trait ProtocolRules: Sized + 'static {
         let _ = (core, ctx, kind, token);
     }
 
+    /// The durable watermark advanced (an fsync completed and its
+    /// deferred acks were released). Protocols that gate their *own*
+    /// quorum contribution on local durability re-run their commit
+    /// tally here — a leader's copy counts toward commitment only once
+    /// it is fsynced, for the same reason a follower's ack waits.
+    fn on_durable(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        let _ = (core, ctx);
+    }
+
     /// Handles one protocol message (everything the engine does not
     /// consume itself).
     fn on_msg(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, from: ActorId, msg: Msg);
@@ -524,6 +561,11 @@ impl<P: ProtocolRules> ReplicaEngine<P> {
         self.core.forwarded_cmds
     }
 
+    /// Fsync / deferred-ack counters (durability model).
+    pub fn durability_stats(&self) -> DurabilityStats {
+        self.core.dur.stats
+    }
+
     /// `(exports shipped, export bytes, installs absorbed)` — live
     /// rebalancing counters.
     pub fn migration_stats(&self) -> (u64, u64, u64) {
@@ -550,7 +592,9 @@ impl<P: ProtocolRules> ReplicaEngine<P> {
         s.record("range_exports", self.core.mig_exports as f64);
         s.record("range_export_bytes", self.core.mig_export_bytes as f64);
         s.record("range_installs", self.core.mig_installs as f64);
+        s.record("fsyncs", self.core.dur.stats.fsyncs as f64);
         // Gauges (instantaneous).
+        s.record("fsync_batch_len", self.core.dur.stats.last_batch_len as f64);
         s.record("pending_depth", self.core.pending.len() as f64);
         s.record(
             "pipeline_occupancy",
@@ -1017,6 +1061,24 @@ impl<P: ProtocolRules> Actor<Msg> for ReplicaEngine<P> {
                     self.core.arm_batch(ctx);
                 }
             }
+            T_FSYNC => {
+                let seq = token & !KIND_MASK;
+                let (acks, batch) = self.core.dur.on_fsync_complete(seq);
+                ctx.trace_app("disk_fsync", batch, seq);
+                for (to, msg) in acks {
+                    ctx.send(to, msg);
+                }
+                // Start the next group-commit batch if one is already
+                // waiting, then let the rules advance whatever the new
+                // durable watermark unblocks (leader commit tallies).
+                self.core.dur.maybe_issue(ctx);
+                self.rules.on_durable(&mut self.core, ctx);
+            }
+            T_FSYNC_DELAY => {
+                if token & !KIND_MASK == self.core.dur.delay_gen() {
+                    self.core.dur.on_delay_fire(ctx);
+                }
+            }
             kind => self.rules.on_timer(&mut self.core, ctx, kind, token),
         }
         maybe_drive_migration(&mut self.rules, &mut self.core, ctx);
@@ -1048,6 +1110,10 @@ impl<P: ProtocolRules> Actor<Msg> for ReplicaEngine<P> {
         self.core.mig_acked.clear();
         self.core.mig_last_export.clear();
         self.core.mig_attempts.clear();
+        // Unsynced durability writes are gone and their deferred acks
+        // were never sent; `synced_seq` persists (it is the on-disk
+        // state) so the rules' recovery below can truncate to it.
+        self.core.dur.crash_reset();
         self.rules.on_crash(&mut self.core);
     }
 

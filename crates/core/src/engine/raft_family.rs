@@ -10,6 +10,8 @@
 //! [`RaftBase`] holds the shared part so a fix to — say — the
 //! snapshot-then-pipeline append path is written once.
 
+use std::collections::VecDeque;
+
 use paxraft_sim::sim::{ActorId, Ctx};
 
 use crate::kv::KvStore;
@@ -49,6 +51,15 @@ pub struct RaftBase {
     pub votes: u64,
     /// Leader-side per-follower progress.
     pub repl: Replicator,
+    /// Highest log index covered by a *completed* fsync. Only this
+    /// prefix survives a crash when durability is enabled; it also
+    /// bounds how far this replica's own copy counts toward commitment
+    /// (see [`RaftBase::durable_tail`]).
+    pub synced_idx: Slot,
+    /// Outstanding durability writes: `(write seq, last index covered)`
+    /// in issue order, drained by [`RaftBase::absorb_synced`] as fsyncs
+    /// complete.
+    pub pending_sync: VecDeque<(u64, Slot)>,
 }
 
 impl RaftBase {
@@ -62,6 +73,72 @@ impl RaftBase {
             last_applied: Slot::NONE,
             votes: 0,
             repl: Replicator::new(n),
+            synced_idx: Slot::NONE,
+            pending_sync: VecDeque::new(),
+        }
+    }
+
+    /// Records that the log through `upto` was written to the durable
+    /// path: charges the disk model and remembers which fsync sequence
+    /// will cover `upto`. No-op when durability is disabled.
+    pub fn note_append_durable(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: &mut Ctx<Msg>,
+        bytes: usize,
+        entries: usize,
+        upto: Slot,
+    ) {
+        core.durable_write(ctx, bytes, entries);
+        if core.dur.enabled() {
+            self.pending_sync.push_back((core.dur.write_seq(), upto));
+        }
+    }
+
+    /// A conflicting rewrite replaced the suffix from `from` on:
+    /// durability claims above `from - 1` are void, both the completed
+    /// watermark and any fsync still in flight (its completion must not
+    /// claim indexes whose *content* it never covered). Call **before**
+    /// recording the rewrite's own durable write.
+    pub fn note_rewrite_from(&mut self, from: Slot) {
+        let cap = if from == Slot::NONE {
+            from
+        } else {
+            from.prev()
+        };
+        self.synced_idx = self.synced_idx.min(cap);
+        for p in &mut self.pending_sync {
+            p.1 = p.1.min(cap);
+        }
+    }
+
+    /// Advances `synced_idx` past every pending write the engine's
+    /// durable watermark now covers. Called from the `on_durable` hook.
+    pub fn absorb_synced(&mut self, core: &EngineCore) {
+        while let Some(&(seq, upto)) = self.pending_sync.front() {
+            if seq > core.dur.synced_seq() {
+                break;
+            }
+            self.synced_idx = self.synced_idx.max(upto);
+            self.pending_sync.pop_front();
+        }
+    }
+
+    /// The highest log index this replica's own copy may vouch for in a
+    /// commit tally: the fsynced prefix when durability is enabled (the
+    /// compacted floor is snapshot-durable by construction), the whole
+    /// log otherwise.
+    ///
+    /// This is the leader-side half of the ack-after-fsync invariant:
+    /// without it, f durable followers plus the leader's volatile copy
+    /// could commit an entry, the leader could crash, and the next
+    /// election quorum (f+1 of the surviving 2f) need not include any
+    /// holder of the entry — an acknowledged write would be lost.
+    pub fn durable_tail(&self, core: &EngineCore) -> Slot {
+        if core.dur.enabled() {
+            self.synced_idx.max(self.log.last_included().0)
+        } else {
+            self.log.last_index()
         }
     }
 
@@ -215,6 +292,12 @@ impl RaftBase {
             &mut core.snap_stats,
         ) {
             ctx.charge(core.cfg.costs.snapshot_cost(bytes));
+            // The snapshot file replaces the compacted entries as their
+            // durable form; charge its write. It is modeled atomic
+            // (write-temp + fsync + rename): recovering a *newer*
+            // snapshot of committed state is always safe, so no ack
+            // waits on this fsync.
+            core.durable_write(ctx, bytes, 1);
         }
     }
 
@@ -272,23 +355,34 @@ impl RaftBase {
         );
         if fresh {
             ctx.charge(core.cfg.costs.snapshot_cost(bytes));
+            // An installed snapshot becomes this replica's recovery
+            // floor, and the ack below attests to holding it — so its
+            // write must be fsynced before the ack leaves (the ack is
+            // routed through `ack_after_sync` by `ack_snapshot`). The
+            // install supersedes the log prefix, including any pending
+            // fsync claims below the new floor.
+            core.durable_write(ctx, bytes, 1);
+            if core.dur.enabled() {
+                let floor = self.log.last_included().0;
+                self.synced_idx = self.synced_idx.max(floor);
+                self.pending_sync.push_back((core.dur.write_seq(), floor));
+            }
         }
         fresh
     }
 
     /// Acknowledges a snapshot transfer — even a stale one: the applied
     /// prefix is committed state, so the leader may treat it as matched
-    /// and resume normal appends from there.
-    pub fn ack_snapshot(&self, core: &EngineCore, ctx: &mut Ctx<Msg>, from: ActorId) {
-        ctx.send(
-            from,
-            Msg::Engine(EngineMsg::SnapshotAck {
-                group: core.cfg.group_id(),
-                seal: self.current_term,
-                upto: self.last_applied,
-                header_bytes: core.snap_wire.1,
-            }),
-        );
+    /// and resume normal appends from there. The ack attests to holding
+    /// the snapshot, so it waits for the install's fsync.
+    pub fn ack_snapshot(&self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, from: ActorId) {
+        let msg = Msg::Engine(EngineMsg::SnapshotAck {
+            group: core.cfg.group_id(),
+            seal: self.current_term,
+            upto: self.last_applied,
+            header_bytes: core.snap_wire.1,
+        });
+        core.ack_after_sync(ctx, from, msg);
     }
 
     /// Handles a snapshot acknowledgement; returns whether the
@@ -320,12 +414,27 @@ impl RaftBase {
         stats.note_log_size(self.log.peak_entries(), self.log.peak_bytes());
     }
 
-    /// Crash-restart: terms, the log and the durable snapshot persist;
-    /// roles, votes and the state machine do not. The state machine
-    /// restarts from the snapshot (the compacted prefix is not
-    /// replayable) and re-applies the retained log as the commit index
-    /// re-advances.
+    /// Crash-restart: terms, the *fsynced* log prefix and the durable
+    /// snapshot persist; roles, votes, the state machine and any
+    /// unsynced log suffix do not. With durability enabled the suffix
+    /// above the durable watermark is truncated — those entries never
+    /// reached the disk, and no ack attesting to them was ever sent
+    /// (the ack-after-fsync invariant), so discarding them cannot lose
+    /// acknowledged state. The state machine restarts from the snapshot
+    /// (the compacted prefix is not replayable) and re-applies the
+    /// retained log as the commit index re-advances.
     pub fn crash_reset(&mut self, core: &mut EngineCore) {
+        if core.dur.enabled() {
+            // Recover to the fsynced prefix. The compacted floor is
+            // durable by construction (the snapshot file is fsynced at
+            // compaction), so the watermark never truncates below it.
+            let keep = self.synced_idx.max(self.log.last_included().0);
+            if self.log.last_index() > keep {
+                self.log.truncate_from(keep.next());
+            }
+            self.synced_idx = keep;
+            self.pending_sync.clear();
+        }
         self.role = Role::Follower;
         self.votes = 0;
         self.commit_index = Slot::NONE;

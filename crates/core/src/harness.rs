@@ -12,9 +12,9 @@ use paxraft_workload::linearize::OpRecord;
 use paxraft_workload::metrics::{LatencyRecorder, LatencyTriple};
 
 use crate::client::WorkloadClient;
-use crate::config::{LeaseConfig, ReadMode, ReplicaConfig};
+use crate::config::{DurabilityConfig, LeaseConfig, ReadMode, ReplicaConfig};
 use crate::costs::CostModel;
-use crate::engine::{PipelineConfig, PipelineStats};
+use crate::engine::{DurabilityStats, PipelineConfig, PipelineStats};
 use crate::kv::{CmdId, Command, Key, Op, Reply};
 use crate::mencius::MenciusReplica;
 use crate::msg::{ClientMsg, Msg};
@@ -79,6 +79,7 @@ pub struct ClusterBuilder {
     pub(crate) shard: crate::shard::ShardConfig,
     pub(crate) rebalance: crate::shard::RebalanceConfig,
     pub(crate) telemetry: TelemetryConfig,
+    pub(crate) durability: DurabilityConfig,
 }
 
 impl ClusterBuilder {
@@ -201,6 +202,18 @@ impl ClusterBuilder {
         self
     }
 
+    /// Durable-storage model for every replica (default: disabled — the
+    /// zero-cost disk, acks never wait for fsync, runs bit-for-bit
+    /// identical to a build without the disk model). Enabling it
+    /// provisions one simulated disk per node (sharded clusters
+    /// co-locate all of a node's group replicas on that node's disk)
+    /// and makes every durability-attesting ack wait for its covering
+    /// fsync per the configured [`crate::config::FsyncPolicy`].
+    pub fn durability_config(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = durability;
+        self
+    }
+
     /// Constructs the cluster.
     ///
     /// # Panics
@@ -215,6 +228,13 @@ impl ClusterBuilder {
         let mut sim = Simulation::new(self.net.clone(), self.seed);
         if self.telemetry.trace_capacity > 0 {
             sim.enable_trace(self.telemetry.trace_capacity);
+        }
+        // Provision the disks (the default actor→disk mapping gives each
+        // replica its own device, which is exactly one disk per node in
+        // the unsharded layout).
+        let disk = self.durability.disk_config();
+        if !disk.is_zero_cost() {
+            sim.set_disk_config(disk);
         }
         let peers: Vec<ActorId> = (0..self.replicas).map(ActorId).collect();
         let client_base = self.replicas;
@@ -272,6 +292,7 @@ impl ClusterBuilder {
         cfg.lease = self.lease.clone();
         cfg.snapshot = self.snapshot.clone();
         cfg.pipeline = self.pipeline.clone();
+        cfg.durability = self.durability.clone();
         cfg.initial_leader = Some(self.leader);
         cfg.shard = shard;
         cfg.read_mode = match self.protocol {
@@ -348,6 +369,22 @@ pub(crate) fn replica_pipeline_stats(
     }
 }
 
+/// The replica actor's fsync / deferred-ack counters.
+pub(crate) fn replica_durability_stats(
+    sim: &paxraft_sim::sim::Simulation<Msg>,
+    protocol: ProtocolKind,
+    id: ActorId,
+) -> DurabilityStats {
+    match protocol {
+        ProtocolKind::MultiPaxos => sim.actor::<MultiPaxosReplica>(id).durability_stats(),
+        ProtocolKind::Raft => sim.actor::<RaftReplica>(id).durability_stats(),
+        ProtocolKind::RaftStar | ProtocolKind::RaftStarPql | ProtocolKind::LeaderLease => {
+            sim.actor::<RaftStarReplica>(id).durability_stats()
+        }
+        ProtocolKind::RaftStarMencius => sim.actor::<MenciusReplica>(id).durability_stats(),
+    }
+}
+
 /// The replica actor's state machine (tests: cross-group exclusivity
 /// assertions).
 #[cfg(test)]
@@ -395,9 +432,11 @@ pub(crate) fn record_group_sample(
     group: u32,
     sample: &MetricSample,
     nic_backlog_ms: f64,
+    disk_backlog_ms: f64,
 ) {
     let name = |metric: &str| format!("group{group}/{metric}");
     registry.counter_rate(at, &name("throughput_ops"), sample.get("responses"));
+    registry.counter_rate(at, &name("fsync_rate"), sample.get("fsyncs"));
     registry.gauge(at, &name("pending_depth"), sample.get("pending_depth"));
     registry.gauge(
         at,
@@ -405,6 +444,7 @@ pub(crate) fn record_group_sample(
         sample.get("pipeline_occupancy"),
     );
     registry.gauge(at, &name("nic_backlog_ms"), nic_backlog_ms);
+    registry.gauge(at, &name("disk_backlog_ms"), disk_backlog_ms);
     registry.gauge(at, &name("forwarded"), sample.get("forwarded"));
     registry.gauge(at, &name("redirects"), sample.get("redirects"));
     registry.gauge(at, &name("range_exports"), sample.get("range_exports"));
@@ -417,10 +457,11 @@ pub(crate) fn group_sample_now(
     sim: &Simulation<Msg>,
     protocol: ProtocolKind,
     actors: &[ActorId],
-) -> (MetricSample, f64) {
+) -> (MetricSample, f64, f64) {
     let now = sim.now();
     let mut sample = MetricSample::default();
     let mut nic_backlog_ms = 0.0;
+    let mut disk_backlog_ms = 0.0;
     for &r in actors {
         if sim.is_crashed(r) {
             continue;
@@ -430,8 +471,9 @@ pub(crate) fn group_sample_now(
         if nic_free > now {
             nic_backlog_ms += (nic_free - now).as_millis_f64();
         }
+        disk_backlog_ms += sim.disk_backlog_at(r).as_millis_f64();
     }
-    (sample, nic_backlog_ms)
+    (sample, nic_backlog_ms, disk_backlog_ms)
 }
 
 /// Throughput/latency measurements from one run.
@@ -458,6 +500,13 @@ pub struct RunReport {
     /// replicas (`peak_in_flight` takes the cluster-wide maximum, i.e.
     /// the deepest any peer window got during the run).
     pub pipeline: PipelineStats,
+    /// Fsync / deferred-ack counters summed across replicas
+    /// (`last_batch_len` takes the cluster-wide maximum). All zero
+    /// unless [`ClusterBuilder::durability_config`] enabled the
+    /// durability model; under group commit,
+    /// `durability.mean_batch_len()` is the amortization factor the
+    /// fsync-bound bench sweeps report.
+    pub durability: DurabilityStats,
     /// Sampled metric time-series collected so far (empty unless
     /// [`ClusterBuilder::telemetry_config`] enabled the sampler).
     pub telemetry: Vec<TimeSeries>,
@@ -499,6 +548,7 @@ impl Cluster {
             shard: crate::shard::ShardConfig::default(),
             rebalance: crate::shard::RebalanceConfig::default(),
             telemetry: TelemetryConfig::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 
@@ -546,6 +596,16 @@ impl Cluster {
         let mut total = PipelineStats::default();
         for &r in &self.replicas {
             total.absorb(&replica_pipeline_stats(&self.sim, self.protocol, r));
+        }
+        total
+    }
+
+    /// Fsync / deferred-ack counters aggregated over all replicas (sums
+    /// for counters, maximum for `last_batch_len`).
+    pub fn durability_stats(&self) -> DurabilityStats {
+        let mut total = DurabilityStats::default();
+        for &r in &self.replicas {
+            total.absorb(&replica_durability_stats(&self.sim, self.protocol, r));
         }
         total
     }
@@ -637,8 +697,8 @@ impl Cluster {
         self.metrics.fast_forward(self.sim.now());
         while self.metrics.next_due() <= target {
             self.sim.run_until(self.metrics.next_due());
-            let (sample, nic) = group_sample_now(&self.sim, self.protocol, &self.replicas);
-            record_group_sample(&mut self.metrics, self.sim.now(), 0, &sample, nic);
+            let (sample, nic, disk) = group_sample_now(&self.sim, self.protocol, &self.replicas);
+            record_group_sample(&mut self.metrics, self.sim.now(), 0, &sample, nic, disk);
             self.metrics.advance();
         }
         self.sim.run_until(target);
@@ -699,6 +759,7 @@ impl Cluster {
             histories,
             snapshots: self.snapshot_stats(),
             pipeline: self.pipeline_stats(),
+            durability: self.durability_stats(),
             telemetry: self.metrics.snapshot(),
         }
     }

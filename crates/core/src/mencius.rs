@@ -32,6 +32,37 @@
 //! peer raises a ballot above the owner's, collects accepted values for
 //! the owner's undecided range (phase-1), re-proposes what was accepted
 //! and no-ops the rest (Appendix A.3's recovery leader).
+//!
+//! # Durability (group commit)
+//!
+//! Same invariant as the other three protocols: a `SuggestOk` is an
+//! acceptor's promise that the accepted values survive a crash, so it
+//! is routed through [`EngineCore::ack_after_sync`]; the owner's *own*
+//! implicit ack is likewise gated on its local fsync (the engine's
+//! `on_durable` hook adds the bit, [`MenciusRules::pending_self`]).
+//! Crash-restart drops accepted values whose write never synced. A
+//! multi-leader wrinkle: peers cannot revoke a slot whose owner is
+//! alive, so an owner that loses its *own* unsynced suggestions would
+//! stall the cluster (peers hold the value and wait forever for a
+//! commit only the owner can produce). Worse, the skip inference
+//! ("own slot below my watermark with no value was skipped") would
+//! silently read the dropped slot as a decided no-op — while a
+//! revocation during the downtime may have *decided the original
+//! value* from the peers' copies, without the owner's vote. Dropped
+//! own slots therefore go to [`MenciusRules::lost_own`], which (a)
+//! suppresses the skip inference so execution blocks instead of
+//! diverging, and (b) makes the restart hook run the ordinary
+//! revocation phase-1 against the owner's *own* range: collect
+//! accepted values from a quorum at a bumped ballot, re-decide what
+//! anyone accepted and no-op the rest. That is exactly the crashed-
+//! owner recovery path, reused for self-recovery — safe by the same
+//! ballot argument, and live because the affected clients were never
+//! answered and retry through the dedup sessions.
+//! `RevokeOk` stays immediate: it reports promises (ballot raises),
+//! and ballots — like terms — are modeled as free always-durable
+//! metadata that survives [`ProtocolRules::on_crash`]; over-persisting
+//! a promise only ever *restricts* what the acceptor may later accept,
+//! so it can never manufacture a quorum for lost state.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -65,6 +96,10 @@ struct MSlot {
     /// When the owner last (re)suggested this slot (own slots only;
     /// paces the uncommitted-suggestion retransmission).
     suggested_at: SimTime,
+    /// Durability: engine write sequence of the last value write (0
+    /// when durability is disabled). A crash drops values whose write
+    /// never fsynced.
+    wseq: u64,
 }
 
 /// An in-flight revocation of a crashed owner's slots.
@@ -121,6 +156,16 @@ pub struct MenciusRules {
     slot_bytes: usize,
     /// Slots this replica skipped (stats).
     skips_issued: u64,
+    /// Durability: own suggestions whose implicit ack awaits the local
+    /// fsync, as (write seq, term, slots). Drained by `on_durable`.
+    pending_self: Vec<(u64, Term, Vec<Slot>)>,
+    /// Durability: own slots whose unsynced value a crash dropped.
+    /// Membership suppresses the skip inference in `decided_at` (the
+    /// empty slot must not read as a decided no-op — a revocation
+    /// during our downtime may have decided the original value from
+    /// the peers' copies), and `on_start` re-decides the range with a
+    /// phase-1 self-revocation. Entries leave the set as values land.
+    lost_own: BTreeSet<u64>,
 }
 
 impl MenciusReplica {
@@ -153,6 +198,8 @@ impl MenciusReplica {
                 compacted_through: Slot::NONE,
                 slot_bytes: 0,
                 skips_issued: 0,
+                pending_self: Vec::new(),
+                lost_own: BTreeSet::new(),
             },
         )
     }
@@ -196,7 +243,11 @@ impl MenciusRules {
             }
         }
         if owner == core.cfg.id {
+            // The skip inference does not apply to crash-dropped own
+            // slots: empty there means "value lost", not "skipped", and
+            // peers may still decide the original value (module docs).
             if slot < self.next_own
+                && !self.lost_own.contains(&slot.0)
                 && self
                     .slots
                     .get(&slot.0)
@@ -265,9 +316,59 @@ impl MenciusRules {
         if self.committed_no_value.remove(&s.0) {
             slot.committed = true;
         }
+        // A value landing in a crash-dropped own slot (our own recovery
+        // decision, or a revocation's) supersedes the loss marker.
+        self.lost_own.remove(&s.0);
         core.snap_stats
             .note_log_size(self.slots.len(), self.slot_bytes);
         true
+    }
+
+    /// Durability: charges the disk write for freshly accepted values
+    /// and tags their slots with the write sequence, so a crash before
+    /// the covering fsync drops exactly them. No-op (beyond the no-op
+    /// [`EngineCore::durable_write`]) when durability is disabled.
+    fn note_values_durable(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: &mut Ctx<Msg>,
+        written: &[Slot],
+        bytes: usize,
+    ) {
+        if written.is_empty() {
+            return;
+        }
+        core.durable_write(ctx, bytes, written.len());
+        if !core.dur.enabled() {
+            return;
+        }
+        let seq = core.dur.write_seq();
+        for s in written {
+            if let Some(slot) = self.slots.get_mut(&s.0) {
+                slot.wseq = seq;
+            }
+        }
+    }
+
+    /// Commit tally for own slots that just gained an ack bit (a
+    /// follower's `SuggestOk`, or this owner's own post-fsync vote):
+    /// the `SuggestOk` handler's counting rule factored out.
+    fn tally_own(&mut self, core: &mut EngineCore, slots: &[Slot], term: Term, bit: u64) {
+        let quorum_extra = max_failures(core.cfg.n); // f followers + me
+        for s in slots {
+            let Some(slot) = self.slots.get_mut(&s.0) else {
+                continue;
+            };
+            if slot.bal != term || slot.committed {
+                continue;
+            }
+            slot.acks |= bit;
+            if slot.acks.count_ones() as usize >= quorum_extra + 1 {
+                slot.committed = true;
+                self.commit_buf.push(*s);
+                self.await_respond.push(*s);
+            }
+        }
     }
 
     /// Advances my own watermark to cover everything below `target`
@@ -420,6 +521,10 @@ impl MenciusRules {
             kv: core.kv.snapshot(),
         };
         ctx.charge(core.cfg.costs.snapshot_cost(snap.size_bytes()));
+        // The checkpoint file replaces the discarded slots as their
+        // durable form; charge its write (modeled atomic, no ack waits
+        // on it — see `raft_family::RaftBase::maybe_compact`).
+        core.durable_write(ctx, snap.size_bytes(), 1);
         self.discard_through(core, upto);
         self.compacted_through = upto;
         core.stable_snap = Some(snap);
@@ -444,6 +549,7 @@ impl MenciusRules {
             }
         }
         self.committed_no_value = self.committed_no_value.split_off(&(upto.0 + 1));
+        self.lost_own = self.lost_own.split_off(&(upto.0 + 1));
     }
 
     fn flush_commits(&mut self, core: &EngineCore, ctx: &mut Ctx<Msg>) {
@@ -578,36 +684,76 @@ impl MenciusRules {
     }
 
     /// Starts revocation of `owner`'s undecided slots when they block
-    /// execution and the owner has been silent.
+    /// execution and the owner has been silent. With durability on,
+    /// also covers *self*-recovery: a crash-dropped own slot
+    /// (`lost_own`) blocks execution just like a crashed peer's, and is
+    /// re-decided by the same phase-1 — immediately, no silence
+    /// required, since we know first-hand the write is gone.
     fn maybe_revoke(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        let now = ctx.now();
         if self.revoke.is_some() {
-            return;
+            // A revocation whose `RevokeOk`s never arrive (e.g. our
+            // ballot was stale and peers silently ignored it) would
+            // otherwise pin recovery shut forever; retry with a fresh
+            // ballot. Only reachable with durability on — the default
+            // configuration keeps the original fire-once behavior.
+            if !core.dur.enabled()
+                || now.since(self.last_revoke_attempt.min(now)) < core.cfg.mencius.revoke_timeout
+            {
+                return;
+            }
+            self.revoke = None;
         }
         let next = self.exec_index.next();
         if self.decided_at(core, next).is_some() {
             return; // not blocked
         }
         let owner = MenciusReplica::owner_of(next, core.cfg.n);
-        if owner == core.cfg.id {
-            return; // our own slot: flush/batch will handle it
-        }
-        let now = ctx.now();
-        let silent = now.since(self.last_heard[owner.0 as usize].min(now));
-        if silent < core.cfg.mencius.revoke_timeout
-            || now.since(self.last_revoke_attempt.min(now)) < core.cfg.mencius.revoke_timeout
-        {
-            return;
-        }
+        let through = if owner == core.cfg.id {
+            // Our own slot: flush/batch handles it — unless its value
+            // was crash-dropped, which only a self-revocation can
+            // re-decide (peers never revoke a live owner). The range
+            // stops at the last dropped slot: anything above it
+            // (including post-restart suggestions) is live and stays
+            // on the normal quorum path.
+            if !self.lost_own.contains(&next.0)
+                || now.since(self.last_revoke_attempt.min(now)) < core.cfg.mencius.revoke_timeout
+            {
+                return;
+            }
+            Slot(*self.lost_own.iter().next_back().expect("checked non-empty"))
+        } else {
+            let silent = now.since(self.last_heard[owner.0 as usize].min(now));
+            if silent < core.cfg.mencius.revoke_timeout
+                || now.since(self.last_revoke_attempt.min(now)) < core.cfg.mencius.revoke_timeout
+            {
+                return;
+            }
+            Slot(self.horizon().0 + core.cfg.n as u64)
+        };
+        self.start_revocation(core, ctx, owner, next, through, now);
+    }
+
+    /// Phase-1 of revocation: bump the ballot, collect accepted values
+    /// for `owner`'s slots in the range, promise locally, broadcast.
+    fn start_revocation(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: &mut Ctx<Msg>,
+        owner: NodeId,
+        from: Slot,
+        through: Slot,
+        now: SimTime,
+    ) {
         self.last_revoke_attempt = now;
         self.current_term = self.current_term.next_for(core.cfg.id, core.cfg.n);
-        let through = Slot(self.horizon().0 + core.cfg.n as u64);
         let op = RevokeOp {
             term: self.current_term,
             owner,
-            from: next,
+            from,
             through,
             acks: core.me_bit(),
-            accepted: self.accepted_in_range(core, owner, next, through),
+            accepted: self.accepted_in_range(core, owner, from, through),
         };
         self.broadcast(
             core,
@@ -615,12 +761,12 @@ impl MenciusRules {
             MenciusMsg::Revoke {
                 term: op.term,
                 owner,
-                from: next,
+                from,
                 through,
             },
         );
         // Promise locally.
-        self.promise_range(core, owner, next, through, op.term);
+        self.promise_range(core, owner, from, through, op.term);
         self.revoke = Some(op);
     }
 
@@ -694,6 +840,8 @@ impl MenciusRules {
                 let mut rejected = Vec::new();
                 let mut reject_term = Term::ZERO;
                 let mut max_slot = Slot::NONE;
+                let mut written = Vec::new();
+                let mut written_bytes = 0usize;
                 for (s, cmd) in items {
                     if s <= self.compacted_through {
                         // Decided and checkpointed away; the lagging
@@ -702,7 +850,18 @@ impl MenciusRules {
                     }
                     let bal = self.slots.get(&s.0).map(|x| x.bal).unwrap_or(Term::ZERO);
                     if term >= bal {
+                        // Already committed with a value: a duplicate,
+                        // nothing new reaches the disk.
+                        let already = self
+                            .slots
+                            .get(&s.0)
+                            .is_some_and(|x| x.committed && x.cmd.is_some());
+                        let sz = cmd.size_bytes();
                         self.accept_value(core, s, term, cmd);
+                        if !already {
+                            written.push(s);
+                            written_bytes += sz;
+                        }
                         acked.push(s);
                         if s > max_slot {
                             max_slot = s;
@@ -712,19 +871,21 @@ impl MenciusRules {
                         reject_term = reject_term.max(bal);
                     }
                 }
+                self.note_values_durable(core, ctx, &written, written_bytes);
                 self.note_known(core, peer, watermark.max(max_slot.next()));
                 // Skip my own unused slots below the suggestion (the
                 // piggybacked skip of Appendix A.3).
                 self.maybe_skip_to(core, ctx, max_slot);
                 if !acked.is_empty() {
-                    ctx.send(
-                        from,
-                        Msg::Mencius(MenciusMsg::SuggestOk {
-                            term,
-                            slots: acked,
-                            watermark: self.next_own,
-                        }),
-                    );
+                    // The acceptor's promise that these values survive a
+                    // crash: sent only after the covering fsync (group
+                    // commit batches it; see the module docs).
+                    let ok = Msg::Mencius(MenciusMsg::SuggestOk {
+                        term,
+                        slots: acked,
+                        watermark: self.next_own,
+                    });
+                    core.ack_after_sync(ctx, from, ok);
                 }
                 if !rejected.is_empty() {
                     ctx.send(
@@ -748,21 +909,7 @@ impl MenciusRules {
                     core.pipe.on_ack(peer, upto);
                 }
                 let bit = 1u64 << peer.0;
-                let quorum_extra = max_failures(core.cfg.n); // f followers + me
-                for s in slots {
-                    let Some(slot) = self.slots.get_mut(&s.0) else {
-                        continue;
-                    };
-                    if slot.bal != term || slot.committed {
-                        continue;
-                    }
-                    slot.acks |= bit;
-                    if slot.acks.count_ones() as usize >= quorum_extra + 1 {
-                        slot.committed = true;
-                        self.commit_buf.push(s);
-                        self.await_respond.push(s);
-                    }
-                }
+                self.tally_own(core, &slots, term, bit);
                 self.flush_commits(core, ctx);
                 self.try_execute(core, ctx);
             }
@@ -894,13 +1041,23 @@ impl MenciusRules {
                         items.push((s, cmd));
                         s = Slot(s.0 + n);
                     }
-                    // Decide locally and broadcast.
+                    // Decide locally and broadcast. The decided values
+                    // are a local disk write too; if a crash drops them
+                    // before the fsync, the slots degrade to
+                    // committed-without-value and a fresh revocation
+                    // re-decides them.
+                    let mut written = Vec::new();
+                    let mut written_bytes = 0usize;
                     for (s, cmd) in &items {
+                        let sz = cmd.size_bytes();
                         if self.accept_value(core, *s, op.term, cmd.clone()) {
                             let slot = self.slots.get_mut(&s.0).expect("accepted");
                             slot.committed = true;
+                            written.push(*s);
+                            written_bytes += sz;
                         }
                     }
+                    self.note_values_durable(core, ctx, &written, written_bytes);
                     self.note_known(core, op.owner, Slot(op.through.0 + 1));
                     self.broadcast(
                         core,
@@ -915,6 +1072,8 @@ impl MenciusRules {
             }
             MenciusMsg::RevokeCommit { term, items } => {
                 let mut reproposed = false;
+                let mut written = Vec::new();
+                let mut written_bytes = 0usize;
                 for (s, cmd) in items {
                     if s <= self.compacted_through {
                         continue; // already executed and checkpointed
@@ -938,14 +1097,18 @@ impl MenciusRules {
                             self.next_own = above;
                         }
                     }
+                    let sz = cmd.size_bytes();
                     if self.accept_value(core, s, term, cmd) {
                         let slot = self.slots.get_mut(&s.0).expect("accepted");
                         if term >= slot.bal {
                             slot.committed = true;
                         }
+                        written.push(s);
+                        written_bytes += sz;
                     }
                     self.note_known(core, owner, s.next());
                 }
+                self.note_values_durable(core, ctx, &written, written_bytes);
                 if reproposed {
                     core.arm_batch(ctx);
                 }
@@ -978,15 +1141,25 @@ impl ProtocolRules for MenciusRules {
     /// batch cutter can pace this owner's range.
     fn propose(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, cmds: Vec<Command>) {
         let mut items = Vec::with_capacity(cmds.len());
-        let me_bit = core.me_bit();
+        // With durability on, the owner's implicit ack waits for its own
+        // fsync (`on_durable` adds the bit); otherwise it is immediate.
+        let self_ack = if core.dur.enabled() { 0 } else { core.me_bit() };
+        let mut bytes = 0usize;
         for cmd in cmds {
             let s = self.next_own;
             self.next_own = Slot(self.next_own.0 + core.cfg.n as u64);
+            bytes += cmd.size_bytes();
             self.accept_value(core, s, self.current_term, cmd.clone());
             let slot = self.slots.get_mut(&s.0).expect("just accepted");
-            slot.acks = me_bit;
+            slot.acks = self_ack;
             slot.suggested_at = ctx.now();
             items.push((s, cmd));
+        }
+        let slots: Vec<Slot> = items.iter().map(|(s, _)| *s).collect();
+        self.note_values_durable(core, ctx, &slots, bytes);
+        if core.dur.enabled() && !slots.is_empty() {
+            self.pending_self
+                .push((core.dur.write_seq(), self.current_term, slots));
         }
         if let Some(upto) = items.iter().map(|(s, _)| *s).max() {
             let peers: Vec<NodeId> = core.cfg.others().collect();
@@ -1008,6 +1181,16 @@ impl ProtocolRules for MenciusRules {
 
     fn on_start(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
         ctx.set_timer(core.cfg.mencius.skip_heartbeat, T_COORD);
+        // Crash recovery: re-decide own slots whose unsynced values the
+        // crash dropped, via the ordinary revocation phase-1 run against
+        // our *own* range (module docs). Kicked here rather than waiting
+        // for the revoke timeout — we know first-hand the writes are
+        // gone. `maybe_revoke` retries if this round stalls.
+        if !self.lost_own.is_empty() && self.revoke.is_none() {
+            let from = Slot(*self.lost_own.iter().next().expect("non-empty"));
+            let through = Slot(*self.lost_own.iter().next_back().expect("non-empty"));
+            self.start_revocation(core, ctx, core.cfg.id, from, through, ctx.now());
+        }
     }
 
     fn on_timer(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, kind: u64, _token: u64) {
@@ -1039,6 +1222,34 @@ impl ProtocolRules for MenciusRules {
         if let Msg::Mencius(m) = msg {
             self.on_mencius(core, ctx, from, m);
         }
+    }
+
+    /// A local fsync completed: add this owner's own (previously
+    /// withheld) ack bit to the suggestions the sync covered. Batches
+    /// whose slots were since re-balloted (a `SuggestReject`, a
+    /// revocation) simply fail the per-slot term check in `tally_own`.
+    fn on_durable(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        if self.pending_self.is_empty() {
+            return;
+        }
+        let synced = core.dur.synced_seq();
+        let me = core.me_bit();
+        let mut ready: Vec<(Term, Vec<Slot>)> = Vec::new();
+        self.pending_self.retain(|(seq, term, slots)| {
+            if *seq > synced {
+                return true;
+            }
+            ready.push((*term, slots.clone()));
+            false
+        });
+        if ready.is_empty() {
+            return;
+        }
+        for (term, slots) in ready {
+            self.tally_own(core, &slots, term, me);
+        }
+        self.flush_commits(core, ctx);
+        self.try_execute(core, ctx);
     }
 
     fn snapshot_chunk_fixed_cost(&self, costs: &CostModel) -> SimDuration {
@@ -1077,6 +1288,10 @@ impl ProtocolRules for MenciusRules {
     ) {
         if snap.last_slot > self.exec_index {
             ctx.charge(core.cfg.costs.snapshot_cost(snap.size_bytes()));
+            // The installed checkpoint is this replica's new recovery
+            // floor; the ack below attests to holding it, so the write
+            // is charged and the ack deferred behind its fsync.
+            core.durable_write(ctx, snap.size_bytes(), 1);
             core.kv.restore(&snap.kv);
             self.exec_index = snap.last_slot;
             self.discard_through(core, snap.last_slot);
@@ -1100,15 +1315,13 @@ impl ProtocolRules for MenciusRules {
             core.snap_stats.snapshots_installed += 1;
             self.try_execute(core, ctx);
         }
-        ctx.send(
-            from,
-            Msg::Engine(EngineMsg::SnapshotAck {
-                group: core.cfg.group_id(),
-                seal: Term::ZERO,
-                upto: self.exec_index,
-                header_bytes: core.snap_wire.1,
-            }),
-        );
+        let ack = Msg::Engine(EngineMsg::SnapshotAck {
+            group: core.cfg.group_id(),
+            seal: Term::ZERO,
+            upto: self.exec_index,
+            header_bytes: core.snap_wire.1,
+        });
+        core.ack_after_sync(ctx, from, ack);
     }
 
     fn on_snapshot_ack(
@@ -1131,6 +1344,46 @@ impl ProtocolRules for MenciusRules {
         // work and respond queues. The state machine restarts from the
         // checkpoint — the discarded slot prefix cannot be replayed —
         // and re-executes the retained decided suffix.
+        //
+        // Durability: accepted values whose write never fsynced are
+        // gone. Their `SuggestOk` (or this owner's own pending
+        // self-vote) was withheld by the ack-after-fsync invariant, so
+        // they contributed to no quorum and dropping them cannot lose
+        // chosen state. A committed slot losing its value degrades to
+        // committed-without-value (re-fetched from the owner's replay);
+        // an *own* uncommitted slot goes to `lost_own` for phase-1
+        // self-recovery (module docs). The ballot in `bal` is free
+        // always-durable metadata — promises survive; only value
+        // payloads rode the modeled disk.
+        if core.dur.enabled() {
+            let synced = core.dur.synced_seq();
+            let from = self.compacted_through.0 + 1;
+            for (&s, slot) in self.slots.range_mut(from..) {
+                if slot.wseq > synced && slot.cmd.is_some() {
+                    let cmd = slot.cmd.take().expect("checked");
+                    self.slot_bytes -= cmd.size_bytes();
+                    if let Some(key) = cmd.op.key() {
+                        if let Some(set) = self.key_slots.get_mut(&key) {
+                            set.remove(&s);
+                            if set.is_empty() {
+                                self.key_slots.remove(&key);
+                            }
+                        }
+                    }
+                    slot.acks = 0;
+                    slot.wseq = 0;
+                    if slot.committed {
+                        slot.committed = false;
+                        self.committed_no_value.insert(s);
+                    } else if MenciusReplica::owner_of(Slot(s), core.cfg.n) == core.cfg.id
+                        && !slot.skipped
+                    {
+                        self.lost_own.insert(s);
+                    }
+                }
+            }
+            self.pending_self.clear();
+        }
         self.await_respond.clear();
         self.commit_buf.clear();
         self.revoke = None;

@@ -11,6 +11,26 @@
 //! Batching, forwarding, client dedup and checkpoint transfer are
 //! engine-provided; this file holds only ballots, the instance store,
 //! phase-1 value adoption and the per-instance commit rule.
+//!
+//! # Durability (group commit)
+//!
+//! With a [`crate::config::DurabilityConfig`] enabled, an accepted value
+//! is charged as a disk write and its `acceptOK` is routed through
+//! [`EngineCore::ack_after_sync`]: a Phase2b vote is a promise that the
+//! accepted value survives a crash (Paxos's acceptor-persistence
+//! requirement), so it may not outrun the fsync covering it. The
+//! proposer's *own* implicit acceptOK gets the same treatment — with
+//! durability on, a freshly proposed instance seeds an empty ack bitmap
+//! and the self-vote is added by the engine's `on_durable` hook only
+//! once the local write is fsynced ([`PaxosRules::pending_self`]).
+//! Crash-restart drops accepted values whose write never synced
+//! ([`Instance::wseq`] beyond the durable watermark): unsynced and
+//! unacked they contributed to no quorum, so dropping them cannot lose
+//! chosen state — a *committed* instance that loses its value this way
+//! degrades to `committed_no_value` and is re-fetched. Ballot promises
+//! are modeled like Raft terms: a tiny always-durable metadata write
+//! (ballots survive crashes), so `prepareOK` defers only behind
+//! outstanding *value* writes.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -34,6 +54,10 @@ struct Instance {
     committed: bool,
     /// Leader-side acknowledgement bitmap for the current ballot.
     acks: u64,
+    /// Durability: engine write sequence of the last value write (0 when
+    /// durability is disabled). A crash drops values whose write never
+    /// fsynced (`wseq` beyond the durable watermark).
+    wseq: u64,
 }
 
 impl Instance {
@@ -43,6 +67,7 @@ impl Instance {
             cmd: None,
             committed: false,
             acks: 0,
+            wseq: 0,
         }
     }
 }
@@ -85,6 +110,10 @@ pub struct PaxosRules {
     /// its instances), as opposed to one merely trailing by a WAN
     /// round-trip.
     acceptor_exec_prev: Vec<Slot>,
+    /// Durability: proposals whose *own* acceptOK awaits the local
+    /// fsync, as (write seq, ballot, slots). Drained by `on_durable`;
+    /// empty when durability is disabled (the self-vote is immediate).
+    pending_self: Vec<(u64, Term, Vec<Slot>)>,
 }
 
 impl MultiPaxosReplica {
@@ -111,6 +140,7 @@ impl MultiPaxosReplica {
                 accept_cursor: vec![Slot::NONE; n],
                 acceptor_exec: vec![Slot::NONE; n],
                 acceptor_exec_prev: vec![Slot::NONE; n],
+                pending_self: Vec::new(),
             },
         )
     }
@@ -230,6 +260,8 @@ impl PaxosRules {
         self.ballot = self.ballot.next_for(core.cfg.id, core.cfg.n);
         self.phase1_succeeded = false;
         self.prepare_acks.clear();
+        // Self-votes recorded under the old ballot no longer apply.
+        self.pending_self.clear();
         let from_slot = self.first_unchosen();
         // Record our own accepted instances as an implicit Phase1b reply.
         let mine = self.accepted_from(from_slot);
@@ -275,6 +307,56 @@ impl PaxosRules {
             .collect()
     }
 
+    /// Durability: charges the local disk write for freshly proposed
+    /// values, tags their instances with the write sequence, and queues
+    /// the proposer's *own* acceptOK for [`ProtocolRules::on_durable`].
+    /// With durability disabled this only no-ops through
+    /// [`EngineCore::durable_write`] (the self-vote was seeded
+    /// immediately, as before).
+    fn note_proposed_durable(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: &mut Ctx<Msg>,
+        items: &[(Slot, Command)],
+    ) {
+        if items.is_empty() {
+            return;
+        }
+        let bytes: usize = items.iter().map(|(_, c)| c.size_bytes()).sum();
+        core.durable_write(ctx, bytes, items.len());
+        if !core.dur.enabled() {
+            return;
+        }
+        let seq = core.dur.write_seq();
+        let slots: Vec<Slot> = items.iter().map(|(s, _)| *s).collect();
+        for s in &slots {
+            if let Some(inst) = self.instances.get_mut(&s.0) {
+                inst.wseq = seq;
+            }
+        }
+        self.pending_self.push((seq, self.ballot, slots));
+    }
+
+    /// Learn tally for a set of slots that just gained an ack bit:
+    /// marks newly chosen instances, broadcasts the Learn, executes.
+    fn learn_tally(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, slots: &[Slot], bit: u64) {
+        let q = quorum(core.cfg.n);
+        let mut chosen = Vec::new();
+        for slot in slots {
+            if let Some(inst) = self.instances.get_mut(&slot.0) {
+                inst.acks |= bit;
+                if !inst.committed && inst.acks.count_ones() as usize >= q {
+                    inst.committed = true;
+                    chosen.push(*slot);
+                }
+            }
+        }
+        if !chosen.is_empty() {
+            self.broadcast(core, ctx, PaxosMsg::Learn { slots: chosen });
+            self.try_execute(core, ctx);
+        }
+    }
+
     /// Figure 1 `Phase1Succeed`: adopt safe values and go active.
     fn try_phase1_succeed(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
         if self.phase1_succeeded || self.prepare_acks.len() < quorum(core.cfg.n) {
@@ -317,6 +399,7 @@ impl PaxosRules {
         let mut items = Vec::new();
         let mut s = start;
         let me_bit = core.me_bit();
+        let gated = core.dur.enabled();
         while s <= end {
             let inst = self.instances.entry(s.0).or_insert_with(Instance::empty);
             if !inst.committed {
@@ -326,13 +409,16 @@ impl PaxosRules {
                     .unwrap_or_else(Command::noop);
                 inst.bal = self.ballot;
                 let old = inst.cmd.replace(cmd.clone());
-                inst.acks = me_bit;
+                // Our own acceptOK counts only once the value is on
+                // disk; `on_durable` adds the bit after the fsync.
+                inst.acks = if gated { 0 } else { me_bit };
                 self.instance_bytes += cmd.size_bytes();
                 self.instance_bytes -= old.map_or(0, |c| c.size_bytes());
                 items.push((s, cmd));
             }
             s = s.next();
         }
+        self.note_proposed_durable(core, ctx, &items);
         core.snap_stats
             .note_log_size(self.instances.len(), self.instance_bytes);
         self.phase1_succeeded = true;
@@ -390,6 +476,10 @@ impl PaxosRules {
             kv: core.kv.snapshot(),
         };
         ctx.charge(core.cfg.costs.snapshot_cost(snap.size_bytes()));
+        // The checkpoint file replaces the discarded instances as their
+        // durable form; charge its write (modeled atomic, no ack waits
+        // on it — see `raft_family::RaftBase::maybe_compact`).
+        core.durable_write(ctx, snap.size_bytes(), 1);
         let retained = self.instances.split_off(&(self.exec_index.0 + 1));
         let discarded = self.instances.len();
         for inst in self.instances.values() {
@@ -418,15 +508,18 @@ impl PaxosRules {
                     self.phase1_succeeded = false;
                     core.leader_hint = Some(ballot.owner(core.cfg.n));
                     self.arm_election(core, ctx);
-                    ctx.send(
-                        from,
-                        Msg::Paxos(PaxosMsg::PrepareOk {
-                            ballot,
-                            entries: self.accepted_from(from_slot),
-                            log_tail: self.log_tail(),
-                            floor: self.compacted_through,
-                        }),
-                    );
+                    // The promise itself is free always-durable metadata
+                    // (see the module docs), but the reply reports
+                    // accepted *values*; deferring it behind any
+                    // outstanding value write keeps the report's
+                    // contents crash-stable.
+                    let ok = Msg::Paxos(PaxosMsg::PrepareOk {
+                        ballot,
+                        entries: self.accepted_from(from_slot),
+                        log_tail: self.log_tail(),
+                        floor: self.compacted_through,
+                    });
+                    core.ack_after_sync(ctx, from, ok);
                     // The candidate asks for instances we checkpointed
                     // away: ship the checkpoint so it can execute the
                     // covered prefix it will never see as entries.
@@ -474,6 +567,8 @@ impl PaxosRules {
                     );
                     let mut slots = Vec::with_capacity(items.len());
                     let mut below_floor = false;
+                    let mut written = Vec::new();
+                    let mut written_bytes = 0usize;
                     for (slot, cmd) in items {
                         if slot <= self.compacted_through {
                             // Checkpointed away: the instance is chosen
@@ -485,6 +580,8 @@ impl PaxosRules {
                         let inst = self.instances.entry(slot.0).or_insert_with(Instance::empty);
                         if !inst.committed {
                             inst.bal = ballot;
+                            written_bytes += cmd.size_bytes();
+                            written.push(slot);
                             self.instance_bytes += cmd.size_bytes();
                             self.instance_bytes -=
                                 inst.cmd.replace(cmd).map_or(0, |c| c.size_bytes());
@@ -494,17 +591,32 @@ impl PaxosRules {
                         }
                         slots.push(slot);
                     }
+                    // The freshly accepted values are one disk write;
+                    // tag their instances so a crash before the
+                    // covering fsync drops exactly them.
+                    if !written.is_empty() {
+                        core.durable_write(ctx, written_bytes, written.len());
+                        if core.dur.enabled() {
+                            let seq = core.dur.write_seq();
+                            for s in &written {
+                                if let Some(inst) = self.instances.get_mut(&s.0) {
+                                    inst.wseq = seq;
+                                }
+                            }
+                        }
+                    }
                     core.snap_stats
                         .note_log_size(self.instances.len(), self.instance_bytes);
                     self.arm_election(core, ctx); // accepts double as heartbeats
-                    ctx.send(
-                        from,
-                        Msg::Paxos(PaxosMsg::AcceptOk {
-                            ballot,
-                            slots,
-                            exec: self.exec_index,
-                        }),
-                    );
+                                                  // Phase2b promises the accepted values survive a
+                                                  // crash: the acceptOK leaves only after the fsync
+                                                  // covering them (group commit batches the fsync).
+                    let ok = Msg::Paxos(PaxosMsg::AcceptOk {
+                        ballot,
+                        slots,
+                        exec: self.exec_index,
+                    });
+                    core.ack_after_sync(ctx, from, ok);
                     if below_floor {
                         engine::ship_snapshot(
                             core,
@@ -677,6 +789,10 @@ impl ProtocolRules for PaxosRules {
     /// Figure 1 `Phase2a`, batched.
     fn propose(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, cmds: Vec<Command>) {
         let mut items = Vec::with_capacity(cmds.len());
+        // With durability on, the proposer's implicit acceptOK waits for
+        // its own fsync (`on_durable` adds the bit); without it, the
+        // self-vote is immediate, as before.
+        let self_ack = if core.dur.enabled() { 0 } else { core.me_bit() };
         for cmd in cmds {
             let slot = self.next_slot;
             self.next_slot = self.next_slot.next();
@@ -687,11 +803,13 @@ impl ProtocolRules for PaxosRules {
                     bal: self.ballot,
                     cmd: Some(cmd.clone()),
                     committed: false,
-                    acks: core.me_bit(),
+                    acks: self_ack,
+                    wseq: 0,
                 },
             );
             items.push((slot, cmd));
         }
+        self.note_proposed_durable(core, ctx, &items);
         core.snap_stats
             .note_log_size(self.instances.len(), self.instance_bytes);
         self.send_accept_round(core, ctx, &items);
@@ -742,6 +860,10 @@ impl ProtocolRules for PaxosRules {
     ) {
         if snap.last_slot > self.exec_index {
             ctx.charge(core.cfg.costs.snapshot_cost(snap.size_bytes()));
+            // The installed checkpoint is this replica's new recovery
+            // floor; the ack below attests to holding it, so the write
+            // is charged and the ack deferred behind its fsync.
+            core.durable_write(ctx, snap.size_bytes(), 1);
             core.kv.restore(&snap.kv);
             self.exec_index = snap.last_slot;
             let retained = self.instances.split_off(&(snap.last_slot.0 + 1));
@@ -763,15 +885,13 @@ impl ProtocolRules for PaxosRules {
             core.snap_stats.snapshots_installed += 1;
             self.try_execute(core, ctx);
         }
-        ctx.send(
-            from,
-            Msg::Engine(EngineMsg::SnapshotAck {
-                group: core.cfg.group_id(),
-                seal: self.ballot,
-                upto: self.exec_index,
-                header_bytes: core.snap_wire.1,
-            }),
-        );
+        let ack = Msg::Engine(EngineMsg::SnapshotAck {
+            group: core.cfg.group_id(),
+            seal: self.ballot,
+            upto: self.exec_index,
+            header_bytes: core.snap_wire.1,
+        });
+        core.ack_after_sync(ctx, from, ack);
     }
 
     fn on_snapshot_ack(
@@ -789,11 +909,74 @@ impl ProtocolRules for PaxosRules {
         }
     }
 
+    fn on_durable(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        // An fsync landed: the proposer's own accepted values up to the
+        // durable watermark now count toward their quorums.
+        if !self.phase1_succeeded || self.pending_self.is_empty() {
+            return;
+        }
+        let synced = core.dur.synced_seq();
+        let me = core.me_bit();
+        let ballot = self.ballot;
+        let mut ready: Vec<Slot> = Vec::new();
+        self.pending_self.retain(|(seq, bal, slots)| {
+            if *seq > synced {
+                return true;
+            }
+            // Recorded under a superseded ballot: the vote no longer
+            // applies (the bitmap was reseeded at the new ballot).
+            if *bal == ballot {
+                ready.extend_from_slice(slots);
+            }
+            false
+        });
+        if !ready.is_empty() {
+            self.learn_tally(core, ctx, &ready, me);
+        }
+    }
+
     fn on_crash(&mut self, core: &mut EngineCore) {
-        // Model a full restart with stable storage: ballot, accepted
-        // instances, commit flags, the executed state and the checkpoint
-        // all persist; volatile leadership does not.
-        let _ = core;
+        // Model a restart with stable storage: ballot, *fsynced*
+        // accepted values, commit flags, the executed state and the
+        // checkpoint persist; volatile leadership does not. With
+        // durability enabled, accepted values whose write never fsynced
+        // are gone: their acceptOK (and the proposer's own pending
+        // self-vote) was withheld by the ack-after-fsync invariant, so
+        // they contributed to no quorum and dropping them cannot lose
+        // chosen state. A committed instance losing its value this way
+        // degrades to `committed_no_value` and is re-fetched from the
+        // proposer's retransmission or a checkpoint.
+        if core.dur.enabled() {
+            let synced = core.dur.synced_seq();
+            let from = self.exec_index.0 + 1;
+            let mut dropped = Vec::new();
+            for (&s, inst) in self.instances.range_mut(from..) {
+                if inst.wseq > synced && inst.cmd.is_some() {
+                    self.instance_bytes -= inst.cmd.take().map_or(0, |c| c.size_bytes());
+                    inst.bal = Term::ZERO;
+                    inst.acks = 0;
+                    inst.wseq = 0;
+                    if inst.committed {
+                        inst.committed = false;
+                        self.committed_no_value.insert(s);
+                    }
+                    dropped.push(s);
+                }
+            }
+            // Fully empty uncommitted instances need no placeholder.
+            for s in dropped {
+                if self
+                    .instances
+                    .get(&s)
+                    .map(|i| !i.committed && i.cmd.is_none())
+                    .unwrap_or(false)
+                    && !self.committed_no_value.contains(&s)
+                {
+                    self.instances.remove(&s);
+                }
+            }
+            self.pending_self.clear();
+        }
         self.phase1_succeeded = false;
         self.prepare_acks.clear();
         for c in &mut self.accept_cursor {

@@ -25,6 +25,25 @@
 //! owner. This replaces Raft's per-term `votedFor` vote splitting (a
 //! node grants at most one vote per term by construction) without
 //! changing any other behaviour.
+//!
+//! # Durability (group commit)
+//!
+//! With a [`crate::config::DurabilityConfig`] enabled, every log append
+//! (follower *and* leader) is charged as a disk write, and any message
+//! that **attests to log content** — `AppendOk` here — is routed
+//! through [`EngineCore::ack_after_sync`] so it leaves only after an
+//! fsync covers the write it attests to. The safety argument is the
+//! classic one: an `AppendOk` for index *i* is a promise that entry *i*
+//! survives a crash; if the ack could outrun the fsync, a quorum could
+//! commit an entry that a crash then erases from enough replicas to
+//! lose it. Symmetrically the *leader's own* log copy only counts
+//! toward commit once locally durable: [`RaftRules::advance_commit`]
+//! clamps the quorum match by [`RaftBase::durable_tail`], and the
+//! engine's `on_durable` hook re-runs the tally when an fsync lands.
+//! Vote/reject messages stay immediate: the model treats the tiny
+//! term/vote metadata write as free and always-durable (terms survive
+//! [`RaftBase::crash_reset`]), so a vote never attests to anything
+//! volatile; only entry payloads ride the modeled disk.
 
 use paxraft_sim::sim::{ActorId, Ctx};
 
@@ -104,11 +123,15 @@ impl RaftRules {
             .repl
             .reset_for_leadership(self.base.log.last_index());
         core.pipe.reset();
-        self.base.log.append(Entry {
+        let noop = Entry {
             term: self.base.current_term,
             bal: self.base.current_term,
             cmd: Command::noop(),
-        });
+        };
+        let bytes = noop.size_bytes();
+        self.base.log.append(noop);
+        self.base
+            .note_append_durable(core, ctx, bytes, 1, self.base.log.last_index());
         self.base.broadcast_append(core, ctx);
         core.arm_heartbeat(ctx);
         engine::flush_pending(self, core, ctx);
@@ -122,8 +145,17 @@ impl RaftRules {
         }
         let f = max_failures(core.cfg.n);
         // The f-th largest follower match is replicated on f followers +
-        // the leader = a majority.
-        let quorum_match = self.base.repl.kth_largest_match(f, core.cfg.id);
+        // the leader = a majority — but the leader's copy only counts
+        // once locally durable, so the target is clamped by the fsynced
+        // tail (no-op when durability is disabled). Without the clamp,
+        // f durable followers plus the leader's volatile copy could
+        // commit an entry that a leader crash erases from the one
+        // replica a future election quorum might be counting on.
+        let quorum_match = self
+            .base
+            .repl
+            .kth_largest_match(f, core.cfg.id)
+            .min(self.base.durable_tail(core));
         if quorum_match > self.base.commit_index
             && self.base.log.term_at(quorum_match) == Some(self.base.current_term)
         {
@@ -206,15 +238,16 @@ impl RaftRules {
                     let overlap = (floor.0 - prev.0) as usize;
                     if entries.len() <= overlap {
                         // Nothing beyond the snapshot: everything the
-                        // leader sent is already covered.
-                        ctx.send(
-                            from,
-                            Msg::Raft(RaftMsg::AppendOk {
-                                term: self.base.current_term,
-                                last_idx: floor,
-                                holders: Vec::new(),
-                            }),
-                        );
+                        // leader sent is already covered. The ack still
+                        // attests to log content, so it rides the
+                        // ack-after-fsync path (immediate when nothing
+                        // is unsynced).
+                        let ok = Msg::Raft(RaftMsg::AppendOk {
+                            term: self.base.current_term,
+                            last_idx: floor,
+                            holders: Vec::new(),
+                        });
+                        core.ack_after_sync(ctx, from, ok);
                         return;
                     }
                     (floor, floor_term, entries[overlap..].to_vec())
@@ -241,28 +274,46 @@ impl RaftRules {
                     match self.base.log.term_at(idx) {
                         Some(t) if t == e.term => continue,
                         Some(_) => {
+                            // The truncated suffix's durability no
+                            // longer speaks for these indexes: clamp
+                            // the fsynced watermark (and any in-flight
+                            // fsync claims) below the rewrite point
+                            // before recording the replacement write.
+                            self.base.note_rewrite_from(idx);
                             self.base.log.truncate_from(idx);
                             to_append.push(e.clone());
                         }
                         None => to_append.push(e.clone()),
                     }
                 }
+                let appended = to_append.len();
+                let appended_bytes: usize = to_append.iter().map(Entry::size_bytes).sum();
                 for e in to_append {
                     self.base.log.append(e);
                 }
                 let match_through = Slot(prev.0 + entries.len() as u64);
+                if appended > 0 {
+                    self.base.note_append_durable(
+                        core,
+                        ctx,
+                        appended_bytes,
+                        appended,
+                        match_through,
+                    );
+                }
                 if commit > self.base.commit_index {
                     self.base.commit_index = Slot(commit.0.min(match_through.0));
                     self.apply_committed(core, ctx);
                 }
-                ctx.send(
-                    from,
-                    Msg::Raft(RaftMsg::AppendOk {
-                        term: self.base.current_term,
-                        last_idx: match_through,
-                        holders: Vec::new(),
-                    }),
-                );
+                // Acked only after the entries it vouches for are
+                // fsynced (group commit batches the fsync; see the
+                // module docs for the safety argument).
+                let ok = Msg::Raft(RaftMsg::AppendOk {
+                    term: self.base.current_term,
+                    last_idx: match_through,
+                    holders: Vec::new(),
+                });
+                core.ack_after_sync(ctx, from, ok);
             }
             RaftMsg::AppendOk { term, last_idx, .. } => {
                 if term > self.base.current_term {
@@ -304,13 +355,21 @@ impl ProtocolRules for RaftRules {
     }
 
     fn propose(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, cmds: Vec<Command>) {
+        let count = cmds.len();
+        let mut bytes = 0;
         for cmd in cmds {
-            self.base.log.append(Entry {
+            let e = Entry {
                 term: self.base.current_term,
                 bal: self.base.current_term,
                 cmd,
-            });
+            };
+            bytes += e.size_bytes();
+            self.base.log.append(e);
         }
+        // The leader's own copy is a disk write too; commit advance is
+        // clamped by `durable_tail` until its fsync lands.
+        self.base
+            .note_append_durable(core, ctx, bytes, count, self.base.log.last_index());
         self.base.broadcast_append(core, ctx);
     }
 
@@ -368,6 +427,14 @@ impl ProtocolRules for RaftRules {
 
     fn decorate_stats(&self, stats: &mut SnapshotStats) {
         self.base.decorate_stats(stats);
+    }
+
+    fn on_durable(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        // An fsync landed: absorb the new durable watermark and re-run
+        // the commit tally — the leader's own contribution may have
+        // just become countable.
+        self.base.absorb_synced(core);
+        self.advance_commit(core, ctx);
     }
 
     fn on_crash(&mut self, core: &mut EngineCore) {

@@ -27,6 +27,22 @@
 //! entry touching the key is `≤ commitIndex` and applied. The local-read
 //! intercept rides the engine's [`ProtocolRules::try_serve_local`] hook,
 //! so it applies uniformly to direct and forwarded requests.
+//!
+//! # Durability (group commit)
+//!
+//! Same invariant as standard Raft (see `raft.rs`'s module docs): an
+//! `appendOK` at ballot `t` attests that the covered entries survive a
+//! crash, so it is routed through [`EngineCore::ack_after_sync`], and
+//! `LeaderLearn` counts the leader's own copy only up to
+//! [`RaftBase::durable_tail`]. One Raft*-specific nuance: an accepted
+//! append *rewrites* the suffix after `prev` ([`Log::replace_suffix`]),
+//! so the durable watermark is clamped below the rewrite point before
+//! the replacement write is recorded — an fsync in flight for the old
+//! suffix must not vouch for the new one. The ballot rewrite *below*
+//! `prev` ([`Log::set_bal_upto`]) is content-preserving; like terms and
+//! votes, the model treats that small per-entry metadata write as free
+//! and always-durable (ballots survive crashes with the log), so only
+//! entry payloads ride the modeled disk.
 
 use std::collections::HashMap;
 
@@ -154,6 +170,8 @@ impl RaftStarRules {
             .map(|(start, ents)| Slot(start.0 + ents.len() as u64).prev())
             .max()
             .unwrap_or(Slot::NONE);
+        let mut merged_bytes = 0usize;
+        let mut merged = 0usize;
         let mut idx = my_last.next();
         while idx <= max_end {
             let mut best: Option<&Entry> = None;
@@ -168,11 +186,14 @@ impl RaftStarRules {
             }
             let cmd = best.map(|e| e.cmd.clone()).unwrap_or_else(Command::noop);
             // Figure 2a lines 25-27: bal and term become currentTerm.
-            self.base.log.append(Entry {
+            let e = Entry {
                 term: self.base.current_term,
                 bal: self.base.current_term,
                 cmd,
-            });
+            };
+            merged_bytes += e.size_bytes();
+            merged += 1;
+            self.base.log.append(e);
             idx = idx.next();
         }
         self.index_writes_from(my_last.next());
@@ -184,14 +205,22 @@ impl RaftStarRules {
         core.pipe.reset();
         // A fresh no-op carries the term forward (progress, not safety:
         // Raft* needs no 5.4.2-style commit restriction).
-        self.base.log.append(Entry {
+        let noop = Entry {
             term: self.base.current_term,
             bal: self.base.current_term,
             cmd: Command::noop(),
-        });
+        };
+        merged_bytes += noop.size_bytes();
+        merged += 1;
+        self.base.log.append(noop);
         self.base
             .log
             .set_bal_upto(self.base.log.last_index(), self.base.current_term);
+        // The merged extras and the no-op are new log content on this
+        // node's disk (the ballot rewrite of older entries is free
+        // metadata — see the module docs).
+        self.base
+            .note_append_durable(core, ctx, merged_bytes, merged, self.base.log.last_index());
         self.base.broadcast_append(core, ctx);
         core.arm_heartbeat(ctx);
         engine::flush_pending(self, core, ctx);
@@ -226,7 +255,14 @@ impl RaftStarRules {
             return;
         }
         let f = max_failures(core.cfg.n);
-        let mut target = self.base.repl.kth_largest_match(f, core.cfg.id);
+        // The leader's own copy counts toward the quorum only once
+        // locally fsynced (no-op when durability is disabled); the
+        // engine's `on_durable` hook re-runs this tally as syncs land.
+        let mut target = self
+            .base
+            .repl
+            .kth_largest_match(f, core.cfg.id)
+            .min(self.base.durable_tail(core));
         // [PQL] holderSet = holders reported by the *responders* (the
         // followers whose appendOKs form this commit's quorum) ∪ holders
         // granted by the leader itself (the implicit appendOK). Every
@@ -444,14 +480,15 @@ impl RaftStarRules {
                             .as_ref()
                             .map(|l| l.current_holders(ctx.now()))
                             .unwrap_or_default();
-                        ctx.send(
-                            from,
-                            Msg::Raft(RaftMsg::AppendOk {
-                                term: self.base.current_term,
-                                last_idx: floor,
-                                holders,
-                            }),
-                        );
+                        // Attests to log content: rides the
+                        // ack-after-fsync path (immediate when nothing
+                        // is unsynced).
+                        let ok = Msg::Raft(RaftMsg::AppendOk {
+                            term: self.base.current_term,
+                            last_idx: floor,
+                            holders,
+                        });
+                        core.ack_after_sync(ctx, from, ok);
                         return;
                     }
                     (floor, floor_term, entries[overlap..].to_vec())
@@ -472,28 +509,39 @@ impl RaftStarRules {
                     );
                     return;
                 }
+                // Raft* rewrites the whole suffix after `prev`: any
+                // fsync in flight for the old suffix must not vouch for
+                // the replacement, so clamp the durable watermark first,
+                // then record the replacement as a fresh disk write.
+                let appended = entries.len();
+                self.base.note_rewrite_from(prev.next());
                 self.base.log.replace_suffix(prev, entries);
                 // Figure 2b: every covered ballot becomes the append term.
                 self.base.log.set_bal_upto(new_last, term);
+                if appended > 0 {
+                    self.base
+                        .note_append_durable(core, ctx, bytes, appended, new_last);
+                }
                 self.index_writes_from(prev.next());
                 if commit > self.base.commit_index {
                     self.base.commit_index = Slot(commit.0.min(new_last.0));
                     self.apply_committed(core, ctx);
                 }
-                // [PQL] Phase2b Δ: attach the holders we granted.
+                // [PQL] Phase2b Δ: attach the holders we granted. The
+                // appendOK is a Paxos acceptOK for every covered
+                // instance — it leaves only after the fsync covering
+                // the suffix it vouches for (group commit batches it).
                 let holders = self
                     .lease
                     .as_ref()
                     .map(|l| l.current_holders(ctx.now()))
                     .unwrap_or_default();
-                ctx.send(
-                    from,
-                    Msg::Raft(RaftMsg::AppendOk {
-                        term: self.base.current_term,
-                        last_idx: new_last,
-                        holders,
-                    }),
-                );
+                let ok = Msg::Raft(RaftMsg::AppendOk {
+                    term: self.base.current_term,
+                    last_idx: new_last,
+                    holders,
+                });
+                core.ack_after_sync(ctx, from, ok);
             }
             RaftMsg::AppendOk {
                 term,
@@ -549,17 +597,25 @@ impl ProtocolRules for RaftStarRules {
     /// ballots, replicate.
     fn propose(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>, cmds: Vec<Command>) {
         let first_new = self.base.log.last_index().next();
+        let count = cmds.len();
+        let mut bytes = 0;
         for cmd in cmds {
-            self.base.log.append(Entry {
+            let e = Entry {
                 term: self.base.current_term,
                 bal: self.base.current_term,
                 cmd,
-            });
+            };
+            bytes += e.size_bytes();
+            self.base.log.append(e);
         }
         // Figure 2b lines 6-7: all ballots become the new entry's term.
         self.base
             .log
             .set_bal_upto(self.base.log.last_index(), self.base.current_term);
+        // The leader's own copy is a disk write too; LeaderLearn is
+        // clamped by `durable_tail` until its fsync lands.
+        self.base
+            .note_append_durable(core, ctx, bytes, count, self.base.log.last_index());
         self.index_writes_from(first_new);
         self.base.broadcast_append(core, ctx);
     }
@@ -722,6 +778,14 @@ impl ProtocolRules for RaftStarRules {
         self.base.decorate_stats(stats);
     }
 
+    fn on_durable(&mut self, core: &mut EngineCore, ctx: &mut Ctx<Msg>) {
+        // An fsync landed: absorb the new durable watermark and re-run
+        // LeaderLearn — the leader's own contribution may have just
+        // become countable.
+        self.base.absorb_synced(core);
+        self.advance_commit(core, ctx);
+    }
+
     fn on_crash(&mut self, core: &mut EngineCore) {
         // Persistent: term, log, the durable snapshot backing the
         // compacted prefix, and grants *given* (a recovering grantor
@@ -729,6 +793,14 @@ impl ProtocolRules for RaftStarRules {
         // leases held. The state machine restarts from the snapshot —
         // the compacted prefix cannot be replayed.
         self.base.crash_reset(core);
+        if core.dur.enabled() {
+            // crash_reset may have truncated an unsynced suffix the
+            // [PQL] key index still points into; rebuild it from the
+            // retained log.
+            self.key_last_write.clear();
+            self.frozen_in_log.clear();
+            self.index_writes_from(self.base.log.last_included().0.next());
+        }
         self.vote_extras.clear();
         self.parked_reads.clear();
         if let Some(lease) = &mut self.lease {

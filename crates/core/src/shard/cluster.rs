@@ -8,10 +8,12 @@ use paxraft_workload::generator::{Generator, OpKind};
 use paxraft_workload::metrics::LatencyRecorder;
 
 use crate::client::{ClientRouting, WorkloadClient};
+use crate::engine::DurabilityStats;
 use crate::engine::PipelineStats;
 use crate::harness::{
-    group_sample_now, make_replica, record_group_sample, replica_is_leader, replica_metrics,
-    replica_pipeline_stats, replica_snap_stats, Cluster, ClusterBuilder, ProtocolKind, RunReport,
+    group_sample_now, make_replica, record_group_sample, replica_durability_stats,
+    replica_is_leader, replica_metrics, replica_pipeline_stats, replica_snap_stats, Cluster,
+    ClusterBuilder, ProtocolKind, RunReport,
 };
 use crate::kv::{CmdId, Command, Op, Reply};
 use crate::msg::{ClientMsg, Msg};
@@ -102,6 +104,8 @@ pub struct GroupStats {
     pub snapshots: SnapshotStats,
     /// Pipeline counters summed over the group's replicas.
     pub pipeline: PipelineStats,
+    /// Fsync / deferred-ack counters summed over the group's replicas.
+    pub durability: DurabilityStats,
     /// Range exports shipped by the group's replicas (live rebalancing).
     pub range_exports: u64,
     /// Range installs absorbed by the group's replicas.
@@ -149,6 +153,14 @@ impl ClusterBuilder {
         if self.telemetry.trace_capacity > 0 {
             sim.enable_trace(self.telemetry.trace_capacity);
         }
+        // Provision the disks: one per *node*, shared by all of that
+        // node's group replicas — co-located groups contend for the same
+        // device the way co-located flows contend for one NIC.
+        let disk = self.durability.disk_config();
+        let provision_disks = !disk.is_zero_cost();
+        if provision_disks {
+            sim.set_disk_config(disk);
+        }
         let router = ShardRouter::from_workload(&self.workload, groups);
         let client_base = groups * n;
         let mut group_actors = Vec::with_capacity(groups);
@@ -173,7 +185,13 @@ impl ClusterBuilder {
                     membership.clone(),
                 );
                 cfg.initial_leader = Some(leader);
-                actors.push(sim.add_actor(self.regions[i], make_replica(self.protocol, cfg)));
+                let actor = sim.add_actor(self.regions[i], make_replica(self.protocol, cfg));
+                if provision_disks {
+                    // Disk id = node index: every group's replica on
+                    // node `i` shares node `i`'s device.
+                    sim.map_disk(actor, i);
+                }
+                actors.push(actor);
             }
             group_actors.push(actors);
         }
@@ -358,10 +376,12 @@ impl ShardedCluster {
             .map(|(g, actors)| {
                 let mut snapshots = SnapshotStats::default();
                 let mut pipeline = PipelineStats::default();
+                let mut durability = DurabilityStats::default();
                 let mut sample = MetricSample::default();
                 for &r in actors {
                     snapshots.absorb(&replica_snap_stats(&self.sim, self.protocol, r));
                     pipeline.absorb(&replica_pipeline_stats(&self.sim, self.protocol, r));
+                    durability.absorb(&replica_durability_stats(&self.sim, self.protocol, r));
                     sample.merge_sum(&replica_metrics(&self.sim, self.protocol, r));
                 }
                 GroupStats {
@@ -370,6 +390,7 @@ impl ShardedCluster {
                     responses: sample.get("responses") as u64,
                     snapshots,
                     pipeline,
+                    durability,
                     range_exports: sample.get("range_exports") as u64,
                     range_installs: sample.get("range_installs") as u64,
                 }
@@ -495,9 +516,11 @@ impl ShardedCluster {
         let per_group = self.per_group_stats();
         let mut snapshots = SnapshotStats::default();
         let mut pipeline = PipelineStats::default();
+        let mut durability = DurabilityStats::default();
         for gs in &per_group {
             snapshots.absorb(&gs.snapshots);
             pipeline.absorb(&gs.pipeline);
+            durability.absorb(&gs.durability);
         }
         RunReport {
             throughput_ops: completed as f64 / measure.as_secs_f64(),
@@ -508,6 +531,7 @@ impl ShardedCluster {
             histories,
             snapshots,
             pipeline,
+            durability,
             telemetry: self.metrics.snapshot(),
         }
     }
@@ -528,8 +552,8 @@ impl ShardedCluster {
             self.sim.run_until(self.metrics.next_due());
             let now = self.sim.now();
             for (g, actors) in self.group_actors.iter().enumerate() {
-                let (sample, nic) = group_sample_now(&self.sim, self.protocol, actors);
-                record_group_sample(&mut self.metrics, now, g as u32, &sample, nic);
+                let (sample, nic, disk) = group_sample_now(&self.sim, self.protocol, actors);
+                record_group_sample(&mut self.metrics, now, g as u32, &sample, nic, disk);
             }
             self.metrics.advance();
         }

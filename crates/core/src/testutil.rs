@@ -150,6 +150,30 @@ pub const TRACE_CAPACITY: usize = 256;
 /// How many trace events a failure dump prints.
 pub const TRACE_DUMP_LAST: usize = 40;
 
+/// If `TRACE_DUMP_DIR` is set, writes the flight recorder's machine-
+/// readable export there and returns the path — CI sets the variable
+/// and uploads the directory as an artifact when a test job fails, so
+/// a red run carries its event history out of the runner. Files are
+/// named by process id and a counter: parallel test binaries and
+/// multiple failures in one binary never collide.
+pub fn export_trace_artifact(sim: &Simulation<Msg>) -> Option<std::path::PathBuf> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::path::PathBuf::from(std::env::var_os("TRACE_DUMP_DIR")?);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let path = dir.join(format!("trace-{}-{}.json", std::process::id(), n));
+    if std::fs::create_dir_all(&dir).is_err() {
+        return None;
+    }
+    match std::fs::write(&path, sim.trace().export_json()) {
+        Ok(()) => {
+            eprintln!("flight-recorder export written to {}", path.display());
+            Some(path)
+        }
+        Err(_) => None,
+    }
+}
+
 /// Steps the simulation in 50 ms increments until `pred` holds or
 /// `deadline` passes. Returns whether the predicate held; on timeout
 /// (the caller is about to fail its assertion) the tail of the flight
@@ -170,6 +194,7 @@ where
                 TRACE_DUMP_LAST.min(sim.trace().len()),
                 sim.trace().render_last(TRACE_DUMP_LAST)
             );
+            export_trace_artifact(sim);
             return false;
         }
         sim.run_for(SimDuration::from_millis(50));
@@ -192,7 +217,32 @@ pub fn with_trace_dump<R>(
                 TRACE_DUMP_LAST.min(sim.trace().len()),
                 sim.trace().render_last(TRACE_DUMP_LAST)
             );
+            export_trace_artifact(sim);
             std::panic::resume_unwind(e)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_trace_artifact_writes_json_when_dir_is_set() {
+        // No TRACE_DUMP_DIR → no file, no error.
+        std::env::remove_var("TRACE_DUMP_DIR");
+        let (mut sim, _replicas, _client) =
+            cluster_with(1, |cfg| Box::new(crate::raft::RaftReplica::new(cfg)));
+        sim.run_for(SimDuration::from_millis(100));
+        assert!(export_trace_artifact(&sim).is_none());
+        // With it set, the export lands as well-formed JSON lines.
+        let dir = std::env::temp_dir().join(format!("paxraft-trace-{}", std::process::id()));
+        std::env::set_var("TRACE_DUMP_DIR", &dir);
+        let path = export_trace_artifact(&sim).expect("artifact written");
+        std::env::remove_var("TRACE_DUMP_DIR");
+        let json = std::fs::read_to_string(&path).expect("artifact readable");
+        assert!(json.starts_with("[\n"), "array framing: {json:.40}");
+        assert!(json.contains("\"kind\""), "events serialized");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,251 @@
+//! A deterministic per-node disk model: write bandwidth + fsync latency.
+//!
+//! The disk is the third shared resource next to the NIC ([`crate::net`])
+//! and the CPU run queue ([`crate::sim`]). It models the durability cost
+//! that dominates commit latency in real consensus deployments: a log
+//! append is a buffered write (charged against write bandwidth) and an
+//! **fsync** is a flush barrier (charged a fixed device latency) that the
+//! caller must wait out before the data is durable.
+//!
+//! Mechanics mirror the NIC exactly:
+//!
+//! - each disk keeps a busy horizon (`free[d]`): writes and fsyncs are
+//!   serviced FIFO in virtual-time order, so co-located actors mapped to
+//!   the same disk fair-share it the way flows fair-share one NIC;
+//! - charging is pure virtual-time arithmetic — **no RNG draws** — so a
+//!   run with a zero-cost disk (the [`DiskConfig::default`]) is
+//!   bit-for-bit identical to a run built before the disk model existed;
+//! - fsync completions surface as timer-like events gated on the actor's
+//!   crash epoch, so a crash silently cancels in-flight fsyncs.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Disk performance parameters shared by every disk in a simulation.
+///
+/// The default is the **zero-cost disk**: infinite bandwidth, zero fsync
+/// latency. With it, writes never move the busy horizon and an fsync
+/// completes at the instant it is issued — the event schedule is
+/// identical to a simulation with no disk model at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskConfig {
+    /// Sequential write bandwidth in bytes/sec; `0.0` means infinite
+    /// (writes are free).
+    pub write_bandwidth_bps: f64,
+    /// Fixed device latency of one fsync (flush barrier).
+    pub fsync_latency: SimDuration,
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        DiskConfig {
+            write_bandwidth_bps: 0.0,
+            fsync_latency: SimDuration::ZERO,
+        }
+    }
+}
+
+impl DiskConfig {
+    /// An NVMe-flash-like disk: ~1 GB/s writes, 100 µs fsync.
+    pub fn nvme() -> Self {
+        DiskConfig {
+            write_bandwidth_bps: 1e9,
+            fsync_latency: SimDuration::from_micros(100),
+        }
+    }
+
+    /// A spinning-rust-like disk: ~150 MB/s writes, 5 ms fsync.
+    pub fn hdd() -> Self {
+        DiskConfig {
+            write_bandwidth_bps: 150e6,
+            fsync_latency: SimDuration::from_millis(5),
+        }
+    }
+
+    /// Whether this config ever charges time.
+    pub fn is_zero_cost(&self) -> bool {
+        self.write_bandwidth_bps <= 0.0 && self.fsync_latency == SimDuration::ZERO
+    }
+
+    /// Time to stream `bytes` to the write cache at the configured
+    /// bandwidth (zero when bandwidth is infinite).
+    pub fn write_time(&self, bytes: usize) -> SimDuration {
+        if self.write_bandwidth_bps <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let secs = bytes as f64 / self.write_bandwidth_bps;
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+/// Per-disk cumulative counters (reporting only).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiskStats {
+    /// Buffered bytes written.
+    pub bytes_written: u64,
+    /// Fsyncs completed (scheduled; a crash may discard the completion
+    /// event but the device did the work).
+    pub fsyncs: u64,
+}
+
+/// The array of simulated disks, one busy horizon per disk id.
+///
+/// Actors are mapped onto disk ids by the simulation (default: own id);
+/// mapping several actors to one disk id models co-location on a shared
+/// device — their writes and fsyncs serialize FIFO on its horizon.
+#[derive(Debug, Default)]
+pub struct DiskArray {
+    config: DiskConfig,
+    free: Vec<SimTime>,
+    stats: Vec<DiskStats>,
+}
+
+impl DiskArray {
+    /// An array with the given per-disk parameters and no disks yet.
+    pub fn new(config: DiskConfig) -> Self {
+        DiskArray {
+            config,
+            free: Vec::new(),
+            stats: Vec::new(),
+        }
+    }
+
+    /// The shared disk parameters.
+    pub fn config(&self) -> &DiskConfig {
+        &self.config
+    }
+
+    /// Replaces the disk parameters (busy horizons are kept).
+    pub fn set_config(&mut self, config: DiskConfig) {
+        self.config = config;
+    }
+
+    /// Makes sure disk id `d` exists.
+    pub fn ensure(&mut self, d: usize) {
+        while self.free.len() <= d {
+            self.free.push(SimTime::ZERO);
+            self.stats.push(DiskStats::default());
+        }
+    }
+
+    /// Charges a buffered write of `bytes` issued at `now`: the disk's
+    /// busy horizon advances by `bytes / bandwidth`. The caller does not
+    /// wait — only a subsequent fsync forces it to.
+    pub fn write(&mut self, now: SimTime, d: usize, bytes: usize) {
+        self.ensure(d);
+        let start = self.free[d].max(now);
+        self.free[d] = start + self.config.write_time(bytes);
+        self.stats[d].bytes_written += bytes as u64;
+    }
+
+    /// Charges an fsync issued at `now` and returns its completion time:
+    /// all previously issued work on this disk finishes first (FIFO),
+    /// then the flush barrier costs `fsync_latency`.
+    pub fn fsync(&mut self, now: SimTime, d: usize) -> SimTime {
+        self.ensure(d);
+        let start = self.free[d].max(now);
+        let done = start + self.config.fsync_latency;
+        self.free[d] = done;
+        self.stats[d].fsyncs += 1;
+        done
+    }
+
+    /// The time disk `d` becomes idle (its busy horizon).
+    pub fn free_at(&self, d: usize) -> SimTime {
+        self.free.get(d).copied().unwrap_or(SimTime::ZERO)
+    }
+
+    /// How far disk `d` is backed up at `now` (`ZERO` when idle) — the
+    /// disk-queue-depth signal, analogous to [`crate::sim::Ctx::nic_backlog`].
+    pub fn backlog(&self, now: SimTime, d: usize) -> SimDuration {
+        let free = self.free_at(d);
+        if free > now {
+            free - now
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Cumulative counters for disk `d`.
+    pub fn stats(&self, d: usize) -> DiskStats {
+        self.stats.get(d).copied().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_cost_default_charges_nothing() {
+        let mut disks = DiskArray::new(DiskConfig::default());
+        assert!(disks.config().is_zero_cost());
+        disks.write(SimTime::from_millis(3), 0, 1 << 20);
+        let done = disks.fsync(SimTime::from_millis(3), 0);
+        assert_eq!(done, SimTime::from_millis(3));
+        assert_eq!(disks.backlog(SimTime::from_millis(3), 0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn write_time_scales_with_bandwidth() {
+        let cfg = DiskConfig {
+            write_bandwidth_bps: 100e6, // 100 MB/s
+            fsync_latency: SimDuration::ZERO,
+        };
+        assert_eq!(cfg.write_time(100_000_000), SimDuration::from_secs(1));
+        assert_eq!(cfg.write_time(1_000_000), SimDuration::from_millis(10));
+        assert!(!cfg.is_zero_cost());
+    }
+
+    #[test]
+    fn fsync_waits_for_prior_writes_fifo() {
+        let cfg = DiskConfig {
+            write_bandwidth_bps: 100e6,
+            fsync_latency: SimDuration::from_millis(1),
+        };
+        let mut disks = DiskArray::new(cfg);
+        // 1 MB write at t=0 keeps the disk busy until 10 ms.
+        disks.write(SimTime::ZERO, 0, 1_000_000);
+        assert_eq!(disks.free_at(0), SimTime::from_millis(10));
+        // An fsync issued at t=2 completes at 10 + 1 = 11 ms.
+        let done = disks.fsync(SimTime::from_millis(2), 0);
+        assert_eq!(done, SimTime::from_millis(11));
+        assert_eq!(
+            disks.backlog(SimTime::from_millis(2), 0),
+            SimDuration::from_millis(9)
+        );
+        let s = disks.stats(0);
+        assert_eq!(s.bytes_written, 1_000_000);
+        assert_eq!(s.fsyncs, 1);
+    }
+
+    #[test]
+    fn co_located_work_serializes_on_one_horizon() {
+        // Two logical actors mapped onto disk 0: their fsyncs queue FIFO.
+        let cfg = DiskConfig {
+            write_bandwidth_bps: 0.0,
+            fsync_latency: SimDuration::from_millis(2),
+        };
+        let mut disks = DiskArray::new(cfg);
+        let a = disks.fsync(SimTime::ZERO, 0);
+        let b = disks.fsync(SimTime::ZERO, 0);
+        assert_eq!(a, SimTime::from_millis(2));
+        assert_eq!(b, SimTime::from_millis(4), "second fsync waits its turn");
+        // A separate disk id is an independent device.
+        let c = disks.fsync(SimTime::ZERO, 1);
+        assert_eq!(c, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn idle_disk_catches_up_to_now() {
+        let cfg = DiskConfig {
+            write_bandwidth_bps: 0.0,
+            fsync_latency: SimDuration::from_millis(1),
+        };
+        let mut disks = DiskArray::new(cfg);
+        let a = disks.fsync(SimTime::ZERO, 0);
+        assert_eq!(a, SimTime::from_millis(1));
+        // Long idle gap: the next fsync starts from `now`, not the old horizon.
+        let b = disks.fsync(SimTime::from_millis(100), 0);
+        assert_eq!(b, SimTime::from_millis(101));
+    }
+}

@@ -4,7 +4,7 @@
 //! Amazon EC2 testbed (5 regions, 25–292 ms RTTs, 750 Mbps NICs,
 //! m4.xlarge servers).
 //!
-//! The simulator provides exactly the three resources whose contention the
+//! The simulator provides the shared resources whose contention the
 //! paper's evaluation exercises:
 //!
 //! - **propagation delay** between regions ([`net::NetConfig::one_way`]),
@@ -13,7 +13,10 @@
 //!   `size/bandwidth` serially), which bounds throughput for 4 KB
 //!   requests (Figure 10b);
 //! - **CPU service time** per node ([`sim::Ctx::charge`] + a serial run
-//!   queue), which bounds throughput for 8 B requests (Figures 9c, 10a).
+//!   queue), which bounds throughput for 8 B requests (Figures 9c, 10a);
+//! - **disk bandwidth + fsync latency** per node ([`disk::DiskArray`]),
+//!   which bounds throughput once durability is enabled (the default
+//!   zero-cost disk charges nothing and changes no schedule).
 //!
 //! Everything is deterministic given a seed; see [`rng::SimRng`].
 //!
@@ -45,6 +48,7 @@
 //! assert_eq!(sim.actor::<Counter>(id).n, 1);
 //! ```
 
+pub mod disk;
 pub mod fault;
 pub mod net;
 pub mod rng;
@@ -52,6 +56,7 @@ pub mod sim;
 pub mod time;
 pub mod trace;
 
+pub use disk::{DiskArray, DiskConfig, DiskStats};
 pub use fault::FaultPlan;
 pub use net::{NetConfig, Network, Region};
 pub use rng::SimRng;

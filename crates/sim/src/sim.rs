@@ -19,6 +19,7 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use crate::disk::{DiskArray, DiskConfig, DiskStats};
 use crate::net::{Delivery, NetConfig, Network, Region};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -90,12 +91,15 @@ pub struct Ctx<'a, M> {
     outputs: Vec<Output<M>>,
     charge: SimDuration,
     nic_backlog: SimDuration,
+    disk_backlog: SimDuration,
 }
 
 #[derive(Debug)]
 enum Output<M> {
     Send { to: ActorId, msg: M },
     Timer { delay: SimDuration, token: u64 },
+    DiskWrite { bytes: usize },
+    Fsync { token: u64 },
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -141,6 +145,28 @@ impl<'a, M> Ctx<'a, M> {
     /// already-saturated NIC cannot hide.
     pub fn nic_backlog(&self) -> SimDuration {
         self.nic_backlog
+    }
+
+    /// Queues a buffered write of `bytes` to this node's disk; it is
+    /// issued after the handler's charged cost elapses. The handler does
+    /// not wait — durability requires a subsequent [`Ctx::fsync`].
+    pub fn disk_write(&mut self, bytes: usize) {
+        self.outputs.push(Output::DiskWrite { bytes });
+    }
+
+    /// Queues an fsync on this node's disk, issued after the handler's
+    /// charged cost elapses. When it completes (all prior disk work plus
+    /// the device's fsync latency), `token` is delivered to
+    /// [`Actor::on_timer`]. Completions are gated on the crash epoch: a
+    /// crash silently cancels in-flight fsyncs.
+    pub fn fsync(&mut self, token: u64) {
+        self.outputs.push(Output::Fsync { token });
+    }
+
+    /// How far this node's disk is backed up at handler start (`ZERO`
+    /// when idle) — the disk-side analogue of [`Ctx::nic_backlog`].
+    pub fn disk_backlog(&self) -> SimDuration {
+        self.disk_backlog
     }
 
     /// Records an application-level event in the flight recorder
@@ -238,6 +264,8 @@ pub struct Simulation<M: Payload> {
     timer_epoch: Vec<u64>,
     started: bool,
     trace: FlightRecorder,
+    disks: DiskArray,
+    disk_of: Vec<usize>,
     /// Event/delivery counters.
     pub stats: SimStats,
 }
@@ -260,8 +288,38 @@ impl<M: Payload> Simulation<M> {
             timer_epoch: Vec::new(),
             started: false,
             trace: FlightRecorder::disabled(),
+            disks: DiskArray::new(DiskConfig::default()),
+            disk_of: Vec::new(),
             stats: SimStats::default(),
         }
+    }
+
+    /// Sets the shared disk parameters. The default is the zero-cost
+    /// disk, under which writes and fsyncs charge no virtual time and
+    /// the event schedule is bit-for-bit identical to a simulation with
+    /// no disk model at all.
+    pub fn set_disk_config(&mut self, config: DiskConfig) {
+        self.disks.set_config(config);
+    }
+
+    /// Maps `actor` onto disk id `disk`. The default mapping gives every
+    /// actor its own disk (id = actor id); mapping several actors to one
+    /// disk models co-location on a shared device, whose FIFO horizon
+    /// fair-shares their writes and fsyncs.
+    pub fn map_disk(&mut self, actor: ActorId, disk: usize) {
+        self.disk_of[actor.0] = disk;
+        self.disks.ensure(disk);
+    }
+
+    /// How far `actor`'s disk is backed up at the current virtual time.
+    pub fn disk_backlog_at(&self, actor: ActorId) -> SimDuration {
+        self.disks.backlog(self.now, self.disk_of[actor.0])
+    }
+
+    /// Cumulative counters of `actor`'s disk (shared with any co-located
+    /// actors mapped to the same device).
+    pub fn disk_stats_at(&self, actor: ActorId) -> DiskStats {
+        self.disks.stats(self.disk_of[actor.0])
     }
 
     /// Turns on the flight recorder, keeping the last `capacity`
@@ -288,6 +346,7 @@ impl<M: Payload> Simulation<M> {
         self.inbox.push(VecDeque::new());
         self.process_scheduled.push(false);
         self.timer_epoch.push(0);
+        self.disk_of.push(id.0);
         if self.started {
             self.net.add_node(region);
             self.run_handler(id.0, |actor, ctx| actor.on_start(ctx));
@@ -426,6 +485,7 @@ impl<M: Payload> Simulation<M> {
             } else {
                 SimDuration::ZERO
             },
+            disk_backlog: self.disks.backlog(start, self.disk_of[i]),
         };
         f(self.actors[i].as_mut(), &mut ctx);
         let charge = ctx.charge;
@@ -481,6 +541,25 @@ impl<M: Payload> Simulation<M> {
                     let epoch = self.timer_epoch[i];
                     self.push(
                         done + delay,
+                        EvKind::TimerFire {
+                            dst: i,
+                            token,
+                            epoch,
+                        },
+                    );
+                }
+                Output::DiskWrite { bytes } => {
+                    self.disks.write(done, self.disk_of[i], bytes);
+                }
+                Output::Fsync { token } => {
+                    // The completion rides the timer path so it is traced,
+                    // FIFO-ordered through the inbox, and epoch-gated: a
+                    // crash between issue and completion cancels it, which
+                    // is exactly "the fsync never happened" semantics.
+                    let at = self.disks.fsync(done, self.disk_of[i]);
+                    let epoch = self.timer_epoch[i];
+                    self.push(
+                        at,
                         EvKind::TimerFire {
                             dst: i,
                             token,
@@ -899,6 +978,146 @@ mod tests {
         assert_eq!(plain_events, traced_events, "event count identical");
         assert_eq!(plain_recorded, 0);
         assert!(traced_recorded > 0, "the traced run did record events");
+    }
+
+    /// Writes then fsyncs on start; records fsync-completion times.
+    struct Syncer {
+        bytes: usize,
+        completions: Vec<(u64, SimTime)>,
+    }
+    impl Actor<Ping> for Syncer {
+        fn on_start(&mut self, ctx: &mut Ctx<Ping>) {
+            ctx.disk_write(self.bytes);
+            ctx.fsync(1);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<Ping>, _f: ActorId, _m: Ping) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<Ping>, token: u64) {
+            self.completions.push((token, ctx.now()));
+        }
+        impl_actor_any!();
+    }
+
+    #[test]
+    fn fsync_completion_arrives_after_write_and_latency() {
+        let cfg = NetConfig {
+            jitter: 0.0,
+            ..NetConfig::default()
+        };
+        let mut sim = Simulation::new(cfg, 1);
+        sim.set_disk_config(crate::disk::DiskConfig {
+            write_bandwidth_bps: 100e6, // 1 MB -> 10 ms
+            fsync_latency: SimDuration::from_millis(3),
+        });
+        let n = sim.add_actor(
+            Region::Oregon,
+            Box::new(Syncer {
+                bytes: 1_000_000,
+                completions: Vec::new(),
+            }),
+        );
+        sim.run_until(SimTime::from_millis(100));
+        let s: &Syncer = sim.actor(n);
+        assert_eq!(s.completions, vec![(1, SimTime::from_millis(13))]);
+        let stats = sim.disk_stats_at(n);
+        assert_eq!(stats.bytes_written, 1_000_000);
+        assert_eq!(stats.fsyncs, 1);
+    }
+
+    #[test]
+    fn crash_cancels_in_flight_fsync() {
+        let cfg = NetConfig {
+            jitter: 0.0,
+            ..NetConfig::default()
+        };
+        let mut sim = Simulation::new(cfg, 1);
+        sim.set_disk_config(crate::disk::DiskConfig {
+            write_bandwidth_bps: 0.0,
+            fsync_latency: SimDuration::from_millis(10),
+        });
+        let n = sim.add_actor(
+            Region::Oregon,
+            Box::new(Syncer {
+                bytes: 64,
+                completions: Vec::new(),
+            }),
+        );
+        // Crash at 5 ms, before the 10 ms fsync completes; restart at 20 ms
+        // re-runs on_start, whose new fsync completes at 30 ms.
+        sim.crash_at(n, SimTime::from_millis(5));
+        sim.restart_at(n, SimTime::from_millis(20));
+        sim.run_until(SimTime::from_millis(100));
+        let s: &Syncer = sim.actor(n);
+        assert_eq!(s.completions, vec![(1, SimTime::from_millis(30))]);
+    }
+
+    #[test]
+    fn co_located_actors_fair_share_one_disk() {
+        let cfg = NetConfig {
+            jitter: 0.0,
+            ..NetConfig::default()
+        };
+        let mut sim = Simulation::new(cfg, 1);
+        sim.set_disk_config(crate::disk::DiskConfig {
+            write_bandwidth_bps: 0.0,
+            fsync_latency: SimDuration::from_millis(4),
+        });
+        let a = sim.add_actor(
+            Region::Oregon,
+            Box::new(Syncer {
+                bytes: 8,
+                completions: Vec::new(),
+            }),
+        );
+        let b = sim.add_actor(
+            Region::Oregon,
+            Box::new(Syncer {
+                bytes: 8,
+                completions: Vec::new(),
+            }),
+        );
+        // Both on disk 0: fsyncs issued together at t=0 serialize FIFO.
+        sim.map_disk(b, a.0);
+        sim.run_until(SimTime::from_millis(100));
+        let sa: &Syncer = sim.actor(a);
+        let sb: &Syncer = sim.actor(b);
+        assert_eq!(sa.completions[0].1, SimTime::from_millis(4));
+        assert_eq!(sb.completions[0].1, SimTime::from_millis(8));
+    }
+
+    #[test]
+    fn zero_cost_disk_never_perturbs_the_schedule() {
+        // Jittered network so the RNG stream matters: a run whose actors
+        // issue disk work against the zero-cost default must follow the
+        // identical schedule as one that issues none (disk charging draws
+        // no RNG and an fsync completes at its issue instant).
+        let run = |use_disk: bool| {
+            let mut sim = Simulation::new(NetConfig::default(), 99);
+            let b_id = ActorId(1);
+            let _a = sim.add_actor(
+                Region::Oregon,
+                Box::new(Starter {
+                    peer: b_id,
+                    got: Vec::new(),
+                }),
+            );
+            let b = sim.add_actor(Region::Seoul, Box::new(Echo::new(5, true)));
+            if use_disk {
+                sim.add_actor(
+                    Region::Oregon,
+                    Box::new(Syncer {
+                        bytes: 4096,
+                        completions: Vec::new(),
+                    }),
+                );
+            }
+            sim.run_until(SimTime::from_secs(1));
+            let e: &Echo = sim.actor(b);
+            e.received
+                .iter()
+                .map(|r| r.2.as_nanos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

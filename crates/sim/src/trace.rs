@@ -154,6 +154,50 @@ impl FlightRecorder {
         self.recorded
     }
 
+    /// Exports the retained events (oldest first) as a JSON array —
+    /// the machine-readable twin of [`FlightRecorder::render_last`],
+    /// written to a file so a failed CI run can attach the event tail
+    /// as an artifact. Hand-rolled (the workspace carries no serde);
+    /// every event gets `at_ns`, `actor`, and `kind`, plus
+    /// kind-specific fields.
+    pub fn export_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, ev) in self.buf.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n  {{\"at_ns\":{},\"actor\":{},",
+                ev.at.as_nanos(),
+                ev.actor.0 as i64
+            ));
+            match ev.kind {
+                TraceKind::Send { to, bytes, dropped } => out.push_str(&format!(
+                    "\"kind\":\"send\",\"to\":{},\"bytes\":{},\"dropped\":{}",
+                    to.0, bytes, dropped
+                )),
+                TraceKind::Recv { from } => {
+                    if from == ActorId::EXTERNAL {
+                        out.push_str("\"kind\":\"recv\",\"from\":\"external\"");
+                    } else {
+                        out.push_str(&format!("\"kind\":\"recv\",\"from\":{}", from.0));
+                    }
+                }
+                TraceKind::TimerFire { token } => {
+                    out.push_str(&format!("\"kind\":\"timer\",\"token\":{token}"))
+                }
+                TraceKind::Crash => out.push_str("\"kind\":\"crash\""),
+                TraceKind::Restart => out.push_str("\"kind\":\"restart\""),
+                TraceKind::App { tag, a, b } => out.push_str(&format!(
+                    "\"kind\":\"app\",\"tag\":\"{tag}\",\"a\":{a},\"b\":{b}"
+                )),
+            }
+            out.push('}');
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
     /// Pretty-prints the last `n` retained events, oldest first — the
     /// diagnostic dumped when a traced test fails.
     pub fn render_last(&self, n: usize) -> String {
@@ -231,6 +275,50 @@ mod tests {
         assert!(s.contains("token=0x3"), "{s}");
         assert!(s.contains("token=0x4"), "{s}");
         assert!(!s.contains("token=0x2"), "{s}");
+    }
+
+    #[test]
+    fn export_json_is_well_formed() {
+        let mut r = FlightRecorder::with_capacity(8);
+        r.record(
+            SimTime::from_millis(1),
+            ActorId(0),
+            TraceKind::Send {
+                to: ActorId(2),
+                bytes: 64,
+                dropped: false,
+            },
+        );
+        r.record(
+            SimTime::from_millis(2),
+            ActorId(2),
+            TraceKind::Recv { from: ActorId(0) },
+        );
+        r.record(
+            SimTime::from_millis(3),
+            ActorId(2),
+            TraceKind::App {
+                tag: "disk_fsync",
+                a: 4,
+                b: 7,
+            },
+        );
+        let json = r.export_json();
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.trim_end().ends_with(']'), "{json}");
+        assert!(
+            json.contains("\"kind\":\"send\",\"to\":2,\"bytes\":64,\"dropped\":false"),
+            "{json}"
+        );
+        assert!(json.contains("\"at_ns\":1000000"), "{json}");
+        assert!(
+            json.contains("\"kind\":\"app\",\"tag\":\"disk_fsync\",\"a\":4,\"b\":7"),
+            "{json}"
+        );
+        // Two separators for three events.
+        assert_eq!(json.matches("},").count(), 2, "{json}");
+        // Empty recorder still yields a valid array.
+        assert_eq!(FlightRecorder::disabled().export_json(), "[\n]\n");
     }
 
     #[test]

@@ -12,14 +12,21 @@
 //! pending-batch depth climbing while its one leader absorbs all
 //! traffic, and both recovering after the split.
 //!
+//! The replicas also run on a modeled disk (group commit over a 500 µs
+//! fsync device), so the sampler's durability series are live:
+//! `group{g}/fsync_rate` tracks batched flushes per second and
+//! `group{g}/disk_backlog_ms` the device queue — watch group 0's fsync
+//! rate absorb group 1's during the merge window.
+//!
 //! The flight recorder is on too; the demo closes with the tail of the
 //! event trace (sends, applies, migration phases) as a post-mortem
-//! sample. Enabling either never changes the run: the fixed-seed
+//! sample. Enabling telemetry never changes the run: the fixed-seed
 //! schedule is bit-for-bit the telemetry-off schedule (pinned by the
 //! conformance suite).
 //!
 //! Run with: `cargo run --release --example telemetry`
 
+use paxraft::core::config::DurabilityConfig;
 use paxraft::core::costs::CostModel;
 use paxraft::core::harness::{Cluster, ProtocolKind};
 use paxraft::core::shard::{MigrationSpec, RebalanceConfig, ShardConfig, ShardRouter};
@@ -63,6 +70,11 @@ fn main() {
                     to_group: 1,
                 }),
         )
+        .durability_config(DurabilityConfig::group_commit(
+            SimDuration::from_micros(500),
+            8,
+            SimDuration::from_millis(2),
+        ))
         .telemetry_config(TelemetryConfig::sampled())
         .build_sharded();
     cluster.elect_leaders();
@@ -115,6 +127,33 @@ fn main() {
         );
         v0 + v1
     };
+    // Durability series: batched-fsync rate per group and the disk
+    // queue. The merge pushes group 1's flush traffic onto group 0's
+    // leader (each node's disk is shared by its co-located replicas).
+    let g0_fs = series(&report.telemetry, "group0/fsync_rate");
+    let g1_fs = series(&report.telemetry, "group1/fsync_rate");
+    let g0_dsk = series(&report.telemetry, "group0/disk_backlog_ms");
+    println!("\n  t(s)   g0 fsync/s  g1 fsync/s  g0 backlog(ms)");
+    let mut t = SimTime::from_millis(2_000);
+    while t < end {
+        let to = t + SimDuration::from_secs(1);
+        let f0 = g0_fs.window_mean(t, to).unwrap_or(0.0);
+        let f1 = g1_fs.window_mean(t, to).unwrap_or(0.0);
+        let d0 = g0_dsk.window_mean(t, to).unwrap_or(0.0);
+        println!(
+            "  {:>5.1}  {f0:>10.1} {f1:>11.1} {d0:>15.3}",
+            t.as_millis_f64() / 1e3,
+        );
+        t = to;
+    }
+    assert!(
+        g0_fs
+            .window_mean(SimTime::from_millis(2_000), end)
+            .unwrap_or(0.0)
+            > 0.0,
+        "group 0 fsynced during the measurement"
+    );
+
     println!("\nphase means from the series:");
     let balanced = phase("balanced (before)", 2_000, 5_000);
     let during = phase("merge + hot range (during)", 5_500, 8_500);

@@ -61,6 +61,46 @@ fn mencius_writes_and_reads_are_linearizable() {
     check_history(&h, BUDGET).expect("Mencius history linearizable");
 }
 
+/// Group commit moves every attesting ack behind a batched fsync; under
+/// 15% message loss the retransmit/dedup machinery interleaves with the
+/// deferred-ack queue. The recorded client histories must still be
+/// linearizable — deferral reorders nothing observable, it only delays.
+#[test]
+fn group_commit_under_loss_is_linearizable() {
+    use paxraft::core::config::DurabilityConfig;
+    for p in [ProtocolKind::Raft, ProtocolKind::RaftStarMencius] {
+        let workload = WorkloadConfig {
+            read_fraction: 0.6,
+            conflict_rate: 0.5,
+            ..Default::default()
+        };
+        let mut cluster = Cluster::builder(p)
+            .clients_per_region(2)
+            .workload(workload)
+            .record_history_for(HOT_KEY)
+            .durability_config(DurabilityConfig::group_commit(
+                SimDuration::from_millis(1),
+                8,
+                SimDuration::from_millis(2),
+            ))
+            .seed(53)
+            .build();
+        cluster.elect_leader();
+        cluster
+            .sim
+            .set_drop_rate_at(0.15, paxraft::sim::time::SimTime::from_secs(3));
+        let report = cluster.run_measurement(
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(8),
+            SimDuration::from_secs(1),
+        );
+        assert!(report.histories.len() > 10, "{p:?}: enough ops recorded");
+        assert!(report.durability.fsyncs > 0, "{p:?}: the run hit the disk");
+        check_history(&report.histories, BUDGET)
+            .unwrap_or_else(|e| panic!("{p:?} group-commit history linearizable: {e:?}"));
+    }
+}
+
 #[test]
 fn pql_stays_linearizable_across_leaseholder_crash() {
     let workload = WorkloadConfig {
