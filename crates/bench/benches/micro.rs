@@ -192,14 +192,7 @@ fn bench_model_check_small(rep: &mut Reporter) {
     let cfg = MpConfig::default();
     let mp = multipaxos::spec(&cfg);
     bench(rep, "model_check_multipaxos_2k_states", 5, 3, || {
-        let report = explore(
-            &mp,
-            &[],
-            Limits {
-                max_states: 2_000,
-                max_depth: usize::MAX,
-            },
-        );
+        let report = explore(&mp, &[], Limits::states(2_000));
         black_box(report.states);
     });
 }

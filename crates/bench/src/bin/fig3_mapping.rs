@@ -50,7 +50,7 @@ fn main() {
             &rs,
             &mp,
             &raftstar::refinement_map(),
-            Limits { max_states: 40_000, max_depth: usize::MAX },
+            Limits::states(40_000),
         ) {
             Ok(r) => println!(
                 "  [{label}] OK: {} Raft* states, {} transitions ({} stutters), exhausted={}, {:.1}s",

@@ -127,6 +127,7 @@ pub struct ShardedCluster {
     coordinator: Option<ActorId>,
     probe: Option<ActorId>,
     probe_seq: u64,
+    last_probe_cmd: Option<Command>,
     metrics: MetricRegistry,
 }
 
@@ -246,6 +247,7 @@ impl ClusterBuilder {
             coordinator,
             probe: None,
             probe_seq: 0,
+            last_probe_cmd: None,
             metrics: MetricRegistry::new(&self.telemetry),
         }
     }
@@ -425,6 +427,7 @@ impl ShardedCluster {
             seq: self.probe_seq,
         };
         let cmd = Command { id, op };
+        self.last_probe_cmd = Some(cmd.clone());
         // Route by the *current* map (migrations move ranges while
         // probes run); a raced move is reconciled by the probe's
         // WrongGroup handling.
@@ -470,6 +473,13 @@ impl ShardedCluster {
             }
         }
         Err("probe timed out".into())
+    }
+
+    /// The last command [`ShardedCluster::submit_and_wait`] sent —
+    /// tests re-inject it verbatim to model a client retransmission
+    /// (same `CmdId`), e.g. a retry that crosses a range migration.
+    pub fn last_probe_command(&self) -> Option<Command> {
+        self.last_probe_cmd.clone()
     }
 
     /// Runs `warmup + measure + cooldown`, aggregating completions from

@@ -283,6 +283,7 @@ mod tests {
 
     use crate::harness::{replica_kv, Cluster, ProtocolKind};
     use crate::kv::{Key, Op, Reply};
+    use crate::msg::{ClientMsg, Msg};
     use crate::shard::{MigrationSpec, RebalanceConfig, ShardConfig, ShardedCluster};
     use crate::types::NodeId;
 
@@ -425,6 +426,61 @@ mod tests {
                 "{}: destination installed on every live replica",
                 p.name()
             );
+        }
+    }
+
+    /// The model checker's retry-across-the-move schedule
+    /// (`specs::shardkv` in `paxraft-spec`: apply at the source, freeze,
+    /// export, install, then the client retries the same session
+    /// sequence number against the new owner), replayed against the
+    /// engine. The retransmitted command carries its original `CmdId`,
+    /// so the migrated session table must answer it from cache — the
+    /// destination replicas' applied-op counts must not move.
+    #[test]
+    fn model_checked_retry_across_the_move_is_deduplicated() {
+        for p in PROTOCOLS {
+            let name = p.name();
+            let (mut cluster, mid, hi) = build(p, 29, SimDuration::from_secs(4));
+            cluster.elect_leaders();
+            let (staying, moving) = seed_keys(&mut cluster, mid);
+            // The moving-key put is the probe's last pre-migration
+            // command; keep it for retransmission after the move.
+            let dup = cluster
+                .last_probe_command()
+                .expect("seed_keys submitted probes");
+            cluster.run_until_rebalanced(SimDuration::from_secs(60));
+            assert_eq!(cluster.migrations_completed(), vec![1], "{name}");
+            // Let every group-1 replica finish installing the range.
+            cluster.sim.run_for(SimDuration::from_secs(2));
+            let applied_on_dest = |cluster: &ShardedCluster| -> Vec<(u32, u64)> {
+                (0..5u32)
+                    .filter_map(|node| {
+                        let actor = cluster.replica(1, NodeId(node));
+                        if cluster.sim.is_crashed(actor) {
+                            None
+                        } else {
+                            Some((node, replica_kv(&cluster.sim, p, actor).applied_ops()))
+                        }
+                    })
+                    .collect()
+            };
+            let before = applied_on_dest(&cluster);
+            // Re-inject the identical command at the new owner's
+            // leader: a client retransmission that crossed the move.
+            let target = cluster.replica(1, cluster.leaders()[1]);
+            cluster.sim.send_external(
+                target,
+                Msg::Client(ClientMsg::Request { cmd: dup }),
+                SimDuration::ZERO,
+            );
+            cluster.sim.run_for(SimDuration::from_secs(2));
+            let after = applied_on_dest(&cluster);
+            assert_eq!(
+                before, after,
+                "{name}: retransmitted command was re-applied after the move \
+                 (session table did not migrate with the range)"
+            );
+            assert_migrated(&mut cluster, p, staying, moving, mid, hi);
         }
     }
 

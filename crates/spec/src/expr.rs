@@ -497,6 +497,16 @@ pub fn add(a: Expr, b: Expr) -> Expr {
     Expr::Add(Box::new(a), Box::new(b))
 }
 
+/// Subtraction.
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    Expr::Sub(Box::new(a), Box::new(b))
+}
+
+/// Binary integer maximum.
+pub fn maxi(a: Expr, b: Expr) -> Expr {
+    Expr::Max(Box::new(a), Box::new(b))
+}
+
 /// Function application.
 pub fn app(f: Expr, k: Expr) -> Expr {
     Expr::App(Box::new(f), Box::new(k))
@@ -540,6 +550,16 @@ pub fn contains(s: Expr, e: Expr) -> Expr {
 /// `s ∪ {e}`.
 pub fn set_insert(s: Expr, e: Expr) -> Expr {
     Expr::SetInsert(Box::new(s), Box::new(e))
+}
+
+/// `s \ {e}`, as a filter. The bound name is fixed; `e` must not
+/// reference a local of the same name (state vars and params are fine).
+pub fn set_remove(s: Expr, e: Expr) -> Expr {
+    Expr::SetFilter(
+        Rc::from("__rm"),
+        Box::new(s),
+        Box::new(not(eq(local("__rm"), e))),
+    )
 }
 
 /// Universal quantifier.
@@ -726,6 +746,21 @@ mod tests {
             ev(&set_insert(s, int(5))),
             Value::set([1, 2, 5].map(Value::Int))
         );
+    }
+
+    #[test]
+    fn set_remove_and_arith_sugar() {
+        let s = Expr::Const(Value::set([1, 2, 3].map(Value::Int)));
+        assert_eq!(
+            ev(&set_remove(s.clone(), int(2))),
+            Value::set([1, 3].map(Value::Int))
+        );
+        assert_eq!(
+            ev(&set_remove(s, int(9))),
+            Value::set([1, 2, 3].map(Value::Int))
+        );
+        assert_eq!(ev(&sub(int(5), int(2))), Value::Int(3));
+        assert_eq!(ev(&maxi(int(5), int(2))), Value::Int(5));
     }
 
     #[test]

@@ -40,7 +40,10 @@ pub mod spec;
 pub mod specs;
 pub mod value;
 
-pub use check::{explore, CheckReport, Invariant, Limits, Verdict};
+pub use check::{
+    explore, render_trace, replay, replay_with, CheckReport, Checker, EventualReport, Invariant,
+    Limits, StateGraph, Strategy, TraceStep, Verdict,
+};
 pub use expr::{Env, Expr};
 pub use port::{port, ModifiedAction, OptDelta, PortMap};
 pub use refine::{check_refinement, RefinementReport, StateMap};

@@ -6,6 +6,10 @@
 //! - [`raftstar`] — Raft* (Appendix B.2), refining MultiPaxos.
 //! - [`pql`] — Paxos Quorum Lease as a non-mutating delta (Appendix B.3).
 //! - [`mencius`] — Coordinated Paxos / Mencius as a delta (Appendix B.5).
+//! - [`shardkv`] — the sharding layer's live-migration protocol (not
+//!   from the paper's appendices: it applies the same machinery to the
+//!   repo's own PR-6 rebalance protocol, treating each replica group as
+//!   an already-verified atomic log).
 //!
 //! The message-passing TLA+ of the appendix is modelled here in
 //! *atomic-RPC* style: a whole request/reply exchange (e.g. prepare +
@@ -22,3 +26,4 @@ pub mod mencius;
 pub mod multipaxos;
 pub mod pql;
 pub mod raftstar;
+pub mod shardkv;

@@ -585,10 +585,7 @@ mod tests {
                 Invariant::new("Agreement", agreement_invariant(&cfg)),
                 Invariant::new("OneValuePerBallot", one_value_per_ballot(&cfg)),
             ],
-            Limits {
-                max_states: 60_000,
-                max_depth: usize::MAX,
-            },
+            Limits::states(60_000),
         );
         assert!(report.ok(), "{:?}", report.verdict);
         assert!(
@@ -608,10 +605,7 @@ mod tests {
         let report = explore(
             &mp,
             &[Invariant::new("NothingChosen", nothing_chosen)],
-            Limits {
-                max_states: 60_000,
-                max_depth: usize::MAX,
-            },
+            Limits::states(60_000),
         );
         assert!(
             matches!(report.verdict, Verdict::Violated { .. }),
@@ -641,10 +635,7 @@ mod tests {
                 "NeverOutOfOrder",
                 Expr::Not(Box::new(slot2_chosen_slot1_not)),
             )],
-            Limits {
-                max_states: 150_000,
-                max_depth: usize::MAX,
-            },
+            Limits::states(150_000),
         );
         assert!(
             matches!(report.verdict, Verdict::Violated { .. }),

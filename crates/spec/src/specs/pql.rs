@@ -336,10 +336,7 @@ mod tests {
         let report = explore(
             &pql,
             &[Invariant::new("LeaseInv", lease_inv(&c))],
-            Limits {
-                max_states: 15_000,
-                max_depth: usize::MAX,
-            },
+            Limits::states(15_000),
         );
         assert!(report.ok(), "{:?}", report.verdict);
         assert!(report.states > 1_000);
@@ -365,10 +362,7 @@ mod tests {
         let report = explore(
             &pql,
             &[Invariant::new("NoReadEver", not(some_read))],
-            Limits {
-                max_states: 60_000,
-                max_depth: usize::MAX,
-            },
+            Limits::states(60_000),
         );
         assert!(
             matches!(report.verdict, Verdict::Violated { .. }),
@@ -390,10 +384,7 @@ mod tests {
 
         let pql = d.apply_to(&mp);
         let ext = extended_map(&mp, &rs, &d, &map.state_map);
-        let limits = Limits {
-            max_states: 2_500,
-            max_depth: usize::MAX,
-        };
+        let limits = Limits::states(2_500);
         let r1 = check_refinement(&rql, &pql, &ext, limits).expect("RQL refines PQL");
         assert!(r1.b_transitions > 100);
         let r2 =
@@ -414,10 +405,7 @@ mod tests {
         let report = explore(
             &rql,
             &[Invariant::new("LeaseInv(ported)", inv)],
-            Limits {
-                max_states: 10_000,
-                max_depth: usize::MAX,
-            },
+            Limits::states(10_000),
         );
         assert!(report.ok(), "{:?}", report.verdict);
     }

@@ -554,10 +554,7 @@ mod tests {
                 Invariant::new("LogMatching", log_matching_invariant(&cfg)),
                 Invariant::new("Agreement", multipaxos::agreement_invariant(&cfg)),
             ],
-            Limits {
-                max_states: 80_000,
-                max_depth: usize::MAX,
-            },
+            Limits::states(80_000),
         );
         assert!(report.ok(), "{:?}", report.verdict);
         assert!(report.states > 100);
@@ -570,16 +567,8 @@ mod tests {
         let cfg = small();
         let rs = spec(&cfg);
         let mp = multipaxos::spec(&cfg);
-        let report = check_refinement(
-            &rs,
-            &mp,
-            &refinement_map(),
-            Limits {
-                max_states: 40_000,
-                max_depth: usize::MAX,
-            },
-        )
-        .expect("Raft* refines MultiPaxos");
+        let report = check_refinement(&rs, &mp, &refinement_map(), Limits::states(40_000))
+            .expect("Raft* refines MultiPaxos");
         assert!(report.b_transitions > 100);
         assert!(report.stutters > 0, "LeaderLearn maps to stutters");
     }
@@ -593,16 +582,8 @@ mod tests {
         };
         let rs = spec(&cfg);
         let mp = multipaxos::spec(&cfg);
-        let report = check_refinement(
-            &rs,
-            &mp,
-            &refinement_map(),
-            Limits {
-                max_states: 15_000,
-                max_depth: usize::MAX,
-            },
-        )
-        .expect("Raft* refines MultiPaxos on two slots");
+        let report = check_refinement(&rs, &mp, &refinement_map(), Limits::states(15_000))
+            .expect("Raft* refines MultiPaxos on two slots");
         assert!(report.b_transitions > 100);
     }
 
@@ -619,10 +600,7 @@ mod tests {
         let report = explore(
             &rs,
             &[Invariant::new("NeverCommits", never_commits)],
-            Limits {
-                max_states: 80_000,
-                max_depth: usize::MAX,
-            },
+            Limits::states(80_000),
         );
         assert!(
             matches!(report.verdict, Verdict::Violated { .. }),
@@ -652,10 +630,7 @@ mod tests {
         let report = explore(
             &rs,
             &[Invariant::new("BallotLeTerm", inv)],
-            Limits {
-                max_states: 80_000,
-                max_depth: usize::MAX,
-            },
+            Limits::states(80_000),
         );
         assert!(report.ok(), "{:?}", report.verdict);
     }

@@ -1,0 +1,212 @@
+//! Checker-internals coverage on the migration model: counterexample
+//! trace reconstruction, pruning soundness, strategy equivalence, and
+//! the eventual-release graph query.
+
+use paxraft_spec::check::{explore, replay, Checker, Limits, Strategy, Verdict};
+use paxraft_spec::specs::{multipaxos, shardkv};
+
+const BUDGET: usize = 400_000;
+
+/// A violation at a known depth yields the exact action path: with one
+/// chunk and one client op every step of the shortest counterexample is
+/// forced, so the BFS trace is unique.
+#[test]
+fn trace_reconstruction_yields_exact_action_path() {
+    let cfg = shardkv::SkConfig::single_chunk();
+    let broken = shardkv::broken_install_skips_sessions(&cfg);
+    let report = explore(&broken, &shardkv::invariants(), Limits::states(BUDGET));
+    let Verdict::Violated {
+        invariant,
+        depth,
+        trace,
+        ..
+    } = report.verdict
+    else {
+        panic!("expected violation, got {:?}", report.verdict);
+    };
+    assert_eq!(invariant, "ExactlyOnce");
+    assert_eq!(depth, 5);
+    let actions: Vec<&str> = trace.iter().map(|s| s.action.as_str()).collect();
+    assert_eq!(
+        actions,
+        [
+            "ClientApplySrc",
+            "Freeze",
+            "ExportChunk",
+            "DeliverChunk",
+            "Install"
+        ]
+    );
+    // The trace replays from init and lands on the recorded state.
+    let end = replay(&broken, &trace).expect("counterexample replays");
+    assert_eq!(&end, &trace.last().unwrap().state);
+}
+
+/// The PR-6 class of bug: a freeze kept in volatile leader state is
+/// forgotten by a crash, letting the destination install while the
+/// source still serves. The counterexample must include the crash.
+#[test]
+fn volatile_freeze_interleaving_is_found_with_crash_in_trace() {
+    let cfg = shardkv::SkConfig::single_chunk();
+    let broken = shardkv::broken_volatile_freeze(&cfg);
+    let report = explore(&broken, &shardkv::invariants(), Limits::states(BUDGET));
+    let Verdict::Violated {
+        invariant, trace, ..
+    } = report.verdict
+    else {
+        panic!("expected violation, got {:?}", report.verdict);
+    };
+    assert_eq!(invariant, "Exclusivity");
+    assert!(
+        trace.iter().any(|s| s.action == "CrashSrcLeader"),
+        "the interleaving needs the crash: {trace:?}"
+    );
+    replay(&broken, &trace).expect("counterexample replays");
+}
+
+/// Pruned exploration finds the same violations as unpruned, and the
+/// same clean verdict on the correct model.
+#[test]
+fn pruning_is_sound() {
+    let cfg = shardkv::SkConfig::small();
+    let invs = shardkv::invariants();
+    let canon = shardkv::symmetry(&cfg);
+    for broken in [
+        shardkv::broken_volatile_freeze(&cfg),
+        shardkv::broken_install_skips_sessions(&cfg),
+    ] {
+        let naive = explore(&broken, &invs, Limits::states(BUDGET));
+        let pruned = explore(&broken, &invs, Limits::states(BUDGET).pruned());
+        let reduced = Checker::new(&broken)
+            .invariants(&invs)
+            .limits(Limits::states(BUDGET).pruned())
+            .symmetry(&canon)
+            .run();
+        for (label, report) in [
+            ("naive", &naive),
+            ("pruned", &pruned),
+            ("reduced", &reduced),
+        ] {
+            let Verdict::Violated { ref invariant, .. } = report.verdict else {
+                panic!("{}/{label}: expected violation", broken.name);
+            };
+            let Verdict::Violated {
+                invariant: ref expected,
+                ..
+            } = naive.verdict
+            else {
+                unreachable!()
+            };
+            assert_eq!(invariant, expected, "{}/{label}", broken.name);
+        }
+    }
+    let correct = shardkv::spec(&cfg);
+    let naive = explore(&correct, &invs, Limits::states(BUDGET).detect_deadlocks());
+    let reduced = Checker::new(&correct)
+        .invariants(&invs)
+        .limits(Limits::states(BUDGET).pruned().detect_deadlocks())
+        .symmetry(&canon)
+        .run();
+    assert_eq!(naive.verdict, Verdict::Exhausted);
+    assert_eq!(reduced.verdict, Verdict::Exhausted);
+    assert!(reduced.states < naive.states);
+}
+
+/// With unbounded depth and budget, every strategy visits the same
+/// reachable set — on an existing protocol spec and on the migration
+/// model.
+#[test]
+fn strategies_agree_on_protocol_specs() {
+    let mp_cfg = multipaxos::MpConfig::default();
+    let mp = multipaxos::spec(&mp_cfg);
+    let mp_invs = [
+        paxraft_spec::check::Invariant::new("Agreement", multipaxos::agreement_invariant(&mp_cfg)),
+        paxraft_spec::check::Invariant::new(
+            "OneValuePerBallot",
+            multipaxos::one_value_per_ballot(&mp_cfg),
+        ),
+    ];
+    let sk = shardkv::spec(&shardkv::SkConfig::single_chunk());
+    let sk_invs = shardkv::invariants();
+    for (spec, invs) in [(&mp, &mp_invs[..]), (&sk, &sk_invs[..])] {
+        let bfs = explore(spec, invs, Limits::states(BUDGET));
+        assert_eq!(bfs.verdict, Verdict::Exhausted, "{}", spec.name);
+        for strategy in [Strategy::Dfs, Strategy::DepthPriority] {
+            let other = explore(spec, invs, Limits::states(BUDGET).with_strategy(strategy));
+            assert_eq!(other.verdict, Verdict::Exhausted, "{}", spec.name);
+            assert_eq!(other.states, bfs.states, "{} {strategy:?}", spec.name);
+            assert_eq!(
+                other.transitions, bfs.transitions,
+                "{} {strategy:?}",
+                spec.name
+            );
+        }
+    }
+}
+
+/// Every strategy finds the planted violation (possibly via different
+/// counterexamples, all of which must replay).
+#[test]
+fn strategies_agree_on_violations() {
+    let broken = shardkv::broken_install_skips_sessions(&shardkv::SkConfig::single_chunk());
+    let invs = shardkv::invariants();
+    for strategy in [Strategy::Bfs, Strategy::Dfs, Strategy::DepthPriority] {
+        let report = explore(
+            &broken,
+            &invs,
+            Limits::states(BUDGET).with_strategy(strategy),
+        );
+        let Verdict::Violated {
+            invariant, trace, ..
+        } = report.verdict
+        else {
+            panic!("{strategy:?}: expected violation");
+        };
+        assert_eq!(invariant, "ExactlyOnce", "{strategy:?}");
+        replay(&broken, &trace).expect("trace replays");
+    }
+}
+
+/// `AG EF released` holds on the correct model and fails (everywhere)
+/// once the Release action is removed — exercising the stuck-state
+/// accounting and witness trace.
+#[test]
+fn eventual_release_holds_and_fails_without_release() {
+    let cfg = shardkv::SkConfig::single_chunk();
+    let sk = shardkv::spec(&cfg);
+    let invs = shardkv::invariants();
+    let (report, graph) = Checker::new(&sk)
+        .invariants(&invs)
+        .limits(Limits::states(BUDGET))
+        .run_graph();
+    assert_eq!(report.verdict, Verdict::Exhausted);
+    let eventual = graph
+        .always_reaches(&sk, &shardkv::release_goal())
+        .expect("complete graph");
+    assert!(eventual.holds());
+    assert_eq!(eventual.stuck_states, 0);
+
+    let mut crippled = sk.clone();
+    crippled.actions.retain(|a| a.name != "Release");
+    let (report, graph) = Checker::new(&crippled)
+        .limits(Limits::states(BUDGET))
+        .run_graph();
+    assert_eq!(report.verdict, Verdict::Exhausted);
+    let eventual = graph
+        .always_reaches(&crippled, &shardkv::release_goal())
+        .expect("complete graph");
+    assert!(!eventual.holds());
+    assert_eq!(eventual.goal_states, 0);
+    assert_eq!(eventual.stuck_states, graph.len());
+    assert!(eventual.witness.is_some(), "a stuck witness is reported");
+}
+
+/// Graph queries on a truncated exploration are refused rather than
+/// silently wrong.
+#[test]
+fn incomplete_graphs_refuse_reachability_queries() {
+    let sk = shardkv::spec(&shardkv::SkConfig::small());
+    let (report, graph) = Checker::new(&sk).limits(Limits::states(50)).run_graph();
+    assert_eq!(report.verdict, Verdict::BudgetReached);
+    assert!(graph.always_reaches(&sk, &shardkv::release_goal()).is_err());
+}

@@ -108,10 +108,7 @@ fn truncation_breaks_the_refinement() {
         &raftish,
         &mp,
         &raftstar::refinement_map(),
-        Limits {
-            max_states: 30_000,
-            max_depth: usize::MAX,
-        },
+        Limits::states(30_000),
     )
     .expect_err("Raft's erasing step must have no MultiPaxos image");
     assert_eq!(err.b_action, "RaftTruncatingAppend");
@@ -184,10 +181,7 @@ fn keeping_old_entry_ballots_breaks_the_refinement() {
         &raftish,
         &mp,
         &raftstar::refinement_map(),
-        Limits {
-            max_states: 30_000,
-            max_depth: usize::MAX,
-        },
+        Limits::states(30_000),
     )
     .expect_err("accepting at a stale ballot must have no MultiPaxos image");
     assert_eq!(err.b_action, "RaftNoRewriteAppend");
@@ -205,10 +199,7 @@ fn control_raftstar_still_refines() {
         &rs,
         &mp,
         &raftstar::refinement_map(),
-        Limits {
-            max_states: 15_000,
-            max_depth: usize::MAX,
-        },
+        Limits::states(15_000),
     )
     .expect("Raft* refines MultiPaxos");
 }

@@ -1,21 +1,26 @@
 //! Model checking the protocol specs: MultiPaxos agreement, Raft*
-//! invariants, and the bounded Raft* ⇒ MultiPaxos refinement theorem
-//! (Appendix C).
+//! invariants, the bounded Raft* ⇒ MultiPaxos refinement theorem
+//! (Appendix C), and the sharded-KV live-migration sweep (naive vs
+//! pruned+symmetry, deadlock detection, eventual release, and a
+//! counterexample trace from a deliberately broken variant).
 //!
 //! Run with: `cargo run --release --example model_check`
+//!
+//! Writes a `CHECK_pr8.json` summary (path overridable via the
+//! `CHECK_PR8_OUT` env var) so CI can archive checker results the way
+//! it archives bench results.
 
-use paxraft::spec::check::{explore, Invariant, Limits};
+use std::fmt::Write as _;
+
+use paxraft::spec::check::{explore, render_trace, replay, Checker, Invariant, Limits, Verdict};
 use paxraft::spec::refine::check_refinement;
-use paxraft::spec::specs::{multipaxos, raftstar};
+use paxraft::spec::specs::{multipaxos, raftstar, shardkv};
 
 fn main() {
     let cfg = multipaxos::MpConfig::default();
-    let limits = Limits {
-        max_states: 50_000,
-        max_depth: usize::MAX,
-    };
+    let limits = Limits::states(50_000);
 
-    println!("[1/3] MultiPaxos: agreement + one-value-per-ballot");
+    println!("[1/4] MultiPaxos: agreement + one-value-per-ballot");
     let mp = multipaxos::spec(&cfg);
     let report = explore(
         &mp,
@@ -30,7 +35,7 @@ fn main() {
         report.verdict, report.states, report.transitions
     );
 
-    println!("[2/3] Raft*: contiguity, commit safety, log matching");
+    println!("[2/4] Raft*: contiguity, commit safety, log matching");
     let rs = raftstar::spec(&cfg);
     let report = explore(
         &rs,
@@ -46,11 +51,120 @@ fn main() {
         report.verdict, report.states, report.transitions
     );
 
-    println!("[3/3] Refinement: Raft* ⇒ MultiPaxos (Appendix C, bounded)");
+    println!("[3/4] Refinement: Raft* ⇒ MultiPaxos (Appendix C, bounded)");
     let r =
         check_refinement(&rs, &mp, &raftstar::refinement_map(), limits).expect("refinement holds");
     println!(
         "  OK over {} Raft* states / {} transitions ({} stutters), exhausted={}",
         r.b_states, r.b_transitions, r.stutters, r.exhausted
     );
+
+    println!("[4/4] Sharded-KV live migration (2 groups, crashes, chunk loss/dup)");
+    let sk_cfg = shardkv::SkConfig::default();
+    let sk = shardkv::spec(&sk_cfg);
+    let invs = shardkv::invariants();
+    let sk_limits = Limits::states(2_000_000).detect_deadlocks();
+
+    let naive = explore(&sk, &invs, sk_limits);
+    println!(
+        "  naive:   {:?} over {} states / {} transitions",
+        naive.verdict, naive.states, naive.transitions
+    );
+    assert_eq!(
+        naive.verdict,
+        Verdict::Exhausted,
+        "migration sweep must finish Exhausted, not BudgetReached"
+    );
+
+    let canon = shardkv::symmetry(&sk_cfg);
+    let (reduced, graph) = Checker::new(&sk)
+        .invariants(&invs)
+        .limits(sk_limits.pruned())
+        .symmetry(&canon)
+        .run_graph();
+    let ratio = naive.states as f64 / reduced.states as f64;
+    println!(
+        "  reduced: {:?} over {} states / {} transitions ({} ample expansions, {} symmetry folds, {ratio:.2}x fewer states)",
+        reduced.verdict, reduced.states, reduced.transitions, reduced.ample_states, reduced.sym_folds
+    );
+    assert_eq!(reduced.verdict, Verdict::Exhausted);
+    assert!(
+        reduced.states < naive.states,
+        "pruning must reduce the state count"
+    );
+
+    let eventual = graph
+        .always_reaches(&sk, &shardkv::release_goal())
+        .expect("complete graph");
+    println!(
+        "  eventual release: AG EF released holds = {} ({} goal states, {} stuck)",
+        eventual.holds(),
+        eventual.goal_states,
+        eventual.stuck_states
+    );
+    assert!(eventual.holds(), "release must stay reachable everywhere");
+
+    // Show the counterexample machinery on a deliberately broken
+    // variant: install forgets the migrated session table.
+    let broken = shardkv::broken_install_skips_sessions(&shardkv::SkConfig::single_chunk());
+    let bad = explore(&broken, &invs, Limits::states(200_000));
+    let Verdict::Violated {
+        ref invariant,
+        ref trace,
+        depth,
+        ..
+    } = bad.verdict
+    else {
+        panic!("broken variant must violate");
+    };
+    println!(
+        "  broken variant '{}': {} violated at depth {} — counterexample:",
+        broken.name, invariant, depth
+    );
+    println!("{}", render_trace(trace));
+    replay(&broken, trace).expect("counterexample replays");
+
+    // Machine-readable summary, bench-artifact style.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"suite\": \"model_check_pr8\",");
+    let _ = writeln!(json, "  \"model\": \"{}\",", sk.name);
+    let _ = writeln!(
+        json,
+        "  \"bounds\": {{\"replicas\": {}, \"chunks\": {}, \"client_ops\": {}, \"foreign_ops\": {}}},",
+        sk_cfg.replicas, sk_cfg.chunks, sk_cfg.client_ops, sk_cfg.foreign_ops
+    );
+    let _ = writeln!(
+        json,
+        "  \"naive\": {{\"states\": {}, \"transitions\": {}, \"verdict\": \"{:?}\"}},",
+        naive.states, naive.transitions, naive.verdict
+    );
+    let _ = writeln!(
+        json,
+        "  \"reduced\": {{\"states\": {}, \"transitions\": {}, \"ample_states\": {}, \"sym_folds\": {}, \"verdict\": \"{:?}\"}},",
+        reduced.states, reduced.transitions, reduced.ample_states, reduced.sym_folds, reduced.verdict
+    );
+    let _ = writeln!(json, "  \"prune_ratio\": {ratio:.3},");
+    let _ = writeln!(
+        json,
+        "  \"eventual_release\": {{\"holds\": {}, \"goal_states\": {}, \"stuck_states\": {}}},",
+        eventual.holds(),
+        eventual.goal_states,
+        eventual.stuck_states
+    );
+    let _ = writeln!(json, "  \"invariants\": {{");
+    for (i, inv) in invs.iter().enumerate() {
+        let comma = if i + 1 < invs.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{}\": \"Exhausted\"{comma}", inv.name);
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"broken_variant\": {{\"name\": \"{}\", \"violated\": \"{invariant}\", \"depth\": {depth}, \"trace_len\": {}}}",
+        broken.name,
+        trace.len()
+    );
+    let json = format!("{}\n}}\n", json.trim_end().trim_end_matches(','));
+    let out = std::env::var("CHECK_PR8_OUT").unwrap_or_else(|_| "CHECK_pr8.json".into());
+    std::fs::write(&out, &json).expect("write check summary");
+    println!("  wrote {out}");
 }

@@ -46,10 +46,7 @@ fn main() {
     );
     let pql_spec = d.apply_to(&mp);
     let ext = extended_map(&mp, &rs, &d, &pmap.state_map);
-    let limits = Limits {
-        max_states: 2_000,
-        max_depth: usize::MAX,
-    };
+    let limits = Limits::states(2_000);
     let r1 = check_refinement(&rql, &pql_spec, &ext, limits).expect("RQL ⇒ PQL");
     println!(
         "  RQL ⇒ PQL   checked over {} states / {} transitions",

@@ -40,10 +40,7 @@ fn pql_port_pipeline_end_to_end() {
     let report = explore(
         &rql,
         &[Invariant::new("LeaseInv", inv)],
-        Limits {
-            max_states: 5_000,
-            max_depth: usize::MAX,
-        },
+        Limits::states(5_000),
     );
     assert!(report.ok(), "{:?}", report.verdict);
 }
@@ -65,10 +62,7 @@ fn mencius_port_pipeline_end_to_end() {
     let report = explore(
         &coor,
         &[Invariant::new("SkipSafety", inv)],
-        Limits {
-            max_states: 5_000,
-            max_depth: usize::MAX,
-        },
+        Limits::states(5_000),
     );
     assert!(report.ok(), "{:?}", report.verdict);
 }
