@@ -15,6 +15,7 @@ use paxraft_workload::linearize::{Action, OpRecord};
 use crate::kv::{CmdId, Command, Key, Reply};
 use crate::msg::{ClientMsg, Msg};
 use crate::shard::ShardRouter;
+use crate::telemetry::LatencyHistogram;
 
 /// Client-side shard routing: the partition map plus, per group, the
 /// replica this client talks to (its own region's member of that group).
@@ -89,12 +90,25 @@ pub struct WorkloadClient {
     /// own map predates the migration would bounce between the two
     /// groups at RTT rate.
     pub seen_version: u64,
+    /// Cumulative per-group latency histograms, indexed by the group
+    /// that served each completion (group 0 when unsharded). Pure
+    /// bookkeeping at completion time — never touches the schedule —
+    /// so it is always on; the harness snapshots these into the
+    /// telemetry registry at each sampling tick.
+    pub group_latency: Vec<LatencyHistogram>,
+    /// Set while a load-shaping pause timer is armed (scenario load
+    /// shapes only); stops the poll tick from double-sending.
+    pause_pending: bool,
 }
 
 /// Timer token for the regular send/retry poll tick.
 const T_POLL: u64 = 1;
 /// Timer token for the short stalled-redirect re-send.
 const T_STALL: u64 = 2;
+/// Timer token for a load-shaping pre-send pause (scenario workloads
+/// only; never armed without one, which keeps unscripted runs
+/// schedule-identical).
+const T_PAUSE: u64 = 3;
 
 #[derive(Debug, Clone)]
 struct Inflight {
@@ -133,11 +147,13 @@ impl WorkloadClient {
             stale_redirects: 0,
             router_updates: 0,
             seen_version: 0,
+            group_latency: Vec::new(),
+            pause_pending: false,
         }
     }
 
-    fn next_command(&mut self) -> (Command, OpKind, Key) {
-        let spec = self.gen.next_op();
+    fn next_command(&mut self, now_ns: u64) -> (Command, OpKind, Key) {
+        let spec = self.gen.next_op_at(now_ns);
         self.seq += 1;
         let id = CmdId {
             client: self.client_id,
@@ -151,7 +167,20 @@ impl WorkloadClient {
     }
 
     fn send_next(&mut self, ctx: &mut Ctx<Msg>) {
-        let (cmd, kind, key) = self.next_command();
+        // Load shaping (scenario workloads): hold the next send for the
+        // shape's pause. Without a scenario the pause is always zero
+        // and no timer is ever armed.
+        let pause = self.gen.pause_at(ctx.now().as_nanos());
+        if pause > SimDuration::ZERO {
+            self.pause_pending = true;
+            ctx.set_timer(pause, T_PAUSE);
+            return;
+        }
+        self.send_now(ctx);
+    }
+
+    fn send_now(&mut self, ctx: &mut Ctx<Msg>) {
+        let (cmd, kind, key) = self.next_command(ctx.now().as_nanos());
         let dest = self
             .shard
             .as_ref()
@@ -268,11 +297,21 @@ impl Actor<Msg> for WorkloadClient {
         }
         let inflight = self.inflight.take().expect("checked");
         let now = ctx.now();
+        let latency = now.since(inflight.first_sent);
         self.completions.push(Completion {
             at_ns: now.as_nanos(),
-            latency_ns: now.since(inflight.first_sent).as_nanos(),
+            latency_ns: latency.as_nanos(),
             kind: inflight.kind,
         });
+        let g = self
+            .shard
+            .as_ref()
+            .map_or(0, |s| s.router.group_of(inflight.key)) as usize;
+        if self.group_latency.len() <= g {
+            self.group_latency
+                .resize(g + 1, LatencyHistogram::default());
+        }
+        self.group_latency[g].record(latency);
         if self.history_key == Some(inflight.key) {
             let action = match inflight.kind {
                 OpKind::Write => Action::Write(id.as_value_id()),
@@ -290,6 +329,15 @@ impl Actor<Msg> for WorkloadClient {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<Msg>, token: u64) {
+        if token == T_PAUSE {
+            // The load-shaping pause elapsed: issue the held send (the
+            // closed loop stays closed — only the gap widened).
+            if self.pause_pending && self.inflight.is_none() {
+                self.pause_pending = false;
+                self.send_now(ctx);
+            }
+            return;
+        }
         if token == T_STALL {
             // Re-send an operation held back by a stale redirect. Use
             // whichever routing knowledge is freshest: the client's own
@@ -324,6 +372,7 @@ impl Actor<Msg> for WorkloadClient {
             return;
         }
         match &self.inflight {
+            None if self.pause_pending => {} // a pause timer will send
             None => self.send_next(ctx),
             Some(inflight) => {
                 if ctx.now().since(inflight.sent) > self.retry_after {
@@ -353,8 +402,8 @@ mod tests {
     fn commands_get_unique_increasing_seqs() {
         let gen = Generator::new(WorkloadConfig::default(), 0, SimRng::new(1));
         let mut c = WorkloadClient::new(3, ActorId(0), gen);
-        let (c1, _, _) = c.next_command();
-        let (c2, _, _) = c.next_command();
+        let (c1, _, _) = c.next_command(0);
+        let (c2, _, _) = c.next_command(0);
         assert_eq!(c1.id.client, 3);
         assert_eq!(c1.id.seq + 1, c2.id.seq);
     }
@@ -383,7 +432,7 @@ mod tests {
         };
         let gen = Generator::new(cfg, 0, SimRng::new(1));
         let mut c = WorkloadClient::new(0, ActorId(0), gen);
-        let (cmd, kind, _) = c.next_command();
+        let (cmd, kind, _) = c.next_command(0);
         assert_eq!(kind, OpKind::Write);
         if let crate::kv::Op::Put { value, .. } = &cmd.op {
             assert_eq!(value.len(), 4096);

@@ -152,6 +152,13 @@ pub struct EngineCore {
     pub mig_export_bytes: u64,
     /// `InstallRange` commands newly absorbed by this replica (stats).
     pub mig_installs: u64,
+    /// Apply-path load sketch (sharded clusters): cumulative keyed-op
+    /// applies per fixed key-space bucket, counted at the proposer so
+    /// summing across groups counts each op once. Pure bookkeeping —
+    /// no sends, no timers — so it cannot perturb the schedule. The
+    /// auto-rebalancing policy reads this through
+    /// [`ReplicaEngine::metric_sample`].
+    pub load_sketch: [u64; crate::shard::autobalance::SKETCH_BUCKETS],
     /// Durability sequencing + fsync scheduling (disabled by default).
     pub dur: DurabilityState,
 }
@@ -198,6 +205,7 @@ impl EngineCore {
             mig_exports: 0,
             mig_export_bytes: 0,
             mig_installs: 0,
+            load_sketch: [0; crate::shard::autobalance::SKETCH_BUCKETS],
             dur,
         }
     }
@@ -600,6 +608,15 @@ impl<P: ProtocolRules> ReplicaEngine<P> {
             "pipeline_occupancy",
             self.core.pipe.total_in_flight() as f64,
         );
+        // Apply-path load sketch (sharded clusters only): cumulative
+        // per-bucket counts the auto-rebalancing policy differences
+        // into rates. Counted at the proposer, so the cluster-wide sum
+        // counts each op once at the group that served it.
+        if self.core.cfg.shard.is_some() {
+            for (b, name) in crate::shard::autobalance::SKETCH_NAMES.iter().enumerate() {
+                s.record(name, self.core.load_sketch[b] as f64);
+            }
+        }
         s
     }
 
@@ -783,6 +800,15 @@ pub(crate) fn apply_command(
         Op::InstallRange(export) => !core.kv.shard_state().has_absorbed(export.version),
         _ => false,
     };
+    // Load sketch: the proposer counts every keyed apply into its
+    // key-space bucket (sharded clusters only). Followers skip it so a
+    // cluster-wide sum attributes each op to exactly one group.
+    if is_proposer {
+        if let (Some(shard), Some(key)) = (core.cfg.shard.as_ref(), cmd.op.key()) {
+            let records = shard.router.records();
+            core.load_sketch[crate::shard::autobalance::bucket_of(records, key)] += 1;
+        }
+    }
     let reply = core.kv.apply(cmd);
     ctx.trace_app("apply", cmd.id.client as u64, cmd.id.seq);
     match &cmd.op {

@@ -22,7 +22,9 @@ use crate::multipaxos::MultiPaxosReplica;
 use crate::raft::RaftReplica;
 use crate::raftstar::RaftStarReplica;
 use crate::snapshot::{SnapshotConfig, SnapshotStats};
-use crate::telemetry::{MetricRegistry, MetricSample, TelemetryConfig, TimeSeries};
+use crate::telemetry::{
+    HistogramSeries, LatencyHistogram, MetricRegistry, MetricSample, TelemetryConfig, TimeSeries,
+};
 use crate::types::NodeId;
 
 /// Which protocol the cluster runs.
@@ -78,6 +80,7 @@ pub struct ClusterBuilder {
     pub(crate) pipeline: PipelineConfig,
     pub(crate) shard: crate::shard::ShardConfig,
     pub(crate) rebalance: crate::shard::RebalanceConfig,
+    pub(crate) autobalance: crate::shard::AutoBalanceConfig,
     pub(crate) telemetry: TelemetryConfig,
     pub(crate) durability: DurabilityConfig,
 }
@@ -168,6 +171,18 @@ impl ClusterBuilder {
     /// bit-for-bit the non-rebalancing cluster.
     pub fn rebalance_config(mut self, rebalance: crate::shard::RebalanceConfig) -> Self {
         self.rebalance = rebalance;
+        self
+    }
+
+    /// Closed-loop auto-rebalancing: a policy engine that watches live
+    /// per-group telemetry and issues migrations itself. Only
+    /// [`ClusterBuilder::build_sharded`] consumes this; the disabled
+    /// default creates no policy (and no coordinator actor unless a
+    /// scripted plan asks for one), keeping the cluster bit-for-bit
+    /// the plain sharded cluster. Enabling it requires telemetry
+    /// sampling and more than one group.
+    pub fn autobalance_config(mut self, autobalance: crate::shard::AutoBalanceConfig) -> Self {
+        self.autobalance = autobalance;
         self
     }
 
@@ -510,6 +525,11 @@ pub struct RunReport {
     /// Sampled metric time-series collected so far (empty unless
     /// [`ClusterBuilder::telemetry_config`] enabled the sampler).
     pub telemetry: Vec<TimeSeries>,
+    /// Sampled cumulative latency-histogram series, one per group
+    /// (empty unless the sampler is enabled). Windowing two snapshots
+    /// localizes a latency regression — a migration window's p99, say —
+    /// to one group and one phase of the run.
+    pub latency_hists: Vec<HistogramSeries>,
 }
 
 /// A built cluster ready to run.
@@ -547,6 +567,7 @@ impl Cluster {
             pipeline: PipelineConfig::default(),
             shard: crate::shard::ShardConfig::default(),
             rebalance: crate::shard::RebalanceConfig::default(),
+            autobalance: crate::shard::AutoBalanceConfig::default(),
             telemetry: TelemetryConfig::default(),
             durability: DurabilityConfig::default(),
         }
@@ -699,6 +720,14 @@ impl Cluster {
             self.sim.run_until(self.metrics.next_due());
             let (sample, nic, disk) = group_sample_now(&self.sim, self.protocol, &self.replicas);
             record_group_sample(&mut self.metrics, self.sim.now(), 0, &sample, nic, disk);
+            let mut hist = LatencyHistogram::default();
+            for &c in &self.clients {
+                for h in &self.sim.actor::<WorkloadClient>(c).group_latency {
+                    hist.merge(h);
+                }
+            }
+            self.metrics
+                .histogram(self.sim.now(), "group0/latency", hist);
             self.metrics.advance();
         }
         self.sim.run_until(target);
@@ -761,6 +790,7 @@ impl Cluster {
             pipeline: self.pipeline_stats(),
             durability: self.durability_stats(),
             telemetry: self.metrics.snapshot(),
+            latency_hists: self.metrics.hist_snapshot(),
         }
     }
 }

@@ -1,0 +1,583 @@
+//! Load-driven auto-rebalancing: the closed-loop placement policy.
+//!
+//! ROADMAP item 1's control plane. The policy turns the scripted
+//! [`crate::shard::RebalanceCoordinator`] into a closed-loop controller:
+//! it watches the live per-group telemetry the harness samples between
+//! sim steps, estimates per-range load from the apply-path **load
+//! sketch** (below), and enqueues migrations on the coordinator —
+//! including concurrent migrations of disjoint ranges.
+//!
+//! ## The load sketch
+//!
+//! Per-range load cannot be exported as a `(range, count)` top-K list:
+//! [`crate::telemetry::MetricSample`] names are `&'static str` and group
+//! samples merge by summation across replicas, which would corrupt
+//! positional top-K entries. Instead every sharded replica counts
+//! proposer-side applies into [`SKETCH_BUCKETS`] **fixed key-space
+//! buckets** (`load_b00`..`load_b31`), pure bookkeeping on the apply
+//! path (no sends, no timers, no RNG — schedule-invariant). Summing the
+//! cumulative counters across all groups counts each operation once, at
+//! the group that served it; the policy differences consecutive samples
+//! into per-bucket rates itself and reads the hot ranges straight off
+//! the sketch. Splits and merges fall out of bucket-granular moves: a
+//! sub-range move splits a segment, and [`ShardRouter::apply_move`]
+//! coalesces adjacent same-owner segments back together.
+//!
+//! ## Why it cannot ping-pong
+//!
+//! Three guards make oscillation impossible rather than just unlikely:
+//!
+//! 1. **Band preservation** — a bucket moves from hottest group `s` to
+//!    coolest group `d` only when its rate
+//!    `x ≤ (r·load(s) − load(d)) / (1 + r)` for the hysteresis ratio
+//!    `r`, i.e. exactly when `load(d) + x ≤ r · (load(s) − x)`: after
+//!    the move the receiver exceeds the donor by at most the hysteresis
+//!    band, so the reverse trigger cannot fire from the move itself. A
+//!    single range carrying more than that is *correctly immovable* —
+//!    swapping it would just relabel the hot group. A candidate must
+//!    also carry at least [`MIN_WORTH_FRACTION`] of the load gap, so the
+//!    policy never spends a migration window on noise-level ranges.
+//! 2. **Hysteresis** — the imbalance must exceed
+//!    [`AutoBalanceConfig::imbalance_ratio`] for
+//!    [`AutoBalanceConfig::persist_ticks`] consecutive evaluations
+//!    before the policy acts, so a transient spike (or the migration
+//!    window's own throughput dip) does not trigger moves.
+//! 3. **Cooldown and dwell** — after issuing moves the policy is quiet
+//!    for [`AutoBalanceConfig::cooldown`], and a just-moved bucket is
+//!    banned from moving again for [`AutoBalanceConfig::dwell`], so even
+//!    an adversarial hotspot that jumps between groups faster than the
+//!    control loop converges produces a bounded migration count.
+
+use paxraft_sim::time::{SimDuration, SimTime};
+
+use crate::kv::Key;
+use crate::shard::ShardRouter;
+
+/// Number of fixed key-space buckets in the apply-path load sketch.
+pub const SKETCH_BUCKETS: usize = 32;
+
+/// Fraction of the hottest-to-coolest load gap a candidate range must
+/// carry for a migration to be worth its window — below this the move
+/// barely dents the imbalance and the policy holds the range in place.
+pub const MIN_WORTH_FRACTION: f64 = 0.1;
+
+/// Static metric-sample names for the sketch buckets
+/// (`&'static str` is required by [`crate::telemetry::MetricSample`]).
+pub const SKETCH_NAMES: [&str; SKETCH_BUCKETS] = [
+    "load_b00", "load_b01", "load_b02", "load_b03", "load_b04", "load_b05", "load_b06", "load_b07",
+    "load_b08", "load_b09", "load_b10", "load_b11", "load_b12", "load_b13", "load_b14", "load_b15",
+    "load_b16", "load_b17", "load_b18", "load_b19", "load_b20", "load_b21", "load_b22", "load_b23",
+    "load_b24", "load_b25", "load_b26", "load_b27", "load_b28", "load_b29", "load_b30", "load_b31",
+];
+
+/// Key width of one sketch bucket for a `records`-key space.
+pub fn bucket_width(records: u64) -> u64 {
+    records.div_ceil(SKETCH_BUCKETS as u64).max(1)
+}
+
+/// The bucket a key counts into. Total sketch coverage is exact: every
+/// key in `[0, records)` lands in exactly one bucket.
+pub fn bucket_of(records: u64, key: Key) -> usize {
+    ((key / bucket_width(records)) as usize).min(SKETCH_BUCKETS - 1)
+}
+
+/// The key range `[lo, hi)` bucket `b` covers (clamped to `records`;
+/// empty for trailing buckets of a small key space).
+pub fn bucket_range(records: u64, b: usize) -> (Key, Key) {
+    let w = bucket_width(records);
+    let lo = (b as u64) * w;
+    let hi = ((b as u64 + 1) * w).min(records);
+    (lo.min(records), hi)
+}
+
+/// Closed-loop auto-rebalancing for a sharded cluster
+/// ([`crate::harness::ClusterBuilder::autobalance_config`]). Disabled by
+/// default (`check_every == 0`): no controller runs, no coordinator
+/// actor is created for it, and the cluster is bit-for-bit the plain
+/// sharded cluster.
+#[derive(Debug, Clone)]
+pub struct AutoBalanceConfig {
+    /// Decision cadence; [`SimDuration::ZERO`] disables the policy.
+    /// Samples still feed the rate estimator between decisions.
+    pub check_every: SimDuration,
+    /// Hysteresis high-water: act only when the hottest group's load
+    /// exceeds `imbalance_ratio ×` the coolest group's.
+    pub imbalance_ratio: f64,
+    /// Aggregate ops/s below which the policy holds off (an idle
+    /// cluster has nothing worth moving).
+    pub min_total_rate: f64,
+    /// Consecutive over-threshold evaluations required before acting.
+    pub persist_ticks: u32,
+    /// Quiet period after issuing migrations.
+    pub cooldown: SimDuration,
+    /// Per-bucket re-move ban after a move.
+    pub dwell: SimDuration,
+    /// In-flight migration cap the policy respects (disjoint ranges run
+    /// concurrently up to this).
+    pub max_concurrent: usize,
+    /// Maximum migrations issued per decision.
+    pub max_per_tick: usize,
+    /// EWMA smoothing factor for bucket rates (weight of the newest
+    /// sample, in `(0, 1]`).
+    pub ewma_alpha: f64,
+}
+
+impl Default for AutoBalanceConfig {
+    fn default() -> Self {
+        AutoBalanceConfig {
+            check_every: SimDuration::ZERO,
+            imbalance_ratio: 0.0,
+            min_total_rate: 0.0,
+            persist_ticks: 0,
+            cooldown: SimDuration::ZERO,
+            dwell: SimDuration::ZERO,
+            max_concurrent: 0,
+            max_per_tick: 0,
+            ewma_alpha: 0.0,
+        }
+    }
+}
+
+impl AutoBalanceConfig {
+    /// Whether the policy runs at all.
+    pub fn enabled(&self) -> bool {
+        self.check_every > SimDuration::ZERO
+    }
+
+    /// The tuned defaults: evaluate every 500 ms, act on a sustained
+    /// 1.5× imbalance, at most two concurrent moves per decision, 2 s
+    /// cooldown, 5 s per-bucket dwell. The smoothing (`ewma_alpha` 0.2
+    /// at the 100 ms sampling cadence, three consecutive over-threshold
+    /// evaluations) is sized for closed-loop traffic of ~100 ops/s,
+    /// where a bucket sees ~1 op per sample and raw rates are nearly
+    /// all Poisson noise — twitchier settings chase that noise into
+    /// spurious reverse moves.
+    pub fn standard() -> Self {
+        AutoBalanceConfig {
+            check_every: SimDuration::from_millis(500),
+            imbalance_ratio: 1.5,
+            min_total_rate: 50.0,
+            persist_ticks: 3,
+            cooldown: SimDuration::from_secs(2),
+            dwell: SimDuration::from_secs(5),
+            max_concurrent: 2,
+            max_per_tick: 2,
+            ewma_alpha: 0.2,
+        }
+    }
+}
+
+/// One migration the policy decided on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BalanceDecision {
+    /// First key of the range to move.
+    pub lo: Key,
+    /// One past the last key.
+    pub hi: Key,
+    /// The donating (hottest) group.
+    pub from_group: u32,
+    /// The receiving (coolest) group.
+    pub to_group: u32,
+}
+
+/// The policy state machine. Lives harness-side (like the telemetry
+/// sampler): the sharded cluster feeds it one [`observe`] call per
+/// sampling tick, strictly between sim steps, and forwards its
+/// decisions to the coordinator — deterministic by construction.
+///
+/// [`observe`]: AutoBalancePolicy::observe
+#[derive(Debug)]
+pub struct AutoBalancePolicy {
+    cfg: AutoBalanceConfig,
+    /// Last cumulative per-bucket counts (for differencing).
+    last_counts: Vec<f64>,
+    last_at: SimTime,
+    /// Smoothed per-bucket rates (ops/s).
+    ewma: Vec<f64>,
+    next_eval: SimTime,
+    hot_streak: u32,
+    cooldown_until: SimTime,
+    dwell_until: Vec<SimTime>,
+    /// Every decision made, with its decision time — the fixed-seed
+    /// determinism pin compares these across runs.
+    pub decisions: Vec<(SimTime, BalanceDecision)>,
+}
+
+impl AutoBalancePolicy {
+    /// A fresh policy.
+    pub fn new(cfg: AutoBalanceConfig) -> Self {
+        let next_eval = SimTime::ZERO + cfg.check_every;
+        AutoBalancePolicy {
+            cfg,
+            last_counts: vec![0.0; SKETCH_BUCKETS],
+            last_at: SimTime::ZERO,
+            ewma: vec![0.0; SKETCH_BUCKETS],
+            next_eval,
+            hot_streak: 0,
+            cooldown_until: SimTime::ZERO,
+            dwell_until: vec![SimTime::ZERO; SKETCH_BUCKETS],
+            decisions: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn cfg(&self) -> &AutoBalanceConfig {
+        &self.cfg
+    }
+
+    /// Feeds one sampling tick and returns any migrations to issue.
+    ///
+    /// `bucket_counts` are the cluster-wide cumulative sketch counters
+    /// (summed over every group's sample, so each op is counted once at
+    /// the group that served it). `planned` is the coordinator's
+    /// planned map — in-flight moves included, so load attribution and
+    /// decisions never double-move a range that is already on its way.
+    /// `inflight`/`inflight_ranges` describe migrations currently
+    /// running.
+    pub fn observe(
+        &mut self,
+        now: SimTime,
+        bucket_counts: &[f64],
+        planned: &ShardRouter,
+        inflight: usize,
+        inflight_ranges: &[(Key, Key)],
+    ) -> Vec<BalanceDecision> {
+        // Difference the cumulative counters into smoothed rates. A
+        // negative delta (the counting proposer crashed) clamps to 0,
+        // mirroring the registry's counter_rate.
+        let dt = now.since(self.last_at.min(now)).as_secs_f64();
+        if dt <= 0.0 {
+            return Vec::new();
+        }
+        for b in 0..SKETCH_BUCKETS {
+            let count = bucket_counts.get(b).copied().unwrap_or(0.0);
+            let rate = ((count - self.last_counts[b]) / dt).max(0.0);
+            self.ewma[b] = self.cfg.ewma_alpha * rate + (1.0 - self.cfg.ewma_alpha) * self.ewma[b];
+            self.last_counts[b] = count;
+        }
+        self.last_at = now;
+        if now < self.next_eval {
+            return Vec::new();
+        }
+        while self.next_eval <= now {
+            self.next_eval += self.cfg.check_every;
+        }
+        if now < self.cooldown_until {
+            return Vec::new();
+        }
+        let mut loads = self.group_loads(planned);
+        let total: f64 = loads.iter().sum();
+        let (s, d) = hottest_coolest(&loads);
+        if total < self.cfg.min_total_rate
+            || loads[s] <= self.cfg.imbalance_ratio * loads[d] + f64::EPSILON
+        {
+            self.hot_streak = 0;
+            return Vec::new();
+        }
+        self.hot_streak += 1;
+        if self.hot_streak < self.cfg.persist_ticks {
+            return Vec::new();
+        }
+        // Act: move the hottest movable buckets from the hottest to the
+        // coolest group, re-deriving both after every pick so a single
+        // decision cannot overshoot.
+        let records = planned.records();
+        let mut picked: Vec<BalanceDecision> = Vec::new();
+        let budget = self
+            .cfg
+            .max_per_tick
+            .min(self.cfg.max_concurrent.saturating_sub(inflight));
+        for _ in 0..budget {
+            let (s, d) = hottest_coolest(&loads);
+            if loads[s] <= self.cfg.imbalance_ratio * loads[d] + f64::EPSILON {
+                break;
+            }
+            // Band preservation (module docs): after moving rate `x`,
+            // `loads[d] + x ≤ r·(loads[s] − x)` must still hold, so the
+            // reverse trigger cannot fire. And the move must carry a
+            // meaningful share of the gap to be worth its window.
+            let r = self.cfg.imbalance_ratio.max(1.0);
+            let headroom = (r * loads[s] - loads[d]) / (1.0 + r);
+            let worth = MIN_WORTH_FRACTION * (loads[s] - loads[d]);
+            let mut best: Option<(f64, usize, Key, Key)> = None;
+            for (seg_lo, seg_hi, owner) in planned.segments() {
+                if owner as usize != s {
+                    continue;
+                }
+                for b in 0..SKETCH_BUCKETS {
+                    let (b_lo, b_hi) = bucket_range(records, b);
+                    let lo = b_lo.max(seg_lo);
+                    let hi = b_hi.min(seg_hi);
+                    if lo >= hi || now < self.dwell_until[b] {
+                        continue;
+                    }
+                    // The candidate's rate, pro-rated when the segment
+                    // clips the bucket.
+                    let frac = (hi - lo) as f64 / (b_hi - b_lo).max(1) as f64;
+                    let rate = self.ewma[b] * frac;
+                    if rate <= 0.0 || rate < worth || rate > headroom {
+                        continue;
+                    }
+                    let clashes = |ranges: &[(Key, Key)]| {
+                        ranges.iter().any(|&(rlo, rhi)| rlo < hi && lo < rhi)
+                    };
+                    if clashes(inflight_ranges) || picked.iter().any(|p| p.lo < hi && lo < p.hi) {
+                        continue;
+                    }
+                    if best.as_ref().is_none_or(|(r, ..)| rate > *r) {
+                        best = Some((rate, b, lo, hi));
+                    }
+                }
+            }
+            let Some((rate, b, lo, hi)) = best else {
+                break;
+            };
+            picked.push(BalanceDecision {
+                lo,
+                hi,
+                from_group: s as u32,
+                to_group: d as u32,
+            });
+            self.dwell_until[b] = now + self.cfg.dwell;
+            loads[s] -= rate;
+            loads[d] += rate;
+        }
+        if picked.is_empty() {
+            return picked;
+        }
+        self.cooldown_until = now + self.cfg.cooldown;
+        self.hot_streak = 0;
+        for p in &picked {
+            self.decisions.push((now, *p));
+        }
+        picked
+    }
+
+    /// Per-group load under `planned` ownership: each bucket's smoothed
+    /// rate is attributed to the owning group(s), pro-rated where a
+    /// segment boundary splits a bucket.
+    fn group_loads(&self, planned: &ShardRouter) -> Vec<f64> {
+        let records = planned.records();
+        let mut loads = vec![0.0; planned.groups()];
+        for (seg_lo, seg_hi, owner) in planned.segments() {
+            for b in 0..SKETCH_BUCKETS {
+                let (b_lo, b_hi) = bucket_range(records, b);
+                let lo = b_lo.max(seg_lo);
+                let hi = b_hi.min(seg_hi);
+                if lo >= hi {
+                    continue;
+                }
+                let frac = (hi - lo) as f64 / (b_hi - b_lo).max(1) as f64;
+                loads[owner as usize] += self.ewma[b] * frac;
+            }
+        }
+        loads
+    }
+}
+
+/// Indices of the most- and least-loaded groups (ties break low).
+fn hottest_coolest(loads: &[f64]) -> (usize, usize) {
+    let mut s = 0;
+    let mut d = 0;
+    for (g, &l) in loads.iter().enumerate() {
+        if l > loads[s] {
+            s = g;
+        }
+        if l < loads[d] {
+            d = g;
+        }
+    }
+    (s, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RECORDS: u64 = 100_000;
+
+    fn tick(
+        policy: &mut AutoBalancePolicy,
+        at_ms: u64,
+        counts: &[f64],
+        planned: &ShardRouter,
+    ) -> Vec<BalanceDecision> {
+        policy.observe(SimTime::from_millis(at_ms), counts, planned, 0, &[])
+    }
+
+    /// Cumulative counts growing at `rates[b]` ops/s, sampled at `t`.
+    fn counts_at(rates: &[f64; SKETCH_BUCKETS], t_secs: f64) -> Vec<f64> {
+        rates.iter().map(|r| r * t_secs).collect()
+    }
+
+    #[test]
+    fn buckets_tile_the_keyspace_exactly() {
+        for records in [100_000u64, 1_000, 97, 33] {
+            let mut covered = 0u64;
+            for b in 0..SKETCH_BUCKETS {
+                let (lo, hi) = bucket_range(records, b);
+                assert_eq!(lo, covered.min(records), "records={records} bucket {b}");
+                assert!(hi >= lo);
+                covered = hi;
+                for k in [lo, hi.saturating_sub(1)] {
+                    if k >= lo && k < hi {
+                        assert_eq!(bucket_of(records, k), b, "records={records} key {k}");
+                    }
+                }
+            }
+            assert_eq!(covered, records, "records={records}: full coverage");
+        }
+    }
+
+    #[test]
+    fn default_config_is_disabled_standard_is_not() {
+        assert!(!AutoBalanceConfig::default().enabled());
+        assert!(AutoBalanceConfig::standard().enabled());
+    }
+
+    /// A sustained hot range on group 0 produces moves of the hottest
+    /// buckets to group 1 — after the hysteresis streak, not before.
+    #[test]
+    fn sustained_imbalance_moves_hot_buckets_to_the_cool_group() {
+        let planned = ShardRouter::new(RECORDS, 2);
+        let mut policy = AutoBalancePolicy::new(AutoBalanceConfig::standard());
+        // Buckets 2..6 hot (group 0 owns 0..16), background elsewhere.
+        let mut rates = [10.0f64; SKETCH_BUCKETS];
+        for b in 2..6 {
+            rates[b] = 500.0;
+        }
+        let mut all = Vec::new();
+        // 100 ms sampling; decisions every 500 ms; persist_ticks 2.
+        for i in 1..=15u64 {
+            let t = i * 100;
+            let d = tick(&mut policy, t, &counts_at(&rates, t as f64 / 1e3), &planned);
+            if !d.is_empty() {
+                assert!(t >= 1_000, "hysteresis: no move before two evaluations");
+            }
+            all.extend(d);
+        }
+        assert!(!all.is_empty(), "policy acted on the sustained imbalance");
+        for d in &all {
+            assert_eq!(d.from_group, 0, "hot group donates");
+            assert_eq!(d.to_group, 1, "cool group receives");
+            assert_eq!(
+                bucket_of(RECORDS, d.lo),
+                bucket_of(RECORDS, d.hi - 1),
+                "moves are bucket-granular"
+            );
+            let b = bucket_of(RECORDS, d.lo);
+            assert!((2..6).contains(&b), "a hot bucket moved, got {b}");
+        }
+        assert!(all.len() <= 2, "at most max_per_tick moves per decision");
+    }
+
+    /// The band-preservation rule: a single bucket carrying more load
+    /// than the headroom is never moved — swapping it would just
+    /// relabel the hot group and ping-pong forever. And the noise-level
+    /// background buckets stay put too (below [`MIN_WORTH_FRACTION`]).
+    #[test]
+    fn indivisible_hotspot_is_never_moved() {
+        let planned = ShardRouter::new(RECORDS, 2);
+        let mut policy = AutoBalancePolicy::new(AutoBalanceConfig::standard());
+        let mut rates = [5.0f64; SKETCH_BUCKETS];
+        rates[3] = 2_000.0; // one ultra-hot bucket on group 0
+        for i in 1..=40u64 {
+            let t = i * 100;
+            let d = tick(&mut policy, t, &counts_at(&rates, t as f64 / 1e3), &planned);
+            assert!(
+                d.is_empty(),
+                "an indivisible hotspot must not move (tick {i}: {d:?})"
+            );
+        }
+    }
+
+    /// After the policy balances the load, the reverse trigger never
+    /// fires: re-observing the post-move world yields no decisions.
+    #[test]
+    fn balanced_state_is_a_fixed_point() {
+        let mut planned = ShardRouter::new(RECORDS, 2);
+        let mut policy = AutoBalancePolicy::new(AutoBalanceConfig::standard());
+        let mut rates = [10.0f64; SKETCH_BUCKETS];
+        for b in 2..6 {
+            rates[b] = 500.0;
+        }
+        let mut version = 0;
+        let mut moves = 0usize;
+        for i in 1..=200u64 {
+            let t = i * 100;
+            let ds = tick(&mut policy, t, &counts_at(&rates, t as f64 / 1e3), &planned);
+            for d in ds {
+                moves += 1;
+                version += 1;
+                planned.apply_move(d.lo, d.hi, d.to_group, version);
+            }
+        }
+        assert!(moves >= 2, "the imbalance was acted on ({moves} moves)");
+        assert!(
+            moves <= 4,
+            "converged instead of ping-ponging ({moves} moves)"
+        );
+        // The final map must be (near) balanced and stable: a long
+        // quiet tail with no further decisions.
+        let loads = policy.group_loads(&planned);
+        let (s, d) = hottest_coolest(&loads);
+        assert!(
+            loads[s] <= policy.cfg().imbalance_ratio * loads[d] + 1.0,
+            "converged loads within the hysteresis band: {loads:?}"
+        );
+    }
+
+    /// Cooldown: two eligible decision points inside one cooldown
+    /// window produce only one batch of moves.
+    #[test]
+    fn cooldown_spaces_out_batches() {
+        let planned = ShardRouter::new(RECORDS, 2);
+        let mut policy = AutoBalancePolicy::new(AutoBalanceConfig::standard());
+        let mut rates = [10.0f64; SKETCH_BUCKETS];
+        for b in 2..10 {
+            rates[b] = 400.0;
+        }
+        let mut batch_times = Vec::new();
+        for i in 1..=100u64 {
+            let t = i * 100;
+            let d = tick(&mut policy, t, &counts_at(&rates, t as f64 / 1e3), &planned);
+            if !d.is_empty() {
+                batch_times.push(t);
+            }
+        }
+        assert!(batch_times.len() >= 2, "several batches over 10 s");
+        for w in batch_times.windows(2) {
+            assert!(
+                w[1] - w[0] >= 2_000,
+                "cooldown of 2 s respected: {batch_times:?}"
+            );
+        }
+    }
+
+    /// In-flight ranges are never double-moved.
+    #[test]
+    fn inflight_ranges_are_excluded() {
+        let planned = ShardRouter::new(RECORDS, 2);
+        let mut policy = AutoBalancePolicy::new(AutoBalanceConfig::standard());
+        let mut rates = [10.0f64; SKETCH_BUCKETS];
+        rates[2] = 300.0;
+        rates[3] = 290.0;
+        let hot2 = bucket_range(RECORDS, 2);
+        for i in 1..=20u64 {
+            let t = i * 100;
+            let ds = policy.observe(
+                SimTime::from_millis(t),
+                &counts_at(&rates, t as f64 / 1e3),
+                &planned,
+                1,
+                &[hot2],
+            );
+            for d in &ds {
+                assert!(
+                    d.hi <= hot2.0 || d.lo >= hot2.1,
+                    "decision {d:?} overlaps the in-flight range {hot2:?}"
+                );
+            }
+        }
+    }
+}

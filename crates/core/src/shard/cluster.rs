@@ -3,7 +3,7 @@
 
 use paxraft_sim::net::Region;
 use paxraft_sim::sim::{ActorId, Simulation};
-use paxraft_sim::time::SimDuration;
+use paxraft_sim::time::{SimDuration, SimTime};
 use paxraft_workload::generator::{Generator, OpKind};
 use paxraft_workload::metrics::LatencyRecorder;
 
@@ -18,10 +18,14 @@ use crate::harness::{
 use crate::kv::{CmdId, Command, Op, Reply};
 use crate::msg::{ClientMsg, Msg};
 use crate::snapshot::SnapshotStats;
-use crate::telemetry::{MetricRegistry, MetricSample, TimeSeries};
+use crate::telemetry::{LatencyHistogram, MetricRegistry, MetricSample, TimeSeries};
 use crate::types::NodeId;
 
-use super::{RebalanceCoordinator, ShardMembership, ShardRouter};
+use super::autobalance::SKETCH_NAMES;
+use super::{
+    AutoBalancePolicy, BalanceDecision, MigrationSpec, RebalanceCoordinator, ShardMembership,
+    ShardRouter,
+};
 
 /// Where each group's leader bootstraps — the knob the Paxos/Raft
 /// leader-flexibility comparison turns on.
@@ -125,6 +129,11 @@ pub struct ShardedCluster {
     leaders: Vec<NodeId>,
     router: ShardRouter,
     coordinator: Option<ActorId>,
+    /// The closed-loop auto-balance policy (None unless enabled). Lives
+    /// harness-side like the telemetry sampler: it observes between sim
+    /// steps and injects its decisions into the coordinator, so runs
+    /// stay deterministic per seed.
+    policy: Option<AutoBalancePolicy>,
     probe: Option<ActorId>,
     probe_seq: u64,
     last_probe_cmd: Option<Command>,
@@ -220,10 +229,19 @@ impl ClusterBuilder {
             }
         }
         // The rebalance coordinator rides at the next client id — but
-        // only when migrations are scripted, so a non-rebalancing
-        // sharded cluster keeps the exact actor set (and RNG schedule)
-        // it had before live rebalancing existed.
-        let coordinator = self.rebalance.enabled().then(|| {
+        // only when migrations are scripted or the auto-balance policy
+        // is on, so a non-rebalancing sharded cluster keeps the exact
+        // actor set (and RNG schedule) it had before live rebalancing
+        // existed.
+        let autobalance_on = self.autobalance.enabled();
+        if autobalance_on {
+            assert!(
+                self.telemetry.sampling_enabled(),
+                "auto-rebalancing reads the sampled load sketch; enable telemetry sampling"
+            );
+            assert!(groups > 1, "auto-rebalancing needs more than one group");
+        }
+        let coordinator = (self.rebalance.enabled() || autobalance_on).then(|| {
             let coord_client = clients.len() as u32;
             let coord = RebalanceCoordinator::new(
                 coord_client,
@@ -231,11 +249,15 @@ impl ClusterBuilder {
                 self.rebalance.migrations.clone(),
                 group_actors.clone(),
                 clients.clone(),
+                self.rebalance
+                    .concurrency()
+                    .max(self.autobalance.max_concurrent),
             );
             // Place the coordinator in the base leader's region (a real
             // deployment runs it near the config service).
             sim.add_actor(self.regions[self.leader.0 as usize], Box::new(coord))
         });
+        let policy = autobalance_on.then(|| AutoBalancePolicy::new(self.autobalance.clone()));
         ShardedCluster {
             sim,
             protocol: self.protocol,
@@ -245,6 +267,7 @@ impl ClusterBuilder {
             leaders,
             router,
             coordinator,
+            policy,
             probe: None,
             probe_seq: 0,
             last_probe_cmd: None,
@@ -290,6 +313,37 @@ impl ShardedCluster {
     /// The rebalance coordinator actor, when migrations are scripted.
     pub fn coordinator(&self) -> Option<ActorId> {
         self.coordinator
+    }
+
+    /// The auto-balance policy (None unless enabled at build time).
+    pub fn policy(&self) -> Option<&AutoBalancePolicy> {
+        self.policy.as_ref()
+    }
+
+    /// Every migration the auto-balance policy decided on, in decision
+    /// order with virtual timestamps — the determinism pin: two runs of
+    /// the same seed must produce identical logs.
+    pub fn policy_decisions(&self) -> Vec<(SimTime, BalanceDecision)> {
+        self.policy
+            .as_ref()
+            .map_or_else(Vec::new, |p| p.decisions.clone())
+    }
+
+    /// Total migrations the coordinator has started (scripted plus
+    /// policy-enqueued); 0 without a coordinator.
+    pub fn migrations_started(&self) -> usize {
+        self.coordinator.map_or(0, |c| {
+            self.sim
+                .actor::<RebalanceCoordinator>(c)
+                .migrations_started()
+        })
+    }
+
+    /// High-water mark of concurrently in-flight migrations.
+    pub fn peak_inflight_migrations(&self) -> usize {
+        self.coordinator.map_or(0, |c| {
+            self.sim.actor::<RebalanceCoordinator>(c).peak_inflight
+        })
     }
 
     /// Versions of migrations whose release completed (empty without a
@@ -543,6 +597,7 @@ impl ShardedCluster {
             pipeline,
             durability,
             telemetry: self.metrics.snapshot(),
+            latency_hists: self.metrics.hist_snapshot(),
         }
     }
 
@@ -561,13 +616,69 @@ impl ShardedCluster {
         while self.metrics.next_due() <= target {
             self.sim.run_until(self.metrics.next_due());
             let now = self.sim.now();
+            let mut cluster_sample = MetricSample::default();
             for (g, actors) in self.group_actors.iter().enumerate() {
                 let (sample, nic, disk) = group_sample_now(&self.sim, self.protocol, actors);
                 record_group_sample(&mut self.metrics, now, g as u32, &sample, nic, disk);
+                cluster_sample.merge_sum(&sample);
             }
+            self.sample_latency_histograms(now);
+            self.tick_policy(now, &cluster_sample);
             self.metrics.advance();
         }
         self.sim.run_until(target);
+    }
+
+    /// Folds every client's per-group completion-latency histogram into
+    /// one `group{g}/latency` snapshot per group. Cumulative snapshots:
+    /// [`HistogramSeries::window`] recovers any phase by subtraction.
+    fn sample_latency_histograms(&mut self, now: SimTime) {
+        let groups = self.group_actors.len();
+        let mut hists = vec![LatencyHistogram::default(); groups];
+        for &c in &self.clients {
+            let client = self.sim.actor::<WorkloadClient>(c);
+            for (g, h) in client.group_latency.iter().enumerate() {
+                if g < groups {
+                    hists[g].merge(h);
+                }
+            }
+        }
+        for (g, h) in hists.into_iter().enumerate() {
+            self.metrics.histogram(now, &format!("group{g}/latency"), h);
+        }
+    }
+
+    /// One closed-loop control step: hand the policy the cluster-wide
+    /// load sketch plus the coordinator's in-flight picture, and enqueue
+    /// whatever migrations it decides. Runs between sim steps at the
+    /// sampling cadence, so decisions are a pure function of the run so
+    /// far — two identical seeds produce identical decision logs.
+    fn tick_policy(&mut self, now: SimTime, cluster_sample: &MetricSample) {
+        let (Some(policy), Some(coord)) = (self.policy.as_mut(), self.coordinator) else {
+            return;
+        };
+        let counts: Vec<f64> = SKETCH_NAMES.iter().map(|n| cluster_sample.get(n)).collect();
+        let (planned, inflight, ranges) = {
+            let c = self.sim.actor::<RebalanceCoordinator>(coord);
+            (
+                c.planned_router().clone(),
+                c.inflight(),
+                c.inflight_ranges(),
+            )
+        };
+        let decisions = policy.observe(now, &counts, &planned, inflight, &ranges);
+        if decisions.is_empty() {
+            return;
+        }
+        let c = self.sim.actor_mut::<RebalanceCoordinator>(coord);
+        for d in decisions {
+            c.enqueue(MigrationSpec {
+                at: SimDuration::from_nanos(now.as_nanos()),
+                lo: d.lo,
+                hi: d.hi,
+                to_group: d.to_group,
+            });
+        }
     }
 
     /// The sampled per-group metric time-series collected so far (empty
@@ -927,5 +1038,163 @@ mod tests {
         let rep = cluster.sim.actor::<crate::raft::RaftReplica>(target);
         assert_eq!(rep.core.cross_group_dropped, 1, "foreign Forward dropped");
         assert!(rep.core.pending.is_empty(), "nothing buffered from it");
+    }
+
+    /// Closed-loop end to end: a sustained hotspot inside group 0's
+    /// range makes the policy migrate the hot buckets to group 1 — with
+    /// disjoint ranges in flight *concurrently* — and the post-move
+    /// ownership actually changed.
+    #[test]
+    fn autobalance_policy_moves_a_sustained_hotspot_off_the_loaded_group() {
+        use crate::shard::AutoBalanceConfig;
+        use crate::telemetry::TelemetryConfig;
+        use paxraft_workload::scenario::{Drift, Hotspot, ScenarioConfig};
+        let mut cluster = Cluster::builder(ProtocolKind::Raft)
+            .shard_config(ShardConfig::groups(2))
+            .clients_per_region(2)
+            .workload(WorkloadConfig {
+                read_fraction: 0.5,
+                scenario: Some(ScenarioConfig {
+                    hotspot: Some(Hotspot {
+                        weight: 0.9,
+                        center: 12_500,
+                        width: 12_000,
+                        drift: Drift::Fixed,
+                    }),
+                    ..ScenarioConfig::default()
+                }),
+                ..Default::default()
+            })
+            .telemetry_config(TelemetryConfig::sampled())
+            .autobalance_config(AutoBalanceConfig::standard())
+            .seed(23)
+            .build_sharded();
+        cluster.elect_leaders();
+        cluster.run_measurement(
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(2),
+        );
+        let decisions = cluster.policy_decisions();
+        assert!(
+            decisions.len() >= 2,
+            "policy split the hot range into several moves ({decisions:?})"
+        );
+        for (_, d) in &decisions {
+            assert_eq!(d.from_group, 0, "the loaded group donates ({d:?})");
+            assert_eq!(d.to_group, 1, "the idle group receives ({d:?})");
+            assert!(
+                d.lo >= 6_500 - 3_125 && d.hi <= 18_500 + 3_125,
+                "moves target the hotspot window ({d:?})"
+            );
+        }
+        assert!(
+            cluster.peak_inflight_migrations() >= 2,
+            "disjoint hot ranges migrated concurrently (peak {})",
+            cluster.peak_inflight_migrations()
+        );
+        let current = cluster.current_router();
+        assert!(
+            current.version() > 0 && current.group_of(decisions[0].1.lo) == 1,
+            "the published map reflects the moves"
+        );
+        // The cluster still serves the moved range after rebalancing.
+        let r = cluster
+            .submit_and_wait(Op::Get {
+                key: decisions[0].1.lo,
+            })
+            .expect("read from the migrated range");
+        assert!(matches!(r, Reply::Value(_)));
+    }
+
+    /// Anti-livelock regression: an adversarial hotspot oscillating
+    /// between the two groups faster than the control loop converges
+    /// must produce a *bounded* migration count (cooldown caps batches,
+    /// dwell bans just-moved buckets) — and the decision log must be a
+    /// pure function of the seed.
+    #[test]
+    fn oscillating_hotspot_yields_bounded_and_deterministic_migrations() {
+        use crate::shard::AutoBalanceConfig;
+        use crate::telemetry::TelemetryConfig;
+        use paxraft_workload::scenario::ScenarioConfig;
+        let run = || {
+            let mut cluster = Cluster::builder(ProtocolKind::Raft)
+                .shard_config(ShardConfig::groups(2))
+                .clients_per_region(2)
+                .workload(WorkloadConfig {
+                    read_fraction: 0.5,
+                    scenario: Some(ScenarioConfig::oscillating_hotspot(
+                        0.8,
+                        12_500,
+                        62_500,
+                        12_000,
+                        SimDuration::from_secs(3),
+                    )),
+                    ..Default::default()
+                })
+                .telemetry_config(TelemetryConfig::sampled())
+                .autobalance_config(AutoBalanceConfig::standard())
+                .seed(29)
+                .build_sharded();
+            cluster.elect_leaders();
+            cluster.run_measurement(
+                SimDuration::from_secs(2),
+                SimDuration::from_secs(12),
+                SimDuration::from_secs(1),
+            );
+            (cluster.migrations_started(), cluster.policy_decisions())
+        };
+        let (started, decisions) = run();
+        // Cooldown admits one batch of ≤ max_per_tick moves per 2 s of
+        // the 15 s run: the count is bounded no matter how fast the
+        // hotspot jumps.
+        let cfg = AutoBalanceConfig::standard();
+        let bound = cfg.max_per_tick * (15 / 2 + 1);
+        assert!(
+            started <= bound,
+            "migration count bounded under oscillation ({started} <= {bound})"
+        );
+        assert!(
+            !decisions.is_empty(),
+            "the policy did chase the hotspot (it must act, just boundedly)"
+        );
+        let (started2, decisions2) = run();
+        assert_eq!(started, started2, "fixed seed: identical migration count");
+        assert_eq!(decisions, decisions2, "fixed seed: identical decision log");
+    }
+
+    /// The empty [`AutoBalanceConfig`] creates no controller: no
+    /// coordinator actor, no policy, and the run is bit-for-bit the
+    /// plain sharded cluster.
+    #[test]
+    fn empty_autobalance_config_is_bit_for_bit_the_plain_sharded_cluster() {
+        use crate::shard::AutoBalanceConfig;
+        use crate::telemetry::TelemetryConfig;
+        let run = |autobalance: Option<AutoBalanceConfig>| {
+            let mut b = Cluster::builder(ProtocolKind::Raft)
+                .shard_config(ShardConfig::groups(2))
+                .clients_per_region(2)
+                .workload(parity_workload())
+                .telemetry_config(TelemetryConfig::sampled())
+                .seed(17);
+            if let Some(cfg) = autobalance {
+                b = b.autobalance_config(cfg);
+            }
+            let mut cluster = b.build_sharded();
+            cluster.elect_leaders();
+            let r = cluster.run_measurement(
+                SimDuration::from_secs(2),
+                SimDuration::from_secs(4),
+                SimDuration::from_secs(1),
+            );
+            assert!(cluster.coordinator().is_none(), "no controller actor");
+            assert!(cluster.policy().is_none(), "no policy state");
+            report_fingerprint(&r, cluster.sim.now())
+        };
+        assert_eq!(
+            run(None),
+            run(Some(AutoBalanceConfig::default())),
+            "disabled auto-balance changes nothing"
+        );
     }
 }

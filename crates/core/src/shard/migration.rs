@@ -365,11 +365,15 @@ pub struct MigrationSpec {
 }
 
 /// Command-id scheme for migration commands. The coordinator is an
-/// ordinary logical client, so session dedup gives migration commands
-/// exactly-once apply for free; sequence numbers must therefore be
-/// monotone per group, which `version * 4 + phase` guarantees for the
-/// coordinator's one-migration-at-a-time schedule (freeze < install <
-/// release within a version, versions strictly increasing).
+/// ordinary logical client so replies route normally, but migration
+/// commands are *not* session-deduplicated: with concurrent disjoint
+/// migrations they can commit out of sequence order at a shared source
+/// or destination group, so exactly-once apply comes from the
+/// per-version idempotency guards in the state machine (`has_frozen`,
+/// `has_absorbed`, the frozen range's `released` flag) instead. The
+/// `version * 4 + phase` encoding remains so the coordinator can
+/// recover `(version, phase)` from a reply id and dispatch it to the
+/// right in-flight migration.
 pub fn freeze_cmd_id(coord: u32, version: RouterVersion) -> CmdId {
     CmdId {
         client: coord,
@@ -392,6 +396,12 @@ pub fn release_cmd_id(coord: u32, version: RouterVersion) -> CmdId {
         client: coord,
         seq: version * 4 + 2,
     }
+}
+
+/// Recovers the migration version a coordinator command id encodes
+/// (the inverse of the `version * 4 + phase` scheme above).
+pub fn version_of_cmd(id: CmdId) -> RouterVersion {
+    id.seq / 4
 }
 
 #[cfg(test)]

@@ -26,6 +26,11 @@
 //!   chunked export → replicated install → publish → release), so
 //!   splits, merges and hot-range moves run under load with
 //!   exactly-once hand-off in every protocol.
+//! - [`autobalance`] — **closed-loop placement**: a policy engine that
+//!   watches live per-group telemetry and the apply-path load sketch,
+//!   and drives the coordinator itself (concurrent disjoint-range
+//!   migrations, hysteresis + cooldown so it provably never
+//!   ping-pongs) instead of replaying a script.
 //!
 //! Leader placement is the axis where the Paxos/Raft leader-flexibility
 //! difference shows up ("Paxos vs Raft: Have we reached consensus on
@@ -33,11 +38,13 @@
 //! leader in one region, `RoundRobin` spreads them — same total CPU,
 //! different client latency geometry.
 
+pub mod autobalance;
 mod cluster;
 pub mod migration;
 mod rebalance;
 mod router;
 
+pub use autobalance::{AutoBalanceConfig, AutoBalancePolicy, BalanceDecision};
 pub use cluster::{GroupStats, LeaderPlacement, ShardConfig, ShardedCluster};
 pub use migration::{MigrationSpec, RouterVersion};
 pub use rebalance::{RebalanceConfig, RebalanceCoordinator};

@@ -1,24 +1,41 @@
-//! The rebalance coordinator: drives scripted range migrations through
-//! the groups' logs and publishes the bumped partition map.
+//! The rebalance coordinator: drives range migrations through the
+//! groups' logs and publishes the bumped partition map.
 //!
 //! The coordinator is deliberately an ordinary **client** of both
 //! groups: every step it takes is a replicated command ([`Op::FreezeRange`]
 //! at the source, the destination's `InstallRange` response, and
-//! [`Op::ReleaseRange`] back at the source), so session dedup gives its
-//! retries exactly-once semantics and a crashed leader in either group
-//! is survived by plain client-style retransmission to another replica.
+//! [`Op::ReleaseRange`] back at the source), so a crashed leader in
+//! either group is survived by plain client-style retransmission to
+//! another replica. Exactly-once apply of its commands comes from the
+//! state machine's per-version idempotency guards (see
+//! [`crate::shard::migration`]), not from session dedup — which is what
+//! lets the coordinator run **disjoint-range migrations concurrently**:
+//! each in-flight migration is an independent [`Flight`] state machine,
+//! and only three orderings are enforced globally:
+//!
+//! 1. a migration starts only when its range is disjoint from every
+//!    in-flight range (same-range moves still serialize),
+//! 2. versions are assigned in start order against the `planned` map,
+//!    so the freeze's source group is always well-defined, and
+//! 3. router *publishes* happen strictly in version order
+//!    ([`ShardRouter::apply_move`] drops out-of-order versions
+//!    forever) — an install that finishes early waits in
+//!    `pending_moves` until the gap below it fills.
+//!
 //! The only non-client machinery is in the replicas themselves — the
 //! source leader's export pump and the destination's chunk absorption
 //! (see [`crate::shard::migration`] and the engine hooks).
+
+use std::collections::BTreeMap;
 
 use paxraft_sim::impl_actor_any;
 use paxraft_sim::sim::{Actor, ActorId, Ctx};
 use paxraft_sim::time::{SimDuration, SimTime};
 
-use crate::kv::{CmdId, Command, Op, Reply};
+use crate::kv::{CmdId, Command, Key, Op, Reply};
 use crate::msg::{ClientMsg, Msg};
 use crate::shard::migration::{
-    freeze_cmd_id, install_cmd_id, release_cmd_id, MigrationSpec, RouterVersion,
+    freeze_cmd_id, install_cmd_id, release_cmd_id, version_of_cmd, MigrationSpec, RouterVersion,
 };
 use crate::shard::ShardRouter;
 
@@ -28,9 +45,13 @@ use crate::shard::ShardRouter;
 /// bit-for-bit the non-rebalancing cluster.
 #[derive(Debug, Clone, Default)]
 pub struct RebalanceConfig {
-    /// Migrations to run, in order (one at a time; migration `i` gets
-    /// partition-map version `i + 1`).
+    /// Migrations to run. Entries whose ranges overlap run serialized
+    /// in plan order; disjoint due entries run concurrently up to
+    /// [`RebalanceConfig::concurrency`].
     pub migrations: Vec<MigrationSpec>,
+    /// Maximum simultaneously in-flight migrations; `0` means the
+    /// default of 4.
+    pub max_concurrent: usize,
 }
 
 impl RebalanceConfig {
@@ -44,13 +65,20 @@ impl RebalanceConfig {
         self.migrations.push(spec);
         self
     }
+
+    /// The resolved in-flight cap.
+    pub fn concurrency(&self) -> usize {
+        if self.max_concurrent == 0 {
+            4
+        } else {
+            self.max_concurrent
+        }
+    }
 }
 
-/// Which step of the current migration the coordinator is waiting on.
+/// Which step a migration flight is waiting on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
-    /// Between migrations.
-    Idle,
     /// `FreezeRange` sent to the source group, awaiting its response.
     Freeze,
     /// Freeze committed; awaiting the destination's `InstallRange`
@@ -60,7 +88,7 @@ enum Phase {
     Release,
 }
 
-/// The command the coordinator is currently retrying.
+/// The command a flight is currently retrying.
 #[derive(Debug, Clone)]
 struct Outstanding {
     cmd: Command,
@@ -72,25 +100,54 @@ struct Outstanding {
     sent: SimTime,
 }
 
+/// One in-flight migration's state machine.
+#[derive(Debug, Clone)]
+struct Flight {
+    version: RouterVersion,
+    lo: Key,
+    hi: Key,
+    to_group: u32,
+    phase: Phase,
+    outstanding: Outstanding,
+}
+
 /// The coordinator actor. One per sharded cluster with a non-empty
-/// [`RebalanceConfig`]; lives at a client actor id so replica responses
-/// route to it like to any client.
+/// [`RebalanceConfig`] or an enabled
+/// [`crate::shard::AutoBalanceConfig`]; lives at a client actor id so
+/// replica responses route to it like to any client.
 pub struct RebalanceCoordinator {
     client_id: u32,
+    /// Published ownership: moves applied strictly in version order as
+    /// installs complete; this is what `RouterUpdate` ships to clients.
     router: ShardRouter,
+    /// Planned ownership: every *started* migration's move applied at
+    /// start time. Source-group resolution and the auto-balance policy
+    /// read this map — it already accounts for in-flight hand-offs.
+    planned: ShardRouter,
     plan: Vec<MigrationSpec>,
-    next: usize,
+    /// Parallel to `plan`: whether the entry has been started.
+    started: Vec<bool>,
+    /// Next version to assign (migrations are versioned in start order).
+    next_version: RouterVersion,
     /// `targets[g]` are group `g`'s replica actors (node order).
     targets: Vec<Vec<ActorId>>,
     /// Workload clients to publish router updates to.
     clients: Vec<ActorId>,
-    phase: Phase,
-    outstanding: Option<Outstanding>,
+    flights: Vec<Flight>,
+    /// Installs whose publish waits for a lower version to install
+    /// first: `version → (lo, hi, to_group)`.
+    pending_moves: BTreeMap<RouterVersion, (Key, Key, u32)>,
+    max_concurrent: usize,
     /// Versions of completed (released) migrations, in completion order.
     pub completed: Vec<RouterVersion>,
-    /// Versions whose install committed (map published), superset of
-    /// `completed`.
+    /// Versions whose install committed, in commit order (out-of-order
+    /// under concurrency); superset of `completed`.
     pub installed: Vec<RouterVersion>,
+    /// Versions in publish order — strictly increasing by construction;
+    /// the router-version monotonicity pin.
+    pub published: Vec<RouterVersion>,
+    /// High-water mark of simultaneously in-flight migrations.
+    pub peak_inflight: usize,
 }
 
 impl RebalanceCoordinator {
@@ -101,133 +158,217 @@ impl RebalanceCoordinator {
         plan: Vec<MigrationSpec>,
         targets: Vec<Vec<ActorId>>,
         clients: Vec<ActorId>,
+        max_concurrent: usize,
     ) -> Self {
+        let started = vec![false; plan.len()];
         RebalanceCoordinator {
             client_id,
+            planned: router.clone(),
             router,
             plan,
-            next: 0,
+            started,
+            next_version: 1,
             targets,
             clients,
-            phase: Phase::Idle,
-            outstanding: None,
+            flights: Vec::new(),
+            pending_moves: BTreeMap::new(),
+            max_concurrent: max_concurrent.max(1),
             completed: Vec::new(),
             installed: Vec::new(),
+            published: Vec::new(),
+            peak_inflight: 0,
         }
     }
 
-    /// The coordinator's current (authoritative) partition map.
+    /// The coordinator's current **published** partition map.
     pub fn router(&self) -> &ShardRouter {
         &self.router
     }
 
-    /// Whether every scripted migration has completed.
+    /// The planned map: published moves plus every in-flight move,
+    /// applied at start time.
+    pub fn planned_router(&self) -> &ShardRouter {
+        &self.planned
+    }
+
+    /// Whether every planned migration has completed.
     pub fn done(&self) -> bool {
         self.completed.len() == self.plan.len()
     }
 
-    /// The version the current migration runs under (`index + 1`).
-    fn version(&self) -> RouterVersion {
-        self.next as RouterVersion + 1
+    /// Number of migrations currently in flight.
+    pub fn inflight(&self) -> usize {
+        self.flights.len()
     }
 
-    fn send_outstanding(&mut self, ctx: &mut Ctx<Msg>) {
-        let Some(out) = &mut self.outstanding else {
-            return;
-        };
-        let replicas = &self.targets[out.group as usize];
-        let target = replicas[out.rotation % replicas.len()];
-        out.sent = ctx.now();
-        let cmd = out.cmd.clone();
+    /// The key ranges currently migrating.
+    pub fn inflight_ranges(&self) -> Vec<(Key, Key)> {
+        self.flights.iter().map(|f| (f.lo, f.hi)).collect()
+    }
+
+    /// Number of migrations started so far (the auto-balance livelock
+    /// bound counts these, not completions).
+    pub fn migrations_started(&self) -> usize {
+        self.started.iter().filter(|s| **s).count()
+    }
+
+    /// Appends a migration decided at runtime (the auto-balance
+    /// policy). It starts at the coordinator's next tick, subject to
+    /// the same disjointness and concurrency gates as scripted entries.
+    pub fn enqueue(&mut self, spec: MigrationSpec) {
+        self.plan.push(spec);
+        self.started.push(false);
+    }
+
+    fn send_flight(&mut self, ctx: &mut Ctx<Msg>, i: usize) {
+        let f = &mut self.flights[i];
+        let replicas = &self.targets[f.outstanding.group as usize];
+        let target = replicas[f.outstanding.rotation % replicas.len()];
+        f.outstanding.sent = ctx.now();
+        let cmd = f.outstanding.cmd.clone();
         ctx.send(target, Msg::Client(ClientMsg::Request { cmd }));
     }
 
-    fn submit(&mut self, ctx: &mut Ctx<Msg>, group: u32, cmd: Command) {
-        self.outstanding = Some(Outstanding {
-            cmd,
-            group,
-            rotation: 0,
-            sent: ctx.now(),
-        });
-        self.send_outstanding(ctx);
-    }
-
-    fn begin_next(&mut self, ctx: &mut Ctx<Msg>) {
-        let spec = self.plan[self.next].clone();
-        let version = self.version();
-        let from_group = self.router.group_of(spec.lo);
-        assert!(
-            (spec.to_group as usize) < self.targets.len(),
-            "unknown destination group"
-        );
-        assert_ne!(from_group, spec.to_group, "range already at destination");
-        self.phase = Phase::Freeze;
-        let cmd = Command {
-            id: freeze_cmd_id(self.client_id, version),
-            op: Op::FreezeRange {
+    /// Starts every due plan entry whose range is disjoint from all
+    /// in-flight ranges, up to the concurrency cap. Entries overlapping
+    /// an in-flight range wait for it to finish — same-range moves
+    /// (merge then split back) serialize exactly as before.
+    fn start_due(&mut self, ctx: &mut Ctx<Msg>, now: SimTime) {
+        for idx in 0..self.plan.len() {
+            if self.flights.len() >= self.max_concurrent {
+                break;
+            }
+            if self.started[idx] {
+                continue;
+            }
+            let spec = self.plan[idx].clone();
+            if now.as_nanos() < spec.at.as_nanos() {
+                continue;
+            }
+            let overlaps = self
+                .flights
+                .iter()
+                .any(|f| f.lo < spec.hi && spec.lo < f.hi);
+            if overlaps {
+                continue;
+            }
+            assert!(
+                (spec.to_group as usize) < self.targets.len(),
+                "unknown destination group"
+            );
+            let from_group = self.planned.group_of(spec.lo);
+            debug_assert_eq!(
+                from_group,
+                self.planned.group_of(spec.hi - 1),
+                "a migration's range must have a single planned owner"
+            );
+            assert_ne!(from_group, spec.to_group, "range already at destination");
+            self.started[idx] = true;
+            let version = self.next_version;
+            self.next_version += 1;
+            // Record the move in the planned map immediately: versions
+            // are assigned in start order, so this apply never hits the
+            // stale-version guard.
+            self.planned
+                .apply_move(spec.lo, spec.hi, spec.to_group, version);
+            let cmd = Command {
+                id: freeze_cmd_id(self.client_id, version),
+                op: Op::FreezeRange {
+                    lo: spec.lo,
+                    hi: spec.hi,
+                    to_group: spec.to_group,
+                    version,
+                    coord: self.client_id,
+                },
+            };
+            self.flights.push(Flight {
+                version,
                 lo: spec.lo,
                 hi: spec.hi,
                 to_group: spec.to_group,
-                version,
-                coord: self.client_id,
-            },
-        };
-        self.submit(ctx, from_group, cmd);
+                phase: Phase::Freeze,
+                outstanding: Outstanding {
+                    cmd,
+                    group: from_group,
+                    rotation: 0,
+                    sent: now,
+                },
+            });
+            self.peak_inflight = self.peak_inflight.max(self.flights.len());
+            self.send_flight(ctx, self.flights.len() - 1);
+        }
+    }
+
+    /// Applies and broadcasts every pending move whose version is next
+    /// in line. Publishing in version order is what keeps every
+    /// client's `apply_move` applicable — a skipped version would be
+    /// dropped by the stale-version guard and lost forever.
+    fn publish_ready(&mut self, ctx: &mut Ctx<Msg>) {
+        while let Some((&version, &(lo, hi, to_group))) = self.pending_moves.first_key_value() {
+            if version != self.router.version() + 1 {
+                break;
+            }
+            self.pending_moves.remove(&version);
+            self.router.apply_move(lo, hi, to_group, version);
+            self.published.push(version);
+            for &c in &self.clients.clone() {
+                ctx.send(
+                    c,
+                    Msg::Client(ClientMsg::RouterUpdate {
+                        router: self.router.clone(),
+                    }),
+                );
+            }
+        }
     }
 
     fn on_response(&mut self, ctx: &mut Ctx<Msg>, id: CmdId, reply: Reply) {
-        if id.client != self.client_id || self.phase == Phase::Idle {
+        if id.client != self.client_id {
             return;
         }
         debug_assert!(
             !matches!(reply, Reply::WrongGroup { .. }),
             "migration commands are keyless and never misrouted"
         );
-        let version = self.version();
-        let spec = self.plan[self.next].clone();
-        match self.phase {
+        let version = version_of_cmd(id);
+        let Some(i) = self.flights.iter().position(|f| f.version == version) else {
+            return; // late duplicate of a finished migration
+        };
+        let flight = self.flights[i].clone();
+        match flight.phase {
             Phase::Freeze if id == freeze_cmd_id(self.client_id, version) => {
                 // The cutover is committed; the source leader's export
                 // pump takes it from here. Keep the freeze command as
-                // the retried probe: re-freezing is a session-dedup
+                // the retried probe: re-freezing is a version-dedup
                 // no-op that forces a fresh export, which makes the
                 // destination re-announce a lost install response.
-                self.phase = Phase::Install;
-                if let Some(out) = &mut self.outstanding {
-                    out.sent = ctx.now();
-                }
+                self.flights[i].phase = Phase::Install;
+                self.flights[i].outstanding.sent = ctx.now();
             }
             Phase::Install if id == install_cmd_id(self.client_id, version) => {
-                // The destination group committed the range: publish
-                // the bumped map, then release the source's copy.
-                self.router
-                    .apply_move(spec.lo, spec.hi, spec.to_group, version);
+                // The destination group committed the range: queue the
+                // map publish (in version order), then release the
+                // source's copy.
                 self.installed.push(version);
-                for &c in &self.clients.clone() {
-                    ctx.send(
-                        c,
-                        Msg::Client(ClientMsg::RouterUpdate {
-                            router: self.router.clone(),
-                        }),
-                    );
-                }
-                self.phase = Phase::Release;
-                let src = self
-                    .outstanding
-                    .as_ref()
-                    .map(|o| o.group)
-                    .expect("freeze target recorded");
-                let cmd = Command {
-                    id: release_cmd_id(self.client_id, version),
-                    op: Op::ReleaseRange { version },
+                self.pending_moves
+                    .insert(version, (flight.lo, flight.hi, flight.to_group));
+                self.publish_ready(ctx);
+                let src = flight.outstanding.group;
+                self.flights[i].phase = Phase::Release;
+                self.flights[i].outstanding = Outstanding {
+                    cmd: Command {
+                        id: release_cmd_id(self.client_id, version),
+                        op: Op::ReleaseRange { version },
+                    },
+                    group: src,
+                    rotation: 0,
+                    sent: ctx.now(),
                 };
-                self.submit(ctx, src, cmd);
+                self.send_flight(ctx, i);
             }
             Phase::Release if id == release_cmd_id(self.client_id, version) => {
                 self.completed.push(version);
-                self.phase = Phase::Idle;
-                self.outstanding = None;
-                self.next += 1;
+                self.flights.remove(i);
             }
             _ => {}
         }
@@ -247,26 +388,21 @@ impl Actor<Msg> for RebalanceCoordinator {
 
     fn on_timer(&mut self, ctx: &mut Ctx<Msg>, _token: u64) {
         let now = ctx.now();
-        if self.phase == Phase::Idle
-            && self.next < self.plan.len()
-            && now.as_nanos() >= self.plan[self.next].at.as_nanos()
-        {
-            self.begin_next(ctx);
-        } else if let Some(out) = &self.outstanding {
-            // Client-style retransmission: rotate to another replica of
-            // the addressed group (the previous one may have crashed;
-            // forwarding finds the leader from any of them). The
-            // install wait retries the freeze probe on a longer fuse —
-            // the transfer legitimately takes a while.
-            let fuse = match self.phase {
+        self.start_due(ctx, now);
+        // Client-style retransmission per flight: rotate to another
+        // replica of the addressed group (the previous one may have
+        // crashed; forwarding finds the leader from any of them). The
+        // install wait retries the freeze probe on a longer fuse — the
+        // transfer legitimately takes a while.
+        for i in 0..self.flights.len() {
+            let fuse = match self.flights[i].phase {
                 Phase::Install => SimDuration::from_millis(2_500),
                 _ => SimDuration::from_millis(1_000),
             };
-            if now.since(out.sent.min(now)) >= fuse {
-                if let Some(out) = &mut self.outstanding {
-                    out.rotation += 1;
-                }
-                self.send_outstanding(ctx);
+            let sent = self.flights[i].outstanding.sent;
+            if now.since(sent.min(now)) >= fuse {
+                self.flights[i].outstanding.rotation += 1;
+                self.send_flight(ctx, i);
             }
         }
         ctx.set_timer(SimDuration::from_millis(50), 1);
@@ -688,6 +824,192 @@ mod tests {
                 "{}: lease-local reads were served during the run",
                 p.name()
             );
+        }
+    }
+
+    /// Satellite conformance row: **two disjoint-range migrations race
+    /// a source-leader crash** on all four base rule sets. Pins
+    /// exactly-once apply (values survive, nothing served by two
+    /// groups) and router-version monotonicity (publishes strictly
+    /// increasing even when installs complete out of order), plus that
+    /// the two flights genuinely overlapped in time.
+    #[test]
+    fn concurrent_disjoint_migrations_survive_source_leader_crash() {
+        for p in [
+            ProtocolKind::Raft,
+            ProtocolKind::RaftStar,
+            ProtocolKind::MultiPaxos,
+            ProtocolKind::RaftStarMencius,
+        ] {
+            let name = p.name();
+            let router = crate::shard::ShardRouter::new(WorkloadConfig::default().records, 2);
+            let (lo0, hi0) = router.range(0);
+            let quarter = lo0 + (hi0 - lo0) / 4;
+            let mid = (lo0 + hi0) / 2;
+            let at = SimDuration::from_secs(4);
+            let mut cluster = Cluster::builder(p)
+                .shard_config(ShardConfig::groups(2))
+                .snapshot_config(crate::snapshot::SnapshotConfig {
+                    chunk_bytes: 128,
+                    ..crate::snapshot::SnapshotConfig::default()
+                })
+                .rebalance_config(
+                    RebalanceConfig::default()
+                        .migrate(MigrationSpec {
+                            at,
+                            lo: quarter,
+                            hi: mid,
+                            to_group: 1,
+                        })
+                        .migrate(MigrationSpec {
+                            at,
+                            lo: mid,
+                            hi: hi0,
+                            to_group: 1,
+                        }),
+                )
+                .seed(37)
+                .build_sharded();
+            cluster.elect_leaders();
+            // One marker key in each moving range and one that stays.
+            let keys = [quarter - 1, quarter + 1, mid + 1];
+            for key in keys {
+                let r = cluster
+                    .submit_and_wait(Op::Put {
+                        key,
+                        value: vec![7; 16],
+                    })
+                    .expect("pre-migration put");
+                assert_eq!(r, Reply::Done, "{name}");
+            }
+            // Crash the shared source group's leader while both
+            // transfers are in flight.
+            let victim = cluster.replica(0, cluster.leaders()[0]);
+            cluster
+                .sim
+                .crash_at(victim, paxraft_sim::time::SimTime::from_millis(4_150));
+            cluster.run_until_rebalanced(SimDuration::from_secs(120));
+            let coord = cluster.coordinator().expect("coordinator exists");
+            let c = cluster
+                .sim
+                .actor::<crate::shard::RebalanceCoordinator>(coord);
+            let mut completed = c.completed.clone();
+            completed.sort_unstable();
+            assert_eq!(completed, vec![1, 2], "{name}: both migrations completed");
+            assert!(
+                c.published.windows(2).all(|w| w[0] < w[1]),
+                "{name}: publishes are version-monotone ({:?})",
+                c.published
+            );
+            assert_eq!(c.published, vec![1, 2], "{name}: every version published");
+            assert_eq!(
+                c.peak_inflight, 2,
+                "{name}: the disjoint migrations actually overlapped"
+            );
+            let router = cluster.current_router();
+            assert_eq!(router.version(), 2, "{name}: map at final version");
+            assert_eq!(router.group_of(quarter - 1), 0, "{name}");
+            assert_eq!(router.group_of(quarter + 1), 1, "{name}");
+            assert_eq!(router.group_of(mid + 1), 1, "{name}");
+            // Values survived both moves; exclusivity holds everywhere.
+            for key in keys {
+                let r = cluster
+                    .submit_and_wait(Op::Get { key })
+                    .unwrap_or_else(|e| panic!("{name}: get({key}): {e}"));
+                assert!(
+                    matches!(r, Reply::Value(Some(_))),
+                    "{name}: key {key} kept its value ({r:?})"
+                );
+            }
+            cluster.sim.run_for(SimDuration::from_secs(2));
+            for node in 0..5u32 {
+                for g in 0..2usize {
+                    let actor = cluster.replica(g, NodeId(node));
+                    if cluster.sim.is_crashed(actor) {
+                        continue;
+                    }
+                    let kv = replica_kv(&cluster.sim, p, actor);
+                    for (k, _) in kv.snapshot().table.iter() {
+                        let owner = router.group_of(*k);
+                        assert_eq!(
+                            owner, g as u32,
+                            "{name}: key {k} in group {g} but owned by {owner}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Two concurrent migrations **into the same destination group**
+    /// from different sources: the installs carry non-monotone
+    /// coordinator sequence numbers, so this pins the version-keyed
+    /// dedup (a session max-seq gate would swallow whichever install
+    /// commits second).
+    #[test]
+    fn concurrent_migrations_into_one_destination_commit_exactly_once() {
+        let p = ProtocolKind::Raft;
+        let mut cluster = Cluster::builder(p)
+            .shard_config(ShardConfig::groups(3))
+            .rebalance_config(
+                RebalanceConfig::default()
+                    .migrate(MigrationSpec {
+                        at: SimDuration::from_secs(4),
+                        lo: 20_000,
+                        hi: 30_000,
+                        to_group: 2,
+                    })
+                    .migrate(MigrationSpec {
+                        at: SimDuration::from_secs(4),
+                        lo: 40_000,
+                        hi: 50_000,
+                        to_group: 2,
+                    }),
+            )
+            .seed(41)
+            .build_sharded();
+        cluster.elect_leaders();
+        for key in [25_000u64, 45_000] {
+            let r = cluster
+                .submit_and_wait(Op::Put {
+                    key,
+                    value: vec![3; 16],
+                })
+                .expect("pre-migration put");
+            assert_eq!(r, Reply::Done);
+        }
+        cluster.run_until_rebalanced(SimDuration::from_secs(120));
+        let coord = cluster.coordinator().expect("coordinator exists");
+        let c = cluster
+            .sim
+            .actor::<crate::shard::RebalanceCoordinator>(coord);
+        let mut completed = c.completed.clone();
+        completed.sort_unstable();
+        assert_eq!(completed, vec![1, 2]);
+        assert_eq!(c.published, vec![1, 2], "publishes in version order");
+        assert_eq!(c.peak_inflight, 2, "flights overlapped");
+        let router = cluster.current_router();
+        assert_eq!(router.group_of(25_000), 2);
+        assert_eq!(router.group_of(45_000), 2);
+        for key in [25_000u64, 45_000] {
+            let r = cluster
+                .submit_and_wait(Op::Get { key })
+                .expect("post-migration get");
+            assert!(matches!(r, Reply::Value(Some(_))), "key {key}: {r:?}");
+        }
+        cluster.sim.run_for(SimDuration::from_secs(2));
+        for node in 0..5u32 {
+            for g in 0..3usize {
+                let actor = cluster.replica(g, NodeId(node));
+                if cluster.sim.is_crashed(actor) {
+                    continue;
+                }
+                let kv = replica_kv(&cluster.sim, p, actor);
+                for (k, _) in kv.snapshot().table.iter() {
+                    let owner = router.group_of(*k);
+                    assert_eq!(owner, g as u32, "key {k} in group {g}, owner {owner}");
+                }
+            }
         }
     }
 

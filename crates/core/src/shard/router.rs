@@ -80,6 +80,11 @@ impl ShardRouter {
         self.starts.len()
     }
 
+    /// Size of the key space this router partitions.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
     /// The map version (`0` = the build-time split).
     pub fn version(&self) -> RouterVersion {
         self.version

@@ -55,6 +55,13 @@
 //! exported chunks therefore carry exactly this state. The broken
 //! variants exist to show the invariants are not vacuous and that the
 //! checker's trace machinery pinpoints the schedule.
+//!
+//! [`SkConfig::migrations`] extends the model to back-to-back
+//! migrations: after a full release, `NextMigration` swaps the src/dst
+//! roles (the old destination now owns the range and becomes the new
+//! source) and restarts the coordinator, so the larger off-CI sweep
+//! checks that client retries, re-exports, and crashes interleave
+//! safely *across* moves, not just within one.
 
 use std::collections::BTreeSet;
 
@@ -101,6 +108,8 @@ pub const BUF: usize = 14;
 pub const SIDE_SRC: usize = 15;
 /// `sideDst` — foreign-key writes served by the destination group.
 pub const SIDE_DST: usize = 16;
+/// `mig` — completed migrations (for multi-migration sweeps).
+pub const MIG: usize = 17;
 
 /// Model bounds.
 #[derive(Debug, Clone, Copy)]
@@ -113,6 +122,11 @@ pub struct SkConfig {
     pub client_ops: i64,
     /// Independent foreign-key writes per group.
     pub foreign_ops: i64,
+    /// Back-to-back migrations to model. With 1 the spec is exactly the
+    /// single-move model; each further migration moves the range back
+    /// the other way ([`MIG`] counts completions, `NextMigration` swaps
+    /// the roles and restarts the coordinator).
+    pub migrations: i64,
 }
 
 impl Default for SkConfig {
@@ -122,6 +136,7 @@ impl Default for SkConfig {
             chunks: 2,
             client_ops: 2,
             foreign_ops: 2,
+            migrations: 1,
         }
     }
 }
@@ -134,6 +149,7 @@ impl SkConfig {
             chunks: 2,
             client_ops: 1,
             foreign_ops: 1,
+            migrations: 1,
         }
     }
 
@@ -145,6 +161,7 @@ impl SkConfig {
             chunks: 1,
             client_ops: 1,
             foreign_ops: 0,
+            migrations: 1,
         }
     }
 }
@@ -153,7 +170,7 @@ impl SkConfig {
 pub fn spec(cfg: &SkConfig) -> Spec {
     let ops = cfg.client_ops;
     let client_active = le(var(CSEQ), int(ops));
-    let actions = vec![
+    let mut actions = vec![
         // Foreign-key traffic: untouched by the migration, present to
         // prove the freeze is per-range (and to give pruning real work).
         ActionSchema {
@@ -344,6 +361,43 @@ pub fn spec(cfg: &SkConfig) -> Spec {
             updates: vec![(LEADER_DST, param(0)), (BUF, Expr::Const(Value::set([])))],
         },
     ];
+    // Multi-migration sweeps: once a migration has fully released, the
+    // coordinator starts the next one *in the opposite direction* — the
+    // old destination (which now owns the range) becomes the new
+    // source. Updates evaluate against the pre-state, so the role swap
+    // is a simultaneous exchange of the src/dst variable pairs; the
+    // client's view and the foreign-op budgets follow their physical
+    // group. Only added when the bound asks for it, so the pinned
+    // single-migration state count is untouched.
+    if cfg.migrations > 1 {
+        actions.push(ActionSchema {
+            name: "NextMigration".into(),
+            params: vec![],
+            guard: and(vec![
+                eq(var(PHASE), int(4)),
+                lt(var(MIG), int(cfg.migrations - 1)),
+            ]),
+            updates: vec![
+                (MIG, crate::expr::add(var(MIG), int(1))),
+                (PHASE, int(0)),
+                (FROZEN, boolean(false)),
+                (ABSORBED, boolean(false)),
+                (RELEASED, boolean(false)),
+                (ROUTER, int(0)),
+                (FLIGHT, Expr::Const(Value::set([]))),
+                (BUF, Expr::Const(Value::set([]))),
+                (CVIEW, sub(int(1), var(CVIEW))),
+                (SRC_VAL, var(DST_VAL)),
+                (DST_VAL, var(SRC_VAL)),
+                (SRC_SESS, var(DST_SESS)),
+                (DST_SESS, var(SRC_SESS)),
+                (LEADER_SRC, var(LEADER_DST)),
+                (LEADER_DST, var(LEADER_SRC)),
+                (SIDE_SRC, var(SIDE_DST)),
+                (SIDE_DST, var(SIDE_SRC)),
+            ],
+        });
+    }
     Spec {
         name: "ShardKvMigrate".into(),
         vars: vec![
@@ -364,6 +418,7 @@ pub fn spec(cfg: &SkConfig) -> Spec {
             "buf".into(),
             "sideSrc".into(),
             "sideDst".into(),
+            "mig".into(),
         ],
         init: vec![
             Value::Int(0),
@@ -381,6 +436,7 @@ pub fn spec(cfg: &SkConfig) -> Spec {
             Value::Int(0),
             Value::set([]),
             Value::set([]),
+            Value::Int(0),
             Value::Int(0),
             Value::Int(0),
         ],
@@ -594,6 +650,39 @@ mod tests {
             matches!(report.verdict, Verdict::Violated { .. }),
             "the migrated-session schedule must be reachable: {:?}",
             report.verdict
+        );
+    }
+
+    /// Two back-to-back migrations at the small bound: the range moves
+    /// out and comes back, the invariants hold at every state, and the
+    /// second release is actually reachable (the `NextMigration` role
+    /// swap is not a dead end).
+    #[test]
+    fn round_trip_migration_is_clean_and_completes() {
+        let cfg = SkConfig {
+            migrations: 2,
+            ..SkConfig::small()
+        };
+        let sk = spec(&cfg);
+        assert_eq!(sk.validate(), Ok(()));
+        let invs = invariants();
+        let report = explore(&sk, &invs, Limits::states(400_000).detect_deadlocks());
+        assert_eq!(report.verdict, Verdict::Exhausted, "round trip is clean");
+        assert!(
+            report.states > SMALL_PIN,
+            "the second migration enlarges the state space: {}",
+            report.states
+        );
+
+        let witness = Invariant::new(
+            "NeverSecondRelease",
+            not(and(vec![eq(var(MIG), int(1)), var(RELEASED)])),
+        );
+        let hit = explore(&sk, &[witness], Limits::states(400_000));
+        assert!(
+            matches!(hit.verdict, Verdict::Violated { .. }),
+            "the second release must be reachable: {:?}",
+            hit.verdict
         );
     }
 

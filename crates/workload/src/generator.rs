@@ -8,6 +8,9 @@
 //! from the client's own partition.
 
 use paxraft_sim::rng::SimRng;
+use paxraft_sim::time::SimDuration;
+
+use crate::scenario::{KeyDist, ScenarioConfig};
 
 /// The popular record all conflicting operations touch.
 pub const HOT_KEY: u64 = 0;
@@ -68,6 +71,11 @@ pub struct WorkloadConfig {
     pub partitions: usize,
     /// Value size in bytes (paper: 8 B and 4 KB).
     pub value_size: usize,
+    /// Optional time-varying traffic scenario
+    /// ([`crate::scenario::ScenarioConfig`]). `None` (the default)
+    /// draws exactly as the stationary paper workload — same RNG
+    /// stream, same keys — so existing runs are bit-identical.
+    pub scenario: Option<ScenarioConfig>,
 }
 
 impl Default for WorkloadConfig {
@@ -78,6 +86,7 @@ impl Default for WorkloadConfig {
             records: 100_000,
             partitions: 5,
             value_size: 8,
+            scenario: None,
         }
     }
 }
@@ -109,6 +118,9 @@ impl WorkloadConfig {
                 "records {} fewer than partitions {}",
                 self.records, self.partitions
             ));
+        }
+        if let Some(s) = &self.scenario {
+            s.validate()?;
         }
         Ok(())
     }
@@ -179,6 +191,67 @@ impl Generator {
             kind,
             key,
             value_size: self.config.value_size,
+        }
+    }
+
+    /// Draws the next operation at virtual time `now_ns`. Without a
+    /// scenario this is exactly [`Generator::next_op`] (same RNG
+    /// stream); with one, flash crowds, the (possibly drifting) hotspot
+    /// and the base key distribution apply in that order.
+    pub fn next_op_at(&mut self, now_ns: u64) -> OpSpec {
+        let Some(scenario) = self.config.scenario else {
+            return self.next_op();
+        };
+        let kind = if self.rng.gen_bool(self.config.read_fraction) {
+            OpKind::Read
+        } else {
+            OpKind::Write
+        };
+        let key = self.scenario_key(&scenario, now_ns);
+        OpSpec {
+            kind,
+            key,
+            value_size: self.config.value_size,
+        }
+    }
+
+    /// The load-shaping pause to insert before sending the next
+    /// operation. [`SimDuration::ZERO`] without a scenario (or under a
+    /// steady load shape), so unscripted clients never arm the timer.
+    pub fn pause_at(&self, now_ns: u64) -> SimDuration {
+        self.config
+            .scenario
+            .as_ref()
+            .map_or(SimDuration::ZERO, |s| s.pause_at(now_ns))
+    }
+
+    fn scenario_key(&mut self, scenario: &ScenarioConfig, now_ns: u64) -> u64 {
+        // The paper's conflict-rate hot record stays first so scenario
+        // runs remain comparable on that axis.
+        if self.rng.gen_bool(self.config.conflict_rate) {
+            return HOT_KEY;
+        }
+        if let Some(f) = &scenario.flash {
+            let active =
+                now_ns >= f.at.as_nanos() && now_ns < f.at.as_nanos() + f.duration.as_nanos();
+            if active && self.rng.gen_bool(f.weight) {
+                return self.rng.gen_range_inclusive(f.lo, f.hi - 1);
+            }
+        }
+        if let Some(h) = &scenario.hotspot {
+            if self.rng.gen_bool(h.weight) {
+                let (lo, hi) = scenario
+                    .hotspot_window(now_ns, self.config.records)
+                    .expect("hotspot present");
+                return self.rng.gen_range_inclusive(lo, hi - 1);
+            }
+        }
+        let (lo, hi) = self.config.partition_range(self.partition);
+        match scenario.dist {
+            KeyDist::Uniform => self.rng.gen_range_inclusive(lo, hi - 1),
+            KeyDist::Zipfian { exponent } => {
+                lo + crate::scenario::zipf_rank(&mut self.rng, hi - lo, exponent)
+            }
         }
     }
 }
@@ -297,6 +370,51 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_op(), b.next_op());
         }
+    }
+
+    #[test]
+    fn next_op_at_without_scenario_matches_next_op_exactly() {
+        let mut a = gen_with(0.9, 0.05, 0);
+        let mut b = gen_with(0.9, 0.05, 0);
+        for i in 0..200u64 {
+            assert_eq!(a.next_op(), b.next_op_at(i * 1_000_000), "op {i}");
+        }
+        assert_eq!(
+            a.pause_at(1_000_000),
+            paxraft_sim::time::SimDuration::ZERO,
+            "no scenario, no pacing timer"
+        );
+    }
+
+    #[test]
+    fn scenario_hotspot_concentrates_and_drifts() {
+        use crate::scenario::ScenarioConfig;
+        let cfg = WorkloadConfig {
+            conflict_rate: 0.0,
+            scenario: Some(ScenarioConfig::drifting_hotspot(
+                0.8,
+                10_000,
+                90_000,
+                12_000,
+                paxraft_sim::time::SimDuration::from_secs(10),
+            )),
+            ..WorkloadConfig::default()
+        };
+        let mut g = Generator::new(cfg, 0, SimRng::new(3));
+        let hits_in = |g: &mut Generator, now_ns: u64, lo: u64, hi: u64| {
+            (0..2_000)
+                .filter(|_| (lo..hi).contains(&g.next_op_at(now_ns).key))
+                .count()
+        };
+        // t=0: window centered at 10 000.
+        let early = hits_in(&mut g, 0, 4_000, 16_000);
+        assert!(early > 1_400, "hotspot weight 0.8 at t=0: {early}");
+        // t=5 s: the window has drifted to ~50 000; the old window is
+        // back to background-only traffic.
+        let moved = hits_in(&mut g, 5_000_000_000, 44_000, 56_000);
+        let stale = hits_in(&mut g, 5_000_000_000, 4_000, 16_000);
+        assert!(moved > 1_400, "drifted window hot at t=5s: {moved}");
+        assert!(stale < 500, "old window cooled off: {stale}");
     }
 
     #[test]

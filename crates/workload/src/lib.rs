@@ -22,7 +22,9 @@
 pub mod generator;
 pub mod linearize;
 pub mod metrics;
+pub mod scenario;
 
 pub use generator::{Generator, OpKind, OpSpec, WorkloadConfig, HOT_KEY};
 pub use linearize::{check_history, check_register, Action, CheckError, OpRecord};
 pub use metrics::{median, LatencyRecorder, LatencyTriple, PeakGauge, ThroughputWindow};
+pub use scenario::{Drift, FlashCrowd, Hotspot, KeyDist, LoadShape, ScenarioConfig};
