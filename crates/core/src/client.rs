@@ -9,6 +9,7 @@
 use paxraft_sim::impl_actor_any;
 use paxraft_sim::sim::{Actor, ActorId, Ctx};
 use paxraft_sim::time::{SimDuration, SimTime};
+use paxraft_sim::trace::SpanKind;
 use paxraft_workload::generator::{Generator, OpKind};
 use paxraft_workload::linearize::{Action, OpRecord};
 
@@ -196,6 +197,7 @@ impl WorkloadClient {
             stalled: false,
         });
         ctx.send(dest, Msg::Client(ClientMsg::Request { cmd }));
+        ctx.trace_span(SpanKind::ClientSend, self.client_id, self.seq);
     }
 
     /// The recorded history, completed by the still-in-flight operation
@@ -271,6 +273,7 @@ impl Actor<Msg> for WorkloadClient {
                 if let Some(inf) = &mut self.inflight {
                     inf.stalled = true;
                 }
+                ctx.trace_span(SpanKind::ClientStall, id.client, id.seq);
                 ctx.set_timer(SimDuration::from_millis(50), T_STALL);
                 return;
             }
@@ -293,11 +296,19 @@ impl Actor<Msg> for WorkloadClient {
                 inf.stalled = false;
             }
             ctx.send(dest, Msg::Client(ClientMsg::Request { cmd }));
+            ctx.trace_span(
+                SpanKind::ClientRedirect {
+                    group: group as u64,
+                },
+                id.client,
+                id.seq,
+            );
             return;
         }
         let inflight = self.inflight.take().expect("checked");
         let now = ctx.now();
         let latency = now.since(inflight.first_sent);
+        ctx.trace_span(SpanKind::ClientDone, id.client, id.seq);
         self.completions.push(Completion {
             at_ns: now.as_nanos(),
             latency_ns: latency.as_nanos(),
@@ -366,7 +377,9 @@ impl Actor<Msg> for WorkloadClient {
                         inf.sent = ctx.now();
                         inf.stalled = false;
                     }
+                    let id = cmd.id;
                     ctx.send(dest, Msg::Client(ClientMsg::Request { cmd }));
+                    ctx.trace_span(SpanKind::ClientRetry, id.client, id.seq);
                 }
             }
             return;
@@ -382,7 +395,9 @@ impl Actor<Msg> for WorkloadClient {
                     if let Some(inf) = &mut self.inflight {
                         inf.sent = ctx.now();
                     }
+                    let id = cmd.id;
                     ctx.send(dest, Msg::Client(ClientMsg::Request { cmd }));
+                    ctx.trace_span(SpanKind::ClientRetry, id.client, id.seq);
                 }
             }
         }

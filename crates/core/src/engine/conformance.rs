@@ -382,6 +382,122 @@ fn telemetry_enabled_runs_are_bit_for_bit_identical_to_disabled() {
     }
 }
 
+/// Span tracing is observation-only, protocol by protocol: a run with
+/// per-command span recording enabled must produce a bit-for-bit
+/// identical [`RunReport`] (throughput, percentiles, counters, final
+/// clock) as the default spans-off run for all four rule sets. The
+/// instrumentation sits on the hot path of every send/enqueue/commit,
+/// so this is the test that pins "one branch when disabled, no RNG
+/// draws" — and what keeps `PARITY_pr5.txt` valid at the default
+/// configuration.
+///
+/// [`RunReport`]: crate::harness::RunReport
+#[test]
+fn span_tracing_on_and_off_runs_are_bit_for_bit_identical() {
+    fn fingerprint(p: ProtocolKind, telemetry: TelemetryConfig) -> (String, Option<usize>) {
+        let mut cluster = Cluster::builder(p)
+            .clients_per_region(1)
+            .seed(9)
+            .snapshot_config(SnapshotConfig::every(64))
+            .telemetry_config(telemetry)
+            .build();
+        cluster.elect_leader();
+        let r = cluster.run_measurement(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(1),
+        );
+        let fp = format!(
+            "thr={} lr={:?} fr={:?} lw={:?} fw={:?} snaps={:?} pipe={:?} end={}",
+            r.throughput_ops,
+            r.leader_reads,
+            r.follower_reads,
+            r.leader_writes,
+            r.follower_writes,
+            r.snapshots,
+            r.pipeline,
+            cluster.sim.now()
+        );
+        (fp, r.spans.map(|s| s.commands.len()))
+    }
+    for p in [
+        ProtocolKind::Raft,
+        ProtocolKind::RaftStar,
+        ProtocolKind::MultiPaxos,
+        ProtocolKind::RaftStarMencius,
+    ] {
+        let (off, spans_off) = fingerprint(p, TelemetryConfig::default());
+        let (on, spans_on) = fingerprint(p, TelemetryConfig::default().with_spans());
+        assert_eq!(off, on, "{}: span tracing never perturbs the run", p.name());
+        assert_eq!(spans_off, None, "{}: off-run assembles nothing", p.name());
+        assert!(
+            spans_on.is_some_and(|n| n > 0),
+            "{}: enabled run assembled command breakdowns",
+            p.name()
+        );
+    }
+}
+
+/// The accounting identity under adversity: in a run with 10% message
+/// loss and a replica crash/restart racing the measurement window, every
+/// traced command's stage components must sum *exactly* to its observed
+/// end-to-end latency — retries, duplicate deliveries and re-sends
+/// included. Runs over all four rule sets.
+#[test]
+fn span_breakdowns_sum_exactly_under_loss_and_crash() {
+    use crate::telemetry::Stage;
+    for p in [
+        ProtocolKind::Raft,
+        ProtocolKind::RaftStar,
+        ProtocolKind::MultiPaxos,
+        ProtocolKind::RaftStarMencius,
+    ] {
+        let mut cluster = Cluster::builder(p)
+            .clients_per_region(1)
+            .seed(13)
+            .telemetry_config(TelemetryConfig::default().with_spans())
+            .build();
+        cluster.elect_leader();
+        // Lossy network for the whole run, plus a non-serving replica
+        // bouncing inside the measurement window.
+        let now = cluster.sim.now();
+        cluster.sim.set_drop_rate_at(0.10, now);
+        let n = cluster.replicas().len();
+        let victim = cluster.replicas()[(cluster.leader().0 as usize + 1) % n];
+        cluster
+            .sim
+            .crash_at(victim, now + SimDuration::from_millis(1500));
+        cluster
+            .sim
+            .restart_at(victim, now + SimDuration::from_millis(2200));
+        let r = cluster.run_measurement(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(1),
+        );
+        let spans = r.spans.expect("spans enabled");
+        assert!(
+            !spans.commands.is_empty(),
+            "{}: traced commands under loss+crash",
+            p.name()
+        );
+        for b in &spans.commands {
+            let sum = Stage::ALL
+                .iter()
+                .fold(SimDuration::ZERO, |acc, &s| acc + b.stage(s));
+            assert_eq!(
+                sum,
+                b.total(),
+                "{}: accounting identity for client {} seq {} ({:?})",
+                p.name(),
+                b.client,
+                b.seq,
+                b.stages
+            );
+        }
+    }
+}
+
 /// A burst injected at a proposer overlaps replication rounds: the
 /// adaptive cutter flushes eagerly while the window has room, so several
 /// rounds are in flight at once — and for the window-gated protocols the

@@ -43,6 +43,7 @@ use std::collections::{BTreeSet, HashMap};
 use paxraft_sim::impl_actor_any;
 use paxraft_sim::sim::{Actor, ActorId, Ctx};
 use paxraft_sim::time::{SimDuration, SimTime};
+use paxraft_sim::trace::SpanKind;
 
 use crate::config::ReplicaConfig;
 use crate::costs::CostModel;
@@ -267,6 +268,13 @@ impl EngineCore {
                 reply: Reply::WrongGroup { group, version },
             }),
         );
+        ctx.trace_span(
+            SpanKind::Redirect {
+                group: group as u64,
+            },
+            id.client,
+            id.seq,
+        );
         self.redirects_sent += 1;
     }
 
@@ -331,6 +339,7 @@ impl EngineCore {
             self.cfg.client_actor(id.client),
             Msg::Client(ClientMsg::Response { id, reply }),
         );
+        ctx.trace_span(SpanKind::Reply, id.client, id.seq);
         self.responses_sent += 1;
     }
 
@@ -354,6 +363,11 @@ impl EngineCore {
         }
         let cmds = std::mem::take(&mut self.pending);
         self.forwarded_cmds += cmds.len() as u64;
+        if ctx.spans_enabled() {
+            for c in &cmds {
+                ctx.trace_span(SpanKind::Forward, c.id.client, c.id.seq);
+            }
+        }
         ctx.charge(self.cfg.costs.forward_per_cmd * cmds.len() as u64);
         ctx.send(
             self.cfg.peer(leader),
@@ -678,6 +692,11 @@ pub fn flush_pending<P: ProtocolRules>(rules: &mut P, core: &mut EngineCore, ctx
         return;
     }
     let cmds = std::mem::take(&mut core.pending);
+    if ctx.spans_enabled() {
+        for c in &cmds {
+            ctx.trace_span(SpanKind::Propose, c.id.client, c.id.seq);
+        }
+    }
     let bytes: usize = cmds.iter().map(Command::size_bytes).sum();
     let per_cmd = core.cfg.costs.propose_per_cmd + rules.extra_propose_cost(&core.cfg.costs);
     ctx.charge(
@@ -687,6 +706,17 @@ pub fn flush_pending<P: ProtocolRules>(rules: &mut P, core: &mut EngineCore, ctx
     );
     core.batch_flushes += 1;
     rules.propose(core, ctx, cmds);
+}
+
+/// Marks every buffered command as deferred by the cutter (window
+/// saturated or NIC backpressure) — explicit span evidence that the
+/// time it now spends in the batch is a batching decision, not drift.
+fn span_defer(core: &EngineCore, ctx: &mut Ctx<Msg>) {
+    if ctx.spans_enabled() {
+        for c in &core.pending {
+            ctx.trace_span(SpanKind::WindowDefer, c.id.client, c.id.seq);
+        }
+    }
 }
 
 /// The adaptive batch cutter: decides, after commands were buffered,
@@ -727,6 +757,7 @@ fn cut_batch<P: ProtocolRules>(rules: &mut P, core: &mut EngineCore, ctx: &mut C
         if core.pipe.quorum_has_room(core.cfg.id, core.cfg.n) {
             if nic_saturated {
                 core.pipe.stats.nic_deferrals += 1;
+                span_defer(core, ctx);
             } else {
                 core.pipe.stats.eager_flushes += 1;
                 flush_pending(rules, core, ctx);
@@ -734,6 +765,7 @@ fn cut_batch<P: ProtocolRules>(rules: &mut P, core: &mut EngineCore, ctx: &mut C
             }
         } else {
             core.pipe.stats.window_deferrals += 1;
+            span_defer(core, ctx);
         }
     } else if !rules.can_propose(core)
         && core.leader_hint.is_some()
@@ -748,6 +780,7 @@ fn cut_batch<P: ProtocolRules>(rules: &mut P, core: &mut EngineCore, ctx: &mut C
         // the accumulate-under-timer regime.
         if nic_saturated {
             core.pipe.stats.nic_deferrals += 1;
+            span_defer(core, ctx);
         } else {
             core.pipe.stats.hint_flushes += 1;
             flush_pending(rules, core, ctx);
@@ -778,6 +811,13 @@ fn on_forwarded<P: ProtocolRules>(
         if rules.try_serve_local(core, ctx, &cmd) {
             continue;
         }
+        ctx.trace_span(
+            SpanKind::Enqueue {
+                proposer: rules.can_propose(core),
+            },
+            cmd.id.client,
+            cmd.id.seq,
+        );
         core.pending.push(cmd);
     }
     cut_batch(rules, core, ctx);
@@ -811,6 +851,11 @@ pub(crate) fn apply_command(
     }
     let reply = core.kv.apply(cmd);
     ctx.trace_app("apply", cmd.id.client as u64, cmd.id.seq);
+    // The proposer's apply is the commit point the client's latency
+    // observes (followers apply the same slot later, asynchronously).
+    if is_proposer {
+        ctx.trace_span(SpanKind::Commit, cmd.id.client, cmd.id.seq);
+    }
     match &cmd.op {
         Op::FreezeRange { version, .. } => {
             ctx.trace_app("mig-freeze", *version, 0);
@@ -955,6 +1000,13 @@ impl<P: ProtocolRules> Actor<Msg> for ReplicaEngine<P> {
                 if self.rules.try_serve_local(&mut self.core, ctx, &cmd) {
                     return;
                 }
+                ctx.trace_span(
+                    SpanKind::Enqueue {
+                        proposer: self.rules.can_propose(&self.core),
+                    },
+                    cmd.id.client,
+                    cmd.id.seq,
+                );
                 self.core.pending.push(cmd);
                 cut_batch(&mut self.rules, &mut self.core, ctx);
             }

@@ -13,6 +13,7 @@
 use std::collections::VecDeque;
 
 use paxraft_sim::sim::{ActorId, Ctx};
+use paxraft_sim::trace::SpanKind;
 
 use crate::kv::KvStore;
 use crate::log::Log;
@@ -60,6 +61,9 @@ pub struct RaftBase {
     /// in issue order, drained by [`RaftBase::absorb_synced`] as fsyncs
     /// complete.
     pub pending_sync: VecDeque<(u64, Slot)>,
+    /// Highest slot a `Quorum` span was emitted for (span bookkeeping
+    /// only — never consulted by protocol logic).
+    pub quorum_mark: Slot,
 }
 
 impl RaftBase {
@@ -75,6 +79,33 @@ impl RaftBase {
             repl: Replicator::new(n),
             synced_idx: Slot::NONE,
             pending_sync: VecDeque::new(),
+            quorum_mark: Slot::NONE,
+        }
+    }
+
+    /// Emits `Quorum` spans for slots newly covered by the **unclamped**
+    /// replication tally (`upto` = the f-th largest match, before the
+    /// durability clamp, after any protocol-specific term/holder check).
+    /// From that instant only the durability clamp holds commit back,
+    /// which is exactly the boundary that splits *replication* wait from
+    /// *fsync* wait in the latency breakdown. Observation only: a single
+    /// branch when spans are off, pure log reads when on.
+    pub fn note_quorum(&mut self, ctx: &mut Ctx<Msg>, upto: Slot) {
+        if !ctx.spans_enabled() {
+            return;
+        }
+        while self.quorum_mark < upto {
+            let s = if self.quorum_mark == Slot::NONE {
+                self.log.first_index()
+            } else {
+                self.quorum_mark.next()
+            };
+            if let Some(e) = self.log.get(s) {
+                if e.cmd.id.client != u32::MAX {
+                    ctx.trace_span(SpanKind::Quorum, e.cmd.id.client, e.cmd.id.seq);
+                }
+            }
+            self.quorum_mark = s;
         }
     }
 
@@ -107,6 +138,9 @@ impl RaftBase {
             from.prev()
         };
         self.synced_idx = self.synced_idx.min(cap);
+        // Rewritten slots carry new commands: their quorum is a fresh
+        // observation (span bookkeeping only).
+        self.quorum_mark = self.quorum_mark.min(cap);
         for p in &mut self.pending_sync {
             p.1 = p.1.min(cap);
         }
@@ -445,5 +479,7 @@ impl RaftBase {
             self.last_applied = snap.last_slot;
             self.commit_index = snap.last_slot;
         }
+        // Span bookkeeping restarts at the recovered floor.
+        self.quorum_mark = self.commit_index;
     }
 }

@@ -23,7 +23,8 @@ use crate::raft::RaftReplica;
 use crate::raftstar::RaftStarReplica;
 use crate::snapshot::{SnapshotConfig, SnapshotStats};
 use crate::telemetry::{
-    HistogramSeries, LatencyHistogram, MetricRegistry, MetricSample, TelemetryConfig, TimeSeries,
+    HistogramSeries, LatencyHistogram, MetricRegistry, MetricSample, SpanAssembler, SpanReport,
+    TelemetryConfig, TimeSeries,
 };
 use crate::types::NodeId;
 
@@ -244,6 +245,9 @@ impl ClusterBuilder {
         if self.telemetry.trace_capacity > 0 {
             sim.enable_trace(self.telemetry.trace_capacity);
         }
+        if self.telemetry.trace_spans {
+            sim.enable_spans();
+        }
         // Provision the disks (the default actor→disk mapping gives each
         // replica its own device, which is exactly one disk per node in
         // the unsharded layout).
@@ -285,6 +289,7 @@ impl ClusterBuilder {
             probe: None,
             probe_seq: 0,
             metrics: MetricRegistry::new(&self.telemetry),
+            per_replica: self.telemetry.per_replica,
         }
     }
 
@@ -466,6 +471,37 @@ pub(crate) fn record_group_sample(
     registry.gauge(at, &name("range_installs"), sample.get("range_installs"));
 }
 
+/// One sampling tick's **per-replica** registry entries (behind
+/// [`TelemetryConfig::per_replica`]): each live replica's own response
+/// rate, fsync rate, queue depth and disk backlog, keyed by actor id so
+/// names stay unique across groups in the sharded layout. This is the
+/// straggler-debugging view: a slow disk shows up as one replica's
+/// `disk_backlog_ms` series diverging while its group's aggregate only
+/// sags. Crashed replicas record no point (a visible series gap).
+pub(crate) fn record_replica_samples(
+    registry: &mut MetricRegistry,
+    sim: &Simulation<Msg>,
+    protocol: ProtocolKind,
+    at: paxraft_sim::time::SimTime,
+    actors: &[ActorId],
+) {
+    for &r in actors {
+        if sim.is_crashed(r) {
+            continue;
+        }
+        let sample = replica_metrics(sim, protocol, r);
+        let name = |metric: &str| format!("replica{}/{metric}", r.0);
+        registry.counter_rate(at, &name("throughput_ops"), sample.get("responses"));
+        registry.counter_rate(at, &name("fsync_rate"), sample.get("fsyncs"));
+        registry.gauge(at, &name("pending_depth"), sample.get("pending_depth"));
+        registry.gauge(
+            at,
+            &name("disk_backlog_ms"),
+            sim.disk_backlog_at(r).as_millis_f64(),
+        );
+    }
+}
+
 /// Sums the live replicas' metric samples and NIC backlog for one group
 /// of actors at the current instant.
 pub(crate) fn group_sample_now(
@@ -530,6 +566,10 @@ pub struct RunReport {
     /// localizes a latency regression — a migration window's p99, say —
     /// to one group and one phase of the run.
     pub latency_hists: Vec<HistogramSeries>,
+    /// Per-command latency breakdowns assembled from the span log
+    /// (`None` unless [`TelemetryConfig::trace_spans`] enabled causal
+    /// tracing).
+    pub spans: Option<SpanReport>,
 }
 
 /// A built cluster ready to run.
@@ -544,6 +584,7 @@ pub struct Cluster {
     probe: Option<ActorId>,
     probe_seq: u64,
     pub(crate) metrics: MetricRegistry,
+    per_replica: bool,
 }
 
 impl Cluster {
@@ -720,6 +761,15 @@ impl Cluster {
             self.sim.run_until(self.metrics.next_due());
             let (sample, nic, disk) = group_sample_now(&self.sim, self.protocol, &self.replicas);
             record_group_sample(&mut self.metrics, self.sim.now(), 0, &sample, nic, disk);
+            if self.per_replica {
+                record_replica_samples(
+                    &mut self.metrics,
+                    &self.sim,
+                    self.protocol,
+                    self.sim.now(),
+                    &self.replicas,
+                );
+            }
             let mut hist = LatencyHistogram::default();
             for &c in &self.clients {
                 for h in &self.sim.actor::<WorkloadClient>(c).group_latency {
@@ -737,6 +787,15 @@ impl Cluster {
     /// telemetry sampling is enabled).
     pub fn telemetry_series(&self) -> Vec<TimeSeries> {
         self.metrics.snapshot()
+    }
+
+    /// Assembles the span log recorded so far into per-command latency
+    /// breakdowns (`None` unless span tracing is enabled).
+    pub fn span_report(&self) -> Option<SpanReport> {
+        self.sim
+            .trace()
+            .spans_enabled()
+            .then(|| SpanAssembler::assemble(self.sim.trace().spans()))
     }
 
     /// Runs `warmup + measure + cooldown`, counting only completions
@@ -791,6 +850,7 @@ impl Cluster {
             durability: self.durability_stats(),
             telemetry: self.metrics.snapshot(),
             latency_hists: self.metrics.hist_snapshot(),
+            spans: self.span_report(),
         }
     }
 }
@@ -852,5 +912,73 @@ mod tests {
         assert!(report.throughput_ops > 1.0, "got {}", report.throughput_ops);
         assert!(report.leader_reads.is_some());
         assert!(report.follower_writes.is_some());
+    }
+
+    /// The per-replica series satellite's demo: degrade exactly one
+    /// replica's disk and find the straggler *from the metric series
+    /// alone* — the `replica{i}/disk_backlog_ms` gauge of the slow
+    /// device dominates every healthy one, and no group-level series
+    /// could have said which node it was.
+    #[test]
+    fn per_replica_series_expose_an_injected_slow_disk_straggler() {
+        use paxraft_sim::disk::DiskConfig;
+        let mut cluster = Cluster::builder(ProtocolKind::Raft)
+            .clients_per_region(1)
+            .durability_config(DurabilityConfig::group_commit(
+                SimDuration::from_millis(1),
+                8,
+                SimDuration::from_millis(2),
+            ))
+            .telemetry_config(TelemetryConfig::sampled().with_per_replica())
+            .seed(17)
+            .build();
+        // Node 2 (a follower) gets a device an order of magnitude
+        // slower than the fleet default.
+        let straggler = cluster.replicas()[2];
+        cluster.sim.set_disk_config_for(
+            straggler,
+            DiskConfig {
+                write_bandwidth_bps: 100_000.0,
+                fsync_latency: SimDuration::from_millis(25),
+            },
+        );
+        cluster.elect_leader();
+        let report = cluster.run_measurement(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(3),
+            SimDuration::from_secs(1),
+        );
+        let mut worst: Option<(&str, f64)> = None;
+        let mut healthy_max = 0.0f64;
+        for s in &report.telemetry {
+            let Some(node) = s
+                .name
+                .strip_prefix("replica")
+                .and_then(|rest| rest.strip_suffix("/disk_backlog_ms"))
+            else {
+                continue;
+            };
+            assert!(!s.is_empty(), "{} has samples", s.name);
+            let mean = s.points.iter().map(|p| p.1).sum::<f64>() / s.len() as f64;
+            if worst.is_none_or(|(_, w)| mean > w) {
+                if let Some((prev, w)) = worst {
+                    let _ = prev;
+                    healthy_max = healthy_max.max(w);
+                }
+                worst = Some((node, mean));
+            } else {
+                healthy_max = healthy_max.max(mean);
+            }
+        }
+        let (node, backlog) = worst.expect("per-replica backlog series collected");
+        assert_eq!(
+            node,
+            straggler.0.to_string(),
+            "the series alone identify the degraded device"
+        );
+        assert!(
+            backlog > 2.0 * healthy_max.max(0.01),
+            "straggler backlog ({backlog:.2} ms) dominates healthy peers ({healthy_max:.2} ms)"
+        );
     }
 }

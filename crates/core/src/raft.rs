@@ -151,11 +151,14 @@ impl RaftRules {
         // f durable followers plus the leader's volatile copy could
         // commit an entry that a leader crash erases from the one
         // replica a future election quorum might be counting on.
-        let quorum_match = self
-            .base
-            .repl
-            .kth_largest_match(f, core.cfg.id)
-            .min(self.base.durable_tail(core));
+        let tally = self.base.repl.kth_largest_match(f, core.cfg.id);
+        let quorum_match = tally.min(self.base.durable_tail(core));
+        // Span bookkeeping: the term-checked tally *before* the
+        // durability clamp is the replication-quorum instant — from
+        // here, only the fsync holds commit back.
+        if self.base.log.term_at(tally) == Some(self.base.current_term) {
+            self.base.note_quorum(ctx, tally);
+        }
         if quorum_match > self.base.commit_index
             && self.base.log.term_at(quorum_match) == Some(self.base.current_term)
         {

@@ -258,11 +258,12 @@ impl RaftStarRules {
         // The leader's own copy counts toward the quorum only once
         // locally fsynced (no-op when durability is disabled); the
         // engine's `on_durable` hook re-runs this tally as syncs land.
-        let mut target = self
-            .base
-            .repl
-            .kth_largest_match(f, core.cfg.id)
-            .min(self.base.durable_tail(core));
+        let tally = self.base.repl.kth_largest_match(f, core.cfg.id);
+        let mut target = tally.min(self.base.durable_tail(core));
+        let lease_gated = self
+            .lease
+            .as_ref()
+            .is_some_and(|l| l.mode() == ReadMode::QuorumLease);
         // [PQL] holderSet = holders reported by the *responders* (the
         // followers whose appendOKs form this commit's quorum) ∪ holders
         // granted by the leader itself (the implicit appendOK). Every
@@ -296,6 +297,12 @@ impl RaftStarRules {
                 }
             }
         }
+        // Span bookkeeping: the replication-quorum instant is the
+        // pre-clamp tally — except under the PQL holder gate, where the
+        // gate is part of consensus wait (booked to replication), so
+        // the quorum mark follows the gated target instead.
+        self.base
+            .note_quorum(ctx, if lease_gated { target } else { tally });
         if target > self.base.commit_index {
             self.base.commit_index = target;
             self.apply_committed(core, ctx);
@@ -358,6 +365,13 @@ impl RaftStarRules {
                 }
             }
             // Lease lapsed while parked: fall back to replication.
+            ctx.trace_span(
+                paxraft_sim::trace::SpanKind::Enqueue {
+                    proposer: self.base.role == Role::Leader,
+                },
+                cmd.id.client,
+                cmd.id.seq,
+            );
             core.pending.push(cmd);
             core.arm_batch(ctx);
         }

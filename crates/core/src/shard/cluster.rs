@@ -11,9 +11,9 @@ use crate::client::{ClientRouting, WorkloadClient};
 use crate::engine::DurabilityStats;
 use crate::engine::PipelineStats;
 use crate::harness::{
-    group_sample_now, make_replica, record_group_sample, replica_durability_stats,
-    replica_is_leader, replica_metrics, replica_pipeline_stats, replica_snap_stats, Cluster,
-    ClusterBuilder, ProtocolKind, RunReport,
+    group_sample_now, make_replica, record_group_sample, record_replica_samples,
+    replica_durability_stats, replica_is_leader, replica_metrics, replica_pipeline_stats,
+    replica_snap_stats, Cluster, ClusterBuilder, ProtocolKind, RunReport,
 };
 use crate::kv::{CmdId, Command, Op, Reply};
 use crate::msg::{ClientMsg, Msg};
@@ -138,6 +138,7 @@ pub struct ShardedCluster {
     probe_seq: u64,
     last_probe_cmd: Option<Command>,
     metrics: MetricRegistry,
+    per_replica: bool,
 }
 
 impl ClusterBuilder {
@@ -162,6 +163,9 @@ impl ClusterBuilder {
         let mut sim = Simulation::new(self.net.clone(), self.seed);
         if self.telemetry.trace_capacity > 0 {
             sim.enable_trace(self.telemetry.trace_capacity);
+        }
+        if self.telemetry.trace_spans {
+            sim.enable_spans();
         }
         // Provision the disks: one per *node*, shared by all of that
         // node's group replicas — co-located groups contend for the same
@@ -272,6 +276,7 @@ impl ClusterBuilder {
             probe_seq: 0,
             last_probe_cmd: None,
             metrics: MetricRegistry::new(&self.telemetry),
+            per_replica: self.telemetry.per_replica,
         }
     }
 }
@@ -598,7 +603,30 @@ impl ShardedCluster {
             durability,
             telemetry: self.metrics.snapshot(),
             latency_hists: self.metrics.hist_snapshot(),
+            spans: self.span_report(),
         }
+    }
+
+    /// Assembles the span log recorded so far into per-command latency
+    /// breakdowns (`None` unless span tracing is enabled). The
+    /// migration story reads directly off the per-command fields:
+    /// redirect cost is the `redirects` bounces' network share,
+    /// freeze-bounce cost is `stalls` × the stall queueing time, and
+    /// destination queueing is the queueing/batching booked at the
+    /// group that finally served the command
+    /// ([`CommandBreakdown::served_by`] → [`ShardedCluster::group_of_replica`]).
+    pub fn span_report(&self) -> Option<crate::telemetry::SpanReport> {
+        self.sim
+            .trace()
+            .spans_enabled()
+            .then(|| crate::telemetry::SpanAssembler::assemble(self.sim.trace().spans()))
+    }
+
+    /// The group a replica actor belongs to (`None` for client actors).
+    pub fn group_of_replica(&self, a: ActorId) -> Option<u32> {
+        let n = self.group_actors.first().map_or(0, Vec::len);
+        let groups = self.group_actors.len();
+        (n > 0 && a.0 < n * groups).then(|| (a.0 / n) as u32)
     }
 
     /// Advances virtual time by `d`, pausing at each due sampling
@@ -620,6 +648,15 @@ impl ShardedCluster {
             for (g, actors) in self.group_actors.iter().enumerate() {
                 let (sample, nic, disk) = group_sample_now(&self.sim, self.protocol, actors);
                 record_group_sample(&mut self.metrics, now, g as u32, &sample, nic, disk);
+                if self.per_replica {
+                    record_replica_samples(
+                        &mut self.metrics,
+                        &self.sim,
+                        self.protocol,
+                        now,
+                        actors,
+                    );
+                }
                 cluster_sample.merge_sum(&sample);
             }
             self.sample_latency_histograms(now);
@@ -804,6 +841,81 @@ mod tests {
                     .unwrap_or_else(|| panic!("series {name} collected"));
                 assert!(!s.is_empty(), "{name} has samples");
             }
+        }
+    }
+
+    /// Span tracing plus per-replica series in the sharded harness:
+    /// enabling both on a 2-group run with a scripted migration racing
+    /// the measurement window is bit-for-bit invisible in the
+    /// [`RunReport`] — and the enabled run yields per-command
+    /// breakdowns that (a) obey the accounting identity, (b) include
+    /// migration-path traffic (`WrongGroup` redirect bounces show up as
+    /// redirect/stall counts on the affected commands), and (c) come
+    /// with one metric-series set per *replica*, not just per group.
+    #[test]
+    fn sharded_span_tracing_and_per_replica_series_are_bit_for_bit() {
+        use crate::shard::{MigrationSpec, RebalanceConfig};
+        use crate::telemetry::{Stage, TelemetryConfig};
+        let run = |telemetry: TelemetryConfig| {
+            let mut cluster = Cluster::builder(ProtocolKind::Raft)
+                .shard_config(ShardConfig::groups(2))
+                .clients_per_region(2)
+                .rebalance_config(RebalanceConfig::default().migrate(MigrationSpec {
+                    at: SimDuration::from_secs(3),
+                    lo: 0,
+                    hi: 1,
+                    to_group: 1,
+                }))
+                .workload(parity_workload())
+                .telemetry_config(telemetry)
+                .seed(31)
+                .build_sharded();
+            cluster.elect_leaders();
+            let r = cluster.run_measurement(
+                SimDuration::from_secs(2),
+                SimDuration::from_secs(4),
+                SimDuration::from_secs(1),
+            );
+            let fp = report_fingerprint(&r, cluster.sim.now());
+            let replicas: Vec<_> = (0..2)
+                .flat_map(|g| cluster.group_replicas(g).to_vec())
+                .collect();
+            (fp, r.spans, r.telemetry, replicas)
+        };
+        let (off, spans_off, series_off, _) = run(TelemetryConfig::default());
+        let (on, spans_on, series_on, replicas) =
+            run(TelemetryConfig::sampled().with_spans().with_per_replica());
+        assert_eq!(off, on, "span tracing never perturbs the sharded run");
+        assert!(spans_off.is_none(), "off-run assembles nothing");
+        assert!(series_off.is_empty(), "off-run collects nothing");
+        let spans = spans_on.expect("spans enabled");
+        assert!(!spans.commands.is_empty(), "commands traced");
+        for b in &spans.commands {
+            let sum = Stage::ALL
+                .iter()
+                .fold(SimDuration::ZERO, |acc, &s| acc + b.stage(s));
+            assert_eq!(
+                sum,
+                b.total(),
+                "accounting identity for client {} seq {}",
+                b.client,
+                b.seq
+            );
+        }
+        assert!(
+            spans
+                .commands
+                .iter()
+                .any(|b| b.redirects > 0 || b.stalls > 0),
+            "the migration window produced redirect/stall spans"
+        );
+        for r in &replicas {
+            let name = format!("replica{}/throughput_ops", r.0);
+            let s = series_on
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("series {name} collected"));
+            assert!(!s.is_empty(), "{name} has samples");
         }
     }
 

@@ -20,6 +20,14 @@
 //!   simulation steps, so enabling it never changes the event schedule
 //!   or the RNG stream (the determinism tests in the conformance suite
 //!   pin this bit-for-bit).
+//! - [`spans`]: the causal command-tracing layer — per-command span
+//!   trees assembled from the flight recorder's span log, with a
+//!   latency breakdown whose stages sum exactly to the end-to-end
+//!   latency and a critical-path analyzer over the aggregate.
+
+pub mod spans;
+
+pub use spans::{CommandBreakdown, SpanAssembler, SpanReport, Stage, StageTotals};
 
 use std::collections::BTreeMap;
 
@@ -33,6 +41,12 @@ pub struct TelemetryConfig {
     pub sample_every: SimDuration,
     /// Flight-recorder ring capacity; `0` disables tracing.
     pub trace_capacity: usize,
+    /// Causal span tracing ([`spans`]); off by default. Observation
+    /// only — enabling it never changes the event schedule.
+    pub trace_spans: bool,
+    /// Per-replica series (`replica{i}/…`) next to the per-group ones;
+    /// off by default (straggler debugging multiplies series count).
+    pub per_replica: bool,
 }
 
 impl TelemetryConfig {
@@ -42,6 +56,7 @@ impl TelemetryConfig {
         TelemetryConfig {
             sample_every: SimDuration::from_millis(100),
             trace_capacity: 256,
+            ..TelemetryConfig::default()
         }
     }
 
@@ -54,6 +69,18 @@ impl TelemetryConfig {
     /// This configuration with the given flight-recorder capacity.
     pub fn with_trace(mut self, capacity: usize) -> Self {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// This configuration with causal span tracing on.
+    pub fn with_spans(mut self) -> Self {
+        self.trace_spans = true;
+        self
+    }
+
+    /// This configuration with per-replica series on.
+    pub fn with_per_replica(mut self) -> Self {
+        self.per_replica = true;
         self
     }
 

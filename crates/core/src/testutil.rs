@@ -147,8 +147,23 @@ pub fn cluster_with(
 /// Flight-recorder ring capacity for test clusters.
 pub const TRACE_CAPACITY: usize = 256;
 
-/// How many trace events a failure dump prints.
+/// Default tail length for an on-failure trace dump.
 pub const TRACE_DUMP_LAST: usize = 40;
+
+/// How many trace events a failure dump prints: the `TRACE_DUMP_LAST`
+/// environment variable when set to a positive integer (capped at the
+/// ring's [`TRACE_CAPACITY`] — asking for more than the recorder keeps
+/// cannot help), [`TRACE_DUMP_LAST`] otherwise. Debugging a dense
+/// failure locally? `TRACE_DUMP_LAST=256 cargo test …` widens every
+/// dump without a recompile.
+pub fn trace_dump_last() -> usize {
+    std::env::var("TRACE_DUMP_LAST")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(TRACE_DUMP_LAST)
+        .min(TRACE_CAPACITY)
+}
 
 /// If `TRACE_DUMP_DIR` is set, writes the flight recorder's machine-
 /// readable export there and returns the path — CI sets the variable
@@ -188,11 +203,12 @@ where
             return true;
         }
         if sim.now() >= deadline {
+            let tail = trace_dump_last();
             eprintln!(
                 "drive_until: predicate still false at {} — last {} trace events:\n{}",
                 sim.now(),
-                TRACE_DUMP_LAST.min(sim.trace().len()),
-                sim.trace().render_last(TRACE_DUMP_LAST)
+                tail.min(sim.trace().len()),
+                sim.trace().render_last(tail)
             );
             export_trace_artifact(sim);
             return false;
@@ -212,10 +228,11 @@ pub fn with_trace_dump<R>(
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(sim))) {
         Ok(r) => r,
         Err(e) => {
+            let tail = trace_dump_last();
             eprintln!(
                 "assertion failed — last {} trace events:\n{}",
-                TRACE_DUMP_LAST.min(sim.trace().len()),
-                sim.trace().render_last(TRACE_DUMP_LAST)
+                tail.min(sim.trace().len()),
+                sim.trace().render_last(tail)
             );
             export_trace_artifact(sim);
             std::panic::resume_unwind(e)
@@ -226,6 +243,23 @@ pub fn with_trace_dump<R>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trace_dump_tail_is_env_configurable() {
+        std::env::remove_var("TRACE_DUMP_LAST");
+        assert_eq!(trace_dump_last(), TRACE_DUMP_LAST);
+        std::env::set_var("TRACE_DUMP_LAST", "96");
+        assert_eq!(trace_dump_last(), 96);
+        // Nonsense and zero fall back to the default; requests beyond
+        // the ring capacity clamp to it.
+        std::env::set_var("TRACE_DUMP_LAST", "lots");
+        assert_eq!(trace_dump_last(), TRACE_DUMP_LAST);
+        std::env::set_var("TRACE_DUMP_LAST", "0");
+        assert_eq!(trace_dump_last(), TRACE_DUMP_LAST);
+        std::env::set_var("TRACE_DUMP_LAST", "100000");
+        assert_eq!(trace_dump_last(), TRACE_CAPACITY);
+        std::env::remove_var("TRACE_DUMP_LAST");
+    }
 
     #[test]
     fn export_trace_artifact_writes_json_when_dir_is_set() {

@@ -95,6 +95,9 @@ pub struct DiskStats {
 #[derive(Debug, Default)]
 pub struct DiskArray {
     config: DiskConfig,
+    /// Per-disk parameter overrides (straggler/degraded-device
+    /// modeling); `None` means the shared `config` applies.
+    overrides: Vec<Option<DiskConfig>>,
     free: Vec<SimTime>,
     stats: Vec<DiskStats>,
 }
@@ -104,6 +107,7 @@ impl DiskArray {
     pub fn new(config: DiskConfig) -> Self {
         DiskArray {
             config,
+            overrides: Vec::new(),
             free: Vec::new(),
             stats: Vec::new(),
         }
@@ -114,9 +118,26 @@ impl DiskArray {
         &self.config
     }
 
-    /// Replaces the disk parameters (busy horizons are kept).
+    /// Replaces the shared disk parameters (busy horizons and per-disk
+    /// overrides are kept).
     pub fn set_config(&mut self, config: DiskConfig) {
         self.config = config;
+    }
+
+    /// Overrides the parameters of disk `d` alone — models a degraded
+    /// or mismatched device (a straggler) in an otherwise uniform
+    /// array. Pure parameter change: no RNG draws, horizons kept.
+    pub fn set_config_for(&mut self, d: usize, config: DiskConfig) {
+        self.ensure(d);
+        self.overrides[d] = Some(config);
+    }
+
+    /// The effective parameters of disk `d` (override or shared).
+    pub fn config_of(&self, d: usize) -> &DiskConfig {
+        self.overrides
+            .get(d)
+            .and_then(|o| o.as_ref())
+            .unwrap_or(&self.config)
     }
 
     /// Makes sure disk id `d` exists.
@@ -124,6 +145,7 @@ impl DiskArray {
         while self.free.len() <= d {
             self.free.push(SimTime::ZERO);
             self.stats.push(DiskStats::default());
+            self.overrides.push(None);
         }
     }
 
@@ -133,7 +155,7 @@ impl DiskArray {
     pub fn write(&mut self, now: SimTime, d: usize, bytes: usize) {
         self.ensure(d);
         let start = self.free[d].max(now);
-        self.free[d] = start + self.config.write_time(bytes);
+        self.free[d] = start + self.config_of(d).write_time(bytes);
         self.stats[d].bytes_written += bytes as u64;
     }
 
@@ -143,7 +165,7 @@ impl DiskArray {
     pub fn fsync(&mut self, now: SimTime, d: usize) -> SimTime {
         self.ensure(d);
         let start = self.free[d].max(now);
-        let done = start + self.config.fsync_latency;
+        let done = start + self.config_of(d).fsync_latency;
         self.free[d] = done;
         self.stats[d].fsyncs += 1;
         done
@@ -233,6 +255,33 @@ mod tests {
         // A separate disk id is an independent device.
         let c = disks.fsync(SimTime::ZERO, 1);
         assert_eq!(c, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn per_disk_override_degrades_one_device_only() {
+        let cfg = DiskConfig {
+            write_bandwidth_bps: 0.0,
+            fsync_latency: SimDuration::from_millis(1),
+        };
+        let mut disks = DiskArray::new(cfg);
+        disks.set_config_for(
+            1,
+            DiskConfig {
+                write_bandwidth_bps: 0.0,
+                fsync_latency: SimDuration::from_millis(10),
+            },
+        );
+        assert_eq!(disks.fsync(SimTime::ZERO, 0), SimTime::from_millis(1));
+        assert_eq!(disks.fsync(SimTime::ZERO, 1), SimTime::from_millis(10));
+        assert_eq!(disks.fsync(SimTime::ZERO, 2), SimTime::from_millis(1));
+        assert_eq!(
+            disks.config_of(1).fsync_latency,
+            SimDuration::from_millis(10)
+        );
+        assert_eq!(
+            disks.config_of(0).fsync_latency,
+            SimDuration::from_millis(1)
+        );
     }
 
     #[test]

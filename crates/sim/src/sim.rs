@@ -23,7 +23,7 @@ use crate::disk::{DiskArray, DiskConfig, DiskStats};
 use crate::net::{Delivery, NetConfig, Network, Region};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{FlightRecorder, TraceKind};
+use crate::trace::{FlightRecorder, SpanKind, TraceKind};
 
 /// Identifies an actor within a simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -177,6 +177,20 @@ impl<'a, M> Ctx<'a, M> {
         self.trace
             .record(self.now, self.self_id, TraceKind::App { tag, a, b });
     }
+
+    /// Records a causal span event for command `(client, seq)`. Same
+    /// observation-only discipline as [`Ctx::trace_app`]: one branch
+    /// when spans are off, never a schedule or RNG perturbation when on.
+    pub fn trace_span(&mut self, kind: SpanKind, client: u32, seq: u64) {
+        self.trace
+            .record_span(self.now, self.self_id, kind, client, seq);
+    }
+
+    /// Whether the span log is recording — lets instrumentation skip
+    /// building correlation ids when nothing would be kept.
+    pub fn spans_enabled(&self) -> bool {
+        self.trace.spans_enabled()
+    }
 }
 
 #[derive(Debug)]
@@ -302,6 +316,14 @@ impl<M: Payload> Simulation<M> {
         self.disks.set_config(config);
     }
 
+    /// Overrides the disk parameters of `actor`'s device alone — models
+    /// a slow-disk straggler in an otherwise uniform cluster. Affects
+    /// every actor mapped to the same disk id.
+    pub fn set_disk_config_for(&mut self, actor: ActorId, config: DiskConfig) {
+        let d = self.disk_of[actor.0];
+        self.disks.set_config_for(d, config);
+    }
+
     /// Maps `actor` onto disk id `disk`. The default mapping gives every
     /// actor its own disk (id = actor id); mapping several actors to one
     /// disk models co-location on a shared device, whose FIFO horizon
@@ -326,7 +348,18 @@ impl<M: Payload> Simulation<M> {
     /// events. Tracing is pure observation — enabling it never changes
     /// the event schedule or the RNG stream.
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = FlightRecorder::with_capacity(capacity);
+        let mut r = FlightRecorder::with_capacity(capacity);
+        if self.trace.spans_enabled() {
+            r.enable_spans();
+        }
+        self.trace = r;
+    }
+
+    /// Turns on the causal span log (independent of the ring capacity;
+    /// works with or without [`Simulation::enable_trace`]). Spans obey
+    /// the same observation-only discipline as the event ring.
+    pub fn enable_spans(&mut self) {
+        self.trace.enable_spans();
     }
 
     /// The flight recorder (disabled unless
@@ -978,6 +1011,64 @@ mod tests {
         assert_eq!(plain_events, traced_events, "event count identical");
         assert_eq!(plain_recorded, 0);
         assert!(traced_recorded > 0, "the traced run did record events");
+    }
+
+    /// Echoes like [`Echo`], but calls `trace_span` on every delivery —
+    /// unconditionally, the way instrumented protocol code does: span
+    /// recording itself is the no-op when disabled.
+    struct SpanEmitter {
+        received: Vec<(u32, SimTime)>,
+    }
+    impl Actor<Ping> for SpanEmitter {
+        fn on_message(&mut self, ctx: &mut Ctx<Ping>, from: ActorId, msg: Ping) {
+            ctx.trace_span(SpanKind::Commit, 1, u64::from(msg.0));
+            self.received.push((msg.0, ctx.now()));
+            if from != ActorId::EXTERNAL {
+                ctx.send(from, Ping(msg.0 + 1));
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<Ping>, _token: u64) {}
+        impl_actor_any!();
+    }
+
+    #[test]
+    fn span_recording_never_perturbs_the_schedule() {
+        // Same claim as the flight-recorder parity test, for the span
+        // log: enabling spans changes nothing about the run. Jittered
+        // network plus a crash/restart so both the RNG stream and the
+        // epoch machinery are in play.
+        let run = |spans: bool| {
+            let mut sim = Simulation::new(NetConfig::default(), 99);
+            if spans {
+                sim.enable_spans();
+            }
+            let b_id = ActorId(1);
+            let _a = sim.add_actor(
+                Region::Oregon,
+                Box::new(Starter {
+                    peer: b_id,
+                    got: Vec::new(),
+                }),
+            );
+            let b = sim.add_actor(
+                Region::Seoul,
+                Box::new(SpanEmitter {
+                    received: Vec::new(),
+                }),
+            );
+            sim.crash_at(b, SimTime::from_millis(400));
+            sim.restart_at(b, SimTime::from_millis(500));
+            sim.run_until(SimTime::from_secs(1));
+            let e: &SpanEmitter = sim.actor(b);
+            let times: Vec<u64> = e.received.iter().map(|r| r.1.as_nanos()).collect();
+            (times, sim.stats.events, sim.trace().spans().len())
+        };
+        let (plain, plain_events, plain_spans) = run(false);
+        let (traced, traced_events, traced_spans) = run(true);
+        assert_eq!(plain, traced, "delivery schedule identical");
+        assert_eq!(plain_events, traced_events, "event count identical");
+        assert_eq!(plain_spans, 0, "disabled run records no spans");
+        assert!(traced_spans > 0, "enabled run recorded spans");
     }
 
     /// Writes then fsyncs on start; records fsync-completion times.

@@ -90,14 +90,111 @@ pub struct TraceEvent {
     pub kind: TraceKind,
 }
 
-/// The bounded ring buffer of [`TraceEvent`]s.
+/// One step of a command's lifecycle, recorded as a causal span event.
 ///
-/// Capacity 0 (the default) disables recording entirely.
+/// Span kinds are deliberately *points*, not intervals: the assembler
+/// (in the core crate) telescopes consecutive points of the same
+/// command into stage intervals, which is what makes the latency
+/// breakdown sum exactly to the end-to-end latency regardless of
+/// retries, redirects or duplicate deliveries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The client handed the command to the network for the first time
+    /// or on a normal follow-up send.
+    ClientSend,
+    /// The client re-sent after a timeout-driven retry.
+    ClientRetry,
+    /// The client followed a `WrongGroup` redirect to `group`.
+    ClientRedirect {
+        /// Destination group of the re-send.
+        group: u64,
+    },
+    /// The client backed off on a stale redirect (migration freeze
+    /// window): the command sits at the client until the stall timer.
+    ClientStall,
+    /// The client observed the final response; closes the span tree.
+    ClientDone,
+    /// A replica admitted the command into its pending batch.
+    /// `proposer` distinguishes the proposing replica (batching time)
+    /// from a follower queueing for the forward hop.
+    Enqueue {
+        /// True at the replica that will propose the command itself.
+        proposer: bool,
+    },
+    /// A follower forwarded the command towards the proposer.
+    Forward,
+    /// The batch cutter deferred the command (replication window full
+    /// or NIC backpressure) — explicit evidence of batching wait.
+    WindowDefer,
+    /// The command left the pending batch inside a proposal.
+    Propose,
+    /// Replication quorum reached for the command's slot *before* the
+    /// durability clamp — the gap from here to `Commit` is fsync wait.
+    Quorum,
+    /// The command's slot committed (entered the apply path).
+    Commit,
+    /// A replica sent the response back to the client.
+    Reply,
+    /// A replica bounced the command with a `WrongGroup` redirect.
+    Redirect {
+        /// The group the replica believes owns the key.
+        group: u64,
+    },
+}
+
+impl SpanKind {
+    /// Static label used by renderers and the JSON export.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanKind::ClientSend => "client_send",
+            SpanKind::ClientRetry => "client_retry",
+            SpanKind::ClientRedirect { .. } => "client_redirect",
+            SpanKind::ClientStall => "client_stall",
+            SpanKind::ClientDone => "client_done",
+            SpanKind::Enqueue { .. } => "enqueue",
+            SpanKind::Forward => "forward",
+            SpanKind::WindowDefer => "window_defer",
+            SpanKind::Propose => "propose",
+            SpanKind::Quorum => "quorum",
+            SpanKind::Commit => "commit",
+            SpanKind::Reply => "reply",
+            SpanKind::Redirect { .. } => "redirect",
+        }
+    }
+}
+
+/// One span event: a lifecycle step of command `(client, seq)` at a
+/// virtual instant. `client`/`seq` mirror the core crate's `CmdId` —
+/// the sim crate stays protocol-agnostic and records them as plain
+/// words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Virtual time of the step.
+    pub at: SimTime,
+    /// The actor the step happened at.
+    pub actor: ActorId,
+    /// Which lifecycle step.
+    pub kind: SpanKind,
+    /// Correlation id: the issuing client's id word.
+    pub client: u32,
+    /// Correlation id: the client-local sequence number.
+    pub seq: u64,
+}
+
+/// The bounded ring buffer of [`TraceEvent`]s, plus an optional
+/// unbounded span log for causal command tracing.
+///
+/// Capacity 0 (the default) disables ring recording entirely; span
+/// recording is gated separately by [`FlightRecorder::enable_spans`]
+/// because spans must never be ring-evicted — the assembler needs a
+/// command's *complete* event set to telescope a breakdown.
 #[derive(Debug, Default)]
 pub struct FlightRecorder {
     capacity: usize,
     buf: VecDeque<TraceEvent>,
     recorded: u64,
+    spans_enabled: bool,
+    spans: Vec<SpanEvent>,
 }
 
 impl FlightRecorder {
@@ -112,13 +209,53 @@ impl FlightRecorder {
         FlightRecorder {
             capacity,
             buf: VecDeque::with_capacity(capacity),
-            recorded: 0,
+            ..FlightRecorder::default()
         }
     }
 
     /// Whether recording is on.
     pub fn enabled(&self) -> bool {
         self.capacity > 0
+    }
+
+    /// Turns on the causal span log (independent of the ring capacity).
+    pub fn enable_spans(&mut self) {
+        self.spans_enabled = true;
+    }
+
+    /// Whether span recording is on.
+    pub fn spans_enabled(&self) -> bool {
+        self.spans_enabled
+    }
+
+    /// Records one span event; no-op (one branch) when spans are off.
+    /// Like [`FlightRecorder::record`], this is observation only: no
+    /// RNG draws, no scheduling, no time charges.
+    #[inline]
+    pub fn record_span(
+        &mut self,
+        at: SimTime,
+        actor: ActorId,
+        kind: SpanKind,
+        client: u32,
+        seq: u64,
+    ) {
+        if !self.spans_enabled {
+            return;
+        }
+        self.spans.push(SpanEvent {
+            at,
+            actor,
+            kind,
+            client,
+            seq,
+        });
+    }
+
+    /// All span events, in emission order (which is also time order up
+    /// to same-instant ties — the simulation is single-threaded).
+    pub fn spans(&self) -> &[SpanEvent] {
+        &self.spans
     }
 
     /// Records one event; no-op (one branch) when disabled.
@@ -319,6 +456,37 @@ mod tests {
         assert_eq!(json.matches("},").count(), 2, "{json}");
         // Empty recorder still yields a valid array.
         assert_eq!(FlightRecorder::disabled().export_json(), "[\n]\n");
+    }
+
+    #[test]
+    fn span_log_is_off_by_default_and_unbounded_when_on() {
+        let mut r = FlightRecorder::with_capacity(2);
+        assert!(!r.spans_enabled());
+        r.record_span(
+            SimTime::from_millis(1),
+            ActorId(0),
+            SpanKind::ClientSend,
+            9,
+            1,
+        );
+        assert!(r.spans().is_empty());
+        r.enable_spans();
+        for n in 0..10u64 {
+            r.record_span(
+                SimTime::from_millis(n),
+                ActorId(0),
+                SpanKind::Enqueue { proposer: true },
+                9,
+                n,
+            );
+        }
+        // Not ring-evicted: all ten kept even though the ring holds 2.
+        assert_eq!(r.spans().len(), 10);
+        assert_eq!(r.spans()[3].seq, 3);
+        assert_eq!(
+            SpanKind::ClientRedirect { group: 2 }.label(),
+            "client_redirect"
+        );
     }
 
     #[test]
